@@ -1,0 +1,451 @@
+//! The correctness auditor.
+//!
+//! The paper's motivating anomaly (§1): "a patient enquiring about his
+//! balance due will see only partial charges from procedures performed
+//! during a single visit". The auditor detects exactly that class of bug,
+//! plus the stronger version-order guarantee of Theorem 4.1, from the
+//! transaction records alone:
+//!
+//! * **Atomicity** — for every committed read transaction `R` and update
+//!   transaction `U`, over the journal keys both touch: `R` must observe
+//!   either *all* of `U`'s entries or *none* (any engine, versioned or not);
+//! * **Version exactness** (versioned engines) — Theorem 4.1 says the
+//!   execution is equivalent to the serial order "by version number, updates
+//!   before reads within a version"; hence a version-`v` read must observe
+//!   `U` *iff* `V(U) ≤ v`, for committed `U`;
+//! * **No dirty reads** — entries of transactions that ultimately aborted
+//!   must never be observed (3V reads run strictly behind compensation;
+//!   uncoordinated engines violate this).
+//!
+//! Journal entries carry their writer's [`TxnId`], so observation is direct:
+//! no shadow state, no instrumentation of the engines.
+
+use std::collections::{HashMap, HashSet};
+
+use threev_model::{Key, TxnId, TxnKind, VersionNo};
+
+use crate::records::{TxnRecord, TxnStatus};
+
+/// One detected violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuditViolation {
+    /// `read` saw only part of `update`'s writes (the partial-charges bug).
+    Atomicity {
+        /// The reading transaction.
+        read: TxnId,
+        /// The partially observed update transaction.
+        update: TxnId,
+        /// Keys where the update was observed.
+        seen: u32,
+        /// Keys (read by `read`, written by `update`) where it should have
+        /// been all-or-nothing.
+        relevant: u32,
+    },
+    /// Versioned read did not match the Theorem 4.1 serial order.
+    VersionExactness {
+        /// The reading transaction and its version.
+        read: TxnId,
+        /// Version of the read.
+        read_version: VersionNo,
+        /// The update transaction and its version.
+        update: TxnId,
+        /// Version of the update.
+        update_version: VersionNo,
+        /// Whether the update should have been visible.
+        expected_visible: bool,
+        /// Keys where the update was observed.
+        seen: u32,
+        /// Relevant key count.
+        relevant: u32,
+    },
+    /// A read observed entries of a transaction that aborted.
+    AbortedVisible {
+        /// The reading transaction.
+        read: TxnId,
+        /// The aborted update transaction.
+        update: TxnId,
+    },
+}
+
+/// Audit result.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Committed read-only transactions checked.
+    pub reads_checked: u64,
+    /// (read, update) pairs examined.
+    pub pairs_checked: u64,
+    /// Atomicity violations.
+    pub atomicity_violations: u64,
+    /// Version-exactness violations.
+    pub version_violations: u64,
+    /// Dirty reads of aborted transactions.
+    pub aborted_visible: u64,
+    /// First violations, capped (diagnostics).
+    pub samples: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// Total violations of all classes.
+    pub fn total_violations(&self) -> u64 {
+        self.atomicity_violations + self.version_violations + self.aborted_visible
+    }
+
+    /// Did the run pass cleanly?
+    pub fn clean(&self) -> bool {
+        self.total_violations() == 0
+    }
+}
+
+const SAMPLE_CAP: usize = 16;
+
+/// The auditor. Construct with the full set of run records, then call
+/// [`Auditor::check`].
+pub struct Auditor<'a> {
+    records: &'a [TxnRecord],
+}
+
+struct UpdateInfo<'a> {
+    record: &'a TxnRecord,
+    keys: HashSet<Key>,
+}
+
+impl<'a> Auditor<'a> {
+    /// New auditor over `records`.
+    pub fn new(records: &'a [TxnRecord]) -> Self {
+        Auditor { records }
+    }
+
+    /// Run all checks.
+    pub fn check(&self) -> AuditReport {
+        let mut report = AuditReport::default();
+
+        // Index update transactions by the journal keys they write.
+        let mut updates: HashMap<TxnId, UpdateInfo<'_>> = HashMap::new();
+        let mut writers_of: HashMap<Key, Vec<TxnId>> = HashMap::new();
+        for r in self.records {
+            if r.kind == TxnKind::ReadOnly || r.journal_keys_written.is_empty() {
+                continue;
+            }
+            for &k in &r.journal_keys_written {
+                writers_of.entry(k).or_default().push(r.id);
+            }
+            updates.insert(
+                r.id,
+                UpdateInfo {
+                    record: r,
+                    keys: r.journal_keys_written.iter().copied().collect(),
+                },
+            );
+        }
+
+        for read in self.records {
+            if read.kind != TxnKind::ReadOnly || read.status != TxnStatus::Committed {
+                continue;
+            }
+            report.reads_checked += 1;
+
+            // What the read observed, per journal key.
+            let mut observed: HashMap<Key, HashSet<TxnId>> = HashMap::new();
+            let mut journal_keys_read: Vec<Key> = Vec::new();
+            for obs in &read.reads {
+                if let Some(txns) = obs.value.journal_txns() {
+                    journal_keys_read.push(obs.key);
+                    observed.entry(obs.key).or_default().extend(txns);
+                }
+            }
+            if journal_keys_read.is_empty() {
+                continue;
+            }
+
+            // Candidate updates: anything writing a key this read read.
+            let mut candidates: HashSet<TxnId> = HashSet::new();
+            for k in &journal_keys_read {
+                if let Some(ws) = writers_of.get(k) {
+                    candidates.extend(ws.iter().copied());
+                }
+            }
+
+            for uid in candidates {
+                let u = &updates[&uid];
+                let relevant: Vec<Key> = journal_keys_read
+                    .iter()
+                    .copied()
+                    .filter(|k| u.keys.contains(k))
+                    .collect();
+                if relevant.is_empty() {
+                    continue;
+                }
+                report.pairs_checked += 1;
+                let seen = relevant
+                    .iter()
+                    .filter(|k| observed.get(k).is_some_and(|s| s.contains(&uid)))
+                    .count() as u32;
+                let relevant_n = relevant.len() as u32;
+
+                if u.record.status == TxnStatus::Aborted {
+                    if seen > 0 {
+                        report.aborted_visible += 1;
+                        push_sample(
+                            &mut report.samples,
+                            AuditViolation::AbortedVisible {
+                                read: read.id,
+                                update: uid,
+                            },
+                        );
+                    }
+                    continue;
+                }
+
+                // Atomicity: all-or-nothing.
+                if seen > 0 && seen < relevant_n {
+                    report.atomicity_violations += 1;
+                    push_sample(
+                        &mut report.samples,
+                        AuditViolation::Atomicity {
+                            read: read.id,
+                            update: uid,
+                            seen,
+                            relevant: relevant_n,
+                        },
+                    );
+                    continue; // exactness check would double-report
+                }
+
+                // Version exactness: needs versions on both sides and a
+                // committed update (in-flight updates have unknown versions).
+                if let (Some(rv), Some(uv), TxnStatus::Committed) =
+                    (read.version, u.record.version, u.record.status)
+                {
+                    let expected_visible = uv <= rv;
+                    let fully_visible = seen == relevant_n;
+                    let invisible = seen == 0;
+                    let ok = if expected_visible {
+                        fully_visible
+                    } else {
+                        invisible
+                    };
+                    if !ok {
+                        report.version_violations += 1;
+                        push_sample(
+                            &mut report.samples,
+                            AuditViolation::VersionExactness {
+                                read: read.id,
+                                read_version: rv,
+                                update: uid,
+                                update_version: uv,
+                                expected_visible,
+                                seen,
+                                relevant: relevant_n,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+fn push_sample(samples: &mut Vec<AuditViolation>, v: AuditViolation) {
+    if samples.len() < SAMPLE_CAP {
+        samples.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::ReadObservation;
+    use threev_model::{JournalEntry, NodeId, Value};
+    use threev_sim::SimTime;
+
+    fn tid(seq: u64) -> TxnId {
+        TxnId::new(seq, NodeId(0))
+    }
+
+    fn update_rec(seq: u64, keys: &[u64], version: Option<u32>, status: TxnStatus) -> TxnRecord {
+        let mut r = TxnRecord::submitted(
+            tid(seq),
+            TxnKind::Commuting,
+            SimTime(0),
+            keys.iter().map(|&k| Key(k)).collect(),
+        );
+        r.status = status;
+        r.completed = Some(SimTime(10));
+        r.version = version.map(VersionNo);
+        r
+    }
+
+    fn journal(writers: &[u64]) -> Value {
+        Value::Journal(
+            writers
+                .iter()
+                .map(|&s| JournalEntry {
+                    txn: tid(s),
+                    amount: 1,
+                    tag: 0,
+                })
+                .collect(),
+        )
+    }
+
+    fn read_rec(seq: u64, version: Option<u32>, obs: Vec<(u64, Value)>) -> TxnRecord {
+        let mut r = TxnRecord::submitted(tid(seq), TxnKind::ReadOnly, SimTime(0), vec![]);
+        r.status = TxnStatus::Committed;
+        r.completed = Some(SimTime(20));
+        r.version = version.map(VersionNo);
+        r.reads = obs
+            .into_iter()
+            .map(|(k, value)| ReadObservation {
+                key: Key(k),
+                version: version.map(VersionNo),
+                value,
+            })
+            .collect();
+        r
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        // U1 (v1) writes k1,k2; read at v1 sees it on both keys.
+        let records = vec![
+            update_rec(1, &[1, 2], Some(1), TxnStatus::Committed),
+            read_rec(2, Some(1), vec![(1, journal(&[1])), (2, journal(&[1]))]),
+        ];
+        let rep = Auditor::new(&records).check();
+        assert!(rep.clean(), "{rep:?}");
+        assert_eq!(rep.reads_checked, 1);
+        assert_eq!(rep.pairs_checked, 1);
+    }
+
+    #[test]
+    fn partial_visibility_is_atomicity_violation() {
+        // The paper's partial-charges anomaly: U1 visible on k1, not on k2.
+        let records = vec![
+            update_rec(1, &[1, 2], None, TxnStatus::Committed),
+            read_rec(2, None, vec![(1, journal(&[1])), (2, journal(&[]))]),
+        ];
+        let rep = Auditor::new(&records).check();
+        assert_eq!(rep.atomicity_violations, 1);
+        assert!(matches!(
+            rep.samples[0],
+            AuditViolation::Atomicity {
+                seen: 1,
+                relevant: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn future_version_must_be_invisible() {
+        // U1 committed at v2; a v1 read must not see it at all.
+        let records = vec![
+            update_rec(1, &[1, 2], Some(2), TxnStatus::Committed),
+            read_rec(2, Some(1), vec![(1, journal(&[1])), (2, journal(&[1]))]),
+        ];
+        let rep = Auditor::new(&records).check();
+        assert_eq!(rep.version_violations, 1);
+        assert!(matches!(
+            rep.samples[0],
+            AuditViolation::VersionExactness {
+                expected_visible: false,
+                seen: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn past_version_must_be_fully_visible() {
+        // U1 committed at v1; a v2 read missing it entirely is a violation.
+        let records = vec![
+            update_rec(1, &[1], Some(1), TxnStatus::Committed),
+            read_rec(2, Some(2), vec![(1, journal(&[]))]),
+        ];
+        let rep = Auditor::new(&records).check();
+        assert_eq!(rep.version_violations, 1);
+    }
+
+    #[test]
+    fn aborted_entries_must_not_be_seen() {
+        let records = vec![
+            update_rec(1, &[1], Some(1), TxnStatus::Aborted),
+            read_rec(2, Some(1), vec![(1, journal(&[1]))]),
+        ];
+        let rep = Auditor::new(&records).check();
+        assert_eq!(rep.aborted_visible, 1);
+        assert_eq!(rep.version_violations, 0, "aborted txns skip exactness");
+    }
+
+    #[test]
+    fn aborted_and_invisible_is_fine() {
+        let records = vec![
+            update_rec(1, &[1], Some(1), TxnStatus::Aborted),
+            read_rec(2, Some(1), vec![(1, journal(&[]))]),
+        ];
+        assert!(Auditor::new(&records).check().clean());
+    }
+
+    #[test]
+    fn unversioned_engines_skip_exactness() {
+        // No versions: full visibility or invisibility both acceptable.
+        let records = vec![
+            update_rec(1, &[1, 2], None, TxnStatus::Committed),
+            read_rec(2, None, vec![(1, journal(&[1])), (2, journal(&[1]))]),
+            read_rec(3, None, vec![(1, journal(&[])), (2, journal(&[]))]),
+        ];
+        let rep = Auditor::new(&records).check();
+        assert!(rep.clean(), "{rep:?}");
+        assert_eq!(rep.reads_checked, 2);
+    }
+
+    #[test]
+    fn in_flight_updates_checked_for_atomicity_only() {
+        let mut u = update_rec(1, &[1, 2], None, TxnStatus::InFlight);
+        u.completed = None;
+        let records = vec![
+            u,
+            read_rec(2, Some(1), vec![(1, journal(&[1])), (2, journal(&[]))]),
+        ];
+        let rep = Auditor::new(&records).check();
+        assert_eq!(rep.atomicity_violations, 1);
+        assert_eq!(rep.version_violations, 0);
+    }
+
+    #[test]
+    fn disjoint_keys_not_paired() {
+        let records = vec![
+            update_rec(1, &[5], Some(1), TxnStatus::Committed),
+            read_rec(2, Some(1), vec![(1, journal(&[]))]),
+        ];
+        let rep = Auditor::new(&records).check();
+        assert_eq!(rep.pairs_checked, 0);
+        assert!(rep.clean());
+    }
+
+    #[test]
+    fn counter_reads_are_ignored() {
+        let records = vec![
+            update_rec(1, &[1], Some(1), TxnStatus::Committed),
+            read_rec(2, Some(1), vec![(1, Value::Counter(42))]),
+        ];
+        let rep = Auditor::new(&records).check();
+        assert_eq!(rep.pairs_checked, 0, "no journal observations to audit");
+    }
+
+    #[test]
+    fn sample_cap_respected() {
+        let mut records = vec![update_rec(1, &[1, 2], None, TxnStatus::Committed)];
+        for i in 0..40 {
+            records.push(read_rec(
+                100 + i,
+                None,
+                vec![(1, journal(&[1])), (2, journal(&[]))],
+            ));
+        }
+        let rep = Auditor::new(&records).check();
+        assert_eq!(rep.atomicity_violations, 40);
+        assert_eq!(rep.samples.len(), SAMPLE_CAP);
+    }
+}

@@ -1,0 +1,219 @@
+//! Log-bucketed histograms.
+//!
+//! A compact HDR-style histogram: values are bucketed by (exponent, 1/16th
+//! sub-bucket), giving ≤ 6.25% relative error over the full `u64` range with
+//! a fixed 64×16 table. Good enough for latency percentiles, tiny, and
+//! mergeable — which is all the experiments need.
+
+/// Sub-buckets per power of two.
+const SUBS: usize = 16;
+/// log2(SUBS).
+const SUB_BITS: u32 = 4;
+
+/// A log-bucketed histogram of `u64` samples (microseconds, counts, …).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 64 * SUBS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUBS as u64 {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros();
+        let sub = (value >> (exp - SUB_BITS)) & (SUBS as u64 - 1);
+        ((exp - SUB_BITS + 1) as usize) * SUBS + sub as usize
+    }
+
+    /// Representative (upper-bound) value of bucket `i`.
+    fn bucket_value(i: usize) -> u64 {
+        if i < SUBS {
+            return i as u64;
+        }
+        let exp = (i / SUBS) as u32 + SUB_BITS - 1;
+        let sub = (i % SUBS) as u128;
+        let v = (1u128 << exp) + ((sub + 1) << (exp - SUB_BITS)) - 1;
+        v.min(u64::MAX as u128) as u64
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`); 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_value(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+    }
+
+    #[test]
+    fn exact_for_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.mean(), 7.5);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, expected) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
+            let got = h.quantile(q) as f64;
+            let err = (got - expected).abs() / expected;
+            assert!(
+                err < 0.07,
+                "q={q}: got {got}, expected {expected}, err {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for v in 0..1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 17)
+            } else {
+                b.record(v * 17)
+            }
+            c.record(v * 17);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.mean(), c.mean());
+        assert_eq!(a.p50(), c.p50());
+        assert_eq!(a.max(), c.max());
+        assert_eq!(a.min(), c.min());
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 0);
+        assert!(h.quantile(1.0) >= u64::MAX / 2);
+    }
+
+    #[test]
+    fn quantile_clamped_to_observed_range() {
+        let mut h = Histogram::new();
+        h.record(1000);
+        assert_eq!(h.quantile(0.0), 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.p50(), 1000);
+    }
+}

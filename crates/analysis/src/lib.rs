@@ -1,0 +1,33 @@
+//! Measurement and verification toolkit for the 3V reproduction.
+//!
+//! Every engine in the workspace produces the same observable artifacts —
+//! per-transaction [`records::TxnRecord`]s filled in by the shared client
+//! actor — and this crate turns them into the numbers and verdicts the
+//! experiments report:
+//!
+//! * [`hist`] — log-bucketed latency histograms (own implementation; no
+//!   external dependency);
+//! * [`records`] — transaction records, run summaries, throughput helpers;
+//! * [`audit`] — the serializability/atomicity auditor. Journals tag every
+//!   entry with its writing transaction, so the auditor can check the
+//!   paper's Theorem 4.1 *exactly*: a version-`v` read observes precisely
+//!   the committed update transactions with version ≤ `v`, all-or-nothing;
+//! * [`staleness`] — how far behind reads run, given the version timeline
+//!   published by the advancement coordinator;
+//! * [`report`] — fixed-width tables and CSV output for the `exp_*`
+//!   harnesses.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod audit;
+pub mod hist;
+pub mod records;
+pub mod report;
+pub mod staleness;
+
+pub use audit::{AuditReport, AuditViolation, Auditor};
+pub use hist::Histogram;
+pub use records::{ReadObservation, RunSummary, TxnRecord, TxnStatus};
+pub use report::Table;
+pub use staleness::VersionTimeline;

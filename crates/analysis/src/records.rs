@@ -1,0 +1,206 @@
+//! Per-transaction records and run summaries.
+//!
+//! The shared client actor (in `threev-core`) fills a [`TxnRecord`] for
+//! every transaction it submits, regardless of which engine is running.
+//! Everything the experiments report — throughput, latency, staleness,
+//! audit verdicts — derives from these records plus engine-side statistics.
+
+use threev_model::{Key, TxnId, TxnKind, Value, VersionNo};
+use threev_sim::{SimDuration, SimTime};
+
+use crate::hist::Histogram;
+
+/// One observed read: the key, the version the store actually served
+/// (`None` for engines without versioning), and the value snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadObservation {
+    /// Key read.
+    pub key: Key,
+    /// Version served, if the engine versions data.
+    pub version: Option<VersionNo>,
+    /// Value snapshot at read time.
+    pub value: Value,
+}
+
+/// Lifecycle status of a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Submitted, not yet finished when the run ended.
+    InFlight,
+    /// Committed (for 3V commuting transactions: whole tree completed).
+    Committed,
+    /// Aborted (NC3V global abort, or compensated well-behaved abort).
+    Aborted,
+}
+
+/// Everything the client learns about one transaction.
+#[derive(Clone, Debug)]
+pub struct TxnRecord {
+    /// Transaction id.
+    pub id: TxnId,
+    /// Kind (read-only / commuting / non-commuting).
+    pub kind: TxnKind,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion (commit or abort) time.
+    pub completed: Option<SimTime>,
+    /// Final status.
+    pub status: TxnStatus,
+    /// Version the transaction executed in, if the engine versions data.
+    pub version: Option<VersionNo>,
+    /// Reads observed (read-only transactions and reads inside updates).
+    pub reads: Vec<ReadObservation>,
+    /// Journal keys this transaction appends to (from its plan) — the
+    /// ground truth the auditor checks against.
+    pub journal_keys_written: Vec<Key>,
+    /// Times the transaction was internally retried (wait-die victims).
+    pub retries: u32,
+}
+
+impl TxnRecord {
+    /// New in-flight record.
+    pub fn submitted(
+        id: TxnId,
+        kind: TxnKind,
+        at: SimTime,
+        journal_keys_written: Vec<Key>,
+    ) -> Self {
+        TxnRecord {
+            id,
+            kind,
+            submitted: at,
+            completed: None,
+            status: TxnStatus::InFlight,
+            version: None,
+            reads: Vec::new(),
+            journal_keys_written,
+            retries: 0,
+        }
+    }
+
+    /// End-to-end latency, if finished.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.completed.map(|c| c.since(self.submitted))
+    }
+}
+
+/// Aggregate summary of a run, engine-agnostic.
+#[derive(Clone, Debug, Default)]
+pub struct RunSummary {
+    /// Committed transactions by kind: (read-only, commuting, non-commuting).
+    pub committed: (u64, u64, u64),
+    /// Aborted transactions.
+    pub aborted: u64,
+    /// Transactions still in flight at the end of the run.
+    pub in_flight: u64,
+    /// Committed-transaction throughput in txn/s of virtual time.
+    pub throughput_tps: f64,
+    /// Latency histogram of committed read-only transactions (µs).
+    pub read_latency: Histogram,
+    /// Latency histogram of committed update transactions (µs).
+    pub update_latency: Histogram,
+}
+
+impl RunSummary {
+    /// Summarise records over the window `[start, end]` of virtual time
+    /// (throughput counts transactions *completing* in the window).
+    pub fn from_records(records: &[TxnRecord], start: SimTime, end: SimTime) -> Self {
+        let mut s = RunSummary::default();
+        let mut completed_in_window = 0u64;
+        for r in records {
+            match r.status {
+                TxnStatus::InFlight => s.in_flight += 1,
+                TxnStatus::Aborted => s.aborted += 1,
+                TxnStatus::Committed => {
+                    match r.kind {
+                        TxnKind::ReadOnly => s.committed.0 += 1,
+                        TxnKind::Commuting => s.committed.1 += 1,
+                        TxnKind::NonCommuting => s.committed.2 += 1,
+                    }
+                    let done = r.completed.expect("committed implies completed");
+                    if done >= start && done <= end {
+                        completed_in_window += 1;
+                    }
+                    if let Some(lat) = r.latency() {
+                        match r.kind {
+                            TxnKind::ReadOnly => s.read_latency.record(lat.as_micros()),
+                            _ => s.update_latency.record(lat.as_micros()),
+                        }
+                    }
+                }
+            }
+        }
+        let window = end.since(start).as_secs_f64();
+        s.throughput_tps = if window > 0.0 {
+            completed_in_window as f64 / window
+        } else {
+            0.0
+        };
+        s
+    }
+
+    /// Total committed transactions.
+    pub fn total_committed(&self) -> u64 {
+        self.committed.0 + self.committed.1 + self.committed.2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threev_model::NodeId;
+
+    fn rec(
+        seq: u64,
+        kind: TxnKind,
+        sub_us: u64,
+        done_us: Option<u64>,
+        status: TxnStatus,
+    ) -> TxnRecord {
+        let mut r = TxnRecord::submitted(TxnId::new(seq, NodeId(0)), kind, SimTime(sub_us), vec![]);
+        r.completed = done_us.map(SimTime);
+        r.status = status;
+        r
+    }
+
+    #[test]
+    fn latency_requires_completion() {
+        let r = rec(1, TxnKind::ReadOnly, 10, None, TxnStatus::InFlight);
+        assert_eq!(r.latency(), None);
+        let r = rec(1, TxnKind::ReadOnly, 10, Some(25), TxnStatus::Committed);
+        assert_eq!(r.latency(), Some(SimDuration(15)));
+    }
+
+    #[test]
+    fn summary_counts_and_throughput() {
+        let records = vec![
+            rec(1, TxnKind::ReadOnly, 0, Some(100), TxnStatus::Committed),
+            rec(2, TxnKind::Commuting, 0, Some(200), TxnStatus::Committed),
+            rec(
+                3,
+                TxnKind::Commuting,
+                0,
+                Some(2_000_000),
+                TxnStatus::Committed,
+            ),
+            rec(4, TxnKind::NonCommuting, 0, Some(300), TxnStatus::Committed),
+            rec(5, TxnKind::Commuting, 0, None, TxnStatus::InFlight),
+            rec(6, TxnKind::Commuting, 0, Some(400), TxnStatus::Aborted),
+        ];
+        let s = RunSummary::from_records(&records, SimTime::ZERO, SimTime(1_000_000));
+        assert_eq!(s.committed, (1, 2, 1));
+        assert_eq!(s.total_committed(), 4);
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.in_flight, 1);
+        // 3 commits inside the 1-second window.
+        assert_eq!(s.throughput_tps, 3.0);
+        assert_eq!(s.read_latency.count(), 1);
+        assert_eq!(s.update_latency.count(), 3);
+    }
+
+    #[test]
+    fn zero_window_throughput_is_zero() {
+        let s = RunSummary::from_records(&[], SimTime(5), SimTime(5));
+        assert_eq!(s.throughput_tps, 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the log-bucketed histogram against exact statistics
+//! computed from the raw sample vector.
+
+use proptest::prelude::*;
+use threev_analysis::Histogram;
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+proptest! {
+    #[test]
+    fn quantiles_track_exact_within_bucket_error(
+        mut samples in proptest::collection::vec(0u64..10_000_000, 1..2000),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), samples[0]);
+        prop_assert_eq!(h.max(), *samples.last().unwrap());
+        let exact_mean = samples.iter().map(|&x| x as f64).sum::<f64>() / samples.len() as f64;
+        prop_assert!((h.mean() - exact_mean).abs() < 1e-6);
+
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            let approx = h.quantile(q) as f64;
+            let exact = exact_quantile(&samples, q) as f64;
+            // 1/16 sub-bucketing: <= 6.25% relative error, plus the clamp
+            // to the observed range.
+            let tolerance = (exact * 0.0625).max(1.0);
+            prop_assert!(
+                (approx - exact).abs() <= tolerance,
+                "q={}: approx={} exact={}",
+                q, approx, exact
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_joint_recording(
+        a in proptest::collection::vec(0u64..1_000_000, 0..500),
+        b in proptest::collection::vec(0u64..1_000_000, 0..500),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut joint = Histogram::new();
+        for &x in &a {
+            ha.record(x);
+            joint.record(x);
+        }
+        for &x in &b {
+            hb.record(x);
+            joint.record(x);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), joint.count());
+        prop_assert_eq!(ha.min(), joint.min());
+        prop_assert_eq!(ha.max(), joint.max());
+        for q in [0.25, 0.5, 0.75, 0.99] {
+            prop_assert_eq!(ha.quantile(q), joint.quantile(q));
+        }
+    }
+
+    #[test]
+    fn quantile_monotone_in_q(samples in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let qs = [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(h.quantile(w[0]) <= h.quantile(w[1]));
+        }
+    }
+}

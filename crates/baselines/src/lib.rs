@@ -1,0 +1,32 @@
+//! Baseline protocols the paper compares against (§1, "four options"):
+//!
+//! * [`two_pc`] — **Global Synchronization**: every global transaction
+//!   (reads included) runs strict two-phase locking with wait-die and
+//!   two-phase commitment. Globally serializable, but user transactions
+//!   wait on locks and commit round-trips — the cost 3V eliminates;
+//! * [`no_coord`] — **No Coordination**: subtransactions execute the moment
+//!   they arrive, no versions, no locks, no commit protocol. Maximum
+//!   throughput, but reads observe partially-applied transactions (the
+//!   "partial charges on a bill" anomaly, measured by experiment X5);
+//! * [`manual`] — **Manual Versioning**: nodes switch to a fresh version on
+//!   a fixed local period and expose the previous version to reads after a
+//!   conservative delay, with *no coordination of the switchover*. Late
+//!   subtransactions miss the copied forward version, so correctness is
+//!   only probabilistic — and reads run a full period behind.
+//!
+//! All three engines are driven by the same client actor as the 3V engine
+//! (via [`threev_core::msg::ProtocolMsg`]), so records, audits, and
+//! summaries are directly comparable.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod manual;
+pub mod no_coord;
+pub mod two_pc;
+
+mod tree;
+
+pub use manual::{ManualCluster, ManualConfig};
+pub use no_coord::NoCoordCluster;
+pub use two_pc::{TwoPcCluster, TwoPcConfig};

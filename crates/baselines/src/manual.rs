@@ -1,0 +1,606 @@
+//! The **Manual Versioning** baseline (paper §1, option 3).
+//!
+//! "One can accumulate update transactions for some period, say a month, in
+//! a new version that is not available for reading. … Some time after the
+//! month ends, we hope that all updates have been applied to that month's
+//! version … Meanwhile, accumulation of update transactions for the next
+//! month takes place in a new version."
+//!
+//! Each node switches its *update* version on a fixed local period (with
+//! per-node clock jitter — the switchover is **not coordinated**) and its
+//! *read* version a conservative `read_delay` later. Two defects follow,
+//! both quoted from the paper and both measurable here:
+//!
+//! * **Lost stragglers** — a subtransaction delayed past the switchover
+//!   writes the old version after newer copies were taken, so "a bill …
+//!   may still report only a part of the charges" (updates use
+//!   [`threev_storage::Store::update_exact`], not 3V's update-all-≥ rule);
+//! * **Staleness** — reads run a full period (plus delay) behind, and the
+//!   delay must be set "conservatively high" to keep violations rare.
+
+use threev_analysis::{ReadObservation, TxnRecord};
+use threev_model::{NodeId, OpStep, Schema, SubtxnId, SubtxnPlan, TxnId, TxnKind, VersionNo};
+use threev_sim::{Actor, Ctx, SimConfig, SimDuration, SimStats, SimTime, Simulation};
+use threev_storage::{Store, StoreError, StoreStats};
+
+use rand::Rng;
+use threev_analysis::VersionTimeline;
+use threev_core::client::{Arrival, ClientActor};
+use threev_core::msg::{ClientEvent, ProtocolMsg};
+
+use std::collections::HashMap;
+
+use crate::tree::{Drained, SubTracker, TrackerTable};
+
+/// Manual-versioning configuration.
+#[derive(Clone, Debug)]
+pub struct ManualConfig {
+    /// Accumulation period (the paper's "month").
+    pub period: SimDuration,
+    /// Conservative delay after the period ends before reads switch.
+    pub read_delay: SimDuration,
+    /// Maximum per-switch clock jitter between nodes (uncoordinated
+    /// switchover).
+    pub jitter: SimDuration,
+}
+
+impl Default for ManualConfig {
+    fn default() -> Self {
+        ManualConfig {
+            period: SimDuration::from_millis(100),
+            read_delay: SimDuration::from_millis(20),
+            jitter: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// Messages of the manual-versioning engine.
+#[derive(Clone, Debug)]
+pub enum ManMsg {
+    /// Client submission.
+    Submit {
+        /// Transaction id.
+        txn: TxnId,
+        /// Read-only or update.
+        kind: TxnKind,
+        /// Plan root.
+        plan: SubtxnPlan,
+        /// Reporting actor.
+        client: NodeId,
+    },
+    /// Child subtransaction shipment (carries the root's version).
+    Subtxn {
+        /// Transaction id.
+        txn: TxnId,
+        /// The version stamped by the root node.
+        version: VersionNo,
+        /// Plan subtree.
+        plan: SubtxnPlan,
+        /// Parent subtransaction.
+        parent_sub: SubtxnId,
+        /// Reporting actor.
+        client: NodeId,
+    },
+    /// Completion notice up the tree.
+    SubtreeDone {
+        /// Transaction id.
+        txn: TxnId,
+        /// Parent subtransaction notified.
+        parent_sub: SubtxnId,
+        /// Executing nodes.
+        participants: Vec<NodeId>,
+    },
+    /// Node → client: transaction finished.
+    TxnDone {
+        /// Transaction id.
+        txn: TxnId,
+        /// Version the transaction was stamped with.
+        version: VersionNo,
+    },
+    /// Node → client: read observations.
+    ReadResults {
+        /// Transaction id.
+        txn: TxnId,
+        /// Observations.
+        reads: Vec<ReadObservation>,
+    },
+}
+
+impl ProtocolMsg for ManMsg {
+    fn submit(
+        txn: TxnId,
+        kind: TxnKind,
+        plan: SubtxnPlan,
+        client: NodeId,
+        _fail_node: Option<NodeId>,
+    ) -> Self {
+        ManMsg::Submit {
+            txn,
+            kind,
+            plan,
+            client,
+        }
+    }
+
+    fn client_event(self) -> Option<ClientEvent> {
+        match self {
+            ManMsg::TxnDone { txn, version } => Some(ClientEvent::Done {
+                txn,
+                version: Some(version),
+                committed: true,
+            }),
+            ManMsg::ReadResults { txn, reads } => Some(ClientEvent::Reads { txn, reads }),
+            _ => None,
+        }
+    }
+}
+
+/// Observable engine statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ManualStats {
+    /// Updates dropped because their version was already garbage-collected
+    /// (arrived far too late — data loss).
+    pub lost_updates: u64,
+    /// Reads that found no visible version (served nothing).
+    pub lost_reads: u64,
+    /// Update-version switches performed.
+    pub update_switches: u64,
+    /// Read-version switches performed.
+    pub read_switches: u64,
+}
+
+const TIMER_UPDATE_SWITCH: u64 = 0;
+const TIMER_READ_SWITCH: u64 = 1;
+
+/// A manual-versioning node.
+pub struct ManualNode {
+    me: NodeId,
+    cfg: ManualConfig,
+    vu: VersionNo,
+    vr: VersionNo,
+    store: Store,
+    trackers: TrackerTable,
+    /// Version each locally-executed subtransaction was stamped with
+    /// (needed to report the root's version at completion).
+    versions: HashMap<SubtxnId, VersionNo>,
+    stats: ManualStats,
+}
+
+impl ManualNode {
+    /// Build from the schema; starts like 3V with `vr = 0`, `vu = 1`.
+    pub fn new(schema: &Schema, me: NodeId, cfg: ManualConfig) -> Self {
+        ManualNode {
+            me,
+            cfg,
+            vu: VersionNo(1),
+            vr: VersionNo(0),
+            store: Store::from_schema(schema, me),
+            trackers: TrackerTable::default(),
+            versions: HashMap::new(),
+            stats: ManualStats::default(),
+        }
+    }
+
+    /// The node's store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &ManualStats {
+        &self.stats
+    }
+
+    /// Current read version.
+    pub fn vr(&self) -> VersionNo {
+        self.vr
+    }
+
+    fn execute(
+        &mut self,
+        ctx: &mut Ctx<'_, ManMsg>,
+        txn: TxnId,
+        version: VersionNo,
+        plan: SubtxnPlan,
+        parent: Option<(NodeId, SubtxnId)>,
+        client: NodeId,
+    ) {
+        let mut reads = Vec::new();
+        for step in &plan.steps {
+            match step {
+                OpStep::Read(key) => match self.store.read_visible(*key, version) {
+                    Ok((ver, value)) => reads.push(ReadObservation {
+                        key: *key,
+                        version: Some(ver),
+                        value,
+                    }),
+                    Err(StoreError::NoVisibleVersion { .. }) => self.stats.lost_reads += 1,
+                    Err(e) => panic!("{}: read: {e}", self.me),
+                },
+                OpStep::Update(key, op) => {
+                    // The defining difference from 3V: write exactly the
+                    // stamped version. Newer copies never hear about it.
+                    match self.store.update_exact(*key, version, *op, txn) {
+                        Ok(_) => {}
+                        Err(StoreError::NoVisibleVersion { .. }) => {
+                            self.stats.lost_updates += 1;
+                        }
+                        Err(e) => panic!("{}: update: {e}", self.me),
+                    }
+                }
+            }
+        }
+        let sub_id = self.trackers.new_sub_id(self.me);
+        self.versions.insert(sub_id, version);
+        for child in &plan.children {
+            ctx.send_tagged(
+                child.node,
+                ManMsg::Subtxn {
+                    txn,
+                    version,
+                    plan: child.clone(),
+                    parent_sub: sub_id,
+                    client,
+                },
+                "subtxn",
+            );
+        }
+        if !reads.is_empty() {
+            ctx.send_tagged(client, ManMsg::ReadResults { txn, reads }, "client");
+        }
+        self.trackers.insert(
+            sub_id,
+            SubTracker {
+                txn,
+                parent,
+                client,
+                pending_children: plan.children.len() as u32,
+                participants: Default::default(),
+                clean: true,
+            },
+        );
+        if plan.children.is_empty() {
+            let drained = self.trackers.finish(self.me, sub_id);
+            self.versions.remove(&sub_id);
+            self.dispatch_drained(ctx, drained, version);
+        }
+    }
+
+    fn dispatch_drained(
+        &mut self,
+        ctx: &mut Ctx<'_, ManMsg>,
+        drained: Drained,
+        version: VersionNo,
+    ) {
+        match drained {
+            Drained::Parent {
+                txn,
+                node,
+                parent_sub,
+                participants,
+                ..
+            } => {
+                ctx.send_tagged(
+                    node,
+                    ManMsg::SubtreeDone {
+                        txn,
+                        parent_sub,
+                        participants: participants.into_iter().collect(),
+                    },
+                    "notice",
+                );
+            }
+            Drained::Root(tracker, _) => {
+                ctx.send_tagged(
+                    tracker.client,
+                    ManMsg::TxnDone {
+                        txn: tracker.txn,
+                        version,
+                    },
+                    "client",
+                );
+            }
+            Drained::Pending => {}
+        }
+    }
+
+    fn schedule_switch(&mut self, ctx: &mut Ctx<'_, ManMsg>, token: u64, base: SimDuration) {
+        let jitter = if self.cfg.jitter.as_micros() == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration(ctx.rng().gen_range(0..=self.cfg.jitter.as_micros()))
+        };
+        ctx.schedule(base + jitter, token);
+    }
+}
+
+impl Actor for ManualNode {
+    type Msg = ManMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ManMsg>) {
+        let period = self.cfg.period;
+        let delay = self.cfg.read_delay;
+        self.schedule_switch(ctx, TIMER_UPDATE_SWITCH, period);
+        self.schedule_switch(ctx, TIMER_READ_SWITCH, period + delay);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ManMsg>, from: NodeId, msg: ManMsg) {
+        match msg {
+            ManMsg::Submit {
+                txn,
+                kind,
+                plan,
+                client,
+            } => {
+                let version = if kind == TxnKind::ReadOnly {
+                    self.vr
+                } else {
+                    self.vu
+                };
+                self.execute(ctx, txn, version, plan, None, client);
+            }
+            ManMsg::Subtxn {
+                txn,
+                version,
+                plan,
+                parent_sub,
+                client,
+            } => self.execute(ctx, txn, version, plan, Some((from, parent_sub)), client),
+            ManMsg::SubtreeDone {
+                parent_sub,
+                participants,
+                ..
+            } => {
+                // Recover the version this subtransaction was stamped with
+                // before the tracker is (possibly) consumed.
+                let version = self.versions.get(&parent_sub).copied().unwrap_or(self.vu);
+                let drained = self
+                    .trackers
+                    .child_done(self.me, parent_sub, participants, true);
+                if !matches!(drained, Drained::Pending) {
+                    self.versions.remove(&parent_sub);
+                }
+                self.dispatch_drained(ctx, drained, version);
+            }
+            ManMsg::TxnDone { .. } | ManMsg::ReadResults { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ManMsg>, token: u64) {
+        let period = self.cfg.period;
+        match token {
+            TIMER_UPDATE_SWITCH => {
+                self.vu = self.vu.next();
+                self.stats.update_switches += 1;
+                self.schedule_switch(ctx, TIMER_UPDATE_SWITCH, period);
+            }
+            TIMER_READ_SWITCH => {
+                self.vr = self.vr.next();
+                self.stats.read_switches += 1;
+                // Keep one version behind the readable one for stragglers;
+                // GC everything older.
+                self.store.gc(self.vr.prev());
+                self.schedule_switch(ctx, TIMER_READ_SWITCH, period);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One actor of a manual-versioning cluster.
+#[allow(clippy::large_enum_variant)]
+pub enum ManActor {
+    /// A database node.
+    Node(ManualNode),
+    /// The workload driver.
+    Client(ClientActor<ManMsg>),
+}
+
+impl Actor for ManActor {
+    type Msg = ManMsg;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ManMsg>) {
+        match self {
+            ManActor::Node(n) => n.on_start(ctx),
+            ManActor::Client(c) => c.on_start(ctx),
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ManMsg>, from: NodeId, msg: ManMsg) {
+        match self {
+            ManActor::Node(n) => n.on_message(ctx, from, msg),
+            ManActor::Client(c) => c.on_message(ctx, from, msg),
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ManMsg>, token: u64) {
+        match self {
+            ManActor::Node(n) => n.on_timer(ctx, token),
+            ManActor::Client(c) => c.on_timer(ctx, token),
+        }
+    }
+}
+
+/// A simulated manual-versioning cluster (nodes `0..n`, client `n`).
+pub struct ManualCluster {
+    sim: Simulation<ManActor>,
+    n_nodes: u16,
+    cfg: ManualConfig,
+}
+
+impl ManualCluster {
+    /// Build over `schema` with the given arrivals.
+    pub fn new(
+        schema: &Schema,
+        n_nodes: u16,
+        sim: SimConfig,
+        cfg: ManualConfig,
+        arrivals: Vec<Arrival>,
+    ) -> Self {
+        let mut actors: Vec<ManActor> = (0..n_nodes)
+            .map(|i| ManActor::Node(ManualNode::new(schema, NodeId(i), cfg.clone())))
+            .collect();
+        actors.push(ManActor::Client(ClientActor::new(arrivals)));
+        ManualCluster {
+            sim: Simulation::new(actors, sim),
+            n_nodes,
+            cfg,
+        }
+    }
+
+    /// Run all events up to `until` (the epoch timers re-arm forever, so
+    /// quiescence never happens; use a horizon).
+    pub fn run_until(&mut self, until: SimTime) {
+        self.sim.run_until(until)
+    }
+
+    /// Transaction records.
+    pub fn records(&self) -> &[TxnRecord] {
+        match &self.sim.actors()[self.n_nodes as usize] {
+            ManActor::Client(c) => c.records(),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Kernel statistics.
+    pub fn sim_stats(&self) -> &SimStats {
+        self.sim.stats()
+    }
+
+    /// A node (read access).
+    pub fn node(&self, i: u16) -> &ManualNode {
+        match &self.sim.actors()[i as usize] {
+            ManActor::Node(n) => n,
+            _ => unreachable!(),
+        }
+    }
+
+    /// A node's storage statistics.
+    pub fn store_stats(&self, i: u16) -> &StoreStats {
+        self.node(i).store().stats()
+    }
+
+    /// The *nominal* version timeline: version `v` closes when the period
+    /// that accumulated it ends (no coordinator exists to record actual
+    /// instants, so staleness is computed against the schedule).
+    pub fn nominal_timeline(&self) -> VersionTimeline {
+        let mut t = VersionTimeline::new();
+        let period = self.cfg.period.as_micros();
+        let switches = (0..self.n_nodes)
+            .map(|i| self.node(i).stats().update_switches)
+            .max()
+            .unwrap_or(0);
+        for k in 1..=switches {
+            // Version k accumulated during [(k-1)·period, k·period); it
+            // closed at update switch k, i.e. nominally at k·period.
+            t.record_closed(VersionNo(k as u32), SimTime(period * k));
+        }
+        t
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Aggregate lost updates (data loss!) across nodes.
+    pub fn lost_updates(&self) -> u64 {
+        (0..self.n_nodes)
+            .map(|i| self.node(i).stats().lost_updates)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threev_analysis::Auditor;
+    use threev_model::{Key, KeyDecl, TxnPlan, UpdateOp};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            KeyDecl::journal(Key(1), NodeId(0)),
+            KeyDecl::journal(Key(2), NodeId(1)),
+        ])
+    }
+
+    fn visit() -> TxnPlan {
+        TxnPlan::commuting(
+            SubtxnPlan::new(NodeId(0))
+                .update(Key(1), UpdateOp::Append { amount: 5, tag: 1 })
+                .child(
+                    SubtxnPlan::new(NodeId(1))
+                        .update(Key(2), UpdateOp::Append { amount: 5, tag: 1 }),
+                ),
+        )
+    }
+
+    fn inquiry() -> TxnPlan {
+        TxnPlan::read_only(
+            SubtxnPlan::new(NodeId(0))
+                .read(Key(1))
+                .child(SubtxnPlan::new(NodeId(1)).read(Key(2))),
+        )
+    }
+
+    #[test]
+    fn epochs_rotate_and_reads_lag() {
+        let cfg = ManualConfig {
+            period: SimDuration::from_millis(50),
+            read_delay: SimDuration::from_millis(10),
+            jitter: SimDuration::from_micros(500),
+        };
+        let mut arrivals = Vec::new();
+        for i in 0..20u64 {
+            arrivals.push(Arrival::at(SimTime(i * 10_000), visit()));
+        }
+        arrivals.push(Arrival::at(SimTime(190_000), inquiry()));
+        let mut cluster = ManualCluster::new(&schema(), 2, SimConfig::seeded(17), cfg, arrivals);
+        cluster.run_until(SimTime(400_000));
+        let node = cluster.node(0);
+        assert!(node.stats().update_switches >= 6);
+        assert!(node.stats().read_switches >= 5);
+        // The read at t=190ms reads version 2 (periods 0..50, 50..100 done;
+        // read switch lags by 10ms, so vr was 3 at most). It must lag vu.
+        let read = cluster
+            .records()
+            .iter()
+            .find(|r| r.kind == TxnKind::ReadOnly)
+            .unwrap()
+            .clone();
+        let seen_version = read.reads[0].version.unwrap();
+        assert!(seen_version < VersionNo(5), "reads lag the update version");
+    }
+
+    #[test]
+    fn tight_delay_loses_or_tears_updates() {
+        // A hostile setup: spiky latency + zero read delay. Stragglers land
+        // after the switchover; either the audit tears or updates are lost.
+        let cfg = ManualConfig {
+            period: SimDuration::from_millis(10),
+            read_delay: SimDuration::ZERO,
+            jitter: SimDuration::from_millis(3),
+        };
+        let sim = SimConfig {
+            latency: threev_sim::LatencyModel::Spiky {
+                base: SimDuration::from_micros(400),
+                spike_ppm: 120_000,
+                spike_factor: 40, // 16ms spikes > period
+            },
+            ..SimConfig::seeded(23)
+        };
+        let mut arrivals = Vec::new();
+        for i in 0..400u64 {
+            arrivals.push(Arrival::at(SimTime(i * 500), visit()));
+            if i % 4 == 0 {
+                arrivals.push(Arrival::at(SimTime(i * 500 + 250), inquiry()));
+            }
+        }
+        let mut cluster = ManualCluster::new(&schema(), 2, sim, cfg, arrivals);
+        cluster.run_until(SimTime(400_000));
+        let report = Auditor::new(cluster.records()).check();
+        let broken = report.total_violations() + cluster.lost_updates();
+        assert!(
+            broken > 0,
+            "expected torn reads or lost updates, report={report:?}, lost={}",
+            cluster.lost_updates()
+        );
+    }
+}

@@ -1,0 +1,382 @@
+//! The **No Coordination** baseline (paper §1, option 2).
+//!
+//! "Global transactions can run without global synchronization between
+//! nodes. This way, there is no performance loss due to coordination, but
+//! correctness is sacrificed."
+//!
+//! Subtransactions execute the instant they arrive against a single,
+//! unversioned copy of the data. Reads therefore observe partially-applied
+//! update transactions — the `fw11(x1); r21(x1); r22(x2); w12(x2)g`
+//! schedule the paper calls out, where "a patient enquiring about his
+//! balance due will see only partial charges". Experiment X5 counts those
+//! anomalies with the auditor; this engine is also the throughput
+//! upper bound every coordinated scheme is measured against.
+
+use threev_analysis::{ReadObservation, TxnRecord};
+use threev_model::{NodeId, OpStep, Schema, SubtxnId, SubtxnPlan, TxnId, TxnKind, VersionNo};
+use threev_sim::{Actor, Ctx, QuiesceOutcome, SimConfig, SimStats, SimTime, Simulation};
+use threev_storage::{Store, StoreStats};
+
+use threev_core::client::{Arrival, ClientActor};
+use threev_core::msg::{ClientEvent, ProtocolMsg};
+
+use crate::tree::{Drained, SubTracker, TrackerTable};
+
+/// Messages of the no-coordination engine.
+#[derive(Clone, Debug)]
+pub enum NcdMsg {
+    /// Client submission.
+    Submit {
+        /// Transaction id.
+        txn: TxnId,
+        /// Plan root.
+        plan: SubtxnPlan,
+        /// Reporting actor.
+        client: NodeId,
+    },
+    /// Child subtransaction shipment.
+    Subtxn {
+        /// Transaction id.
+        txn: TxnId,
+        /// Plan subtree.
+        plan: SubtxnPlan,
+        /// Parent subtransaction.
+        parent_sub: SubtxnId,
+        /// Reporting actor.
+        client: NodeId,
+    },
+    /// Completion notice up the tree.
+    SubtreeDone {
+        /// Transaction id.
+        txn: TxnId,
+        /// Parent subtransaction notified.
+        parent_sub: SubtxnId,
+        /// Executing nodes (unused here, kept for parity).
+        participants: Vec<NodeId>,
+    },
+    /// Node → client: transaction finished.
+    TxnDone {
+        /// Transaction id.
+        txn: TxnId,
+    },
+    /// Node → client: read observations.
+    ReadResults {
+        /// Transaction id.
+        txn: TxnId,
+        /// Observations.
+        reads: Vec<ReadObservation>,
+    },
+}
+
+impl ProtocolMsg for NcdMsg {
+    fn submit(
+        txn: TxnId,
+        _kind: TxnKind,
+        plan: SubtxnPlan,
+        client: NodeId,
+        _fail_node: Option<NodeId>,
+    ) -> Self {
+        NcdMsg::Submit { txn, plan, client }
+    }
+
+    fn client_event(self) -> Option<ClientEvent> {
+        match self {
+            NcdMsg::TxnDone { txn } => Some(ClientEvent::Done {
+                txn,
+                version: None,
+                committed: true,
+            }),
+            NcdMsg::ReadResults { txn, reads } => Some(ClientEvent::Reads { txn, reads }),
+            _ => None,
+        }
+    }
+}
+
+/// A no-coordination node: one unversioned store, immediate execution.
+pub struct NoCoordNode {
+    me: NodeId,
+    store: Store,
+    trackers: TrackerTable,
+}
+
+impl NoCoordNode {
+    /// Build from the schema.
+    pub fn new(schema: &Schema, me: NodeId) -> Self {
+        NoCoordNode {
+            me,
+            store: Store::from_schema(schema, me),
+            trackers: TrackerTable::default(),
+        }
+    }
+
+    /// The node's store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    fn execute(
+        &mut self,
+        ctx: &mut Ctx<'_, NcdMsg>,
+        txn: TxnId,
+        plan: SubtxnPlan,
+        parent: Option<(NodeId, SubtxnId)>,
+        client: NodeId,
+    ) {
+        let mut reads = Vec::new();
+        for step in &plan.steps {
+            match step {
+                OpStep::Read(key) => {
+                    let (_, value) = self
+                        .store
+                        .read_visible(*key, VersionNo::ZERO)
+                        .unwrap_or_else(|e| panic!("{}: read: {e}", self.me));
+                    reads.push(ReadObservation {
+                        key: *key,
+                        version: None,
+                        value,
+                    });
+                }
+                OpStep::Update(key, op) => {
+                    self.store
+                        .update(*key, VersionNo::ZERO, *op, txn, None)
+                        .unwrap_or_else(|e| panic!("{}: update: {e}", self.me));
+                }
+            }
+        }
+        let sub_id = self.trackers.new_sub_id(self.me);
+        for child in &plan.children {
+            ctx.send_tagged(
+                child.node,
+                NcdMsg::Subtxn {
+                    txn,
+                    plan: child.clone(),
+                    parent_sub: sub_id,
+                    client,
+                },
+                "subtxn",
+            );
+        }
+        if !reads.is_empty() {
+            ctx.send_tagged(client, NcdMsg::ReadResults { txn, reads }, "client");
+        }
+        self.trackers.insert(
+            sub_id,
+            SubTracker {
+                txn,
+                parent,
+                client,
+                pending_children: plan.children.len() as u32,
+                participants: Default::default(),
+                clean: true,
+            },
+        );
+        if plan.children.is_empty() {
+            let drained = self.trackers.finish(self.me, sub_id);
+            self.dispatch_drained(ctx, drained);
+        }
+    }
+
+    fn dispatch_drained(&mut self, ctx: &mut Ctx<'_, NcdMsg>, drained: Drained) {
+        match drained {
+            Drained::Parent {
+                txn,
+                node,
+                parent_sub,
+                participants,
+                ..
+            } => {
+                ctx.send_tagged(
+                    node,
+                    NcdMsg::SubtreeDone {
+                        txn,
+                        parent_sub,
+                        participants: participants.into_iter().collect(),
+                    },
+                    "notice",
+                );
+            }
+            Drained::Root(tracker, _) => {
+                ctx.send_tagged(
+                    tracker.client,
+                    NcdMsg::TxnDone { txn: tracker.txn },
+                    "client",
+                );
+            }
+            Drained::Pending => {}
+        }
+    }
+}
+
+impl Actor for NoCoordNode {
+    type Msg = NcdMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, NcdMsg>, from: NodeId, msg: NcdMsg) {
+        match msg {
+            NcdMsg::Submit { txn, plan, client } => self.execute(ctx, txn, plan, None, client),
+            NcdMsg::Subtxn {
+                txn,
+                plan,
+                parent_sub,
+                client,
+            } => self.execute(ctx, txn, plan, Some((from, parent_sub)), client),
+            NcdMsg::SubtreeDone {
+                parent_sub,
+                participants,
+                ..
+            } => {
+                let drained = self
+                    .trackers
+                    .child_done(self.me, parent_sub, participants, true);
+                self.dispatch_drained(ctx, drained);
+            }
+            NcdMsg::TxnDone { .. } | NcdMsg::ReadResults { .. } => {}
+        }
+    }
+}
+
+/// One actor of a no-coordination cluster.
+#[allow(clippy::large_enum_variant)]
+pub enum NcdActor {
+    /// A database node.
+    Node(NoCoordNode),
+    /// The workload driver.
+    Client(ClientActor<NcdMsg>),
+}
+
+impl Actor for NcdActor {
+    type Msg = NcdMsg;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NcdMsg>) {
+        if let NcdActor::Client(c) = self {
+            c.on_start(ctx)
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, NcdMsg>, from: NodeId, msg: NcdMsg) {
+        match self {
+            NcdActor::Node(n) => n.on_message(ctx, from, msg),
+            NcdActor::Client(c) => c.on_message(ctx, from, msg),
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, NcdMsg>, token: u64) {
+        if let NcdActor::Client(c) = self {
+            c.on_timer(ctx, token)
+        }
+    }
+}
+
+/// A simulated no-coordination cluster (nodes `0..n`, client `n`).
+pub struct NoCoordCluster {
+    sim: Simulation<NcdActor>,
+    n_nodes: u16,
+}
+
+impl NoCoordCluster {
+    /// Build over `schema` with the given arrivals.
+    pub fn new(schema: &Schema, n_nodes: u16, sim: SimConfig, arrivals: Vec<Arrival>) -> Self {
+        let mut actors: Vec<NcdActor> = (0..n_nodes)
+            .map(|i| NcdActor::Node(NoCoordNode::new(schema, NodeId(i))))
+            .collect();
+        actors.push(NcdActor::Client(ClientActor::new(arrivals)));
+        NoCoordCluster {
+            sim: Simulation::new(actors, sim),
+            n_nodes,
+        }
+    }
+
+    /// Run until quiescent or capped.
+    pub fn run(&mut self, cap: SimTime) -> QuiesceOutcome {
+        self.sim.run_to_quiescence(cap)
+    }
+
+    /// Transaction records.
+    pub fn records(&self) -> &[TxnRecord] {
+        match &self.sim.actors()[self.n_nodes as usize] {
+            NcdActor::Client(c) => c.records(),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Kernel statistics.
+    pub fn sim_stats(&self) -> &SimStats {
+        self.sim.stats()
+    }
+
+    /// A node's storage statistics.
+    pub fn store_stats(&self, i: u16) -> &StoreStats {
+        match &self.sim.actors()[i as usize] {
+            NcdActor::Node(n) => n.store().stats(),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threev_analysis::{Auditor, TxnStatus};
+    use threev_model::{Key, KeyDecl, TxnPlan, UpdateOp};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            KeyDecl::journal(Key(1), NodeId(0)),
+            KeyDecl::journal(Key(2), NodeId(1)),
+        ])
+    }
+
+    fn visit() -> TxnPlan {
+        TxnPlan::commuting(
+            SubtxnPlan::new(NodeId(0))
+                .update(Key(1), UpdateOp::Append { amount: 5, tag: 1 })
+                .child(
+                    SubtxnPlan::new(NodeId(1))
+                        .update(Key(2), UpdateOp::Append { amount: 5, tag: 1 }),
+                ),
+        )
+    }
+
+    fn inquiry() -> TxnPlan {
+        TxnPlan::read_only(
+            SubtxnPlan::new(NodeId(0))
+                .read(Key(1))
+                .child(SubtxnPlan::new(NodeId(1)).read(Key(2))),
+        )
+    }
+
+    #[test]
+    fn executes_and_completes() {
+        let arrivals = vec![
+            Arrival::at(SimTime(1_000), visit()),
+            Arrival::at(SimTime(100_000), inquiry()),
+        ];
+        let mut cluster = NoCoordCluster::new(&schema(), 2, SimConfig::seeded(3), arrivals);
+        let out = cluster.run(SimTime::MAX);
+        assert!(matches!(out, QuiesceOutcome::Quiescent(_)));
+        let records = cluster.records();
+        assert!(records.iter().all(|r| r.status == TxnStatus::Committed));
+        // The late read saw the full visit: clean audit for THIS schedule.
+        let report = Auditor::new(records).check();
+        assert!(report.clean(), "{report:?}");
+    }
+
+    #[test]
+    fn interleaved_reads_observe_partial_updates() {
+        // Many updates and reads racing: with jittery latency, some read
+        // must catch a visit half-applied — the paper's anomaly.
+        let mut arrivals = Vec::new();
+        for i in 0..300u64 {
+            arrivals.push(Arrival::at(SimTime(i * 300), visit()));
+            arrivals.push(Arrival::at(SimTime(i * 300 + 40), inquiry()));
+        }
+        let mut cluster = NoCoordCluster::new(&schema(), 2, SimConfig::seeded(7), arrivals);
+        cluster.run(SimTime::MAX);
+        let report = Auditor::new(cluster.records()).check();
+        assert!(
+            report.atomicity_violations > 0,
+            "expected partial reads, got {report:?}"
+        );
+    }
+}

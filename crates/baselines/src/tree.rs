@@ -1,0 +1,166 @@
+//! Shared subtree-completion bookkeeping for the baseline engines.
+//!
+//! Mirrors the completion-notice tree of the 3V node: each executed
+//! subtransaction tracks its pending children; when a subtree drains, the
+//! parent is notified, and the root closes out the transaction.
+
+use std::collections::{BTreeSet, HashMap};
+
+use threev_model::{NodeId, SubtxnId, TxnId};
+
+/// Tracker for one executed subtransaction.
+#[derive(Debug)]
+pub(crate) struct SubTracker {
+    pub txn: TxnId,
+    /// `(parent node, parent subtransaction)`; `None` at the root.
+    pub parent: Option<(NodeId, SubtxnId)>,
+    pub client: NodeId,
+    pub pending_children: u32,
+    pub participants: BTreeSet<NodeId>,
+    pub clean: bool,
+}
+
+/// Per-node tracker table plus the spawn-id counter.
+#[derive(Debug, Default)]
+pub(crate) struct TrackerTable {
+    trackers: HashMap<SubtxnId, SubTracker>,
+    spawn_seq: u64,
+}
+
+/// Outcome of draining a notice: either propagate to a parent or the root
+/// subtree completed.
+pub(crate) enum Drained {
+    Parent {
+        txn: TxnId,
+        node: NodeId,
+        parent_sub: SubtxnId,
+        participants: BTreeSet<NodeId>,
+        clean: bool,
+    },
+    Root(SubTracker, BTreeSet<NodeId>),
+    /// Still waiting on children.
+    Pending,
+}
+
+impl TrackerTable {
+    pub fn new_sub_id(&mut self, me: NodeId) -> SubtxnId {
+        let id = SubtxnId::new(me, self.spawn_seq);
+        self.spawn_seq += 1;
+        id
+    }
+
+    pub fn insert(&mut self, id: SubtxnId, tracker: SubTracker) {
+        self.trackers.insert(id, tracker);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.trackers.is_empty()
+    }
+
+    /// Apply a child-completion notice; if the tracker drains, remove it
+    /// and describe what to do next.
+    pub fn child_done(
+        &mut self,
+        me: NodeId,
+        parent_sub: SubtxnId,
+        participants: Vec<NodeId>,
+        clean: bool,
+    ) -> Drained {
+        let Some(tracker) = self.trackers.get_mut(&parent_sub) else {
+            return Drained::Pending;
+        };
+        tracker.participants.extend(participants);
+        tracker.clean &= clean;
+        tracker.pending_children = tracker.pending_children.saturating_sub(1);
+        if tracker.pending_children > 0 {
+            return Drained::Pending;
+        }
+        self.finish(me, parent_sub)
+    }
+
+    /// Close out a tracker with no pending children.
+    pub fn finish(&mut self, me: NodeId, id: SubtxnId) -> Drained {
+        let mut tracker = self.trackers.remove(&id).expect("tracker exists");
+        let mut participants = std::mem::take(&mut tracker.participants);
+        participants.insert(me);
+        match tracker.parent {
+            Some((node, parent_sub)) => Drained::Parent {
+                txn: tracker.txn,
+                node,
+                parent_sub,
+                participants,
+                clean: tracker.clean,
+            },
+            None => Drained::Root(tracker, participants),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(parent: Option<(NodeId, SubtxnId)>, children: u32) -> SubTracker {
+        SubTracker {
+            txn: TxnId::new(1, NodeId(0)),
+            parent,
+            client: NodeId(9),
+            pending_children: children,
+            participants: BTreeSet::new(),
+            clean: true,
+        }
+    }
+
+    #[test]
+    fn root_completes_after_children() {
+        let me = NodeId(0);
+        let mut t = TrackerTable::default();
+        let root_id = t.new_sub_id(me);
+        t.insert(root_id, tracker(None, 2));
+        assert!(matches!(
+            t.child_done(me, root_id, vec![NodeId(1)], true),
+            Drained::Pending
+        ));
+        match t.child_done(me, root_id, vec![NodeId(2)], false) {
+            Drained::Root(tr, participants) => {
+                assert!(!tr.clean);
+                assert_eq!(participants.len(), 3); // me + n1 + n2
+            }
+            _ => panic!("expected root completion"),
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn leaf_propagates_to_parent() {
+        let me = NodeId(1);
+        let mut t = TrackerTable::default();
+        let id = t.new_sub_id(me);
+        let parent_sub = SubtxnId::new(NodeId(0), 7);
+        t.insert(id, tracker(Some((NodeId(0), parent_sub)), 0));
+        match t.finish(me, id) {
+            Drained::Parent {
+                node,
+                parent_sub: ps,
+                participants,
+                clean,
+                ..
+            } => {
+                assert_eq!(node, NodeId(0));
+                assert_eq!(ps, parent_sub);
+                assert!(clean);
+                assert_eq!(participants.into_iter().collect::<Vec<_>>(), vec![me]);
+            }
+            _ => panic!("expected parent propagation"),
+        }
+    }
+
+    #[test]
+    fn unknown_notice_ignored() {
+        let mut t = TrackerTable::default();
+        assert!(matches!(
+            t.child_done(NodeId(0), SubtxnId::new(NodeId(0), 99), vec![], true),
+            Drained::Pending
+        ));
+    }
+}

@@ -1,0 +1,886 @@
+//! The **Global Synchronization** baseline (paper §1, option 1).
+//!
+//! "The system can treat all global transactions … as full-fledged
+//! distributed transactions, performing global concurrency control and
+//! two-phase commitment. This solution guarantees global serializability …
+//! However, the delays due to global synchronization are often
+//! prohibitive."
+//!
+//! Every transaction — **including read-only ones** — acquires strict
+//! two-phase locks (shared for reads, exclusive for writes) with wait-die
+//! deadlock avoidance, executes its tree, and then runs a two-phase commit
+//! over all participant nodes. Wait-die victims are retried with their
+//! original timestamp until they commit (or a retry cap is hit).
+//!
+//! This is the serializable-but-slow yardstick of experiments X1/X9: its
+//! schedule `fw11(x1); r21(x1); …g` forbids exactly the interleavings 3V
+//! admits safely through versioning.
+
+use std::collections::HashMap;
+
+use threev_analysis::{ReadObservation, TxnRecord};
+use threev_model::{Key, NodeId, OpStep, Schema, SubtxnId, SubtxnPlan, TxnId, TxnKind, VersionNo};
+use threev_sim::{
+    Actor, Ctx, QuiesceOutcome, SimConfig, SimDuration, SimStats, SimTime, Simulation,
+};
+use threev_storage::{LockDecision, LockMode, LockTable, Store, StoreStats, UndoLog};
+
+use threev_core::client::{Arrival, ClientActor};
+use threev_core::msg::{ClientEvent, ProtocolMsg};
+
+use crate::tree::{Drained, SubTracker, TrackerTable};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct TwoPcConfig {
+    /// Backoff before resubmitting a wait-die victim.
+    pub retry_backoff: SimDuration,
+    /// Retry cap before reporting the transaction aborted.
+    pub max_retries: u32,
+}
+
+impl Default for TwoPcConfig {
+    fn default() -> Self {
+        TwoPcConfig {
+            retry_backoff: SimDuration::from_micros(800),
+            max_retries: 50,
+        }
+    }
+}
+
+/// Messages of the global-2PC engine.
+#[derive(Clone, Debug)]
+pub enum TpcMsg {
+    /// Client submission.
+    Submit {
+        /// Transaction id.
+        txn: TxnId,
+        /// Plan root.
+        plan: SubtxnPlan,
+        /// Reporting actor.
+        client: NodeId,
+    },
+    /// Child subtransaction shipment.
+    Subtxn {
+        /// Transaction id.
+        txn: TxnId,
+        /// Retry attempt number (guards against stale 2PC traffic).
+        attempt: u32,
+        /// Plan subtree.
+        plan: SubtxnPlan,
+        /// Parent subtransaction.
+        parent_sub: SubtxnId,
+        /// Reporting actor.
+        client: NodeId,
+    },
+    /// Completion notice up the tree (work phase only; locks still held).
+    SubtreeDone {
+        /// Transaction id.
+        txn: TxnId,
+        /// Parent subtransaction notified.
+        parent_sub: SubtxnId,
+        /// Executing nodes.
+        participants: Vec<NodeId>,
+        /// False when any subtransaction was a wait-die victim.
+        clean: bool,
+    },
+    /// 2PC prepare.
+    Prepare {
+        /// Transaction id.
+        txn: TxnId,
+        /// Attempt the prepare belongs to.
+        attempt: u32,
+    },
+    /// 2PC vote.
+    Vote {
+        /// Transaction id.
+        txn: TxnId,
+        /// Attempt the vote belongs to.
+        attempt: u32,
+        /// Voting node.
+        node: NodeId,
+        /// Prepared?
+        yes: bool,
+    },
+    /// 2PC decision.
+    Decision {
+        /// Transaction id.
+        txn: TxnId,
+        /// Attempt the decision belongs to.
+        attempt: u32,
+        /// Commit or roll back.
+        commit: bool,
+    },
+    /// Node → client: transaction finished.
+    TxnDone {
+        /// Transaction id.
+        txn: TxnId,
+        /// Final outcome.
+        committed: bool,
+    },
+    /// Node → client: read observations.
+    ReadResults {
+        /// Transaction id.
+        txn: TxnId,
+        /// Observations.
+        reads: Vec<ReadObservation>,
+    },
+}
+
+impl ProtocolMsg for TpcMsg {
+    fn submit(
+        txn: TxnId,
+        _kind: TxnKind,
+        plan: SubtxnPlan,
+        client: NodeId,
+        _fail_node: Option<NodeId>,
+    ) -> Self {
+        TpcMsg::Submit { txn, plan, client }
+    }
+
+    fn client_event(self) -> Option<ClientEvent> {
+        match self {
+            TpcMsg::TxnDone { txn, committed } => Some(ClientEvent::Done {
+                txn,
+                version: None,
+                committed,
+            }),
+            TpcMsg::ReadResults { txn, reads } => Some(ClientEvent::Reads { txn, reads }),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TpcLocal {
+    undo: UndoLog,
+    doomed: bool,
+    attempt: u32,
+}
+
+#[derive(Debug)]
+struct TpcCoord {
+    participants: Vec<NodeId>,
+    votes: HashMap<NodeId, bool>,
+    attempt: u32,
+}
+
+#[derive(Debug)]
+struct RootCtx {
+    plan: SubtxnPlan,
+    client: NodeId,
+    retries_left: u32,
+    attempt: u32,
+}
+
+#[derive(Debug)]
+struct Job {
+    txn: TxnId,
+    attempt: u32,
+    plan: SubtxnPlan,
+    parent: Option<(NodeId, SubtxnId)>,
+    client: NodeId,
+}
+
+#[derive(Debug)]
+struct Parked {
+    keys: Vec<(Key, LockMode)>,
+    next: usize,
+    job: Job,
+}
+
+/// Observable engine statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TpcStats {
+    /// Subtransactions executed.
+    pub subtxns_executed: u64,
+    /// Wait-die victims (whole-transaction aborts).
+    pub die_aborts: u64,
+    /// Subtransactions parked on a lock.
+    pub parked: u64,
+    /// Transactions that exhausted retries.
+    pub gave_up: u64,
+    /// Commits.
+    pub commits: u64,
+}
+
+/// The global-2PC node engine.
+pub struct TpcNode {
+    me: NodeId,
+    cfg: TwoPcConfig,
+    store: Store,
+    locks: LockTable,
+    trackers: TrackerTable,
+    local: HashMap<TxnId, TpcLocal>,
+    coord: HashMap<TxnId, TpcCoord>,
+    root_ctx: HashMap<TxnId, RootCtx>,
+    parked: HashMap<TxnId, Parked>,
+    timers: HashMap<u64, TxnId>,
+    next_timer: u64,
+    stats: TpcStats,
+}
+
+impl TpcNode {
+    /// Build from the schema.
+    pub fn new(schema: &Schema, me: NodeId, cfg: TwoPcConfig) -> Self {
+        TpcNode {
+            me,
+            cfg,
+            store: Store::from_schema(schema, me),
+            locks: LockTable::new(),
+            trackers: TrackerTable::default(),
+            local: HashMap::new(),
+            coord: HashMap::new(),
+            root_ctx: HashMap::new(),
+            parked: HashMap::new(),
+            timers: HashMap::new(),
+            next_timer: 0,
+            stats: TpcStats::default(),
+        }
+    }
+
+    /// The node's store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &TpcStats {
+        &self.stats
+    }
+
+    /// Is this node fully drained?
+    pub fn is_quiescent(&self) -> bool {
+        self.trackers.is_empty()
+            && self.local.is_empty()
+            && self.coord.is_empty()
+            && self.parked.is_empty()
+            && self.locks.is_idle()
+    }
+
+    fn run_job(&mut self, ctx: &mut Ctx<'_, TpcMsg>, job: Job) {
+        // Doomed already (a sibling of the same attempt lost wait-die
+        // here)? Terminate the subtree without effects.
+        if self
+            .local
+            .get(&job.txn)
+            .is_some_and(|l| l.doomed && l.attempt == job.attempt)
+        {
+            self.finish_doomed(ctx, job);
+            return;
+        }
+        let mut keys: Vec<(Key, LockMode)> = job
+            .plan
+            .steps
+            .iter()
+            .map(|s| match s {
+                OpStep::Read(k) => (*k, LockMode::Commute), // shared
+                OpStep::Update(k, _) => (*k, LockMode::Exclusive),
+            })
+            .collect();
+        // Strongest mode per key, deterministic order.
+        keys.sort_by_key(|(k, m)| (*k, matches!(m, LockMode::Commute)));
+        keys.dedup_by_key(|(k, _)| *k);
+        self.acquire_and_run(ctx, Parked { keys, next: 0, job });
+    }
+
+    fn acquire_and_run(&mut self, ctx: &mut Ctx<'_, TpcMsg>, mut parked: Parked) {
+        while parked.next < parked.keys.len() {
+            let (key, mode) = parked.keys[parked.next];
+            match self.locks.acquire(key, mode, parked.job.txn) {
+                LockDecision::Granted => parked.next += 1,
+                LockDecision::Waiting => {
+                    self.stats.parked += 1;
+                    self.parked.insert(parked.job.txn, parked);
+                    return;
+                }
+                LockDecision::Abort => {
+                    // Keep every lock this transaction already holds here:
+                    // an earlier subtransaction of the same attempt may
+                    // have applied (uncommitted) effects under them. All
+                    // locks fall together at the abort decision's rollback.
+                    self.stats.die_aborts += 1;
+                    let job = parked.job;
+                    let local = self.local.entry(job.txn).or_default();
+                    local.doomed = true;
+                    local.attempt = job.attempt;
+                    self.finish_doomed(ctx, job);
+                    return;
+                }
+            }
+        }
+        self.execute(ctx, parked.job);
+    }
+
+    fn finish_doomed(&mut self, ctx: &mut Ctx<'_, TpcMsg>, job: Job) {
+        let sub_id = self.trackers.new_sub_id(self.me);
+        self.trackers.insert(
+            sub_id,
+            SubTracker {
+                txn: job.txn,
+                parent: job.parent,
+                client: job.client,
+                pending_children: 0,
+                participants: Default::default(),
+                clean: false,
+            },
+        );
+        let drained = self.trackers.finish(self.me, sub_id);
+        self.dispatch_drained(ctx, drained);
+    }
+
+    fn process_grants(&mut self, ctx: &mut Ctx<'_, TpcMsg>, grants: threev_storage::locks::Grants) {
+        for (txn, key, _mode) in grants {
+            if let Some(mut parked) = self.parked.remove(&txn) {
+                debug_assert_eq!(parked.keys[parked.next].0, key);
+                parked.next += 1;
+                self.acquire_and_run(ctx, parked);
+            }
+        }
+    }
+
+    fn execute(&mut self, ctx: &mut Ctx<'_, TpcMsg>, job: Job) {
+        self.stats.subtxns_executed += 1;
+        let mut local = self.local.remove(&job.txn).unwrap_or_default();
+        if local.attempt != job.attempt {
+            // A fresh attempt overtook the previous attempt's abort
+            // decision. That attempt is certainly aborting (a retry exists
+            // only after the root decided abort), so roll its effects back
+            // NOW — the stale decision, when it arrives, will see the
+            // attempt mismatch and do nothing.
+            self.store.rollback(std::mem::take(&mut local.undo));
+            local = TpcLocal {
+                attempt: job.attempt,
+                ..TpcLocal::default()
+            };
+        }
+        let mut reads = Vec::new();
+        for step in &job.plan.steps {
+            match step {
+                OpStep::Read(key) => {
+                    let (_, value) = self
+                        .store
+                        .read_visible(*key, VersionNo::ZERO)
+                        .unwrap_or_else(|e| panic!("{}: read: {e}", self.me));
+                    reads.push(ReadObservation {
+                        key: *key,
+                        version: None,
+                        value,
+                    });
+                }
+                OpStep::Update(key, op) => {
+                    self.store
+                        .update(*key, VersionNo::ZERO, *op, job.txn, Some(&mut local.undo))
+                        .unwrap_or_else(|e| panic!("{}: update: {e}", self.me));
+                }
+            }
+        }
+        self.local.insert(job.txn, local);
+
+        let sub_id = self.trackers.new_sub_id(self.me);
+        for child in &job.plan.children {
+            ctx.send_tagged(
+                child.node,
+                TpcMsg::Subtxn {
+                    txn: job.txn,
+                    attempt: job.attempt,
+                    plan: child.clone(),
+                    parent_sub: sub_id,
+                    client: job.client,
+                },
+                "subtxn",
+            );
+        }
+        if !reads.is_empty() {
+            ctx.send_tagged(
+                job.client,
+                TpcMsg::ReadResults {
+                    txn: job.txn,
+                    reads,
+                },
+                "client",
+            );
+        }
+        self.trackers.insert(
+            sub_id,
+            SubTracker {
+                txn: job.txn,
+                parent: job.parent,
+                client: job.client,
+                pending_children: job.plan.children.len() as u32,
+                participants: Default::default(),
+                clean: true,
+            },
+        );
+        if job.plan.children.is_empty() {
+            let drained = self.trackers.finish(self.me, sub_id);
+            self.dispatch_drained(ctx, drained);
+        }
+    }
+
+    fn dispatch_drained(&mut self, ctx: &mut Ctx<'_, TpcMsg>, drained: Drained) {
+        match drained {
+            Drained::Parent {
+                txn,
+                node,
+                parent_sub,
+                participants,
+                clean,
+            } => {
+                ctx.send_tagged(
+                    node,
+                    TpcMsg::SubtreeDone {
+                        txn,
+                        parent_sub,
+                        participants: participants.into_iter().collect(),
+                        clean,
+                    },
+                    "notice",
+                );
+            }
+            Drained::Root(tracker, participants) => {
+                let participants: Vec<NodeId> = participants.into_iter().collect();
+                let attempt = self
+                    .root_ctx
+                    .get(&tracker.txn)
+                    .map(|r| r.attempt)
+                    .unwrap_or(0);
+                if tracker.clean {
+                    self.coord.insert(
+                        tracker.txn,
+                        TpcCoord {
+                            participants: participants.clone(),
+                            votes: HashMap::new(),
+                            attempt,
+                        },
+                    );
+                    for p in &participants {
+                        ctx.send_tagged(
+                            *p,
+                            TpcMsg::Prepare {
+                                txn: tracker.txn,
+                                attempt,
+                            },
+                            "2pc",
+                        );
+                    }
+                } else {
+                    for p in &participants {
+                        ctx.send_tagged(
+                            *p,
+                            TpcMsg::Decision {
+                                txn: tracker.txn,
+                                attempt,
+                                commit: false,
+                            },
+                            "2pc",
+                        );
+                    }
+                    self.root_epilogue(ctx, tracker.txn, false);
+                }
+            }
+            Drained::Pending => {}
+        }
+    }
+
+    fn root_epilogue(&mut self, ctx: &mut Ctx<'_, TpcMsg>, txn: TxnId, committed: bool) {
+        let Some(root) = self.root_ctx.get_mut(&txn) else {
+            return;
+        };
+        if committed {
+            self.stats.commits += 1;
+            let client = root.client;
+            self.root_ctx.remove(&txn);
+            ctx.send_tagged(
+                client,
+                TpcMsg::TxnDone {
+                    txn,
+                    committed: true,
+                },
+                "client",
+            );
+        } else if root.retries_left > 0 {
+            root.retries_left -= 1;
+            root.attempt += 1;
+            let token = self.next_timer;
+            self.next_timer += 1;
+            self.timers.insert(token, txn);
+            ctx.schedule(self.cfg.retry_backoff, token);
+        } else {
+            self.stats.gave_up += 1;
+            let client = root.client;
+            self.root_ctx.remove(&txn);
+            ctx.send_tagged(
+                client,
+                TpcMsg::TxnDone {
+                    txn,
+                    committed: false,
+                },
+                "client",
+            );
+        }
+    }
+}
+
+impl Actor for TpcNode {
+    type Msg = TpcMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, TpcMsg>, from: NodeId, msg: TpcMsg) {
+        match msg {
+            TpcMsg::Submit { txn, plan, client } => {
+                self.root_ctx.entry(txn).or_insert(RootCtx {
+                    plan: plan.clone(),
+                    client,
+                    retries_left: self.cfg.max_retries,
+                    attempt: 0,
+                });
+                self.run_job(
+                    ctx,
+                    Job {
+                        txn,
+                        attempt: 0,
+                        plan,
+                        parent: None,
+                        client,
+                    },
+                );
+            }
+            TpcMsg::Subtxn {
+                txn,
+                attempt,
+                plan,
+                parent_sub,
+                client,
+            } => self.run_job(
+                ctx,
+                Job {
+                    txn,
+                    attempt,
+                    plan,
+                    parent: Some((from, parent_sub)),
+                    client,
+                },
+            ),
+            TpcMsg::SubtreeDone {
+                parent_sub,
+                participants,
+                clean,
+                ..
+            } => {
+                let drained = self
+                    .trackers
+                    .child_done(self.me, parent_sub, participants, clean);
+                self.dispatch_drained(ctx, drained);
+            }
+            TpcMsg::Prepare { txn, attempt } => {
+                let yes = self
+                    .local
+                    .get(&txn)
+                    .map(|l| !l.doomed && l.attempt == attempt)
+                    .unwrap_or(true);
+                ctx.send_tagged(
+                    from,
+                    TpcMsg::Vote {
+                        txn,
+                        attempt,
+                        node: self.me,
+                        yes,
+                    },
+                    "2pc",
+                );
+            }
+            TpcMsg::Vote {
+                txn,
+                attempt,
+                node,
+                yes,
+            } => {
+                let Some(coord) = self.coord.get_mut(&txn) else {
+                    return;
+                };
+                if coord.attempt != attempt {
+                    return;
+                }
+                coord.votes.insert(node, yes);
+                if coord.votes.len() == coord.participants.len() {
+                    let commit = coord.votes.values().all(|v| *v);
+                    let coord = self.coord.remove(&txn).expect("coord");
+                    for p in &coord.participants {
+                        ctx.send_tagged(
+                            *p,
+                            TpcMsg::Decision {
+                                txn,
+                                attempt,
+                                commit,
+                            },
+                            "2pc",
+                        );
+                    }
+                    self.root_epilogue(ctx, txn, commit);
+                }
+            }
+            TpcMsg::Decision {
+                txn,
+                attempt,
+                commit,
+            } => {
+                // Ignore decisions of stale attempts: their locks and undo
+                // were already cleaned when the node saw the abort, and a
+                // newer attempt may be running here.
+                if self.local.get(&txn).is_some_and(|l| l.attempt != attempt) {
+                    return;
+                }
+                if let Some(mut local) = self.local.remove(&txn) {
+                    if !commit {
+                        self.store.rollback(std::mem::take(&mut local.undo));
+                    }
+                }
+                let grants = self.locks.release_all(txn);
+                self.process_grants(ctx, grants);
+            }
+            TpcMsg::TxnDone { .. } | TpcMsg::ReadResults { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, TpcMsg>, token: u64) {
+        let Some(txn) = self.timers.remove(&token) else {
+            return;
+        };
+        let Some(root) = self.root_ctx.get(&txn) else {
+            return;
+        };
+        let (plan, client, attempt) = (root.plan.clone(), root.client, root.attempt);
+        self.run_job(
+            ctx,
+            Job {
+                txn,
+                attempt,
+                plan,
+                parent: None,
+                client,
+            },
+        );
+    }
+}
+
+/// One actor of a 2PC cluster.
+#[allow(clippy::large_enum_variant)]
+pub enum TpcActor {
+    /// A database node.
+    Node(TpcNode),
+    /// The workload driver.
+    Client(ClientActor<TpcMsg>),
+}
+
+impl Actor for TpcActor {
+    type Msg = TpcMsg;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, TpcMsg>) {
+        if let TpcActor::Client(c) = self {
+            c.on_start(ctx)
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, TpcMsg>, from: NodeId, msg: TpcMsg) {
+        match self {
+            TpcActor::Node(n) => n.on_message(ctx, from, msg),
+            TpcActor::Client(c) => c.on_message(ctx, from, msg),
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, TpcMsg>, token: u64) {
+        match self {
+            TpcActor::Node(n) => n.on_timer(ctx, token),
+            TpcActor::Client(c) => c.on_timer(ctx, token),
+        }
+    }
+}
+
+/// A simulated global-2PC cluster (nodes `0..n`, client `n`).
+pub struct TwoPcCluster {
+    sim: Simulation<TpcActor>,
+    n_nodes: u16,
+}
+
+impl TwoPcCluster {
+    /// Build over `schema` with the given arrivals.
+    pub fn new(
+        schema: &Schema,
+        n_nodes: u16,
+        sim: SimConfig,
+        cfg: TwoPcConfig,
+        arrivals: Vec<Arrival>,
+    ) -> Self {
+        let mut actors: Vec<TpcActor> = (0..n_nodes)
+            .map(|i| TpcActor::Node(TpcNode::new(schema, NodeId(i), cfg.clone())))
+            .collect();
+        actors.push(TpcActor::Client(ClientActor::new(arrivals)));
+        TwoPcCluster {
+            sim: Simulation::new(actors, sim),
+            n_nodes,
+        }
+    }
+
+    /// Run until quiescent or capped.
+    pub fn run(&mut self, cap: SimTime) -> QuiesceOutcome {
+        self.sim.run_to_quiescence(cap)
+    }
+
+    /// Transaction records.
+    pub fn records(&self) -> &[TxnRecord] {
+        match &self.sim.actors()[self.n_nodes as usize] {
+            TpcActor::Client(c) => c.records(),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Kernel statistics.
+    pub fn sim_stats(&self) -> &SimStats {
+        self.sim.stats()
+    }
+
+    /// A node (read access).
+    pub fn node(&self, i: u16) -> &TpcNode {
+        match &self.sim.actors()[i as usize] {
+            TpcActor::Node(n) => n,
+            _ => unreachable!(),
+        }
+    }
+
+    /// A node's storage statistics.
+    pub fn store_stats(&self, i: u16) -> &StoreStats {
+        self.node(i).store().stats()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Are all nodes drained?
+    pub fn all_quiescent(&self) -> bool {
+        (0..self.n_nodes).all(|i| self.node(i).is_quiescent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threev_analysis::{Auditor, TxnStatus};
+    use threev_model::{KeyDecl, TxnPlan, UpdateOp};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            KeyDecl::counter(Key(1), NodeId(0), 0),
+            KeyDecl::journal(Key(11), NodeId(0)),
+            KeyDecl::counter(Key(2), NodeId(1), 0),
+            KeyDecl::journal(Key(12), NodeId(1)),
+        ])
+    }
+
+    fn visit(amount: i64) -> TxnPlan {
+        TxnPlan::commuting(
+            SubtxnPlan::new(NodeId(0))
+                .update(Key(1), UpdateOp::Add(amount))
+                .update(Key(11), UpdateOp::Append { amount, tag: 1 })
+                .child(
+                    SubtxnPlan::new(NodeId(1))
+                        .update(Key(2), UpdateOp::Add(amount))
+                        .update(Key(12), UpdateOp::Append { amount, tag: 1 }),
+                ),
+        )
+    }
+
+    fn inquiry() -> TxnPlan {
+        TxnPlan::read_only(
+            SubtxnPlan::new(NodeId(0))
+                .read(Key(1))
+                .read(Key(11))
+                .child(SubtxnPlan::new(NodeId(1)).read(Key(2)).read(Key(12))),
+        )
+    }
+
+    #[test]
+    fn commits_with_2pc() {
+        let arrivals = vec![
+            Arrival::at(SimTime(1_000), visit(10)),
+            Arrival::at(SimTime(1_050), visit(20)),
+            Arrival::at(SimTime(1_100), inquiry()),
+        ];
+        let mut cluster = TwoPcCluster::new(
+            &schema(),
+            2,
+            SimConfig::seeded(5),
+            TwoPcConfig::default(),
+            arrivals,
+        );
+        let out = cluster.run(SimTime::MAX);
+        assert!(matches!(out, QuiesceOutcome::Quiescent(_)), "{out:?}");
+        let records = cluster.records();
+        assert!(
+            records.iter().all(|r| r.status == TxnStatus::Committed),
+            "{records:?}"
+        );
+        assert!(cluster.all_quiescent());
+        let (_, v) = cluster.node(0).store().layout(Key(1)).unwrap()[0].clone();
+        assert_eq!(v.as_counter(), Some(30));
+    }
+
+    #[test]
+    fn serializable_under_contention() {
+        // Racing updates and reads on the same keys: 2PL+2PC must stay
+        // atomic (no partial reads), unlike no-coordination.
+        // Arrival spacing must exceed the 2PC service time (locks held for
+        // tree + prepare + decision ≈ a few ms at LAN latency) or the
+        // engine saturates — which is the paper's very point, but not what
+        // this correctness test is probing.
+        let mut arrivals = Vec::new();
+        for i in 0..150u64 {
+            arrivals.push(Arrival::at(SimTime(i * 6_000), visit(1)));
+            arrivals.push(Arrival::at(SimTime(i * 6_000 + 700), inquiry()));
+        }
+        let mut cluster = TwoPcCluster::new(
+            &schema(),
+            2,
+            SimConfig::seeded(11),
+            TwoPcConfig::default(),
+            arrivals,
+        );
+        let out = cluster.run(SimTime(600_000_000));
+        assert!(matches!(out, QuiesceOutcome::Quiescent(_)), "{out:?}");
+        let records = cluster.records();
+        let committed = records
+            .iter()
+            .filter(|r| r.status == TxnStatus::Committed)
+            .count();
+        assert!(committed >= 250, "most transactions commit: {committed}");
+        let report = Auditor::new(records).check();
+        assert_eq!(report.atomicity_violations, 0, "{report:?}");
+        assert_eq!(report.aborted_visible, 0);
+    }
+
+    #[test]
+    fn wait_die_resolves_cross_lock_contention() {
+        // Two simultaneous visits write the same two keys from opposite
+        // ends; wait-die must resolve any conflict and both finish.
+        let reverse_visit = TxnPlan::commuting(
+            SubtxnPlan::new(NodeId(1))
+                .update(Key(2), UpdateOp::Add(1))
+                .child(SubtxnPlan::new(NodeId(0)).update(Key(1), UpdateOp::Add(1))),
+        );
+        let arrivals = vec![
+            Arrival::at(SimTime(1_000), visit(1)),
+            Arrival::at(SimTime(1_001), reverse_visit),
+        ];
+        let mut cluster = TwoPcCluster::new(
+            &schema(),
+            2,
+            SimConfig::seeded(13),
+            TwoPcConfig::default(),
+            arrivals,
+        );
+        let out = cluster.run(SimTime(60_000_000));
+        assert!(matches!(out, QuiesceOutcome::Quiescent(_)), "{out:?}");
+        let records = cluster.records();
+        assert!(records.iter().all(|r| r.status == TxnStatus::Committed));
+        let (_, v) = cluster.node(0).store().layout(Key(1)).unwrap()[0].clone();
+        assert_eq!(v.as_counter(), Some(2));
+    }
+}

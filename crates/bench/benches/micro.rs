@@ -1,0 +1,186 @@
+//! Micro-benchmarks of the protocol's hot data structures: the versioned
+//! record (read-max-≤v, copy-on-update, update-all-≥v, GC), the
+//! request/completion counter table, the lock table, and the supporting
+//! histogram/zipf utilities.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use threev_analysis::Histogram;
+use threev_core::counters::{CounterMatrix, CounterTable};
+use threev_model::{Key, NodeId, TxnId, UpdateOp, Value, VersionNo};
+use threev_storage::{LockMode, LockTable, VersionedRecord};
+use threev_workload::ZipfSampler;
+
+fn t(seq: u64) -> TxnId {
+    TxnId::new(seq, NodeId(0))
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut g = c.benchmark_group("record");
+
+    g.bench_function("read_visible/two_versions", |b| {
+        let mut r = VersionedRecord::initial(Value::Counter(0));
+        r.update(Key(1), VersionNo(1), UpdateOp::Add(1), t(1))
+            .unwrap();
+        b.iter(|| black_box(r.read_visible(black_box(VersionNo(1)))));
+    });
+
+    g.bench_function("update/in_place", |b| {
+        let mut r = VersionedRecord::initial(Value::Counter(0));
+        r.update(Key(1), VersionNo(1), UpdateOp::Add(1), t(1))
+            .unwrap();
+        b.iter(|| {
+            r.update(Key(1), VersionNo(1), UpdateOp::Add(1), t(2))
+                .unwrap()
+        });
+    });
+
+    g.bench_function("update/copy_on_update_plus_gc", |b| {
+        // The full advancement lifecycle of one record.
+        let mut r = VersionedRecord::initial(Value::Counter(0));
+        let mut v = 1u32;
+        b.iter(|| {
+            r.update(Key(1), VersionNo(v), UpdateOp::Add(1), t(1))
+                .unwrap();
+            r.update(Key(1), VersionNo(v + 1), UpdateOp::Add(1), t(2))
+                .unwrap();
+            r.gc(VersionNo(v));
+            v += 1;
+        });
+    });
+
+    g.bench_function("update/dual_write", |b| {
+        let mut r = VersionedRecord::initial(Value::Counter(0));
+        r.update(Key(1), VersionNo(1), UpdateOp::Add(1), t(1))
+            .unwrap();
+        r.update(Key(1), VersionNo(2), UpdateOp::Add(1), t(2))
+            .unwrap();
+        b.iter(|| {
+            r.update(Key(1), VersionNo(1), UpdateOp::Add(1), t(3))
+                .unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counters");
+
+    g.bench_function("inc_request", |b| {
+        let mut table = CounterTable::new();
+        b.iter(|| table.inc_request(VersionNo(1), NodeId(3)));
+    });
+
+    for n_nodes in [4u16, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("snapshot_and_assemble", n_nodes),
+            &n_nodes,
+            |b, &n| {
+                // n nodes, each with counters toward every other node.
+                let tables: Vec<CounterTable> = (0..n)
+                    .map(|_| {
+                        let mut tb = CounterTable::new();
+                        for q in 0..n {
+                            tb.inc_request(VersionNo(1), NodeId(q));
+                            tb.inc_completion(VersionNo(1), NodeId(q));
+                        }
+                        tb
+                    })
+                    .collect();
+                b.iter(|| {
+                    let snaps: Vec<_> = tables
+                        .iter()
+                        .enumerate()
+                        .map(|(i, tb)| (NodeId(i as u16), tb.snapshot(VersionNo(1))))
+                        .collect();
+                    let m = CounterMatrix::assemble(&snaps);
+                    black_box(m.balanced())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locks");
+
+    g.bench_function("commute_acquire_release", |b| {
+        let mut lt = LockTable::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            let txn = t(seq);
+            seq += 1;
+            lt.acquire(Key(1), LockMode::Commute, txn);
+            lt.release_all(txn);
+        });
+    });
+
+    g.bench_function("contended_exclusive", |b| {
+        let mut lt = LockTable::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            // Old holder, younger victim dies, holder releases.
+            let holder = t(seq);
+            let victim = t(seq + 1);
+            seq += 2;
+            lt.acquire(Key(1), LockMode::Exclusive, holder);
+            let _ = lt.acquire(Key(1), LockMode::Exclusive, victim);
+            lt.release_all(holder);
+        });
+    });
+    g.finish();
+}
+
+fn bench_util(c: &mut Criterion) {
+    let mut g = c.benchmark_group("util");
+
+    g.bench_function("histogram/record", |b| {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        b.iter(|| {
+            h.record(x);
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1) >> 32;
+        });
+    });
+
+    g.bench_function("histogram/p99_of_100k", |b| {
+        let mut h = Histogram::new();
+        for v in 0..100_000u64 {
+            h.record(v * 13 % 50_000);
+        }
+        b.iter(|| black_box(h.p99()));
+    });
+
+    g.bench_function("zipf/sample_10k_ranks", |b| {
+        let z = ZipfSampler::new(10_000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| black_box(z.sample(&mut rng)));
+    });
+
+    g.bench_function("journal/append_retract", |b| {
+        let mut v = Value::Journal(Vec::with_capacity(64));
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| {
+            let amount = rng.gen_range(1..100);
+            UpdateOp::Append { amount, tag: 1 }
+                .apply(&mut v, t(1))
+                .unwrap();
+            UpdateOp::Retract { amount, tag: 1 }
+                .apply(&mut v, t(1))
+                .unwrap();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_record,
+    bench_counters,
+    bench_locks,
+    bench_util
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! X8: anatomy of one version advancement — how long each of the four
+//! phases of §4.3 takes, under varying load and network latency.
+//!
+//! The *duration* of an advancement is pure background cost (Theorem 4.2
+//! says nobody waits on it); what matters operationally is how soon reads
+//! can switch (end of phase 3) and how many asynchronous counter-poll
+//! rounds the two-round termination rule needs.
+
+use threev_analysis::report::us;
+use threev_analysis::Table;
+use threev_bench::engines::{run_three_v, RunOpts};
+use threev_core::advance::AdvancementPolicy;
+use threev_sim::{LatencyModel, SimConfig, SimDuration, SimTime};
+use threev_workload::{SyntheticParams, SyntheticWorkload};
+
+fn main() {
+    println!("=== X8: advancement phase durations vs load and latency ===\n");
+    let mut t = Table::new([
+        "network",
+        "load tps",
+        "advs",
+        "p1 (switch)",
+        "p2 (drain)",
+        "p3 (publish)",
+        "p4 (gc)",
+        "p2 rounds",
+        "p4 rounds",
+        "read-switch",
+    ]);
+    for (latency, label) in [(LatencyModel::lan(), "lan"), (LatencyModel::wan(), "wan")] {
+        for &rate in &[1_000.0f64, 10_000.0, 40_000.0] {
+            let workload = SyntheticWorkload::new(SyntheticParams {
+                n_nodes: 8,
+                keys_per_node: 128,
+                rate_tps: rate,
+                duration: SimDuration::from_millis(600),
+                ..SyntheticParams::default()
+            });
+            let (schema, arrivals) = workload.generate();
+            let mut opts = RunOpts::new(8, SimTime(5_000_000));
+            opts.sim = SimConfig {
+                latency,
+                ..SimConfig::seeded(5)
+            };
+            opts.advancement = AdvancementPolicy::Periodic {
+                first: SimDuration::from_millis(100),
+                period: SimDuration::from_millis(150),
+            };
+            let report = run_three_v(&schema, arrivals, &opts);
+            let n = report.advancements.len().max(1) as u64;
+            let (mut p1, mut p2, mut p3, mut p4, mut r2, mut r4, mut rs) =
+                (0u64, 0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+            for a in &report.advancements {
+                p1 += a.p1_done.since(a.started).as_micros();
+                p2 += a.p2_done.since(a.p1_done).as_micros();
+                p3 += a.p3_done.since(a.p2_done).as_micros();
+                p4 += a.p4_done.since(a.p3_done).as_micros();
+                r2 += a.p2_rounds;
+                r4 += a.p4_rounds;
+                rs += a.to_read_switch().as_micros();
+            }
+            t.row([
+                label.to_string(),
+                format!("{rate:.0}"),
+                report.advancements.len().to_string(),
+                us(p1 / n),
+                us(p2 / n),
+                us(p3 / n),
+                us(p4 / n),
+                format!("{:.1}", r2 as f64 / n as f64),
+                format!("{:.1}", r4 as f64 / n as f64),
+                us(rs / n),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "expected shape: phase durations scale with round-trip latency, not\n\
+         with load (counters quiesce as fast as in-flight trees drain);\n\
+         poll rounds stay near the 2-round minimum of the termination rule."
+    );
+}

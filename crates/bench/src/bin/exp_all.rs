@@ -1,0 +1,45 @@
+//! Run every experiment binary in sequence (the full evaluation).
+//!
+//! Equivalent to running each `exp_*` binary by hand; used to regenerate
+//! `EXPERIMENTS.md` numbers in one go:
+//!
+//! ```text
+//! cargo run --release -p threev-bench --bin exp_all
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_table1",
+    "exp_scaling",
+    "exp_advancement_latency",
+    "exp_staleness",
+    "exp_versions",
+    "exp_audit",
+    "exp_noncommuting",
+    "exp_dualwrite",
+    "exp_advancement_duration",
+    "exp_messages",
+    "exp_compensation",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n################ {name} ################\n");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("spawning {name}: {e}"));
+        if !status.success() {
+            failures.push(*name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll {} experiments completed.", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

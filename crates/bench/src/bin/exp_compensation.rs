@@ -1,0 +1,86 @@
+//! X10: aborts and compensation (paper §3.2).
+//!
+//! A fraction of update transactions fail at one of their nodes; the
+//! failing subtransaction triggers tree-structured compensating
+//! subtransactions. Claims under test:
+//!
+//! * compensated transactions leave no trace in any version a read can
+//!   see (the auditor's dirty-read check);
+//! * compensating subtransactions are counted by the same R/C counters, so
+//!   version advancement still detects termination correctly and never
+//!   publishes a version with compensation in flight.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use threev_analysis::{Auditor, Table, TxnStatus};
+use threev_bench::engines::{run_three_v, RunOpts};
+use threev_core::advance::AdvancementPolicy;
+use threev_model::NodeId;
+use threev_sim::{SimDuration, SimTime};
+use threev_workload::HospitalWorkload;
+
+fn main() {
+    println!("=== X10: compensation under fault injection ===\n");
+    let mut t = Table::new([
+        "fail %",
+        "committed",
+        "aborted",
+        "compensations",
+        "tombstones",
+        "advancements",
+        "dirty reads",
+        "audit",
+    ]);
+    for &fail_pct in &[0u8, 1, 5, 10] {
+        let workload = HospitalWorkload {
+            departments: 4,
+            patients: 50,
+            rate_tps: 2_000.0,
+            read_pct: 25,
+            max_fanout: 3,
+            duration: SimDuration::from_millis(500),
+            zipf_s: 0.9,
+            seed: 31,
+        };
+        let schema = workload.schema();
+        let mut arrivals = workload.arrivals();
+        // Inject failures: a random node of the plan aborts its leg.
+        let mut rng = SmallRng::seed_from_u64(fail_pct as u64 + 1);
+        for a in &mut arrivals {
+            if a.plan.kind == threev_model::TxnKind::Commuting && rng.gen_range(0..100) < fail_pct {
+                let nodes = a.plan.root.nodes();
+                let pick = nodes[rng.gen_range(0..nodes.len())];
+                a.fail_node = Some(NodeId(pick.0));
+            }
+        }
+
+        let mut opts = RunOpts::new(4, SimTime(5_000_000));
+        opts.advancement = AdvancementPolicy::Periodic {
+            first: SimDuration::from_millis(40),
+            period: SimDuration::from_millis(80),
+        };
+        let report = run_three_v(&schema, arrivals, &opts);
+        let audit = Auditor::new(&report.records).check();
+        let aborted = report
+            .records
+            .iter()
+            .filter(|r| r.status == TxnStatus::Aborted)
+            .count();
+        t.row([
+            format!("{fail_pct}%"),
+            report.summary.total_committed().to_string(),
+            aborted.to_string(),
+            report.compensations.to_string(),
+            report.tombstones.to_string(),
+            report.advancements.len().to_string(),
+            audit.aborted_visible.to_string(),
+            if audit.clean() { "CLEAN" } else { "VIOLATIONS" }.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "expected shape: aborted counts track the fail rate; advancements keep\n\
+         completing (counters stay balanced through compensation); audit CLEAN\n\
+         with zero dirty reads at every fail rate."
+    );
+}

@@ -1,0 +1,62 @@
+//! X4: the space bound — at most three versions of any item, ever
+//! (paper §4.4 property 1/2a), and copy-on-update creates far fewer copies
+//! than the version-per-update schemes of refs \[6,7,1,5\] (§7).
+
+use threev_analysis::report::f2;
+use threev_analysis::Table;
+use threev_bench::engines::{run_three_v, RunOpts};
+use threev_core::advance::AdvancementPolicy;
+use threev_sim::{SimDuration, SimTime};
+use threev_workload::{SyntheticParams, SyntheticWorkload};
+
+fn main() {
+    println!("=== X4: version-count bound and copy-on-update economy ===\n");
+    let mut t = Table::new([
+        "adv period",
+        "advancements",
+        "updates",
+        "max live versions",
+        "copies created",
+        "copies/update",
+        "version-per-update copies",
+    ]);
+    for &period_ms in &[10u64, 25, 50, 100] {
+        let workload = SyntheticWorkload::new(SyntheticParams {
+            n_nodes: 4,
+            keys_per_node: 32, // few keys -> heavy reuse, stressing the bound
+            rate_tps: 10_000.0,
+            duration: SimDuration::from_millis(500),
+            ..SyntheticParams::default()
+        });
+        let (schema, arrivals) = workload.generate();
+        let mut opts = RunOpts::new(4, SimTime(3_000_000));
+        opts.advancement = AdvancementPolicy::Periodic {
+            first: SimDuration::from_millis(period_ms),
+            period: SimDuration::from_millis(period_ms),
+        };
+        let report = run_three_v(&schema, arrivals, &opts);
+        assert!(
+            report.max_versions <= 3,
+            "3V bound violated: {}",
+            report.max_versions
+        );
+        t.row([
+            format!("{period_ms}ms"),
+            report.advancements.len().to_string(),
+            report.store_updates.to_string(),
+            report.max_versions.to_string(),
+            report.copies_created.to_string(),
+            f2(report.copies_created as f64 / report.store_updates.max(1) as f64),
+            // Schemes that version every update ([6,7,1,5], §7) copy once
+            // per update operation.
+            report.store_updates.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "expected shape: max live versions == 3 always (the paper's bound);\n\
+         copies/update << 1 and proportional to advancement frequency —\n\
+         \"data copying in our protocol occurs only once after version\n\
+         advancement\" (§7) — vs exactly 1.00 for version-per-update schemes."
+    );
+}

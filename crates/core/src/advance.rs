@@ -1,0 +1,425 @@
+//! The version-advancement coordinator (paper §4.3).
+//!
+//! Advancement to a new read version runs in four phases, all asynchronous
+//! with user transactions:
+//!
+//! 1. **Switch to a new update version** — broadcast
+//!    `start-advancement(vu_old + 1)`, collect acks. After the last ack,
+//!    every new root update transaction is guaranteed to carry the new
+//!    version.
+//! 2. **Updates phase-out** — poll every node's request/completion counters
+//!    for `vu_old` until the termination rule (below) fires: version
+//!    `vu_old` is then inter-node consistent (Def. 3.2).
+//! 3. **Switch to a new read version** — broadcast `vr_old + 1`, collect
+//!    acks; new queries now read the freshly consistent version.
+//! 4. **Garbage collection** — poll `vr_old`'s counters until the old
+//!    queries drain, then tell every node to collect versions `< vr_new`.
+//!
+//! # Termination detection: the two-round rule
+//!
+//! The coordinator polls counters *asynchronously* — no locks, no quiescing.
+//! Each node replies with an **atomic snapshot** of its local `R`/`C` rows
+//! (a node processes one message at a time). A poll round is *balanced*
+//! when `R(v)pq == C(v)pq` for every pair in the assembled
+//! [`CounterMatrix`]. The coordinator declares termination only after
+//! **two consecutive rounds that are balanced and identical**, where round
+//! `k+1` starts strictly after every round-`k` reply has arrived.
+//!
+//! *Why one balanced round is not enough*: snapshots at different nodes are
+//! taken at different times. On the pair `(p, q)`, a subtransaction `B`
+//! requested after `p`'s snapshot but completed before `q`'s snapshot
+//! contributes `C` without `R` and can mask an outstanding subtransaction
+//! `S` that contributes `R` without `C` — balanced, yet work is in flight.
+//!
+//! *Why two identical balanced rounds suffice*: counters are monotone.
+//! Suppose some version-`v` subtransaction `S` executes after round 2's
+//! snapshots. Walk up `S`'s ancestor chain to the root, which necessarily
+//! executed before Phase 1 completed (after a node acks Phase 1 it assigns
+//! only newer versions), hence before round 1. Let `A` be the deepest
+//! ancestor that executed before its node's round-1 snapshot; `A`'s spawn
+//! of the next ancestor `A'` incremented `R[node(A) → node(A')]` *in* round
+//! 1, while `A'` — which executes only after its node's round-1 snapshot —
+//! has no round-1 `C`. Balance in round 1 then requires a masking
+//! subtransaction `B` on the same pair whose request increment happened
+//! after `node(A)`'s round-1 snapshot and whose completion preceded
+//! `node(A')`'s round-1 snapshot — but that request increment is then
+//! visible in round 2 and not in round 1, contradicting *identical*.
+//! Because a node's own completion (`C`) increments in the same atomic
+//! handler as its children's requests (`R`), the argument needs no
+//! cross-node clock. Compensating subtransactions and NC3V completions
+//! (deferred to the 2PC decision) follow the same counting discipline, so
+//! they are covered by the same argument. The property-based test
+//! `tests/advancement_safety.rs` hammers this with random topologies.
+
+use std::collections::HashMap;
+
+use threev_analysis::VersionTimeline;
+use threev_model::{NodeId, VersionNo};
+use threev_sim::{Actor, Ctx, SimDuration, SimTime};
+
+use crate::counters::{CounterMatrix, CounterSnapshot};
+use crate::msg::Msg;
+
+/// When the coordinator starts advancements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdvancementPolicy {
+    /// Never advance automatically; only on [`Msg::TriggerAdvancement`].
+    Manual,
+    /// Advance every `period`, first at `first` (skipped while one is
+    /// already running — the paper assumes at most one instance at a time).
+    Periodic {
+        /// Delay before the first advancement.
+        first: SimDuration,
+        /// Interval between advancement starts.
+        period: SimDuration,
+    },
+}
+
+/// Coordinator configuration.
+#[derive(Clone, Debug)]
+pub struct CoordinatorConfig {
+    /// Advancement scheduling policy.
+    pub policy: AdvancementPolicy,
+    /// Delay between counter poll rounds in phases 2 and 4.
+    pub poll_interval: SimDuration,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            policy: AdvancementPolicy::Manual,
+            poll_interval: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// Timing record of one completed advancement (experiments X2/X8).
+#[derive(Clone, Debug)]
+pub struct AdvancementRecord {
+    /// The update version this advancement opened.
+    pub vu_new: VersionNo,
+    /// Phase 1 start.
+    pub started: SimTime,
+    /// All Phase 1 acks received.
+    pub p1_done: SimTime,
+    /// Update phase-out detected (version consistent).
+    pub p2_done: SimTime,
+    /// All Phase 3 acks received (new read version live).
+    pub p3_done: SimTime,
+    /// Old queries drained and GC broadcast.
+    pub p4_done: SimTime,
+    /// Poll rounds used in phase 2.
+    pub p2_rounds: u64,
+    /// Poll rounds used in phase 4.
+    pub p4_rounds: u64,
+}
+
+impl AdvancementRecord {
+    /// Total wall time of the advancement.
+    pub fn total(&self) -> SimDuration {
+        self.p4_done.since(self.started)
+    }
+
+    /// Time from start until reads switched (the user-visible part).
+    pub fn to_read_switch(&self) -> SimDuration {
+        self.p3_done.since(self.started)
+    }
+}
+
+#[derive(Debug)]
+enum Phase {
+    Idle,
+    P1 {
+        acks: u32,
+    },
+    /// Polling `version`; generic over phases 2 and 4.
+    Polling {
+        version: VersionNo,
+        round: u64,
+        reports: HashMap<NodeId, CounterSnapshot>,
+        prev: Option<CounterMatrix>,
+        is_phase2: bool,
+    },
+    P3 {
+        acks: u32,
+    },
+    /// GC broadcast sent; waiting for every node's ack before going idle.
+    P4Gc {
+        acks: u32,
+    },
+}
+
+/// The advancement coordinator actor.
+pub struct Coordinator {
+    nodes: Vec<NodeId>,
+    cfg: CoordinatorConfig,
+    vu: VersionNo,
+    vr: VersionNo,
+    phase: Phase,
+    // current advancement's partial record
+    cur: Option<AdvancementRecord>,
+    records: Vec<AdvancementRecord>,
+    timeline: VersionTimeline,
+    pending_trigger: bool,
+}
+
+const TIMER_POLICY: u64 = 0;
+const TIMER_POLL: u64 = 1;
+
+impl Coordinator {
+    /// New coordinator over `n_nodes` database nodes (ids `0..n_nodes`).
+    pub fn new(n_nodes: u16, cfg: CoordinatorConfig) -> Self {
+        Coordinator {
+            nodes: (0..n_nodes).map(NodeId).collect(),
+            cfg,
+            vu: VersionNo(1),
+            vr: VersionNo(0),
+            phase: Phase::Idle,
+            cur: None,
+            records: Vec::new(),
+            timeline: VersionTimeline::new(),
+            pending_trigger: false,
+        }
+    }
+
+    /// Completed advancement records.
+    pub fn records(&self) -> &[AdvancementRecord] {
+        &self.records
+    }
+
+    /// The version timeline (close/publish instants) for staleness analysis.
+    pub fn timeline(&self) -> &VersionTimeline {
+        &self.timeline
+    }
+
+    /// Coordinator's view of the current read version.
+    pub fn vr(&self) -> VersionNo {
+        self.vr
+    }
+
+    /// Coordinator's view of the current update version.
+    pub fn vu(&self) -> VersionNo {
+        self.vu
+    }
+
+    /// Is an advancement currently running?
+    pub fn busy(&self) -> bool {
+        !matches!(self.phase, Phase::Idle)
+    }
+
+    fn start_advancement(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.busy() {
+            // At most one instance runs at a time (paper §4.3 assumption);
+            // remember that another was requested.
+            self.pending_trigger = true;
+            return;
+        }
+        let vu_new = self.vu.next();
+        ctx.trace(|| format!("advancement to {vu_new} begins (phase 1)"));
+        // vu_old stops accumulating *new* transactions now-ish; its close
+        // time is the phase-1 start (conservative for staleness).
+        self.timeline.record_closed(self.vu, ctx.now());
+        self.cur = Some(AdvancementRecord {
+            vu_new,
+            started: ctx.now(),
+            p1_done: ctx.now(),
+            p2_done: ctx.now(),
+            p3_done: ctx.now(),
+            p4_done: ctx.now(),
+            p2_rounds: 0,
+            p4_rounds: 0,
+        });
+        self.phase = Phase::P1 { acks: 0 };
+        for n in &self.nodes {
+            ctx.send_tagged(*n, Msg::StartAdvancement { vu_new }, "advance");
+        }
+    }
+
+    fn begin_polling(&mut self, ctx: &mut Ctx<'_, Msg>, version: VersionNo, is_phase2: bool) {
+        self.phase = Phase::Polling {
+            version,
+            round: 0,
+            reports: HashMap::new(),
+            prev: None,
+            is_phase2,
+        };
+        self.send_poll(ctx);
+    }
+
+    fn send_poll(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Phase::Polling { version, round, .. } = &self.phase else {
+            return;
+        };
+        let (version, round) = (*version, *round);
+        for n in &self.nodes {
+            ctx.send_tagged(*n, Msg::ReadCounters { round, version }, "advance");
+        }
+    }
+
+    fn handle_report(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        round: u64,
+        snapshot: CounterSnapshot,
+    ) {
+        let Phase::Polling {
+            round: cur_round,
+            reports,
+            ..
+        } = &mut self.phase
+        else {
+            return;
+        };
+        if round != *cur_round {
+            return; // stale reply from an earlier round
+        }
+        reports.insert(from, snapshot);
+        if reports.len() < self.nodes.len() {
+            return;
+        }
+        // Full round collected: evaluate the two-round rule.
+        let Phase::Polling {
+            version,
+            round,
+            reports,
+            prev,
+            is_phase2,
+        } = &mut self.phase
+        else {
+            unreachable!()
+        };
+        let snaps: Vec<(NodeId, CounterSnapshot)> = reports.drain().collect();
+        let matrix = CounterMatrix::assemble(&snaps);
+        let stable = matrix.balanced() && prev.as_ref() == Some(&matrix);
+        let (version, is_phase2) = (*version, *is_phase2);
+        if stable {
+            let rounds = *round + 1;
+            ctx.trace(|| {
+                format!(
+                    "version {version} drained after {rounds} rounds (phase {})",
+                    if is_phase2 { 2 } else { 4 }
+                )
+            });
+            if is_phase2 {
+                if let Some(c) = &mut self.cur {
+                    c.p2_done = ctx.now();
+                    c.p2_rounds = rounds;
+                }
+                self.enter_phase3(ctx);
+            } else {
+                if let Some(c) = &mut self.cur {
+                    c.p4_done = ctx.now();
+                    c.p4_rounds = rounds;
+                }
+                self.begin_gc(ctx);
+            }
+        } else {
+            *prev = Some(matrix);
+            *round += 1;
+            let interval = self.cfg.poll_interval;
+            ctx.schedule(interval, TIMER_POLL);
+        }
+    }
+
+    fn enter_phase3(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let vr_new = self.vr.next();
+        ctx.trace(|| format!("publishing read version {vr_new} (phase 3)"));
+        self.timeline.record_published(vr_new, ctx.now());
+        self.phase = Phase::P3 { acks: 0 };
+        for n in &self.nodes {
+            ctx.send_tagged(*n, Msg::AdvanceRead { vr_new }, "advance");
+        }
+    }
+
+    fn begin_gc(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let vr_new = self.vr.next();
+        self.vr = vr_new;
+        self.vu = self.vu.next();
+        self.phase = Phase::P4Gc { acks: 0 };
+        for n in &self.nodes {
+            ctx.send_tagged(*n, Msg::Gc { vr_new }, "advance");
+        }
+    }
+
+    fn finish_advancement(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.trace(|| format!("advancement complete: vr={} vu={}", self.vr, self.vu));
+        if let Some(rec) = self.cur.take() {
+            self.records.push(rec);
+        }
+        self.phase = Phase::Idle;
+        if self.pending_trigger {
+            self.pending_trigger = false;
+            self.start_advancement(ctx);
+        }
+    }
+}
+
+impl Actor for Coordinator {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if let AdvancementPolicy::Periodic { first, .. } = self.cfg.policy {
+            ctx.schedule(first, TIMER_POLICY);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::TriggerAdvancement => self.start_advancement(ctx),
+            Msg::AdvanceAck { vu_new } => {
+                if let Phase::P1 { acks } = &mut self.phase {
+                    debug_assert_eq!(vu_new, self.vu.next());
+                    *acks += 1;
+                    if *acks == self.nodes.len() as u32 {
+                        if let Some(c) = &mut self.cur {
+                            c.p1_done = ctx.now();
+                        }
+                        // Phase 2: drain the old update version.
+                        let vu_old = self.vu;
+                        self.begin_polling(ctx, vu_old, true);
+                    }
+                }
+            }
+            Msg::CountersReport { round, snapshot } => {
+                self.handle_report(ctx, from, round, snapshot)
+            }
+            Msg::GcAck { .. } => {
+                if let Phase::P4Gc { acks } = &mut self.phase {
+                    *acks += 1;
+                    if *acks == self.nodes.len() as u32 {
+                        self.finish_advancement(ctx);
+                    }
+                }
+            }
+            Msg::AdvanceReadAck { vr_new } => {
+                if let Phase::P3 { acks } = &mut self.phase {
+                    debug_assert_eq!(vr_new, self.vr.next());
+                    *acks += 1;
+                    if *acks == self.nodes.len() as u32 {
+                        if let Some(c) = &mut self.cur {
+                            c.p3_done = ctx.now();
+                        }
+                        // Phase 4: drain the old read version's queries.
+                        let vr_old = self.vr;
+                        self.begin_polling(ctx, vr_old, false);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        match token {
+            TIMER_POLICY => {
+                self.start_advancement(ctx);
+                if let AdvancementPolicy::Periodic { period, .. } = self.cfg.policy {
+                    ctx.schedule(period, TIMER_POLICY);
+                }
+            }
+            TIMER_POLL => self.send_poll(ctx),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Request/completion counters (paper §2.2, §4.3).
+//!
+//! For every active version `v`, node `p` keeps:
+//!
+//! * `R(v)pq` — requests *sent from* `p` *to* `q` for version-`v`
+//!   subtransactions (including `R(v)pp`, incremented when a root
+//!   subtransaction arrives at `p`); request counters live at the sender;
+//! * `C(v)op` — version-`v` subtransactions *submitted by* `o` that have
+//!   *completed at* `p`; completion counters live at the executor.
+//!
+//! All version-`v` activity has terminated exactly when `R(v)pq == C(v)pq`
+//! for every ordered pair `(p, q)` — the coordinator assembles that matrix
+//! from per-node snapshots (see [`CounterMatrix`]) and applies the two-round
+//! stability rule described in [`crate::advance`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use threev_model::{NodeId, VersionNo};
+
+/// One node's counters for one version: an outgoing request row and an
+/// incoming completion row.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VersionCounters {
+    /// `R(v)·q`: requests this node sent to `q` (including itself).
+    pub requests_to: HashMap<NodeId, u64>,
+    /// `C(v)o·`: completions at this node of subtransactions from `o`.
+    pub completions_from: HashMap<NodeId, u64>,
+}
+
+/// All active-version counters of one node.
+#[derive(Clone, Debug, Default)]
+pub struct CounterTable {
+    versions: HashMap<VersionNo, VersionCounters>,
+}
+
+impl CounterTable {
+    /// New, empty table (counters materialise lazily at zero, which is
+    /// equivalent to the paper's "allocate and initialize to zero").
+    pub fn new() -> Self {
+        CounterTable::default()
+    }
+
+    /// Increment `R(v)` towards `to` (before sending the subtransaction —
+    /// §4.1 step 5 — so the request is never invisible while in flight).
+    pub fn inc_request(&mut self, v: VersionNo, to: NodeId) {
+        *self
+            .versions
+            .entry(v)
+            .or_default()
+            .requests_to
+            .entry(to)
+            .or_insert(0) += 1;
+    }
+
+    /// Increment `C(v)` from `source` (in the same atomic step as the
+    /// subtransaction's termination — §4.1 step 6).
+    pub fn inc_completion(&mut self, v: VersionNo, source: NodeId) {
+        *self
+            .versions
+            .entry(v)
+            .or_default()
+            .completions_from
+            .entry(source)
+            .or_insert(0) += 1;
+    }
+
+    /// Atomic snapshot of this node's version-`v` counters.
+    pub fn snapshot(&self, v: VersionNo) -> CounterSnapshot {
+        let empty = VersionCounters::default();
+        let vc = self.versions.get(&v).unwrap_or(&empty);
+        CounterSnapshot {
+            version: v,
+            requests_to: vc.requests_to.iter().map(|(n, c)| (*n, *c)).collect(),
+            completions_from: vc.completions_from.iter().map(|(n, c)| (*n, *c)).collect(),
+        }
+    }
+
+    /// Drop counters for all versions `< vr_new` (§4.3 Phase 4 GC).
+    pub fn gc(&mut self, vr_new: VersionNo) {
+        self.versions.retain(|v, _| *v >= vr_new);
+    }
+
+    /// Number of versions with live counters (observability/tests).
+    pub fn active_versions(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Raw access for assertions in tests.
+    pub fn request(&self, v: VersionNo, to: NodeId) -> u64 {
+        self.versions
+            .get(&v)
+            .and_then(|vc| vc.requests_to.get(&to))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Raw access for assertions in tests.
+    pub fn completion(&self, v: VersionNo, from: NodeId) -> u64 {
+        self.versions
+            .get(&v)
+            .and_then(|vc| vc.completions_from.get(&from))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// One node's reply to a coordinator counter poll. Taken atomically (a node
+/// processes one message at a time), which the termination-detection proof
+/// relies on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// The version polled.
+    pub version: VersionNo,
+    /// `(q, R(v)·q)` rows.
+    pub requests_to: Vec<(NodeId, u64)>,
+    /// `(o, C(v)o·)` rows.
+    pub completions_from: Vec<(NodeId, u64)>,
+}
+
+/// The coordinator-side pairwise matrix assembled from all nodes' snapshots
+/// for one version.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterMatrix {
+    /// `(p, q) -> (R(v)pq, C(v)pq)`; `R` comes from `p`'s snapshot, `C`
+    /// from `q`'s.
+    pairs: BTreeMap<(NodeId, NodeId), (u64, u64)>,
+}
+
+impl CounterMatrix {
+    /// Assemble from `(node, snapshot)` pairs (one snapshot per node).
+    pub fn assemble(snapshots: &[(NodeId, CounterSnapshot)]) -> Self {
+        let mut pairs: BTreeMap<(NodeId, NodeId), (u64, u64)> = BTreeMap::new();
+        for (p, snap) in snapshots {
+            for (q, r) in &snap.requests_to {
+                pairs.entry((*p, *q)).or_default().0 += r;
+            }
+            for (o, c) in &snap.completions_from {
+                pairs.entry((*o, *p)).or_default().1 += c;
+            }
+        }
+        CounterMatrix { pairs }
+    }
+
+    /// Is every pair balanced (`R == C`)?
+    pub fn balanced(&self) -> bool {
+        self.pairs.values().all(|(r, c)| r == c)
+    }
+
+    /// Total outstanding requests (`Σ R - Σ C`, saturating).
+    pub fn outstanding(&self) -> u64 {
+        let (r, c) = self
+            .pairs
+            .values()
+            .fold((0u64, 0u64), |(ar, ac), (r, c)| (ar + r, ac + c));
+        r.saturating_sub(c)
+    }
+
+    /// Number of tracked pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Is the matrix empty (no activity at all)?
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+    fn v(i: u32) -> VersionNo {
+        VersionNo(i)
+    }
+
+    #[test]
+    fn lazy_counters_start_at_zero() {
+        let t = CounterTable::new();
+        assert_eq!(t.request(v(1), n(0)), 0);
+        assert_eq!(t.completion(v(1), n(0)), 0);
+        let snap = t.snapshot(v(1));
+        assert!(snap.requests_to.is_empty());
+        assert!(snap.completions_from.is_empty());
+    }
+
+    #[test]
+    fn increments_accumulate() {
+        let mut t = CounterTable::new();
+        t.inc_request(v(1), n(1));
+        t.inc_request(v(1), n(1));
+        t.inc_request(v(2), n(1));
+        t.inc_completion(v(1), n(0));
+        assert_eq!(t.request(v(1), n(1)), 2);
+        assert_eq!(t.request(v(2), n(1)), 1);
+        assert_eq!(t.completion(v(1), n(0)), 1);
+        assert_eq!(t.active_versions(), 2);
+    }
+
+    #[test]
+    fn gc_drops_old_versions() {
+        let mut t = CounterTable::new();
+        t.inc_request(v(0), n(0));
+        t.inc_request(v(1), n(0));
+        t.inc_request(v(2), n(0));
+        t.gc(v(2));
+        assert_eq!(t.active_versions(), 1);
+        assert_eq!(t.request(v(2), n(0)), 1);
+        assert_eq!(t.request(v(1), n(0)), 0);
+    }
+
+    #[test]
+    fn matrix_balances_paper_example() {
+        // Paper Table 1 mid-flight: i at p spawned iq to q (R1pq=1) which
+        // has not completed yet.
+        let mut p = CounterTable::new();
+        let mut q = CounterTable::new();
+        p.inc_request(v(1), n(0)); // root at p
+        p.inc_completion(v(1), n(0)); // root completed
+        p.inc_request(v(1), n(1)); // spawned iq
+        let m = CounterMatrix::assemble(&[(n(0), p.snapshot(v(1))), (n(1), q.snapshot(v(1)))]);
+        assert!(!m.balanced());
+        assert_eq!(m.outstanding(), 1);
+
+        // iq completes at q (source = p).
+        q.inc_completion(v(1), n(0));
+        let m = CounterMatrix::assemble(&[(n(0), p.snapshot(v(1))), (n(1), q.snapshot(v(1)))]);
+        assert!(m.balanced());
+        assert_eq!(m.outstanding(), 0);
+        assert_eq!(m.len(), 2); // (p,p) and (p,q)
+    }
+
+    #[test]
+    fn matrix_detects_cross_pair_imbalance() {
+        // Equal totals but unbalanced pairs must NOT pass.
+        let mut p = CounterTable::new();
+        let mut q = CounterTable::new();
+        p.inc_request(v(1), n(1)); // p -> q request
+        q.inc_completion(v(1), n(1)); // q completed something from q (!)
+        let m = CounterMatrix::assemble(&[(n(0), p.snapshot(v(1))), (n(1), q.snapshot(v(1)))]);
+        assert!(!m.balanced());
+        assert_eq!(m.outstanding(), 0, "totals cancel but pairs do not");
+    }
+
+    #[test]
+    fn empty_matrix_is_balanced() {
+        let m = CounterMatrix::assemble(&[]);
+        assert!(m.balanced());
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn snapshots_are_value_copies() {
+        let mut t = CounterTable::new();
+        t.inc_request(v(1), n(1));
+        let snap = t.snapshot(v(1));
+        t.inc_request(v(1), n(1));
+        assert_eq!(snap.requests_to, vec![(n(1), 1)]);
+        assert_eq!(t.request(v(1), n(1)), 2);
+    }
+}

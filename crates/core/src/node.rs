@@ -1,0 +1,1164 @@
+//! The per-node 3V engine.
+//!
+//! Implements, for one database node:
+//!
+//! * §4.1 — execution of well-behaved update subtransactions: version
+//!   assignment at the root, version inference from arriving descendants,
+//!   copy-on-update, the update-all-≥`V(T)` rule, request/completion counter
+//!   maintenance;
+//! * §4.2 — read-only queries (no locks, never delayed, never aborted);
+//! * §4.3 — the node side of version advancement: update/read version
+//!   switches, atomic counter snapshots, garbage collection;
+//! * §3.2 — compensation: tree-structured compensating subtransactions with
+//!   per-node deduplication and tombstones for the "compensate before the
+//!   original arrives" race;
+//! * §5 — NC3V: the `vu == vr + 1` gate for non-commuting roots, exclusive
+//!   locks with wait-die, the stale-version abort rule, and two-phase
+//!   commit with completion counters incremented atomically with the
+//!   decision.
+//!
+//! The engine is a sans-io state machine: all effects flow through the
+//! [`Ctx`] handle, so the same code runs under the discrete-event simulator
+//! and the real-thread runtime.
+//!
+//! **Local concurrency control.** The paper assumes a local scheme that
+//! serializes subtransactions on each node. Here a node processes one
+//! message at a time, so subtransaction *steps* are trivially atomic; the
+//! lock table (active only when non-commuting transactions are admitted)
+//! adds two-phase locking across messages, exactly as §5 prescribes.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use threev_analysis::ReadObservation;
+use threev_model::{
+    Key, NodeId, OpStep, Schema, SubtxnId, SubtxnPlan, TxnId, TxnKind, UpdateOp, VersionNo,
+};
+use threev_sim::{Actor, Ctx, SimDuration};
+use threev_storage::{LockDecision, LockMode, LockTable, Store, StoreStats, UndoLog};
+
+use crate::counters::CounterTable;
+use crate::msg::Msg;
+
+/// Per-node protocol configuration (shared by all nodes of a cluster).
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Enable the NC3V lock table. When `false` (pure 3V), well-behaved
+    /// transactions take no locks at all.
+    pub locks_enabled: bool,
+    /// Backoff before retrying a commuting subtransaction that lost a
+    /// wait-die race (only possible when `locks_enabled`).
+    pub retry_backoff: SimDuration,
+    /// How many times a non-commuting transaction is retried after a global
+    /// abort before the failure is reported to the client.
+    pub nc_max_retries: u32,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            locks_enabled: false,
+            retry_backoff: SimDuration::from_micros(500),
+            nc_max_retries: 20,
+        }
+    }
+}
+
+/// Observable per-node protocol statistics.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStats {
+    /// Subtransactions executed (including compensating ones).
+    pub subtxns_executed: u64,
+    /// Root subtransactions that arrived here.
+    pub roots: u64,
+    /// Compensating subtransactions applied.
+    pub compensations_applied: u64,
+    /// Tombstones created (compensation overtook the original).
+    pub tombstones: u64,
+    /// Subtransactions skipped because of a tombstone.
+    pub skipped_tombstoned: u64,
+    /// Commuting subtransactions retried after a wait-die loss.
+    pub commuting_retries: u64,
+    /// Subtransactions parked waiting for a lock.
+    pub parked: u64,
+    /// NC transactions locally doomed by the §5 stale-version abort rule.
+    pub nc_stale_aborts: u64,
+    /// NC participants that voted yes and committed.
+    pub nc_commits: u64,
+    /// NC participants rolled back by a global abort.
+    pub nc_rollbacks: u64,
+    /// NC roots that exhausted their retries.
+    pub nc_gave_up: u64,
+    /// NC roots that waited at the `vu == vr + 1` gate.
+    pub nc_gated: u64,
+}
+
+/// A unit of runnable work: one subtransaction with its full context.
+#[derive(Clone, Debug)]
+struct Job {
+    txn: TxnId,
+    kind: TxnKind,
+    version: VersionNo,
+    plan: SubtxnPlan,
+    /// `(parent node, parent subtransaction)`; `None` for roots.
+    parent: Option<(NodeId, SubtxnId)>,
+    client: NodeId,
+    fail_node: Option<NodeId>,
+    /// Node credited in the completion counter (`source(T)` of §4.1).
+    source: NodeId,
+}
+
+/// Completion-notice bookkeeping for one subtransaction executed here.
+#[derive(Debug)]
+struct SubTracker {
+    txn: TxnId,
+    kind: TxnKind,
+    version: VersionNo,
+    parent: Option<(NodeId, SubtxnId)>,
+    client: NodeId,
+    pending_children: u32,
+    participants: BTreeSet<NodeId>,
+    clean: bool,
+}
+
+/// What this transaction did on this node — enough to compensate it.
+#[derive(Debug, Default)]
+struct Footprint {
+    version: VersionNo,
+    neighbors: BTreeSet<NodeId>,
+    inverse_steps: Vec<(Key, UpdateOp)>,
+    compensated: bool,
+    is_root: bool,
+    client: Option<NodeId>,
+}
+
+/// Participant-side state of one NC transaction.
+#[derive(Debug, Default)]
+struct NcLocal {
+    undo: UndoLog,
+    /// `(version, source)` completion-counter increments owed at decision.
+    pending_completions: Vec<(VersionNo, NodeId)>,
+    doomed: bool,
+    decided: bool,
+}
+
+/// Root-side 2PC state of one NC transaction.
+#[derive(Debug)]
+struct NcCoord {
+    participants: BTreeSet<NodeId>,
+    votes: HashMap<NodeId, bool>,
+    version: VersionNo,
+}
+
+/// Root-side retry context for NC transactions.
+#[derive(Debug)]
+struct NcRootCtx {
+    plan: SubtxnPlan,
+    client: NodeId,
+    fail_node: Option<NodeId>,
+    retries_left: u32,
+}
+
+/// A subtransaction waiting for a lock.
+#[derive(Debug)]
+struct Parked {
+    keys: Vec<(Key, LockMode)>,
+    next: usize,
+    job: Job,
+}
+
+enum TimerAction {
+    RetryJob(Box<Job>),
+    RetryNcRoot(TxnId),
+}
+
+/// The 3V engine for one node.
+pub struct ThreeVNode {
+    me: NodeId,
+    cfg: NodeConfig,
+    vu: VersionNo,
+    vr: VersionNo,
+    store: Store,
+    counters: CounterTable,
+    locks: LockTable,
+    spawn_seq: u64,
+    trackers: HashMap<SubtxnId, SubTracker>,
+    footprints: HashMap<TxnId, Footprint>,
+    tombstones: HashSet<TxnId>,
+    nc_local: HashMap<TxnId, NcLocal>,
+    nc_coord: HashMap<TxnId, NcCoord>,
+    nc_root_ctx: HashMap<TxnId, NcRootCtx>,
+    nc_waiting: Vec<Job>,
+    parked: HashMap<TxnId, Parked>,
+    timers: HashMap<u64, TimerAction>,
+    next_timer: u64,
+    stats: NodeStats,
+}
+
+impl ThreeVNode {
+    /// Build the node: store initialised from the schema, `vr = 0`,
+    /// `vu = 1` (paper §4 initial conditions).
+    pub fn new(schema: &Schema, me: NodeId, cfg: NodeConfig) -> Self {
+        ThreeVNode {
+            me,
+            cfg,
+            vu: VersionNo(1),
+            vr: VersionNo(0),
+            store: Store::from_schema(schema, me),
+            counters: CounterTable::new(),
+            locks: LockTable::new(),
+            spawn_seq: 0,
+            trackers: HashMap::new(),
+            footprints: HashMap::new(),
+            tombstones: HashSet::new(),
+            nc_local: HashMap::new(),
+            nc_coord: HashMap::new(),
+            nc_root_ctx: HashMap::new(),
+            nc_waiting: Vec::new(),
+            parked: HashMap::new(),
+            timers: HashMap::new(),
+            next_timer: 0,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Current update version `vu`.
+    pub fn vu(&self) -> VersionNo {
+        self.vu
+    }
+
+    /// Current read version `vr`.
+    pub fn vr(&self) -> VersionNo {
+        self.vr
+    }
+
+    /// The node's store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Storage statistics.
+    pub fn store_stats(&self) -> &StoreStats {
+        self.store.stats()
+    }
+
+    /// Protocol statistics.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Counter table (read access for tests and the Table 1 replay).
+    pub fn counters(&self) -> &CounterTable {
+        &self.counters
+    }
+
+    /// Lock table (read access for invariant checks).
+    pub fn locks(&self) -> &LockTable {
+        &self.locks
+    }
+
+    /// Is the node quiescent (no trackers, parked work, or NC state)?
+    pub fn is_quiescent(&self) -> bool {
+        self.trackers.is_empty()
+            && self.parked.is_empty()
+            && self.nc_local.is_empty()
+            && self.nc_coord.is_empty()
+            && self.nc_waiting.is_empty()
+            && self.locks.is_idle()
+    }
+
+    // ------------------------------------------------------------ helpers
+
+    fn schedule(&mut self, ctx: &mut Ctx<'_, Msg>, delay: SimDuration, action: TimerAction) {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(token, action);
+        ctx.schedule(delay, token);
+    }
+
+    fn advance_vu(&mut self, ctx: &mut Ctx<'_, Msg>, vu_new: VersionNo, inferred: bool) {
+        if vu_new > self.vu {
+            self.vu = vu_new;
+            if ctx.tracing() {
+                let how = if inferred {
+                    "inferred from arriving subtx"
+                } else {
+                    "notice arrives"
+                };
+                ctx.trace(|| format!("advances update version to {vu_new} ({how})"));
+            }
+        } else if ctx.tracing() && !inferred {
+            ctx.trace(|| format!("update version already advanced to {}", self.vu));
+        }
+    }
+
+    fn new_sub_id(&mut self) -> SubtxnId {
+        let id = SubtxnId::new(self.me, self.spawn_seq);
+        self.spawn_seq += 1;
+        id
+    }
+
+    // ------------------------------------------------------ job execution
+
+    /// Entry point for any subtransaction (root or descendant) once its
+    /// version is fixed. Handles fault injection, tombstones, and locks,
+    /// then executes.
+    fn run_job(&mut self, ctx: &mut Ctx<'_, Msg>, job: Job) {
+        // Fault injection (experiment X10): this subtransaction aborts.
+        if job.fail_node == Some(self.me) && job.kind == TxnKind::Commuting {
+            self.abort_subtxn(ctx, &job);
+            return;
+        }
+        // Compensation got here first (tombstone), or already swept through
+        // this node (compensated footprint): the transaction is aborted and
+        // this subtransaction must not execute (nor spawn its subtree).
+        let compensated_here = self.footprints.get(&job.txn).is_some_and(|f| f.compensated);
+        if self.tombstones.contains(&job.txn) || compensated_here {
+            self.stats.skipped_tombstoned += 1;
+            self.counters.inc_completion(job.version, job.source);
+            self.finish_without_effects(ctx, &job, false);
+            return;
+        }
+        // Locks (NC3V mode only).
+        if self.cfg.locks_enabled && job.kind != TxnKind::ReadOnly {
+            let mode = match job.kind {
+                TxnKind::Commuting => LockMode::Commute,
+                TxnKind::NonCommuting => LockMode::Exclusive,
+                TxnKind::ReadOnly => unreachable!(),
+            };
+            let mut keys: Vec<(Key, LockMode)> =
+                job.plan.steps.iter().map(|s| (s.key(), mode)).collect();
+            keys.sort_by_key(|(k, _)| *k);
+            keys.dedup_by_key(|(k, _)| *k);
+            self.acquire_and_run(ctx, Parked { keys, next: 0, job });
+            return;
+        }
+        self.execute_job(ctx, job);
+    }
+
+    /// Acquire locks one by one; park on a wait, retry/doom on a die.
+    fn acquire_and_run(&mut self, ctx: &mut Ctx<'_, Msg>, mut parked: Parked) {
+        while parked.next < parked.keys.len() {
+            let (key, mode) = parked.keys[parked.next];
+            match self.locks.acquire(key, mode, parked.job.txn) {
+                LockDecision::Granted => parked.next += 1,
+                LockDecision::Waiting => {
+                    self.stats.parked += 1;
+                    self.parked.insert(parked.job.txn, parked);
+                    return;
+                }
+                LockDecision::Abort => {
+                    // Locks already held by this transaction (from this
+                    // acquisition or earlier subtransactions here) are NOT
+                    // released: they may protect applied-but-uncommitted
+                    // effects. They fall with the eventual clean-up
+                    // (commuting) or NC decision (non-commuting).
+                    let job = parked.job;
+                    match job.kind {
+                        TxnKind::Commuting => {
+                            // Nothing applied by THIS subtransaction yet: a
+                            // pure local retry preserves exactly-once.
+                            self.stats.commuting_retries += 1;
+                            let backoff = self.cfg.retry_backoff;
+                            self.schedule(ctx, backoff, TimerAction::RetryJob(Box::new(job)));
+                        }
+                        TxnKind::NonCommuting => {
+                            self.doom_nc(ctx, &job);
+                        }
+                        TxnKind::ReadOnly => unreachable!("reads take no locks"),
+                    }
+                    return;
+                }
+            }
+        }
+        let job = parked.job;
+        self.execute_job(ctx, job);
+    }
+
+    fn process_grants(&mut self, ctx: &mut Ctx<'_, Msg>, grants: threev_storage::locks::Grants) {
+        for (txn, key, _mode) in grants {
+            if let Some(mut parked) = self.parked.remove(&txn) {
+                debug_assert_eq!(parked.keys[parked.next].0, key);
+                parked.next += 1;
+                self.acquire_and_run(ctx, parked);
+            }
+            // Grants for non-parked transactions are re-entrant no-ops.
+        }
+    }
+
+    /// A locally-doomed NC subtransaction: record the doom; the global
+    /// abort happens through the 2PC vote. The subtransaction "terminates"
+    /// without effects and without spawning children.
+    fn doom_nc(&mut self, ctx: &mut Ctx<'_, Msg>, job: &Job) {
+        let local = self.nc_local.entry(job.txn).or_default();
+        local.doomed = true;
+        local.pending_completions.push((job.version, job.source));
+        self.finish_without_effects(ctx, job, false);
+    }
+
+    /// Fault-injected abort of a commuting subtransaction (§3.2): no local
+    /// effects, compensate the rest of the tree through the parent.
+    fn abort_subtxn(&mut self, ctx: &mut Ctx<'_, Msg>, job: &Job) {
+        ctx.trace(|| format!("subtx of {} aborts; compensation begins", job.txn));
+        self.tombstones.insert(job.txn);
+        self.stats.tombstones += 1;
+        self.counters.inc_completion(job.version, job.source);
+        if let Some((parent_node, _)) = job.parent {
+            self.counters.inc_request(job.version, parent_node);
+            ctx.send_tagged(
+                parent_node,
+                Msg::Compensate {
+                    txn: job.txn,
+                    version: job.version,
+                },
+                "compensate",
+            );
+        }
+        self.finish_without_effects(ctx, job, true);
+    }
+
+    /// Close out a subtransaction that executed no steps and spawned no
+    /// children (tombstoned, doomed, or fault-aborted). `already_counted`
+    /// is true when the caller has handled the completion counter.
+    fn finish_without_effects(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        job: &Job,
+        _already_counted: bool,
+    ) {
+        let sub_id = self.new_sub_id();
+        self.trackers.insert(
+            sub_id,
+            SubTracker {
+                txn: job.txn,
+                kind: job.kind,
+                version: job.version,
+                parent: job.parent,
+                client: job.client,
+                pending_children: 0,
+                participants: BTreeSet::new(),
+                clean: false,
+            },
+        );
+        self.finish_subtree(ctx, sub_id);
+    }
+
+    /// Execute the local steps, spawn children, and complete — §4.1 steps
+    /// 3–6 (well-behaved), §4.2 (queries), §5 steps 3–5 (non-commuting).
+    fn execute_job(&mut self, ctx: &mut Ctx<'_, Msg>, job: Job) {
+        self.stats.subtxns_executed += 1;
+        let mut reads: Vec<ReadObservation> = Vec::new();
+        let mut clean = true;
+
+        match job.kind {
+            TxnKind::ReadOnly | TxnKind::Commuting => {
+                for step in &job.plan.steps {
+                    match step {
+                        OpStep::Read(key) => {
+                            let (ver, value) = self
+                                .store
+                                .read_visible(*key, job.version)
+                                .unwrap_or_else(|e| panic!("{}: read: {e}", self.me));
+                            if ctx.tracing() {
+                                ctx.trace(|| format!("{} reads {key} version {ver}", job.txn));
+                            }
+                            reads.push(ReadObservation {
+                                key: *key,
+                                version: Some(ver),
+                                value,
+                            });
+                        }
+                        OpStep::Update(key, op) => {
+                            let out = self
+                                .store
+                                .update(*key, job.version, *op, job.txn, None)
+                                .unwrap_or_else(|e| panic!("{}: update: {e}", self.me));
+                            if ctx.tracing() {
+                                let n = out.versions_written;
+                                ctx.trace(|| {
+                                    format!(
+                                        "{} updates {key} version {}{}",
+                                        job.txn,
+                                        job.version,
+                                        if n > 1 { " (and newer copies)" } else { "" }
+                                    )
+                                });
+                            }
+                            // Record the inverse for potential compensation.
+                            let fp = self.footprints.entry(job.txn).or_default();
+                            fp.version = job.version;
+                            fp.inverse_steps.push((*key, op.compensation(None)));
+                        }
+                    }
+                }
+            }
+            TxnKind::NonCommuting => {
+                // A sibling subtransaction may already have doomed this
+                // transaction locally; terminate without effects.
+                if self.nc_local.get(&job.txn).is_some_and(|l| l.doomed) {
+                    self.doom_nc(ctx, &job);
+                    return;
+                }
+                // §5 step 4: abort if any accessed item already exists in a
+                // version above V(K); otherwise update x(V(K)) only.
+                let mut doomed = false;
+                for step in &job.plan.steps {
+                    if self
+                        .store
+                        .exists_above(step.key(), job.version)
+                        .unwrap_or_else(|e| panic!("{}: nc check: {e}", self.me))
+                    {
+                        doomed = true;
+                        break;
+                    }
+                }
+                if doomed {
+                    self.stats.nc_stale_aborts += 1;
+                    self.doom_nc(ctx, &job);
+                    return;
+                }
+                // Split borrow: take the undo log out while touching the store.
+                let mut local = self.nc_local.remove(&job.txn).unwrap_or_default();
+                for step in &job.plan.steps {
+                    match step {
+                        OpStep::Read(key) => {
+                            let (ver, value) = self
+                                .store
+                                .read_visible(*key, job.version)
+                                .unwrap_or_else(|e| panic!("{}: nc read: {e}", self.me));
+                            reads.push(ReadObservation {
+                                key: *key,
+                                version: Some(ver),
+                                value,
+                            });
+                        }
+                        OpStep::Update(key, op) => {
+                            self.store
+                                .update(*key, job.version, *op, job.txn, Some(&mut local.undo))
+                                .unwrap_or_else(|e| panic!("{}: nc update: {e}", self.me));
+                        }
+                    }
+                }
+                local.pending_completions.push((job.version, job.source));
+                self.nc_local.insert(job.txn, local);
+                clean = true;
+            }
+        }
+
+        // Maintain the compensation footprint's neighbour set.
+        if job.kind == TxnKind::Commuting {
+            let fp = self.footprints.entry(job.txn).or_default();
+            fp.version = job.version;
+            if let Some((parent_node, _)) = job.parent {
+                if parent_node != self.me {
+                    fp.neighbors.insert(parent_node);
+                }
+            } else {
+                fp.is_root = true;
+                fp.client = Some(job.client);
+            }
+            for child in &job.plan.children {
+                if child.node != self.me {
+                    fp.neighbors.insert(child.node);
+                }
+            }
+        }
+
+        // §4.1 step 5: increment R, then send, then commit locally.
+        let sub_id = self.new_sub_id();
+        let n_children = job.plan.children.len() as u32;
+        for child in &job.plan.children {
+            self.counters.inc_request(job.version, child.node);
+            if ctx.tracing() {
+                let r = self.counters.request(job.version, child.node);
+                let (me, v, to) = (self.me, job.version, child.node);
+                ctx.trace(|| format!("subtx of {} issued to {to}; R{v} {me}->{to} = {r}", job.txn));
+            }
+            ctx.send_tagged(
+                child.node,
+                Msg::Subtxn {
+                    txn: job.txn,
+                    kind: job.kind,
+                    version: job.version,
+                    plan: child.clone(),
+                    parent_sub: sub_id,
+                    client: job.client,
+                    fail_node: job.fail_node,
+                },
+                "subtxn",
+            );
+        }
+
+        // §4.1 step 6: completion counter + terminate, one atomic step —
+        // except NC subtransactions, whose counter moves with the 2PC
+        // decision (§5 step 6).
+        if job.kind != TxnKind::NonCommuting {
+            self.counters.inc_completion(job.version, job.source);
+            if ctx.tracing() {
+                let c = self.counters.completion(job.version, job.source);
+                let (me, v, src) = (self.me, job.version, job.source);
+                ctx.trace(|| format!("subtx of {} completes; C{v} {src}->{me} = {c}", job.txn));
+            }
+        }
+
+        if !reads.is_empty() {
+            ctx.send_tagged(
+                job.client,
+                Msg::ReadResults {
+                    txn: job.txn,
+                    reads,
+                },
+                "client",
+            );
+        }
+
+        self.trackers.insert(
+            sub_id,
+            SubTracker {
+                txn: job.txn,
+                kind: job.kind,
+                version: job.version,
+                parent: job.parent,
+                client: job.client,
+                pending_children: n_children,
+                participants: BTreeSet::new(),
+                clean,
+            },
+        );
+        if n_children == 0 {
+            self.finish_subtree(ctx, sub_id);
+        }
+    }
+
+    /// The subtree rooted at `sub_id` has fully terminated: notify the
+    /// parent, or — at the root — close out the transaction.
+    fn finish_subtree(&mut self, ctx: &mut Ctx<'_, Msg>, sub_id: SubtxnId) {
+        let mut tracker = self.trackers.remove(&sub_id).expect("tracker exists");
+        let mut participants = std::mem::take(&mut tracker.participants);
+        participants.insert(self.me);
+        match tracker.parent {
+            Some((parent_node, parent_sub)) => {
+                ctx.send_tagged(
+                    parent_node,
+                    Msg::SubtreeDone {
+                        txn: tracker.txn,
+                        parent_sub,
+                        participants: participants.into_iter().collect(),
+                        clean: tracker.clean,
+                    },
+                    "notice",
+                );
+            }
+            None => self.tree_complete(ctx, tracker, participants),
+        }
+    }
+
+    /// Whole-tree completion at the root node.
+    fn tree_complete(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        tracker: SubTracker,
+        participants: BTreeSet<NodeId>,
+    ) {
+        ctx.trace(|| format!("{} is complete", tracker.txn));
+        match tracker.kind {
+            TxnKind::ReadOnly => {
+                ctx.send_tagged(
+                    tracker.client,
+                    Msg::TxnDone {
+                        txn: tracker.txn,
+                        version: tracker.version,
+                        committed: true,
+                    },
+                    "client",
+                );
+            }
+            TxnKind::Commuting => {
+                // Compensation may race the completion chain: a transaction
+                // tombstoned or compensated anywhere reports aborted.
+                let aborted = !tracker.clean
+                    || self.tombstones.contains(&tracker.txn)
+                    || self
+                        .footprints
+                        .get(&tracker.txn)
+                        .is_some_and(|f| f.compensated);
+                ctx.send_tagged(
+                    tracker.client,
+                    Msg::TxnDone {
+                        txn: tracker.txn,
+                        version: tracker.version,
+                        committed: !aborted,
+                    },
+                    "client",
+                );
+                // §5 clean-up phase: release commute locks asynchronously.
+                if self.cfg.locks_enabled {
+                    for p in &participants {
+                        ctx.send_tagged(*p, Msg::ReleaseLocks { txn: tracker.txn }, "cleanup");
+                    }
+                }
+            }
+            TxnKind::NonCommuting => {
+                // §5 step 6: two-phase commitment over the participants.
+                if tracker.clean {
+                    self.nc_coord.insert(
+                        tracker.txn,
+                        NcCoord {
+                            participants: participants.clone(),
+                            votes: HashMap::new(),
+                            version: tracker.version,
+                        },
+                    );
+                    for p in &participants {
+                        ctx.send_tagged(*p, Msg::NcPrepare { txn: tracker.txn }, "2pc");
+                    }
+                } else {
+                    // Something doomed the transaction mid-tree: abort
+                    // without a voting round.
+                    for p in &participants {
+                        ctx.send_tagged(
+                            *p,
+                            Msg::NcDecision {
+                                txn: tracker.txn,
+                                commit: false,
+                            },
+                            "2pc",
+                        );
+                    }
+                    self.nc_finished(ctx, tracker.txn, tracker.version, false);
+                }
+            }
+        }
+    }
+
+    /// Root-side epilogue of an NC transaction: report or retry.
+    fn nc_finished(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        txn: TxnId,
+        version: VersionNo,
+        committed: bool,
+    ) {
+        let Some(root_ctx) = self.nc_root_ctx.get(&txn) else {
+            return;
+        };
+        let client = root_ctx.client;
+        let retries_left = root_ctx.retries_left;
+        if committed {
+            self.nc_root_ctx.remove(&txn);
+            ctx.send_tagged(
+                client,
+                Msg::TxnDone {
+                    txn,
+                    version,
+                    committed: true,
+                },
+                "client",
+            );
+        } else if retries_left > 0 {
+            if let Some(c) = self.nc_root_ctx.get_mut(&txn) {
+                c.retries_left -= 1;
+            }
+            let backoff = self.cfg.retry_backoff;
+            self.schedule(ctx, backoff, TimerAction::RetryNcRoot(txn));
+        } else {
+            self.stats.nc_gave_up += 1;
+            self.nc_root_ctx.remove(&txn);
+            ctx.send_tagged(
+                client,
+                Msg::TxnDone {
+                    txn,
+                    version,
+                    committed: false,
+                },
+                "client",
+            );
+        }
+    }
+
+    /// (Re)submit an NC root: §5 steps 1–2, the `vu == vr + 1` gate.
+    fn submit_nc_root(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId) {
+        let root = self.nc_root_ctx.get(&txn).expect("nc ctx");
+        let job = Job {
+            txn,
+            kind: TxnKind::NonCommuting,
+            version: self.vu,
+            plan: root.plan.clone(),
+            parent: None,
+            client: root.client,
+            fail_node: root.fail_node,
+            source: self.me,
+        };
+        // Root request counter moves at arrival (§4.1 step 1 applies to NC
+        // roots too — their activity must hold version `vu` open).
+        self.counters.inc_request(job.version, self.me);
+        if job.version == self.vr.next() {
+            self.run_job(ctx, job);
+        } else {
+            self.stats.nc_gated += 1;
+            ctx.trace(|| format!("{txn} waits at gate (vu != vr+1)"));
+            self.nc_waiting.push(job);
+        }
+    }
+
+    // ------------------------------------------------------ msg handlers
+
+    fn handle_submit(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        txn: TxnId,
+        kind: TxnKind,
+        plan: SubtxnPlan,
+        client: NodeId,
+        fail_node: Option<NodeId>,
+    ) {
+        self.stats.roots += 1;
+        match kind {
+            TxnKind::ReadOnly => {
+                let version = self.vr;
+                self.counters.inc_request(version, self.me);
+                if ctx.tracing() {
+                    ctx.trace(|| format!("read tx {txn} arrives (version {version})"));
+                }
+                self.run_job(
+                    ctx,
+                    Job {
+                        txn,
+                        kind,
+                        version,
+                        plan,
+                        parent: None,
+                        client,
+                        fail_node,
+                        source: self.me,
+                    },
+                );
+            }
+            TxnKind::Commuting => {
+                let version = self.vu;
+                self.counters.inc_request(version, self.me);
+                if ctx.tracing() {
+                    ctx.trace(|| format!("update tx {txn} arrives (version {version})"));
+                }
+                self.run_job(
+                    ctx,
+                    Job {
+                        txn,
+                        kind,
+                        version,
+                        plan,
+                        parent: None,
+                        client,
+                        fail_node,
+                        source: self.me,
+                    },
+                );
+            }
+            TxnKind::NonCommuting => {
+                self.nc_root_ctx.insert(
+                    txn,
+                    NcRootCtx {
+                        plan,
+                        client,
+                        fail_node,
+                        retries_left: self.cfg.nc_max_retries,
+                    },
+                );
+                self.submit_nc_root(ctx, txn);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_subtxn(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: TxnId,
+        kind: TxnKind,
+        version: VersionNo,
+        plan: SubtxnPlan,
+        parent_sub: SubtxnId,
+        client: NodeId,
+        fail_node: Option<NodeId>,
+    ) {
+        if ctx.tracing() {
+            ctx.trace(|| format!("subtx of {txn} arrives from {from} (version {version})"));
+        }
+        // §2.3: an update descendant with a newer version acts as the
+        // advancement notification.
+        if kind != TxnKind::ReadOnly && version > self.vu {
+            self.advance_vu(ctx, version, true);
+        }
+        self.run_job(
+            ctx,
+            Job {
+                txn,
+                kind,
+                version,
+                plan,
+                parent: Some((from, parent_sub)),
+                client,
+                fail_node,
+                source: from,
+            },
+        );
+    }
+
+    fn handle_subtree_done(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: TxnId,
+        parent_sub: SubtxnId,
+        participants: Vec<NodeId>,
+        clean: bool,
+    ) {
+        if ctx.tracing() {
+            ctx.trace(|| format!("completion notice for subtx of {txn} arrives from {from}"));
+        }
+        let Some(tracker) = self.trackers.get_mut(&parent_sub) else {
+            // Tracker already closed (e.g. duplicate notice) — ignore.
+            return;
+        };
+        tracker.participants.extend(participants);
+        tracker.clean &= clean;
+        tracker.pending_children = tracker.pending_children.saturating_sub(1);
+        if tracker.pending_children == 0 {
+            self.finish_subtree(ctx, parent_sub);
+        }
+    }
+
+    fn handle_compensate(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: TxnId,
+        version: VersionNo,
+    ) {
+        // A compensating subtransaction is an ordinary subtransaction for
+        // counter purposes: the sender incremented R, we increment C.
+        self.counters.inc_completion(version, from);
+        match self.footprints.get_mut(&txn) {
+            Some(fp) if !fp.compensated => {
+                fp.compensated = true;
+                self.stats.compensations_applied += 1;
+                ctx.trace(|| format!("compensating subtx for {txn} applies"));
+                let inverse = std::mem::take(&mut fp.inverse_steps);
+                let neighbors: Vec<NodeId> = fp
+                    .neighbors
+                    .iter()
+                    .copied()
+                    .filter(|n| *n != from)
+                    .collect();
+                let notify_client = if fp.is_root { fp.client } else { None };
+                for (key, op) in inverse {
+                    self.store
+                        .update(key, version, op, txn, None)
+                        .unwrap_or_else(|e| panic!("{}: compensate: {e}", self.me));
+                }
+                // Forward to every other neighbour (§3.2: at most one
+                // compensating subtransaction per node).
+                for n in neighbors {
+                    self.counters.inc_request(version, n);
+                    ctx.send_tagged(n, Msg::Compensate { txn, version }, "compensate");
+                }
+                if let Some(client) = notify_client {
+                    ctx.send_tagged(
+                        client,
+                        Msg::TxnDone {
+                            txn,
+                            version,
+                            committed: false,
+                        },
+                        "client",
+                    );
+                }
+            }
+            Some(_) => { /* already compensated: dedup */ }
+            None => {
+                // The original subtransaction has not arrived yet: tombstone
+                // it so it executes as a no-op.
+                self.tombstones.insert(txn);
+                self.stats.tombstones += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------- advancement
+
+    fn handle_start_advancement(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        vu_new: VersionNo,
+    ) {
+        self.advance_vu(ctx, vu_new, false);
+        ctx.send_tagged(from, Msg::AdvanceAck { vu_new }, "advance");
+    }
+
+    fn handle_advance_read(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, vr_new: VersionNo) {
+        if vr_new > self.vr {
+            self.vr = vr_new;
+            ctx.trace(|| format!("advances read version to {vr_new}"));
+        }
+        ctx.send_tagged(from, Msg::AdvanceReadAck { vr_new }, "advance");
+        // The gate `V(K) == vr + 1` may now hold for waiting NC roots.
+        let ready: Vec<Job> = {
+            let vr = self.vr;
+            let (ready, still): (Vec<Job>, Vec<Job>) = self
+                .nc_waiting
+                .drain(..)
+                .partition(|j| j.version == vr.next());
+            self.nc_waiting = still;
+            ready
+        };
+        for job in ready {
+            ctx.trace(|| format!("{} passes gate", job.txn));
+            self.run_job(ctx, job);
+        }
+    }
+
+    fn handle_read_counters(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        round: u64,
+        version: VersionNo,
+    ) {
+        let snapshot = self.counters.snapshot(version);
+        ctx.send_tagged(from, Msg::CountersReport { round, snapshot }, "advance");
+    }
+
+    fn handle_gc(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, vr_new: VersionNo) {
+        ctx.trace(|| format!("garbage-collects below {vr_new}"));
+        self.store.gc(vr_new);
+        self.counters.gc(vr_new);
+        // Tombstones and footprints of long-terminated transactions can be
+        // dropped once their version is unreadable; compensation for them
+        // can no longer arrive (their version's counters are balanced).
+        self.footprints.retain(|_, f| f.version >= vr_new);
+        // Tombstones are tiny; retain them for the run (correct and simple).
+        ctx.send_tagged(from, Msg::GcAck { vr_new }, "advance");
+    }
+
+    // -------------------------------------------------------------- NC3V
+
+    fn handle_nc_prepare(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, txn: TxnId) {
+        let yes = self.nc_local.get(&txn).map(|l| !l.doomed).unwrap_or(true);
+        ctx.send_tagged(
+            from,
+            Msg::NcVote {
+                txn,
+                node: self.me,
+                yes,
+            },
+            "2pc",
+        );
+    }
+
+    fn handle_nc_vote(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId, node: NodeId, yes: bool) {
+        let Some(coord) = self.nc_coord.get_mut(&txn) else {
+            return;
+        };
+        coord.votes.insert(node, yes);
+        if coord.votes.len() == coord.participants.len() {
+            let commit = coord.votes.values().all(|v| *v);
+            let coord = self.nc_coord.remove(&txn).expect("coord exists");
+            for p in &coord.participants {
+                ctx.send_tagged(*p, Msg::NcDecision { txn, commit }, "2pc");
+            }
+            self.nc_finished(ctx, txn, coord.version, commit);
+        }
+    }
+
+    fn handle_nc_decision(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId, commit: bool) {
+        let Some(mut local) = self.nc_local.remove(&txn) else {
+            return;
+        };
+        if local.decided {
+            return;
+        }
+        local.decided = true;
+        if commit {
+            self.stats.nc_commits += 1;
+        } else {
+            self.stats.nc_rollbacks += 1;
+            self.store.rollback(std::mem::take(&mut local.undo));
+        }
+        // §5 step 6: completion counters move atomically with the decision.
+        for (version, source) in local.pending_completions.drain(..) {
+            self.counters.inc_completion(version, source);
+        }
+        let grants = self.locks.release_all(txn);
+        self.process_grants(ctx, grants);
+    }
+
+    fn handle_release_locks(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId) {
+        let grants = self.locks.release_all(txn);
+        self.process_grants(ctx, grants);
+        // Footprints are kept: a compensating subtransaction may still be in
+        // flight (the completion chain and compensation race). They are
+        // garbage-collected by version in `handle_gc`.
+    }
+}
+
+impl Actor for ThreeVNode {
+    type Msg = Msg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Submit {
+                txn,
+                kind,
+                plan,
+                client,
+                fail_node,
+            } => self.handle_submit(ctx, txn, kind, plan, client, fail_node),
+            Msg::Subtxn {
+                txn,
+                kind,
+                version,
+                plan,
+                parent_sub,
+                client,
+                fail_node,
+            } => self.handle_subtxn(
+                ctx, from, txn, kind, version, plan, parent_sub, client, fail_node,
+            ),
+            Msg::SubtreeDone {
+                txn,
+                parent_sub,
+                participants,
+                clean,
+            } => self.handle_subtree_done(ctx, from, txn, parent_sub, participants, clean),
+            Msg::Compensate { txn, version } => self.handle_compensate(ctx, from, txn, version),
+            Msg::StartAdvancement { vu_new } => self.handle_start_advancement(ctx, from, vu_new),
+            Msg::AdvanceRead { vr_new } => self.handle_advance_read(ctx, from, vr_new),
+            Msg::ReadCounters { round, version } => {
+                self.handle_read_counters(ctx, from, round, version)
+            }
+            Msg::Gc { vr_new } => self.handle_gc(ctx, from, vr_new),
+            Msg::NcPrepare { txn } => self.handle_nc_prepare(ctx, from, txn),
+            Msg::NcVote { txn, node, yes } => self.handle_nc_vote(ctx, txn, node, yes),
+            Msg::NcDecision { txn, commit } => self.handle_nc_decision(ctx, txn, commit),
+            Msg::ReleaseLocks { txn } => self.handle_release_locks(ctx, txn),
+            // Client- and coordinator-bound traffic that strays here (e.g.
+            // in single-actor tests) is ignored.
+            Msg::TxnDone { .. }
+            | Msg::ReadResults { .. }
+            | Msg::AdvanceAck { .. }
+            | Msg::AdvanceReadAck { .. }
+            | Msg::CountersReport { .. }
+            | Msg::GcAck { .. }
+            | Msg::TriggerAdvancement => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        match self.timers.remove(&token) {
+            Some(TimerAction::RetryJob(job)) => self.run_job(ctx, *job),
+            Some(TimerAction::RetryNcRoot(txn)) => self.submit_nc_root(ctx, txn),
+            None => {}
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Direct message-level scenarios against the 3V node engine: the §2.3
+//! races, compensation orderings, NC3V edge cases, and counter bookkeeping,
+//! all driven by hand-injected protocol messages.
+
+use threev_core::msg::Msg;
+use threev_core::node::{NodeConfig, ThreeVNode};
+use threev_model::{
+    Key, KeyDecl, NodeId, Schema, SubtxnId, SubtxnPlan, TxnId, TxnKind, UpdateOp, Value, VersionNo,
+};
+use threev_sim::{Actor, Ctx, LatencyModel, SimConfig, SimDuration, SimTime, Simulation};
+
+const TARGET: NodeId = NodeId(0);
+const PEER: NodeId = NodeId(1);
+const X: Key = Key(1);
+const REG: Key = Key(2);
+
+fn v(n: u32) -> VersionNo {
+    VersionNo(n)
+}
+fn tid(seq: u64) -> TxnId {
+    TxnId::new(seq, PEER)
+}
+fn sub(seq: u64) -> SubtxnId {
+    SubtxnId::new(PEER, seq)
+}
+
+/// Two 3V nodes; node 0 is inspected, node 1 absorbs replies.
+enum TestActor {
+    Node(ThreeVNode),
+}
+
+impl Actor for TestActor {
+    type Msg = Msg;
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        let TestActor::Node(n) = self;
+        n.on_message(ctx, from, msg);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        let TestActor::Node(n) = self;
+        n.on_timer(ctx, token);
+    }
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        KeyDecl::counter(X, TARGET, 0),
+        KeyDecl::register(REG, TARGET, 0),
+        KeyDecl::counter(Key(3), PEER, 0),
+    ])
+}
+
+fn sim(locks: bool) -> Simulation<TestActor> {
+    let cfg = NodeConfig {
+        locks_enabled: locks,
+        ..NodeConfig::default()
+    };
+    let actors = vec![
+        TestActor::Node(ThreeVNode::new(&schema(), TARGET, cfg.clone())),
+        TestActor::Node(ThreeVNode::new(&schema(), PEER, cfg)),
+    ];
+    Simulation::new(
+        actors,
+        SimConfig {
+            latency: LatencyModel::Fixed(SimDuration::from_micros(100)),
+            ..SimConfig::seeded(1)
+        },
+    )
+}
+
+fn node(simulation: &Simulation<TestActor>, id: NodeId) -> &ThreeVNode {
+    let TestActor::Node(n) = &simulation.actors()[id.index()];
+    n
+}
+
+fn subtxn_msg(txn: TxnId, kind: TxnKind, version: VersionNo, plan: SubtxnPlan) -> Msg {
+    Msg::Subtxn {
+        txn,
+        kind,
+        version,
+        plan,
+        parent_sub: sub(0),
+        client: PEER,
+        fail_node: None,
+    }
+}
+
+#[test]
+fn descendant_with_newer_version_acts_as_notification() {
+    let mut s = sim(false);
+    // A version-2 update descendant arrives at a node still on vu=1.
+    s.inject_at(
+        SimTime(10),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            tid(1),
+            TxnKind::Commuting,
+            v(2),
+            SubtxnPlan::new(TARGET).update(X, UpdateOp::Add(5)),
+        ),
+    );
+    s.run_to_quiescence(SimTime::MAX);
+    let n = node(&s, TARGET);
+    assert_eq!(n.vu(), v(2), "arrival inferred the advancement");
+    assert_eq!(n.vr(), v(0));
+    // X materialised at version 2 by copy-on-update.
+    let layout = n.store().layout(X).unwrap();
+    assert_eq!(
+        layout,
+        vec![(v(0), Value::Counter(0)), (v(2), Value::Counter(5))]
+    );
+    // Completion counter credited to the sender at version 2.
+    assert_eq!(n.counters().completion(v(2), PEER), 1);
+}
+
+#[test]
+fn read_only_descendants_never_advance_vu() {
+    let mut s = sim(false);
+    s.inject_at(
+        SimTime(10),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            tid(1),
+            TxnKind::ReadOnly,
+            v(0),
+            SubtxnPlan::new(TARGET).read(X),
+        ),
+    );
+    s.run_to_quiescence(SimTime::MAX);
+    let n = node(&s, TARGET);
+    assert_eq!(n.vu(), v(1), "reads carry no advancement information");
+    assert_eq!(n.counters().completion(v(0), PEER), 1);
+}
+
+#[test]
+fn straggler_dual_writes_only_existing_newer_copies() {
+    let mut s = sim(false);
+    // First a v2 write creates X(2); then a v1 straggler must hit both.
+    s.inject_at(
+        SimTime(10),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            tid(1),
+            TxnKind::Commuting,
+            v(2),
+            SubtxnPlan::new(TARGET).update(X, UpdateOp::Add(100)),
+        ),
+    );
+    s.inject_at(
+        SimTime(20),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            tid(2),
+            TxnKind::Commuting,
+            v(1),
+            SubtxnPlan::new(TARGET).update(X, UpdateOp::Add(1)),
+        ),
+    );
+    s.run_to_quiescence(SimTime::MAX);
+    let n = node(&s, TARGET);
+    let layout = n.store().layout(X).unwrap();
+    assert_eq!(
+        layout,
+        vec![
+            (v(0), Value::Counter(0)),
+            (v(1), Value::Counter(1)),
+            (v(2), Value::Counter(101)),
+        ]
+    );
+    assert_eq!(n.store_stats().dual_writes, 1);
+}
+
+#[test]
+fn compensation_before_original_tombstones_it() {
+    let mut s = sim(false);
+    let txn = tid(7);
+    // Compensation overtakes the original subtransaction.
+    s.inject_at(
+        SimTime(10),
+        PEER,
+        TARGET,
+        Msg::Compensate { txn, version: v(1) },
+    );
+    s.inject_at(
+        SimTime(50),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            txn,
+            TxnKind::Commuting,
+            v(1),
+            SubtxnPlan::new(TARGET).update(X, UpdateOp::Add(999)),
+        ),
+    );
+    s.run_to_quiescence(SimTime::MAX);
+    let n = node(&s, TARGET);
+    // The original executed as a no-op...
+    assert_eq!(
+        n.store().layout(X).unwrap(),
+        vec![(v(0), Value::Counter(0))]
+    );
+    assert_eq!(n.stats().tombstones, 1);
+    assert_eq!(n.stats().skipped_tombstoned, 1);
+    // ...but both the compensation and the original are counted: R was
+    // incremented twice at the sender, so C must be 2 here.
+    assert_eq!(n.counters().completion(v(1), PEER), 2);
+}
+
+#[test]
+fn compensation_after_original_rolls_back_and_deduplicates() {
+    let mut s = sim(false);
+    let txn = tid(7);
+    s.inject_at(
+        SimTime(10),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            txn,
+            TxnKind::Commuting,
+            v(1),
+            SubtxnPlan::new(TARGET).update(X, UpdateOp::Add(50)),
+        ),
+    );
+    // Two compensating subtransactions (e.g. forwarded from two neighbours
+    // in a diamond) — only one may apply (§3.2 footnote).
+    s.inject_at(
+        SimTime(100),
+        PEER,
+        TARGET,
+        Msg::Compensate { txn, version: v(1) },
+    );
+    s.inject_at(
+        SimTime(200),
+        PEER,
+        TARGET,
+        Msg::Compensate { txn, version: v(1) },
+    );
+    s.run_to_quiescence(SimTime::MAX);
+    let n = node(&s, TARGET);
+    let layout = n.store().layout(X).unwrap();
+    assert_eq!(
+        layout,
+        vec![(v(0), Value::Counter(0)), (v(1), Value::Counter(0))],
+        "the +50 was compensated exactly once"
+    );
+    assert_eq!(n.stats().compensations_applied, 1);
+    assert_eq!(
+        n.counters().completion(v(1), PEER),
+        3,
+        "subtx + 2 compensations"
+    );
+}
+
+#[test]
+fn late_subtxn_after_compensation_is_skipped() {
+    let mut s = sim(false);
+    let txn = tid(7);
+    // Original subtxn executes, compensation sweeps through, then ANOTHER
+    // subtransaction of the same transaction arrives late.
+    s.inject_at(
+        SimTime(10),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            txn,
+            TxnKind::Commuting,
+            v(1),
+            SubtxnPlan::new(TARGET).update(X, UpdateOp::Add(50)),
+        ),
+    );
+    s.inject_at(
+        SimTime(100),
+        PEER,
+        TARGET,
+        Msg::Compensate { txn, version: v(1) },
+    );
+    s.inject_at(
+        SimTime(200),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            txn,
+            TxnKind::Commuting,
+            v(1),
+            SubtxnPlan::new(TARGET).update(X, UpdateOp::Add(11)),
+        ),
+    );
+    s.run_to_quiescence(SimTime::MAX);
+    let n = node(&s, TARGET);
+    let layout = n.store().layout(X).unwrap();
+    assert_eq!(
+        layout,
+        vec![(v(0), Value::Counter(0)), (v(1), Value::Counter(0))],
+        "late leg of the aborted transaction must not execute"
+    );
+}
+
+#[test]
+fn nc_descendant_aborts_on_stale_version() {
+    let mut s = sim(true);
+    // A commuting v2 write creates REG... registers are NC-only; use a
+    // commuting write on X to advance vu, then an NC write on REG at v2,
+    // then a *stale* NC descendant at v1 touching REG must doom itself.
+    s.inject_at(
+        SimTime(10),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            tid(1),
+            TxnKind::NonCommuting,
+            v(2),
+            SubtxnPlan::new(TARGET).update(REG, UpdateOp::Assign(9)),
+        ),
+    );
+    s.inject_at(
+        SimTime(5_000),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            tid(2),
+            TxnKind::NonCommuting,
+            v(1),
+            SubtxnPlan::new(TARGET).update(REG, UpdateOp::Assign(1)),
+        ),
+    );
+    // Resolve txn 1's 2PC so its locks release and version 2 of REG exists.
+    s.inject_at(SimTime(2_000), PEER, TARGET, Msg::NcPrepare { txn: tid(1) });
+    s.inject_at(
+        SimTime(3_000),
+        PEER,
+        TARGET,
+        Msg::NcDecision {
+            txn: tid(1),
+            commit: true,
+        },
+    );
+    // And txn 2's prepare: it must vote NO.
+    s.inject_at(SimTime(8_000), PEER, TARGET, Msg::NcPrepare { txn: tid(2) });
+    s.run_to_quiescence(SimTime::MAX);
+    let n = node(&s, TARGET);
+    assert_eq!(n.stats().nc_stale_aborts, 1);
+    // REG version 2 still holds txn 1's value; no v1 write happened.
+    let layout = n.store().layout(REG).unwrap();
+    assert_eq!(layout.last().unwrap().1.as_register(), Some(9));
+    assert!(!layout.iter().any(|(w, _)| *w == v(1)));
+}
+
+#[test]
+fn nc_completion_counter_moves_with_decision_not_execution() {
+    let mut s = sim(true);
+    s.inject_at(
+        SimTime(10),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            tid(1),
+            TxnKind::NonCommuting,
+            v(1),
+            SubtxnPlan::new(TARGET).update(REG, UpdateOp::Assign(5)),
+        ),
+    );
+    s.run_until(SimTime(1_000));
+    assert_eq!(
+        node(&s, TARGET).counters().completion(v(1), PEER),
+        0,
+        "no completion before the 2PC decision (§5 step 6)"
+    );
+    s.inject_at(
+        SimTime(2_000),
+        PEER,
+        TARGET,
+        Msg::NcDecision {
+            txn: tid(1),
+            commit: true,
+        },
+    );
+    s.run_to_quiescence(SimTime::MAX);
+    assert_eq!(node(&s, TARGET).counters().completion(v(1), PEER), 1);
+    assert_eq!(
+        node(&s, TARGET)
+            .store()
+            .layout(REG)
+            .unwrap()
+            .last()
+            .unwrap()
+            .1
+            .as_register(),
+        Some(5)
+    );
+}
+
+#[test]
+fn nc_abort_decision_rolls_back() {
+    let mut s = sim(true);
+    s.inject_at(
+        SimTime(10),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            tid(1),
+            TxnKind::NonCommuting,
+            v(1),
+            SubtxnPlan::new(TARGET).update(REG, UpdateOp::Assign(5)),
+        ),
+    );
+    s.inject_at(
+        SimTime(2_000),
+        PEER,
+        TARGET,
+        Msg::NcDecision {
+            txn: tid(1),
+            commit: false,
+        },
+    );
+    s.run_to_quiescence(SimTime::MAX);
+    let n = node(&s, TARGET);
+    assert_eq!(n.stats().nc_rollbacks, 1);
+    assert_eq!(
+        n.store().layout(REG).unwrap(),
+        vec![(v(0), Value::Register(0))],
+        "assignment rolled back, copy-on-update version removed"
+    );
+    assert_eq!(
+        n.counters().completion(v(1), PEER),
+        1,
+        "abort still completes"
+    );
+    assert!(n.is_quiescent());
+}
+
+#[test]
+fn gc_message_collects_versions_and_counters() {
+    let mut s = sim(false);
+    s.inject_at(
+        SimTime(10),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            tid(1),
+            TxnKind::Commuting,
+            v(1),
+            SubtxnPlan::new(TARGET).update(X, UpdateOp::Add(5)),
+        ),
+    );
+    s.inject_at(
+        SimTime(100),
+        PEER,
+        TARGET,
+        Msg::AdvanceRead { vr_new: v(1) },
+    );
+    s.inject_at(SimTime(200), PEER, TARGET, Msg::Gc { vr_new: v(1) });
+    s.run_to_quiescence(SimTime::MAX);
+    let n = node(&s, TARGET);
+    assert_eq!(n.vr(), v(1));
+    assert_eq!(
+        n.store().layout(X).unwrap(),
+        vec![(v(1), Value::Counter(5))]
+    );
+    // Version-1 counters survive (they are >= vr_new); version-0 are gone.
+    assert_eq!(n.counters().active_versions(), 1);
+    assert_eq!(n.counters().completion(v(1), PEER), 1);
+}
+
+#[test]
+fn counters_report_is_atomic_per_node_snapshot() {
+    let mut s = sim(false);
+    s.inject_at(
+        SimTime(10),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            tid(1),
+            TxnKind::Commuting,
+            v(1),
+            SubtxnPlan::new(TARGET)
+                .update(X, UpdateOp::Add(5))
+                .child(SubtxnPlan::new(PEER).update(Key(3), UpdateOp::Add(1))),
+        ),
+    );
+    s.run_to_quiescence(SimTime::MAX);
+    let n = node(&s, TARGET);
+    // The child spawned to PEER incremented the local request row...
+    assert_eq!(n.counters().request(v(1), PEER), 1);
+    // ...and PEER completed it, crediting TARGET as the source.
+    assert_eq!(node(&s, PEER).counters().completion(v(1), TARGET), 1);
+}

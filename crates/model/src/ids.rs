@@ -1,0 +1,183 @@
+//! Strongly-typed identifiers.
+//!
+//! All identifiers are small `Copy` newtypes so they can be used as map keys
+//! and passed by value everywhere without allocation.
+
+use std::fmt;
+
+/// Identifier of a database node (a "site" in the paper: `p`, `q`, `s`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Index into dense per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Global transaction identifier.
+///
+/// `seq` is a globally unique submission sequence number assigned by the
+/// workload driver; `origin` is the node the root subtransaction was
+/// submitted to. The derived total order (`seq`, then `origin`) doubles as
+/// the timestamp order used by wait-die deadlock avoidance in the lock table
+/// (`threev-storage`): lower `TxnId` = older transaction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId {
+    /// Globally unique submission sequence number (wait-die age; lower = older).
+    pub seq: u64,
+    /// Node the root subtransaction was submitted to.
+    pub origin: NodeId,
+}
+
+impl TxnId {
+    /// Construct a transaction id.
+    #[inline]
+    pub fn new(seq: u64, origin: NodeId) -> Self {
+        TxnId { seq, origin }
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}@{}", self.seq, self.origin)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}@{}", self.seq, self.origin)
+    }
+}
+
+/// Identifier of one subtransaction instance within a transaction tree.
+///
+/// A subtransaction is created either by the client (the root) or by a parent
+/// subtransaction executing on some node. `spawner` is the node that created
+/// the instance and `seq` is drawn from that node's local spawn counter, so
+/// the pair is unique across a run without any coordination.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubtxnId {
+    /// Node whose local counter allocated this id.
+    pub spawner: NodeId,
+    /// Value of the spawner's local counter.
+    pub seq: u64,
+}
+
+impl SubtxnId {
+    /// Construct a subtransaction id.
+    #[inline]
+    pub fn new(spawner: NodeId, seq: u64) -> Self {
+        SubtxnId { spawner, seq }
+    }
+}
+
+impl fmt::Debug for SubtxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}.{}", self.spawner.0, self.seq)
+    }
+}
+
+/// A data version number (paper §4: `vu`, `vr`, `V(T)`).
+///
+/// The paper assumes version numbers increase monotonically and notes that a
+/// real implementation could recycle three distinct numbers; we keep the
+/// monotone `u32` for clarity, exactly as the paper's presentation does.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VersionNo(pub u32);
+
+impl VersionNo {
+    /// The initial read version (paper §4: all records start at version 0).
+    pub const ZERO: VersionNo = VersionNo(0);
+
+    /// Next version number.
+    #[inline]
+    pub fn next(self) -> VersionNo {
+        VersionNo(self.0 + 1)
+    }
+
+    /// Previous version number; saturates at zero.
+    #[inline]
+    pub fn prev(self) -> VersionNo {
+        VersionNo(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Debug for VersionNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VersionNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of a data item. Each key lives on exactly one node (the data is
+/// fragmented, not replicated — paper §1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(pub u64);
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_order_is_by_seq_then_origin() {
+        let a = TxnId::new(1, NodeId(5));
+        let b = TxnId::new(2, NodeId(0));
+        let c = TxnId::new(2, NodeId(1));
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn version_next_prev() {
+        let v = VersionNo(3);
+        assert_eq!(v.next(), VersionNo(4));
+        assert_eq!(v.prev(), VersionNo(2));
+        assert_eq!(VersionNo::ZERO.prev(), VersionNo::ZERO);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(VersionNo(2).to_string(), "v2");
+        assert_eq!(Key(9).to_string(), "k9");
+        assert_eq!(TxnId::new(7, NodeId(1)).to_string(), "t7@n1");
+        assert_eq!(format!("{:?}", SubtxnId::new(NodeId(2), 4)), "s2.4");
+    }
+
+    #[test]
+    fn node_index() {
+        assert_eq!(NodeId(7).index(), 7);
+    }
+}

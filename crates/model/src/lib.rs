@@ -1,0 +1,31 @@
+//! Data model for the 3V protocol reproduction.
+//!
+//! This crate defines the vocabulary shared by every engine in the workspace:
+//!
+//! * [`ids`] — strongly-typed identifiers for nodes, transactions,
+//!   subtransactions, versions, and data items;
+//! * [`value`] — the value types of a *data recording system* (paper §6):
+//!   summary counters, observation journals, and plain registers;
+//! * [`ops`] — update operations and their commutativity relation (paper §3.1);
+//! * [`plan`] — the *tree model of transactions* (paper §2.1, following the
+//!   R* model [Mohan et al. 1986]): a transaction is a tree of
+//!   subtransactions, each bound to one node;
+//! * [`schema`] — the static placement of data items on nodes.
+//!
+//! Nothing in this crate knows about versions-at-rest, messages, or clocks;
+//! those live in `threev-storage`, `threev-core`, and `threev-sim`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ids;
+pub mod ops;
+pub mod plan;
+pub mod schema;
+pub mod value;
+
+pub use ids::{Key, NodeId, SubtxnId, TxnId, VersionNo};
+pub use ops::UpdateOp;
+pub use plan::{OpStep, PlanError, SubtxnPlan, TxnKind, TxnPlan};
+pub use schema::{KeyDecl, Schema};
+pub use value::{JournalEntry, Value, ValueKind};

@@ -1,0 +1,295 @@
+//! Update operations and their commutativity relation (paper §3.1).
+//!
+//! The paper requires that update *subtransactions* commute; it does not
+//! require individual operations to commute (Example 3.1). We nevertheless
+//! choose operation vocabularies whose pairwise commutativity is easy to
+//! classify, because the engines use [`UpdateOp::commutes_with`] both to
+//! validate workloads and to decide the lock mode in NC3V:
+//!
+//! * [`UpdateOp::Add`] — increment a summary counter ("increment total charge
+//!   due", §1);
+//! * [`UpdateOp::Append`] — record an observation in a journal ("record the
+//!   procedure done and charge applied", §1);
+//! * [`UpdateOp::Retract`] — remove an observation previously appended *by
+//!   the same transaction*; this is the compensating form of `Append`
+//!   (paper §3.2: compensating subtransactions are ordinary members of the
+//!   transaction tree and must commute with all well-behaved subtransactions);
+//! * [`UpdateOp::Assign`] — overwrite a register; the canonical
+//!   *non-commuting* operation used by NC3V transactions (paper §5).
+
+use std::fmt;
+
+use crate::ids::TxnId;
+use crate::value::{JournalEntry, Value, ValueKind};
+
+/// A single update operation inside a subtransaction plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UpdateOp {
+    /// Add `delta` to a [`Value::Counter`]. Commutes with every op except
+    /// [`UpdateOp::Assign`].
+    Add(i64),
+    /// Append an observation `(amount, tag)` to a [`Value::Journal`]; the
+    /// executing engine stamps the entry with the writing transaction's id.
+    Append {
+        /// Observation payload.
+        amount: i64,
+        /// Application tag.
+        tag: u32,
+    },
+    /// Remove one entry `(amount, tag)` previously appended by the *same*
+    /// transaction. Commutes with other transactions' operations because it
+    /// only touches the issuing transaction's own entries.
+    Retract {
+        /// Payload of the entry to remove.
+        amount: i64,
+        /// Tag of the entry to remove.
+        tag: u32,
+    },
+    /// Overwrite a [`Value::Register`]. Does not commute with anything,
+    /// including another `Assign`.
+    Assign(i64),
+}
+
+/// Error applying an [`UpdateOp`] to a [`Value`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ApplyError {
+    /// Operation and value kind do not match (schema violation).
+    TypeMismatch {
+        /// Kind of the stored value.
+        value: ValueKind,
+    },
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::TypeMismatch { value } => {
+                write!(f, "update op does not apply to value of kind {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+impl UpdateOp {
+    /// Is this operation commuting (well-behaved, paper Def. 3.1)?
+    #[inline]
+    pub fn is_commuting(self) -> bool {
+        !matches!(self, UpdateOp::Assign(_))
+    }
+
+    /// Pairwise commutativity relation used by workload validation and by
+    /// the NC3V lock-mode choice: commute locks for commuting ops, exclusive
+    /// non-commute locks for `Assign`.
+    #[inline]
+    pub fn commutes_with(self, other: UpdateOp) -> bool {
+        self.is_commuting() && other.is_commuting()
+    }
+
+    /// Value kind this operation applies to.
+    pub fn applies_to(self) -> ValueKind {
+        match self {
+            UpdateOp::Add(_) => ValueKind::Counter,
+            UpdateOp::Append { .. } | UpdateOp::Retract { .. } => ValueKind::Journal,
+            UpdateOp::Assign(_) => ValueKind::Register,
+        }
+    }
+
+    /// Apply this operation, as transaction `txn`, to `value` in place.
+    ///
+    /// `Retract` removes at most one matching own entry and is a no-op when
+    /// none exists (the compensating subtransaction may arrive before the
+    /// original executed; the protocol layer handles that race with
+    /// tombstones, and the storage layer stays idempotent-friendly).
+    pub fn apply(self, value: &mut Value, txn: TxnId) -> Result<(), ApplyError> {
+        match (self, value) {
+            (UpdateOp::Add(delta), Value::Counter(c)) => {
+                *c = c.wrapping_add(delta);
+                Ok(())
+            }
+            (UpdateOp::Append { amount, tag }, Value::Journal(j)) => {
+                j.push(JournalEntry { txn, amount, tag });
+                Ok(())
+            }
+            (UpdateOp::Retract { amount, tag }, Value::Journal(j)) => {
+                if let Some(pos) = j
+                    .iter()
+                    .position(|e| e.txn == txn && e.amount == amount && e.tag == tag)
+                {
+                    j.swap_remove(pos);
+                }
+                Ok(())
+            }
+            (UpdateOp::Assign(x), Value::Register(r)) => {
+                *r = x;
+                Ok(())
+            }
+            (_, value) => Err(ApplyError::TypeMismatch {
+                value: value.kind(),
+            }),
+        }
+    }
+
+    /// The compensating operation that undoes this one (paper §3.2).
+    ///
+    /// For `Assign` the caller must supply the value read back before the
+    /// overwrite (`prior`); for the commuting ops no prior state is needed —
+    /// which is precisely why compensation of well-behaved transactions
+    /// needs no coordination.
+    pub fn compensation(self, prior: Option<&Value>) -> UpdateOp {
+        match self {
+            UpdateOp::Add(d) => UpdateOp::Add(-d),
+            UpdateOp::Append { amount, tag } => UpdateOp::Retract { amount, tag },
+            UpdateOp::Retract { amount, tag } => UpdateOp::Append { amount, tag },
+            UpdateOp::Assign(_) => {
+                let restored = prior.and_then(Value::as_register).unwrap_or(0);
+                UpdateOp::Assign(restored)
+            }
+        }
+    }
+}
+
+impl fmt::Display for UpdateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateOp::Add(d) => write!(f, "add({d})"),
+            UpdateOp::Append { amount, tag } => write!(f, "append({amount},#{tag})"),
+            UpdateOp::Retract { amount, tag } => write!(f, "retract({amount},#{tag})"),
+            UpdateOp::Assign(x) => write!(f, "assign({x})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn t(seq: u64) -> TxnId {
+        TxnId::new(seq, NodeId(0))
+    }
+
+    #[test]
+    fn add_applies_to_counter() {
+        let mut v = Value::Counter(10);
+        UpdateOp::Add(5).apply(&mut v, t(1)).unwrap();
+        assert_eq!(v, Value::Counter(15));
+        UpdateOp::Add(-20).apply(&mut v, t(1)).unwrap();
+        assert_eq!(v, Value::Counter(-5));
+    }
+
+    #[test]
+    fn append_then_retract_is_identity() {
+        let mut v = Value::Journal(vec![]);
+        UpdateOp::Append { amount: 7, tag: 3 }
+            .apply(&mut v, t(1))
+            .unwrap();
+        assert_eq!(v.as_journal().unwrap().len(), 1);
+        UpdateOp::Retract { amount: 7, tag: 3 }
+            .apply(&mut v, t(1))
+            .unwrap();
+        assert_eq!(v, Value::Journal(vec![]));
+    }
+
+    #[test]
+    fn retract_only_removes_own_entries() {
+        let mut v = Value::Journal(vec![]);
+        UpdateOp::Append { amount: 7, tag: 3 }
+            .apply(&mut v, t(1))
+            .unwrap();
+        UpdateOp::Retract { amount: 7, tag: 3 }
+            .apply(&mut v, t(2))
+            .unwrap();
+        assert_eq!(
+            v.as_journal().unwrap().len(),
+            1,
+            "other txn's entry survives"
+        );
+    }
+
+    #[test]
+    fn retract_missing_is_noop() {
+        let mut v = Value::Journal(vec![]);
+        UpdateOp::Retract { amount: 1, tag: 1 }
+            .apply(&mut v, t(1))
+            .unwrap();
+        assert_eq!(v, Value::Journal(vec![]));
+    }
+
+    #[test]
+    fn assign_applies_to_register() {
+        let mut v = Value::Register(1);
+        UpdateOp::Assign(9).apply(&mut v, t(1)).unwrap();
+        assert_eq!(v, Value::Register(9));
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let mut v = Value::Counter(0);
+        let err = UpdateOp::Assign(1).apply(&mut v, t(1)).unwrap_err();
+        assert_eq!(
+            err,
+            ApplyError::TypeMismatch {
+                value: ValueKind::Counter
+            }
+        );
+        assert!(err.to_string().contains("Counter"));
+    }
+
+    #[test]
+    fn commutativity_matrix() {
+        let add = UpdateOp::Add(1);
+        let app = UpdateOp::Append { amount: 1, tag: 0 };
+        let ret = UpdateOp::Retract { amount: 1, tag: 0 };
+        let asg = UpdateOp::Assign(1);
+        for a in [add, app, ret] {
+            for b in [add, app, ret] {
+                assert!(a.commutes_with(b), "{a} should commute with {b}");
+            }
+            assert!(!a.commutes_with(asg));
+            assert!(!asg.commutes_with(a));
+        }
+        assert!(!asg.commutes_with(asg));
+    }
+
+    #[test]
+    fn compensation_forms() {
+        assert_eq!(UpdateOp::Add(4).compensation(None), UpdateOp::Add(-4));
+        assert_eq!(
+            UpdateOp::Append { amount: 2, tag: 9 }.compensation(None),
+            UpdateOp::Retract { amount: 2, tag: 9 }
+        );
+        assert_eq!(
+            UpdateOp::Retract { amount: 2, tag: 9 }.compensation(None),
+            UpdateOp::Append { amount: 2, tag: 9 }
+        );
+        assert_eq!(
+            UpdateOp::Assign(5).compensation(Some(&Value::Register(11))),
+            UpdateOp::Assign(11)
+        );
+        assert_eq!(UpdateOp::Assign(5).compensation(None), UpdateOp::Assign(0));
+    }
+
+    #[test]
+    fn applies_to_kinds() {
+        assert_eq!(UpdateOp::Add(1).applies_to(), ValueKind::Counter);
+        assert_eq!(
+            UpdateOp::Append { amount: 1, tag: 0 }.applies_to(),
+            ValueKind::Journal
+        );
+        assert_eq!(UpdateOp::Assign(1).applies_to(), ValueKind::Register);
+    }
+
+    #[test]
+    fn compensation_round_trip_property() {
+        // add/append compensation restores the original value regardless of
+        // interleaved foreign ops — the commuting property in action.
+        let mut v = Value::Counter(100);
+        let op = UpdateOp::Add(37);
+        op.apply(&mut v, t(1)).unwrap();
+        UpdateOp::Add(5).apply(&mut v, t(2)).unwrap(); // foreign op interleaved
+        op.compensation(None).apply(&mut v, t(1)).unwrap();
+        assert_eq!(v, Value::Counter(105));
+    }
+}

@@ -1,0 +1,456 @@
+//! The tree model of transactions (paper §2.1).
+//!
+//! "A transaction is first submitted to one server, which performs its
+//! subtransaction and then sends subtransactions down to other servers for
+//! further execution. These servers may in turn send more subtransactions to
+//! other servers, possibly causing the transaction to visit some servers
+//! multiple times."
+//!
+//! A [`TxnPlan`] is the static description of such a tree: the root
+//! [`SubtxnPlan`] names its node, its local operation steps, and its child
+//! subtransaction plans. Engines walk the tree at run time, shipping each
+//! child plan to its node after the parent's local steps complete.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ids::{Key, NodeId};
+use crate::ops::UpdateOp;
+
+/// One step of a subtransaction: a read or an update of a local data item.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpStep {
+    /// Read the transaction-visible version of `Key` (paper §4.1 step 3 /
+    /// §4.2: "the maximum existing version … that does not exceed V(T)").
+    Read(Key),
+    /// Update `Key` with the given operation (paper §4.1 step 4).
+    Update(Key, UpdateOp),
+}
+
+impl OpStep {
+    /// The key this step touches.
+    #[inline]
+    pub fn key(&self) -> Key {
+        match self {
+            OpStep::Read(k) | OpStep::Update(k, _) => *k,
+        }
+    }
+
+    /// Is this step a write?
+    #[inline]
+    pub fn is_update(&self) -> bool {
+        matches!(self, OpStep::Update(..))
+    }
+}
+
+/// Plan of one subtransaction: where it runs, what it does locally, and
+/// which child subtransactions it spawns afterwards.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SubtxnPlan {
+    /// Node the subtransaction executes on.
+    pub node: NodeId,
+    /// Local operation steps, executed under local concurrency control.
+    pub steps: Vec<OpStep>,
+    /// Child subtransactions, shipped to their nodes after the local steps.
+    pub children: Vec<SubtxnPlan>,
+}
+
+impl SubtxnPlan {
+    /// New leaf subtransaction plan.
+    pub fn new(node: NodeId) -> Self {
+        SubtxnPlan {
+            node,
+            steps: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Append a read step (builder style).
+    #[must_use]
+    pub fn read(mut self, key: Key) -> Self {
+        self.steps.push(OpStep::Read(key));
+        self
+    }
+
+    /// Append an update step (builder style).
+    #[must_use]
+    pub fn update(mut self, key: Key, op: UpdateOp) -> Self {
+        self.steps.push(OpStep::Update(key, op));
+        self
+    }
+
+    /// Append a child subtransaction (builder style).
+    #[must_use]
+    pub fn child(mut self, child: SubtxnPlan) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Depth of this subtree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SubtxnPlan::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of subtransactions in this subtree, including `self`.
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(SubtxnPlan::count).sum::<usize>()
+    }
+
+    /// Visit every subtransaction plan in the subtree, preorder.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a SubtxnPlan)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+
+    /// Every node visited by this subtree (deduplicated, sorted).
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut set = BTreeSet::new();
+        self.visit(&mut |s| {
+            set.insert(s.node);
+        });
+        set.into_iter().collect()
+    }
+
+    fn collect_steps<'a>(&'a self, out: &mut Vec<(NodeId, &'a OpStep)>) {
+        for s in &self.steps {
+            out.push((self.node, s));
+        }
+        for c in &self.children {
+            c.collect_steps(out);
+        }
+    }
+
+    /// All `(node, step)` pairs in the subtree, preorder.
+    pub fn all_steps(&self) -> Vec<(NodeId, &OpStep)> {
+        let mut out = Vec::new();
+        self.collect_steps(&mut out);
+        out
+    }
+}
+
+/// Classification of a transaction (paper §3.1 and §5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxnKind {
+    /// Member of the read set `R`: no update steps at all. Never delayed,
+    /// never aborted, takes no locks (paper §8).
+    ReadOnly,
+    /// Member of the well-behaved update set `U`: all update steps commute.
+    Commuting,
+    /// Non-well-behaved transaction handled by NC3V (paper §5): takes
+    /// non-commute locks and performs two-phase commitment.
+    NonCommuting,
+}
+
+impl fmt::Display for TxnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TxnKind::ReadOnly => "read-only",
+            TxnKind::Commuting => "commuting",
+            TxnKind::NonCommuting => "non-commuting",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error in a transaction plan, reported by [`TxnPlan::validate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlanError {
+    /// A read-only plan contains an update step.
+    UpdateInReadOnly {
+        /// Node where the offending step sits.
+        node: NodeId,
+        /// Key of the offending step.
+        key: Key,
+    },
+    /// A commuting (well-behaved) plan contains a non-commuting operation.
+    NonCommutingOpInCommuting {
+        /// Node where the offending step sits.
+        node: NodeId,
+        /// Key of the offending step.
+        key: Key,
+    },
+    /// The plan has no steps anywhere in the tree.
+    Empty,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UpdateInReadOnly { node, key } => {
+                write!(f, "read-only plan updates {key} on {node}")
+            }
+            PlanError::NonCommutingOpInCommuting { node, key } => {
+                write!(f, "commuting plan has non-commuting op on {key} at {node}")
+            }
+            PlanError::Empty => f.write_str("plan has no steps"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The full static plan of one global transaction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TxnPlan {
+    /// Classification driving protocol treatment.
+    pub kind: TxnKind,
+    /// Root subtransaction; its `node` is where the client submits.
+    pub root: SubtxnPlan,
+}
+
+impl TxnPlan {
+    /// New read-only plan rooted at `root`.
+    pub fn read_only(root: SubtxnPlan) -> Self {
+        TxnPlan {
+            kind: TxnKind::ReadOnly,
+            root,
+        }
+    }
+
+    /// New well-behaved (commuting) update plan rooted at `root`.
+    pub fn commuting(root: SubtxnPlan) -> Self {
+        TxnPlan {
+            kind: TxnKind::Commuting,
+            root,
+        }
+    }
+
+    /// New non-commuting update plan rooted at `root`.
+    pub fn non_commuting(root: SubtxnPlan) -> Self {
+        TxnPlan {
+            kind: TxnKind::NonCommuting,
+            root,
+        }
+    }
+
+    /// Check the plan against its declared kind.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let steps = self.root.all_steps();
+        if steps.is_empty() {
+            return Err(PlanError::Empty);
+        }
+        for (node, step) in steps {
+            if let OpStep::Update(key, op) = step {
+                match self.kind {
+                    TxnKind::ReadOnly => {
+                        return Err(PlanError::UpdateInReadOnly { node, key: *key })
+                    }
+                    TxnKind::Commuting if !op.is_commuting() => {
+                        return Err(PlanError::NonCommutingOpInCommuting { node, key: *key })
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Does the plan contain any update step?
+    pub fn has_updates(&self) -> bool {
+        self.root.all_steps().iter().any(|(_, s)| s.is_update())
+    }
+
+    /// Keys written anywhere in the tree (deduplicated, sorted).
+    pub fn keys_written(&self) -> Vec<Key> {
+        let mut set = BTreeSet::new();
+        for (_, s) in self.root.all_steps() {
+            if let OpStep::Update(k, _) = s {
+                set.insert(*k);
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Keys read anywhere in the tree (deduplicated, sorted).
+    pub fn keys_read(&self) -> Vec<Key> {
+        let mut set = BTreeSet::new();
+        for (_, s) in self.root.all_steps() {
+            if let OpStep::Read(k) = s {
+                set.insert(*k);
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Build the compensating plan for this transaction (paper §3.2): the
+    /// same tree shape, with every update step replaced by its compensating
+    /// operation and every read dropped.
+    ///
+    /// `Assign` compensation needs read-back values, which only the executor
+    /// has; plan-level compensation therefore only exists for well-behaved
+    /// transactions (NC3V transactions roll back via 2PC instead, so this is
+    /// not a restriction in practice).
+    pub fn compensating_plan(&self) -> TxnPlan {
+        fn comp(sub: &SubtxnPlan) -> SubtxnPlan {
+            SubtxnPlan {
+                node: sub.node,
+                steps: sub
+                    .steps
+                    .iter()
+                    .filter_map(|s| match s {
+                        OpStep::Update(k, op) => Some(OpStep::Update(*k, op.compensation(None))),
+                        OpStep::Read(_) => None,
+                    })
+                    .collect(),
+                children: sub.children.iter().map(comp).collect(),
+            }
+        }
+        TxnPlan {
+            kind: self.kind,
+            root: comp(&self.root),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(n: u64) -> Key {
+        Key(n)
+    }
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    /// The paper's motivating T1 = {w11(x1), w12(x2)}: root at the front
+    /// end, writes in radiology and pediatrics.
+    fn hospital_update() -> TxnPlan {
+        TxnPlan::commuting(
+            SubtxnPlan::new(n(0))
+                .child(
+                    SubtxnPlan::new(n(1))
+                        .update(k(1), UpdateOp::Add(100))
+                        .update(
+                            k(10),
+                            UpdateOp::Append {
+                                amount: 100,
+                                tag: 7,
+                            },
+                        ),
+                )
+                .child(SubtxnPlan::new(n(2)).update(k(2), UpdateOp::Add(40))),
+        )
+    }
+
+    #[test]
+    fn tree_shape_queries() {
+        let t = hospital_update();
+        assert_eq!(t.root.depth(), 2);
+        assert_eq!(t.root.count(), 3);
+        assert_eq!(t.root.nodes(), vec![n(0), n(1), n(2)]);
+        assert_eq!(t.keys_written(), vec![k(1), k(2), k(10)]);
+        assert!(t.keys_read().is_empty());
+        assert!(t.has_updates());
+    }
+
+    #[test]
+    fn validation_accepts_well_formed() {
+        hospital_update().validate().unwrap();
+        let r = TxnPlan::read_only(SubtxnPlan::new(n(0)).read(k(1)).read(k(2)));
+        r.validate().unwrap();
+        let nc = TxnPlan::non_commuting(SubtxnPlan::new(n(0)).update(k(5), UpdateOp::Assign(3)));
+        nc.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_update_in_read_only() {
+        let bad = TxnPlan::read_only(SubtxnPlan::new(n(1)).update(k(3), UpdateOp::Add(1)));
+        assert_eq!(
+            bad.validate(),
+            Err(PlanError::UpdateInReadOnly {
+                node: n(1),
+                key: k(3)
+            })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_assign_in_commuting() {
+        let bad = TxnPlan::commuting(
+            SubtxnPlan::new(n(0)).child(SubtxnPlan::new(n(2)).update(k(3), UpdateOp::Assign(1))),
+        );
+        assert_eq!(
+            bad.validate(),
+            Err(PlanError::NonCommutingOpInCommuting {
+                node: n(2),
+                key: k(3)
+            })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_empty() {
+        let bad = TxnPlan::commuting(SubtxnPlan::new(n(0)));
+        assert_eq!(bad.validate(), Err(PlanError::Empty));
+    }
+
+    #[test]
+    fn compensating_plan_mirrors_tree() {
+        let t = hospital_update();
+        let c = t.compensating_plan();
+        assert_eq!(c.root.count(), t.root.count());
+        assert_eq!(c.root.nodes(), t.root.nodes());
+        let steps = c.root.all_steps();
+        assert_eq!(steps.len(), 3);
+        assert!(steps.iter().all(|(_, s)| s.is_update()));
+        assert!(steps
+            .iter()
+            .any(|(_, s)| matches!(s, OpStep::Update(_, UpdateOp::Add(-100)))));
+        assert!(steps.iter().any(|(_, s)| matches!(
+            s,
+            OpStep::Update(
+                _,
+                UpdateOp::Retract {
+                    amount: 100,
+                    tag: 7
+                }
+            )
+        )));
+    }
+
+    #[test]
+    fn compensating_plan_drops_reads() {
+        let t = TxnPlan::commuting(
+            SubtxnPlan::new(n(0))
+                .read(k(1))
+                .update(k(2), UpdateOp::Add(1)),
+        );
+        let c = t.compensating_plan();
+        assert_eq!(c.root.steps.len(), 1);
+    }
+
+    #[test]
+    fn display_kinds() {
+        assert_eq!(TxnKind::ReadOnly.to_string(), "read-only");
+        assert_eq!(TxnKind::Commuting.to_string(), "commuting");
+        assert_eq!(TxnKind::NonCommuting.to_string(), "non-commuting");
+    }
+
+    #[test]
+    fn op_step_accessors() {
+        let r = OpStep::Read(k(4));
+        let u = OpStep::Update(k(5), UpdateOp::Add(1));
+        assert_eq!(r.key(), k(4));
+        assert_eq!(u.key(), k(5));
+        assert!(!r.is_update());
+        assert!(u.is_update());
+    }
+
+    #[test]
+    fn visits_same_server_twice() {
+        // Paper §2.1: a transaction may visit some servers multiple times.
+        let t = SubtxnPlan::new(n(0))
+            .child(SubtxnPlan::new(n(1)).child(SubtxnPlan::new(n(0)).read(k(1))));
+        assert_eq!(t.nodes(), vec![n(0), n(1)]);
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.depth(), 3);
+    }
+}

@@ -1,0 +1,162 @@
+//! Static data placement: which key lives on which node, with what kind and
+//! initial value.
+//!
+//! The paper's setting fragments data amongst several databases (§1); each
+//! data item has exactly one home node. The schema is fixed for the duration
+//! of a run and shared by every engine, the workload generators, and the
+//! auditor.
+
+use std::collections::HashMap;
+
+use crate::ids::{Key, NodeId};
+use crate::value::{Value, ValueKind};
+
+/// Declaration of one data item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyDecl {
+    /// The key.
+    pub key: Key,
+    /// Home node.
+    pub node: NodeId,
+    /// Kind of value stored under the key.
+    pub kind: ValueKind,
+    /// Initial (version-0) value.
+    pub init: Value,
+}
+
+impl KeyDecl {
+    /// Declare a counter key starting at `init`.
+    pub fn counter(key: Key, node: NodeId, init: i64) -> Self {
+        KeyDecl {
+            key,
+            node,
+            kind: ValueKind::Counter,
+            init: Value::Counter(init),
+        }
+    }
+
+    /// Declare an empty journal key.
+    pub fn journal(key: Key, node: NodeId) -> Self {
+        KeyDecl {
+            key,
+            node,
+            kind: ValueKind::Journal,
+            init: Value::Journal(Vec::new()),
+        }
+    }
+
+    /// Declare a register key starting at `init`.
+    pub fn register(key: Key, node: NodeId, init: i64) -> Self {
+        KeyDecl {
+            key,
+            node,
+            kind: ValueKind::Register,
+            init: Value::Register(init),
+        }
+    }
+}
+
+/// The full database schema: every key, its home node, and its initial value.
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    decls: Vec<KeyDecl>,
+    by_key: HashMap<Key, usize>,
+    n_nodes: u16,
+}
+
+impl Schema {
+    /// Build a schema from declarations.
+    ///
+    /// # Panics
+    /// Panics on duplicate keys — a schema bug that should fail fast.
+    pub fn new(decls: Vec<KeyDecl>) -> Self {
+        let mut by_key = HashMap::with_capacity(decls.len());
+        let mut n_nodes = 0u16;
+        for (i, d) in decls.iter().enumerate() {
+            assert!(
+                by_key.insert(d.key, i).is_none(),
+                "duplicate key {} in schema",
+                d.key
+            );
+            n_nodes = n_nodes.max(d.node.0 + 1);
+        }
+        Schema {
+            decls,
+            by_key,
+            n_nodes,
+        }
+    }
+
+    /// Number of nodes (max declared node index + 1).
+    pub fn n_nodes(&self) -> u16 {
+        self.n_nodes
+    }
+
+    /// All declarations.
+    pub fn decls(&self) -> &[KeyDecl] {
+        &self.decls
+    }
+
+    /// Declaration of `key`, if any.
+    pub fn decl(&self, key: Key) -> Option<&KeyDecl> {
+        self.by_key.get(&key).map(|&i| &self.decls[i])
+    }
+
+    /// Home node of `key`, if declared.
+    pub fn home(&self, key: Key) -> Option<NodeId> {
+        self.decl(key).map(|d| d.node)
+    }
+
+    /// All declarations homed on `node`.
+    pub fn keys_on(&self, node: NodeId) -> impl Iterator<Item = &KeyDecl> {
+        self.decls.iter().filter(move |d| d.node == node)
+    }
+
+    /// Number of declared keys.
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_home() {
+        let s = Schema::new(vec![
+            KeyDecl::counter(Key(1), NodeId(0), 5),
+            KeyDecl::journal(Key(2), NodeId(1)),
+            KeyDecl::register(Key(3), NodeId(2), -1),
+        ]);
+        assert_eq!(s.n_nodes(), 3);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.home(Key(2)), Some(NodeId(1)));
+        assert_eq!(s.home(Key(9)), None);
+        assert_eq!(s.decl(Key(1)).unwrap().init, Value::Counter(5));
+        assert_eq!(s.decl(Key(3)).unwrap().kind, ValueKind::Register);
+        assert_eq!(s.keys_on(NodeId(1)).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key")]
+    fn duplicate_keys_panic() {
+        Schema::new(vec![
+            KeyDecl::counter(Key(1), NodeId(0), 0),
+            KeyDecl::counter(Key(1), NodeId(1), 0),
+        ]);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.n_nodes(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Value types of a data recording system (paper §6).
+//!
+//! A data recording system "records data by inserting new data observations
+//! into a database, and simultaneously updates summaries … derived from the
+//! recorded data". We model exactly that:
+//!
+//! * [`Value::Counter`] — a summary (account balance, items sold, …) updated
+//!   by commuting increments;
+//! * [`Value::Journal`] — the recorded observations themselves (charges,
+//!   calls, sales), updated by commuting appends. Every entry is tagged with
+//!   the writing transaction, which is what lets `threev-analysis` audit
+//!   global serializability *exactly* (Theorem 4.1);
+//! * [`Value::Register`] — a plain overwritable cell used by *non-commuting*
+//!   transactions (paper §5, NC3V).
+
+use std::fmt;
+
+use crate::ids::TxnId;
+
+/// One recorded observation in a journal.
+///
+/// The journal is semantically a *set* of entries: appends commute, so no
+/// meaning may be attached to entry order. The auditor compares journals as
+/// sets of `(txn, amount, tag)` triples.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JournalEntry {
+    /// Transaction that recorded the observation.
+    pub txn: TxnId,
+    /// Observation payload (e.g. a charge amount in cents).
+    pub amount: i64,
+    /// Application tag (e.g. procedure code / call type).
+    pub tag: u32,
+}
+
+/// A value stored under one version of one key.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// Summary counter; supports commuting [`crate::ops::UpdateOp::Add`].
+    Counter(i64),
+    /// Observation journal; supports commuting [`crate::ops::UpdateOp::Append`].
+    Journal(Vec<JournalEntry>),
+    /// Overwritable register; supports non-commuting
+    /// [`crate::ops::UpdateOp::Assign`].
+    Register(i64),
+}
+
+/// The kind of a [`Value`], used for schema validation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValueKind {
+    /// See [`Value::Counter`].
+    Counter,
+    /// See [`Value::Journal`].
+    Journal,
+    /// See [`Value::Register`].
+    Register,
+}
+
+impl Value {
+    /// Kind of this value.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Counter(_) => ValueKind::Counter,
+            Value::Journal(_) => ValueKind::Journal,
+            Value::Register(_) => ValueKind::Register,
+        }
+    }
+
+    /// Zero/empty value of the given kind.
+    pub fn empty(kind: ValueKind) -> Value {
+        match kind {
+            ValueKind::Counter => Value::Counter(0),
+            ValueKind::Journal => Value::Journal(Vec::new()),
+            ValueKind::Register => Value::Register(0),
+        }
+    }
+
+    /// Counter payload, if this is a counter.
+    pub fn as_counter(&self) -> Option<i64> {
+        match self {
+            Value::Counter(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Register payload, if this is a register.
+    pub fn as_register(&self) -> Option<i64> {
+        match self {
+            Value::Register(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Journal entries, if this is a journal.
+    pub fn as_journal(&self) -> Option<&[JournalEntry]> {
+        match self {
+            Value::Journal(j) => Some(j),
+            _ => None,
+        }
+    }
+
+    /// Set of transactions that contributed entries, if this is a journal.
+    pub fn journal_txns(&self) -> Option<Vec<TxnId>> {
+        self.as_journal().map(|j| {
+            let mut v: Vec<TxnId> = j.iter().map(|e| e.txn).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Counter(c) => write!(f, "ctr({c})"),
+            Value::Journal(j) => write!(f, "jrn(len={})", j.len()),
+            Value::Register(r) => write!(f, "reg({r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn e(seq: u64, amount: i64) -> JournalEntry {
+        JournalEntry {
+            txn: TxnId::new(seq, NodeId(0)),
+            amount,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn kinds_round_trip() {
+        for kind in [ValueKind::Counter, ValueKind::Journal, ValueKind::Register] {
+            assert_eq!(Value::empty(kind).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Counter(5).as_counter(), Some(5));
+        assert_eq!(Value::Counter(5).as_register(), None);
+        assert_eq!(Value::Register(7).as_register(), Some(7));
+        let j = Value::Journal(vec![e(2, 10), e(1, 20), e(2, 30)]);
+        assert_eq!(j.as_journal().unwrap().len(), 3);
+        let txns = j.journal_txns().unwrap();
+        assert_eq!(txns.len(), 2);
+        assert!(txns[0] < txns[1]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Counter(1).to_string(), "ctr(1)");
+        assert_eq!(Value::Journal(vec![]).to_string(), "jrn(len=0)");
+        assert_eq!(Value::Register(-2).to_string(), "reg(-2)");
+    }
+}

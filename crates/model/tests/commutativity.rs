@@ -1,0 +1,148 @@
+//! Property-based verification of the crate's central semantic claim
+//! (paper §3.1): *well-behaved operation sequences commute* — applying any
+//! permutation of commuting updates from distinct transactions yields the
+//! same final value (journals compared as sets), which is exactly the
+//! property the 3V protocol's local serialization relies on.
+
+use proptest::prelude::*;
+use threev_model::{JournalEntry, NodeId, TxnId, UpdateOp, Value};
+
+fn tid(seq: u64) -> TxnId {
+    TxnId::new(seq, NodeId(0))
+}
+
+/// Strategy over commuting ops attributed to a transaction.
+fn commuting_op() -> impl Strategy<Value = UpdateOp> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(UpdateOp::Add),
+        ((-1000i64..1000), 0u32..8).prop_map(|(amount, tag)| UpdateOp::Append { amount, tag }),
+    ]
+}
+
+fn canonical_journal(v: &Value) -> Vec<(TxnId, i64, u32)> {
+    let mut entries: Vec<(TxnId, i64, u32)> = v
+        .as_journal()
+        .unwrap()
+        .iter()
+        .map(|e: &JournalEntry| (e.txn, e.amount, e.tag))
+        .collect();
+    entries.sort_unstable();
+    entries
+}
+
+fn apply_all(init: &Value, ops: &[(u64, UpdateOp)], order: &[usize]) -> Value {
+    let mut v = init.clone();
+    for &i in order {
+        let (seq, op) = ops[i];
+        op.apply(&mut v, tid(seq)).unwrap();
+    }
+    v
+}
+
+proptest! {
+    /// Adds on a counter commute under any permutation.
+    #[test]
+    fn counter_adds_commute(
+        deltas in proptest::collection::vec(-10_000i64..10_000, 1..20),
+        seed in any::<u64>(),
+    ) {
+        let ops: Vec<(u64, UpdateOp)> = deltas
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i as u64, UpdateOp::Add(d)))
+            .collect();
+        let forward: Vec<usize> = (0..ops.len()).collect();
+        let mut shuffled = forward.clone();
+        // Deterministic Fisher-Yates from the seed.
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let a = apply_all(&Value::Counter(0), &ops, &forward);
+        let b = apply_all(&Value::Counter(0), &ops, &shuffled);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Appends (and balanced append/retract pairs) on a journal commute as
+    /// sets under any permutation.
+    #[test]
+    fn journal_ops_commute_as_sets(
+        ops in proptest::collection::vec((0u64..6, commuting_op()), 1..24),
+        seed in any::<u64>(),
+    ) {
+        // Journals only: map Add onto Append so types line up.
+        let ops: Vec<(u64, UpdateOp)> = ops
+            .into_iter()
+            .map(|(txn, op)| {
+                let op = match op {
+                    UpdateOp::Add(d) => UpdateOp::Append { amount: d, tag: 0 },
+                    other => other,
+                };
+                (txn, op)
+            })
+            .collect();
+        let forward: Vec<usize> = (0..ops.len()).collect();
+        let mut shuffled = forward.clone();
+        let mut s = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let a = apply_all(&Value::Journal(vec![]), &ops, &forward);
+        let b = apply_all(&Value::Journal(vec![]), &ops, &shuffled);
+        prop_assert_eq!(canonical_journal(&a), canonical_journal(&b));
+    }
+
+    /// A transaction followed by its compensation is an identity on
+    /// counters and journals, regardless of interleaved foreign commuting
+    /// ops (the §3.2 requirement for coordination-free compensation).
+    #[test]
+    fn compensation_is_identity_under_interleaving(
+        own in proptest::collection::vec(commuting_op(), 1..8),
+        foreign in proptest::collection::vec(commuting_op(), 0..8),
+        counter_mode in any::<bool>(),
+    ) {
+        let me = tid(1);
+        let other = tid(2);
+        let init = if counter_mode {
+            Value::Counter(42)
+        } else {
+            Value::Journal(vec![])
+        };
+        let fix = |op: UpdateOp| -> UpdateOp {
+            match (counter_mode, op) {
+                (true, UpdateOp::Append { amount, .. }) => UpdateOp::Add(amount),
+                (true, UpdateOp::Retract { amount, .. }) => UpdateOp::Add(-amount),
+                (false, UpdateOp::Add(d)) => UpdateOp::Append { amount: d, tag: 0 },
+                (_, op) => op,
+            }
+        };
+
+        // Baseline: only the foreign ops.
+        let mut baseline = init.clone();
+        for op in &foreign {
+            fix(*op).apply(&mut baseline, other).unwrap();
+        }
+
+        // Interleaved: own ops, then foreign ops, then own compensation.
+        let mut v = init.clone();
+        for op in &own {
+            fix(*op).apply(&mut v, me).unwrap();
+        }
+        for op in &foreign {
+            fix(*op).apply(&mut v, other).unwrap();
+        }
+        for op in own.iter().rev() {
+            fix(*op).compensation(None).apply(&mut v, me).unwrap();
+        }
+
+        if counter_mode {
+            prop_assert_eq!(v, baseline);
+        } else {
+            prop_assert_eq!(canonical_journal(&v), canonical_journal(&baseline));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Network latency models.
+//!
+//! The 3V protocol's interesting behaviour lives in message *reordering* and
+//! *skew*: a descendant subtransaction can reach a node before the
+//! advancement notice does (paper §2.3, time 12 vs time 16), or after the
+//! node has already advanced (time 13). Latency models with jitter exercise
+//! both races; a fixed-latency model gives FIFO-like behaviour for scripted
+//! replays.
+
+use rand::Rng;
+
+use crate::time::SimDuration;
+
+/// How long a message takes from one node to another.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly `SimDuration`. Links behave FIFO.
+    Fixed(SimDuration),
+    /// Latency drawn uniformly from `[min, max]`; messages may reorder.
+    Uniform {
+        /// Minimum latency.
+        min: SimDuration,
+        /// Maximum latency.
+        max: SimDuration,
+    },
+    /// Mostly `base`, but a `spike_ppm`-per-million chance of taking
+    /// `base * spike_factor` — models transient congestion / stragglers, the
+    /// situation that makes manual versioning unsafe (paper §1: "one or both
+    /// of the writes may be delayed beyond the version switchover date").
+    Spiky {
+        /// Common-case latency.
+        base: SimDuration,
+        /// Probability of a spike, in parts per million.
+        spike_ppm: u32,
+        /// Multiplier applied to `base` during a spike.
+        spike_factor: u32,
+    },
+}
+
+impl LatencyModel {
+    /// A reasonable LAN-ish default: 200us..800us.
+    pub fn lan() -> Self {
+        LatencyModel::Uniform {
+            min: SimDuration::from_micros(200),
+            max: SimDuration::from_micros(800),
+        }
+    }
+
+    /// A WAN-ish default: 5ms..25ms.
+    pub fn wan() -> Self {
+        LatencyModel::Uniform {
+            min: SimDuration::from_millis(5),
+            max: SimDuration::from_millis(25),
+        }
+    }
+
+    /// Zero latency (useful for unit tests of pure logic).
+    pub fn zero() -> Self {
+        LatencyModel::Fixed(SimDuration::ZERO)
+    }
+
+    /// Sample one message latency.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                if max <= min {
+                    min
+                } else {
+                    SimDuration(rng.gen_range(min.0..=max.0))
+                }
+            }
+            LatencyModel::Spiky {
+                base,
+                spike_ppm,
+                spike_factor,
+            } => {
+                if rng.gen_range(0u32..1_000_000) < spike_ppm {
+                    base.mul(spike_factor as u64)
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// Mean latency of the model (used by reports).
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { min, max } => SimDuration((min.0 + max.0) / 2),
+            LatencyModel::Spiky {
+                base,
+                spike_ppm,
+                spike_factor,
+            } => {
+                let spike = base.0 as u128 * spike_factor as u128 * spike_ppm as u128;
+                let normal = base.0 as u128 * (1_000_000 - spike_ppm as u128);
+                SimDuration(((spike + normal) / 1_000_000) as u64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = LatencyModel::Fixed(SimDuration::from_micros(100));
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_micros(100));
+        }
+        assert_eq!(m.mean(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = LatencyModel::Uniform {
+            min: SimDuration(10),
+            max: SimDuration(20),
+        };
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!((10..=20).contains(&d.0));
+        }
+        assert_eq!(m.mean(), SimDuration(15));
+    }
+
+    #[test]
+    fn degenerate_uniform() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = LatencyModel::Uniform {
+            min: SimDuration(10),
+            max: SimDuration(10),
+        };
+        assert_eq!(m.sample(&mut rng), SimDuration(10));
+    }
+
+    #[test]
+    fn spiky_spikes_sometimes() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let m = LatencyModel::Spiky {
+            base: SimDuration(100),
+            spike_ppm: 500_000, // 50% for the test
+            spike_factor: 10,
+        };
+        let mut spikes = 0;
+        for _ in 0..1000 {
+            if m.sample(&mut rng).0 == 1000 {
+                spikes += 1;
+            }
+        }
+        assert!((300..700).contains(&spikes), "spikes={spikes}");
+        assert_eq!(m.mean(), SimDuration(550));
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(LatencyModel::zero().mean(), SimDuration::ZERO);
+        assert!(LatencyModel::wan().mean() > LatencyModel::lan().mean());
+    }
+}

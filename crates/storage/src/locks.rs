@@ -1,0 +1,432 @@
+//! Lock table for the NC3V extension (paper §5).
+//!
+//! "We require that the well-behaved update transactions acquire special
+//! commuting-update and commuting-read locks … Non-well-behaved transactions
+//! are required to obtain non-commuting locks … Commuting locks are
+//! compatible with each other but not with their non-commuting
+//! counterparts."
+//!
+//! * [`LockMode::Commute`] — taken by well-behaved transactions; compatible
+//!   with other commute locks, so **in the absence of non-well-behaved
+//!   transactions there is never a wait** (§5), and the pure-3V engine skips
+//!   the lock table entirely.
+//! * [`LockMode::Exclusive`] — taken by non-commuting transactions;
+//!   compatible with nothing.
+//!
+//! Deadlock avoidance is **wait-die** on the global [`TxnId`] order (lower
+//! id = older): a requester may wait only for strictly younger conflicting
+//! holders; otherwise it dies and is compensated/restarted by the engine.
+//! Waiters queue FIFO and a new request must also be compatible with every
+//! queued waiter, so exclusive requests are not starved by a stream of
+//! commute requests.
+
+use std::collections::{HashMap, VecDeque};
+
+use threev_model::{Key, TxnId};
+
+/// Lock modes (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// Commuting-update/read lock: shared among well-behaved transactions.
+    Commute,
+    /// Non-commuting lock: exclusive.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Mode compatibility matrix.
+    #[inline]
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Commute, LockMode::Commute))
+    }
+
+    /// Does holding `self` satisfy a request for `req`?
+    #[inline]
+    fn covers(self, req: LockMode) -> bool {
+        self == LockMode::Exclusive || req == LockMode::Commute
+    }
+}
+
+/// Outcome of a lock request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockDecision {
+    /// Lock granted immediately.
+    Granted,
+    /// Enqueued; the engine will be told via the release path when granted.
+    Waiting,
+    /// Wait-die says the requester (younger than a conflicting holder)
+    /// must abort.
+    Abort,
+}
+
+#[derive(Clone, Debug)]
+struct Holder {
+    txn: TxnId,
+    mode: LockMode,
+    count: u32,
+}
+
+#[derive(Clone, Debug, Default)]
+struct LockState {
+    holders: Vec<Holder>,
+    waiters: VecDeque<(TxnId, LockMode)>,
+}
+
+impl LockState {
+    fn compatible_with_holders(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.holders
+            .iter()
+            .all(|h| h.txn == txn || h.mode.compatible(mode))
+    }
+
+    fn conflicting_holders(&self, txn: TxnId, mode: LockMode) -> impl Iterator<Item = &Holder> {
+        self.holders
+            .iter()
+            .filter(move |h| h.txn != txn && !h.mode.compatible(mode))
+    }
+}
+
+/// Grants produced by a release: `(txn, key, mode)` now held.
+pub type Grants = Vec<(TxnId, Key, LockMode)>;
+
+/// The per-node lock table.
+#[derive(Clone, Debug, Default)]
+pub struct LockTable {
+    locks: HashMap<Key, LockState>,
+    /// Total waits observed (experiment X6 reports lock-wait pressure).
+    pub waits: u64,
+    /// Total wait-die aborts.
+    pub die_aborts: u64,
+}
+
+impl LockTable {
+    /// New empty table.
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Request `mode` on `key` for `txn`.
+    pub fn acquire(&mut self, key: Key, mode: LockMode, txn: TxnId) -> LockDecision {
+        let state = self.locks.entry(key).or_default();
+
+        // Re-entrant: already holding a covering mode?
+        if let Some(h) = state.holders.iter_mut().find(|h| h.txn == txn) {
+            if h.mode.covers(mode) {
+                h.count += 1;
+                return LockDecision::Granted;
+            }
+            // Upgrade Commute -> Exclusive: only if sole holder.
+            if state.holders.len() == 1 {
+                let h = &mut state.holders[0];
+                h.mode = LockMode::Exclusive;
+                h.count += 1;
+                return LockDecision::Granted;
+            }
+            // Conflicting upgrade: fall through to wait-die below.
+        }
+
+        let compatible_now = state.compatible_with_holders(txn, mode)
+            && state
+                .waiters
+                .iter()
+                .all(|(w, wmode)| *w == txn || wmode.compatible(mode) && mode.compatible(*wmode));
+
+        if compatible_now && state.waiters.is_empty() {
+            match state.holders.iter_mut().find(|h| h.txn == txn) {
+                Some(h) => h.count += 1, // upgrade path with sole holder handled above
+                None => state.holders.push(Holder {
+                    txn,
+                    mode,
+                    count: 1,
+                }),
+            }
+            return LockDecision::Granted;
+        }
+
+        // Wait-die: may wait only if strictly older than every conflicting
+        // holder (and, for fairness, than conflicting waiters ahead).
+        let younger_than_conflicting_holder =
+            state.conflicting_holders(txn, mode).any(|h| txn > h.txn)
+                || state
+                    .waiters
+                    .iter()
+                    .any(|(w, wmode)| *w != txn && !wmode.compatible(mode) && txn > *w);
+        if younger_than_conflicting_holder {
+            self.die_aborts += 1;
+            return LockDecision::Abort;
+        }
+        state.waiters.push_back((txn, mode));
+        self.waits += 1;
+        LockDecision::Waiting
+    }
+
+    /// Release every lock held or awaited by `txn`, returning the grants
+    /// that become possible.
+    pub fn release_all(&mut self, txn: TxnId) -> Grants {
+        let mut grants = Grants::new();
+        let mut emptied = Vec::new();
+        for (key, state) in self.locks.iter_mut() {
+            state.holders.retain(|h| h.txn != txn);
+            state.waiters.retain(|(w, _)| *w != txn);
+            Self::promote(*key, state, &mut grants);
+            if state.holders.is_empty() && state.waiters.is_empty() {
+                emptied.push(*key);
+            }
+        }
+        for key in emptied {
+            self.locks.remove(&key);
+        }
+        grants
+    }
+
+    fn promote(key: Key, state: &mut LockState, grants: &mut Grants) {
+        while let Some(&(txn, mode)) = state.waiters.front() {
+            if !state.compatible_with_holders(txn, mode) {
+                break;
+            }
+            state.waiters.pop_front();
+            match state.holders.iter_mut().find(|h| h.txn == txn) {
+                Some(h) => {
+                    h.mode = if h.mode == LockMode::Exclusive || mode == LockMode::Exclusive {
+                        LockMode::Exclusive
+                    } else {
+                        LockMode::Commute
+                    };
+                    h.count += 1;
+                }
+                None => state.holders.push(Holder {
+                    txn,
+                    mode,
+                    count: 1,
+                }),
+            }
+            grants.push((txn, key, mode));
+        }
+    }
+
+    /// Does `txn` currently hold a lock on `key`?
+    pub fn holds(&self, txn: TxnId, key: Key) -> bool {
+        self.locks
+            .get(&key)
+            .is_some_and(|s| s.holders.iter().any(|h| h.txn == txn))
+    }
+
+    /// Number of holders on `key`.
+    pub fn holder_count(&self, key: Key) -> usize {
+        self.locks.get(&key).map_or(0, |s| s.holders.len())
+    }
+
+    /// Number of waiters on `key`.
+    pub fn waiter_count(&self, key: Key) -> usize {
+        self.locks.get(&key).map_or(0, |s| s.waiters.len())
+    }
+
+    /// Is the table completely free? (Quiescence invariant in tests.)
+    pub fn is_idle(&self) -> bool {
+        self.locks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threev_model::NodeId;
+
+    fn t(seq: u64) -> TxnId {
+        TxnId::new(seq, NodeId(0))
+    }
+    const K: Key = Key(1);
+
+    #[test]
+    fn commute_locks_never_conflict() {
+        // Paper §5: "in the absence of non-well-behaved transactions, there
+        // is no wait to obtain a commute lock".
+        let mut lt = LockTable::new();
+        for i in 0..50 {
+            assert_eq!(
+                lt.acquire(K, LockMode::Commute, t(i)),
+                LockDecision::Granted
+            );
+        }
+        assert_eq!(lt.holder_count(K), 50);
+        assert_eq!(lt.waits, 0);
+        assert_eq!(lt.die_aborts, 0);
+    }
+
+    #[test]
+    fn exclusive_excludes_everything() {
+        let mut lt = LockTable::new();
+        assert_eq!(
+            lt.acquire(K, LockMode::Exclusive, t(1)),
+            LockDecision::Granted
+        );
+        // Older commute requester waits...
+        assert_eq!(
+            lt.acquire(K, LockMode::Commute, t(0)),
+            LockDecision::Waiting
+        );
+        // ...younger one dies.
+        assert_eq!(lt.acquire(K, LockMode::Commute, t(2)), LockDecision::Abort);
+        // Younger exclusive also dies.
+        assert_eq!(
+            lt.acquire(K, LockMode::Exclusive, t(3)),
+            LockDecision::Abort
+        );
+        assert_eq!(lt.die_aborts, 2);
+    }
+
+    #[test]
+    fn release_promotes_fifo() {
+        // Wait-die discipline: a waiter must be older than every
+        // conflicting holder/waiter ahead, so ids decrease down the queue.
+        let mut lt = LockTable::new();
+        lt.acquire(K, LockMode::Exclusive, t(10)).unwrap_granted();
+        assert_eq!(
+            lt.acquire(K, LockMode::Commute, t(2)),
+            LockDecision::Waiting
+        );
+        assert_eq!(
+            lt.acquire(K, LockMode::Commute, t(1)),
+            LockDecision::Waiting
+        );
+        assert_eq!(
+            lt.acquire(K, LockMode::Exclusive, t(0)),
+            LockDecision::Waiting
+        );
+        let grants = lt.release_all(t(10));
+        // Both commute waiters promoted together; exclusive still queued.
+        assert_eq!(grants.len(), 2);
+        assert!(grants.iter().all(|(_, _, m)| *m == LockMode::Commute));
+        assert_eq!(lt.holder_count(K), 2);
+        assert_eq!(lt.waiter_count(K), 1);
+        // Releasing both commute holders promotes the exclusive.
+        assert!(lt.release_all(t(2)).is_empty());
+        let grants = lt.release_all(t(1));
+        assert_eq!(grants, vec![(t(0), K, LockMode::Exclusive)]);
+    }
+
+    #[test]
+    fn younger_exclusive_dies_behind_older_waiters() {
+        // A younger exclusive may not wait behind an older conflicting
+        // waiter (would break the wait-die order and admit deadlock).
+        let mut lt = LockTable::new();
+        lt.acquire(K, LockMode::Exclusive, t(10)).unwrap_granted();
+        assert_eq!(
+            lt.acquire(K, LockMode::Commute, t(1)),
+            LockDecision::Waiting
+        );
+        assert_eq!(
+            lt.acquire(K, LockMode::Exclusive, t(3)),
+            LockDecision::Abort
+        );
+    }
+
+    #[test]
+    fn exclusive_waiter_blocks_new_commutes() {
+        // FIFO fairness: once an exclusive waits, later commute requests
+        // must not leapfrog it.
+        let mut lt = LockTable::new();
+        lt.acquire(K, LockMode::Commute, t(10)).unwrap_granted();
+        assert_eq!(
+            lt.acquire(K, LockMode::Exclusive, t(1)),
+            LockDecision::Waiting
+        );
+        // Older commute: waits behind the exclusive.
+        assert_eq!(
+            lt.acquire(K, LockMode::Commute, t(0)),
+            LockDecision::Waiting
+        );
+        // Younger commute: dies (conflicting waiter ahead is older).
+        assert_eq!(lt.acquire(K, LockMode::Commute, t(11)), LockDecision::Abort);
+    }
+
+    #[test]
+    fn reentrant_acquire() {
+        let mut lt = LockTable::new();
+        lt.acquire(K, LockMode::Commute, t(1)).unwrap_granted();
+        lt.acquire(K, LockMode::Commute, t(1)).unwrap_granted();
+        assert_eq!(lt.holder_count(K), 1);
+        lt.release_all(t(1));
+        assert!(lt.is_idle());
+    }
+
+    #[test]
+    fn exclusive_covers_commute_reentry() {
+        let mut lt = LockTable::new();
+        lt.acquire(K, LockMode::Exclusive, t(1)).unwrap_granted();
+        assert_eq!(
+            lt.acquire(K, LockMode::Commute, t(1)),
+            LockDecision::Granted
+        );
+    }
+
+    #[test]
+    fn sole_holder_upgrade() {
+        let mut lt = LockTable::new();
+        lt.acquire(K, LockMode::Commute, t(1)).unwrap_granted();
+        assert_eq!(
+            lt.acquire(K, LockMode::Exclusive, t(1)),
+            LockDecision::Granted
+        );
+        // Now exclusive: other commute requests conflict.
+        assert_eq!(lt.acquire(K, LockMode::Commute, t(9)), LockDecision::Abort);
+    }
+
+    #[test]
+    fn contested_upgrade_uses_wait_die() {
+        let mut lt = LockTable::new();
+        lt.acquire(K, LockMode::Commute, t(1)).unwrap_granted();
+        lt.acquire(K, LockMode::Commute, t(2)).unwrap_granted();
+        // t2 (younger than holder t1) upgrading -> dies.
+        assert_eq!(
+            lt.acquire(K, LockMode::Exclusive, t(2)),
+            LockDecision::Abort
+        );
+        // t1 (older than holder t2) upgrading -> waits.
+        assert_eq!(
+            lt.acquire(K, LockMode::Exclusive, t(1)),
+            LockDecision::Waiting
+        );
+        // t2 releases: t1's upgrade is granted.
+        let grants = lt.release_all(t(2));
+        assert_eq!(grants, vec![(t(1), K, LockMode::Exclusive)]);
+        assert!(lt.holds(t(1), K));
+    }
+
+    #[test]
+    fn release_of_waiter_cleans_queue() {
+        let mut lt = LockTable::new();
+        lt.acquire(K, LockMode::Exclusive, t(5)).unwrap_granted();
+        assert_eq!(
+            lt.acquire(K, LockMode::Commute, t(1)),
+            LockDecision::Waiting
+        );
+        lt.release_all(t(1)); // waiter gives up (e.g. aborted elsewhere)
+        assert_eq!(lt.waiter_count(K), 0);
+        lt.release_all(t(5));
+        assert!(lt.is_idle());
+    }
+
+    #[test]
+    fn wait_die_no_deadlock_two_keys() {
+        // Classic crossing pattern: t1 holds A wants B, t2 holds B wants A.
+        // Wait-die guarantees at most one of them waits.
+        let (a, b) = (Key(1), Key(2));
+        let mut lt = LockTable::new();
+        lt.acquire(a, LockMode::Exclusive, t(1)).unwrap_granted();
+        lt.acquire(b, LockMode::Exclusive, t(2)).unwrap_granted();
+        let d1 = lt.acquire(b, LockMode::Exclusive, t(1));
+        let d2 = lt.acquire(a, LockMode::Exclusive, t(2));
+        assert_eq!(d1, LockDecision::Waiting, "older may wait");
+        assert_eq!(d2, LockDecision::Abort, "younger dies");
+    }
+
+    trait UnwrapGranted {
+        fn unwrap_granted(self);
+    }
+    impl UnwrapGranted for LockDecision {
+        fn unwrap_granted(self) {
+            assert_eq!(self, LockDecision::Granted);
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! The per-node key-value store: a map of [`VersionedRecord`]s plus the
+//! statistics the experiments report on.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use threev_model::{Key, NodeId, Schema, TxnId, UpdateOp, Value, VersionNo};
+
+use crate::record::{GcAction, UpdateOutcome, VersionedRecord};
+use crate::undo::UndoLog;
+
+/// Storage-level errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The key is not in this node's fragment.
+    UnknownKey {
+        /// The missing key.
+        key: Key,
+    },
+    /// No version of the item is visible at the requested version — a
+    /// protocol invariant violation (GC ran too early) that we surface
+    /// loudly instead of masking.
+    NoVisibleVersion {
+        /// The key read.
+        key: Key,
+        /// The version requested.
+        version: VersionNo,
+    },
+    /// The operation does not apply to the stored value kind.
+    Apply {
+        /// The key updated.
+        key: Key,
+        /// Underlying model error.
+        source: threev_model::ops::ApplyError,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownKey { key } => write!(f, "key {key} not stored on this node"),
+            StoreError::NoVisibleVersion { key, version } => {
+                write!(f, "no version of {key} visible at {version}")
+            }
+            StoreError::Apply { key, source } => write!(f, "updating {key}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Counters the storage layer maintains for the experiment harnesses.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Reads served.
+    pub reads: u64,
+    /// Update operations applied (one per op, not per version written).
+    pub updates: u64,
+    /// Versions materialised by copy-on-update.
+    pub copies_created: u64,
+    /// Updates that wrote ≥ 2 versions (the §2.3 straggler dual write; X7).
+    pub dual_writes: u64,
+    /// High-water mark of live versions of any single item (X4: must be ≤ 3).
+    pub max_versions_of_any_item: u32,
+    /// Garbage-collection sweeps run.
+    pub gc_runs: u64,
+    /// Versions dropped by GC.
+    pub gc_dropped: u64,
+    /// Records renamed by GC (item had no copy at the new read version).
+    pub gc_renamed: u64,
+}
+
+/// The node-local store.
+#[derive(Clone, Debug)]
+pub struct Store {
+    node: NodeId,
+    records: HashMap<Key, VersionedRecord>,
+    stats: StoreStats,
+}
+
+impl Store {
+    /// Build the store for `node`, materialising every key the schema homes
+    /// there at version 0.
+    pub fn from_schema(schema: &Schema, node: NodeId) -> Self {
+        let mut records = HashMap::new();
+        for decl in schema.keys_on(node) {
+            records.insert(decl.key, VersionedRecord::initial(decl.init.clone()));
+        }
+        Store {
+            node,
+            records,
+            stats: StoreStats {
+                max_versions_of_any_item: 1,
+                ..StoreStats::default()
+            },
+        }
+    }
+
+    /// Empty store for `node` (keys inserted with [`Store::insert_initial`]).
+    pub fn empty(node: NodeId) -> Self {
+        Store {
+            node,
+            records: HashMap::new(),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Insert a key at version 0 (test/bootstrap helper).
+    pub fn insert_initial(&mut self, key: Key, value: Value) {
+        self.records.insert(key, VersionedRecord::initial(value));
+        self.stats.max_versions_of_any_item = self.stats.max_versions_of_any_item.max(1);
+    }
+
+    /// Node this store belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Read rule (§4.1 step 3 / §4.2): maximum existing version ≤ `v`.
+    /// Returns the version actually read alongside the value.
+    pub fn read_visible(
+        &mut self,
+        key: Key,
+        v: VersionNo,
+    ) -> Result<(VersionNo, Value), StoreError> {
+        let rec = self
+            .records
+            .get(&key)
+            .ok_or(StoreError::UnknownKey { key })?;
+        let (w, val) = rec
+            .read_visible(v)
+            .ok_or(StoreError::NoVisibleVersion { key, version: v })?;
+        self.stats.reads += 1;
+        Ok((w, val.clone()))
+    }
+
+    /// Update rule (§4.1 step 4): ensure `x(v)` exists (copy-on-update),
+    /// then apply `op` to every version ≥ `v`. When `undo` is supplied, the
+    /// prior state of every touched version is recorded for rollback.
+    pub fn update(
+        &mut self,
+        key: Key,
+        v: VersionNo,
+        op: UpdateOp,
+        txn: TxnId,
+        undo: Option<&mut UndoLog>,
+    ) -> Result<UpdateOutcome, StoreError> {
+        let rec = self
+            .records
+            .get_mut(&key)
+            .ok_or(StoreError::UnknownKey { key })?;
+        if let Some(log) = undo {
+            // Record priors for all versions >= v, plus (if x(v) is about to
+            // be created) a deletion entry for it.
+            if !rec.exists(v) {
+                log.record_created(key, v);
+            }
+            for w in rec.version_numbers().collect::<Vec<_>>() {
+                if w >= v {
+                    log.record_prior(key, w, rec.value_at(w).cloned());
+                }
+            }
+        }
+        let out = rec.update(key, v, op, txn)?;
+        self.stats.updates += 1;
+        if out.created_version {
+            self.stats.copies_created += 1;
+        }
+        if out.versions_written >= 2 {
+            self.stats.dual_writes += 1;
+        }
+        self.stats.max_versions_of_any_item = self
+            .stats
+            .max_versions_of_any_item
+            .max(rec.version_count() as u32);
+        Ok(out)
+    }
+
+    /// Update exactly version `v` of `key` (manual-versioning semantics:
+    /// late updates do not propagate to newer versions). See
+    /// [`crate::record::VersionedRecord::update_exact`].
+    pub fn update_exact(
+        &mut self,
+        key: Key,
+        v: VersionNo,
+        op: UpdateOp,
+        txn: TxnId,
+    ) -> Result<UpdateOutcome, StoreError> {
+        let rec = self
+            .records
+            .get_mut(&key)
+            .ok_or(StoreError::UnknownKey { key })?;
+        let out = rec.update_exact(key, v, op, txn)?;
+        self.stats.updates += 1;
+        if out.created_version {
+            self.stats.copies_created += 1;
+        }
+        self.stats.max_versions_of_any_item = self
+            .stats
+            .max_versions_of_any_item
+            .max(rec.version_count() as u32);
+        Ok(out)
+    }
+
+    /// Does any version of `key` exist strictly above `v`? (NC3V abort rule,
+    /// §5 step 4.)
+    pub fn exists_above(&self, key: Key, v: VersionNo) -> Result<bool, StoreError> {
+        let rec = self
+            .records
+            .get(&key)
+            .ok_or(StoreError::UnknownKey { key })?;
+        Ok(rec.max_version() > v)
+    }
+
+    /// Apply an undo log (rollback of an uncommitted subtransaction).
+    /// Entries are applied newest-first.
+    pub fn rollback(&mut self, log: UndoLog) {
+        for (key, version, prior) in log.into_entries_rev() {
+            if let Some(rec) = self.records.get_mut(&key) {
+                rec.restore(version, prior);
+            }
+        }
+    }
+
+    /// Garbage-collect every record for the new read version (§4.3 Phase 4).
+    pub fn gc(&mut self, vr_new: VersionNo) {
+        self.stats.gc_runs += 1;
+        for rec in self.records.values_mut() {
+            match rec.gc(vr_new) {
+                GcAction::DroppedOld { dropped } => self.stats.gc_dropped += dropped as u64,
+                GcAction::Renamed { dropped, .. } => {
+                    self.stats.gc_renamed += 1;
+                    self.stats.gc_dropped += dropped as u64;
+                }
+                GcAction::None => {}
+            }
+        }
+    }
+
+    /// Version layout of one key: `(version, value)` pairs ascending. Used
+    /// by the Figure 2 replay and by invariant checks.
+    pub fn layout(&self, key: Key) -> Option<Vec<(VersionNo, Value)>> {
+        self.records.get(&key).map(|r| {
+            r.version_numbers()
+                .map(|v| (v, r.value_at(v).unwrap().clone()))
+                .collect()
+        })
+    }
+
+    /// Current maximum live version count across all items.
+    pub fn current_max_versions(&self) -> usize {
+        self.records
+            .values()
+            .map(VersionedRecord::version_count)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterate over all keys.
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.records.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threev_model::KeyDecl;
+
+    fn t(seq: u64) -> TxnId {
+        TxnId::new(seq, NodeId(0))
+    }
+    fn v(n: u32) -> VersionNo {
+        VersionNo(n)
+    }
+
+    fn store() -> Store {
+        let schema = Schema::new(vec![
+            KeyDecl::counter(Key(1), NodeId(0), 100),
+            KeyDecl::journal(Key(2), NodeId(0)),
+            KeyDecl::counter(Key(3), NodeId(1), 0),
+        ]);
+        Store::from_schema(&schema, NodeId(0))
+    }
+
+    #[test]
+    fn schema_fragmentation() {
+        let s = store();
+        assert_eq!(s.len(), 2, "only node-0 keys are materialised");
+        assert!(!s.is_empty());
+        assert_eq!(s.node(), NodeId(0));
+        assert_eq!(s.keys().count(), 2);
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        let mut s = store();
+        assert_eq!(
+            s.read_visible(Key(3), v(0)).unwrap_err(),
+            StoreError::UnknownKey { key: Key(3) }
+        );
+        assert_eq!(
+            s.update(Key(3), v(1), UpdateOp::Add(1), t(1), None)
+                .unwrap_err(),
+            StoreError::UnknownKey { key: Key(3) }
+        );
+        assert!(s.exists_above(Key(3), v(0)).is_err());
+    }
+
+    #[test]
+    fn read_update_cycle_with_stats() {
+        let mut s = store();
+        assert_eq!(s.read_visible(Key(1), v(0)).unwrap().1, Value::Counter(100));
+        s.update(Key(1), v(1), UpdateOp::Add(10), t(1), None)
+            .unwrap();
+        // Reader at version 0 unaffected; reader at 1 sees it.
+        assert_eq!(s.read_visible(Key(1), v(0)).unwrap().1, Value::Counter(100));
+        assert_eq!(s.read_visible(Key(1), v(1)).unwrap().1, Value::Counter(110));
+        let st = s.stats();
+        assert_eq!(st.reads, 3);
+        assert_eq!(st.updates, 1);
+        assert_eq!(st.copies_created, 1);
+        assert_eq!(st.dual_writes, 0);
+        assert_eq!(st.max_versions_of_any_item, 2);
+    }
+
+    #[test]
+    fn dual_write_stat() {
+        let mut s = store();
+        s.update(Key(1), v(1), UpdateOp::Add(1), t(1), None)
+            .unwrap();
+        s.update(Key(1), v(2), UpdateOp::Add(1), t(2), None)
+            .unwrap();
+        s.update(Key(1), v(1), UpdateOp::Add(1), t(3), None)
+            .unwrap(); // straggler
+        let st = s.stats();
+        assert_eq!(st.dual_writes, 1);
+        assert_eq!(st.max_versions_of_any_item, 3);
+        assert_eq!(s.current_max_versions(), 3);
+    }
+
+    #[test]
+    fn rollback_restores_all_versions() {
+        let mut s = store();
+        s.update(Key(1), v(1), UpdateOp::Add(10), t(1), None)
+            .unwrap();
+        s.update(Key(1), v(2), UpdateOp::Add(100), t(2), None)
+            .unwrap();
+        let before = s.layout(Key(1)).unwrap();
+
+        // A straggler at v1 under an undo log, then rolled back.
+        let mut log = UndoLog::default();
+        s.update(Key(1), v(1), UpdateOp::Add(7), t(3), Some(&mut log))
+            .unwrap();
+        assert_ne!(s.layout(Key(1)).unwrap(), before);
+        s.rollback(log);
+        assert_eq!(s.layout(Key(1)).unwrap(), before);
+    }
+
+    #[test]
+    fn rollback_removes_created_version() {
+        let mut s = store();
+        let mut log = UndoLog::default();
+        s.update(Key(1), v(1), UpdateOp::Add(10), t(1), Some(&mut log))
+            .unwrap();
+        assert_eq!(s.layout(Key(1)).unwrap().len(), 2);
+        s.rollback(log);
+        let layout = s.layout(Key(1)).unwrap();
+        assert_eq!(layout.len(), 1);
+        assert_eq!(layout[0], (v(0), Value::Counter(100)));
+    }
+
+    #[test]
+    fn gc_sweeps_everything() {
+        let mut s = store();
+        s.update(Key(1), v(1), UpdateOp::Add(1), t(1), None)
+            .unwrap();
+        // Key(2) untouched in v1 -> will be renamed.
+        s.gc(v(1));
+        let st = s.stats();
+        assert_eq!(st.gc_runs, 1);
+        assert_eq!(st.gc_dropped, 1); // Key(1)'s version 0
+        assert_eq!(st.gc_renamed, 1); // Key(2) renamed 0 -> 1
+        assert_eq!(s.current_max_versions(), 1);
+        assert_eq!(s.read_visible(Key(2), v(1)).unwrap().0, v(1));
+    }
+
+    #[test]
+    fn exists_above_for_nc_abort_rule() {
+        let mut s = store();
+        assert!(!s.exists_above(Key(1), v(0)).unwrap());
+        s.update(Key(1), v(2), UpdateOp::Add(1), t(1), None)
+            .unwrap();
+        assert!(s.exists_above(Key(1), v(1)).unwrap());
+        assert!(!s.exists_above(Key(1), v(2)).unwrap());
+    }
+
+    #[test]
+    fn journal_reads_clone_snapshot() {
+        let mut s = store();
+        s.update(
+            Key(2),
+            v(1),
+            UpdateOp::Append { amount: 5, tag: 1 },
+            t(1),
+            None,
+        )
+        .unwrap();
+        let (_, snap) = s.read_visible(Key(2), v(1)).unwrap();
+        // Later writes must not affect the returned snapshot.
+        s.update(
+            Key(2),
+            v(1),
+            UpdateOp::Append { amount: 6, tag: 1 },
+            t(2),
+            None,
+        )
+        .unwrap();
+        assert_eq!(snap.as_journal().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = StoreError::NoVisibleVersion {
+            key: Key(4),
+            version: v(2),
+        };
+        assert!(e.to_string().contains("k4"));
+        assert!(e.to_string().contains("v2"));
+    }
+}

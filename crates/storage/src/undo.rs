@@ -1,0 +1,64 @@
+//! Undo logging for local rollback.
+//!
+//! A subtransaction that aborts "rolls back all changes it performed
+//! locally" (paper §3.2). The store records, for every update applied under
+//! a log, the prior value of each touched version — and whether the version
+//! itself was created by the update (so rollback can delete it again).
+//!
+//! The log is value-based rather than operation-based: versions are small
+//! and the log is short-lived, so snapshotting priors is both simpler and
+//! immune to non-invertible operations.
+
+use threev_model::{Key, Value, VersionNo};
+
+/// Undo records for one subtransaction, in application order.
+#[derive(Clone, Debug, Default)]
+pub struct UndoLog {
+    /// `(key, version, prior)`; `prior == None` means "this version did not
+    /// exist — remove it on rollback".
+    entries: Vec<(Key, VersionNo, Option<Value>)>,
+}
+
+impl UndoLog {
+    /// Record that `key`'s version `v` is about to be created.
+    pub fn record_created(&mut self, key: Key, v: VersionNo) {
+        self.entries.push((key, v, None));
+    }
+
+    /// Record the prior value of `key`'s version `v`.
+    pub fn record_prior(&mut self, key: Key, v: VersionNo, prior: Option<Value>) {
+        self.entries.push((key, v, prior));
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consume the log, yielding entries newest-first (rollback order).
+    pub fn into_entries_rev(self) -> impl Iterator<Item = (Key, VersionNo, Option<Value>)> {
+        self.entries.into_iter().rev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_come_back_reversed() {
+        let mut log = UndoLog::default();
+        assert!(log.is_empty());
+        log.record_created(Key(1), VersionNo(1));
+        log.record_prior(Key(1), VersionNo(1), Some(Value::Counter(5)));
+        assert_eq!(log.len(), 2);
+        let entries: Vec<_> = log.into_entries_rev().collect();
+        assert_eq!(entries[0], (Key(1), VersionNo(1), Some(Value::Counter(5))));
+        assert_eq!(entries[1], (Key(1), VersionNo(1), None));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based verification of the versioned record against a naive
+//! reference model: a full map `version -> value` with the same rules.
+//! Random protocol-shaped operation sequences (reads, updates at drifting
+//! versions, GCs at the trailing read version) must agree between the
+//! compact ≤3-version chain and the reference at every step.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use threev_model::{Key, NodeId, TxnId, UpdateOp, Value, VersionNo};
+use threev_storage::VersionedRecord;
+
+fn tid(seq: u64) -> TxnId {
+    TxnId::new(seq, NodeId(0))
+}
+
+/// Reference implementation: unbounded version map with the same rules.
+#[derive(Clone, Debug)]
+struct RefRecord {
+    versions: BTreeMap<u32, Value>,
+}
+
+impl RefRecord {
+    fn new(init: Value) -> Self {
+        let mut versions = BTreeMap::new();
+        versions.insert(0, init);
+        RefRecord { versions }
+    }
+
+    fn read_visible(&self, v: u32) -> Option<(u32, &Value)> {
+        self.versions
+            .range(..=v)
+            .next_back()
+            .map(|(w, val)| (*w, val))
+    }
+
+    fn update(&mut self, v: u32, op: UpdateOp, txn: TxnId) {
+        if !self.versions.contains_key(&v) {
+            let base = self
+                .read_visible(v)
+                .map(|(_, val)| val.clone())
+                .expect("visible base");
+            self.versions.insert(v, base);
+        }
+        for (_, val) in self.versions.range_mut(v..) {
+            op.apply(val, txn).unwrap();
+        }
+    }
+
+    fn gc(&mut self, vr_new: u32) {
+        if self.versions.contains_key(&vr_new) {
+            self.versions.retain(|w, _| *w >= vr_new);
+        } else if let Some((&w, _)) = self.versions.range(..vr_new).next_back() {
+            let val = self.versions.remove(&w).unwrap();
+            self.versions.retain(|x, _| *x >= vr_new);
+            self.versions.insert(vr_new, val);
+        }
+    }
+}
+
+/// One protocol-shaped step: the version window drifts forward like real
+/// advancement does (update version = gc floor + 1 or + 2).
+#[derive(Clone, Debug)]
+enum Step {
+    /// Update at `gc_floor + offset` (offset 1 = current, 2 = mid-advance,
+    /// 0 = straggler at the read version boundary... clamped below).
+    Update {
+        offset: u32,
+        delta: i64,
+    },
+    Read {
+        offset: u32,
+    },
+    Advance,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        5 => (1u32..=2, -100i64..100).prop_map(|(offset, delta)| Step::Update { offset, delta }),
+        3 => (0u32..=2).prop_map(|offset| Step::Read { offset }),
+        1 => Just(Step::Advance),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn chain_matches_reference_model(steps in proptest::collection::vec(step(), 1..120)) {
+        let mut real = VersionedRecord::initial(Value::Counter(0));
+        let mut reference = RefRecord::new(Value::Counter(0));
+        let mut floor = 0u32; // current read version (gc floor)
+        let mut seq = 0u64;
+
+        for s in steps {
+            match s {
+                Step::Update { offset, delta } => {
+                    let v = VersionNo(floor + offset);
+                    seq += 1;
+                    real.update(Key(1), v, UpdateOp::Add(delta), tid(seq)).unwrap();
+                    reference.update(floor + offset, UpdateOp::Add(delta), tid(seq));
+                }
+                Step::Read { offset } => {
+                    let v = floor + offset;
+                    let got = real.read_visible(VersionNo(v)).map(|(w, val)| (w.0, val.clone()));
+                    let want = reference.read_visible(v).map(|(w, val)| (w, val.clone()));
+                    prop_assert_eq!(got, want);
+                }
+                Step::Advance => {
+                    // Like the protocol: everything below the new read
+                    // version is collected once it drains.
+                    floor += 1;
+                    real.gc(VersionNo(floor));
+                    reference.gc(floor);
+                }
+            }
+            // Invariants the protocol relies on:
+            prop_assert!(real.version_count() <= 3, "chain grew past 3");
+            prop_assert_eq!(real.version_count(), reference.versions.len());
+            let chain: Vec<u32> = real.version_numbers().map(|v| v.0).collect();
+            let reference_keys: Vec<u32> = reference.versions.keys().copied().collect();
+            prop_assert_eq!(chain.clone(), reference_keys);
+            prop_assert!(chain.windows(2).all(|w| w[0] < w[1]), "sorted strictly");
+            // Every live version's value agrees.
+            for w in chain {
+                prop_assert_eq!(
+                    real.value_at(VersionNo(w)),
+                    reference.versions.get(&w),
+                    "value at v{} diverged", w
+                );
+            }
+        }
+    }
+
+    /// GC is idempotent and monotone: collecting twice at the same target,
+    /// or at successive targets, never resurrects or corrupts data.
+    #[test]
+    fn gc_idempotent(updates in proptest::collection::vec((1u32..=2, -50i64..50), 0..20)) {
+        let mut r = VersionedRecord::initial(Value::Counter(7));
+        for (i, (offset, delta)) in updates.iter().enumerate() {
+            r.update(Key(1), VersionNo(*offset), UpdateOp::Add(*delta), tid(i as u64)).unwrap();
+        }
+        let mut once = r.clone();
+        once.gc(VersionNo(1));
+        let mut twice = once.clone();
+        twice.gc(VersionNo(1));
+        prop_assert_eq!(&once, &twice);
+        // Monotone follow-up.
+        let mut ahead = once.clone();
+        ahead.gc(VersionNo(2));
+        prop_assert!(ahead.version_count() <= once.version_count());
+        prop_assert!(ahead.version_numbers().all(|v| v >= VersionNo(2)));
+    }
+}

@@ -1,0 +1,86 @@
+//! Poisson arrival processes.
+//!
+//! Open-loop arrivals with exponential inter-arrival gaps — the natural
+//! model for "calls on a telephone network" and the other recording
+//! workloads, and the right shape for measuring whether an engine keeps up
+//! with a target rate rather than adapting to back-pressure.
+
+use rand::Rng;
+use threev_sim::{SimDuration, SimTime};
+
+/// An iterator of Poisson arrival instants.
+#[derive(Clone, Debug)]
+pub struct PoissonArrivals {
+    rate_per_sec: f64,
+    now: SimTime,
+    end: SimTime,
+}
+
+impl PoissonArrivals {
+    /// Arrivals at `rate_per_sec` over `[start, start + duration]`.
+    pub fn new(rate_per_sec: f64, start: SimTime, duration: SimDuration) -> Self {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        PoissonArrivals {
+            rate_per_sec,
+            now: start,
+            end: start + duration,
+        }
+    }
+
+    /// Next arrival instant, or `None` past the horizon.
+    pub fn next<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<SimTime> {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap_secs = -u.ln() / self.rate_per_sec;
+        let gap = SimDuration((gap_secs * 1e6) as u64);
+        self.now += gap;
+        if self.now > self.end {
+            None
+        } else {
+            Some(self.now)
+        }
+    }
+
+    /// Collect all arrival instants.
+    pub fn collect_all<R: Rng + ?Sized>(mut self, rng: &mut R) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next(rng) {
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_is_approximately_respected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let arrivals = PoissonArrivals::new(1000.0, SimTime::ZERO, SimDuration::from_secs(10))
+            .collect_all(&mut rng);
+        let n = arrivals.len() as f64;
+        assert!((8_500.0..11_500.0).contains(&n), "n={n}");
+        // Monotone non-decreasing.
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        // All within the horizon.
+        assert!(arrivals.last().unwrap().as_secs_f64() <= 10.0);
+    }
+
+    #[test]
+    fn respects_start_offset() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let arrivals = PoissonArrivals::new(100.0, SimTime(5_000_000), SimDuration::from_secs(1))
+            .collect_all(&mut rng);
+        assert!(!arrivals.is_empty());
+        assert!(arrivals[0] >= SimTime(5_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        PoissonArrivals::new(0.0, SimTime::ZERO, SimDuration::from_secs(1));
+    }
+}

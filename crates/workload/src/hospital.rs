@@ -1,0 +1,220 @@
+//! The paper's §1 motivating example: a hospital with multiple departments.
+//!
+//! "A visit by a patient results in charges from several departments. …
+//! The recording of a patient visit is thus a multi-database update
+//! transaction that updates databases of several departments. … There are
+//! also simultaneous read operations in response to patient inquiries, and
+//! to generate billing statements."
+//!
+//! Each department is one node. Per `(department, patient)` the schema
+//! holds a **balance counter** (summary) and a **charges journal**
+//! (recorded observations). A *visit* charges 1..=`max_fanout` departments
+//! (commuting `Add` + `Append`); an *inquiry* reads the patient's balance
+//! and charges across every department.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use threev_core::client::Arrival;
+use threev_model::{Key, KeyDecl, NodeId, Schema, SubtxnPlan, TxnPlan, UpdateOp};
+use threev_sim::SimDuration;
+
+use crate::arrivals::PoissonArrivals;
+use crate::zipf::ZipfSampler;
+
+/// Key id for a patient's balance counter at a department.
+pub fn balance_key(dept: u16, patient: u64) -> Key {
+    Key((1 << 56) | ((dept as u64) << 40) | patient)
+}
+
+/// Key id for a patient's charges journal at a department.
+pub fn charges_key(dept: u16, patient: u64) -> Key {
+    Key((2 << 56) | ((dept as u64) << 40) | patient)
+}
+
+/// Hospital workload parameters.
+#[derive(Clone, Debug)]
+pub struct HospitalWorkload {
+    /// Number of departments (= database nodes).
+    pub departments: u16,
+    /// Number of patients.
+    pub patients: u64,
+    /// Poisson arrival rate (transactions per second).
+    pub rate_tps: f64,
+    /// Percentage of arrivals that are inquiries (read-only).
+    pub read_pct: u8,
+    /// Maximum departments charged per visit.
+    pub max_fanout: u16,
+    /// Workload horizon.
+    pub duration: SimDuration,
+    /// Patient-popularity skew.
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HospitalWorkload {
+    fn default() -> Self {
+        HospitalWorkload {
+            departments: 4,
+            patients: 200,
+            rate_tps: 2_000.0,
+            read_pct: 20,
+            max_fanout: 3,
+            duration: SimDuration::from_secs(1),
+            zipf_s: 0.9,
+            seed: 0x5074,
+        }
+    }
+}
+
+impl HospitalWorkload {
+    /// The schema: balance + charges per (department, patient).
+    pub fn schema(&self) -> Schema {
+        let mut decls = Vec::with_capacity(self.departments as usize * self.patients as usize * 2);
+        for d in 0..self.departments {
+            for p in 0..self.patients {
+                decls.push(KeyDecl::counter(balance_key(d, p), NodeId(d), 0));
+                decls.push(KeyDecl::journal(charges_key(d, p), NodeId(d)));
+            }
+        }
+        Schema::new(decls)
+    }
+
+    /// A visit plan for `patient` touching `depts` (first = root).
+    pub fn visit(&self, patient: u64, depts: &[u16], amount: i64, tag: u32) -> TxnPlan {
+        let mut root = SubtxnPlan::new(NodeId(depts[0]))
+            .update(balance_key(depts[0], patient), UpdateOp::Add(amount))
+            .update(
+                charges_key(depts[0], patient),
+                UpdateOp::Append { amount, tag },
+            );
+        for &d in &depts[1..] {
+            root = root.child(
+                SubtxnPlan::new(NodeId(d))
+                    .update(balance_key(d, patient), UpdateOp::Add(amount))
+                    .update(charges_key(d, patient), UpdateOp::Append { amount, tag }),
+            );
+        }
+        TxnPlan::commuting(root)
+    }
+
+    /// A billing inquiry for `patient` across every department, rooted at
+    /// `root_dept`.
+    pub fn inquiry(&self, patient: u64, root_dept: u16) -> TxnPlan {
+        let mut root = SubtxnPlan::new(NodeId(root_dept))
+            .read(balance_key(root_dept, patient))
+            .read(charges_key(root_dept, patient));
+        for d in 0..self.departments {
+            if d != root_dept {
+                root = root.child(
+                    SubtxnPlan::new(NodeId(d))
+                        .read(balance_key(d, patient))
+                        .read(charges_key(d, patient)),
+                );
+            }
+        }
+        TxnPlan::read_only(root)
+    }
+
+    /// Generate the arrival stream.
+    pub fn arrivals(&self) -> Vec<Arrival> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let zipf = ZipfSampler::new(self.patients, self.zipf_s);
+        let times = PoissonArrivals::new(self.rate_tps, threev_sim::SimTime::ZERO, self.duration)
+            .collect_all(&mut rng);
+        let mut out = Vec::with_capacity(times.len());
+        for at in times {
+            let patient = zipf.sample(&mut rng);
+            if rng.gen_range(0..100u8) < self.read_pct {
+                let root_dept = rng.gen_range(0..self.departments);
+                out.push(Arrival::at(at, self.inquiry(patient, root_dept)));
+            } else {
+                let fanout = rng.gen_range(1..=self.max_fanout.min(self.departments));
+                let mut depts: Vec<u16> = (0..self.departments).collect();
+                // Fisher-Yates prefix shuffle for a random distinct subset.
+                for i in 0..fanout as usize {
+                    let j = rng.gen_range(i..depts.len());
+                    depts.swap(i, j);
+                }
+                depts.truncate(fanout as usize);
+                let amount = rng.gen_range(50..5_000);
+                let tag = rng.gen_range(1..64);
+                out.push(Arrival::at(at, self.visit(patient, &depts, amount, tag)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threev_model::TxnKind;
+
+    fn small() -> HospitalWorkload {
+        HospitalWorkload {
+            departments: 3,
+            patients: 10,
+            rate_tps: 500.0,
+            read_pct: 30,
+            max_fanout: 3,
+            duration: SimDuration::from_millis(200),
+            zipf_s: 1.0,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn schema_covers_all_departments() {
+        let w = small();
+        let s = w.schema();
+        assert_eq!(s.n_nodes(), 3);
+        assert_eq!(s.len(), 3 * 10 * 2);
+        assert_eq!(s.home(balance_key(2, 9)), Some(NodeId(2)));
+        assert_eq!(s.home(charges_key(0, 0)), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn arrivals_validate_against_schema() {
+        let w = small();
+        let schema = w.schema();
+        let arrivals = w.arrivals();
+        assert!(!arrivals.is_empty());
+        let mut reads = 0usize;
+        for a in &arrivals {
+            a.plan.validate().unwrap();
+            if a.plan.kind == TxnKind::ReadOnly {
+                reads += 1;
+            }
+            // Every step's key is homed on the subtransaction's node.
+            for (node, step) in a.plan.root.all_steps() {
+                assert_eq!(schema.home(step.key()), Some(node));
+            }
+        }
+        let frac = reads as f64 / arrivals.len() as f64;
+        assert!((0.15..0.45).contains(&frac), "read fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small().arrivals();
+        let b = small().arrivals();
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.at == y.at && x.plan == y.plan));
+    }
+
+    #[test]
+    fn visits_are_distinct_departments() {
+        let w = small();
+        for a in w.arrivals() {
+            let nodes = a.plan.root.nodes();
+            let count = a.plan.root.count();
+            if a.plan.kind == TxnKind::Commuting {
+                assert_eq!(nodes.len(), count, "departments must be distinct");
+            }
+        }
+    }
+}

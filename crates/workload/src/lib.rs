@@ -1,0 +1,41 @@
+//! Workload generators for data-recording systems (paper §6).
+//!
+//! "Examples of data recording systems include (a) operation monitoring
+//! systems …, (b) information gathering systems …, and (c) transaction
+//! recording systems for credit card transactions, telephone calls, stock
+//! trades, and flight reservations."
+//!
+//! Every profile in this crate produces the two artifacts an engine run
+//! needs — a [`threev_model::Schema`] (the fragmented key layout) and a
+//! time-ordered `Vec<Arrival>` of transaction plans — with the defining
+//! structure of the domain: update transactions *insert observations and
+//! bump derived summaries* (commuting), reads audit across nodes
+//! (non-commuting with updates):
+//!
+//! * [`hospital`] — the paper's §1 motivating example: multi-department
+//!   patient visits and balance inquiries;
+//! * [`telecom`] — AT&T-style call recording across switches (the paper's
+//!   original motivation; "several million calls every hour");
+//! * [`retail`] — point-of-sale recording with non-commuting price changes,
+//!   exercising NC3V;
+//! * [`synthetic`] — the fully parameterised mix used by the scaling and
+//!   ablation experiments;
+//! * [`zipf`], [`arrivals`] — skewed entity sampling and Poisson arrival
+//!   processes (implemented here; no external dependencies beyond `rand`).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod arrivals;
+pub mod hospital;
+pub mod retail;
+pub mod synthetic;
+pub mod telecom;
+pub mod zipf;
+
+pub use arrivals::PoissonArrivals;
+pub use hospital::HospitalWorkload;
+pub use retail::RetailWorkload;
+pub use synthetic::{SyntheticParams, SyntheticWorkload};
+pub use telecom::TelecomWorkload;
+pub use zipf::ZipfSampler;

@@ -1,0 +1,209 @@
+//! Point-of-sale retail recording — the paper's "inventory management in a
+//! 'point-of-sale' system" (§Abstract, §6), extended with the
+//! non-commuting transactions NC3V exists for (§5).
+//!
+//! Nodes are stores. Per `(store, product)` the schema holds a **units-sold
+//! counter**, a **sales journal**, and a **price register**. Sales are
+//! commuting (`Add` + `Append`); *price changes* overwrite the register at
+//! every store carrying the product — a textbook non-commuting update
+//! (two price changes do not commute), executed under NC3V with exclusive
+//! locks and 2PC. Revenue audits read counters and journals across stores.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use threev_core::client::Arrival;
+use threev_model::{Key, KeyDecl, NodeId, Schema, SubtxnPlan, TxnPlan, UpdateOp};
+use threev_sim::SimDuration;
+
+use crate::arrivals::PoissonArrivals;
+use crate::zipf::ZipfSampler;
+
+/// Key id for a product's units-sold counter at a store.
+pub fn sold_key(store: u16, product: u64) -> Key {
+    Key((5 << 56) | ((store as u64) << 40) | product)
+}
+
+/// Key id for a product's sales journal at a store.
+pub fn sales_key(store: u16, product: u64) -> Key {
+    Key((6 << 56) | ((store as u64) << 40) | product)
+}
+
+/// Key id for a product's price register at a store.
+pub fn price_key(store: u16, product: u64) -> Key {
+    Key((7 << 56) | ((store as u64) << 40) | product)
+}
+
+/// Retail workload parameters.
+#[derive(Clone, Debug)]
+pub struct RetailWorkload {
+    /// Number of stores (= database nodes).
+    pub stores: u16,
+    /// Number of products.
+    pub products: u64,
+    /// Poisson arrival rate (transactions per second).
+    pub rate_tps: f64,
+    /// Percentage of arrivals that are revenue audits (read-only).
+    pub read_pct: u8,
+    /// Percentage of arrivals that are price changes (non-commuting).
+    pub nc_pct: u8,
+    /// Workload horizon.
+    pub duration: SimDuration,
+    /// Product-popularity skew.
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RetailWorkload {
+    fn default() -> Self {
+        RetailWorkload {
+            stores: 4,
+            products: 300,
+            rate_tps: 2_000.0,
+            read_pct: 15,
+            nc_pct: 2,
+            duration: SimDuration::from_secs(1),
+            zipf_s: 1.1,
+            seed: 0x5A1E,
+        }
+    }
+}
+
+impl RetailWorkload {
+    /// The schema: sold counter, sales journal, and price register per
+    /// (store, product).
+    pub fn schema(&self) -> Schema {
+        let mut decls = Vec::with_capacity(self.stores as usize * self.products as usize * 3);
+        for s in 0..self.stores {
+            for p in 0..self.products {
+                decls.push(KeyDecl::counter(sold_key(s, p), NodeId(s), 0));
+                decls.push(KeyDecl::journal(sales_key(s, p), NodeId(s)));
+                decls.push(KeyDecl::register(price_key(s, p), NodeId(s), 100));
+            }
+        }
+        Schema::new(decls)
+    }
+
+    /// Record a sale of `qty` units of `product` at `store`.
+    pub fn sale(&self, store: u16, product: u64, qty: i64, tag: u32) -> TxnPlan {
+        TxnPlan::commuting(
+            SubtxnPlan::new(NodeId(store))
+                .update(sold_key(store, product), UpdateOp::Add(qty))
+                .update(
+                    sales_key(store, product),
+                    UpdateOp::Append { amount: qty, tag },
+                ),
+        )
+    }
+
+    /// Change `product`'s price to `new_price` at every store (NC3V).
+    pub fn price_change(&self, product: u64, new_price: i64, root_store: u16) -> TxnPlan {
+        let mut root = SubtxnPlan::new(NodeId(root_store))
+            .update(price_key(root_store, product), UpdateOp::Assign(new_price));
+        for s in 0..self.stores {
+            if s != root_store {
+                root = root.child(
+                    SubtxnPlan::new(NodeId(s))
+                        .update(price_key(s, product), UpdateOp::Assign(new_price)),
+                );
+            }
+        }
+        TxnPlan::non_commuting(root)
+    }
+
+    /// Audit `product`'s sales across every store.
+    pub fn audit(&self, product: u64, root_store: u16) -> TxnPlan {
+        let mut root = SubtxnPlan::new(NodeId(root_store))
+            .read(sold_key(root_store, product))
+            .read(sales_key(root_store, product));
+        for s in 0..self.stores {
+            if s != root_store {
+                root = root.child(
+                    SubtxnPlan::new(NodeId(s))
+                        .read(sold_key(s, product))
+                        .read(sales_key(s, product)),
+                );
+            }
+        }
+        TxnPlan::read_only(root)
+    }
+
+    /// Generate the arrival stream.
+    pub fn arrivals(&self) -> Vec<Arrival> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let zipf = ZipfSampler::new(self.products, self.zipf_s);
+        let times = PoissonArrivals::new(self.rate_tps, threev_sim::SimTime::ZERO, self.duration)
+            .collect_all(&mut rng);
+        let mut out = Vec::with_capacity(times.len());
+        for at in times {
+            let product = zipf.sample(&mut rng);
+            let store = rng.gen_range(0..self.stores);
+            let roll = rng.gen_range(0..100u8);
+            if roll < self.read_pct {
+                out.push(Arrival::at(at, self.audit(product, store)));
+            } else if roll < self.read_pct + self.nc_pct {
+                let price = rng.gen_range(50..500);
+                out.push(Arrival::at(at, self.price_change(product, price, store)));
+            } else {
+                let qty = rng.gen_range(1..5);
+                let tag = rng.gen_range(1..16);
+                out.push(Arrival::at(at, self.sale(store, product, qty, tag)));
+            }
+        }
+        out
+    }
+
+    /// Does the generated mix contain non-commuting transactions?
+    /// (The 3V cluster must enable locks iff so.)
+    pub fn needs_locks(&self) -> bool {
+        self.nc_pct > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threev_model::TxnKind;
+
+    fn small() -> RetailWorkload {
+        RetailWorkload {
+            stores: 3,
+            products: 20,
+            rate_tps: 1_000.0,
+            read_pct: 20,
+            nc_pct: 5,
+            duration: SimDuration::from_millis(200),
+            zipf_s: 1.0,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn plans_match_schema_and_kinds() {
+        let w = small();
+        let schema = w.schema();
+        let (mut sales, mut audits, mut prices) = (0, 0, 0);
+        for a in w.arrivals() {
+            a.plan.validate().unwrap();
+            for (node, step) in a.plan.root.all_steps() {
+                assert_eq!(schema.home(step.key()), Some(node));
+            }
+            match a.plan.kind {
+                TxnKind::Commuting => sales += 1,
+                TxnKind::ReadOnly => audits += 1,
+                TxnKind::NonCommuting => prices += 1,
+            }
+        }
+        assert!(sales > audits && audits > prices && prices > 0);
+        assert!(w.needs_locks());
+    }
+
+    #[test]
+    fn price_change_spans_all_stores() {
+        let w = small();
+        let pc = w.price_change(3, 250, 1);
+        assert_eq!(pc.kind, TxnKind::NonCommuting);
+        assert_eq!(pc.root.nodes().len(), 3);
+        pc.validate().unwrap();
+    }
+}

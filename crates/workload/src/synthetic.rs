@@ -1,0 +1,264 @@
+//! The fully parameterised synthetic mix used by the scaling and ablation
+//! experiments (X1, X6, X7, X8, X9).
+//!
+//! Per node the schema carries `keys_per_node` **counter** keys, optional
+//! **journal** twins (enable for audited runs; they grow with the run, so
+//! throughput sweeps leave them off), and optional **register** keys for
+//! NC transactions. Update transactions fan out over a uniformly chosen set
+//! of nodes, performing `ops_per_subtxn` commuting ops at each; read
+//! transactions read the same shape; NC transactions assign registers.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use threev_core::client::Arrival;
+use threev_model::{Key, KeyDecl, NodeId, Schema, SubtxnPlan, TxnPlan, UpdateOp};
+use threev_sim::SimDuration;
+
+use crate::arrivals::PoissonArrivals;
+use crate::zipf::ZipfSampler;
+
+/// Key id for a synthetic counter.
+pub fn counter_key(node: u16, slot: u64) -> Key {
+    Key((8 << 56) | ((node as u64) << 40) | slot)
+}
+
+/// Key id for a synthetic journal.
+pub fn journal_key(node: u16, slot: u64) -> Key {
+    Key((9 << 56) | ((node as u64) << 40) | slot)
+}
+
+/// Key id for a synthetic register.
+pub fn register_key(node: u16, slot: u64) -> Key {
+    Key((10 << 56) | ((node as u64) << 40) | slot)
+}
+
+/// Parameters of the synthetic mix.
+#[derive(Clone, Debug)]
+pub struct SyntheticParams {
+    /// Number of database nodes.
+    pub n_nodes: u16,
+    /// Counter (and journal/register) slots per node.
+    pub keys_per_node: u64,
+    /// Percentage of read-only transactions.
+    pub read_pct: u8,
+    /// Percentage of non-commuting transactions (of all arrivals).
+    pub nc_pct: u8,
+    /// Nodes touched per transaction: uniform in `fanout_min..=fanout_max`.
+    pub fanout_min: u16,
+    /// See `fanout_min`.
+    pub fanout_max: u16,
+    /// Commuting operations per subtransaction.
+    pub ops_per_subtxn: u16,
+    /// Poisson arrival rate (transactions per second).
+    pub rate_tps: f64,
+    /// Workload horizon.
+    pub duration: SimDuration,
+    /// Key-popularity skew within a node.
+    pub zipf_s: f64,
+    /// Emit journal appends next to counter adds (enables auditing;
+    /// memory grows with the run).
+    pub with_journals: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> Self {
+        SyntheticParams {
+            n_nodes: 4,
+            keys_per_node: 64,
+            read_pct: 20,
+            nc_pct: 0,
+            fanout_min: 1,
+            fanout_max: 3,
+            ops_per_subtxn: 2,
+            rate_tps: 5_000.0,
+            duration: SimDuration::from_secs(1),
+            zipf_s: 0.8,
+            with_journals: false,
+            seed: 0x517,
+        }
+    }
+}
+
+/// Generator for the synthetic mix.
+#[derive(Clone, Debug)]
+pub struct SyntheticWorkload {
+    /// The parameters.
+    pub params: SyntheticParams,
+}
+
+impl SyntheticWorkload {
+    /// New generator.
+    pub fn new(params: SyntheticParams) -> Self {
+        SyntheticWorkload { params }
+    }
+
+    /// The schema implied by the parameters.
+    pub fn schema(&self) -> Schema {
+        let p = &self.params;
+        let mut decls = Vec::new();
+        for n in 0..p.n_nodes {
+            for k in 0..p.keys_per_node {
+                decls.push(KeyDecl::counter(counter_key(n, k), NodeId(n), 0));
+                if p.with_journals {
+                    decls.push(KeyDecl::journal(journal_key(n, k), NodeId(n)));
+                }
+                if p.nc_pct > 0 {
+                    decls.push(KeyDecl::register(register_key(n, k), NodeId(n), 0));
+                }
+            }
+        }
+        Schema::new(decls)
+    }
+
+    fn pick_nodes(&self, rng: &mut SmallRng) -> Vec<u16> {
+        let p = &self.params;
+        let hi = p.fanout_max.min(p.n_nodes).max(1);
+        let lo = p.fanout_min.clamp(1, hi);
+        let fanout = rng.gen_range(lo..=hi);
+        let mut nodes: Vec<u16> = (0..p.n_nodes).collect();
+        for i in 0..fanout as usize {
+            let j = rng.gen_range(i..nodes.len());
+            nodes.swap(i, j);
+        }
+        nodes.truncate(fanout as usize);
+        nodes
+    }
+
+    fn subtxn_for(
+        &self,
+        node: u16,
+        zipf: &ZipfSampler,
+        rng: &mut SmallRng,
+        kind: Kind,
+    ) -> SubtxnPlan {
+        let p = &self.params;
+        let mut sub = SubtxnPlan::new(NodeId(node));
+        for _ in 0..p.ops_per_subtxn {
+            let slot = zipf.sample(rng);
+            match kind {
+                Kind::Update => {
+                    let amount = rng.gen_range(1..100);
+                    sub = sub.update(counter_key(node, slot), UpdateOp::Add(amount));
+                    if p.with_journals {
+                        sub = sub
+                            .update(journal_key(node, slot), UpdateOp::Append { amount, tag: 1 });
+                    }
+                }
+                Kind::Read => {
+                    sub = sub.read(counter_key(node, slot));
+                    if p.with_journals {
+                        sub = sub.read(journal_key(node, slot));
+                    }
+                }
+                Kind::Nc => {
+                    sub = sub.update(
+                        register_key(node, slot),
+                        UpdateOp::Assign(rng.gen_range(0..1_000)),
+                    );
+                }
+            }
+        }
+        sub
+    }
+
+    /// Generate `(schema, arrivals)`.
+    pub fn generate(&self) -> (Schema, Vec<Arrival>) {
+        let p = self.params.clone();
+        let schema = self.schema();
+        let mut rng = SmallRng::seed_from_u64(p.seed);
+        let zipf = ZipfSampler::new(p.keys_per_node, p.zipf_s);
+        let times = PoissonArrivals::new(p.rate_tps, threev_sim::SimTime::ZERO, p.duration)
+            .collect_all(&mut rng);
+        let mut out = Vec::with_capacity(times.len());
+        for at in times {
+            let nodes = self.pick_nodes(&mut rng);
+            let roll = rng.gen_range(0..100u8);
+            let kind = if roll < p.read_pct {
+                Kind::Read
+            } else if roll < p.read_pct + p.nc_pct {
+                Kind::Nc
+            } else {
+                Kind::Update
+            };
+            let mut root = self.subtxn_for(nodes[0], &zipf, &mut rng, kind);
+            for &n in &nodes[1..] {
+                root = root.child(self.subtxn_for(n, &zipf, &mut rng, kind));
+            }
+            let plan = match kind {
+                Kind::Read => TxnPlan::read_only(root),
+                Kind::Update => TxnPlan::commuting(root),
+                Kind::Nc => TxnPlan::non_commuting(root),
+            };
+            out.push(Arrival::at(at, plan));
+        }
+        (schema, out)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Update,
+    Read,
+    Nc,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threev_model::TxnKind;
+
+    #[test]
+    fn generates_valid_mix() {
+        let w = SyntheticWorkload::new(SyntheticParams {
+            n_nodes: 5,
+            nc_pct: 10,
+            with_journals: true,
+            rate_tps: 2_000.0,
+            duration: SimDuration::from_millis(200),
+            ..SyntheticParams::default()
+        });
+        let (schema, arrivals) = w.generate();
+        assert_eq!(schema.n_nodes(), 5);
+        assert!(!arrivals.is_empty());
+        let (mut u, mut r, mut n) = (0, 0, 0);
+        for a in &arrivals {
+            a.plan.validate().unwrap();
+            for (node, step) in a.plan.root.all_steps() {
+                assert_eq!(schema.home(step.key()), Some(node));
+            }
+            match a.plan.kind {
+                TxnKind::Commuting => u += 1,
+                TxnKind::ReadOnly => r += 1,
+                TxnKind::NonCommuting => n += 1,
+            }
+        }
+        assert!(u > r && r >= n && n > 0, "u={u} r={r} n={n}");
+    }
+
+    #[test]
+    fn fanout_respected() {
+        let w = SyntheticWorkload::new(SyntheticParams {
+            n_nodes: 8,
+            fanout_min: 2,
+            fanout_max: 4,
+            rate_tps: 1_000.0,
+            duration: SimDuration::from_millis(100),
+            ..SyntheticParams::default()
+        });
+        let (_, arrivals) = w.generate();
+        for a in &arrivals {
+            let n = a.plan.root.nodes().len();
+            assert!((2..=4).contains(&n), "fanout {n}");
+        }
+    }
+
+    #[test]
+    fn no_registers_without_nc() {
+        let w = SyntheticWorkload::new(SyntheticParams::default());
+        let schema = w.schema();
+        // Default: no journals, no registers -> one key per slot.
+        assert_eq!(schema.len(), 4 * 64);
+    }
+}

@@ -1,0 +1,217 @@
+//! Telephone call recording — the workload that motivated the paper.
+//!
+//! "Our work was motivated by a proprietary telephone billing application."
+//! "AT&T's call recording system records several million calls every hour."
+//!
+//! Nodes are regional switches. Per `(switch, account)` the schema holds a
+//! **minutes counter** and a **call-detail journal**. A *call* is recorded
+//! at the originating switch and (for inter-region calls) at the
+//! terminating switch — one commuting update transaction spanning two
+//! nodes. A *bill generation* reads the account's records across every
+//! switch; the §1 correctness anomaly is a bill that includes only one leg
+//! of a call.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use threev_core::client::Arrival;
+use threev_model::{Key, KeyDecl, NodeId, Schema, SubtxnPlan, TxnPlan, UpdateOp};
+use threev_sim::SimDuration;
+
+use crate::arrivals::PoissonArrivals;
+use crate::zipf::ZipfSampler;
+
+/// Key id for an account's minutes counter at a switch.
+pub fn minutes_key(switch: u16, account: u64) -> Key {
+    Key((3 << 56) | ((switch as u64) << 40) | account)
+}
+
+/// Key id for an account's call-detail journal at a switch.
+pub fn cdr_key(switch: u16, account: u64) -> Key {
+    Key((4 << 56) | ((switch as u64) << 40) | account)
+}
+
+/// Telecom workload parameters.
+#[derive(Clone, Debug)]
+pub struct TelecomWorkload {
+    /// Number of switches (= database nodes).
+    pub switches: u16,
+    /// Number of billed accounts.
+    pub accounts: u64,
+    /// Poisson call rate (calls per second).
+    pub rate_tps: f64,
+    /// Percentage of arrivals that are bill generations (read-only).
+    pub read_pct: u8,
+    /// Percentage of calls that cross regions (two-switch transactions).
+    pub inter_region_pct: u8,
+    /// Workload horizon.
+    pub duration: SimDuration,
+    /// Account-popularity skew.
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TelecomWorkload {
+    fn default() -> Self {
+        TelecomWorkload {
+            switches: 8,
+            accounts: 1_000,
+            rate_tps: 5_000.0,
+            read_pct: 10,
+            inter_region_pct: 60,
+            duration: SimDuration::from_secs(1),
+            zipf_s: 1.0,
+            seed: 0xCA11,
+        }
+    }
+}
+
+impl TelecomWorkload {
+    /// The schema: minutes + CDR journal per (switch, account).
+    pub fn schema(&self) -> Schema {
+        let mut decls = Vec::with_capacity(self.switches as usize * self.accounts as usize * 2);
+        for s in 0..self.switches {
+            for a in 0..self.accounts {
+                decls.push(KeyDecl::counter(minutes_key(s, a), NodeId(s), 0));
+                decls.push(KeyDecl::journal(cdr_key(s, a), NodeId(s)));
+            }
+        }
+        Schema::new(decls)
+    }
+
+    /// Record a call by `account` from `orig` to `dest` (equal for local
+    /// calls) of `minutes` minutes.
+    pub fn call(&self, account: u64, orig: u16, dest: u16, minutes: i64, tag: u32) -> TxnPlan {
+        let mut root = SubtxnPlan::new(NodeId(orig))
+            .update(minutes_key(orig, account), UpdateOp::Add(minutes))
+            .update(
+                cdr_key(orig, account),
+                UpdateOp::Append {
+                    amount: minutes,
+                    tag,
+                },
+            );
+        if dest != orig {
+            root = root.child(
+                SubtxnPlan::new(NodeId(dest))
+                    .update(minutes_key(dest, account), UpdateOp::Add(minutes))
+                    .update(
+                        cdr_key(dest, account),
+                        UpdateOp::Append {
+                            amount: minutes,
+                            tag,
+                        },
+                    ),
+            );
+        }
+        TxnPlan::commuting(root)
+    }
+
+    /// Generate `account`'s bill: read minutes and CDRs at every switch.
+    pub fn bill(&self, account: u64, root_switch: u16) -> TxnPlan {
+        let mut root = SubtxnPlan::new(NodeId(root_switch))
+            .read(minutes_key(root_switch, account))
+            .read(cdr_key(root_switch, account));
+        for s in 0..self.switches {
+            if s != root_switch {
+                root = root.child(
+                    SubtxnPlan::new(NodeId(s))
+                        .read(minutes_key(s, account))
+                        .read(cdr_key(s, account)),
+                );
+            }
+        }
+        TxnPlan::read_only(root)
+    }
+
+    /// Generate the arrival stream.
+    pub fn arrivals(&self) -> Vec<Arrival> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let zipf = ZipfSampler::new(self.accounts, self.zipf_s);
+        let times = PoissonArrivals::new(self.rate_tps, threev_sim::SimTime::ZERO, self.duration)
+            .collect_all(&mut rng);
+        let mut out = Vec::with_capacity(times.len());
+        for at in times {
+            let account = zipf.sample(&mut rng);
+            if rng.gen_range(0..100u8) < self.read_pct {
+                let s = rng.gen_range(0..self.switches);
+                out.push(Arrival::at(at, self.bill(account, s)));
+            } else {
+                let orig = rng.gen_range(0..self.switches);
+                let dest = if self.switches > 1 && rng.gen_range(0..100u8) < self.inter_region_pct {
+                    let mut d = rng.gen_range(0..self.switches - 1);
+                    if d >= orig {
+                        d += 1;
+                    }
+                    d
+                } else {
+                    orig
+                };
+                let minutes = rng.gen_range(1..120);
+                let tag = rng.gen_range(1..8);
+                out.push(Arrival::at(
+                    at,
+                    self.call(account, orig, dest, minutes, tag),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threev_model::TxnKind;
+
+    fn small() -> TelecomWorkload {
+        TelecomWorkload {
+            switches: 4,
+            accounts: 50,
+            rate_tps: 1_000.0,
+            read_pct: 15,
+            inter_region_pct: 50,
+            duration: SimDuration::from_millis(100),
+            zipf_s: 1.0,
+            seed: 2,
+        }
+    }
+
+    #[test]
+    fn schema_and_plans_consistent() {
+        let w = small();
+        let schema = w.schema();
+        assert_eq!(schema.n_nodes(), 4);
+        for a in w.arrivals() {
+            a.plan.validate().unwrap();
+            for (node, step) in a.plan.root.all_steps() {
+                assert_eq!(schema.home(step.key()), Some(node));
+            }
+        }
+    }
+
+    #[test]
+    fn mix_of_local_and_inter_region() {
+        let w = small();
+        let (mut local, mut inter) = (0, 0);
+        for a in w.arrivals() {
+            if a.plan.kind == TxnKind::Commuting {
+                if a.plan.root.count() == 1 {
+                    local += 1;
+                } else {
+                    inter += 1;
+                    assert_eq!(a.plan.root.count(), 2);
+                }
+            }
+        }
+        assert!(local > 0 && inter > 0, "local={local} inter={inter}");
+    }
+
+    #[test]
+    fn bills_span_all_switches() {
+        let w = small();
+        let bill = w.bill(7, 2);
+        assert_eq!(bill.root.nodes().len(), 4);
+        assert_eq!(bill.keys_read().len(), 8);
+    }
+}

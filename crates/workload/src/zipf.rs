@@ -1,0 +1,98 @@
+//! Zipf-distributed entity sampling.
+//!
+//! Data-recording workloads are skewed: a few patients, accounts, or
+//! products receive most of the traffic. This sampler draws from a Zipf
+//! distribution with exponent `s` over `n` ranks by inverting a precomputed
+//! CDF (exact, O(log n) per sample; `n` is bounded by the entity counts the
+//! experiments use, so the table is cheap).
+
+use rand::Rng;
+
+/// Exact Zipf sampler over ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build for `n` ranks with exponent `s` (`s = 0` is uniform).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "zipf over zero ranks");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Sample a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn counts(n: u64, s: f64, samples: usize) -> Vec<usize> {
+        let z = ZipfSampler::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut c = vec![0usize; n as usize];
+        for _ in 0..samples {
+            c[z.sample(&mut rng) as usize] += 1;
+        }
+        c
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let c = counts(10, 0.0, 100_000);
+        for &x in &c {
+            let dev = (x as f64 - 10_000.0).abs() / 10_000.0;
+            assert!(dev < 0.08, "bucket {x} deviates");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_one() {
+        let c = counts(100, 1.0, 100_000);
+        assert!(c[0] > c[9] && c[9] > c[49], "{:?}", &c[..10]);
+        // Rank 0 gets roughly 1/H(100) ~= 19% of traffic.
+        let share = c[0] as f64 / 100_000.0;
+        assert!((0.15..0.25).contains(&share), "share={share}");
+    }
+
+    #[test]
+    fn sample_in_range() {
+        let z = ZipfSampler::new(3, 1.5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(z.n(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero ranks")]
+    fn zero_ranks_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # threev — Scalable Versioning in Distributed Databases with Commuting Updates
+//!
+//! A from-scratch Rust reproduction of the **3V algorithm** of Jagadish,
+//! Mumick & Rabinovich (ICDE 1997): a three-version multiversioning scheme
+//! for distributed data-recording systems whose version advancement is
+//! completely asynchronous with user transactions.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`model`] — ids, values, commuting update operations, transaction trees;
+//! * [`sim`] — the deterministic discrete-event simulation kernel;
+//! * [`storage`] — the per-node multiversion storage engine;
+//! * [`core`] — the 3V protocol itself (and NC3V for non-commuting updates);
+//! * [`baselines`] — global 2PL/2PC, no-coordination, and manual versioning;
+//! * [`runtime`] — a real-thread driver for wall-clock execution;
+//! * [`workload`] — hospital / telecom / retail data-recording workloads;
+//! * [`analysis`] — metrics, staleness tracking, and the serializability
+//!   auditor.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the system inventory.
+
+pub use threev_analysis as analysis;
+pub use threev_baselines as baselines;
+pub use threev_core as core;
+pub use threev_model as model;
+pub use threev_runtime as runtime;
+pub use threev_sim as sim;
+pub use threev_storage as storage;
+pub use threev_workload as workload;

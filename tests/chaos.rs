@@ -1,0 +1,110 @@
+//! Chaos matrix: the 3V engine across hostile network conditions —
+//! WAN-scale latency, heavy-tailed spikes, reordering vs FIFO links —
+//! always with racing advancement. Safety (audit + version bound) must hold
+//! in every cell; liveness (drain + advancement completion) too.
+
+use threev::analysis::{Auditor, TxnStatus};
+use threev::core::advance::AdvancementPolicy;
+use threev::core::cluster::{ClusterConfig, ThreeVCluster};
+use threev::sim::{LatencyModel, SimConfig, SimDuration, SimTime};
+use threev::workload::TelecomWorkload;
+
+fn run_cell(latency: LatencyModel, fifo: bool, seed: u64) {
+    let workload = TelecomWorkload {
+        switches: 4,
+        accounts: 30,
+        rate_tps: 2_000.0,
+        read_pct: 20,
+        inter_region_pct: 75,
+        duration: SimDuration::from_millis(300),
+        zipf_s: 1.1,
+        seed,
+    };
+    let schema = workload.schema();
+    let arrivals = workload.arrivals();
+    let n = arrivals.len();
+    let cfg = ClusterConfig {
+        n_nodes: 4,
+        sim: SimConfig {
+            latency,
+            local_latency: SimDuration::from_micros(1),
+            fifo,
+            seed,
+        },
+        protocol: Default::default(),
+    }
+    .advancement(AdvancementPolicy::Periodic {
+        first: SimDuration::from_millis(30),
+        period: SimDuration::from_millis(60),
+    });
+    let mut cluster = ThreeVCluster::new(&schema, cfg, arrivals);
+    // Generous horizon: WAN spikes can stretch a tree's lifetime a lot.
+    cluster.run_until(SimTime(20_000_000));
+
+    let label = format!("latency={latency:?} fifo={fifo} seed={seed}");
+    assert!(cluster.all_quiescent(), "undrained: {label}");
+    assert!(
+        cluster.max_versions_high_water() <= 3,
+        "version bound: {label}"
+    );
+    let records = cluster.records();
+    assert_eq!(records.len(), n);
+    assert!(
+        records.iter().all(|r| r.status == TxnStatus::Committed),
+        "incomplete transactions: {label}"
+    );
+    let audit = Auditor::new(records).check();
+    assert!(audit.clean(), "{label}: {audit:?}");
+    assert!(
+        !cluster.advancements().is_empty(),
+        "advancement starved: {label}"
+    );
+}
+
+#[test]
+fn chaos_lan_reordering() {
+    run_cell(LatencyModel::lan(), false, 101);
+}
+
+#[test]
+fn chaos_lan_fifo() {
+    run_cell(LatencyModel::lan(), true, 102);
+}
+
+#[test]
+fn chaos_wan_reordering() {
+    run_cell(LatencyModel::wan(), false, 103);
+}
+
+#[test]
+fn chaos_wan_fifo() {
+    run_cell(LatencyModel::wan(), true, 104);
+}
+
+#[test]
+fn chaos_spiky_heavy_tail() {
+    // 5% of messages take 50x the base latency: maximal straggler pressure
+    // across advancement switchovers.
+    run_cell(
+        LatencyModel::Spiky {
+            base: SimDuration::from_micros(500),
+            spike_ppm: 50_000,
+            spike_factor: 50,
+        },
+        false,
+        105,
+    );
+}
+
+#[test]
+fn chaos_extreme_jitter_window() {
+    // Latencies spanning two orders of magnitude; reordering everywhere.
+    run_cell(
+        LatencyModel::Uniform {
+            min: SimDuration::from_micros(50),
+            max: SimDuration::from_millis(8),
+        },
+        false,
+        106,
+    );
+}

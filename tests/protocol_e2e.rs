@@ -1,0 +1,182 @@
+//! Cross-crate end-to-end tests: every engine over every workload profile,
+//! with comparative assertions matching the paper's claims.
+
+use threev::analysis::{Auditor, RunSummary, TxnStatus};
+use threev::core::advance::AdvancementPolicy;
+use threev::sim::{SimConfig, SimDuration, SimTime};
+use threev::workload::{
+    HospitalWorkload, RetailWorkload, SyntheticParams, SyntheticWorkload, TelecomWorkload,
+};
+use threev_bench::engines::{run_engine, Engine, RunOpts};
+
+fn opts(n_nodes: u16) -> RunOpts {
+    let mut o = RunOpts::new(n_nodes, SimTime(8_000_000));
+    o.advancement = AdvancementPolicy::Periodic {
+        first: SimDuration::from_millis(60),
+        period: SimDuration::from_millis(120),
+    };
+    o
+}
+
+#[test]
+fn hospital_all_engines_complete() {
+    let w = HospitalWorkload {
+        departments: 4,
+        patients: 80,
+        rate_tps: 1_500.0,
+        duration: SimDuration::from_millis(400),
+        ..HospitalWorkload::default()
+    };
+    let (schema, arrivals) = (w.schema(), w.arrivals());
+    for engine in Engine::ALL {
+        let report = run_engine(engine, &schema, arrivals.clone(), &opts(4));
+        let committed = report
+            .records
+            .iter()
+            .filter(|r| r.status == TxnStatus::Committed)
+            .count();
+        assert!(
+            committed as f64 / arrivals.len() as f64 > 0.95,
+            "{engine:?}: {committed}/{}",
+            arrivals.len()
+        );
+    }
+}
+
+#[test]
+fn three_v_is_serializable_where_no_coord_is_not() {
+    let w = TelecomWorkload {
+        switches: 4,
+        accounts: 60,
+        rate_tps: 4_000.0,
+        read_pct: 15,
+        inter_region_pct: 80,
+        duration: SimDuration::from_millis(400),
+        zipf_s: 1.2,
+        seed: 3,
+    };
+    let (schema, arrivals) = (w.schema(), w.arrivals());
+
+    let r3v = run_engine(Engine::ThreeV, &schema, arrivals.clone(), &opts(4));
+    let a3v = Auditor::new(&r3v.records).check();
+    assert!(a3v.clean(), "{a3v:?}");
+    assert!(r3v.max_versions <= 3);
+
+    let rnc = run_engine(Engine::NoCoord, &schema, arrivals, &opts(4));
+    let anc = Auditor::new(&rnc.records).check();
+    assert!(
+        anc.atomicity_violations > 0,
+        "no-coordination should show the partial-charges anomaly"
+    );
+}
+
+#[test]
+fn three_v_tracks_no_coord_latency_and_beats_two_pc() {
+    let w = SyntheticWorkload::new(SyntheticParams {
+        n_nodes: 6,
+        rate_tps: 6_000.0,
+        fanout_min: 2,
+        fanout_max: 3,
+        duration: SimDuration::from_millis(400),
+        ..SyntheticParams::default()
+    });
+    let (schema, arrivals) = w.generate();
+
+    let lat = |engine| {
+        let r = run_engine(engine, &schema, arrivals.clone(), &opts(6));
+        let s = RunSummary::from_records(&r.records, SimTime::ZERO, r.ended_at);
+        (s.update_latency.p50(), s.total_committed())
+    };
+    let (p50_3v, n_3v) = lat(Engine::ThreeV);
+    let (p50_nc, n_nc) = lat(Engine::NoCoord);
+    let (p50_2pc, _) = lat(Engine::TwoPc);
+
+    assert_eq!(n_3v, n_nc, "both commit everything");
+    // 3V update latency within 30% of uncoordinated execution...
+    assert!(
+        (p50_3v as f64) < p50_nc as f64 * 1.3,
+        "3v p50 {p50_3v}us vs no-coord {p50_nc}us"
+    );
+    // ...while 2PC pays multiple round trips.
+    assert!(
+        p50_2pc > p50_3v * 3,
+        "2pc p50 {p50_2pc}us should dwarf 3v {p50_3v}us"
+    );
+}
+
+#[test]
+fn retail_with_nc_transactions_commits_and_holds_bound() {
+    let w = RetailWorkload {
+        stores: 4,
+        products: 50,
+        rate_tps: 2_000.0,
+        nc_pct: 5,
+        duration: SimDuration::from_millis(400),
+        ..RetailWorkload::default()
+    };
+    let (schema, arrivals) = (w.schema(), w.arrivals());
+    let mut o = opts(4);
+    o.locks = true;
+    let report = run_engine(Engine::ThreeV, &schema, arrivals.clone(), &o);
+    let committed = report
+        .records
+        .iter()
+        .filter(|r| r.status == TxnStatus::Committed)
+        .count();
+    assert!(
+        committed as f64 / arrivals.len() as f64 > 0.98,
+        "{committed}/{}",
+        arrivals.len()
+    );
+    assert!(report.max_versions <= 3);
+    let audit = Auditor::new(&report.records).check();
+    assert!(audit.clean(), "{audit:?}");
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let w = HospitalWorkload {
+        departments: 3,
+        patients: 30,
+        rate_tps: 1_000.0,
+        duration: SimDuration::from_millis(200),
+        ..HospitalWorkload::default()
+    };
+    let (schema, arrivals) = (w.schema(), w.arrivals());
+    let fingerprint = || {
+        let r = run_engine(Engine::ThreeV, &schema, arrivals.clone(), &opts(3));
+        (
+            r.messages,
+            r.ended_at,
+            r.advancements.len(),
+            r.records
+                .iter()
+                .map(|x| (x.id, x.completed, x.version))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(fingerprint(), fingerprint());
+}
+
+#[test]
+fn fifo_and_reordering_networks_both_audit_clean() {
+    let w = TelecomWorkload {
+        switches: 3,
+        accounts: 40,
+        rate_tps: 3_000.0,
+        duration: SimDuration::from_millis(300),
+        ..TelecomWorkload::default()
+    };
+    let (schema, arrivals) = (w.schema(), w.arrivals());
+    for fifo in [false, true] {
+        let mut o = opts(3);
+        o.sim = SimConfig {
+            fifo,
+            ..SimConfig::seeded(12)
+        };
+        let report = run_engine(Engine::ThreeV, &schema, arrivals.clone(), &o);
+        let audit = Auditor::new(&report.records).check();
+        assert!(audit.clean(), "fifo={fifo}: {audit:?}");
+        assert!(report.max_versions <= 3);
+    }
+}
