@@ -410,6 +410,12 @@ impl Actor for ManActor {
             ManActor::Client(c) => c.on_message(ctx, from, msg),
         }
     }
+    fn on_batch(&mut self, ctx: &mut Ctx<'_, ManMsg>, batch: &mut Vec<(NodeId, ManMsg)>) {
+        match self {
+            ManActor::Node(n) => n.on_batch(ctx, batch),
+            ManActor::Client(c) => c.on_batch(ctx, batch),
+        }
+    }
     fn on_timer(&mut self, ctx: &mut Ctx<'_, ManMsg>, token: u64) {
         match self {
             ManActor::Node(n) => n.on_timer(ctx, token),

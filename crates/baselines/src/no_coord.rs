@@ -256,6 +256,12 @@ impl Actor for NcdActor {
             NcdActor::Client(c) => c.on_message(ctx, from, msg),
         }
     }
+    fn on_batch(&mut self, ctx: &mut Ctx<'_, NcdMsg>, batch: &mut Vec<(NodeId, NcdMsg)>) {
+        match self {
+            NcdActor::Node(n) => n.on_batch(ctx, batch),
+            NcdActor::Client(c) => c.on_batch(ctx, batch),
+        }
+    }
     fn on_timer(&mut self, ctx: &mut Ctx<'_, NcdMsg>, token: u64) {
         if let NcdActor::Client(c) = self {
             c.on_timer(ctx, token)

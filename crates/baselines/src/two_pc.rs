@@ -685,6 +685,12 @@ impl Actor for TpcActor {
             TpcActor::Client(c) => c.on_message(ctx, from, msg),
         }
     }
+    fn on_batch(&mut self, ctx: &mut Ctx<'_, TpcMsg>, batch: &mut Vec<(NodeId, TpcMsg)>) {
+        match self {
+            TpcActor::Node(n) => n.on_batch(ctx, batch),
+            TpcActor::Client(c) => c.on_batch(ctx, batch),
+        }
+    }
     fn on_timer(&mut self, ctx: &mut Ctx<'_, TpcMsg>, token: u64) {
         match self {
             TpcActor::Node(n) => n.on_timer(ctx, token),

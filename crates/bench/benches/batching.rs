@@ -1,0 +1,225 @@
+//! Batched vs per-message delivery, measured three ways:
+//!
+//! 1. **DES host cost** (criterion): wall-clock time to simulate the same
+//!    8-node hospital window with `SimConfig::batch` off and on. Batching
+//!    amortises heap pops and actor dispatch; observable behaviour is
+//!    identical (see `tests/batch_equivalence.rs` at the workspace root).
+//! 2. **Threaded flood** (probe): 8 actors on real threads circulating a
+//!    fixed population of tokens as fast as the runtime can carry them —
+//!    the delivery-overhead-dominated regime where
+//!    [`DeliveryMode::Batched`]'s heap bypass shows up directly.
+//! 3. **Threaded 8-node engine** (probe): the full 3V cluster under an
+//!    offered load past saturation, comparing useful work done (events
+//!    processed, transactions committed) in a fixed wall window.
+//!
+//! The probes write `BENCH_batching.json` at the repository root so the
+//! numbers land in version control next to the code they measure.
+
+use std::fs;
+use std::time::Duration;
+
+use criterion::{criterion_group, Criterion};
+use threev_core::cluster::{build_actors, ClusterActor, ClusterConfig, ThreeVCluster};
+use threev_model::NodeId;
+use threev_runtime::{DeliveryMode, ThreadedRun};
+use threev_sim::{Actor, Ctx, SimConfig, SimDuration, SimTime};
+use threev_workload::HospitalWorkload;
+
+const N_NODES: u16 = 8;
+
+fn hospital(rate_tps: f64, window: SimDuration, seed: u64) -> HospitalWorkload {
+    HospitalWorkload {
+        departments: N_NODES,
+        patients: 200,
+        rate_tps,
+        read_pct: 20,
+        max_fanout: 3,
+        duration: window,
+        zipf_s: 0.8,
+        seed,
+    }
+}
+
+// ---------------------------------------------------------------- DES cost
+
+fn bench_des_modes(c: &mut Criterion) {
+    let w = hospital(6_000.0, SimDuration::from_millis(100), 0xBA7);
+    let schema = w.schema();
+    let arrivals = w.arrivals();
+    let mut g = c.benchmark_group("batching_sim_8node");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    for (name, batch) in [("per_message", false), ("batched", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = ClusterConfig::new(N_NODES);
+                cfg.sim.batch = batch;
+                let mut cluster = ThreeVCluster::new(&schema, cfg, arrivals.clone());
+                cluster.run(SimTime(2_000_000));
+                cluster.sim_stats().events
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_des_modes);
+
+// ------------------------------------------------------------------ probes
+
+/// Token-forwarding actor: keeps a fixed message population circulating a
+/// ring of `n` actors for as long as the run lasts.
+struct Flood {
+    n: u16,
+    tokens: u64,
+    forwarded: u64,
+}
+
+impl Actor for Flood {
+    type Msg = u64;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        let next = NodeId((ctx.me().0 + 1) % self.n);
+        for t in 0..self.tokens {
+            ctx.send(next, t);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _from: NodeId, msg: u64) {
+        self.forwarded += 1;
+        let next = NodeId((ctx.me().0 + 1) % self.n);
+        ctx.send(next, msg);
+    }
+}
+
+/// One probe measurement.
+struct Probe {
+    events_per_sec: f64,
+    committed: u64,
+    batches: u64,
+}
+
+fn flood_probe(mode: DeliveryMode) -> Probe {
+    let actors: Vec<Flood> = (0..N_NODES)
+        .map(|_| Flood {
+            n: N_NODES,
+            tokens: 16,
+            forwarded: 0,
+        })
+        .collect();
+    let (actors, report) = ThreadedRun::run_with(
+        actors,
+        SimConfig::seeded(11),
+        mode,
+        Duration::from_millis(400),
+        Duration::ZERO,
+    );
+    let hops: u64 = actors.iter().map(|a| a.forwarded).sum();
+    Probe {
+        events_per_sec: hops as f64 / report.elapsed.as_secs_f64(),
+        committed: 0,
+        batches: report.batches_per_actor.iter().sum(),
+    }
+}
+
+fn engine_probe(mode: DeliveryMode) -> Probe {
+    // Offered load past what 8 nodes drain in the window: the runs stay
+    // saturated, so work completed in the fixed window measures delivery
+    // efficiency rather than workload size.
+    // The window must be long enough that OS scheduling of 10 threads on a
+    // small (possibly single-core) box averages out; short windows make the
+    // ratio swing with whichever mode's threads got lucky timeslices.
+    let w = hospital(200_000.0, SimDuration::from_millis(2_000), 0xE17);
+    let cfg = ClusterConfig::new(N_NODES);
+    let actors = build_actors(&w.schema(), &cfg, w.arrivals());
+    let (actors, report) = ThreadedRun::run_with(
+        actors,
+        cfg.sim.clone(),
+        mode,
+        Duration::from_millis(2_000),
+        Duration::from_millis(100),
+    );
+    let committed = actors
+        .iter()
+        .filter_map(|a| match a {
+            ClusterActor::Client(c) => Some(
+                c.records()
+                    .iter()
+                    .filter(|r| r.status == threev_analysis::TxnStatus::Committed)
+                    .count() as u64,
+            ),
+            _ => None,
+        })
+        .sum();
+    let events: u64 = report.messages_per_actor.iter().sum();
+    Probe {
+        events_per_sec: events as f64 / report.elapsed.as_secs_f64(),
+        committed,
+        batches: report.batches_per_actor.iter().sum(),
+    }
+}
+
+const PAIRS: usize = 7;
+
+fn peak(xs: Vec<f64>) -> f64 {
+    xs.into_iter().fold(f64::MIN, f64::max)
+}
+
+fn probe_scenario(name: &str, mut run: impl FnMut(DeliveryMode) -> Probe) -> String {
+    // Run the two modes in adjacent interleaved pairs, then compare the
+    // per-mode *peak* throughput over the pairs. On a shared (often
+    // single-core) box, background load is one-sided noise — it can only
+    // slow a run down, never speed it up — so the fastest of several
+    // interleaved runs is the best estimate of each mode's uncontended
+    // capability; medians still wobble when most slots are contended.
+    let pairs: Vec<(Probe, Probe)> = (0..PAIRS)
+        .map(|_| (run(DeliveryMode::PerMessage), run(DeliveryMode::Batched)))
+        .collect();
+    // Every reported field is the per-mode peak over the pairs.
+    let best = |f: &dyn Fn(&(Probe, Probe)) -> f64| peak(pairs.iter().map(f).collect());
+    let per_msg = Probe {
+        events_per_sec: best(&|(p, _)| p.events_per_sec),
+        committed: best(&|(p, _)| p.committed as f64) as u64,
+        batches: 0,
+    };
+    let batched = Probe {
+        events_per_sec: best(&|(_, b)| b.events_per_sec),
+        committed: best(&|(_, b)| b.committed as f64) as u64,
+        batches: best(&|(_, b)| b.batches as f64) as u64,
+    };
+    let speedup = batched.events_per_sec / per_msg.events_per_sec;
+    println!(
+        "{name}: per-message {:.0}/s, batched {:.0}/s ({:.2}x, {} batches)",
+        per_msg.events_per_sec, batched.events_per_sec, speedup, batched.batches
+    );
+    format!(
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"per_message\": {{ \"events_per_sec\": {:.0}, \"committed\": {} }},\n",
+            "    \"batched\": {{ \"events_per_sec\": {:.0}, \"committed\": {}, \"batches\": {} }},\n",
+            "    \"speedup\": {:.3}\n",
+            "  }}"
+        ),
+        name,
+        per_msg.events_per_sec,
+        per_msg.committed,
+        batched.events_per_sec,
+        batched.committed,
+        batched.batches,
+        speedup,
+    )
+}
+
+fn write_report() {
+    let flood = probe_scenario("threaded_flood_8actor", flood_probe);
+    let engine = probe_scenario("threaded_3v_8node_saturated", engine_probe);
+    let json = format!(
+        "{{\n  \"bench\": \"batching\",\n  \"n_nodes\": {N_NODES},\n  \"runs_per_mode\": {PAIRS},\n{flood},\n{engine}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batching.json");
+    fs::write(path, &json).expect("write BENCH_batching.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    benches();
+    write_report();
+}

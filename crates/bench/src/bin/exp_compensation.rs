@@ -47,7 +47,8 @@ fn main() {
         // Inject failures: a random node of the plan aborts its leg.
         let mut rng = SmallRng::seed_from_u64(fail_pct as u64 + 1);
         for a in &mut arrivals {
-            if a.plan.kind == threev_model::TxnKind::Commuting && rng.gen_range(0..100) < fail_pct {
+            if a.plan.kind == threev_model::TxnKind::Commuting && rng.gen_range(0u8..100) < fail_pct
+            {
                 let nodes = a.plan.root.nodes();
                 let pick = nodes[rng.gen_range(0..nodes.len())];
                 a.fail_node = Some(NodeId(pick.0));

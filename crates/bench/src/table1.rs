@@ -106,6 +106,7 @@ pub fn run() -> Table1Replay {
             local_latency: SimDuration::from_micros(1),
             fifo: true,
             seed: 1,
+            ..SimConfig::default()
         },
         protocol: Default::default(),
     };

@@ -96,6 +96,16 @@ impl Actor for ClusterActor {
         }
     }
 
+    fn on_batch(&mut self, ctx: &mut Ctx<'_, Msg>, batch: &mut Vec<(NodeId, Msg)>) {
+        // Forward the whole batch so the inner actor's own `on_batch`
+        // (not just the per-message default) sees it.
+        match self {
+            ClusterActor::Node(n) => n.on_batch(ctx, batch),
+            ClusterActor::Coordinator(c) => c.on_batch(ctx, batch),
+            ClusterActor::Client(c) => c.on_batch(ctx, batch),
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
         match self {
             ClusterActor::Node(n) => n.on_timer(ctx, token),

@@ -1,308 +1,29 @@
-//! The per-node 3V engine.
+//! Subtransaction execution: §4.1 steps 1–6, §4.2 queries, §5 NC3V.
 //!
-//! Implements, for one database node:
-//!
-//! * §4.1 — execution of well-behaved update subtransactions: version
-//!   assignment at the root, version inference from arriving descendants,
-//!   copy-on-update, the update-all-≥`V(T)` rule, request/completion counter
-//!   maintenance;
-//! * §4.2 — read-only queries (no locks, never delayed, never aborted);
-//! * §4.3 — the node side of version advancement: update/read version
-//!   switches, atomic counter snapshots, garbage collection;
-//! * §3.2 — compensation: tree-structured compensating subtransactions with
-//!   per-node deduplication and tombstones for the "compensate before the
-//!   original arrives" race;
-//! * §5 — NC3V: the `vu == vr + 1` gate for non-commuting roots, exclusive
-//!   locks with wait-die, the stale-version abort rule, and two-phase
-//!   commit with completion counters incremented atomically with the
-//!   decision.
-//!
-//! The engine is a sans-io state machine: all effects flow through the
-//! [`Ctx`] handle, so the same code runs under the discrete-event simulator
-//! and the real-thread runtime.
-//!
-//! **Local concurrency control.** The paper assumes a local scheme that
-//! serializes subtransactions on each node. Here a node processes one
-//! message at a time, so subtransaction *steps* are trivially atomic; the
-//! lock table (active only when non-commuting transactions are admitted)
-//! adds two-phase locking across messages, exactly as §5 prescribes.
+//! Everything between a subtransaction's arrival and its termination lives
+//! here — fault injection, tombstone checks, lock acquisition with
+//! wait-die, local step execution, child spawning, completion-notice
+//! tracking, and the non-commuting path (gate admission, stale-version
+//! aborts, two-phase commitment).
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 use threev_analysis::ReadObservation;
-use threev_model::{
-    Key, NodeId, OpStep, Schema, SubtxnId, SubtxnPlan, TxnId, TxnKind, UpdateOp, VersionNo,
-};
-use threev_sim::{Actor, Ctx, SimDuration};
-use threev_storage::{LockDecision, LockMode, LockTable, Store, StoreStats, UndoLog};
+use threev_model::{Key, NodeId, OpStep, SubtxnId, SubtxnPlan, TxnId, TxnKind, VersionNo};
+use threev_sim::Ctx;
+use threev_storage::{LockDecision, LockMode};
 
-use crate::counters::CounterTable;
 use crate::msg::Msg;
 
-/// Per-node protocol configuration (shared by all nodes of a cluster).
-#[derive(Clone, Debug)]
-pub struct NodeConfig {
-    /// Enable the NC3V lock table. When `false` (pure 3V), well-behaved
-    /// transactions take no locks at all.
-    pub locks_enabled: bool,
-    /// Backoff before retrying a commuting subtransaction that lost a
-    /// wait-die race (only possible when `locks_enabled`).
-    pub retry_backoff: SimDuration,
-    /// How many times a non-commuting transaction is retried after a global
-    /// abort before the failure is reported to the client.
-    pub nc_max_retries: u32,
-}
-
-impl Default for NodeConfig {
-    fn default() -> Self {
-        NodeConfig {
-            locks_enabled: false,
-            retry_backoff: SimDuration::from_micros(500),
-            nc_max_retries: 20,
-        }
-    }
-}
-
-/// Observable per-node protocol statistics.
-#[derive(Clone, Debug, Default)]
-pub struct NodeStats {
-    /// Subtransactions executed (including compensating ones).
-    pub subtxns_executed: u64,
-    /// Root subtransactions that arrived here.
-    pub roots: u64,
-    /// Compensating subtransactions applied.
-    pub compensations_applied: u64,
-    /// Tombstones created (compensation overtook the original).
-    pub tombstones: u64,
-    /// Subtransactions skipped because of a tombstone.
-    pub skipped_tombstoned: u64,
-    /// Commuting subtransactions retried after a wait-die loss.
-    pub commuting_retries: u64,
-    /// Subtransactions parked waiting for a lock.
-    pub parked: u64,
-    /// NC transactions locally doomed by the §5 stale-version abort rule.
-    pub nc_stale_aborts: u64,
-    /// NC participants that voted yes and committed.
-    pub nc_commits: u64,
-    /// NC participants rolled back by a global abort.
-    pub nc_rollbacks: u64,
-    /// NC roots that exhausted their retries.
-    pub nc_gave_up: u64,
-    /// NC roots that waited at the `vu == vr + 1` gate.
-    pub nc_gated: u64,
-}
-
-/// A unit of runnable work: one subtransaction with its full context.
-#[derive(Clone, Debug)]
-struct Job {
-    txn: TxnId,
-    kind: TxnKind,
-    version: VersionNo,
-    plan: SubtxnPlan,
-    /// `(parent node, parent subtransaction)`; `None` for roots.
-    parent: Option<(NodeId, SubtxnId)>,
-    client: NodeId,
-    fail_node: Option<NodeId>,
-    /// Node credited in the completion counter (`source(T)` of §4.1).
-    source: NodeId,
-}
-
-/// Completion-notice bookkeeping for one subtransaction executed here.
-#[derive(Debug)]
-struct SubTracker {
-    txn: TxnId,
-    kind: TxnKind,
-    version: VersionNo,
-    parent: Option<(NodeId, SubtxnId)>,
-    client: NodeId,
-    pending_children: u32,
-    participants: BTreeSet<NodeId>,
-    clean: bool,
-}
-
-/// What this transaction did on this node — enough to compensate it.
-#[derive(Debug, Default)]
-struct Footprint {
-    version: VersionNo,
-    neighbors: BTreeSet<NodeId>,
-    inverse_steps: Vec<(Key, UpdateOp)>,
-    compensated: bool,
-    is_root: bool,
-    client: Option<NodeId>,
-}
-
-/// Participant-side state of one NC transaction.
-#[derive(Debug, Default)]
-struct NcLocal {
-    undo: UndoLog,
-    /// `(version, source)` completion-counter increments owed at decision.
-    pending_completions: Vec<(VersionNo, NodeId)>,
-    doomed: bool,
-    decided: bool,
-}
-
-/// Root-side 2PC state of one NC transaction.
-#[derive(Debug)]
-struct NcCoord {
-    participants: BTreeSet<NodeId>,
-    votes: HashMap<NodeId, bool>,
-    version: VersionNo,
-}
-
-/// Root-side retry context for NC transactions.
-#[derive(Debug)]
-struct NcRootCtx {
-    plan: SubtxnPlan,
-    client: NodeId,
-    fail_node: Option<NodeId>,
-    retries_left: u32,
-}
-
-/// A subtransaction waiting for a lock.
-#[derive(Debug)]
-struct Parked {
-    keys: Vec<(Key, LockMode)>,
-    next: usize,
-    job: Job,
-}
-
-enum TimerAction {
-    RetryJob(Box<Job>),
-    RetryNcRoot(TxnId),
-}
-
-/// The 3V engine for one node.
-pub struct ThreeVNode {
-    me: NodeId,
-    cfg: NodeConfig,
-    vu: VersionNo,
-    vr: VersionNo,
-    store: Store,
-    counters: CounterTable,
-    locks: LockTable,
-    spawn_seq: u64,
-    trackers: HashMap<SubtxnId, SubTracker>,
-    footprints: HashMap<TxnId, Footprint>,
-    tombstones: HashSet<TxnId>,
-    nc_local: HashMap<TxnId, NcLocal>,
-    nc_coord: HashMap<TxnId, NcCoord>,
-    nc_root_ctx: HashMap<TxnId, NcRootCtx>,
-    nc_waiting: Vec<Job>,
-    parked: HashMap<TxnId, Parked>,
-    timers: HashMap<u64, TimerAction>,
-    next_timer: u64,
-    stats: NodeStats,
-}
+use super::{Job, NcCoord, NcRootCtx, Parked, SubTracker, ThreeVNode, TimerAction};
 
 impl ThreeVNode {
-    /// Build the node: store initialised from the schema, `vr = 0`,
-    /// `vu = 1` (paper §4 initial conditions).
-    pub fn new(schema: &Schema, me: NodeId, cfg: NodeConfig) -> Self {
-        ThreeVNode {
-            me,
-            cfg,
-            vu: VersionNo(1),
-            vr: VersionNo(0),
-            store: Store::from_schema(schema, me),
-            counters: CounterTable::new(),
-            locks: LockTable::new(),
-            spawn_seq: 0,
-            trackers: HashMap::new(),
-            footprints: HashMap::new(),
-            tombstones: HashSet::new(),
-            nc_local: HashMap::new(),
-            nc_coord: HashMap::new(),
-            nc_root_ctx: HashMap::new(),
-            nc_waiting: Vec::new(),
-            parked: HashMap::new(),
-            timers: HashMap::new(),
-            next_timer: 0,
-            stats: NodeStats::default(),
-        }
-    }
-
-    /// Current update version `vu`.
-    pub fn vu(&self) -> VersionNo {
-        self.vu
-    }
-
-    /// Current read version `vr`.
-    pub fn vr(&self) -> VersionNo {
-        self.vr
-    }
-
-    /// The node's store.
-    pub fn store(&self) -> &Store {
-        &self.store
-    }
-
-    /// Storage statistics.
-    pub fn store_stats(&self) -> &StoreStats {
-        self.store.stats()
-    }
-
-    /// Protocol statistics.
-    pub fn stats(&self) -> &NodeStats {
-        &self.stats
-    }
-
-    /// Counter table (read access for tests and the Table 1 replay).
-    pub fn counters(&self) -> &CounterTable {
-        &self.counters
-    }
-
-    /// Lock table (read access for invariant checks).
-    pub fn locks(&self) -> &LockTable {
-        &self.locks
-    }
-
-    /// Is the node quiescent (no trackers, parked work, or NC state)?
-    pub fn is_quiescent(&self) -> bool {
-        self.trackers.is_empty()
-            && self.parked.is_empty()
-            && self.nc_local.is_empty()
-            && self.nc_coord.is_empty()
-            && self.nc_waiting.is_empty()
-            && self.locks.is_idle()
-    }
-
-    // ------------------------------------------------------------ helpers
-
-    fn schedule(&mut self, ctx: &mut Ctx<'_, Msg>, delay: SimDuration, action: TimerAction) {
-        let token = self.next_timer;
-        self.next_timer += 1;
-        self.timers.insert(token, action);
-        ctx.schedule(delay, token);
-    }
-
-    fn advance_vu(&mut self, ctx: &mut Ctx<'_, Msg>, vu_new: VersionNo, inferred: bool) {
-        if vu_new > self.vu {
-            self.vu = vu_new;
-            if ctx.tracing() {
-                let how = if inferred {
-                    "inferred from arriving subtx"
-                } else {
-                    "notice arrives"
-                };
-                ctx.trace(|| format!("advances update version to {vu_new} ({how})"));
-            }
-        } else if ctx.tracing() && !inferred {
-            ctx.trace(|| format!("update version already advanced to {}", self.vu));
-        }
-    }
-
-    fn new_sub_id(&mut self) -> SubtxnId {
-        let id = SubtxnId::new(self.me, self.spawn_seq);
-        self.spawn_seq += 1;
-        id
-    }
-
     // ------------------------------------------------------ job execution
 
     /// Entry point for any subtransaction (root or descendant) once its
     /// version is fixed. Handles fault injection, tombstones, and locks,
     /// then executes.
-    fn run_job(&mut self, ctx: &mut Ctx<'_, Msg>, job: Job) {
+    pub(super) fn run_job(&mut self, ctx: &mut Ctx<'_, Msg>, job: Job) {
         // Fault injection (experiment X10): this subtransaction aborts.
         if job.fail_node == Some(self.me) && job.kind == TxnKind::Commuting {
             self.abort_subtxn(ctx, &job);
@@ -374,7 +95,11 @@ impl ThreeVNode {
         self.execute_job(ctx, job);
     }
 
-    fn process_grants(&mut self, ctx: &mut Ctx<'_, Msg>, grants: threev_storage::locks::Grants) {
+    pub(super) fn process_grants(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        grants: threev_storage::locks::Grants,
+    ) {
         for (txn, key, _mode) in grants {
             if let Some(mut parked) = self.parked.remove(&txn) {
                 debug_assert_eq!(parked.keys[parked.next].0, key);
@@ -776,7 +501,7 @@ impl ThreeVNode {
     }
 
     /// (Re)submit an NC root: §5 steps 1–2, the `vu == vr + 1` gate.
-    fn submit_nc_root(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId) {
+    pub(super) fn submit_nc_root(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId) {
         let root = self.nc_root_ctx.get(&txn).expect("nc ctx");
         let job = Job {
             txn,
@@ -802,7 +527,7 @@ impl ThreeVNode {
 
     // ------------------------------------------------------ msg handlers
 
-    fn handle_submit(
+    pub(super) fn handle_submit(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
         txn: TxnId,
@@ -869,7 +594,7 @@ impl ThreeVNode {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn handle_subtxn(
+    pub(super) fn handle_subtxn(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
         from: NodeId,
@@ -904,7 +629,7 @@ impl ThreeVNode {
         );
     }
 
-    fn handle_subtree_done(
+    pub(super) fn handle_subtree_done(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
         from: NodeId,
@@ -928,122 +653,9 @@ impl ThreeVNode {
         }
     }
 
-    fn handle_compensate(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg>,
-        from: NodeId,
-        txn: TxnId,
-        version: VersionNo,
-    ) {
-        // A compensating subtransaction is an ordinary subtransaction for
-        // counter purposes: the sender incremented R, we increment C.
-        self.counters.inc_completion(version, from);
-        match self.footprints.get_mut(&txn) {
-            Some(fp) if !fp.compensated => {
-                fp.compensated = true;
-                self.stats.compensations_applied += 1;
-                ctx.trace(|| format!("compensating subtx for {txn} applies"));
-                let inverse = std::mem::take(&mut fp.inverse_steps);
-                let neighbors: Vec<NodeId> = fp
-                    .neighbors
-                    .iter()
-                    .copied()
-                    .filter(|n| *n != from)
-                    .collect();
-                let notify_client = if fp.is_root { fp.client } else { None };
-                for (key, op) in inverse {
-                    self.store
-                        .update(key, version, op, txn, None)
-                        .unwrap_or_else(|e| panic!("{}: compensate: {e}", self.me));
-                }
-                // Forward to every other neighbour (§3.2: at most one
-                // compensating subtransaction per node).
-                for n in neighbors {
-                    self.counters.inc_request(version, n);
-                    ctx.send_tagged(n, Msg::Compensate { txn, version }, "compensate");
-                }
-                if let Some(client) = notify_client {
-                    ctx.send_tagged(
-                        client,
-                        Msg::TxnDone {
-                            txn,
-                            version,
-                            committed: false,
-                        },
-                        "client",
-                    );
-                }
-            }
-            Some(_) => { /* already compensated: dedup */ }
-            None => {
-                // The original subtransaction has not arrived yet: tombstone
-                // it so it executes as a no-op.
-                self.tombstones.insert(txn);
-                self.stats.tombstones += 1;
-            }
-        }
-    }
-
-    // ------------------------------------------------------- advancement
-
-    fn handle_start_advancement(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg>,
-        from: NodeId,
-        vu_new: VersionNo,
-    ) {
-        self.advance_vu(ctx, vu_new, false);
-        ctx.send_tagged(from, Msg::AdvanceAck { vu_new }, "advance");
-    }
-
-    fn handle_advance_read(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, vr_new: VersionNo) {
-        if vr_new > self.vr {
-            self.vr = vr_new;
-            ctx.trace(|| format!("advances read version to {vr_new}"));
-        }
-        ctx.send_tagged(from, Msg::AdvanceReadAck { vr_new }, "advance");
-        // The gate `V(K) == vr + 1` may now hold for waiting NC roots.
-        let ready: Vec<Job> = {
-            let vr = self.vr;
-            let (ready, still): (Vec<Job>, Vec<Job>) = self
-                .nc_waiting
-                .drain(..)
-                .partition(|j| j.version == vr.next());
-            self.nc_waiting = still;
-            ready
-        };
-        for job in ready {
-            ctx.trace(|| format!("{} passes gate", job.txn));
-            self.run_job(ctx, job);
-        }
-    }
-
-    fn handle_read_counters(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg>,
-        from: NodeId,
-        round: u64,
-        version: VersionNo,
-    ) {
-        let snapshot = self.counters.snapshot(version);
-        ctx.send_tagged(from, Msg::CountersReport { round, snapshot }, "advance");
-    }
-
-    fn handle_gc(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, vr_new: VersionNo) {
-        ctx.trace(|| format!("garbage-collects below {vr_new}"));
-        self.store.gc(vr_new);
-        self.counters.gc(vr_new);
-        // Tombstones and footprints of long-terminated transactions can be
-        // dropped once their version is unreadable; compensation for them
-        // can no longer arrive (their version's counters are balanced).
-        self.footprints.retain(|_, f| f.version >= vr_new);
-        // Tombstones are tiny; retain them for the run (correct and simple).
-        ctx.send_tagged(from, Msg::GcAck { vr_new }, "advance");
-    }
-
     // -------------------------------------------------------------- NC3V
 
-    fn handle_nc_prepare(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, txn: TxnId) {
+    pub(super) fn handle_nc_prepare(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, txn: TxnId) {
         let yes = self.nc_local.get(&txn).map(|l| !l.doomed).unwrap_or(true);
         ctx.send_tagged(
             from,
@@ -1056,7 +668,13 @@ impl ThreeVNode {
         );
     }
 
-    fn handle_nc_vote(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId, node: NodeId, yes: bool) {
+    pub(super) fn handle_nc_vote(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        txn: TxnId,
+        node: NodeId,
+        yes: bool,
+    ) {
         let Some(coord) = self.nc_coord.get_mut(&txn) else {
             return;
         };
@@ -1071,7 +689,7 @@ impl ThreeVNode {
         }
     }
 
-    fn handle_nc_decision(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId, commit: bool) {
+    pub(super) fn handle_nc_decision(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId, commit: bool) {
         let Some(mut local) = self.nc_local.remove(&txn) else {
             return;
         };
@@ -1093,72 +711,11 @@ impl ThreeVNode {
         self.process_grants(ctx, grants);
     }
 
-    fn handle_release_locks(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId) {
+    pub(super) fn handle_release_locks(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId) {
         let grants = self.locks.release_all(txn);
         self.process_grants(ctx, grants);
         // Footprints are kept: a compensating subtransaction may still be in
         // flight (the completion chain and compensation race). They are
         // garbage-collected by version in `handle_gc`.
-    }
-}
-
-impl Actor for ThreeVNode {
-    type Msg = Msg;
-
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
-        match msg {
-            Msg::Submit {
-                txn,
-                kind,
-                plan,
-                client,
-                fail_node,
-            } => self.handle_submit(ctx, txn, kind, plan, client, fail_node),
-            Msg::Subtxn {
-                txn,
-                kind,
-                version,
-                plan,
-                parent_sub,
-                client,
-                fail_node,
-            } => self.handle_subtxn(
-                ctx, from, txn, kind, version, plan, parent_sub, client, fail_node,
-            ),
-            Msg::SubtreeDone {
-                txn,
-                parent_sub,
-                participants,
-                clean,
-            } => self.handle_subtree_done(ctx, from, txn, parent_sub, participants, clean),
-            Msg::Compensate { txn, version } => self.handle_compensate(ctx, from, txn, version),
-            Msg::StartAdvancement { vu_new } => self.handle_start_advancement(ctx, from, vu_new),
-            Msg::AdvanceRead { vr_new } => self.handle_advance_read(ctx, from, vr_new),
-            Msg::ReadCounters { round, version } => {
-                self.handle_read_counters(ctx, from, round, version)
-            }
-            Msg::Gc { vr_new } => self.handle_gc(ctx, from, vr_new),
-            Msg::NcPrepare { txn } => self.handle_nc_prepare(ctx, from, txn),
-            Msg::NcVote { txn, node, yes } => self.handle_nc_vote(ctx, txn, node, yes),
-            Msg::NcDecision { txn, commit } => self.handle_nc_decision(ctx, txn, commit),
-            Msg::ReleaseLocks { txn } => self.handle_release_locks(ctx, txn),
-            // Client- and coordinator-bound traffic that strays here (e.g.
-            // in single-actor tests) is ignored.
-            Msg::TxnDone { .. }
-            | Msg::ReadResults { .. }
-            | Msg::AdvanceAck { .. }
-            | Msg::AdvanceReadAck { .. }
-            | Msg::CountersReport { .. }
-            | Msg::GcAck { .. }
-            | Msg::TriggerAdvancement => {}
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
-        match self.timers.remove(&token) {
-            Some(TimerAction::RetryJob(job)) => self.run_job(ctx, *job),
-            Some(TimerAction::RetryNcRoot(txn)) => self.submit_nc_root(ctx, txn),
-            None => {}
-        }
     }
 }

@@ -1,0 +1,84 @@
+//! Compensation, tombstones, and garbage collection.
+//!
+//! §3.2's compensating subtransactions and the state they leave behind are
+//! two halves of one lifecycle: a compensation sweep marks footprints and
+//! plants tombstones, and the GC pass (coordinator-driven, §4.3 phase 3)
+//! reclaims versions plus the footprints whose version can no longer be
+//! read or compensated.
+
+use threev_model::{NodeId, TxnId, VersionNo};
+use threev_sim::Ctx;
+
+use crate::msg::Msg;
+
+use super::ThreeVNode;
+
+impl ThreeVNode {
+    pub(super) fn handle_compensate(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: TxnId,
+        version: VersionNo,
+    ) {
+        // A compensating subtransaction is an ordinary subtransaction for
+        // counter purposes: the sender incremented R, we increment C.
+        self.counters.inc_completion(version, from);
+        match self.footprints.get_mut(&txn) {
+            Some(fp) if !fp.compensated => {
+                fp.compensated = true;
+                self.stats.compensations_applied += 1;
+                ctx.trace(|| format!("compensating subtx for {txn} applies"));
+                let inverse = std::mem::take(&mut fp.inverse_steps);
+                let neighbors: Vec<NodeId> = fp
+                    .neighbors
+                    .iter()
+                    .copied()
+                    .filter(|n| *n != from)
+                    .collect();
+                let notify_client = if fp.is_root { fp.client } else { None };
+                for (key, op) in inverse {
+                    self.store
+                        .update(key, version, op, txn, None)
+                        .unwrap_or_else(|e| panic!("{}: compensate: {e}", self.me));
+                }
+                // Forward to every other neighbour (§3.2: at most one
+                // compensating subtransaction per node).
+                for n in neighbors {
+                    self.counters.inc_request(version, n);
+                    ctx.send_tagged(n, Msg::Compensate { txn, version }, "compensate");
+                }
+                if let Some(client) = notify_client {
+                    ctx.send_tagged(
+                        client,
+                        Msg::TxnDone {
+                            txn,
+                            version,
+                            committed: false,
+                        },
+                        "client",
+                    );
+                }
+            }
+            Some(_) => { /* already compensated: dedup */ }
+            None => {
+                // The original subtransaction has not arrived yet: tombstone
+                // it so it executes as a no-op.
+                self.tombstones.insert(txn);
+                self.stats.tombstones += 1;
+            }
+        }
+    }
+
+    pub(super) fn handle_gc(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, vr_new: VersionNo) {
+        ctx.trace(|| format!("garbage-collects below {vr_new}"));
+        self.store.gc(vr_new);
+        self.counters.gc(vr_new);
+        // Tombstones and footprints of long-terminated transactions can be
+        // dropped once their version is unreadable; compensation for them
+        // can no longer arrive (their version's counters are balanced).
+        self.footprints.retain(|_, f| f.version >= vr_new);
+        // Tombstones are tiny; retain them for the run (correct and simple).
+        ctx.send_tagged(from, Msg::GcAck { vr_new }, "advance");
+    }
+}

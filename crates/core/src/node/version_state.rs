@@ -1,0 +1,83 @@
+//! Version-state transitions: the node side of asynchronous advancement.
+//!
+//! Covers paper §4.3 (and the §2.3 races it must tolerate): switching the
+//! update version `vu` on notice *or* by inference from an arriving
+//! descendant, switching the read version `vr`, and serving the
+//! coordinator's atomic counter snapshots. Releasing NC roots parked at
+//! the `vu == vr + 1` gate also lives here, because the gate opens exactly
+//! when `vr` moves.
+
+use threev_model::{NodeId, VersionNo};
+use threev_sim::Ctx;
+
+use crate::msg::Msg;
+
+use super::{Job, ThreeVNode};
+
+impl ThreeVNode {
+    /// Raise `vu` (never lowers). `inferred` distinguishes the §2.3 case —
+    /// a descendant carrying a newer version acts as the notice.
+    pub(super) fn advance_vu(&mut self, ctx: &mut Ctx<'_, Msg>, vu_new: VersionNo, inferred: bool) {
+        if vu_new > self.vu {
+            self.vu = vu_new;
+            if ctx.tracing() {
+                let how = if inferred {
+                    "inferred from arriving subtx"
+                } else {
+                    "notice arrives"
+                };
+                ctx.trace(|| format!("advances update version to {vu_new} ({how})"));
+            }
+        } else if ctx.tracing() && !inferred {
+            ctx.trace(|| format!("update version already advanced to {}", self.vu));
+        }
+    }
+
+    pub(super) fn handle_start_advancement(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        vu_new: VersionNo,
+    ) {
+        self.advance_vu(ctx, vu_new, false);
+        ctx.send_tagged(from, Msg::AdvanceAck { vu_new }, "advance");
+    }
+
+    pub(super) fn handle_advance_read(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        vr_new: VersionNo,
+    ) {
+        if vr_new > self.vr {
+            self.vr = vr_new;
+            ctx.trace(|| format!("advances read version to {vr_new}"));
+        }
+        ctx.send_tagged(from, Msg::AdvanceReadAck { vr_new }, "advance");
+        // The gate `V(K) == vr + 1` may now hold for waiting NC roots.
+        let ready: Vec<Job> = {
+            let vr = self.vr;
+            let (ready, still): (Vec<Job>, Vec<Job>) = self
+                .nc_waiting
+                .drain(..)
+                .partition(|j| j.version == vr.next());
+            self.nc_waiting = still;
+            ready
+        };
+        for job in ready {
+            ctx.trace(|| format!("{} passes gate", job.txn));
+            self.run_job(ctx, job);
+        }
+    }
+
+    pub(super) fn handle_read_counters(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        round: u64,
+        version: VersionNo,
+    ) {
+        let snapshot = self.counters.snapshot(version);
+        ctx.send_tagged(from, Msg::CountersReport { round, snapshot }, "advance");
+    }
+}

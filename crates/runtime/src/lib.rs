@@ -12,6 +12,15 @@
 //! local-serializability assumption of the paper (§3) holds exactly as it
 //! does in the simulator — it is the same code path, scheduled by the OS
 //! instead of the event heap.
+//!
+//! Two delivery modes are supported (see [`DeliveryMode`]). In the default
+//! batched mode, each wakeup drains the whole channel backlog into a
+//! reusable inbox and hands it to the actor through
+//! [`threev_sim::Actor::on_batch`] — one heap-free kernel entry per wakeup
+//! instead of one event-queue round-trip per message. Per-message mode
+//! keeps the one-`inject_at`-per-message path; it exists as the baseline
+//! the batching benchmark compares against, and as the reference behaviour
+//! the equivalence tests pin batching to.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -22,6 +31,17 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use threev_model::NodeId;
 use threev_sim::{Actor, SimConfig, SimTime, Simulation};
+
+/// How an actor thread feeds inbound messages to its engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryMode {
+    /// Drain the channel backlog into one reusable buffer per wakeup and
+    /// deliver it through `Actor::on_batch`, bypassing the event heap.
+    Batched,
+    /// Inject messages into the event heap one at a time (the historical
+    /// behaviour; kept as the comparison baseline).
+    PerMessage,
+}
 
 /// Runs a set of actors on one thread each, routing cross-actor messages
 /// over channels, for a fixed wall-clock duration.
@@ -34,16 +54,34 @@ pub struct ThreadedReport {
     pub elapsed: Duration,
     /// Messages processed per actor.
     pub messages_per_actor: Vec<u64>,
+    /// `on_batch` invocations per actor (zero in per-message mode).
+    pub batches_per_actor: Vec<u64>,
 }
 
 impl ThreadedRun {
+    /// Run `actors` in the default batched delivery mode. See
+    /// [`ThreadedRun::run_with`].
+    pub fn run<A>(
+        actors: Vec<A>,
+        cfg: SimConfig,
+        duration: Duration,
+        drain: Duration,
+    ) -> (Vec<A>, ThreadedReport)
+    where
+        A: Actor + Send + 'static,
+        A::Msg: Send + 'static,
+    {
+        Self::run_with(actors, cfg, DeliveryMode::Batched, duration, drain)
+    }
+
     /// Run `actors` (actor `i` gets `NodeId(i)`, its own thread, and its
     /// own seeded single-actor simulation) for `duration` of wall time,
     /// then a `drain` grace period with no new timer-driven work expected.
     /// Returns the actors (for record extraction) and a report.
-    pub fn run<A>(
+    pub fn run_with<A>(
         actors: Vec<A>,
         cfg: SimConfig,
+        mode: DeliveryMode,
         duration: Duration,
         drain: Duration,
     ) -> (Vec<A>, ThreadedReport)
@@ -66,12 +104,13 @@ impl ThreadedRun {
         for (i, actor) in actors.into_iter().enumerate() {
             let rx = receivers[i].clone();
             let routes = senders.clone();
-            let cfg = SimConfig {
-                seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
-                ..cfg.clone()
-            };
+            let cfg = cfg.for_partition(i);
             let handle = thread::spawn(move || {
                 let mut sim = Simulation::new_partition(vec![actor], i as u16, u16::MAX, cfg);
+                // Both buffers are reused across wakeups: after warm-up the
+                // steady-state loop performs no allocation for routing.
+                let mut inbox: Vec<(NodeId, NodeId, A::Msg)> = Vec::new();
+                let mut outbox: Vec<(NodeId, NodeId, A::Msg)> = Vec::new();
                 loop {
                     let now = SimTime(start.elapsed().as_micros() as u64);
                     if start.elapsed() >= deadline {
@@ -79,7 +118,8 @@ impl ThreadedRun {
                     }
                     // Process everything due, route the fallout.
                     sim.run_until(now);
-                    for (from, to, msg) in sim.take_outbox() {
+                    sim.drain_outbox(&mut outbox);
+                    for (from, to, msg) in outbox.drain(..) {
                         let idx = to.index();
                         if idx < routes.len() {
                             // A send can fail only during shutdown.
@@ -96,14 +136,31 @@ impl ThreadedRun {
                         }
                     };
                     match rx.recv_timeout(timeout) {
-                        Ok((from, to, msg)) => {
+                        Ok(first) => {
                             let now = SimTime(start.elapsed().as_micros() as u64);
                             sim.set_now(now);
                             let at = sim.now().max(now);
-                            sim.inject_at(at, from, to, msg);
-                            // Drain whatever else is queued without blocking.
-                            while let Ok((from, to, msg)) = rx.try_recv() {
-                                sim.inject_at(at, from, to, msg);
+                            match mode {
+                                DeliveryMode::Batched => {
+                                    // One wakeup = one batch: everything
+                                    // queued right now, in channel order.
+                                    inbox.push(first);
+                                    while let Ok(wire) = rx.try_recv() {
+                                        inbox.push(wire);
+                                    }
+                                    // Fire timers that came due while
+                                    // blocked, then hand over the batch.
+                                    sim.run_until(at);
+                                    sim.deliver_batch(at, &mut inbox);
+                                }
+                                DeliveryMode::PerMessage => {
+                                    let (from, to, msg) = first;
+                                    sim.inject_at(at, from, to, msg);
+                                    // Drain the rest without blocking.
+                                    while let Ok((from, to, msg)) = rx.try_recv() {
+                                        sim.inject_at(at, from, to, msg);
+                                    }
+                                }
                             }
                         }
                         Err(RecvTimeoutError::Timeout) => {}
@@ -114,7 +171,12 @@ impl ThreadedRun {
                 let now = SimTime(start.elapsed().as_micros() as u64);
                 sim.run_until(now);
                 let processed = sim.stats().events;
-                (sim.into_actors().pop().expect("one actor"), processed)
+                let batches = sim.stats().batches;
+                (
+                    sim.into_actors().pop().expect("one actor"),
+                    processed,
+                    batches,
+                )
             });
             handles.push(handle);
         }
@@ -125,11 +187,13 @@ impl ThreadedRun {
         let mut report = ThreadedReport {
             elapsed: Duration::ZERO,
             messages_per_actor: Vec::with_capacity(n),
+            batches_per_actor: Vec::with_capacity(n),
         };
         for h in handles {
-            let (actor, processed) = h.join().expect("actor thread panicked");
+            let (actor, processed, batches) = h.join().expect("actor thread panicked");
             out_actors.push(actor);
             report.messages_per_actor.push(processed);
+            report.batches_per_actor.push(batches);
         }
         report.elapsed = start.elapsed();
         (out_actors, report)
@@ -167,9 +231,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn threads_route_messages_both_ways() {
-        let actors = vec![
+    fn echo_pair() -> Vec<Echo> {
+        vec![
             Echo {
                 send_initial: true,
                 peer: NodeId(1),
@@ -182,9 +245,13 @@ mod tests {
                 received: 0,
                 to_send: 0,
             },
-        ];
+        ]
+    }
+
+    #[test]
+    fn threads_route_messages_both_ways() {
         let (actors, report) = ThreadedRun::run(
-            actors,
+            echo_pair(),
             SimConfig::seeded(1),
             Duration::from_millis(300),
             Duration::from_millis(100),
@@ -193,6 +260,25 @@ mod tests {
         assert_eq!(actors[0].received, 500, "all echoes arrived");
         assert!(report.elapsed >= Duration::from_millis(300));
         assert_eq!(report.messages_per_actor.len(), 2);
+        // Default mode is batched: wakeups happened, and no wakeup handled
+        // more work than exists.
+        let batches: u64 = report.batches_per_actor.iter().sum();
+        assert!(batches > 0, "batched mode must report batches");
+        assert!(batches <= 1000, "batches cannot exceed messages");
+    }
+
+    #[test]
+    fn per_message_mode_delivers_everything_too() {
+        let (actors, report) = ThreadedRun::run_with(
+            echo_pair(),
+            SimConfig::seeded(1),
+            DeliveryMode::PerMessage,
+            Duration::from_millis(300),
+            Duration::from_millis(100),
+        );
+        assert_eq!(actors[1].received, 500);
+        assert_eq!(actors[0].received, 500);
+        assert_eq!(report.batches_per_actor, vec![0, 0]);
     }
 
     /// Timers must fire on the wall clock.

@@ -32,6 +32,20 @@ pub trait Actor {
     /// A message from `from` has been delivered.
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
 
+    /// A batch of messages, all timestamped `ctx.now()`, has been
+    /// delivered. The messages are in delivery order and MUST be processed
+    /// in that order — batching is an amortisation of per-delivery
+    /// overhead, never a reordering. The default implementation forwards
+    /// to [`Actor::on_message`] one by one; engines override it to hoist
+    /// per-wakeup work (dispatch, stat flushes) out of the per-message
+    /// loop. Implementations must leave `batch` empty on return so the
+    /// kernel can reuse the buffer.
+    fn on_batch(&mut self, ctx: &mut Ctx<'_, Self::Msg>, batch: &mut Vec<(NodeId, Self::Msg)>) {
+        for (from, msg) in batch.drain(..) {
+            self.on_message(ctx, from, msg);
+        }
+    }
+
     /// A timer scheduled with [`Ctx::schedule`] has fired.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, token: u64) {
         let _ = (ctx, token);
@@ -51,6 +65,11 @@ pub struct SimConfig {
     /// RNG seed; everything downstream (latency jitter, actor RNG use) is a
     /// pure function of this seed.
     pub seed: u64,
+    /// Deliver same-timestamp runs of messages to the same actor as one
+    /// [`Actor::on_batch`] call instead of per-message [`Actor::on_message`]
+    /// calls. Observable behaviour is identical (batching never reorders);
+    /// only per-delivery dispatch overhead is amortised.
+    pub batch: bool,
 }
 
 impl Default for SimConfig {
@@ -60,6 +79,7 @@ impl Default for SimConfig {
             local_latency: SimDuration::from_micros(1),
             fifo: false,
             seed: 0xC0FFEE,
+            batch: false,
         }
     }
 }
@@ -70,6 +90,19 @@ impl SimConfig {
         SimConfig {
             seed,
             ..SimConfig::default()
+        }
+    }
+
+    /// Config for partition `i` of a sharded run: same settings, with the
+    /// seed decorrelated per partition. Every driver that splits a system
+    /// across several `Simulation` instances must derive per-partition
+    /// configs through this — ad-hoc seed mixing in each driver is how
+    /// partitions end up accidentally correlated (or accidentally
+    /// different between drivers that should be comparable).
+    pub fn for_partition(&self, i: usize) -> SimConfig {
+        SimConfig {
+            seed: self.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            ..self.clone()
         }
     }
 }
@@ -83,6 +116,11 @@ pub struct SimStats {
     pub timers: u64,
     /// Total events processed.
     pub events: u64,
+    /// [`Actor::on_batch`] invocations (batched delivery only).
+    pub batches: u64,
+    /// Messages delivered through [`Actor::on_batch`] (batched delivery
+    /// only). `batched_msgs / batches` is the mean batch size.
+    pub batched_msgs: u64,
     /// Messages by engine-supplied tag (see [`Ctx::send_tagged`]).
     pub messages_by_tag: HashMap<&'static str, u64>,
 }
@@ -264,6 +302,8 @@ pub struct Simulation<A: Actor> {
     actors: Vec<A>,
     core: Core<A::Msg>,
     started: bool,
+    /// Reused across every batched delivery; `on_batch` drains it.
+    batch_buf: Vec<(NodeId, A::Msg)>,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -299,12 +339,21 @@ impl<A: Actor> Simulation<A> {
                 outbox: Vec::new(),
             },
             started: false,
+            batch_buf: Vec::new(),
         }
     }
 
     /// Drain messages addressed outside this partition.
     pub fn take_outbox(&mut self) -> Vec<(NodeId, NodeId, A::Msg)> {
         std::mem::take(&mut self.core.outbox)
+    }
+
+    /// Drain messages addressed outside this partition into `buf`,
+    /// appending. Unlike [`Simulation::take_outbox`] this keeps the outbox
+    /// allocation, so a long-running driver touches the allocator only
+    /// until both buffers reach their high-water size.
+    pub fn drain_outbox(&mut self, buf: &mut Vec<(NodeId, NodeId, A::Msg)>) {
+        buf.append(&mut self.core.outbox);
     }
 
     /// Timestamp of the earliest pending local event, if any.
@@ -388,7 +437,9 @@ impl<A: Actor> Simulation<A> {
         }
     }
 
-    /// Process a single event. Returns `false` when the queue is empty.
+    /// Process a single event — or, with [`SimConfig::batch`], the whole
+    /// run of same-timestamp deliveries to the same actor that heads the
+    /// queue. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
         let Some(ev) = self.core.queue.pop() else {
@@ -396,18 +447,50 @@ impl<A: Actor> Simulation<A> {
         };
         debug_assert!(ev.at >= self.core.now, "time went backwards");
         self.core.now = ev.at;
-        self.core.stats.events += 1;
         match ev.payload {
             Payload::Deliver { to, from, msg } => {
                 let idx = to.index() - self.core.local_base as usize;
                 assert!(idx < self.actors.len(), "message to unknown actor {to}");
-                let mut ctx = Ctx {
-                    core: &mut self.core,
-                    me: to,
-                };
-                self.actors[idx].on_message(&mut ctx, from, msg);
+                if self.core.cfg.batch {
+                    // Coalesce the head run. Only *consecutive* heap-order
+                    // events are merged, so batching can never leapfrog a
+                    // same-timestamp delivery to another actor.
+                    self.batch_buf.clear();
+                    self.batch_buf.push((from, msg));
+                    while let Some(next) = self.core.queue.peek() {
+                        let same_run = next.at == ev.at
+                            && matches!(&next.payload, Payload::Deliver { to: t, .. } if *t == to);
+                        if !same_run {
+                            break;
+                        }
+                        match self.core.queue.pop() {
+                            Some(Event {
+                                payload: Payload::Deliver { from, msg, .. },
+                                ..
+                            }) => self.batch_buf.push((from, msg)),
+                            _ => unreachable!("peeked event changed shape"),
+                        }
+                    }
+                    self.core.stats.events += self.batch_buf.len() as u64;
+                    self.core.stats.batches += 1;
+                    self.core.stats.batched_msgs += self.batch_buf.len() as u64;
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        me: to,
+                    };
+                    self.actors[idx].on_batch(&mut ctx, &mut self.batch_buf);
+                    self.batch_buf.clear();
+                } else {
+                    self.core.stats.events += 1;
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        me: to,
+                    };
+                    self.actors[idx].on_message(&mut ctx, from, msg);
+                }
             }
             Payload::Timer { node, token } => {
+                self.core.stats.events += 1;
                 self.core.stats.timers += 1;
                 let idx = node.index() - self.core.local_base as usize;
                 let mut ctx = Ctx {
@@ -418,6 +501,59 @@ impl<A: Actor> Simulation<A> {
             }
         }
         true
+    }
+
+    /// Deliver externally received messages directly, bypassing the event
+    /// heap. The threaded runtime drains its channel into `inbox` and
+    /// hands one wakeup's worth here: messages are processed in `inbox`
+    /// order, with each consecutive run addressed to the same actor handed
+    /// to [`Actor::on_batch`] as one batch. Per-message accounting matches
+    /// [`Simulation::inject_at`] followed by [`Simulation::step`], so
+    /// batched and per-message drivers report comparable stats. `inbox` is
+    /// drained but keeps its capacity for the driver to reuse.
+    ///
+    /// The caller must first run local events up to `at` (e.g. via
+    /// [`Simulation::run_until`]); delivering ahead of pending earlier
+    /// events would reorder the world.
+    pub fn deliver_batch(&mut self, at: SimTime, inbox: &mut Vec<(NodeId, NodeId, A::Msg)>) {
+        self.ensure_started();
+        assert!(at >= self.core.now, "cannot deliver into the past");
+        debug_assert!(
+            self.next_event_at().is_none_or(|t| t >= at),
+            "deliver_batch would leapfrog a pending local event"
+        );
+        self.core.now = at;
+        let mut run_to: Option<NodeId> = None;
+        for (from, to, msg) in inbox.drain(..) {
+            if run_to != Some(to) {
+                if let Some(prev) = run_to {
+                    self.flush_batch(prev);
+                }
+                run_to = Some(to);
+            }
+            self.batch_buf.push((from, msg));
+        }
+        if let Some(prev) = run_to {
+            self.flush_batch(prev);
+        }
+    }
+
+    /// Hand the accumulated `batch_buf` to actor `to` as one batch.
+    fn flush_batch(&mut self, to: NodeId) {
+        let idx = to.index() - self.core.local_base as usize;
+        assert!(idx < self.actors.len(), "message to unknown actor {to}");
+        let n = self.batch_buf.len() as u64;
+        self.core.stats.messages += n;
+        *self.core.stats.messages_by_tag.entry("inject").or_insert(0) += n;
+        self.core.stats.events += n;
+        self.core.stats.batches += 1;
+        self.core.stats.batched_msgs += n;
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            me: to,
+        };
+        self.actors[idx].on_batch(&mut ctx, &mut self.batch_buf);
+        self.batch_buf.clear();
     }
 
     /// Run until the queue drains, an actor requests a stop, or virtual time
@@ -659,6 +795,144 @@ mod tests {
         // The second timer still fires on resume.
         let out = sim.run_to_quiescence(SimTime::MAX);
         assert_eq!(out, QuiesceOutcome::Quiescent(SimTime(10)));
+    }
+
+    /// Records every message plus the size of each batch it arrived in.
+    struct BatchSink {
+        got: Vec<(NodeId, u64)>,
+        batch_sizes: Vec<usize>,
+    }
+    impl Actor for BatchSink {
+        type Msg = u64;
+        fn on_message(&mut self, _: &mut Ctx<'_, u64>, from: NodeId, msg: u64) {
+            self.got.push((from, msg));
+        }
+        fn on_batch(&mut self, ctx: &mut Ctx<'_, u64>, batch: &mut Vec<(NodeId, u64)>) {
+            self.batch_sizes.push(batch.len());
+            for (from, msg) in batch.drain(..) {
+                self.on_message(ctx, from, msg);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_mode_identical_to_per_message() {
+        // Jittery latency so the schedule is nontrivial; same seed both
+        // ways. Batching may only change *how* deliveries are dispatched,
+        // never what the actors observe.
+        let run = |batch: bool| {
+            let cfg = SimConfig {
+                batch,
+                latency: LatencyModel::Uniform {
+                    min: SimDuration(1),
+                    max: SimDuration(500),
+                },
+                ..SimConfig::seeded(99)
+            };
+            let mut sim = Simulation::new(
+                vec![
+                    BatchSink {
+                        got: vec![],
+                        batch_sizes: vec![],
+                    },
+                    BatchSink {
+                        got: vec![],
+                        batch_sizes: vec![],
+                    },
+                ],
+                cfg,
+            );
+            for i in 0..200u64 {
+                sim.inject_at(SimTime(i / 4), NodeId(1), NodeId(0), i);
+            }
+            sim.run_to_quiescence(SimTime::MAX);
+            (
+                sim.actors()[0].got.clone(),
+                sim.stats().messages,
+                sim.stats().events,
+                sim.stats().timers,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn batch_coalesces_same_time_runs() {
+        let cfg = SimConfig {
+            batch: true,
+            latency: LatencyModel::Fixed(SimDuration(10)),
+            ..SimConfig::seeded(0)
+        };
+        let mut sim = Simulation::new(
+            vec![BatchSink {
+                got: vec![],
+                batch_sizes: vec![],
+            }],
+            cfg,
+        );
+        // Three messages injected for the same instant coalesce into one
+        // on_batch; the straggler at a later time forms its own batch.
+        for i in 0..3 {
+            sim.inject_at(SimTime(5), NodeId(7), NodeId(0), i);
+        }
+        sim.inject_at(SimTime(6), NodeId(7), NodeId(0), 3);
+        sim.run_to_quiescence(SimTime::MAX);
+        let sink = &sim.actors()[0];
+        assert_eq!(sink.batch_sizes, vec![3, 1]);
+        assert_eq!(sink.got.len(), 4);
+        assert_eq!(sim.stats().batches, 2);
+        assert_eq!(sim.stats().batched_msgs, 4);
+        assert_eq!(sim.stats().events, 4);
+    }
+
+    #[test]
+    fn deliver_batch_groups_runs_and_reuses_buffers() {
+        let mut sim = Simulation::new(
+            vec![
+                BatchSink {
+                    got: vec![],
+                    batch_sizes: vec![],
+                },
+                BatchSink {
+                    got: vec![],
+                    batch_sizes: vec![],
+                },
+            ],
+            SimConfig::seeded(0),
+        );
+        let ext = NodeId(9);
+        let mut inbox = vec![
+            (ext, NodeId(0), 1u64),
+            (ext, NodeId(0), 2),
+            (ext, NodeId(1), 3),
+            (ext, NodeId(0), 4),
+        ];
+        let cap = inbox.capacity();
+        sim.deliver_batch(SimTime(42), &mut inbox);
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.capacity(), cap, "driver buffer must be reusable");
+        assert_eq!(sim.now(), SimTime(42));
+        // Consecutive runs to the same actor batch together; the
+        // interleaved send to actor 1 splits actor 0's deliveries.
+        assert_eq!(sim.actors()[0].batch_sizes, vec![2, 1]);
+        assert_eq!(sim.actors()[1].batch_sizes, vec![1]);
+        assert_eq!(sim.actors()[0].got, vec![(ext, 1), (ext, 2), (ext, 4)]);
+        assert_eq!(sim.stats().messages, 4);
+        assert_eq!(sim.stats().tagged("inject"), 4);
+        assert_eq!(sim.stats().events, 4);
+        assert_eq!(sim.stats().batches, 3);
+    }
+
+    #[test]
+    fn for_partition_decorrelates_seeds() {
+        let base = SimConfig::seeded(1234);
+        let a = base.for_partition(0);
+        let b = base.for_partition(1);
+        assert_eq!(a.seed, 1234, "partition 0 keeps the base seed");
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(b.fifo, base.fifo);
+        // Stable across calls: drivers on different threads must agree.
+        assert_eq!(base.for_partition(1).seed, b.seed);
     }
 
     #[test]

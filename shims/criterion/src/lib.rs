@@ -1,0 +1,216 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of `criterion`'s API its benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`measurement_time`,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each sample calls the routine enough times to cover
+//! at least ~1 ms (calibrated once), takes `sample_size` samples bounded by
+//! `measurement_time`, and reports the min/mean/max per-iteration time —
+//! no statistical post-processing or HTML reports. Numbers are also
+//! appended to `target/shim-criterion.csv` for scripted consumption.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured routine.
+pub struct Bencher {
+    /// Calibrated iterations per sample.
+    iters_per_sample: u64,
+    /// Collected per-iteration durations (seconds), one per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_size,
+            measurement_time,
+        }
+    }
+
+    /// Measure `routine`, calling it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: target >= 1ms per sample.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        self.iters_per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1) as u64;
+
+        let started = Instant::now();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let per_iter = t.elapsed().as_secs_f64() / self.iters_per_sample as f64;
+            self.samples.push(per_iter);
+            if started.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let n = self.samples.len();
+        let mean = self.samples.iter().sum::<f64>() / n as f64;
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{id:<50} time: [{} {} {}] ({n} samples x {} iters)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            self.iters_per_sample,
+        );
+        if let Ok(mut f) = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open("target/shim-criterion.csv")
+        {
+            let _ = writeln!(f, "{id},{min},{mean},{max},{n}");
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} us", secs * 1e6)
+    } else {
+        format!("{:.2} ns", secs * 1e9)
+    }
+}
+
+/// Identifier for one parameterised benchmark case.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` display form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on the time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a routine under `id`.
+    pub fn bench_function<R>(&mut self, id: impl Display, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        routine(&mut b);
+        b.report(&format!("{}/{}", self.group_name, id));
+        self
+    }
+
+    /// Benchmark a routine receiving `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        routine(&mut b, input);
+        b.report(&format!("{}/{}", self.group_name, id.name));
+        self
+    }
+
+    /// End the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            group_name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<R>(&mut self, id: impl Display, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(20, Duration::from_secs(5));
+        routine(&mut b);
+        b.report(&format!("{id}"));
+        self
+    }
+}
+
+/// Collect benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -80,7 +80,7 @@ fn run_scenario(s: &Scenario) {
     let mut rng = SmallRng::seed_from_u64(s.seed ^ 0xFA11);
     for a in &mut arrivals {
         if a.plan.kind == threev::model::TxnKind::Commuting
-            && rng.gen_range(0..1_000_000) < s.fail_ppm
+            && rng.gen_range(0u32..1_000_000) < s.fail_ppm
         {
             let nodes = a.plan.root.nodes();
             a.fail_node = Some(NodeId(nodes[rng.gen_range(0..nodes.len())].0));
@@ -98,6 +98,7 @@ fn run_scenario(s: &Scenario) {
             local_latency: SimDuration::from_micros(1),
             fifo: s.fifo,
             seed: s.seed,
+            ..SimConfig::default()
         },
         protocol: Default::default(),
     }

@@ -1,0 +1,199 @@
+//! Property: batched delivery is an *amortisation*, never a semantic
+//! change.
+//!
+//! The kernel's batched mode ([`threev::sim::SimConfig::batch`]) coalesces
+//! same-timestamp runs of messages to one actor into a single
+//! [`threev::sim::Actor::on_batch`] call. The engines override `on_batch`
+//! to hoist per-wakeup work out of the per-message loop. None of that may
+//! be observable: for any workload — jittery reordering networks, fault
+//! injection, racing advancement — a batched run must be *bit-identical*
+//! to the per-message run with the same seed: same transaction records,
+//! same per-node version state and store layouts, same kernel statistics
+//! (save for the batch counters themselves, which exist only to report
+//! amortisation).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use threev::core::advance::AdvancementPolicy;
+use threev::core::cluster::{ClusterConfig, ThreeVCluster};
+use threev::model::NodeId;
+use threev::sim::{LatencyModel, SimConfig, SimDuration, SimTime};
+use threev::workload::HospitalWorkload;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n_nodes: u16,
+    rate: f64,
+    seed: u64,
+    adv_period_ms: u64,
+    jitter_max_us: u64,
+    fail_ppm: u32,
+    fifo: bool,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        2u16..6,
+        500.0f64..3_000.0,
+        any::<u64>(),
+        5u64..60,
+        0u64..6_000,
+        0u32..60_000,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(n_nodes, rate, seed, adv_period_ms, jitter_max_us, fail_ppm, fifo)| Scenario {
+                n_nodes,
+                rate,
+                seed,
+                adv_period_ms,
+                jitter_max_us,
+                fail_ppm,
+                fifo,
+            },
+        )
+}
+
+/// Everything observable about a finished run, in comparable form.
+/// Transaction records and values carry no `PartialEq` across the
+/// workspace facade, so the fingerprint canonicalises through `Debug` —
+/// exact, and self-describing in the failure diff.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    records: Vec<String>,
+    /// Per node: (vu, vr, full store layout over all keys).
+    nodes: Vec<(String, String, Vec<String>)>,
+    messages: u64,
+    timers: u64,
+    events: u64,
+    messages_by_tag: Vec<(String, u64)>,
+    advancements: usize,
+}
+
+fn run(s: &Scenario, batch: bool) -> Fingerprint {
+    let workload = HospitalWorkload {
+        departments: s.n_nodes,
+        patients: 20,
+        rate_tps: s.rate,
+        read_pct: 30,
+        max_fanout: s.n_nodes.min(3),
+        duration: SimDuration::from_millis(200),
+        zipf_s: 0.9,
+        seed: s.seed,
+    };
+    let schema = workload.schema();
+    let mut arrivals = workload.arrivals();
+
+    // Fault injection so compensation runs under batching too.
+    let mut rng = SmallRng::seed_from_u64(s.seed ^ 0xFA11);
+    for a in &mut arrivals {
+        if a.plan.kind == threev::model::TxnKind::Commuting
+            && rng.gen_range(0u32..1_000_000) < s.fail_ppm
+        {
+            let nodes = a.plan.root.nodes();
+            a.fail_node = Some(NodeId(nodes[rng.gen_range(0..nodes.len())].0));
+        }
+    }
+
+    let cfg = ClusterConfig {
+        n_nodes: s.n_nodes,
+        sim: SimConfig {
+            latency: LatencyModel::Uniform {
+                min: SimDuration::from_micros(100),
+                max: SimDuration::from_micros(100 + s.jitter_max_us),
+            },
+            local_latency: SimDuration::from_micros(1),
+            fifo: s.fifo,
+            seed: s.seed,
+            batch,
+        },
+        protocol: Default::default(),
+    }
+    .advancement(AdvancementPolicy::Periodic {
+        first: SimDuration::from_millis(s.adv_period_ms),
+        period: SimDuration::from_millis(s.adv_period_ms),
+    });
+    let mut cluster = ThreeVCluster::new(&schema, cfg, arrivals);
+    cluster.run_until(SimTime(2_000_000));
+
+    let mut nodes = Vec::new();
+    for i in 0..s.n_nodes {
+        let node = cluster.node(i);
+        let mut keys: Vec<_> = node.store().keys().collect();
+        keys.sort_unstable();
+        let layout: Vec<String> = keys
+            .into_iter()
+            .map(|k| format!("{k:?} => {:?}", node.store().layout(k)))
+            .collect();
+        nodes.push((
+            format!("{:?}", node.vu()),
+            format!("{:?}", node.vr()),
+            layout,
+        ));
+    }
+    let stats = cluster.sim_stats();
+    let mut messages_by_tag: Vec<(String, u64)> = stats
+        .messages_by_tag
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect();
+    messages_by_tag.sort();
+    Fingerprint {
+        records: cluster.records().iter().map(|r| format!("{r:?}")).collect(),
+        nodes,
+        messages: stats.messages,
+        timers: stats.timers,
+        events: stats.events,
+        messages_by_tag,
+        advancements: cluster.advancements().len(),
+    }
+}
+
+fn check(s: &Scenario) {
+    let per_message = run(s, false);
+    let batched = run(s, true);
+    assert_eq!(per_message, batched, "batched run diverged for {s:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case simulates two full cluster runs
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn batched_delivery_is_observationally_identical(s in scenario()) {
+        check(&s);
+    }
+}
+
+/// Hand-picked worst case as a fast deterministic regression: reordering
+/// network, aggressive advancement, fault injection.
+#[test]
+fn adversarial_fixed_case() {
+    check(&Scenario {
+        n_nodes: 4,
+        rate: 2_500.0,
+        seed: 0xBA7C4,
+        adv_period_ms: 5,
+        jitter_max_us: 5_000,
+        fail_ppm: 40_000,
+        fifo: false,
+    });
+}
+
+/// Zero jitter + FIFO piles everything onto identical timestamps — the
+/// maximal-coalescing regime where batches are actually large.
+#[test]
+fn max_coalescing_fixed_case() {
+    check(&Scenario {
+        n_nodes: 3,
+        rate: 2_000.0,
+        seed: 7,
+        adv_period_ms: 10,
+        jitter_max_us: 0,
+        fail_ppm: 0,
+        fifo: true,
+    });
+}

@@ -30,6 +30,7 @@ fn run_cell(latency: LatencyModel, fifo: bool, seed: u64) {
             local_latency: SimDuration::from_micros(1),
             fifo,
             seed,
+            ..SimConfig::default()
         },
         protocol: Default::default(),
     }
