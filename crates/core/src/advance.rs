@@ -51,7 +51,7 @@
 //! they are covered by the same argument. The property-based test
 //! `tests/advancement_safety.rs` hammers this with random topologies.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use threev_analysis::VersionTimeline;
 use threev_model::{NodeId, VersionNo};
@@ -82,6 +82,13 @@ pub struct CoordinatorConfig {
     pub policy: AdvancementPolicy,
     /// Delay between counter poll rounds in phases 2 and 4.
     pub poll_interval: SimDuration,
+    /// Retransmit window for control messages. When `Some`, a phase that
+    /// has waited this long re-sends its outstanding broadcast — but only
+    /// to the nodes that have not yet answered. Every handler on both
+    /// sides is idempotent, so retransmits are safe; they are what buys
+    /// liveness on a lossy transport. `None` (the default) keeps the
+    /// historical fire-and-forget behaviour for fault-free runs.
+    pub retransmit: Option<SimDuration>,
 }
 
 impl Default for CoordinatorConfig {
@@ -89,6 +96,7 @@ impl Default for CoordinatorConfig {
         CoordinatorConfig {
             policy: AdvancementPolicy::Manual,
             poll_interval: SimDuration::from_millis(2),
+            retransmit: None,
         }
     }
 }
@@ -129,23 +137,31 @@ impl AdvancementRecord {
 #[derive(Debug)]
 enum Phase {
     Idle,
+    /// Acks are sets of responders, not counts: a duplicated ack (lossy
+    /// transport, or a retransmitted broadcast re-answered) must not be
+    /// double-counted.
     P1 {
-        acks: u32,
+        acks: BTreeSet<NodeId>,
     },
-    /// Polling `version`; generic over phases 2 and 4.
+    /// Polling `version`; generic over phases 2 and 4. `round` is the
+    /// coordinator-global poll sequence number (monotone across phases and
+    /// advancements), so a stale or duplicated report can never be
+    /// mistaken for a current one; `rounds` counts rounds in this phase
+    /// for the timing record.
     Polling {
         version: VersionNo,
         round: u64,
+        rounds: u64,
         reports: HashMap<NodeId, CounterSnapshot>,
         prev: Option<CounterMatrix>,
         is_phase2: bool,
     },
     P3 {
-        acks: u32,
+        acks: BTreeSet<NodeId>,
     },
     /// GC broadcast sent; waiting for every node's ack before going idle.
     P4Gc {
-        acks: u32,
+        acks: BTreeSet<NodeId>,
     },
 }
 
@@ -161,10 +177,19 @@ pub struct Coordinator {
     records: Vec<AdvancementRecord>,
     timeline: VersionTimeline,
     pending_trigger: bool,
+    /// Global poll sequence number (see [`Phase::Polling`]).
+    poll_seq: u64,
+    /// Retransmit epoch: bumped on every phase transition. Retransmit
+    /// timers carry the epoch they were armed in; a firing whose epoch is
+    /// stale is a no-op and does not re-arm, so an idle coordinator
+    /// quiesces even with retransmits enabled.
+    epoch: u64,
 }
 
 const TIMER_POLICY: u64 = 0;
 const TIMER_POLL: u64 = 1;
+/// Retransmit timer tokens are `TIMER_RETRANSMIT_BASE + epoch`.
+const TIMER_RETRANSMIT_BASE: u64 = 1 << 32;
 
 impl Coordinator {
     /// New coordinator over `n_nodes` database nodes (ids `0..n_nodes`).
@@ -179,6 +204,8 @@ impl Coordinator {
             records: Vec::new(),
             timeline: VersionTimeline::new(),
             pending_trigger: false,
+            poll_seq: 0,
+            epoch: 0,
         }
     }
 
@@ -229,21 +256,74 @@ impl Coordinator {
             p2_rounds: 0,
             p4_rounds: 0,
         });
-        self.phase = Phase::P1 { acks: 0 };
+        self.phase = Phase::P1 {
+            acks: BTreeSet::new(),
+        };
+        self.epoch += 1;
         for n in &self.nodes {
             ctx.send_tagged(*n, Msg::StartAdvancement { vu_new }, "advance");
         }
+        self.arm_retransmit(ctx);
     }
 
     fn begin_polling(&mut self, ctx: &mut Ctx<'_, Msg>, version: VersionNo, is_phase2: bool) {
+        self.poll_seq += 1;
         self.phase = Phase::Polling {
             version,
-            round: 0,
+            round: self.poll_seq,
+            rounds: 1,
             reports: HashMap::new(),
             prev: None,
             is_phase2,
         };
+        self.epoch += 1;
         self.send_poll(ctx);
+        self.arm_retransmit(ctx);
+    }
+
+    fn arm_retransmit(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if let Some(rt) = self.cfg.retransmit {
+            ctx.schedule(rt, TIMER_RETRANSMIT_BASE + self.epoch);
+        }
+    }
+
+    /// Re-send the current phase's outstanding control message to every
+    /// node that has not answered yet. All handlers are idempotent, so
+    /// over-sending is safe; under-sending (losing a broadcast with no
+    /// retransmit) is what stalls an advancement forever.
+    fn resend_missing(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        match &self.phase {
+            Phase::Idle => {}
+            Phase::P1 { acks } => {
+                let vu_new = self.vu.next();
+                for n in self.nodes.iter().filter(|n| !acks.contains(n)) {
+                    ctx.send_tagged(*n, Msg::StartAdvancement { vu_new }, "advance");
+                }
+            }
+            Phase::Polling {
+                version,
+                round,
+                reports,
+                ..
+            } => {
+                let (version, round) = (*version, *round);
+                for n in self.nodes.iter().filter(|n| !reports.contains_key(n)) {
+                    ctx.send_tagged(*n, Msg::ReadCounters { round, version }, "advance");
+                }
+            }
+            Phase::P3 { acks } => {
+                let vr_new = self.vr.next();
+                for n in self.nodes.iter().filter(|n| !acks.contains(n)) {
+                    ctx.send_tagged(*n, Msg::AdvanceRead { vr_new }, "advance");
+                }
+            }
+            Phase::P4Gc { acks } => {
+                let vr_new = self.vr;
+                for n in self.nodes.iter().filter(|n| !acks.contains(n)) {
+                    ctx.send_tagged(*n, Msg::Gc { vr_new }, "advance");
+                }
+            }
+        }
     }
 
     fn send_poll(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -261,9 +341,11 @@ impl Coordinator {
         ctx: &mut Ctx<'_, Msg>,
         from: NodeId,
         round: u64,
+        version: VersionNo,
         snapshot: CounterSnapshot,
     ) {
         let Phase::Polling {
+            version: cur_version,
             round: cur_round,
             reports,
             ..
@@ -271,9 +353,15 @@ impl Coordinator {
         else {
             return;
         };
-        if round != *cur_round {
-            return; // stale reply from an earlier round
+        if round != *cur_round || version != *cur_version {
+            // Stale or duplicated reply from an earlier round or phase.
+            // `round` is globally monotone, so this check alone is
+            // airtight; the version match is belt-and-braces (and what a
+            // reader audits against the paper's per-version counters).
+            return;
         }
+        // A re-polled node overwrites its earlier snapshot: counters are
+        // monotone, so the freshest snapshot is the most conservative.
         reports.insert(from, snapshot);
         if reports.len() < self.nodes.len() {
             return;
@@ -282,6 +370,7 @@ impl Coordinator {
         let Phase::Polling {
             version,
             round,
+            rounds,
             reports,
             prev,
             is_phase2,
@@ -292,9 +381,9 @@ impl Coordinator {
         let snaps: Vec<(NodeId, CounterSnapshot)> = reports.drain().collect();
         let matrix = CounterMatrix::assemble(&snaps);
         let stable = matrix.balanced() && prev.as_ref() == Some(&matrix);
-        let (version, is_phase2) = (*version, *is_phase2);
+        let (version, is_phase2, rounds_used) = (*version, *is_phase2, *rounds);
         if stable {
-            let rounds = *round + 1;
+            let rounds = rounds_used;
             ctx.trace(|| {
                 format!(
                     "version {version} drained after {rounds} rounds (phase {})",
@@ -316,7 +405,9 @@ impl Coordinator {
             }
         } else {
             *prev = Some(matrix);
-            *round += 1;
+            self.poll_seq += 1;
+            *round = self.poll_seq;
+            *rounds += 1;
             let interval = self.cfg.poll_interval;
             ctx.schedule(interval, TIMER_POLL);
         }
@@ -326,20 +417,28 @@ impl Coordinator {
         let vr_new = self.vr.next();
         ctx.trace(|| format!("publishing read version {vr_new} (phase 3)"));
         self.timeline.record_published(vr_new, ctx.now());
-        self.phase = Phase::P3 { acks: 0 };
+        self.phase = Phase::P3 {
+            acks: BTreeSet::new(),
+        };
+        self.epoch += 1;
         for n in &self.nodes {
             ctx.send_tagged(*n, Msg::AdvanceRead { vr_new }, "advance");
         }
+        self.arm_retransmit(ctx);
     }
 
     fn begin_gc(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let vr_new = self.vr.next();
         self.vr = vr_new;
         self.vu = self.vu.next();
-        self.phase = Phase::P4Gc { acks: 0 };
+        self.phase = Phase::P4Gc {
+            acks: BTreeSet::new(),
+        };
+        self.epoch += 1;
         for n in &self.nodes {
             ctx.send_tagged(*n, Msg::Gc { vr_new }, "advance");
         }
+        self.arm_retransmit(ctx);
     }
 
     fn finish_advancement(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -348,6 +447,7 @@ impl Coordinator {
             self.records.push(rec);
         }
         self.phase = Phase::Idle;
+        self.epoch += 1; // invalidate any armed retransmit timer
         if self.pending_trigger {
             self.pending_trigger = false;
             self.start_advancement(ctx);
@@ -368,10 +468,15 @@ impl Actor for Coordinator {
         match msg {
             Msg::TriggerAdvancement => self.start_advancement(ctx),
             Msg::AdvanceAck { vu_new } => {
+                // The echoed version is the ack's sequence number: a
+                // duplicated or stale ack (earlier advancement, or this one
+                // after the phase already moved on) fails the match.
+                if vu_new != self.vu.next() {
+                    return;
+                }
                 if let Phase::P1 { acks } = &mut self.phase {
-                    debug_assert_eq!(vu_new, self.vu.next());
-                    *acks += 1;
-                    if *acks == self.nodes.len() as u32 {
+                    acks.insert(from);
+                    if acks.len() == self.nodes.len() {
                         if let Some(c) = &mut self.cur {
                             c.p1_done = ctx.now();
                         }
@@ -381,22 +486,29 @@ impl Actor for Coordinator {
                     }
                 }
             }
-            Msg::CountersReport { round, snapshot } => {
-                self.handle_report(ctx, from, round, snapshot)
-            }
-            Msg::GcAck { .. } => {
+            Msg::CountersReport {
+                round,
+                version,
+                snapshot,
+            } => self.handle_report(ctx, from, round, version, snapshot),
+            Msg::GcAck { vr_new } => {
+                if vr_new != self.vr {
+                    return; // ack for an older advancement's GC
+                }
                 if let Phase::P4Gc { acks } = &mut self.phase {
-                    *acks += 1;
-                    if *acks == self.nodes.len() as u32 {
+                    acks.insert(from);
+                    if acks.len() == self.nodes.len() {
                         self.finish_advancement(ctx);
                     }
                 }
             }
             Msg::AdvanceReadAck { vr_new } => {
+                if vr_new != self.vr.next() {
+                    return;
+                }
                 if let Phase::P3 { acks } = &mut self.phase {
-                    debug_assert_eq!(vr_new, self.vr.next());
-                    *acks += 1;
-                    if *acks == self.nodes.len() as u32 {
+                    acks.insert(from);
+                    if acks.len() == self.nodes.len() {
                         if let Some(c) = &mut self.cur {
                             c.p3_done = ctx.now();
                         }
@@ -419,6 +531,16 @@ impl Actor for Coordinator {
                 }
             }
             TIMER_POLL => self.send_poll(ctx),
+            // Only the retransmit timer from the *current* epoch may act;
+            // stale ones fall through to the no-op arm and do not re-arm,
+            // so the coordinator still quiesces.
+            t if t >= TIMER_RETRANSMIT_BASE
+                && t - TIMER_RETRANSMIT_BASE == self.epoch
+                && !matches!(self.phase, Phase::Idle) =>
+            {
+                self.resend_missing(ctx);
+                self.arm_retransmit(ctx);
+            }
             _ => {}
         }
     }

@@ -109,6 +109,11 @@ pub enum Msg {
     CountersReport {
         /// Echoed round.
         round: u64,
+        /// Echoed version being drained. Rounds restart at zero for each
+        /// polling phase, so under duplication/retransmit the coordinator
+        /// needs the version to reject a stale phase-2 report arriving
+        /// during phase 4 (and vice versa).
+        version: VersionNo,
         /// The snapshot.
         snapshot: CounterSnapshot,
     },
@@ -193,7 +198,11 @@ pub enum ClientEvent {
 
 /// Implemented by each engine's message type so the one client actor in
 /// [`crate::client`] can drive any engine (3V or the baselines).
-pub trait ProtocolMsg: Sized {
+///
+/// `Clone` is part of the wire contract: the transport's fault plane may
+/// deliver any message twice, so every protocol message must be
+/// duplicable.
+pub trait ProtocolMsg: Sized + Clone {
     /// Build the submission message for a transaction.
     fn submit(
         txn: TxnId,

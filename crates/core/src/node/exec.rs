@@ -182,7 +182,9 @@ impl ThreeVNode {
                             let (ver, value) = self
                                 .store
                                 .read_visible(*key, job.version)
-                                .unwrap_or_else(|e| panic!("{}: read: {e}", self.me));
+                                .unwrap_or_else(|e| {
+                                    panic!("{}: read: {}", self.me, e.with_window(self.vr, self.vu))
+                                });
                             if ctx.tracing() {
                                 ctx.trace(|| format!("{} reads {key} version {ver}", job.txn));
                             }
@@ -196,7 +198,13 @@ impl ThreeVNode {
                             let out = self
                                 .store
                                 .update(*key, job.version, *op, job.txn, None)
-                                .unwrap_or_else(|e| panic!("{}: update: {e}", self.me));
+                                .unwrap_or_else(|e| {
+                                    panic!(
+                                        "{}: update: {}",
+                                        self.me,
+                                        e.with_window(self.vr, self.vu)
+                                    )
+                                });
                             if ctx.tracing() {
                                 let n = out.versions_written;
                                 ctx.trace(|| {
@@ -230,7 +238,9 @@ impl ThreeVNode {
                     if self
                         .store
                         .exists_above(step.key(), job.version)
-                        .unwrap_or_else(|e| panic!("{}: nc check: {e}", self.me))
+                        .unwrap_or_else(|e| {
+                            panic!("{}: nc check: {}", self.me, e.with_window(self.vr, self.vu))
+                        })
                     {
                         doomed = true;
                         break;
@@ -249,7 +259,13 @@ impl ThreeVNode {
                             let (ver, value) = self
                                 .store
                                 .read_visible(*key, job.version)
-                                .unwrap_or_else(|e| panic!("{}: nc read: {e}", self.me));
+                                .unwrap_or_else(|e| {
+                                    panic!(
+                                        "{}: nc read: {}",
+                                        self.me,
+                                        e.with_window(self.vr, self.vu)
+                                    )
+                                });
                             reads.push(ReadObservation {
                                 key: *key,
                                 version: Some(ver),
@@ -259,7 +275,13 @@ impl ThreeVNode {
                         OpStep::Update(key, op) => {
                             self.store
                                 .update(*key, job.version, *op, job.txn, Some(&mut local.undo))
-                                .unwrap_or_else(|e| panic!("{}: nc update: {e}", self.me));
+                                .unwrap_or_else(|e| {
+                                    panic!(
+                                        "{}: nc update: {}",
+                                        self.me,
+                                        e.with_window(self.vr, self.vu)
+                                    )
+                                });
                         }
                     }
                 }

@@ -40,7 +40,13 @@ impl ThreeVNode {
                 for (key, op) in inverse {
                     self.store
                         .update(key, version, op, txn, None)
-                        .unwrap_or_else(|e| panic!("{}: compensate: {e}", self.me));
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "{}: compensate: {}",
+                                self.me,
+                                e.with_window(self.vr, self.vu)
+                            )
+                        });
                 }
                 // Forward to every other neighbour (§3.2: at most one
                 // compensating subtransaction per node).

@@ -78,6 +78,17 @@ impl ThreeVNode {
         version: VersionNo,
     ) {
         let snapshot = self.counters.snapshot(version);
-        ctx.send_tagged(from, Msg::CountersReport { round, snapshot }, "advance");
+        // Echo round *and* version: the coordinator matches both, so a
+        // duplicated or delayed report can never be credited to a later
+        // poll of the same round number.
+        ctx.send_tagged(
+            from,
+            Msg::CountersReport {
+                round,
+                version,
+                snapshot,
+            },
+            "advance",
+        );
     }
 }

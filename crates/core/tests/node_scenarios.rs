@@ -465,6 +465,56 @@ fn gc_message_collects_versions_and_counters() {
 }
 
 #[test]
+fn stale_read_after_gc_reports_the_version_window() {
+    // GC collapses X to version 1, then a stale read-only descendant at
+    // version 0 arrives: no copy is visible, which is a protocol invariant
+    // violation the node surfaces loudly. The error must carry the node's
+    // (vr, vu) window so the panic names the invariant that broke.
+    let mut s = sim(false);
+    s.inject_at(
+        SimTime(10),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            tid(1),
+            TxnKind::Commuting,
+            v(1),
+            SubtxnPlan::new(TARGET).update(X, UpdateOp::Add(5)),
+        ),
+    );
+    s.inject_at(
+        SimTime(100),
+        PEER,
+        TARGET,
+        Msg::AdvanceRead { vr_new: v(1) },
+    );
+    s.inject_at(SimTime(200), PEER, TARGET, Msg::Gc { vr_new: v(1) });
+    s.inject_at(
+        SimTime(300),
+        PEER,
+        TARGET,
+        subtxn_msg(
+            tid(2),
+            TxnKind::ReadOnly,
+            v(0),
+            SubtxnPlan::new(TARGET).read(X),
+        ),
+    );
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        s.run_to_quiescence(SimTime::MAX)
+    }));
+    let payload = outcome.expect_err("stale read below the GC floor must panic");
+    let text = payload
+        .downcast_ref::<String>()
+        .expect("panic carries a formatted message");
+    assert!(text.contains("no version of k1 visible at v0"), "{text}");
+    assert!(
+        text.contains("vr=v1") && text.contains("vu=v1"),
+        "error must carry the node's (vr, vu) window: {text}"
+    );
+}
+
+#[test]
 fn counters_report_is_atomic_per_node_snapshot() {
     let mut s = sim(false);
     s.inject_at(

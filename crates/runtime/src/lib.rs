@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use threev_model::NodeId;
-use threev_sim::{Actor, SimConfig, SimTime, Simulation};
+use threev_sim::{Actor, LinkStats, SimConfig, SimTime, Simulation, Transport};
 
 /// How an actor thread feeds inbound messages to its engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +56,11 @@ pub struct ThreadedReport {
     pub messages_per_actor: Vec<u64>,
     /// `on_batch` invocations per actor (zero in per-message mode).
     pub batches_per_actor: Vec<u64>,
+    /// Per-actor transport totals (wire sends plus local kernel sends):
+    /// sent/delivered/dropped/duplicated/reordered. With the fault plane
+    /// disabled the fault counters are provably zero — asserted by
+    /// `driver_equivalence`.
+    pub transport_per_actor: Vec<LinkStats>,
 }
 
 impl ThreadedRun {
@@ -69,7 +74,7 @@ impl ThreadedRun {
     ) -> (Vec<A>, ThreadedReport)
     where
         A: Actor + Send + 'static,
-        A::Msg: Send + 'static,
+        A::Msg: Send + Clone + 'static,
     {
         Self::run_with(actors, cfg, DeliveryMode::Batched, duration, drain)
     }
@@ -87,7 +92,7 @@ impl ThreadedRun {
     ) -> (Vec<A>, ThreadedReport)
     where
         A: Actor + Send + 'static,
-        A::Msg: Send + 'static,
+        A::Msg: Send + Clone + 'static,
     {
         let n = actors.len();
         let mut senders: Vec<Sender<(NodeId, NodeId, A::Msg)>> = Vec::with_capacity(n);
@@ -106,28 +111,63 @@ impl ThreadedRun {
             let routes = senders.clone();
             let cfg = cfg.for_partition(i);
             let handle = thread::spawn(move || {
+                // The same Transport as the DES kernel, in wire mode: the
+                // channel is the link (no virtual latency), but every
+                // drop/duplicate/delay/partition/pause decision is made by
+                // the shared policy engine before a message is routed.
+                let mut transport = Transport::wire(&cfg);
                 let mut sim = Simulation::new_partition(vec![actor], i as u16, u16::MAX, cfg);
                 // Both buffers are reused across wakeups: after warm-up the
                 // steady-state loop performs no allocation for routing.
                 let mut inbox: Vec<(NodeId, NodeId, A::Msg)> = Vec::new();
                 let mut outbox: Vec<(NodeId, NodeId, A::Msg)> = Vec::new();
+                // Fault-delayed copies awaiting their wire delivery time.
+                let mut held: Vec<(SimTime, NodeId, NodeId, A::Msg)> = Vec::new();
                 loop {
                     let now = SimTime(start.elapsed().as_micros() as u64);
                     if start.elapsed() >= deadline {
                         break;
                     }
-                    // Process everything due, route the fallout.
+                    // Process everything due, route the fallout through the
+                    // wire transport.
                     sim.run_until(now);
                     sim.drain_outbox(&mut outbox);
                     for (from, to, msg) in outbox.drain(..) {
                         let idx = to.index();
-                        if idx < routes.len() {
-                            // A send can fail only during shutdown.
-                            let _ = routes[idx].send((from, to, msg));
+                        if idx >= routes.len() {
+                            continue;
+                        }
+                        let plan = transport.plan_wire(from, to, now);
+                        if let Some(at) = plan.dup {
+                            held.push((at, from, to, msg.clone()));
+                        }
+                        match plan.first {
+                            Some(at) if at <= now => {
+                                // A send can fail only during shutdown.
+                                let _ = routes[idx].send((from, to, msg));
+                            }
+                            Some(at) => held.push((at, from, to, msg)),
+                            None => {} // dropped by the fault plane
                         }
                     }
-                    // Sleep until the next local timer or an inbound message.
-                    let timeout = match sim.next_event_at() {
+                    // Release held copies that have come due.
+                    let mut h = 0;
+                    while h < held.len() {
+                        if held[h].0 <= now {
+                            let (_, from, to, msg) = held.swap_remove(h);
+                            let _ = routes[to.index()].send((from, to, msg));
+                        } else {
+                            h += 1;
+                        }
+                    }
+                    // Sleep until the next local timer, the next held-copy
+                    // release, or an inbound message.
+                    let next_held = held.iter().map(|(at, ..)| *at).min();
+                    let next = match (sim.next_event_at(), next_held) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    let timeout = match next {
                         Some(t) if t <= now => Duration::ZERO,
                         Some(t) => Duration::from_micros(t.0 - now.0)
                             .min(deadline.saturating_sub(start.elapsed())),
@@ -172,10 +212,14 @@ impl ThreadedRun {
                 sim.run_until(now);
                 let processed = sim.stats().events;
                 let batches = sim.stats().batches;
+                // Wire sends plus this partition's local (self) sends.
+                let mut transport_totals = transport.stats().totals();
+                transport_totals.add(&sim.transport_stats().totals());
                 (
                     sim.into_actors().pop().expect("one actor"),
                     processed,
                     batches,
+                    transport_totals,
                 )
             });
             handles.push(handle);
@@ -188,12 +232,15 @@ impl ThreadedRun {
             elapsed: Duration::ZERO,
             messages_per_actor: Vec::with_capacity(n),
             batches_per_actor: Vec::with_capacity(n),
+            transport_per_actor: Vec::with_capacity(n),
         };
         for h in handles {
-            let (actor, processed, batches) = h.join().expect("actor thread panicked");
+            let (actor, processed, batches, transport_totals) =
+                h.join().expect("actor thread panicked");
             out_actors.push(actor);
             report.messages_per_actor.push(processed);
             report.batches_per_actor.push(batches);
+            report.transport_per_actor.push(transport_totals);
         }
         report.elapsed = start.elapsed();
         (out_actors, report)
@@ -295,6 +342,58 @@ mod tests {
             self.ticks += 1;
             ctx.schedule(threev_sim::SimDuration::from_millis(10), 0);
         }
+    }
+
+    #[test]
+    fn no_fault_run_reports_zero_fault_counters() {
+        let (_, report) = ThreadedRun::run(
+            echo_pair(),
+            SimConfig::seeded(5),
+            Duration::from_millis(200),
+            Duration::from_millis(50),
+        );
+        let mut totals = LinkStats::default();
+        for t in &report.transport_per_actor {
+            totals.add(t);
+        }
+        assert!(totals.sent >= 1000, "sent={}", totals.sent);
+        assert_eq!(
+            (totals.dropped, totals.duplicated, totals.reordered),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn fault_plane_applies_on_real_threads() {
+        // Heavy loss on the wire: the echo exchange must lose messages, and
+        // the loss must be visible in the transport counters — the same
+        // fault plane driving the DES kernel drives the threaded wire.
+        let mut cfg = SimConfig::seeded(5);
+        cfg.faults = threev_sim::FaultPlane::lossy(400_000, 0);
+        let (actors, report) = ThreadedRun::run(
+            echo_pair(),
+            cfg,
+            Duration::from_millis(300),
+            Duration::from_millis(100),
+        );
+        let mut totals = LinkStats::default();
+        for t in &report.transport_per_actor {
+            totals.add(t);
+        }
+        assert!(totals.dropped > 0, "loss must register");
+        assert!(
+            actors[0].received < 500,
+            "echoes received={} should be lossy",
+            actors[0].received
+        );
+        // Every missing echo is accounted for as a drop (of the ping or of
+        // the echo); nothing vanishes unexplained.
+        assert!(
+            actors[0].received + totals.dropped >= 500,
+            "received={} dropped={}",
+            actors[0].received,
+            totals.dropped
+        );
     }
 
     #[test]

@@ -102,6 +102,18 @@ fn threaded_outcome(arrivals: Vec<Arrival>, mode: DeliveryMode) -> Outcome {
         DeliveryMode::Batched => assert!(batches > 0, "batched run must batch"),
         DeliveryMode::PerMessage => assert_eq!(batches, 0, "per-message run must not batch"),
     }
+    // The unified transport with faults disabled must behave as a pure
+    // pipe on the wire, too: no drops, duplicates, or fault reorderings.
+    let mut totals = threev_sim::LinkStats::default();
+    for t in &report.transport_per_actor {
+        totals.add(t);
+    }
+    assert!(totals.sent > 0, "transport must carry the run's traffic");
+    assert_eq!(
+        (totals.dropped, totals.duplicated, totals.reordered),
+        (0, 0, 0),
+        "no-fault threaded run must not drop/duplicate/reorder"
+    );
     let mut stores = Vec::new();
     let mut committed = Vec::new();
     for actor in &actors {

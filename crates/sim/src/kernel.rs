@@ -14,6 +14,7 @@ use threev_model::NodeId;
 use crate::network::LatencyModel;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
+use crate::transport::{FaultPlane, Transport, TransportStats};
 
 /// A simulated participant: a database node, a client, or a coordinator.
 ///
@@ -70,6 +71,12 @@ pub struct SimConfig {
     /// calls. Observable behaviour is identical (batching never reorders);
     /// only per-delivery dispatch overhead is amortised.
     pub batch: bool,
+    /// Injectable fault plane (drop/duplicate/delay/partition/pause); see
+    /// [`crate::transport`]. Default: no faults. Fault decisions draw from
+    /// an RNG stream decorrelated from `seed`'s latency stream, so a run
+    /// with faults disabled is bit-identical to one where the field does
+    /// not exist at all.
+    pub faults: FaultPlane,
 }
 
 impl Default for SimConfig {
@@ -80,6 +87,7 @@ impl Default for SimConfig {
             fifo: false,
             seed: 0xC0FFEE,
             batch: false,
+            faults: FaultPlane::default(),
         }
     }
 }
@@ -121,6 +129,14 @@ pub struct SimStats {
     /// Messages delivered through [`Actor::on_batch`] (batched delivery
     /// only). `batched_msgs / batches` is the mean batch size.
     pub batched_msgs: u64,
+    /// Messages dropped by the transport fault plane (loss or partition).
+    /// Provably zero when [`SimConfig::faults`] is inactive.
+    pub dropped: u64,
+    /// Messages duplicated by the transport fault plane.
+    pub duplicated: u64,
+    /// Fault-induced reorderings (deliveries overtaking a fault-delayed
+    /// copy); latency jitter alone never counts here.
+    pub reordered: u64,
     /// Messages by engine-supplied tag (see [`Ctx::send_tagged`]).
     pub messages_by_tag: HashMap<&'static str, u64>,
 }
@@ -179,7 +195,7 @@ struct Core<M> {
     queue: BinaryHeap<Event<M>>,
     cfg: SimConfig,
     rng: SmallRng,
-    fifo_floor: HashMap<(NodeId, NodeId), SimTime>,
+    transport: Transport,
     stats: SimStats,
     stop: bool,
     trace: Option<Trace>,
@@ -202,30 +218,40 @@ impl<M> Core<M> {
         let i = id.0;
         i >= self.local_base && i < self.local_base + self.local_len
     }
+}
 
+impl<M: Clone> Core<M> {
     fn send_from(&mut self, me: NodeId, to: NodeId, msg: M, tag: &'static str) {
         self.stats.messages += 1;
         *self.stats.messages_by_tag.entry(tag).or_insert(0) += 1;
         if !self.is_local(to) {
             // Cross-partition: the hosting driver routes it (real channel,
-            // real latency) — no virtual latency is added here.
+            // real latency, and the driver's own wire transport) — nothing
+            // is decided here.
             self.outbox.push((me, to, msg));
             return;
         }
-        let latency = if to == me {
-            self.cfg.local_latency
-        } else {
-            self.cfg.latency.sample(&mut self.rng)
-        };
-        let mut at = self.now + latency;
-        if self.cfg.fifo {
-            let floor = self.fifo_floor.entry((me, to)).or_insert(SimTime::ZERO);
-            if at < *floor {
-                at = *floor;
+        // All delivery policy — latency, FIFO, faults — lives in the
+        // transport; the kernel only schedules what it is told to.
+        let plan = self.transport.plan(me, to, self.now, &mut self.rng);
+        self.stats.dropped += u64::from(plan.dropped);
+        self.stats.duplicated += u64::from(plan.duplicated);
+        self.stats.reordered += plan.reordered;
+        match (plan.first, plan.dup) {
+            (Some(at), Some(dup_at)) => {
+                self.push(
+                    at,
+                    Payload::Deliver {
+                        to,
+                        from: me,
+                        msg: msg.clone(),
+                    },
+                );
+                self.push(dup_at, Payload::Deliver { to, from: me, msg });
             }
-            *floor = at + SimDuration::from_micros(1);
+            (Some(at), None) => self.push(at, Payload::Deliver { to, from: me, msg }),
+            (None, _) => {}
         }
-        self.push(at, Payload::Deliver { to, from: me, msg });
     }
 }
 
@@ -247,16 +273,6 @@ impl<M> Ctx<'_, M> {
     #[inline]
     pub fn me(&self) -> NodeId {
         self.me
-    }
-
-    /// Send `msg` to `to` with the default tag.
-    pub fn send(&mut self, to: NodeId, msg: M) {
-        self.core.send_from(self.me, to, msg, "msg");
-    }
-
-    /// Send `msg` to `to`, accounted under `tag` in [`SimStats`].
-    pub fn send_tagged(&mut self, to: NodeId, msg: M, tag: &'static str) {
-        self.core.send_from(self.me, to, msg, tag);
     }
 
     /// Fire [`Actor::on_timer`] with `token` after `delay`.
@@ -297,6 +313,19 @@ impl<M> Ctx<'_, M> {
     }
 }
 
+impl<M: Clone> Ctx<'_, M> {
+    /// Send `msg` to `to` with the default tag. (`M: Clone` because the
+    /// transport's fault plane may deliver a duplicate copy.)
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.core.send_from(self.me, to, msg, "msg");
+    }
+
+    /// Send `msg` to `to`, accounted under `tag` in [`SimStats`].
+    pub fn send_tagged(&mut self, to: NodeId, msg: M, tag: &'static str) {
+        self.core.send_from(self.me, to, msg, tag);
+    }
+}
+
 /// A deterministic discrete-event simulation over a set of actors.
 pub struct Simulation<A: Actor> {
     actors: Vec<A>,
@@ -321,6 +350,7 @@ impl<A: Actor> Simulation<A> {
     pub fn new_partition(actors: Vec<A>, base: u16, total: u16, cfg: SimConfig) -> Self {
         let _ = total;
         let rng = SmallRng::seed_from_u64(cfg.seed);
+        let transport = Transport::new(&cfg);
         let local_len = actors.len() as u16;
         Simulation {
             actors,
@@ -330,7 +360,7 @@ impl<A: Actor> Simulation<A> {
                 queue: BinaryHeap::new(),
                 cfg,
                 rng,
-                fifo_floor: HashMap::new(),
+                transport,
                 stats: SimStats::default(),
                 stop: false,
                 trace: None,
@@ -392,6 +422,12 @@ impl<A: Actor> Simulation<A> {
         &self.core.stats
     }
 
+    /// Per-link transport statistics so far (sent/delivered/dropped/
+    /// duplicated/reordered).
+    pub fn transport_stats(&self) -> &TransportStats {
+        self.core.transport.stats()
+    }
+
     /// Shared access to the actors.
     pub fn actors(&self) -> &[A] {
         &self.actors
@@ -407,14 +443,10 @@ impl<A: Actor> Simulation<A> {
         self.actors
     }
 
-    /// Inject a message from the outside world (`from` is attributed as the
-    /// sender), delivered after the configured latency.
-    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
-        self.core.send_from(from, to, msg, "inject");
-    }
-
     /// Inject a message for delivery at an absolute virtual time. Used by
     /// scripted replays (the Table 1 scenario) and workload drivers.
+    /// Scripted replays pin exact delivery instants, so this bypasses the
+    /// transport deliberately — the fault plane does not apply.
     pub fn inject_at(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: A::Msg) {
         assert!(at >= self.core.now, "cannot inject into the past");
         self.core.stats.messages += 1;
@@ -592,6 +624,18 @@ impl<A: Actor> Simulation<A> {
         if self.core.now < until {
             self.core.now = until;
         }
+    }
+}
+
+impl<A: Actor> Simulation<A>
+where
+    A::Msg: Clone,
+{
+    /// Inject a message from the outside world (`from` is attributed as the
+    /// sender), delivered through the transport after the configured
+    /// latency (and subject to the fault plane, like any other send).
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+        self.core.send_from(from, to, msg, "inject");
     }
 }
 
@@ -933,6 +977,91 @@ mod tests {
         assert_eq!(b.fifo, base.fifo);
         // Stable across calls: drivers on different threads must agree.
         assert_eq!(base.for_partition(1).seed, b.seed);
+    }
+
+    #[test]
+    fn fault_plane_drops_and_duplicates_through_the_kernel() {
+        use crate::transport::FaultPlane;
+        struct Sink {
+            got: Vec<u64>,
+        }
+        impl Actor for Sink {
+            type Msg = u64;
+            fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: NodeId, msg: u64) {
+                self.got.push(msg);
+            }
+        }
+        let run = |faults: FaultPlane| {
+            let cfg = SimConfig {
+                faults,
+                latency: LatencyModel::Fixed(SimDuration(10)),
+                ..SimConfig::seeded(3)
+            };
+            let mut sim = Simulation::new(vec![Sink { got: vec![] }, Sink { got: vec![] }], cfg);
+            for i in 0..1_000u64 {
+                sim.inject(NodeId(0), NodeId(1), i);
+            }
+            sim.run_to_quiescence(SimTime::MAX);
+            (sim.actors()[1].got.len(), sim.stats().clone())
+        };
+
+        let (clean_n, clean) = run(FaultPlane::default());
+        assert_eq!(clean_n, 1_000);
+        assert_eq!(clean.dropped + clean.duplicated + clean.reordered, 0);
+
+        let (lossy_n, lossy) = run(FaultPlane::lossy(200_000, 100_000));
+        assert!(lossy.dropped > 0 && lossy.duplicated > 0);
+        assert_eq!(
+            lossy_n as u64,
+            1_000 - lossy.dropped + lossy.duplicated,
+            "every non-dropped copy must be delivered"
+        );
+        // `messages` counts sends, not deliveries: identical either way.
+        assert_eq!(lossy.messages, clean.messages);
+    }
+
+    #[test]
+    fn fault_rng_is_decorrelated_from_latency_stream() {
+        // Same seed, jittery latency: the delivery schedule of the
+        // *surviving* messages must be unchanged by enabling faults,
+        // because fault decisions draw from their own stream.
+        struct Sink {
+            got: Vec<(SimTime, u64)>,
+        }
+        impl Actor for Sink {
+            type Msg = u64;
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _: NodeId, msg: u64) {
+                self.got.push((ctx.now(), msg));
+            }
+        }
+        let run = |faults: crate::transport::FaultPlane| {
+            let cfg = SimConfig {
+                faults,
+                latency: LatencyModel::Uniform {
+                    min: SimDuration(1),
+                    max: SimDuration(900),
+                },
+                ..SimConfig::seeded(17)
+            };
+            let mut sim = Simulation::new(vec![Sink { got: vec![] }, Sink { got: vec![] }], cfg);
+            for i in 0..300u64 {
+                sim.inject(NodeId(0), NodeId(1), i);
+            }
+            sim.run_to_quiescence(SimTime::MAX);
+            sim.actors()[1].got.clone()
+        };
+        let clean = run(crate::transport::FaultPlane::default());
+        let lossy = run(crate::transport::FaultPlane::lossy(150_000, 0));
+        let surviving: Vec<_> = clean
+            .iter()
+            .filter(|(_, m)| lossy.iter().any(|(_, lm)| lm == m))
+            .cloned()
+            .collect();
+        assert_eq!(
+            surviving, lossy,
+            "surviving messages must keep their no-fault delivery times"
+        );
+        assert!(lossy.len() < clean.len());
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!   per-link FIFO enforcement);
 //! * [`kernel`] — the event heap, the [`Actor`] trait, and the
 //!   [`Simulation`] driver;
+//! * [`transport`] — the unified delivery-policy layer (latency, FIFO, and
+//!   the injectable fault plane) shared by this kernel and the real-thread
+//!   runtime;
 //! * [`trace`] — a human-readable event trace used to replay the paper's
 //!   Table 1 line by line.
 //!
@@ -24,8 +27,12 @@ pub mod kernel;
 pub mod network;
 pub mod time;
 pub mod trace;
+pub mod transport;
 
 pub use kernel::{Actor, Ctx, QuiesceOutcome, SimConfig, SimStats, Simulation};
 pub use network::LatencyModel;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceLine};
+pub use transport::{
+    FaultPlane, FaultScope, LinkPartition, LinkStats, NodePause, Transport, TransportStats,
+};

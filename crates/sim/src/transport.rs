@@ -1,0 +1,678 @@
+//! The unified transport layer: every policy decision about message
+//! delivery — latency, per-link FIFO, and the injectable fault plane —
+//! lives here, and only here.
+//!
+//! Two drivers share this code path:
+//!
+//! * the discrete-event kernel ([`crate::Simulation`]) calls
+//!   [`Transport::plan`] from its send path and schedules the returned
+//!   delivery instants on the event heap;
+//! * the real-thread runtime (`threev-runtime`) builds a transport in
+//!   *wire mode* ([`Transport::wire`]) per sending thread: the crossbeam
+//!   channel is the link (so no virtual latency is added), but drop /
+//!   duplicate / delay / partition / pause decisions are made by the same
+//!   [`Transport::plan_wire`] logic before a message touches the channel.
+//!
+//! # The fault plane
+//!
+//! [`FaultPlane`] configures deterministic, seed-driven message faults:
+//! per-link drop and duplication (parts-per-million), delay spikes,
+//! time-windowed link partitions, and node pauses (a node whose inbox
+//! freezes for a window: every message addressed to it is held until the
+//! window closes). Faults are scoped by [`FaultScope`], which is how tests
+//! confine loss to the 3V *control plane* (coordinator links) while the
+//! data plane stays lossless — the regime the paper's asynchrony claim is
+//! actually about.
+//!
+//! Two determinism rules keep the no-fault path bit-identical to the
+//! pre-transport kernel:
+//!
+//! 1. base latency is always sampled from the **kernel's** RNG, in exactly
+//!    the same cases as before (one draw per non-self send), so the event
+//!    schedule with faults disabled is unchanged for a given seed;
+//! 2. fault decisions come from a **separate** RNG (derived from the seed)
+//!    that is consulted only when the fault plane is active on the link,
+//!    so enabling faults on one link does not perturb latency draws
+//!    elsewhere.
+//!
+//! Self-sends (`from == to`) are local hand-offs, not network links; the
+//! fault plane never applies to them.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use threev_model::NodeId;
+
+use crate::kernel::SimConfig;
+use crate::network::LatencyModel;
+use crate::time::{SimDuration, SimTime};
+
+/// Seed decorrelation constant for the fault RNG (splitmix64 increment).
+const FAULT_SEED_SALT: u64 = 0x5EED_FA17_9E37_79B9;
+
+/// Which links a [`FaultPlane`]'s probabilistic faults apply to.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum FaultScope {
+    /// Every link between distinct actors.
+    #[default]
+    AllLinks,
+    /// Only links with this actor as sender or receiver.
+    Node(NodeId),
+    /// Only the listed directed links.
+    Links(Vec<(NodeId, NodeId)>),
+}
+
+impl FaultScope {
+    /// Does the scope cover the directed link `from → to`?
+    pub fn covers(&self, from: NodeId, to: NodeId) -> bool {
+        match self {
+            FaultScope::AllLinks => true,
+            FaultScope::Node(n) => from == *n || to == *n,
+            FaultScope::Links(links) => links.contains(&(from, to)),
+        }
+    }
+}
+
+/// A temporary bidirectional link partition: messages sent on the link in
+/// `[from, until)` are dropped. Judged at *send* time, so the window is
+/// deterministic under both drivers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkPartition {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+/// A node pause: the node stops draining its inbox during `[from, until)`.
+/// Modelled at the transport as delivery clamping — any message that would
+/// arrive inside the window is held and delivered at `until` (in send
+/// order), which is observationally what a frozen inbox does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodePause {
+    /// The paused node.
+    pub node: NodeId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive); held messages deliver here.
+    pub until: SimTime,
+}
+
+/// Deterministic, seed-driven message-fault configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlane {
+    /// Probability (parts per million) that a message is dropped.
+    pub drop_ppm: u32,
+    /// Probability (ppm) that a message is delivered twice; the duplicate
+    /// arrives shortly after the original.
+    pub dup_ppm: u32,
+    /// Probability (ppm) that a message suffers a delay spike.
+    pub delay_ppm: u32,
+    /// Extra latency added on a delay spike.
+    pub delay_spike: SimDuration,
+    /// Which links the probabilistic faults above apply to.
+    pub scope: FaultScope,
+    /// Time-windowed link partitions (always in effect on their links,
+    /// regardless of `scope`).
+    pub partitions: Vec<LinkPartition>,
+    /// Time-windowed node pauses (likewise independent of `scope`).
+    pub pauses: Vec<NodePause>,
+}
+
+impl Default for FaultPlane {
+    fn default() -> Self {
+        FaultPlane {
+            drop_ppm: 0,
+            dup_ppm: 0,
+            delay_ppm: 0,
+            delay_spike: SimDuration::from_millis(2),
+            scope: FaultScope::AllLinks,
+            partitions: Vec::new(),
+            pauses: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlane {
+    /// A drop + duplication plane at the given rates (scope: all links).
+    pub fn lossy(drop_ppm: u32, dup_ppm: u32) -> Self {
+        FaultPlane {
+            drop_ppm,
+            dup_ppm,
+            ..FaultPlane::default()
+        }
+    }
+
+    /// Is any fault configured at all? When `false`, the transport takes a
+    /// fast path that provably cannot drop, duplicate, delay, or reorder.
+    pub fn is_active(&self) -> bool {
+        self.drop_ppm > 0
+            || self.dup_ppm > 0
+            || self.delay_ppm > 0
+            || !self.partitions.is_empty()
+            || !self.pauses.is_empty()
+    }
+
+    /// Is the directed link inside a partition window at `now`?
+    fn partitioned(&self, from: NodeId, to: NodeId, now: SimTime) -> bool {
+        self.partitions.iter().any(|p| {
+            ((p.a == from && p.b == to) || (p.a == to && p.b == from))
+                && now >= p.from
+                && now < p.until
+        })
+    }
+
+    /// If delivering to `node` at `at` lands inside a pause window, the
+    /// time the window releases; `None` otherwise.
+    pub fn pause_release(&self, node: NodeId, at: SimTime) -> Option<SimTime> {
+        self.pauses
+            .iter()
+            .filter(|p| p.node == node && at >= p.from && at < p.until)
+            .map(|p| p.until)
+            .max()
+    }
+}
+
+/// Per-link delivery counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages handed to the transport on this link.
+    pub sent: u64,
+    /// Copies actually delivered (a duplicated message counts twice).
+    pub delivered: u64,
+    /// Messages dropped (loss or partition).
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Deliveries that overtook a fault-delayed copy on the same link.
+    /// Counts only fault-plane-induced reordering — latency jitter alone
+    /// never increments this, so it is provably zero with faults off.
+    pub reordered: u64,
+}
+
+impl LinkStats {
+    /// Accumulate `other` into `self`.
+    pub fn add(&mut self, other: &LinkStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+    }
+}
+
+/// Per-link transport statistics for one driver instance.
+#[derive(Clone, Debug, Default)]
+pub struct TransportStats {
+    links: HashMap<(NodeId, NodeId), LinkStats>,
+}
+
+impl TransportStats {
+    /// Counters for one directed link (zeros if never used).
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkStats {
+        self.links.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Iterate over every `(link, counters)` pair.
+    pub fn per_link(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &LinkStats)> {
+        self.links.iter()
+    }
+
+    /// Sum over all links.
+    pub fn totals(&self) -> LinkStats {
+        let mut t = LinkStats::default();
+        for ls in self.links.values() {
+            t.add(ls);
+        }
+        t
+    }
+
+    /// Accumulate another instance (used when merging per-thread stats).
+    pub fn merge(&mut self, other: &TransportStats) {
+        for (link, ls) in &other.links {
+            self.links.entry(*link).or_default().add(ls);
+        }
+    }
+}
+
+/// The transport's verdict on one message: up to two delivery instants
+/// (original and duplicate) plus the fault-accounting flags.
+#[derive(Clone, Copy, Debug)]
+pub struct Plan {
+    /// Delivery time of the original copy; `None` = dropped.
+    pub first: Option<SimTime>,
+    /// Delivery time of a duplicate copy, when one was injected.
+    pub dup: Option<SimTime>,
+    /// The message was dropped (loss or partition).
+    pub dropped: bool,
+    /// A duplicate copy was injected.
+    pub duplicated: bool,
+    /// Deliveries in this plan that overtake a fault-delayed copy.
+    pub reordered: u64,
+}
+
+/// The single delivery-policy engine shared by both drivers.
+pub struct Transport {
+    latency: LatencyModel,
+    local_latency: SimDuration,
+    fifo: bool,
+    faults: FaultPlane,
+    /// Fault-decision RNG, decorrelated from the kernel RNG so enabling
+    /// faults never perturbs the latency draw sequence.
+    fault_rng: SmallRng,
+    fifo_floor: HashMap<(NodeId, NodeId), SimTime>,
+    /// Per link: latest scheduled delivery among fault-delayed copies.
+    /// A later send delivered earlier than this overtook one — that is
+    /// the only reordering the fault plane is charged with.
+    delayed_high: HashMap<(NodeId, NodeId), SimTime>,
+    stats: TransportStats,
+    /// Wire mode (real-thread runtime): the channel is the link, so no
+    /// base latency is sampled and FIFO is the channel's own property.
+    wire: bool,
+}
+
+impl Transport {
+    /// Transport for the discrete-event kernel.
+    pub fn new(cfg: &SimConfig) -> Self {
+        Self::build(cfg, false)
+    }
+
+    /// Transport in wire mode for a real-thread driver: zero base latency
+    /// (the channel carries the message), faults still apply.
+    pub fn wire(cfg: &SimConfig) -> Self {
+        Self::build(cfg, true)
+    }
+
+    fn build(cfg: &SimConfig, wire: bool) -> Self {
+        Transport {
+            latency: cfg.latency,
+            local_latency: cfg.local_latency,
+            fifo: cfg.fifo && !wire,
+            faults: cfg.faults.clone(),
+            fault_rng: SmallRng::seed_from_u64(cfg.seed ^ FAULT_SEED_SALT),
+            fifo_floor: HashMap::new(),
+            delayed_high: HashMap::new(),
+            stats: TransportStats::default(),
+            wire,
+        }
+    }
+
+    /// Per-link statistics so far.
+    pub fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+
+    /// The configured fault plane (read access).
+    pub fn faults(&self) -> &FaultPlane {
+        &self.faults
+    }
+
+    /// Plan delivery of one message under the kernel driver. `rng` is the
+    /// kernel RNG; exactly one latency draw is taken for non-self sends
+    /// (none for self-sends), matching the historical kernel behaviour so
+    /// no-fault schedules are bit-identical across the refactor.
+    pub fn plan<R: Rng + ?Sized>(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        now: SimTime,
+        rng: &mut R,
+    ) -> Plan {
+        let base = if to == from {
+            self.local_latency
+        } else {
+            self.latency.sample(rng)
+        };
+        self.plan_with_base(from, to, now, base)
+    }
+
+    /// Plan delivery of one message in wire mode (no base latency).
+    pub fn plan_wire(&mut self, from: NodeId, to: NodeId, now: SimTime) -> Plan {
+        debug_assert!(self.wire, "plan_wire is for wire-mode transports");
+        self.plan_with_base(from, to, now, SimDuration::ZERO)
+    }
+
+    fn plan_with_base(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        now: SimTime,
+        base: SimDuration,
+    ) -> Plan {
+        let link = (from, to);
+        self.stats.links.entry(link).or_default().sent += 1;
+        // Self-links are local hand-offs; the fault plane never applies.
+        let faulty = from != to && self.faults.is_active();
+        if !faulty {
+            return self.clean_delivery(link, now + base);
+        }
+
+        // Partitions and pauses are structural (window-based) and apply to
+        // their links/nodes regardless of the probabilistic scope.
+        if self.faults.partitioned(from, to, now) {
+            self.stats.links.entry(link).or_default().dropped += 1;
+            return Plan {
+                first: None,
+                dup: None,
+                dropped: true,
+                duplicated: false,
+                reordered: 0,
+            };
+        }
+        let scoped = self.faults.scope.covers(from, to);
+        if scoped && self.roll(self.faults.drop_ppm) {
+            self.stats.links.entry(link).or_default().dropped += 1;
+            return Plan {
+                first: None,
+                dup: None,
+                dropped: true,
+                duplicated: false,
+                reordered: 0,
+            };
+        }
+
+        let mut at = now + base;
+        let mut fault_delayed = false;
+        if scoped && self.roll(self.faults.delay_ppm) {
+            at += self.faults.delay_spike;
+            fault_delayed = true;
+        }
+        let mut at = self.fifo_clamp(link, at);
+        if let Some(release) = self.faults.pause_release(to, at) {
+            at = release;
+            fault_delayed = true;
+        }
+
+        let mut reordered = self.overtakes(link, at);
+        if fault_delayed {
+            let high = self.delayed_high.entry(link).or_insert(SimTime::ZERO);
+            *high = (*high).max(at);
+        }
+
+        let dup = if scoped && self.roll(self.faults.dup_ppm) {
+            // The duplicate trails the original by a short, seeded lag —
+            // it is by construction a fault-delayed copy.
+            let lag = SimDuration(1 + self.fault_rng.gen_range(0..500u64));
+            let mut d = at + lag;
+            if let Some(release) = self.faults.pause_release(to, d) {
+                d = release;
+            }
+            reordered += self.overtakes(link, d);
+            let high = self.delayed_high.entry(link).or_insert(SimTime::ZERO);
+            *high = (*high).max(d);
+            Some(d)
+        } else {
+            None
+        };
+
+        let ls = self.stats.links.entry(link).or_default();
+        ls.delivered += 1;
+        if dup.is_some() {
+            ls.delivered += 1;
+            ls.duplicated += 1;
+        }
+        ls.reordered += reordered;
+        Plan {
+            first: Some(at),
+            dup,
+            dropped: false,
+            duplicated: dup.is_some(),
+            reordered,
+        }
+    }
+
+    /// The historical no-fault delivery: FIFO clamp, nothing else. Cannot
+    /// drop, duplicate, or count reordering (there are no fault-delayed
+    /// copies on the link for it to overtake — `overtakes` still runs so
+    /// that *normal* traffic overtaking a *faulted* copy is charged when
+    /// faults are active on other messages of the same link).
+    fn clean_delivery(&mut self, link: (NodeId, NodeId), at: SimTime) -> Plan {
+        let at = self.fifo_clamp(link, at);
+        let reordered = self.overtakes(link, at);
+        let ls = self.stats.links.entry(link).or_default();
+        ls.delivered += 1;
+        ls.reordered += reordered;
+        Plan {
+            first: Some(at),
+            dup: None,
+            dropped: false,
+            duplicated: false,
+            reordered,
+        }
+    }
+
+    /// Per-link FIFO enforcement, exactly the historical kernel rule: a
+    /// delivery never lands before the link's floor, and each delivery
+    /// raises the floor one microsecond past itself.
+    fn fifo_clamp(&mut self, link: (NodeId, NodeId), mut at: SimTime) -> SimTime {
+        if !self.fifo {
+            return at;
+        }
+        let floor = self.fifo_floor.entry(link).or_insert(SimTime::ZERO);
+        if at < *floor {
+            at = *floor;
+        }
+        *floor = at + SimDuration::from_micros(1);
+        at
+    }
+
+    /// 1 when a delivery at `at` overtakes a fault-delayed copy in flight
+    /// on `link`, else 0.
+    fn overtakes(&self, link: (NodeId, NodeId), at: SimTime) -> u64 {
+        u64::from(self.delayed_high.get(&link).is_some_and(|h| at < *h))
+    }
+
+    fn roll(&mut self, ppm: u32) -> bool {
+        ppm > 0 && self.fault_rng.gen_range(0u32..1_000_000) < ppm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    fn cfg_with(faults: FaultPlane) -> SimConfig {
+        SimConfig {
+            latency: LatencyModel::Fixed(SimDuration::from_micros(100)),
+            faults,
+            ..SimConfig::seeded(7)
+        }
+    }
+
+    #[test]
+    fn clean_transport_is_pure_latency() {
+        let mut t = Transport::new(&cfg_with(FaultPlane::default()));
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 0..100u64 {
+            let p = t.plan(n(0), n(1), SimTime(i), &mut rng);
+            assert_eq!(p.first, Some(SimTime(i + 100)));
+            assert!(p.dup.is_none() && !p.dropped && p.reordered == 0);
+        }
+        let ls = t.stats().link(n(0), n(1));
+        assert_eq!(ls.sent, 100);
+        assert_eq!(ls.delivered, 100);
+        assert_eq!(ls.dropped + ls.duplicated + ls.reordered, 0);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let mut t = Transport::new(&cfg_with(FaultPlane::lossy(200_000, 0)));
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 0..10_000u64 {
+            t.plan(n(0), n(1), SimTime(i), &mut rng);
+        }
+        let ls = t.stats().link(n(0), n(1));
+        assert_eq!(ls.sent, 10_000);
+        assert!(
+            (1_500..2_500).contains(&ls.dropped),
+            "dropped={}",
+            ls.dropped
+        );
+        assert_eq!(ls.delivered + ls.dropped, ls.sent);
+    }
+
+    #[test]
+    fn duplicates_trail_their_original() {
+        let mut t = Transport::new(&cfg_with(FaultPlane::lossy(0, 1_000_000)));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = t.plan(n(0), n(1), SimTime(0), &mut rng);
+        let (first, dup) = (p.first.unwrap(), p.dup.unwrap());
+        assert!(dup > first);
+        assert!(p.duplicated);
+        let ls = t.stats().link(n(0), n(1));
+        assert_eq!((ls.sent, ls.delivered, ls.duplicated), (1, 2, 1));
+    }
+
+    #[test]
+    fn delay_spikes_cause_counted_reordering() {
+        let mut t = Transport::new(&cfg_with(FaultPlane {
+            delay_ppm: 500_000,
+            delay_spike: SimDuration::from_millis(10),
+            ..FaultPlane::default()
+        }));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut reordered = 0;
+        for i in 0..1_000u64 {
+            reordered += t.plan(n(0), n(1), SimTime(i), &mut rng).reordered;
+        }
+        assert!(reordered > 0, "fast copies must overtake spiked ones");
+        assert_eq!(t.stats().link(n(0), n(1)).reordered, reordered);
+    }
+
+    #[test]
+    fn fifo_suppresses_fault_reordering() {
+        let mut t = Transport::new(&SimConfig {
+            fifo: true,
+            ..cfg_with(FaultPlane {
+                delay_ppm: 500_000,
+                delay_spike: SimDuration::from_millis(10),
+                ..FaultPlane::default()
+            })
+        });
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut last = SimTime::ZERO;
+        for i in 0..1_000u64 {
+            let p = t.plan(n(0), n(1), SimTime(i), &mut rng);
+            assert_eq!(p.reordered, 0);
+            let at = p.first.unwrap();
+            assert!(at > last, "fifo keeps send order");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn partition_window_drops_then_heals() {
+        let mut t = Transport::new(&cfg_with(FaultPlane {
+            partitions: vec![LinkPartition {
+                a: n(0),
+                b: n(1),
+                from: SimTime(100),
+                until: SimTime(200),
+            }],
+            ..FaultPlane::default()
+        }));
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!t.plan(n(0), n(1), SimTime(50), &mut rng).dropped);
+        assert!(t.plan(n(0), n(1), SimTime(150), &mut rng).dropped);
+        assert!(t.plan(n(1), n(0), SimTime(150), &mut rng).dropped);
+        assert!(!t.plan(n(0), n(2), SimTime(150), &mut rng).dropped);
+        assert!(!t.plan(n(0), n(1), SimTime(200), &mut rng).dropped);
+    }
+
+    #[test]
+    fn pause_clamps_delivery_to_window_end() {
+        let mut t = Transport::new(&cfg_with(FaultPlane {
+            pauses: vec![NodePause {
+                node: n(1),
+                from: SimTime(0),
+                until: SimTime(10_000),
+            }],
+            ..FaultPlane::default()
+        }));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = t.plan(n(0), n(1), SimTime(0), &mut rng);
+        assert_eq!(p.first, Some(SimTime(10_000)));
+        // Traffic to other nodes is unaffected.
+        let p = t.plan(n(0), n(2), SimTime(0), &mut rng);
+        assert_eq!(p.first, Some(SimTime(100)));
+    }
+
+    #[test]
+    fn scope_confines_probabilistic_faults() {
+        let mut t = Transport::new(&cfg_with(FaultPlane {
+            drop_ppm: 1_000_000,
+            scope: FaultScope::Node(n(5)),
+            ..FaultPlane::default()
+        }));
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(t.plan(n(0), n(5), SimTime(0), &mut rng).dropped);
+        assert!(t.plan(n(5), n(0), SimTime(0), &mut rng).dropped);
+        assert!(!t.plan(n(0), n(1), SimTime(0), &mut rng).dropped);
+        let mut t = Transport::new(&cfg_with(FaultPlane {
+            drop_ppm: 1_000_000,
+            scope: FaultScope::Links(vec![(n(0), n(1))]),
+            ..FaultPlane::default()
+        }));
+        assert!(t.plan(n(0), n(1), SimTime(0), &mut rng).dropped);
+        assert!(!t.plan(n(1), n(0), SimTime(0), &mut rng).dropped);
+    }
+
+    #[test]
+    fn self_sends_never_fault() {
+        let mut t = Transport::new(&cfg_with(FaultPlane::lossy(1_000_000, 1_000_000)));
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 0..100u64 {
+            let p = t.plan(n(3), n(3), SimTime(i), &mut rng);
+            assert!(!p.dropped && p.dup.is_none());
+        }
+    }
+
+    #[test]
+    fn kernel_rng_draw_sequence_is_fault_independent() {
+        // The kernel RNG must see the same draw sequence whether or not
+        // faults fire: latency comes from `rng`, faults from the internal
+        // stream. Equal post-state of `rng` proves it.
+        let draws = |faults: FaultPlane| {
+            let mut t = Transport::new(&cfg_with(faults));
+            let mut rng = SmallRng::seed_from_u64(9);
+            for i in 0..200u64 {
+                t.plan(n(0), n(1), SimTime(i), &mut rng);
+            }
+            rng.next_u64()
+        };
+        assert_eq!(
+            draws(FaultPlane::default()),
+            draws(FaultPlane::lossy(300_000, 300_000))
+        );
+    }
+
+    #[test]
+    fn wire_mode_has_no_base_latency() {
+        let mut t = Transport::wire(&cfg_with(FaultPlane::default()));
+        let p = t.plan_wire(n(0), n(1), SimTime(42));
+        assert_eq!(p.first, Some(SimTime(42)));
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = TransportStats::default();
+        let mut t = Transport::new(&cfg_with(FaultPlane::lossy(500_000, 0)));
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 0..100u64 {
+            t.plan(n(0), n(1), SimTime(i), &mut rng);
+        }
+        a.merge(t.stats());
+        a.merge(t.stats());
+        assert_eq!(a.totals().sent, 200);
+        assert_eq!(a.link(n(0), n(1)).sent, 200);
+    }
+}

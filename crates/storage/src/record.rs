@@ -118,9 +118,11 @@ impl VersionedRecord {
     ) -> Result<UpdateOutcome, StoreError> {
         let mut created_version = false;
         if !self.exists(v) {
-            let (_, base) = self
-                .read_visible(v)
-                .ok_or(StoreError::NoVisibleVersion { key, version: v })?;
+            let (_, base) = self.read_visible(v).ok_or(StoreError::NoVisibleVersion {
+                key,
+                version: v,
+                window: None,
+            })?;
             let copy = base.clone();
             let pos = self.versions.partition_point(|(w, _)| *w < v);
             self.versions.insert(pos, (v, copy));
@@ -161,9 +163,11 @@ impl VersionedRecord {
     ) -> Result<UpdateOutcome, StoreError> {
         let mut created_version = false;
         if !self.exists(v) {
-            let (_, base) = self
-                .read_visible(v)
-                .ok_or(StoreError::NoVisibleVersion { key, version: v })?;
+            let (_, base) = self.read_visible(v).ok_or(StoreError::NoVisibleVersion {
+                key,
+                version: v,
+                window: None,
+            })?;
             let copy = base.clone();
             let pos = self.versions.partition_point(|(w, _)| *w < v);
             self.versions.insert(pos, (v, copy));

@@ -25,6 +25,12 @@ pub enum StoreError {
         key: Key,
         /// The version requested.
         version: VersionNo,
+        /// The node's `(vr, vu)` window when the read failed, if known.
+        /// The store itself does not track versions; the node layer
+        /// attaches its window via [`StoreError::with_window`] so the
+        /// error names the invariant that broke (a visible read must have
+        /// `vr <= version <= vu`).
+        window: Option<(VersionNo, VersionNo)>,
     },
     /// The operation does not apply to the stored value kind.
     Apply {
@@ -39,10 +45,34 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::UnknownKey { key } => write!(f, "key {key} not stored on this node"),
-            StoreError::NoVisibleVersion { key, version } => {
-                write!(f, "no version of {key} visible at {version}")
+            StoreError::NoVisibleVersion {
+                key,
+                version,
+                window,
+            } => {
+                write!(f, "no version of {key} visible at {version}")?;
+                if let Some((vr, vu)) = window {
+                    write!(f, " (node window vr={vr}, vu={vu})")?;
+                }
+                Ok(())
             }
             StoreError::Apply { key, source } => write!(f, "updating {key}: {source}"),
+        }
+    }
+}
+
+impl StoreError {
+    /// Attach the node's `(vr, vu)` version window to a
+    /// [`StoreError::NoVisibleVersion`]; other variants pass through
+    /// unchanged.
+    pub fn with_window(self, vr: VersionNo, vu: VersionNo) -> Self {
+        match self {
+            StoreError::NoVisibleVersion { key, version, .. } => StoreError::NoVisibleVersion {
+                key,
+                version,
+                window: Some((vr, vu)),
+            },
+            other => other,
         }
     }
 }
@@ -142,9 +172,11 @@ impl Store {
             .records
             .get(&key)
             .ok_or(StoreError::UnknownKey { key })?;
-        let (w, val) = rec
-            .read_visible(v)
-            .ok_or(StoreError::NoVisibleVersion { key, version: v })?;
+        let (w, val) = rec.read_visible(v).ok_or(StoreError::NoVisibleVersion {
+            key,
+            version: v,
+            window: None,
+        })?;
         self.stats.reads += 1;
         Ok((w, val.clone()))
     }
@@ -439,8 +471,19 @@ mod tests {
         let e = StoreError::NoVisibleVersion {
             key: Key(4),
             version: v(2),
+            window: None,
         };
         assert!(e.to_string().contains("k4"));
         assert!(e.to_string().contains("v2"));
+        assert!(!e.to_string().contains("window"));
+        let e = e.with_window(v(3), v(4));
+        assert!(e.to_string().contains("vr=v3"));
+        assert!(e.to_string().contains("vu=v4"));
+    }
+
+    #[test]
+    fn with_window_leaves_other_variants_alone() {
+        let e = StoreError::UnknownKey { key: Key(1) };
+        assert_eq!(e.clone().with_window(v(0), v(1)), e);
     }
 }

@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 use threev::core::advance::AdvancementPolicy;
 use threev::core::cluster::{ClusterConfig, ThreeVCluster};
 use threev::model::NodeId;
-use threev::sim::{LatencyModel, SimConfig, SimDuration, SimTime};
+use threev::sim::{FaultPlane, LatencyModel, SimConfig, SimDuration, SimTime};
 use threev::workload::HospitalWorkload;
 
 #[derive(Debug, Clone)]
@@ -67,6 +67,11 @@ struct Fingerprint {
     messages: u64,
     timers: u64,
     events: u64,
+    /// Transport fault counters; asserted zero in [`run`] — with the fault
+    /// plane disabled, the unified transport must be a pure latency pipe.
+    dropped: u64,
+    duplicated: u64,
+    reordered: u64,
     messages_by_tag: Vec<(String, u64)>,
     advancements: usize,
 }
@@ -107,6 +112,7 @@ fn run(s: &Scenario, batch: bool) -> Fingerprint {
             fifo: s.fifo,
             seed: s.seed,
             batch,
+            faults: FaultPlane::default(),
         },
         protocol: Default::default(),
     }
@@ -133,6 +139,11 @@ fn run(s: &Scenario, batch: bool) -> Fingerprint {
         ));
     }
     let stats = cluster.sim_stats();
+    assert_eq!(
+        (stats.dropped, stats.duplicated, stats.reordered),
+        (0, 0, 0),
+        "no-fault run must not drop/duplicate/reorder"
+    );
     let mut messages_by_tag: Vec<(String, u64)> = stats
         .messages_by_tag
         .iter()
@@ -145,6 +156,9 @@ fn run(s: &Scenario, batch: bool) -> Fingerprint {
         messages: stats.messages,
         timers: stats.timers,
         events: stats.events,
+        dropped: stats.dropped,
+        duplicated: stats.duplicated,
+        reordered: stats.reordered,
         messages_by_tag,
         advancements: cluster.advancements().len(),
     }
