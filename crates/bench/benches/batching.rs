@@ -12,13 +12,14 @@
 //!    offered load past saturation, comparing useful work done (events
 //!    processed, transactions committed) in a fixed wall window.
 //!
-//! The probes write `BENCH_batching.json` at the repository root so the
-//! numbers land in version control next to the code they measure.
+//! The probes write `BENCH_batching.json` at the repository root (via the
+//! shared [`threev_bench::report`] writer) so the numbers land in version
+//! control next to the code they measure.
 
-use std::fs;
 use std::time::Duration;
 
 use criterion::{criterion_group, Criterion};
+use threev_bench::report::{write_bench_report, JsonObject, JsonValue};
 use threev_core::cluster::{build_actors, ClusterActor, ClusterConfig, ThreeVCluster};
 use threev_model::NodeId;
 use threev_runtime::{DeliveryMode, ThreadedRun};
@@ -163,7 +164,7 @@ fn peak(xs: Vec<f64>) -> f64 {
     xs.into_iter().fold(f64::MIN, f64::max)
 }
 
-fn probe_scenario(name: &str, mut run: impl FnMut(DeliveryMode) -> Probe) -> String {
+fn probe_scenario(name: &str, mut run: impl FnMut(DeliveryMode) -> Probe) -> JsonObject {
     // Run the two modes in adjacent interleaved pairs, then compare the
     // per-mode *peak* throughput over the pairs. On a shared (often
     // single-core) box, background load is one-sided noise — it can only
@@ -190,33 +191,39 @@ fn probe_scenario(name: &str, mut run: impl FnMut(DeliveryMode) -> Probe) -> Str
         "{name}: per-message {:.0}/s, batched {:.0}/s ({:.2}x, {} batches)",
         per_msg.events_per_sec, batched.events_per_sec, speedup, batched.batches
     );
-    format!(
-        concat!(
-            "  \"{}\": {{\n",
-            "    \"per_message\": {{ \"events_per_sec\": {:.0}, \"committed\": {} }},\n",
-            "    \"batched\": {{ \"events_per_sec\": {:.0}, \"committed\": {}, \"batches\": {} }},\n",
-            "    \"speedup\": {:.3}\n",
-            "  }}"
-        ),
-        name,
-        per_msg.events_per_sec,
-        per_msg.committed,
-        batched.events_per_sec,
-        batched.committed,
-        batched.batches,
-        speedup,
-    )
+    JsonObject::new()
+        .field(
+            "per_message",
+            JsonObject::new()
+                .field(
+                    "events_per_sec",
+                    JsonValue::Float(per_msg.events_per_sec, 0),
+                )
+                .field("committed", per_msg.committed),
+        )
+        .field(
+            "batched",
+            JsonObject::new()
+                .field(
+                    "events_per_sec",
+                    JsonValue::Float(batched.events_per_sec, 0),
+                )
+                .field("committed", batched.committed)
+                .field("batches", batched.batches),
+        )
+        .field("speedup", JsonValue::Float(speedup, 3))
 }
 
 fn write_report() {
     let flood = probe_scenario("threaded_flood_8actor", flood_probe);
     let engine = probe_scenario("threaded_3v_8node_saturated", engine_probe);
-    let json = format!(
-        "{{\n  \"bench\": \"batching\",\n  \"n_nodes\": {N_NODES},\n  \"runs_per_mode\": {PAIRS},\n{flood},\n{engine}\n}}\n"
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batching.json");
-    fs::write(path, &json).expect("write BENCH_batching.json");
-    println!("wrote {path}");
+    let report = JsonObject::new()
+        .field("bench", "batching")
+        .field("n_nodes", N_NODES)
+        .field("runs_per_mode", PAIRS)
+        .field("threaded_flood_8actor", flood)
+        .field("threaded_3v_8node_saturated", engine);
+    write_bench_report("batching", &report);
 }
 
 fn main() {

@@ -13,15 +13,16 @@
 //! subtransaction delivery otherwise, as the paper does (§6 leaves the
 //! network layer out of scope).
 //!
-//! Writes `BENCH_faults.json` at the repository root so the numbers land
-//! in version control next to the code they measure.
+//! Writes `BENCH_faults.json` at the repository root (via the shared
+//! [`threev_bench::report`] writer) so the numbers land in version
+//! control next to the code they measure.
 
-use std::fs;
 use std::time::Duration;
 
 use criterion::{criterion_group, Criterion};
 use threev_analysis::TxnStatus;
 use threev_baselines::two_pc::{TwoPcCluster, TwoPcConfig};
+use threev_bench::report::{write_bench_report, JsonObject, JsonValue};
 use threev_core::advance::AdvancementPolicy;
 use threev_core::cluster::{ClusterConfig, ThreeVCluster};
 use threev_model::NodeId;
@@ -174,23 +175,36 @@ criterion_group!(benches, bench_des_fault_cost);
 
 // ------------------------------------------------------------------ report
 
-fn row(m: &Measurement, with_adv: bool) -> String {
-    let adv = if with_adv {
-        format!(
-            ", \"advancements\": {}, \"mean_adv_latency_us\": {:.0}",
-            m.advancements, m.mean_adv_latency_us
+fn row(m: &Measurement, with_adv: bool) -> JsonObject {
+    let mut obj = JsonObject::new()
+        .field("committed", m.committed)
+        .field("stalled", m.stalled)
+        .field(
+            "committed_per_vsec",
+            JsonValue::Float(m.committed_per_vsec, 0),
         )
-    } else {
-        String::new()
-    };
-    format!(
-        "{{ \"committed\": {}, \"stalled\": {}, \"committed_per_vsec\": {:.0}, \"dropped\": {}, \"duplicated\": {}{} }}",
-        m.committed, m.stalled, m.committed_per_vsec, m.dropped, m.duplicated, adv
-    )
+        .field("dropped", m.dropped)
+        .field("duplicated", m.duplicated);
+    if with_adv {
+        obj = obj.field("advancements", m.advancements).field(
+            "mean_adv_latency_us",
+            JsonValue::Float(m.mean_adv_latency_us, 0),
+        );
+    }
+    obj
 }
 
 fn write_report() {
-    let mut rows = Vec::new();
+    let mut report = JsonObject::new()
+        .field("bench", "faults")
+        .field("n_nodes", N_NODES)
+        .field("seed", SEED)
+        .field(
+            "loss_scope",
+            JsonObject::new()
+                .field("threev", "coordinator links (control plane)")
+                .field("two_pc", "all links (commit protocol is the data plane)"),
+        );
     for loss in LOSS_PPM {
         let tv = run_threev(loss);
         let tpc = run_two_pc(loss);
@@ -203,20 +217,14 @@ fn write_report() {
             tpc.committed,
             tpc.stalled,
         );
-        rows.push(format!(
-            "  \"{}ppm\": {{\n    \"threev\": {},\n    \"two_pc\": {}\n  }}",
-            loss,
-            row(&tv, true),
-            row(&tpc, false)
-        ));
+        report = report.field(
+            format!("{loss}ppm"),
+            JsonObject::new()
+                .field("threev", row(&tv, true))
+                .field("two_pc", row(&tpc, false)),
+        );
     }
-    let json = format!(
-        "{{\n  \"bench\": \"faults\",\n  \"n_nodes\": {N_NODES},\n  \"seed\": {SEED},\n  \"loss_scope\": {{ \"threev\": \"coordinator links (control plane)\", \"two_pc\": \"all links (commit protocol is the data plane)\" }},\n{}\n}}\n",
-        rows.join(",\n")
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
-    fs::write(path, &json).expect("write BENCH_faults.json");
-    println!("wrote {path}");
+    write_bench_report("faults", &report);
 }
 
 fn main() {

@@ -1,0 +1,266 @@
+//! Durability costs: recovery latency vs. checkpoint interval, and raw
+//! WAL replay throughput.
+//!
+//! The checkpoint interval is the knob trading *online* cost (serialising
+//! the node image every N log records) against *restart* cost (the log
+//! tail replayed after a crash). The probe drives a synthetic but
+//! representative record stream — counter adds, journal appends, R/C
+//! counter increments, commute-lock traffic — through a real
+//! [`Durability`] handle at each interval, crashes it with the expected
+//! half-interval tail outstanding, and times the recovery. A second probe
+//! times recovery of the same stream through the `std::fs` backend, so
+//! the file framing/checksum overhead is visible next to the in-memory
+//! number.
+//!
+//! Writes `BENCH_recovery.json` at the repository root (via the shared
+//! [`threev_bench::report`] writer) so the numbers land in version
+//! control next to the code they measure.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use threev_bench::report::{write_bench_report, JsonObject, JsonValue};
+use threev_durability::{
+    Durability, FileBackend, MemBackend, RecoveredState, Snapshot, WalOp, WalRecord,
+};
+use threev_model::{Key, NodeId, TxnId, UpdateOp, Value, VersionNo};
+use threev_storage::LockMode;
+
+/// Records in the synthetic stream (plus half an interval of tail).
+const STREAM_N: u64 = 100_000;
+/// Checkpoint intervals under test.
+const INTERVALS: [usize; 4] = [16, 64, 256, 1024];
+
+fn k(i: u64) -> Key {
+    Key(i)
+}
+
+fn t(i: u64) -> TxnId {
+    TxnId::new(i, NodeId(0))
+}
+
+/// Base checkpoint: eight counters and two journals, all at version 1 —
+/// the post-advancement steady state the stream mutates.
+fn base_snapshot() -> Snapshot {
+    let mut store: Vec<(Key, Vec<(VersionNo, Value)>)> = (1..=8)
+        .map(|i| (k(i), vec![(VersionNo(1), Value::Counter(0))]))
+        .collect();
+    store.push((k(11), vec![(VersionNo(1), Value::Journal(Vec::new()))]));
+    store.push((k(12), vec![(VersionNo(1), Value::Journal(Vec::new()))]));
+    Snapshot {
+        node: NodeId(0),
+        lsn: 0,
+        vu: VersionNo(2),
+        vr: VersionNo(1),
+        store,
+        counters: Vec::new(),
+        locks: Vec::new(),
+    }
+}
+
+/// Deterministic representative mix (no RNG: the stream is part of the
+/// benchmark definition). Roughly the live engine's ratio of store
+/// mutations to counter increments to lock transitions.
+fn stream_op(i: u64) -> WalOp {
+    match i % 10 {
+        0..=3 => WalOp::Update {
+            key: k(1 + i % 8),
+            version: VersionNo(1),
+            op: UpdateOp::Add((i % 13) as i64 - 6),
+            txn: t(i),
+        },
+        4 | 5 => WalOp::Update {
+            key: k(11 + i % 2),
+            version: VersionNo(1),
+            op: UpdateOp::Append {
+                amount: (i % 97) as i64,
+                tag: (i % 7) as u32,
+            },
+            txn: t(i),
+        },
+        6 => WalOp::IncRequest {
+            version: VersionNo(2),
+            to: NodeId((i % 4) as u16),
+        },
+        7 => WalOp::IncCompletion {
+            version: VersionNo(2),
+            from: NodeId((i % 4) as u16),
+        },
+        // Commute locks never conflict, so the acquire/release pairs
+        // replay to grants regardless of interleaving — same invariant
+        // the engine maintains (it only logs grants).
+        8 => WalOp::LockAcquire {
+            key: k(1 + i % 8),
+            txn: t(i % 4),
+            mode: LockMode::Commute,
+        },
+        _ => WalOp::LockRelease { txn: t(i % 4) },
+    }
+}
+
+/// Checkpoint image of the shadow state the probe maintains alongside the
+/// log (the engine builds the same thing from its live store).
+fn snapshot_of(state: &RecoveredState) -> Snapshot {
+    Snapshot {
+        node: NodeId(0),
+        lsn: 0, // stamped by Durability::checkpoint
+        vu: state.vu,
+        vr: state.vr,
+        store: state.store.export_parts(),
+        counters: state.counters.clone(),
+        locks: state.locks.export_parts(),
+    }
+}
+
+struct IntervalProbe {
+    checkpoints: u64,
+    total_checkpoint_us: f64,
+    recovery_us: f64,
+    records_replayed: u64,
+}
+
+/// Drive the stream through `Durability` at one checkpoint interval, then
+/// crash with the *expected* tail (half an interval) outstanding and time
+/// the restart.
+fn probe_interval(
+    backend: Box<dyn threev_durability::LogBackend>,
+    interval: usize,
+) -> IntervalProbe {
+    let mut dur = Durability::new(backend, interval);
+    let mut shadow = RecoveredState::from_snapshot(base_snapshot());
+    dur.checkpoint(base_snapshot());
+
+    let mut checkpoints = 0u64;
+    let mut checkpoint_time = Duration::ZERO;
+    for i in 0..STREAM_N {
+        let op = stream_op(i);
+        let lsn = dur.log(op.clone());
+        shadow.apply(&WalRecord { lsn, op });
+        if dur.should_checkpoint() {
+            let t0 = Instant::now();
+            dur.checkpoint(snapshot_of(&shadow));
+            checkpoint_time += t0.elapsed();
+            checkpoints += 1;
+        }
+    }
+    // The crash lands uniformly inside an interval on average, so leave
+    // exactly half an interval of un-checkpointed tail.
+    for i in 0..(interval as u64 / 2) {
+        dur.log(stream_op(STREAM_N + i));
+    }
+
+    let t0 = Instant::now();
+    let rec = dur.recover().expect("snapshot exists");
+    let recovery_us = t0.elapsed().as_secs_f64() * 1e6;
+    IntervalProbe {
+        checkpoints,
+        total_checkpoint_us: checkpoint_time.as_secs_f64() * 1e6,
+        recovery_us,
+        records_replayed: rec.replayed,
+    }
+}
+
+/// Raw replay throughput: the whole stream as one un-checkpointed tail.
+fn probe_replay_throughput(backend: Box<dyn threev_durability::LogBackend>) -> (f64, u64) {
+    let mut dur = Durability::new(backend, 0);
+    dur.checkpoint(base_snapshot());
+    for i in 0..STREAM_N {
+        dur.log(stream_op(i));
+    }
+    let t0 = Instant::now();
+    let rec = dur.recover().expect("snapshot exists");
+    let secs = t0.elapsed().as_secs_f64();
+    (rec.replayed as f64 / secs, rec.replayed)
+}
+
+// ---------------------------------------------------------------- criterion
+
+/// Host cost of pure log replay (no backend I/O): records already in
+/// memory, applied to a fresh state.
+fn bench_replay(c: &mut Criterion) {
+    let records: Vec<WalRecord> = (0..STREAM_N)
+        .map(|i| WalRecord {
+            lsn: i + 1,
+            op: stream_op(i),
+        })
+        .collect();
+    let mut g = c.benchmark_group("recovery_replay");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.bench_function("replay_100k_records", |b| {
+        b.iter(|| {
+            let mut state = RecoveredState::from_snapshot(base_snapshot());
+            for rec in &records {
+                state.apply(rec);
+            }
+            state.replayed
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay);
+
+// ------------------------------------------------------------------ report
+
+fn write_report() {
+    let mut intervals = JsonObject::new();
+    for interval in INTERVALS {
+        let p = probe_interval(Box::new(MemBackend::new()), interval);
+        println!(
+            "interval {interval:>5}: {} checkpoints ({:.0}us total), recovery {:.0}us replaying {} records",
+            p.checkpoints, p.total_checkpoint_us, p.recovery_us, p.records_replayed
+        );
+        intervals = intervals.field(
+            format!("{interval}"),
+            JsonObject::new()
+                .field("checkpoints", p.checkpoints)
+                .field(
+                    "total_checkpoint_us",
+                    JsonValue::Float(p.total_checkpoint_us, 0),
+                )
+                .field(
+                    "mean_checkpoint_us",
+                    JsonValue::Float(p.total_checkpoint_us / p.checkpoints.max(1) as f64, 1),
+                )
+                .field("recovery_us", JsonValue::Float(p.recovery_us, 0))
+                .field("records_replayed", p.records_replayed),
+        );
+    }
+
+    let (mem_rps, mem_replayed) = probe_replay_throughput(Box::new(MemBackend::new()));
+    let file_dir =
+        std::env::temp_dir().join(format!("threev-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&file_dir);
+    std::fs::create_dir_all(&file_dir).expect("create WAL dir");
+    let (file_rps, _) = probe_replay_throughput(Box::new(
+        FileBackend::open(&file_dir).expect("open file WAL"),
+    ));
+    let _ = std::fs::remove_dir_all(&file_dir);
+    println!(
+        "replay throughput: mem {:.0} records/s, file {:.0} records/s ({} records)",
+        mem_rps, file_rps, mem_replayed
+    );
+
+    let report = JsonObject::new()
+        .field("bench", "recovery")
+        .field("stream_records", STREAM_N)
+        .field(
+            "tail_policy",
+            "half a checkpoint interval (expected crash position)",
+        )
+        .field("recovery_vs_checkpoint_interval", intervals)
+        .field(
+            "replay_throughput",
+            JsonObject::new()
+                .field("records", mem_replayed)
+                .field("mem_records_per_sec", JsonValue::Float(mem_rps, 0))
+                .field("file_records_per_sec", JsonValue::Float(file_rps, 0)),
+        );
+    write_bench_report("recovery", &report);
+}
+
+fn main() {
+    benches();
+    write_report();
+}

@@ -11,7 +11,7 @@ use threev_storage::StoreStats;
 use crate::advance::{AdvancementPolicy, AdvancementRecord, Coordinator, CoordinatorConfig};
 use crate::client::{Arrival, ClientActor};
 use crate::msg::Msg;
-use crate::node::{NodeConfig, NodeStats, ThreeVNode};
+use crate::node::{DurabilityMode, NodeConfig, NodeStats, ThreeVNode};
 
 /// Protocol-level configuration of a 3V cluster.
 #[derive(Clone, Debug, Default)]
@@ -64,6 +64,14 @@ impl ClusterConfig {
         self.protocol.coordinator.policy = policy;
         self
     }
+
+    /// Set the per-node durability mode (WAL + checkpoints). Required for
+    /// nodes to survive injected crashes with their state intact.
+    #[must_use]
+    pub fn durability(mut self, mode: DurabilityMode) -> Self {
+        self.protocol.node.durability = mode;
+        self
+    }
 }
 
 /// One actor of the cluster (dispatch enum).
@@ -111,6 +119,20 @@ impl Actor for ClusterActor {
             ClusterActor::Node(n) => n.on_timer(ctx, token),
             ClusterActor::Coordinator(c) => c.on_timer(ctx, token),
             ClusterActor::Client(c) => c.on_timer(ctx, token),
+        }
+    }
+
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Only database nodes have crash-injectable state; coordinator and
+        // client crashes are out of scope for this reproduction.
+        if let ClusterActor::Node(n) = self {
+            n.on_crash(ctx);
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if let ClusterActor::Node(n) = self {
+            n.on_restart(ctx);
         }
     }
 }

@@ -102,6 +102,41 @@ impl CounterTable {
             .copied()
             .unwrap_or(0)
     }
+
+    /// Export for a durability checkpoint: per version (sorted), the
+    /// request and completion rows as sorted `(node, count)` lists.
+    #[allow(clippy::type_complexity)]
+    pub fn to_parts(&self) -> Vec<(VersionNo, Vec<(NodeId, u64)>, Vec<(NodeId, u64)>)> {
+        let mut parts: Vec<_> = self
+            .versions
+            .iter()
+            .map(|(v, vc)| {
+                let mut reqs: Vec<_> = vc.requests_to.iter().map(|(n, c)| (*n, *c)).collect();
+                let mut comps: Vec<_> = vc.completions_from.iter().map(|(n, c)| (*n, *c)).collect();
+                reqs.sort_unstable_by_key(|(n, _)| *n);
+                comps.sort_unstable_by_key(|(n, _)| *n);
+                (*v, reqs, comps)
+            })
+            .collect();
+        parts.sort_unstable_by_key(|(v, ..)| *v);
+        parts
+    }
+
+    /// Rebuild a table from exported parts (checkpoint recovery).
+    #[allow(clippy::type_complexity)]
+    pub fn from_parts(parts: Vec<(VersionNo, Vec<(NodeId, u64)>, Vec<(NodeId, u64)>)>) -> Self {
+        let mut versions = HashMap::new();
+        for (v, reqs, comps) in parts {
+            versions.insert(
+                v,
+                VersionCounters {
+                    requests_to: reqs.into_iter().collect(),
+                    completions_from: comps.into_iter().collect(),
+                },
+            );
+        }
+        CounterTable { versions }
+    }
 }
 
 /// One node's reply to a coordinator counter poll. Taken atomically (a node
@@ -251,6 +286,27 @@ mod tests {
         assert!(m.balanced());
         assert!(m.is_empty());
         assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let mut t = CounterTable::new();
+        t.inc_request(v(2), n(1));
+        t.inc_request(v(1), n(2));
+        t.inc_request(v(1), n(0));
+        t.inc_completion(v(1), n(1));
+        let parts = t.to_parts();
+        assert_eq!(
+            parts,
+            vec![
+                (v(1), vec![(n(0), 1), (n(2), 1)], vec![(n(1), 1)]),
+                (v(2), vec![(n(1), 1)], vec![]),
+            ]
+        );
+        let rebuilt = CounterTable::from_parts(parts.clone());
+        assert_eq!(rebuilt.to_parts(), parts);
+        assert_eq!(rebuilt.request(v(1), n(2)), 1);
+        assert_eq!(rebuilt.completion(v(1), n(1)), 1);
     }
 
     #[test]

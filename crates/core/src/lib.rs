@@ -70,4 +70,4 @@ pub use client::{Arrival, ClientActor};
 pub use cluster::{ClusterConfig, ThreeVCluster, ThreeVConfig};
 pub use counters::{CounterMatrix, CounterSnapshot, CounterTable};
 pub use msg::{ClientEvent, Msg, ProtocolMsg};
-pub use node::ThreeVNode;
+pub use node::{DurabilityMode, ThreeVNode};

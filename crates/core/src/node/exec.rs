@@ -9,6 +9,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use threev_analysis::ReadObservation;
+use threev_durability::WalOp;
 use threev_model::{Key, NodeId, OpStep, SubtxnId, SubtxnPlan, TxnId, TxnKind, VersionNo};
 use threev_sim::Ctx;
 use threev_storage::{LockDecision, LockMode};
@@ -35,6 +36,10 @@ impl ThreeVNode {
         let compensated_here = self.footprints.get(&job.txn).is_some_and(|f| f.compensated);
         if self.tombstones.contains(&job.txn) || compensated_here {
             self.stats.skipped_tombstoned += 1;
+            self.wal(WalOp::IncCompletion {
+                version: job.version,
+                from: job.source,
+            });
             self.counters.inc_completion(job.version, job.source);
             self.finish_without_effects(ctx, &job, false);
             return;
@@ -61,7 +66,16 @@ impl ThreeVNode {
         while parked.next < parked.keys.len() {
             let (key, mode) = parked.keys[parked.next];
             match self.locks.acquire(key, mode, parked.job.txn) {
-                LockDecision::Granted => parked.next += 1,
+                LockDecision::Granted => {
+                    // Logged only on a *direct* grant: promotions out of a
+                    // release are reproduced by replaying the release.
+                    self.wal(WalOp::LockAcquire {
+                        key,
+                        txn: parked.job.txn,
+                        mode,
+                    });
+                    parked.next += 1;
+                }
                 LockDecision::Waiting => {
                     self.stats.parked += 1;
                     self.parked.insert(parked.job.txn, parked);
@@ -100,9 +114,15 @@ impl ThreeVNode {
         ctx: &mut Ctx<'_, Msg>,
         grants: threev_storage::locks::Grants,
     ) {
-        for (txn, key, _mode) in grants {
+        for (txn, key, mode) in grants {
             if let Some(mut parked) = self.parked.remove(&txn) {
                 debug_assert_eq!(parked.keys[parked.next].0, key);
+                // A promotion is a grant the WAL must see: waiter-queue
+                // entries are never logged, so replaying the release alone
+                // cannot reproduce it. Replaying this acquire against the
+                // recovered table (no waiters) yields the same holder state,
+                // including the sole-holder upgrade case.
+                self.wal(WalOp::LockAcquire { key, txn, mode });
                 parked.next += 1;
                 self.acquire_and_run(ctx, parked);
             }
@@ -126,8 +146,16 @@ impl ThreeVNode {
         ctx.trace(|| format!("subtx of {} aborts; compensation begins", job.txn));
         self.tombstones.insert(job.txn);
         self.stats.tombstones += 1;
+        self.wal(WalOp::IncCompletion {
+            version: job.version,
+            from: job.source,
+        });
         self.counters.inc_completion(job.version, job.source);
         if let Some((parent_node, _)) = job.parent {
+            self.wal(WalOp::IncRequest {
+                version: job.version,
+                to: parent_node,
+            });
             self.counters.inc_request(job.version, parent_node);
             ctx.send_tagged(
                 parent_node,
@@ -195,6 +223,12 @@ impl ThreeVNode {
                             });
                         }
                         OpStep::Update(key, op) => {
+                            self.wal(WalOp::Update {
+                                key: *key,
+                                version: job.version,
+                                op: *op,
+                                txn: job.txn,
+                            });
                             let out = self
                                 .store
                                 .update(*key, job.version, *op, job.txn, None)
@@ -273,6 +307,12 @@ impl ThreeVNode {
                             });
                         }
                         OpStep::Update(key, op) => {
+                            self.wal(WalOp::Update {
+                                key: *key,
+                                version: job.version,
+                                op: *op,
+                                txn: job.txn,
+                            });
                             self.store
                                 .update(*key, job.version, *op, job.txn, Some(&mut local.undo))
                                 .unwrap_or_else(|e| {
@@ -314,6 +354,10 @@ impl ThreeVNode {
         let sub_id = self.new_sub_id();
         let n_children = job.plan.children.len() as u32;
         for child in &job.plan.children {
+            self.wal(WalOp::IncRequest {
+                version: job.version,
+                to: child.node,
+            });
             self.counters.inc_request(job.version, child.node);
             if ctx.tracing() {
                 let r = self.counters.request(job.version, child.node);
@@ -339,6 +383,10 @@ impl ThreeVNode {
         // except NC subtransactions, whose counter moves with the 2PC
         // decision (§5 step 6).
         if job.kind != TxnKind::NonCommuting {
+            self.wal(WalOp::IncCompletion {
+                version: job.version,
+                from: job.source,
+            });
             self.counters.inc_completion(job.version, job.source);
             if ctx.tracing() {
                 let c = self.counters.completion(job.version, job.source);
@@ -537,6 +585,10 @@ impl ThreeVNode {
         };
         // Root request counter moves at arrival (§4.1 step 1 applies to NC
         // roots too — their activity must hold version `vu` open).
+        self.wal(WalOp::IncRequest {
+            version: job.version,
+            to: self.me,
+        });
         self.counters.inc_request(job.version, self.me);
         if job.version == self.vr.next() {
             self.run_job(ctx, job);
@@ -562,6 +614,10 @@ impl ThreeVNode {
         match kind {
             TxnKind::ReadOnly => {
                 let version = self.vr;
+                self.wal(WalOp::IncRequest {
+                    version,
+                    to: self.me,
+                });
                 self.counters.inc_request(version, self.me);
                 if ctx.tracing() {
                     ctx.trace(|| format!("read tx {txn} arrives (version {version})"));
@@ -582,6 +638,10 @@ impl ThreeVNode {
             }
             TxnKind::Commuting => {
                 let version = self.vu;
+                self.wal(WalOp::IncRequest {
+                    version,
+                    to: self.me,
+                });
                 self.counters.inc_request(version, self.me);
                 if ctx.tracing() {
                     ctx.trace(|| format!("update tx {txn} arrives (version {version})"));
@@ -723,17 +783,40 @@ impl ThreeVNode {
             self.stats.nc_commits += 1;
         } else {
             self.stats.nc_rollbacks += 1;
-            self.store.rollback(std::mem::take(&mut local.undo));
+            let undo = std::mem::take(&mut local.undo);
+            if self.wal_enabled() {
+                // Restore records go out in the order the store will apply
+                // them (reverse of the undo log), so replay is a verbatim
+                // re-application.
+                for (key, version, prior) in undo.entries().iter().rev() {
+                    self.wal(WalOp::Restore {
+                        key: *key,
+                        version: *version,
+                        prior: prior.clone(),
+                    });
+                }
+            }
+            self.store.rollback(undo);
         }
         // §5 step 6: completion counters move atomically with the decision.
         for (version, source) in local.pending_completions.drain(..) {
+            self.wal(WalOp::IncCompletion {
+                version,
+                from: source,
+            });
             self.counters.inc_completion(version, source);
+        }
+        if self.cfg.locks_enabled {
+            self.wal(WalOp::LockRelease { txn });
         }
         let grants = self.locks.release_all(txn);
         self.process_grants(ctx, grants);
     }
 
     pub(super) fn handle_release_locks(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId) {
+        if self.cfg.locks_enabled {
+            self.wal(WalOp::LockRelease { txn });
+        }
         let grants = self.locks.release_all(txn);
         self.process_grants(ctx, grants);
         // Footprints are kept: a compensating subtransaction may still be in

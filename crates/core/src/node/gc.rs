@@ -6,6 +6,7 @@
 //! reclaims versions plus the footprints whose version can no longer be
 //! read or compensated.
 
+use threev_durability::WalOp;
 use threev_model::{NodeId, TxnId, VersionNo};
 use threev_sim::Ctx;
 
@@ -23,6 +24,7 @@ impl ThreeVNode {
     ) {
         // A compensating subtransaction is an ordinary subtransaction for
         // counter purposes: the sender incremented R, we increment C.
+        self.wal(WalOp::IncCompletion { version, from });
         self.counters.inc_completion(version, from);
         match self.footprints.get_mut(&txn) {
             Some(fp) if !fp.compensated => {
@@ -38,6 +40,12 @@ impl ThreeVNode {
                     .collect();
                 let notify_client = if fp.is_root { fp.client } else { None };
                 for (key, op) in inverse {
+                    self.wal(WalOp::Update {
+                        key,
+                        version,
+                        op,
+                        txn,
+                    });
                     self.store
                         .update(key, version, op, txn, None)
                         .unwrap_or_else(|e| {
@@ -51,6 +59,7 @@ impl ThreeVNode {
                 // Forward to every other neighbour (§3.2: at most one
                 // compensating subtransaction per node).
                 for n in neighbors {
+                    self.wal(WalOp::IncRequest { version, to: n });
                     self.counters.inc_request(version, n);
                     ctx.send_tagged(n, Msg::Compensate { txn, version }, "compensate");
                 }
@@ -78,6 +87,11 @@ impl ThreeVNode {
 
     pub(super) fn handle_gc(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, vr_new: VersionNo) {
         ctx.trace(|| format!("garbage-collects below {vr_new}"));
+        self.wal(WalOp::Phase {
+            version: vr_new,
+            phase: 4,
+        });
+        self.wal(WalOp::Gc { vr_new });
         self.store.gc(vr_new);
         self.counters.gc(vr_new);
         // Tombstones and footprints of long-terminated transactions can be

@@ -40,7 +40,9 @@ mod gc;
 mod version_state;
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::path::PathBuf;
 
+use threev_durability::{Durability, DurabilityStats, FileBackend, MemBackend, Snapshot, WalOp};
 use threev_model::{
     Key, NodeId, Schema, SubtxnId, SubtxnPlan, TxnId, TxnKind, UpdateOp, VersionNo,
 };
@@ -49,6 +51,32 @@ use threev_storage::{LockMode, LockTable, Store, StoreStats, UndoLog};
 
 use crate::counters::CounterTable;
 use crate::msg::Msg;
+
+/// How (and whether) a node persists its protocol state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// No WAL, no checkpoints. A crashed node cannot recover its state —
+    /// crash injection treats it as a silent outage. This is the default
+    /// and leaves the execution path byte-identical to the pre-durability
+    /// engine.
+    #[default]
+    None,
+    /// WAL and checkpoints in memory. The log survives a *simulated* crash
+    /// (the [`Durability`] handle outlives the volatile state) but not the
+    /// process — the deterministic-simulation mode.
+    Memory {
+        /// Checkpoint after this many log records (0 = never).
+        checkpoint_every: usize,
+    },
+    /// WAL and checkpoints on disk under `dir/node-<id>/` — the real-thread
+    /// runtime mode. Survives process restarts.
+    File {
+        /// Base directory; each node appends its own `node-<id>` subdir.
+        dir: PathBuf,
+        /// Checkpoint after this many log records (0 = never).
+        checkpoint_every: usize,
+    },
+}
 
 /// Per-node protocol configuration (shared by all nodes of a cluster).
 #[derive(Clone, Debug)]
@@ -62,6 +90,8 @@ pub struct NodeConfig {
     /// How many times a non-commuting transaction is retried after a global
     /// abort before the failure is reported to the client.
     pub nc_max_retries: u32,
+    /// Write-ahead logging and checkpointing policy.
+    pub durability: DurabilityMode,
 }
 
 impl Default for NodeConfig {
@@ -70,6 +100,7 @@ impl Default for NodeConfig {
             locks_enabled: false,
             retry_backoff: SimDuration::from_micros(500),
             nc_max_retries: 20,
+            durability: DurabilityMode::None,
         }
     }
 }
@@ -106,6 +137,14 @@ pub struct NodeStats {
     /// Messages that arrived inside a batch. `batched_msgs / batches` is
     /// the mean batch size this node saw.
     pub batched_msgs: u64,
+    /// WAL records written (durability enabled only).
+    pub wal_records: u64,
+    /// Checkpoints taken (durability enabled only).
+    pub checkpoints: u64,
+    /// Crash recoveries performed.
+    pub recoveries: u64,
+    /// WAL records replayed across all recoveries.
+    pub wal_replayed: u64,
 }
 
 /// A unit of runnable work: one subtransaction with its full context.
@@ -208,13 +247,35 @@ pub struct ThreeVNode {
     timers: HashMap<u64, TimerAction>,
     next_timer: u64,
     stats: NodeStats,
+    /// WAL + checkpoint handle. Survives a crash (it models the disk);
+    /// everything else in the struct is volatile.
+    dur: Option<Durability>,
 }
 
 impl ThreeVNode {
     /// Build the node: store initialised from the schema, `vr = 0`,
-    /// `vu = 1` (paper §4 initial conditions).
+    /// `vu = 1` (paper §4 initial conditions). With durability enabled an
+    /// initial checkpoint is taken immediately, so recovery always has a
+    /// base snapshot to start from.
     pub fn new(schema: &Schema, me: NodeId, cfg: NodeConfig) -> Self {
-        ThreeVNode {
+        let dur = match &cfg.durability {
+            DurabilityMode::None => None,
+            DurabilityMode::Memory { checkpoint_every } => Some(Durability::new(
+                Box::new(MemBackend::new()),
+                *checkpoint_every,
+            )),
+            DurabilityMode::File {
+                dir,
+                checkpoint_every,
+            } => {
+                let node_dir = dir.join(format!("node-{}", me.0));
+                let backend = FileBackend::open(&node_dir).unwrap_or_else(|e| {
+                    panic!("{}: cannot open WAL dir {}: {e}", me, node_dir.display())
+                });
+                Some(Durability::new(Box::new(backend), *checkpoint_every))
+            }
+        };
+        let mut node = ThreeVNode {
             me,
             cfg,
             vu: VersionNo(1),
@@ -234,7 +295,16 @@ impl ThreeVNode {
             timers: HashMap::new(),
             next_timer: 0,
             stats: NodeStats::default(),
+            dur,
+        };
+        // A file backend may already hold a previous incarnation's state
+        // (process restart): recover it rather than overwrite it.
+        if node.dur.as_ref().is_some_and(|d| d.has_snapshot()) {
+            node.recover_install();
+        } else if node.dur.is_some() {
+            node.checkpoint_now();
         }
+        node
     }
 
     /// Current update version `vu`.
@@ -272,6 +342,11 @@ impl ThreeVNode {
         &self.locks
     }
 
+    /// Durability-layer statistics, if durability is enabled.
+    pub fn durability_stats(&self) -> Option<&DurabilityStats> {
+        self.dur.as_ref().map(|d| d.stats())
+    }
+
     /// Is the node quiescent (no trackers, parked work, or NC state)?
     pub fn is_quiescent(&self) -> bool {
         self.trackers.is_empty()
@@ -280,6 +355,120 @@ impl ThreeVNode {
             && self.nc_coord.is_empty()
             && self.nc_waiting.is_empty()
             && self.locks.is_idle()
+    }
+
+    // --------------------------------------------------------- durability
+
+    /// Append one record to the WAL (no-op without durability). Mutation
+    /// sites call this *before* applying the change, so the log is always
+    /// at least as new as the volatile state (write-ahead rule).
+    #[inline]
+    pub(super) fn wal(&mut self, op: WalOp) {
+        if let Some(d) = self.dur.as_mut() {
+            d.log(op);
+            self.stats.wal_records += 1;
+        }
+    }
+
+    /// Is WAL logging active? Lets callers skip building expensive records
+    /// (e.g. cloning restore values) when durability is off.
+    #[inline]
+    pub(super) fn wal_enabled(&self) -> bool {
+        self.dur.is_some()
+    }
+
+    /// Serialize the durable protocol state: the version chains, the lock
+    /// table, the counter tables, and `(vr, vu)`. Volatile bookkeeping
+    /// (trackers, footprints, tombstones, NC contexts, parked work) is
+    /// deliberately excluded — see DESIGN.md "Durability & recovery".
+    fn snapshot_now(&self) -> Snapshot {
+        // Lock waiters are volatile: the parked jobs that would consume
+        // their grants die with the crash, and a restored waiter would
+        // also double-promote against the WAL's promotion records. Only
+        // holders are durable.
+        let mut locks = self.locks.export_parts();
+        for row in &mut locks {
+            row.2.clear();
+        }
+        Snapshot {
+            node: self.me,
+            lsn: 0, // stamped by Durability::checkpoint
+            vu: self.vu,
+            vr: self.vr,
+            store: self.store.export_parts(),
+            counters: self.counters.to_parts(),
+            locks,
+        }
+    }
+
+    /// Take a checkpoint unconditionally (durability enabled only).
+    fn checkpoint_now(&mut self) {
+        let snap = self.snapshot_now();
+        if let Some(d) = self.dur.as_mut() {
+            d.checkpoint(snap);
+            d.sync();
+            self.stats.checkpoints += 1;
+        }
+    }
+
+    /// Checkpoint if the log has grown past the configured interval.
+    /// Called after every delivery, so the log length seen by a crash is
+    /// bounded by `checkpoint_every` plus one delivery's worth of records.
+    fn maybe_checkpoint(&mut self) {
+        if self.dur.as_ref().is_some_and(|d| d.should_checkpoint()) {
+            self.checkpoint_now();
+        }
+    }
+
+    /// Drop all volatile state, as a crash would. The [`Durability`]
+    /// handle survives — it models the disk. Without durability this is a
+    /// no-op: losing the store with no way back would turn a transient
+    /// outage into data loss, so crash injection on a durability-less node
+    /// silences it (the transport already drops its traffic) but leaves
+    /// its memory intact.
+    pub fn crash_volatile(&mut self) {
+        if self.dur.is_none() {
+            return;
+        }
+        self.store = Store::empty(self.me);
+        self.counters = CounterTable::new();
+        self.locks = LockTable::new();
+        self.vu = VersionNo(1);
+        self.vr = VersionNo(0);
+        self.trackers.clear();
+        self.footprints.clear();
+        self.tombstones.clear();
+        self.nc_local.clear();
+        self.nc_coord.clear();
+        self.nc_root_ctx.clear();
+        self.nc_waiting.clear();
+        self.parked.clear();
+        self.timers.clear();
+        // `spawn_seq` survives as an epoch stand-in: reusing SubtxnIds
+        // could credit a stale in-flight completion notice to a new
+        // subtransaction.
+    }
+
+    /// Rebuild state from the last checkpoint plus the WAL tail. Returns
+    /// `false` when durability is off or no snapshot exists. The recovered
+    /// node may lag the cluster on `(vr, vu)`; the §2.3/§4.1 skew rules
+    /// (version inference from arriving subtransactions, coordinator
+    /// retransmits) catch it up without a dedicated protocol.
+    pub fn recover_install(&mut self) -> bool {
+        let Some(d) = self.dur.as_mut() else {
+            return false;
+        };
+        let Some(state) = d.recover() else {
+            return false;
+        };
+        self.store = state.store;
+        self.locks = state.locks;
+        self.counters = CounterTable::from_parts(state.counters);
+        self.vu = state.vu;
+        self.vr = state.vr;
+        self.stats.recoveries += 1;
+        self.stats.wal_replayed += state.replayed;
+        true
     }
 
     // ------------------------------------------------------------ helpers
@@ -353,6 +542,7 @@ impl Actor for ThreeVNode {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
         self.dispatch(ctx, from, msg);
+        self.maybe_checkpoint();
     }
 
     fn on_batch(&mut self, ctx: &mut Ctx<'_, Msg>, batch: &mut Vec<(NodeId, Msg)>) {
@@ -365,6 +555,7 @@ impl Actor for ThreeVNode {
         for (from, msg) in batch.drain(..) {
             self.dispatch(ctx, from, msg);
         }
+        self.maybe_checkpoint();
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
@@ -372,6 +563,23 @@ impl Actor for ThreeVNode {
             Some(TimerAction::RetryJob(job)) => self.run_job(ctx, *job),
             Some(TimerAction::RetryNcRoot(txn)) => self.submit_nc_root(ctx, txn),
             None => {}
+        }
+        self.maybe_checkpoint();
+    }
+
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.trace(|| "crashes (volatile state lost)".to_string());
+        self.crash_volatile();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.recover_install() {
+            ctx.trace(|| {
+                format!(
+                    "restarts; recovered to vu={} vr={} from checkpoint+log",
+                    self.vu, self.vr
+                )
+            });
         }
     }
 }

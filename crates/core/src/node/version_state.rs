@@ -7,6 +7,7 @@
 //! the `vu == vr + 1` gate also lives here, because the gate opens exactly
 //! when `vr` moves.
 
+use threev_durability::WalOp;
 use threev_model::{NodeId, VersionNo};
 use threev_sim::Ctx;
 
@@ -19,6 +20,7 @@ impl ThreeVNode {
     /// a descendant carrying a newer version acts as the notice.
     pub(super) fn advance_vu(&mut self, ctx: &mut Ctx<'_, Msg>, vu_new: VersionNo, inferred: bool) {
         if vu_new > self.vu {
+            self.wal(WalOp::SetVu(vu_new));
             self.vu = vu_new;
             if ctx.tracing() {
                 let how = if inferred {
@@ -39,6 +41,10 @@ impl ThreeVNode {
         from: NodeId,
         vu_new: VersionNo,
     ) {
+        self.wal(WalOp::Phase {
+            version: vu_new,
+            phase: 1,
+        });
         self.advance_vu(ctx, vu_new, false);
         ctx.send_tagged(from, Msg::AdvanceAck { vu_new }, "advance");
     }
@@ -50,6 +56,11 @@ impl ThreeVNode {
         vr_new: VersionNo,
     ) {
         if vr_new > self.vr {
+            self.wal(WalOp::Phase {
+                version: vr_new,
+                phase: 3,
+            });
+            self.wal(WalOp::SetVr(vr_new));
             self.vr = vr_new;
             ctx.trace(|| format!("advances read version to {vr_new}"));
         }

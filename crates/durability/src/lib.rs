@@ -1,0 +1,40 @@
+//! Per-node durability for the 3V protocol.
+//!
+//! The paper's termination-detection property P5 ("all v-updates have
+//! terminated") is *stable*: once true it stays true — but only if the
+//! `R(v)pq`/`C(v)pq` counters and the version variables survive node
+//! failures. This crate makes them survive:
+//!
+//! * a [`wal`] — an append-only **write-ahead log** of logical redo
+//!   records: store mutations, counter increments, version-variable
+//!   changes, lock transitions, and advancement-phase markers. Every
+//!   record carries an LSN, and replay skips records at or below the
+//!   recovered position, so replaying any prefix twice (a crash *during*
+//!   recovery) is indistinguishable from replaying it once;
+//! * a [`snapshot`] — a **checkpoint** serialising the ≤3-version chains,
+//!   the lock table, the R/C counter tables, and `(vr, vu)`; installing
+//!   it truncates the log;
+//! * a [`backend`] — the [`backend::LogBackend`] trait with an in-memory
+//!   implementation for deterministic simulation and a `std::fs` one for
+//!   the real-thread runtime (length- and checksum-framed records,
+//!   torn-tail tolerant, atomic checkpoint rename);
+//! * [`recover`] — `recover(checkpoint, log)` reconstruction of the whole
+//!   node-local state, plus the [`recover::Durability`] handle the engine
+//!   drives at run time.
+//!
+//! All serialisation is hand-rolled little-endian framing ([`wire`]); the
+//! formats are versioned with a single format byte.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod backend;
+pub mod recover;
+pub mod snapshot;
+pub mod wal;
+pub mod wire;
+
+pub use backend::{FileBackend, LogBackend, MemBackend};
+pub use recover::{Durability, DurabilityStats, RecoveredState};
+pub use snapshot::Snapshot;
+pub use wal::{WalOp, WalRecord};

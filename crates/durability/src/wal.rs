@@ -1,0 +1,307 @@
+//! Write-ahead log records.
+//!
+//! The log is **logical redo**: each record names the state transition the
+//! engine is about to apply (log-before-apply), not the message that
+//! caused it. Replay therefore needs no protocol machinery — it drives the
+//! storage and counter layers directly. Idempotence comes from the LSN:
+//! recovery skips every record at or below the position already folded
+//! into the snapshot or a previous replay pass.
+
+use threev_model::{Key, NodeId, TxnId, UpdateOp, Value, VersionNo};
+use threev_storage::LockMode;
+
+use crate::wire::{ByteReader, ByteWriter, WireError};
+
+/// One logged state transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalOp {
+    /// 3V store update (§4.1 step 4: copy-on-update + update-all-≥v).
+    Update {
+        /// Item updated.
+        key: Key,
+        /// Transaction version `V(T)`.
+        version: VersionNo,
+        /// The operation applied.
+        op: UpdateOp,
+        /// The writing transaction.
+        txn: TxnId,
+    },
+    /// Restore one version to a prior value (`None` deletes the version).
+    /// Logged for each entry of an NC rollback before the store applies
+    /// it, in the order replay must re-apply.
+    Restore {
+        /// Item restored.
+        key: Key,
+        /// Version restored.
+        version: VersionNo,
+        /// Prior value; `None` removes the version.
+        prior: Option<Value>,
+    },
+    /// `R(v)·q += 1` (§4.1 step 5).
+    IncRequest {
+        /// Version of the counted request.
+        version: VersionNo,
+        /// Destination node `q`.
+        to: NodeId,
+    },
+    /// `C(v)o· += 1` (§4.1 step 6).
+    IncCompletion {
+        /// Version of the counted completion.
+        version: VersionNo,
+        /// Source node `o`.
+        from: NodeId,
+    },
+    /// The update version variable changed.
+    SetVu(VersionNo),
+    /// The read version variable changed.
+    SetVr(VersionNo),
+    /// Garbage collection ran for `vr_new` (§4.3 Phase 4): drops store
+    /// versions and counters below it.
+    Gc {
+        /// The new read version.
+        vr_new: VersionNo,
+    },
+    /// Advancement-phase marker: this node processed phase `phase` of the
+    /// advancement to `version`. Informational (replay is a no-op); kept
+    /// so a recovered log tells the whole §4.3 story.
+    Phase {
+        /// The version being advanced to.
+        version: VersionNo,
+        /// Phase number, 1–4.
+        phase: u8,
+    },
+    /// A lock was granted and recorded in the table (NC3V, §5) — whether
+    /// directly or by promotion out of a release. Waiting and abort
+    /// outcomes are not logged — they leave no durable state a restarted
+    /// node could honour.
+    LockAcquire {
+        /// Locked item.
+        key: Key,
+        /// Holder.
+        txn: TxnId,
+        /// Mode requested.
+        mode: LockMode,
+    },
+    /// All locks of `txn` were released.
+    LockRelease {
+        /// The releasing transaction.
+        txn: TxnId,
+    },
+}
+
+/// A [`WalOp`] stamped with its log sequence number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Monotone, 1-based log sequence number.
+    pub lsn: u64,
+    /// The logged transition.
+    pub op: WalOp,
+}
+
+impl WalRecord {
+    /// Encode to bytes (payload only; backends add their own framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(self.lsn);
+        match &self.op {
+            WalOp::Update {
+                key,
+                version,
+                op,
+                txn,
+            } => {
+                w.u8(0);
+                w.key(*key);
+                w.version(*version);
+                w.op(*op);
+                w.txn(*txn);
+            }
+            WalOp::Restore {
+                key,
+                version,
+                prior,
+            } => {
+                w.u8(1);
+                w.key(*key);
+                w.version(*version);
+                w.opt_value(prior);
+            }
+            WalOp::IncRequest { version, to } => {
+                w.u8(2);
+                w.version(*version);
+                w.node(*to);
+            }
+            WalOp::IncCompletion { version, from } => {
+                w.u8(3);
+                w.version(*version);
+                w.node(*from);
+            }
+            WalOp::SetVu(v) => {
+                w.u8(4);
+                w.version(*v);
+            }
+            WalOp::SetVr(v) => {
+                w.u8(5);
+                w.version(*v);
+            }
+            WalOp::Gc { vr_new } => {
+                w.u8(6);
+                w.version(*vr_new);
+            }
+            WalOp::Phase { version, phase } => {
+                w.u8(7);
+                w.version(*version);
+                w.u8(*phase);
+            }
+            WalOp::LockAcquire { key, txn, mode } => {
+                w.u8(8);
+                w.key(*key);
+                w.txn(*txn);
+                w.lock_mode(*mode);
+            }
+            WalOp::LockRelease { txn } => {
+                w.u8(9);
+                w.txn(*txn);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode from bytes produced by [`WalRecord::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<WalRecord, WireError> {
+        let mut r = ByteReader::new(bytes);
+        let lsn = r.u64()?;
+        let op = match r.u8()? {
+            0 => WalOp::Update {
+                key: r.key()?,
+                version: r.version()?,
+                op: r.op()?,
+                txn: r.txn()?,
+            },
+            1 => WalOp::Restore {
+                key: r.key()?,
+                version: r.version()?,
+                prior: r.opt_value()?,
+            },
+            2 => WalOp::IncRequest {
+                version: r.version()?,
+                to: r.node()?,
+            },
+            3 => WalOp::IncCompletion {
+                version: r.version()?,
+                from: r.node()?,
+            },
+            4 => WalOp::SetVu(r.version()?),
+            5 => WalOp::SetVr(r.version()?),
+            6 => WalOp::Gc {
+                vr_new: r.version()?,
+            },
+            7 => WalOp::Phase {
+                version: r.version()?,
+                phase: r.u8()?,
+            },
+            8 => WalOp::LockAcquire {
+                key: r.key()?,
+                txn: r.txn()?,
+                mode: r.lock_mode()?,
+            },
+            9 => WalOp::LockRelease { txn: r.txn()? },
+            _ => return Err(WireError("unknown WalOp tag")),
+        };
+        if !r.is_exhausted() {
+            return Err(WireError("trailing bytes after WalRecord"));
+        }
+        Ok(WalRecord { lsn, op })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Update {
+                key: Key(1),
+                version: VersionNo(2),
+                op: UpdateOp::Add(-7),
+                txn: TxnId::new(3, NodeId(1)),
+            },
+            WalOp::Restore {
+                key: Key(2),
+                version: VersionNo(1),
+                prior: Some(Value::Counter(5)),
+            },
+            WalOp::Restore {
+                key: Key(2),
+                version: VersionNo(1),
+                prior: None,
+            },
+            WalOp::IncRequest {
+                version: VersionNo(1),
+                to: NodeId(2),
+            },
+            WalOp::IncCompletion {
+                version: VersionNo(1),
+                from: NodeId(0),
+            },
+            WalOp::SetVu(VersionNo(2)),
+            WalOp::SetVr(VersionNo(1)),
+            WalOp::Gc {
+                vr_new: VersionNo(1),
+            },
+            WalOp::Phase {
+                version: VersionNo(2),
+                phase: 3,
+            },
+            WalOp::LockAcquire {
+                key: Key(4),
+                txn: TxnId::new(9, NodeId(0)),
+                mode: LockMode::Exclusive,
+            },
+            WalOp::LockRelease {
+                txn: TxnId::new(9, NodeId(0)),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for (i, op) in sample_ops().into_iter().enumerate() {
+            let rec = WalRecord {
+                lsn: i as u64 + 1,
+                op,
+            };
+            let decoded = WalRecord::decode(&rec.encode()).unwrap();
+            assert_eq!(decoded, rec);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let rec = WalRecord {
+            lsn: 1,
+            op: WalOp::SetVu(VersionNo(2)),
+        };
+        let mut bytes = rec.encode();
+        bytes.push(0);
+        assert!(WalRecord::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let rec = WalRecord {
+            lsn: 1,
+            op: WalOp::Update {
+                key: Key(1),
+                version: VersionNo(1),
+                op: UpdateOp::Add(1),
+                txn: TxnId::new(1, NodeId(0)),
+            },
+        };
+        let bytes = rec.encode();
+        for cut in 0..bytes.len() {
+            assert!(WalRecord::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

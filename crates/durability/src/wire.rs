@@ -1,0 +1,415 @@
+//! Hand-rolled little-endian wire encoding.
+//!
+//! No serialisation dependency exists in this workspace, and none is
+//! needed: the WAL and checkpoint formats are closed (every type is known
+//! here), so a small writer/reader pair over `Vec<u8>` suffices. All
+//! integers are little-endian; collections are length-prefixed with a
+//! `u32`; options carry a one-byte tag.
+
+use threev_model::{JournalEntry, Key, NodeId, TxnId, UpdateOp, Value, VersionNo};
+use threev_storage::LockMode;
+
+/// Decoding failure: the input is truncated or structurally invalid.
+///
+/// Carries a static description of what was being decoded — enough to
+/// debug a corrupt log without dragging a position through every call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireError(pub &'static str);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only byte sink.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Finish, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write a raw byte.
+    pub fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Write a `u16`.
+    pub fn u16(&mut self, x: u16) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Write a `u32`.
+    pub fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Write a `u64`.
+    pub fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Write an `i64`.
+    pub fn i64(&mut self, x: i64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Write a collection length.
+    pub fn len(&mut self, n: usize) {
+        self.u32(u32::try_from(n).expect("collection too large for wire format"));
+    }
+
+    /// Write a [`NodeId`].
+    pub fn node(&mut self, n: NodeId) {
+        self.u16(n.0);
+    }
+
+    /// Write a [`Key`].
+    pub fn key(&mut self, k: Key) {
+        self.u64(k.0);
+    }
+
+    /// Write a [`VersionNo`].
+    pub fn version(&mut self, v: VersionNo) {
+        self.u32(v.0);
+    }
+
+    /// Write a [`TxnId`].
+    pub fn txn(&mut self, t: TxnId) {
+        self.u64(t.seq);
+        self.node(t.origin);
+    }
+
+    /// Write an [`UpdateOp`].
+    pub fn op(&mut self, op: UpdateOp) {
+        match op {
+            UpdateOp::Add(d) => {
+                self.u8(0);
+                self.i64(d);
+            }
+            UpdateOp::Append { amount, tag } => {
+                self.u8(1);
+                self.i64(amount);
+                self.u32(tag);
+            }
+            UpdateOp::Retract { amount, tag } => {
+                self.u8(2);
+                self.i64(amount);
+                self.u32(tag);
+            }
+            UpdateOp::Assign(x) => {
+                self.u8(3);
+                self.i64(x);
+            }
+        }
+    }
+
+    /// Write a [`Value`].
+    pub fn value(&mut self, v: &Value) {
+        match v {
+            Value::Counter(c) => {
+                self.u8(0);
+                self.i64(*c);
+            }
+            Value::Journal(entries) => {
+                self.u8(1);
+                self.len(entries.len());
+                for e in entries {
+                    self.txn(e.txn);
+                    self.i64(e.amount);
+                    self.u32(e.tag);
+                }
+            }
+            Value::Register(r) => {
+                self.u8(2);
+                self.i64(*r);
+            }
+        }
+    }
+
+    /// Write an `Option<Value>`.
+    pub fn opt_value(&mut self, v: &Option<Value>) {
+        match v {
+            None => self.u8(0),
+            Some(val) => {
+                self.u8(1);
+                self.value(val);
+            }
+        }
+    }
+
+    /// Write a [`LockMode`].
+    pub fn lock_mode(&mut self, m: LockMode) {
+        self.u8(match m {
+            LockMode::Commute => 0,
+            LockMode::Exclusive => 1,
+        });
+    }
+}
+
+/// Sequential byte source over a borrowed slice.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from `buf`, starting at the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Has every byte been consumed?
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a raw byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().unwrap()))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Read an `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().unwrap()))
+    }
+
+    /// Read a collection length, bounded by the bytes actually remaining
+    /// so corrupt lengths fail instead of triggering huge allocations.
+    pub fn read_len(&mut self) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(WireError("length exceeds remaining input"));
+        }
+        Ok(n)
+    }
+
+    /// Read a [`NodeId`].
+    pub fn node(&mut self) -> Result<NodeId, WireError> {
+        Ok(NodeId(self.u16()?))
+    }
+
+    /// Read a [`Key`].
+    pub fn key(&mut self) -> Result<Key, WireError> {
+        Ok(Key(self.u64()?))
+    }
+
+    /// Read a [`VersionNo`].
+    pub fn version(&mut self) -> Result<VersionNo, WireError> {
+        Ok(VersionNo(self.u32()?))
+    }
+
+    /// Read a [`TxnId`].
+    pub fn txn(&mut self) -> Result<TxnId, WireError> {
+        let seq = self.u64()?;
+        let origin = self.node()?;
+        Ok(TxnId { seq, origin })
+    }
+
+    /// Read an [`UpdateOp`].
+    pub fn op(&mut self) -> Result<UpdateOp, WireError> {
+        match self.u8()? {
+            0 => Ok(UpdateOp::Add(self.i64()?)),
+            1 => {
+                let amount = self.i64()?;
+                let tag = self.u32()?;
+                Ok(UpdateOp::Append { amount, tag })
+            }
+            2 => {
+                let amount = self.i64()?;
+                let tag = self.u32()?;
+                Ok(UpdateOp::Retract { amount, tag })
+            }
+            3 => Ok(UpdateOp::Assign(self.i64()?)),
+            _ => Err(WireError("unknown UpdateOp tag")),
+        }
+    }
+
+    /// Read a [`Value`].
+    pub fn value(&mut self) -> Result<Value, WireError> {
+        match self.u8()? {
+            0 => Ok(Value::Counter(self.i64()?)),
+            1 => {
+                let n = self.read_len()?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let txn = self.txn()?;
+                    let amount = self.i64()?;
+                    let tag = self.u32()?;
+                    entries.push(JournalEntry { txn, amount, tag });
+                }
+                Ok(Value::Journal(entries))
+            }
+            2 => Ok(Value::Register(self.i64()?)),
+            _ => Err(WireError("unknown Value tag")),
+        }
+    }
+
+    /// Read an `Option<Value>`.
+    pub fn opt_value(&mut self) -> Result<Option<Value>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.value()?)),
+            _ => Err(WireError("unknown Option tag")),
+        }
+    }
+
+    /// Read a [`LockMode`].
+    pub fn lock_mode(&mut self) -> Result<LockMode, WireError> {
+        match self.u8()? {
+            0 => Ok(LockMode::Commute),
+            1 => Ok(LockMode::Exclusive),
+            _ => Err(WireError("unknown LockMode tag")),
+        }
+    }
+}
+
+/// FNV-1a checksum of `bytes`, folded to 32 bits. Used by the file
+/// backend to detect torn or corrupt log frames.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u16(65_535);
+        w.u32(123_456);
+        w.u64(u64::MAX);
+        w.i64(-42);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 65_535);
+        assert_eq!(r.u32().unwrap(), 123_456);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn model_types_round_trip() {
+        let ops = [
+            UpdateOp::Add(-5),
+            UpdateOp::Append { amount: 7, tag: 3 },
+            UpdateOp::Retract { amount: 7, tag: 3 },
+            UpdateOp::Assign(9),
+        ];
+        let values = [
+            Value::Counter(-100),
+            Value::Register(55),
+            Value::Journal(vec![JournalEntry {
+                txn: TxnId::new(3, NodeId(1)),
+                amount: 12,
+                tag: 4,
+            }]),
+        ];
+        let mut w = ByteWriter::new();
+        w.txn(TxnId::new(9, NodeId(2)));
+        w.key(Key(77));
+        w.version(VersionNo(6));
+        for op in ops {
+            w.op(op);
+        }
+        for v in &values {
+            w.value(v);
+        }
+        w.opt_value(&None);
+        w.opt_value(&Some(Value::Counter(1)));
+        w.lock_mode(LockMode::Commute);
+        w.lock_mode(LockMode::Exclusive);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.txn().unwrap(), TxnId::new(9, NodeId(2)));
+        assert_eq!(r.key().unwrap(), Key(77));
+        assert_eq!(r.version().unwrap(), VersionNo(6));
+        for op in ops {
+            assert_eq!(r.op().unwrap(), op);
+        }
+        for v in &values {
+            assert_eq!(&r.value().unwrap(), v);
+        }
+        assert_eq!(r.opt_value().unwrap(), None);
+        assert_eq!(r.opt_value().unwrap(), Some(Value::Counter(1)));
+        assert_eq!(r.lock_mode().unwrap(), LockMode::Commute);
+        assert_eq!(r.lock_mode().unwrap(), LockMode::Exclusive);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut w = ByteWriter::new();
+        w.u64(1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn corrupt_length_rejected() {
+        let mut w = ByteWriter::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.read_len(), Err(WireError("length exceeds remaining input")));
+    }
+
+    #[test]
+    fn checksum_differs_on_flip() {
+        let a = checksum(b"hello world");
+        let b = checksum(b"hello worle");
+        assert_ne!(a, b);
+        assert_eq!(a, checksum(b"hello world"));
+    }
+}

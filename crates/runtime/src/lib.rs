@@ -180,6 +180,14 @@ impl ThreadedRun {
                             let now = SimTime(start.elapsed().as_micros() as u64);
                             sim.set_now(now);
                             let at = sim.now().max(now);
+                            // Own dead window: a crashed node has no inbox.
+                            // Drain and drop everything queued; the local
+                            // Crash/Restart events still fire via run_until.
+                            if transport.faults().crashed(NodeId(i as u16), at) {
+                                while rx.try_recv().is_ok() {}
+                                sim.run_until(at);
+                                continue;
+                            }
                             match mode {
                                 DeliveryMode::Batched => {
                                     // One wakeup = one batch: everything

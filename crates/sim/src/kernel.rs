@@ -51,6 +51,23 @@ pub trait Actor {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, token: u64) {
         let _ = (ctx, token);
     }
+
+    /// The actor has crashed (fault-plane [`crate::transport::NodeCrash`]):
+    /// all volatile state is lost *now*. Implementations drop their in-memory
+    /// state; anything durable (a write-ahead log) survives. The kernel has
+    /// already purged the actor's queued deliveries and timers. Default: no-op
+    /// (crash-oblivious actors simply keep their state, which models a
+    /// process that was merely unreachable).
+    fn on_crash(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// The actor restarts after its crash dead-window. Implementations
+    /// recover from their durable state here (checkpoint + log replay).
+    /// Default: no-op.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
 }
 
 /// Simulation configuration.
@@ -137,6 +154,11 @@ pub struct SimStats {
     /// Fault-induced reorderings (deliveries overtaking a fault-delayed
     /// copy); latency jitter alone never counts here.
     pub reordered: u64,
+    /// Node crashes executed (fault-plane crash injection).
+    pub crashes: u64,
+    /// Queued deliveries and timers purged by node crashes (the in-flight
+    /// inbox lost with each crash).
+    pub crash_purged: u64,
     /// Messages by engine-supplied tag (see [`Ctx::send_tagged`]).
     pub messages_by_tag: HashMap<&'static str, u64>,
 }
@@ -151,6 +173,8 @@ impl SimStats {
 enum Payload<M> {
     Deliver { to: NodeId, from: NodeId, msg: M },
     Timer { node: NodeId, token: u64 },
+    Crash { node: NodeId, until: SimTime },
+    Restart { node: NodeId },
 }
 
 struct Event<M> {
@@ -352,7 +376,7 @@ impl<A: Actor> Simulation<A> {
         let rng = SmallRng::seed_from_u64(cfg.seed);
         let transport = Transport::new(&cfg);
         let local_len = actors.len() as u16;
-        Simulation {
+        let mut sim = Simulation {
             actors,
             core: Core {
                 now: SimTime::ZERO,
@@ -370,7 +394,28 @@ impl<A: Actor> Simulation<A> {
             },
             started: false,
             batch_buf: Vec::new(),
+        };
+        // Schedule crash-restart events for local actors up front. Guarded
+        // on the crash list being non-empty so crash-free runs consume no
+        // sequence numbers and stay bit-identical to pre-crash-support
+        // schedules; with crashes, every ordinary event's seq shifts by the
+        // same constant, which preserves relative order.
+        if !sim.core.cfg.faults.crashes.is_empty() {
+            let crashes = sim.core.cfg.faults.crashes.clone();
+            for c in crashes {
+                if sim.core.is_local(c.node) {
+                    sim.core.push(
+                        c.at,
+                        Payload::Crash {
+                            node: c.node,
+                            until: c.until(),
+                        },
+                    );
+                    sim.core.push(c.until(), Payload::Restart { node: c.node });
+                }
+            }
         }
+        sim
     }
 
     /// Drain messages addressed outside this partition.
@@ -531,8 +576,49 @@ impl<A: Actor> Simulation<A> {
                 };
                 self.actors[idx].on_timer(&mut ctx, token);
             }
+            Payload::Crash { node, until } => {
+                self.core.stats.events += 1;
+                self.core.stats.crashes += 1;
+                self.purge_for_crash(node, until);
+                let idx = node.index() - self.core.local_base as usize;
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    me: node,
+                };
+                self.actors[idx].on_crash(&mut ctx);
+            }
+            Payload::Restart { node } => {
+                self.core.stats.events += 1;
+                let idx = node.index() - self.core.local_base as usize;
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    me: node,
+                };
+                self.actors[idx].on_restart(&mut ctx);
+            }
         }
         true
+    }
+
+    /// Drop the crashed node's in-flight inbox from the event heap: queued
+    /// deliveries that would arrive inside the dead window (covers
+    /// self-sends and injected messages, which bypass the transport's own
+    /// crash filter) and *all* of its pending timers (timers are volatile
+    /// state). Events keep their original sequence numbers, so the relative
+    /// order of everything that survives is untouched.
+    fn purge_for_crash(&mut self, node: NodeId, until: SimTime) {
+        let events = std::mem::take(&mut self.core.queue).into_vec();
+        let before = events.len();
+        let kept: Vec<Event<A::Msg>> = events
+            .into_iter()
+            .filter(|e| match &e.payload {
+                Payload::Deliver { to, .. } => *to != node || e.at >= until,
+                Payload::Timer { node: n, .. } => *n != node,
+                Payload::Crash { .. } | Payload::Restart { .. } => true,
+            })
+            .collect();
+        self.core.stats.crash_purged += (before - kept.len()) as u64;
+        self.core.queue = BinaryHeap::from(kept);
     }
 
     /// Deliver externally received messages directly, bypassing the event
@@ -1062,6 +1148,63 @@ mod tests {
             "surviving messages must keep their no-fault delivery times"
         );
         assert!(lossy.len() < clean.len());
+    }
+
+    #[test]
+    fn crash_purges_inbox_and_timers_then_restarts() {
+        use crate::transport::NodeCrash;
+        #[derive(Default)]
+        struct C {
+            got: Vec<u64>,
+            timers_fired: Vec<u64>,
+            crashes: u64,
+            restarts: u64,
+        }
+        impl Actor for C {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                if ctx.me() == NodeId(1) {
+                    ctx.schedule(SimDuration(150), 7); // inside the dead window
+                    ctx.schedule(SimDuration(250), 8); // after restart: still volatile
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: NodeId, msg: u64) {
+                self.got.push(msg);
+            }
+            fn on_timer(&mut self, _: &mut Ctx<'_, u64>, token: u64) {
+                self.timers_fired.push(token);
+            }
+            fn on_crash(&mut self, _: &mut Ctx<'_, u64>) {
+                self.got.clear(); // volatile state dies
+                self.crashes += 1;
+            }
+            fn on_restart(&mut self, _: &mut Ctx<'_, u64>) {
+                self.restarts += 1;
+            }
+        }
+        let cfg = SimConfig {
+            faults: FaultPlane {
+                crashes: vec![NodeCrash {
+                    node: NodeId(1),
+                    at: SimTime(100),
+                    restart_after: SimDuration(100),
+                }],
+                ..FaultPlane::default()
+            },
+            ..SimConfig::seeded(0)
+        };
+        let mut sim = Simulation::new(vec![C::default(), C::default()], cfg);
+        sim.inject_at(SimTime(50), NodeId(0), NodeId(1), 1); // before the crash
+        sim.inject_at(SimTime(150), NodeId(0), NodeId(1), 2); // lost with the inbox
+        sim.inject_at(SimTime(250), NodeId(0), NodeId(1), 3); // after restart
+        sim.run_to_quiescence(SimTime::MAX);
+        let c = &sim.actors()[1];
+        assert_eq!(c.crashes, 1);
+        assert_eq!(c.restarts, 1);
+        assert_eq!(c.got, vec![3], "pre-crash state cleared, mid-window lost");
+        assert!(c.timers_fired.is_empty(), "timers are volatile");
+        assert_eq!(sim.stats().crashes, 1);
+        assert_eq!(sim.stats().crash_purged, 3); // delivery@150 + both timers
     }
 
     #[test]

@@ -34,5 +34,6 @@ pub use network::LatencyModel;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceLine};
 pub use transport::{
-    FaultPlane, FaultScope, LinkPartition, LinkStats, NodePause, Transport, TransportStats,
+    FaultPlane, FaultScope, LinkPartition, LinkStats, NodeCrash, NodePause, Transport,
+    TransportStats,
 };

@@ -103,6 +103,30 @@ pub struct NodePause {
     pub until: SimTime,
 }
 
+/// A node crash: at `at` the node loses all volatile state (store, counters,
+/// version variables, in-flight inbox) and is dead until `at +
+/// restart_after`, when it restarts and recovers from its durable log.
+/// Messages sent by the node while dead do not exist; messages *delivered*
+/// into the dead window are lost with the inbox. Both judgements are
+/// structural (window-based, no RNG draw), so a crashes-only fault plane
+/// leaves every latency and fault draw identical to the clean run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeCrash {
+    /// The crashing node.
+    pub node: NodeId,
+    /// Crash instant (volatile state is lost here).
+    pub at: SimTime,
+    /// Dead-window length; the node restarts at `at + restart_after`.
+    pub restart_after: SimDuration,
+}
+
+impl NodeCrash {
+    /// First instant the node is alive again.
+    pub fn until(&self) -> SimTime {
+        self.at + self.restart_after
+    }
+}
+
 /// Deterministic, seed-driven message-fault configuration.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FaultPlane {
@@ -122,6 +146,8 @@ pub struct FaultPlane {
     pub partitions: Vec<LinkPartition>,
     /// Time-windowed node pauses (likewise independent of `scope`).
     pub pauses: Vec<NodePause>,
+    /// Node crash-restart events (likewise independent of `scope`).
+    pub crashes: Vec<NodeCrash>,
 }
 
 impl Default for FaultPlane {
@@ -134,6 +160,7 @@ impl Default for FaultPlane {
             scope: FaultScope::AllLinks,
             partitions: Vec::new(),
             pauses: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 }
@@ -156,6 +183,14 @@ impl FaultPlane {
             || self.delay_ppm > 0
             || !self.partitions.is_empty()
             || !self.pauses.is_empty()
+            || !self.crashes.is_empty()
+    }
+
+    /// Is `node` inside a crash dead-window at `at`?
+    pub fn crashed(&self, node: NodeId, at: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.node == node && at >= c.at && at < c.until())
     }
 
     /// Is the directed link inside a partition window at `now`?
@@ -352,9 +387,9 @@ impl Transport {
             return self.clean_delivery(link, now + base);
         }
 
-        // Partitions and pauses are structural (window-based) and apply to
-        // their links/nodes regardless of the probabilistic scope.
-        if self.faults.partitioned(from, to, now) {
+        // Partitions, pauses, and crashes are structural (window-based) and
+        // apply to their links/nodes regardless of the probabilistic scope.
+        if self.faults.partitioned(from, to, now) || self.faults.crashed(from, now) {
             self.stats.links.entry(link).or_default().dropped += 1;
             return Plan {
                 first: None,
@@ -387,6 +422,18 @@ impl Transport {
             at = release;
             fault_delayed = true;
         }
+        // A delivery landing inside the receiver's dead window is lost with
+        // its inbox (the window is static config, so this is deterministic).
+        if self.faults.crashed(to, at) {
+            self.stats.links.entry(link).or_default().dropped += 1;
+            return Plan {
+                first: None,
+                dup: None,
+                dropped: true,
+                duplicated: false,
+                reordered: 0,
+            };
+        }
 
         let mut reordered = self.overtakes(link, at);
         if fault_delayed {
@@ -402,10 +449,14 @@ impl Transport {
             if let Some(release) = self.faults.pause_release(to, d) {
                 d = release;
             }
-            reordered += self.overtakes(link, d);
-            let high = self.delayed_high.entry(link).or_insert(SimTime::ZERO);
-            *high = (*high).max(d);
-            Some(d)
+            if self.faults.crashed(to, d) {
+                None // the duplicate lands in the receiver's dead window
+            } else {
+                reordered += self.overtakes(link, d);
+                let high = self.delayed_high.entry(link).or_insert(SimTime::ZERO);
+                *high = (*high).max(d);
+                Some(d)
+            }
         } else {
             None
         };
@@ -604,6 +655,58 @@ mod tests {
         // Traffic to other nodes is unaffected.
         let p = t.plan(n(0), n(2), SimTime(0), &mut rng);
         assert_eq!(p.first, Some(SimTime(100)));
+    }
+
+    #[test]
+    fn crash_window_silences_the_node_then_heals() {
+        let mut t = Transport::new(&cfg_with(FaultPlane {
+            crashes: vec![NodeCrash {
+                node: n(1),
+                at: SimTime(1_000),
+                restart_after: SimDuration(500),
+            }],
+            ..FaultPlane::default()
+        }));
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Before the crash: normal delivery (latency 100).
+        assert!(!t.plan(n(0), n(1), SimTime(0), &mut rng).dropped);
+        // Sent by the dead node: never exists.
+        assert!(t.plan(n(1), n(0), SimTime(1_200), &mut rng).dropped);
+        // Delivered into the dead window: lost with the inbox.
+        assert!(t.plan(n(0), n(1), SimTime(1_200), &mut rng).dropped);
+        // Sent just before the crash but *arriving* inside the window: lost.
+        assert!(t.plan(n(0), n(1), SimTime(950), &mut rng).dropped);
+        // After restart: heals in both directions.
+        assert!(!t.plan(n(0), n(1), SimTime(1_500), &mut rng).dropped);
+        assert!(!t.plan(n(1), n(0), SimTime(1_500), &mut rng).dropped);
+        // Other links never affected.
+        assert!(!t.plan(n(0), n(2), SimTime(1_200), &mut rng).dropped);
+    }
+
+    #[test]
+    fn crash_windows_draw_nothing_from_either_rng() {
+        // A crashes-only plane must keep both the kernel RNG stream and the
+        // fault RNG untouched — that is what makes the crashed run
+        // bit-identical to the clean run up to the crash instant.
+        let draws = |faults: FaultPlane| {
+            let mut t = Transport::new(&cfg_with(faults));
+            let mut rng = SmallRng::seed_from_u64(9);
+            for i in 0..200u64 {
+                t.plan(n(0), n(1), SimTime(i * 10), &mut rng);
+            }
+            rng.next_u64()
+        };
+        assert_eq!(
+            draws(FaultPlane::default()),
+            draws(FaultPlane {
+                crashes: vec![NodeCrash {
+                    node: n(1),
+                    at: SimTime(500),
+                    restart_after: SimDuration(300),
+                }],
+                ..FaultPlane::default()
+            })
+        );
     }
 
     #[test]

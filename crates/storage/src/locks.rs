@@ -225,6 +225,56 @@ impl LockTable {
     pub fn is_idle(&self) -> bool {
         self.locks.is_empty()
     }
+
+    /// Export the table for a durability checkpoint: per key (sorted),
+    /// the holders `(txn, mode, count)` and queued waiters `(txn, mode)`
+    /// in queue order.
+    #[allow(clippy::type_complexity)]
+    pub fn export_parts(&self) -> Vec<(Key, Vec<(TxnId, LockMode, u32)>, Vec<(TxnId, LockMode)>)> {
+        let mut parts: Vec<_> = self
+            .locks
+            .iter()
+            .map(|(key, state)| {
+                (
+                    *key,
+                    state
+                        .holders
+                        .iter()
+                        .map(|h| (h.txn, h.mode, h.count))
+                        .collect::<Vec<_>>(),
+                    state.waiters.iter().copied().collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        parts.sort_unstable_by_key(|(k, ..)| *k);
+        parts
+    }
+
+    /// Rebuild a table from exported parts (checkpoint recovery). The
+    /// wait/abort statistics restart at zero.
+    #[allow(clippy::type_complexity)]
+    pub fn from_parts(
+        parts: Vec<(Key, Vec<(TxnId, LockMode, u32)>, Vec<(TxnId, LockMode)>)>,
+    ) -> Self {
+        let mut locks = HashMap::new();
+        for (key, holders, waiters) in parts {
+            locks.insert(
+                key,
+                LockState {
+                    holders: holders
+                        .into_iter()
+                        .map(|(txn, mode, count)| Holder { txn, mode, count })
+                        .collect(),
+                    waiters: waiters.into_iter().collect(),
+                },
+            );
+        }
+        LockTable {
+            locks,
+            waits: 0,
+            die_aborts: 0,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,20 @@ impl VersionedRecord {
         }
     }
 
+    /// Rebuild a record from an explicit version layout (checkpoint
+    /// recovery). `versions` must be non-empty, strictly ascending, and
+    /// within the 3V bound — exactly what [`crate::store::Store::layout`]
+    /// produces.
+    pub fn from_versions(versions: Vec<(VersionNo, Value)>) -> Self {
+        assert!(!versions.is_empty(), "record must have >= 1 version");
+        assert!(
+            versions.windows(2).all(|w| w[0].0 < w[1].0),
+            "versions must be strictly ascending"
+        );
+        assert!(versions.len() <= MAX_VERSIONS, "3V bound violated");
+        VersionedRecord { versions }
+    }
+
     /// Number of live versions.
     pub fn version_count(&self) -> usize {
         self.versions.len()

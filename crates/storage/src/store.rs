@@ -284,6 +284,55 @@ impl Store {
         }
     }
 
+    /// Restore version `v` of `key` to `prior` (`None` removes the
+    /// version). This is the single-entry form of [`Store::rollback`],
+    /// exposed so WAL replay can re-apply logged rollbacks during
+    /// recovery.
+    pub fn restore_version(&mut self, key: Key, v: VersionNo, prior: Option<Value>) {
+        if let Some(rec) = self.records.get_mut(&key) {
+            rec.restore(v, prior);
+        }
+    }
+
+    /// Export the full version layout of every key, sorted by key —
+    /// the store side of a durability checkpoint.
+    pub fn export_parts(&self) -> Vec<(Key, Vec<(VersionNo, Value)>)> {
+        let mut parts: Vec<(Key, Vec<(VersionNo, Value)>)> = self
+            .records
+            .iter()
+            .map(|(k, r)| {
+                (
+                    *k,
+                    r.version_numbers()
+                        .map(|v| (v, r.value_at(v).unwrap().clone()))
+                        .collect(),
+                )
+            })
+            .collect();
+        parts.sort_unstable_by_key(|(k, _)| *k);
+        parts
+    }
+
+    /// Rebuild a store from exported parts (checkpoint recovery).
+    /// Statistics restart from the recovered layout: the historical
+    /// counters died with the node.
+    pub fn from_parts(node: NodeId, parts: Vec<(Key, Vec<(VersionNo, Value)>)>) -> Self {
+        let mut records = HashMap::new();
+        let mut max_versions = 0u32;
+        for (key, versions) in parts {
+            max_versions = max_versions.max(versions.len() as u32);
+            records.insert(key, VersionedRecord::from_versions(versions));
+        }
+        Store {
+            node,
+            records,
+            stats: StoreStats {
+                max_versions_of_any_item: max_versions,
+                ..StoreStats::default()
+            },
+        }
+    }
+
     /// Version layout of one key: `(version, value)` pairs ascending. Used
     /// by the Figure 2 replay and by invariant checks.
     pub fn layout(&self, key: Key) -> Option<Vec<(VersionNo, Value)>> {

@@ -40,6 +40,12 @@ impl UndoLog {
         self.entries.is_empty()
     }
 
+    /// Entries in application order (the durability layer WAL-logs a
+    /// rollback before the store applies it).
+    pub fn entries(&self) -> &[(Key, VersionNo, Option<Value>)] {
+        &self.entries
+    }
+
     /// Consume the log, yielding entries newest-first (rollback order).
     pub fn into_entries_rev(self) -> impl Iterator<Item = (Key, VersionNo, Option<Value>)> {
         self.entries.into_iter().rev()

@@ -10,6 +10,7 @@
 //! * [`model`] — ids, values, commuting update operations, transaction trees;
 //! * [`sim`] — the deterministic discrete-event simulation kernel;
 //! * [`storage`] — the per-node multiversion storage engine;
+//! * [`durability`] — per-node WAL, checkpoints, and crash recovery;
 //! * [`core`] — the 3V protocol itself (and NC3V for non-commuting updates);
 //! * [`baselines`] — global 2PL/2PC, no-coordination, and manual versioning;
 //! * [`runtime`] — a real-thread driver for wall-clock execution;
@@ -23,6 +24,7 @@
 pub use threev_analysis as analysis;
 pub use threev_baselines as baselines;
 pub use threev_core as core;
+pub use threev_durability as durability;
 pub use threev_model as model;
 pub use threev_runtime as runtime;
 pub use threev_sim as sim;

@@ -1,17 +1,62 @@
 //! Chaos matrix: the 3V engine across hostile network conditions —
-//! WAN-scale latency, heavy-tailed spikes, reordering vs FIFO links —
-//! always with racing advancement. Safety (audit + version bound) must hold
-//! in every cell; liveness (drain + advancement completion) too.
+//! WAN-scale latency, heavy-tailed spikes, reordering vs FIFO links — and,
+//! through the injectable [`FaultPlane`], control-plane message loss and
+//! node crash-restarts, always with racing advancement. Safety (audit +
+//! version bound) must hold in every cell; liveness (drain + advancement
+//! completion) too.
+//!
+//! The full-hostility cell reads its seed from `THREEV_FAULT_SEED`, so the
+//! CI fault matrix can sweep seeds without recompiling.
 
 use threev::analysis::{Auditor, TxnStatus};
 use threev::core::advance::AdvancementPolicy;
 use threev::core::cluster::{ClusterConfig, ThreeVCluster};
-use threev::sim::{LatencyModel, SimConfig, SimDuration, SimTime};
+use threev::core::node::DurabilityMode;
+use threev::model::NodeId;
+use threev::sim::{
+    FaultPlane, FaultScope, LatencyModel, NodeCrash, SimConfig, SimDuration, SimTime,
+};
 use threev::workload::TelecomWorkload;
 
+const N_SWITCHES: u16 = 4;
+
+/// Loss + duplication scoped to the coordinator↔node control links. The
+/// data plane stays clean, matching the paper's §6 assumption of reliable
+/// subtransaction delivery; the advancement protocol retransmits through
+/// the lossy control plane.
+fn control_plane(loss_ppm: u32) -> FaultPlane {
+    let coord = NodeId(N_SWITCHES);
+    FaultPlane {
+        drop_ppm: loss_ppm,
+        dup_ppm: 50_000,
+        scope: FaultScope::Links(
+            (0..N_SWITCHES)
+                .flat_map(|i| [(coord, NodeId(i)), (NodeId(i), coord)])
+                .collect(),
+        ),
+        ..FaultPlane::default()
+    }
+}
+
+/// Add a crash-restart of switch 1 well after the 300ms arrival window
+/// (no in-flight user transactions to lose) but in the middle of the
+/// periodic advancement cadence.
+fn with_crash(mut plane: FaultPlane) -> FaultPlane {
+    plane.crashes = vec![NodeCrash {
+        node: NodeId(1),
+        at: SimTime(600_000),
+        restart_after: SimDuration::from_millis(5),
+    }];
+    plane
+}
+
 fn run_cell(latency: LatencyModel, fifo: bool, seed: u64) {
+    run_cell_with(latency, fifo, seed, FaultPlane::default());
+}
+
+fn run_cell_with(latency: LatencyModel, fifo: bool, seed: u64, faults: FaultPlane) {
     let workload = TelecomWorkload {
-        switches: 4,
+        switches: N_SWITCHES,
         accounts: 30,
         rate_tps: 2_000.0,
         read_pct: 20,
@@ -23,13 +68,16 @@ fn run_cell(latency: LatencyModel, fifo: bool, seed: u64) {
     let schema = workload.schema();
     let arrivals = workload.arrivals();
     let n = arrivals.len();
-    let cfg = ClusterConfig {
-        n_nodes: 4,
+    let lossy = faults.drop_ppm > 0;
+    let crashy = !faults.crashes.is_empty();
+    let mut cfg = ClusterConfig {
+        n_nodes: N_SWITCHES,
         sim: SimConfig {
             latency,
             local_latency: SimDuration::from_micros(1),
             fifo,
             seed,
+            faults,
             ..SimConfig::default()
         },
         protocol: Default::default(),
@@ -38,11 +86,23 @@ fn run_cell(latency: LatencyModel, fifo: bool, seed: u64) {
         first: SimDuration::from_millis(30),
         period: SimDuration::from_millis(60),
     });
+    // Hostile planes need the fault-tolerant control plane: retransmission
+    // rides over loss and carries a restarted node's rejoin; crashed nodes
+    // need a WAL to restart from.
+    if lossy || crashy {
+        cfg.protocol.coordinator.retransmit = Some(SimDuration::from_millis(2));
+    }
+    if crashy {
+        cfg = cfg.durability(DurabilityMode::Memory {
+            checkpoint_every: 64,
+        });
+    }
     let mut cluster = ThreeVCluster::new(&schema, cfg, arrivals);
     // Generous horizon: WAN spikes can stretch a tree's lifetime a lot.
     cluster.run_until(SimTime(20_000_000));
 
-    let label = format!("latency={latency:?} fifo={fifo} seed={seed}");
+    let label =
+        format!("latency={latency:?} fifo={fifo} seed={seed} lossy={lossy} crashy={crashy}");
     assert!(cluster.all_quiescent(), "undrained: {label}");
     assert!(
         cluster.max_versions_high_water() <= 3,
@@ -107,5 +167,50 @@ fn chaos_extreme_jitter_window() {
         },
         false,
         106,
+    );
+}
+
+#[test]
+fn chaos_wan_control_loss() {
+    // 5% control-plane loss (plus duplication) on WAN latency with
+    // reordering: advancement must still make rounds and the data plane
+    // must drain untouched.
+    run_cell_with(LatencyModel::wan(), false, 107, control_plane(50_000));
+}
+
+#[test]
+fn chaos_crash_restart_under_jitter() {
+    // A switch crash-restarts amid extreme jitter while periodic
+    // advancement keeps firing; recovery from checkpoint + WAL must rejoin
+    // it without losing a transaction.
+    run_cell_with(
+        LatencyModel::Uniform {
+            min: SimDuration::from_micros(50),
+            max: SimDuration::from_millis(8),
+        },
+        false,
+        108,
+        with_crash(FaultPlane::default()),
+    );
+}
+
+#[test]
+fn chaos_full_hostility_at_env_seed() {
+    // Everything at once — heavy-tailed latency, lossy duplicated control
+    // plane, a crash-restart — at a seed the CI fault matrix pins via
+    // `THREEV_FAULT_SEED`.
+    let seed = std::env::var("THREEV_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xFA17);
+    run_cell_with(
+        LatencyModel::Spiky {
+            base: SimDuration::from_micros(500),
+            spike_ppm: 50_000,
+            spike_factor: 50,
+        },
+        false,
+        seed,
+        with_crash(control_plane(50_000)),
     );
 }
