@@ -17,6 +17,7 @@
 //! * [`report`] — fixed-width tables and CSV output for the `exp_*`
 //!   harnesses.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

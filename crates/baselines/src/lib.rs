@@ -18,6 +18,7 @@
 //! (via [`threev_core::msg::ProtocolMsg`]), so records, audits, and
 //! summaries are directly comparable.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

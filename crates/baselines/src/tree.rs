@@ -4,7 +4,7 @@
 //! subtransaction tracks its pending children; when a subtree drains, the
 //! parent is notified, and the root closes out the transaction.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use threev_model::{NodeId, SubtxnId, TxnId};
 
@@ -23,7 +23,7 @@ pub(crate) struct SubTracker {
 /// Per-node tracker table plus the spawn-id counter.
 #[derive(Debug, Default)]
 pub(crate) struct TrackerTable {
-    trackers: HashMap<SubtxnId, SubTracker>,
+    trackers: BTreeMap<SubtxnId, SubTracker>,
     spawn_seq: u64,
 }
 
@@ -78,9 +78,13 @@ impl TrackerTable {
         self.finish(me, parent_sub)
     }
 
-    /// Close out a tracker with no pending children.
+    /// Close out a tracker with no pending children. A missing tracker
+    /// (duplicate completion notice) resolves to `Pending`: the first
+    /// notice already drained it.
     pub fn finish(&mut self, me: NodeId, id: SubtxnId) -> Drained {
-        let mut tracker = self.trackers.remove(&id).expect("tracker exists");
+        let Some(mut tracker) = self.trackers.remove(&id) else {
+            return Drained::Pending;
+        };
         let mut participants = std::mem::take(&mut tracker.participants);
         participants.insert(me);
         match tracker.parent {

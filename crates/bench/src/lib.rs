@@ -10,6 +10,7 @@
 //! * the `exp_*` binaries in `src/bin/` regenerate every experiment row
 //!   (see `EXPERIMENTS.md` at the workspace root).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

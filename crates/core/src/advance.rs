@@ -51,7 +51,7 @@
 //! they are covered by the same argument. The property-based test
 //! `tests/advancement_safety.rs` hammers this with random topologies.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use threev_analysis::VersionTimeline;
 use threev_model::{NodeId, VersionNo};
@@ -152,7 +152,7 @@ enum Phase {
         version: VersionNo,
         round: u64,
         rounds: u64,
-        reports: HashMap<NodeId, CounterSnapshot>,
+        reports: BTreeMap<NodeId, CounterSnapshot>,
         prev: Option<CounterMatrix>,
         is_phase2: bool,
     },
@@ -272,7 +272,7 @@ impl Coordinator {
             version,
             round: self.poll_seq,
             rounds: 1,
-            reports: HashMap::new(),
+            reports: BTreeMap::new(),
             prev: None,
             is_phase2,
         };
@@ -344,11 +344,14 @@ impl Coordinator {
         version: VersionNo,
         snapshot: CounterSnapshot,
     ) {
+        let n_nodes = self.nodes.len();
         let Phase::Polling {
             version: cur_version,
             round: cur_round,
+            rounds,
             reports,
-            ..
+            prev,
+            is_phase2,
         } = &mut self.phase
         else {
             return;
@@ -363,25 +366,14 @@ impl Coordinator {
         // A re-polled node overwrites its earlier snapshot: counters are
         // monotone, so the freshest snapshot is the most conservative.
         reports.insert(from, snapshot);
-        if reports.len() < self.nodes.len() {
+        if reports.len() < n_nodes {
             return;
         }
         // Full round collected: evaluate the two-round rule.
-        let Phase::Polling {
-            version,
-            round,
-            rounds,
-            reports,
-            prev,
-            is_phase2,
-        } = &mut self.phase
-        else {
-            unreachable!()
-        };
-        let snaps: Vec<(NodeId, CounterSnapshot)> = reports.drain().collect();
+        let snaps: Vec<(NodeId, CounterSnapshot)> = std::mem::take(reports).into_iter().collect();
         let matrix = CounterMatrix::assemble(&snaps);
         let stable = matrix.balanced() && prev.as_ref() == Some(&matrix);
-        let (version, is_phase2, rounds_used) = (*version, *is_phase2, *rounds);
+        let (version, is_phase2, rounds_used) = (*cur_version, *is_phase2, *rounds);
         if stable {
             let rounds = rounds_used;
             ctx.trace(|| {
@@ -406,7 +398,7 @@ impl Coordinator {
         } else {
             *prev = Some(matrix);
             self.poll_seq += 1;
-            *round = self.poll_seq;
+            *cur_round = self.poll_seq;
             *rounds += 1;
             let interval = self.cfg.poll_interval;
             ctx.schedule(interval, TIMER_POLL);

@@ -6,7 +6,7 @@
 //! generic over the engine's message type through [`ProtocolMsg`], so the
 //! 3V engine and all three baselines are driven by the exact same code.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use threev_analysis::{TxnRecord, TxnStatus};
 use threev_model::{NodeId, TxnId, TxnPlan, ValueKind};
@@ -53,7 +53,7 @@ pub struct ClientActor<M> {
     next: usize,
     next_seq: u64,
     records: Vec<TxnRecord>,
-    index: HashMap<TxnId, usize>,
+    index: BTreeMap<TxnId, usize>,
     _marker: std::marker::PhantomData<fn() -> M>,
 }
 
@@ -66,7 +66,7 @@ impl<M: ProtocolMsg> ClientActor<M> {
             next: 0,
             next_seq: 0,
             records: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             _marker: std::marker::PhantomData,
         }
     }

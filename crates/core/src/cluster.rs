@@ -237,28 +237,55 @@ impl ThreeVCluster {
         self.sim.stats()
     }
 
+    /// Transaction records collected by the client, if the client slot is
+    /// populated as constructed (fallible view for defensive callers).
+    pub fn try_records(&self) -> Option<&[TxnRecord]> {
+        match self.sim.actors().get(self.n_nodes as usize + 1)? {
+            ClusterActor::Client(c) => Some(c.records()),
+            _ => None,
+        }
+    }
+
     /// Transaction records collected by the client.
     pub fn records(&self) -> &[TxnRecord] {
-        match &self.sim.actors()[self.n_nodes as usize + 1] {
-            ClusterActor::Client(c) => c.records(),
-            _ => unreachable!(),
+        // lint-allow(panic-hygiene): actor slots are fixed at construction
+        // (indices 0..n are nodes, n the coordinator, n+1 the client) and
+        // never move; a mismatch is a harness-construction defect, not a
+        // reachable protocol state. Fallible callers use `try_records`.
+        self.try_records().expect("client occupies actor slot n+1")
+    }
+
+    /// A node's engine (read access), if slot `i` holds a node.
+    pub fn try_node(&self, i: u16) -> Option<&ThreeVNode> {
+        match self.sim.actors().get(i as usize)? {
+            ClusterActor::Node(n) => Some(n),
+            _ => None,
         }
     }
 
     /// A node's engine (read access).
     pub fn node(&self, i: u16) -> &ThreeVNode {
-        match &self.sim.actors()[i as usize] {
-            ClusterActor::Node(n) => n,
-            _ => unreachable!(),
+        // lint-allow(panic-hygiene): slots 0..n hold nodes by construction;
+        // out-of-range `i` is a test/bench indexing bug. Fallible callers
+        // use `try_node`.
+        self.try_node(i).expect("node index within 0..n_nodes")
+    }
+
+    /// The coordinator (read access), if the coordinator slot is populated
+    /// as constructed.
+    pub fn try_coordinator(&self) -> Option<&Coordinator> {
+        match self.sim.actors().get(self.n_nodes as usize)? {
+            ClusterActor::Coordinator(c) => Some(c),
+            _ => None,
         }
     }
 
     /// The coordinator (read access).
     pub fn coordinator(&self) -> &Coordinator {
-        match &self.sim.actors()[self.n_nodes as usize] {
-            ClusterActor::Coordinator(c) => c,
-            _ => unreachable!(),
-        }
+        // lint-allow(panic-hygiene): slot n holds the coordinator by
+        // construction. Fallible callers use `try_coordinator`.
+        self.try_coordinator()
+            .expect("coordinator occupies actor slot n")
     }
 
     /// Aggregated storage statistics across nodes.

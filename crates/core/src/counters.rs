@@ -13,7 +13,7 @@
 //! from per-node snapshots (see [`CounterMatrix`]) and applies the two-round
 //! stability rule described in [`crate::advance`].
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use threev_model::{NodeId, VersionNo};
 
@@ -22,15 +22,20 @@ use threev_model::{NodeId, VersionNo};
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VersionCounters {
     /// `R(v)·q`: requests this node sent to `q` (including itself).
-    pub requests_to: HashMap<NodeId, u64>,
+    /// Private: mutation happens only through [`CounterTable`]'s
+    /// increment-only API, which is what keeps the §2.2 stable-property
+    /// argument machine-checkable (see `threev-lint`'s
+    /// counter-monotonicity rule).
+    requests_to: BTreeMap<NodeId, u64>,
     /// `C(v)o·`: completions at this node of subtransactions from `o`.
-    pub completions_from: HashMap<NodeId, u64>,
+    /// Private for the same reason as `requests_to`.
+    completions_from: BTreeMap<NodeId, u64>,
 }
 
 /// All active-version counters of one node.
 #[derive(Clone, Debug, Default)]
 pub struct CounterTable {
-    versions: HashMap<VersionNo, VersionCounters>,
+    versions: BTreeMap<VersionNo, VersionCounters>,
 }
 
 impl CounterTable {
@@ -107,25 +112,23 @@ impl CounterTable {
     /// request and completion rows as sorted `(node, count)` lists.
     #[allow(clippy::type_complexity)]
     pub fn to_parts(&self) -> Vec<(VersionNo, Vec<(NodeId, u64)>, Vec<(NodeId, u64)>)> {
-        let mut parts: Vec<_> = self
-            .versions
+        // BTreeMap iteration is already sorted by key, so the export (and
+        // therefore every checkpoint and counter-poll snapshot built from
+        // it) is canonical without an explicit sort.
+        self.versions
             .iter()
             .map(|(v, vc)| {
-                let mut reqs: Vec<_> = vc.requests_to.iter().map(|(n, c)| (*n, *c)).collect();
-                let mut comps: Vec<_> = vc.completions_from.iter().map(|(n, c)| (*n, *c)).collect();
-                reqs.sort_unstable_by_key(|(n, _)| *n);
-                comps.sort_unstable_by_key(|(n, _)| *n);
+                let reqs: Vec<_> = vc.requests_to.iter().map(|(n, c)| (*n, *c)).collect();
+                let comps: Vec<_> = vc.completions_from.iter().map(|(n, c)| (*n, *c)).collect();
                 (*v, reqs, comps)
             })
-            .collect();
-        parts.sort_unstable_by_key(|(v, ..)| *v);
-        parts
+            .collect()
     }
 
     /// Rebuild a table from exported parts (checkpoint recovery).
     #[allow(clippy::type_complexity)]
     pub fn from_parts(parts: Vec<(VersionNo, Vec<(NodeId, u64)>, Vec<(NodeId, u64)>)>) -> Self {
-        let mut versions = HashMap::new();
+        let mut versions = BTreeMap::new();
         for (v, reqs, comps) in parts {
             versions.insert(
                 v,

@@ -55,6 +55,7 @@
 //! assert!(records.iter().all(|r| r.status == threev_analysis::TxnStatus::Committed));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

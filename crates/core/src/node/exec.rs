@@ -6,13 +6,13 @@
 //! tracking, and the non-commuting path (gate admission, stale-version
 //! aborts, two-phase commitment).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use threev_analysis::ReadObservation;
 use threev_durability::WalOp;
 use threev_model::{Key, NodeId, OpStep, SubtxnId, SubtxnPlan, TxnId, TxnKind, VersionNo};
 use threev_sim::Ctx;
-use threev_storage::{LockDecision, LockMode};
+use threev_storage::{LockDecision, LockMode, StoreError};
 
 use crate::msg::Msg;
 
@@ -44,21 +44,67 @@ impl ThreeVNode {
             self.finish_without_effects(ctx, &job, false);
             return;
         }
-        // Locks (NC3V mode only).
-        if self.cfg.locks_enabled && job.kind != TxnKind::ReadOnly {
-            let mode = match job.kind {
-                TxnKind::Commuting => LockMode::Commute,
-                TxnKind::NonCommuting => LockMode::Exclusive,
-                TxnKind::ReadOnly => unreachable!(),
-            };
-            let mut keys: Vec<(Key, LockMode)> =
-                job.plan.steps.iter().map(|s| (s.key(), mode)).collect();
-            keys.sort_by_key(|(k, _)| *k);
-            keys.dedup_by_key(|(k, _)| *k);
-            self.acquire_and_run(ctx, Parked { keys, next: 0, job });
+        // Validate every local step before taking locks or applying
+        // anything: a malformed subtransaction (unknown key, no visible
+        // base version, type-mismatched op) terminates its subtree cleanly
+        // instead of panicking the node.
+        if let Err(e) = self.validate_plan(&job) {
+            self.reject_malformed(ctx, &job, e);
             return;
         }
+        // Locks (NC3V mode only; reads take none — §4.2).
+        if self.cfg.locks_enabled {
+            let mode = match job.kind {
+                TxnKind::Commuting => Some(LockMode::Commute),
+                TxnKind::NonCommuting => Some(LockMode::Exclusive),
+                TxnKind::ReadOnly => None,
+            };
+            if let Some(mode) = mode {
+                let mut keys: Vec<(Key, LockMode)> =
+                    job.plan.steps.iter().map(|s| (s.key(), mode)).collect();
+                keys.sort_by_key(|(k, _)| *k);
+                keys.dedup_by_key(|(k, _)| *k);
+                self.acquire_and_run(ctx, Parked { keys, next: 0, job });
+                return;
+            }
+        }
         self.execute_job(ctx, job);
+    }
+
+    /// Pre-pass over the plan's local steps against the store — no stats
+    /// moved, nothing applied, so rejection needs no undo.
+    fn validate_plan(&self, job: &Job) -> Result<(), StoreError> {
+        for step in &job.plan.steps {
+            match step {
+                OpStep::Read(key) => self.store.check_read(*key, job.version)?,
+                OpStep::Update(key, op) => self.store.check_update(*key, job.version, *op)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// A plan failed validation: terminate the subtree without effects.
+    /// Commuting/read-only subtransactions complete unclean (the root
+    /// reports the transaction aborted); non-commuting ones take the
+    /// existing doom path so the 2PC round aborts globally. Either way the
+    /// completion counters stay balanced — the version window can still
+    /// advance past the rejected transaction (§2.2).
+    fn reject_malformed(&mut self, ctx: &mut Ctx<'_, Msg>, job: &Job, err: StoreError) {
+        self.stats.malformed_rejected += 1;
+        if ctx.tracing() {
+            let e = err.with_window(self.vr, self.vu);
+            ctx.trace(|| format!("{}: rejects subtx of {}: {}", self.me, job.txn, e));
+        }
+        if job.kind == TxnKind::NonCommuting {
+            self.doom_nc(ctx, job);
+        } else {
+            self.wal(WalOp::IncCompletion {
+                version: job.version,
+                from: job.source,
+            });
+            self.counters.inc_completion(job.version, job.source);
+            self.finish_without_effects(ctx, job, false);
+        }
     }
 
     /// Acquire locks one by one; park on a wait, retry/doom on a die.
@@ -99,7 +145,13 @@ impl ThreeVNode {
                         TxnKind::NonCommuting => {
                             self.doom_nc(ctx, &job);
                         }
-                        TxnKind::ReadOnly => unreachable!("reads take no locks"),
+                        TxnKind::ReadOnly => {
+                            // Reads never acquire locks (§4.2), so the lock
+                            // table cannot hand one an abort; degrade by
+                            // running it lock-free.
+                            self.stats.invariant_breaches += 1;
+                            self.execute_job(ctx, job);
+                        }
                     }
                     return;
                 }
@@ -207,12 +259,14 @@ impl ThreeVNode {
                 for step in &job.plan.steps {
                     match step {
                         OpStep::Read(key) => {
-                            let (ver, value) = self
-                                .store
-                                .read_visible(*key, job.version)
-                                .unwrap_or_else(|e| {
-                                    panic!("{}: read: {}", self.me, e.with_window(self.vr, self.vu))
-                                });
+                            // Validated by the pre-pass; a failure here is a
+                            // store defect. Skip the step and report unclean.
+                            let Ok((ver, value)) = self.store.read_visible(*key, job.version)
+                            else {
+                                self.stats.invariant_breaches += 1;
+                                clean = false;
+                                continue;
+                            };
                             if ctx.tracing() {
                                 ctx.trace(|| format!("{} reads {key} version {ver}", job.txn));
                             }
@@ -229,16 +283,12 @@ impl ThreeVNode {
                                 op: *op,
                                 txn: job.txn,
                             });
-                            let out = self
-                                .store
-                                .update(*key, job.version, *op, job.txn, None)
-                                .unwrap_or_else(|e| {
-                                    panic!(
-                                        "{}: update: {}",
-                                        self.me,
-                                        e.with_window(self.vr, self.vu)
-                                    )
-                                });
+                            let Ok(out) = self.store.update(*key, job.version, *op, job.txn, None)
+                            else {
+                                self.stats.invariant_breaches += 1;
+                                clean = false;
+                                continue;
+                            };
                             if ctx.tracing() {
                                 let n = out.versions_written;
                                 ctx.trace(|| {
@@ -269,13 +319,16 @@ impl ThreeVNode {
                 // version above V(K); otherwise update x(V(K)) only.
                 let mut doomed = false;
                 for step in &job.plan.steps {
-                    if self
-                        .store
-                        .exists_above(step.key(), job.version)
-                        .unwrap_or_else(|e| {
-                            panic!("{}: nc check: {}", self.me, e.with_window(self.vr, self.vu))
-                        })
-                    {
+                    // Validated keys exist; an error here is a store defect —
+                    // doom conservatively rather than panic.
+                    let newer = match self.store.exists_above(step.key(), job.version) {
+                        Ok(b) => b,
+                        Err(_) => {
+                            self.stats.invariant_breaches += 1;
+                            true
+                        }
+                    };
+                    if newer {
                         doomed = true;
                         break;
                     }
@@ -290,16 +343,14 @@ impl ThreeVNode {
                 for step in &job.plan.steps {
                     match step {
                         OpStep::Read(key) => {
-                            let (ver, value) = self
-                                .store
-                                .read_visible(*key, job.version)
-                                .unwrap_or_else(|e| {
-                                    panic!(
-                                        "{}: nc read: {}",
-                                        self.me,
-                                        e.with_window(self.vr, self.vu)
-                                    )
-                                });
+                            let Ok((ver, value)) = self.store.read_visible(*key, job.version)
+                            else {
+                                // Post-validation failure: doom the NC
+                                // transaction so 2PC aborts it globally.
+                                self.stats.invariant_breaches += 1;
+                                local.doomed = true;
+                                continue;
+                            };
                             reads.push(ReadObservation {
                                 key: *key,
                                 version: Some(ver),
@@ -313,15 +364,17 @@ impl ThreeVNode {
                                 op: *op,
                                 txn: job.txn,
                             });
-                            self.store
+                            if self
+                                .store
                                 .update(*key, job.version, *op, job.txn, Some(&mut local.undo))
-                                .unwrap_or_else(|e| {
-                                    panic!(
-                                        "{}: nc update: {}",
-                                        self.me,
-                                        e.with_window(self.vr, self.vu)
-                                    )
-                                });
+                                .is_err()
+                            {
+                                // Undo already holds the priors of anything
+                                // applied so far; dooming lets the 2PC abort
+                                // roll the partial effects back.
+                                self.stats.invariant_breaches += 1;
+                                local.doomed = true;
+                            }
                         }
                     }
                 }
@@ -427,7 +480,12 @@ impl ThreeVNode {
     /// The subtree rooted at `sub_id` has fully terminated: notify the
     /// parent, or — at the root — close out the transaction.
     fn finish_subtree(&mut self, ctx: &mut Ctx<'_, Msg>, sub_id: SubtxnId) {
-        let mut tracker = self.trackers.remove(&sub_id).expect("tracker exists");
+        let Some(mut tracker) = self.trackers.remove(&sub_id) else {
+            // Callers hold a live tracker; a miss means a duplicate
+            // completion slipped through. Drop it rather than panic.
+            self.stats.invariant_breaches += 1;
+            return;
+        };
         let mut participants = std::mem::take(&mut tracker.participants);
         participants.insert(self.me);
         match tracker.parent {
@@ -457,12 +515,14 @@ impl ThreeVNode {
         ctx.trace(|| format!("{} is complete", tracker.txn));
         match tracker.kind {
             TxnKind::ReadOnly => {
+                // `clean` is false only on the rejection/degradation paths;
+                // an ordinary read tree always reports committed.
                 ctx.send_tagged(
                     tracker.client,
                     Msg::TxnDone {
                         txn: tracker.txn,
                         version: tracker.version,
-                        committed: true,
+                        committed: tracker.clean,
                     },
                     "client",
                 );
@@ -499,7 +559,7 @@ impl ThreeVNode {
                         tracker.txn,
                         NcCoord {
                             participants: participants.clone(),
-                            votes: HashMap::new(),
+                            votes: BTreeMap::new(),
                             version: tracker.version,
                         },
                     );
@@ -572,7 +632,11 @@ impl ThreeVNode {
 
     /// (Re)submit an NC root: §5 steps 1–2, the `vu == vr + 1` gate.
     pub(super) fn submit_nc_root(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId) {
-        let root = self.nc_root_ctx.get(&txn).expect("nc ctx");
+        let Some(root) = self.nc_root_ctx.get(&txn) else {
+            // Retry timer outlived the transaction (a duplicate decision
+            // already closed it): nothing to resubmit.
+            return;
+        };
         let job = Job {
             txn,
             kind: TxnKind::NonCommuting,
@@ -763,11 +827,12 @@ impl ThreeVNode {
         coord.votes.insert(node, yes);
         if coord.votes.len() == coord.participants.len() {
             let commit = coord.votes.values().all(|v| *v);
-            let coord = self.nc_coord.remove(&txn).expect("coord exists");
-            for p in &coord.participants {
-                ctx.send_tagged(*p, Msg::NcDecision { txn, commit }, "2pc");
+            if let Some(coord) = self.nc_coord.remove(&txn) {
+                for p in &coord.participants {
+                    ctx.send_tagged(*p, Msg::NcDecision { txn, commit }, "2pc");
+                }
+                self.nc_finished(ctx, txn, coord.version, commit);
             }
-            self.nc_finished(ctx, txn, coord.version, commit);
         }
     }
 

@@ -39,7 +39,7 @@ mod exec;
 mod gc;
 mod version_state;
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 
 use threev_durability::{Durability, DurabilityStats, FileBackend, MemBackend, Snapshot, WalOp};
@@ -137,6 +137,15 @@ pub struct NodeStats {
     /// Messages that arrived inside a batch. `batched_msgs / batches` is
     /// the mean batch size this node saw.
     pub batched_msgs: u64,
+    /// Subtransactions rejected before execution because a step failed
+    /// validation (unknown key, no visible base version, type-mismatched
+    /// op). A malformed message terminates its subtree cleanly instead of
+    /// panicking the node.
+    pub malformed_rejected: u64,
+    /// Post-validation internal inconsistencies survived by degrading
+    /// (e.g. a store operation failing after its pre-pass succeeded).
+    /// Non-zero values indicate an engine defect; tests assert zero.
+    pub invariant_breaches: u64,
     /// WAL records written (durability enabled only).
     pub wal_records: u64,
     /// Checkpoints taken (durability enabled only).
@@ -200,7 +209,7 @@ struct NcLocal {
 #[derive(Debug)]
 struct NcCoord {
     participants: BTreeSet<NodeId>,
-    votes: HashMap<NodeId, bool>,
+    votes: BTreeMap<NodeId, bool>,
     version: VersionNo,
 }
 
@@ -236,15 +245,15 @@ pub struct ThreeVNode {
     counters: CounterTable,
     locks: LockTable,
     spawn_seq: u64,
-    trackers: HashMap<SubtxnId, SubTracker>,
-    footprints: HashMap<TxnId, Footprint>,
-    tombstones: HashSet<TxnId>,
-    nc_local: HashMap<TxnId, NcLocal>,
-    nc_coord: HashMap<TxnId, NcCoord>,
-    nc_root_ctx: HashMap<TxnId, NcRootCtx>,
+    trackers: BTreeMap<SubtxnId, SubTracker>,
+    footprints: BTreeMap<TxnId, Footprint>,
+    tombstones: BTreeSet<TxnId>,
+    nc_local: BTreeMap<TxnId, NcLocal>,
+    nc_coord: BTreeMap<TxnId, NcCoord>,
+    nc_root_ctx: BTreeMap<TxnId, NcRootCtx>,
     nc_waiting: Vec<Job>,
-    parked: HashMap<TxnId, Parked>,
-    timers: HashMap<u64, TimerAction>,
+    parked: BTreeMap<TxnId, Parked>,
+    timers: BTreeMap<u64, TimerAction>,
     next_timer: u64,
     stats: NodeStats,
     /// WAL + checkpoint handle. Survives a crash (it models the disk);
@@ -269,6 +278,9 @@ impl ThreeVNode {
                 checkpoint_every,
             } => {
                 let node_dir = dir.join(format!("node-{}", me.0));
+                // lint-allow(panic-hygiene): construction-time config error
+                // (unopenable WAL directory), not a protocol message; the
+                // process has no node to degrade to yet.
                 let backend = FileBackend::open(&node_dir).unwrap_or_else(|e| {
                     panic!("{}: cannot open WAL dir {}: {e}", me, node_dir.display())
                 });
@@ -284,15 +296,15 @@ impl ThreeVNode {
             counters: CounterTable::new(),
             locks: LockTable::new(),
             spawn_seq: 0,
-            trackers: HashMap::new(),
-            footprints: HashMap::new(),
-            tombstones: HashSet::new(),
-            nc_local: HashMap::new(),
-            nc_coord: HashMap::new(),
-            nc_root_ctx: HashMap::new(),
+            trackers: BTreeMap::new(),
+            footprints: BTreeMap::new(),
+            tombstones: BTreeSet::new(),
+            nc_local: BTreeMap::new(),
+            nc_coord: BTreeMap::new(),
+            nc_root_ctx: BTreeMap::new(),
             nc_waiting: Vec::new(),
-            parked: HashMap::new(),
-            timers: HashMap::new(),
+            parked: BTreeMap::new(),
+            timers: BTreeMap::new(),
             next_timer: 0,
             stats: NodeStats::default(),
             dur,
@@ -430,6 +442,9 @@ impl ThreeVNode {
         if self.dur.is_none() {
             return;
         }
+        // lint-allow(wal-hook-coverage): this *is* the crash — it models
+        // losing the volatile state the WAL protects, so logging it would
+        // be circular.
         self.store = Store::empty(self.me);
         self.counters = CounterTable::new();
         self.locks = LockTable::new();
@@ -461,6 +476,10 @@ impl ThreeVNode {
         let Some(state) = d.recover() else {
             return false;
         };
+        // lint-allow(wal-hook-coverage): recovery installs state *read
+        // from* the checkpoint+WAL; re-logging the install would duplicate
+        // every record on the next recovery (replay is LSN-idempotent but
+        // the log would grow unboundedly).
         self.store = state.store;
         self.locks = state.locks;
         self.counters = CounterTable::from_parts(state.counters);

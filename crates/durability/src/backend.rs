@@ -116,13 +116,21 @@ impl FileBackend {
     }
 }
 
+/// Little-endian `u32` at `pos`, if the bytes are there.
+fn read_u32(bytes: &[u8], pos: usize) -> Option<u32> {
+    let arr: [u8; 4] = bytes.get(pos..pos + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}
+
 /// Split a raw log file into frames, dropping a torn or corrupt tail.
 fn parse_frames(bytes: &[u8]) -> Vec<Vec<u8>> {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while bytes.len() - pos >= 8 {
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        let sum = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let (Some(len), Some(sum)) = (read_u32(bytes, pos), read_u32(bytes, pos + 4)) else {
+            break; // unreachable given the length guard; break beats panic
+        };
+        let len = len as usize;
         let start = pos + 8;
         if bytes.len() - start < len {
             break; // torn tail: the frame body never hit the disk
@@ -139,11 +147,16 @@ fn parse_frames(bytes: &[u8]) -> Vec<Vec<u8>> {
 
 impl LogBackend for FileBackend {
     fn append(&mut self, record: &[u8]) {
+        // lint-allow(panic-hygiene): a record the frame format cannot hold
+        // must not be silently dropped from the log — fail-stop.
         let len = u32::try_from(record.len()).expect("record too large");
         let mut frame = Vec::with_capacity(8 + record.len());
         frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(&checksum(record).to_le_bytes());
         frame.extend_from_slice(record);
+        // lint-allow(panic-hygiene): acknowledging work the WAL did not
+        // capture would violate the recovery contract; when the disk fails
+        // mid-append, halting is the only honest behaviour (fail-stop).
         self.wal.write_all(&frame).expect("WAL append failed");
         self.log_len += 1;
     }
@@ -155,6 +168,9 @@ impl LogBackend for FileBackend {
 
     fn install_snapshot(&mut self, snapshot: &[u8]) {
         let tmp = self.dir.join("checkpoint.tmp");
+        // lint-allow(panic-hygiene): checkpoint I/O failure is a disk
+        // fault; continuing would truncate the WAL against a checkpoint
+        // that never landed — fail-stop.
         let mut f = File::create(&tmp).expect("create checkpoint.tmp");
         f.write_all(snapshot).expect("write checkpoint");
         f.sync_data().expect("sync checkpoint");
@@ -162,6 +178,8 @@ impl LogBackend for FileBackend {
         // Atomic publish: a crash between these two steps leaves either the
         // old checkpoint + full log, or the new checkpoint + full log —
         // both recoverable (replay is idempotent past the snapshot LSN).
+        // lint-allow(panic-hygiene): same disk-fault contract as the
+        // writes above — a failed publish or truncate must halt the node.
         fs::rename(&tmp, self.checkpoint_path()).expect("publish checkpoint");
         // Truncate through a fresh handle; the append-mode writer keeps
         // appending at the (new) end.

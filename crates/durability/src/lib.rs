@@ -25,6 +25,7 @@
 //! All serialisation is hand-rolled little-endian framing ([`wire`]); the
 //! formats are versioned with a single format byte.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

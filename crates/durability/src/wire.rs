@@ -24,6 +24,15 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Fixed-size array view of a slice. [`ByteReader::take`] always hands back
+/// exactly the requested length, so the error arm is unreachable — but an
+/// error return beats an `unwrap` panic in protocol code.
+fn arr<const N: usize>(slice: &[u8]) -> Result<[u8; N], WireError> {
+    slice
+        .try_into()
+        .map_err(|_| WireError("internal slice-length mismatch"))
+}
+
 /// Append-only byte sink.
 #[derive(Default)]
 pub struct ByteWriter {
@@ -68,6 +77,8 @@ impl ByteWriter {
 
     /// Write a collection length.
     pub fn len(&mut self, n: usize) {
+        // lint-allow(panic-hygiene): a collection the wire format cannot
+        // express must not be logged truncated — fail-stop.
         self.u32(u32::try_from(n).expect("collection too large for wire format"));
     }
 
@@ -197,22 +208,22 @@ impl<'a> ByteReader<'a> {
 
     /// Read a `u16`.
     pub fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(arr(self.take(2, "u16")?)?))
     }
 
     /// Read a `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(arr(self.take(4, "u32")?)?))
     }
 
     /// Read a `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(arr(self.take(8, "u64")?)?))
     }
 
     /// Read an `i64`.
     pub fn i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(arr(self.take(8, "i64")?)?))
     }
 
     /// Read a collection length, bounded by the bytes actually remaining
@@ -402,7 +413,10 @@ mod tests {
         w.u32(u32::MAX);
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
-        assert_eq!(r.read_len(), Err(WireError("length exceeds remaining input")));
+        assert_eq!(
+            r.read_len(),
+            Err(WireError("length exceeds remaining input"))
+        );
     }
 
     #[test]

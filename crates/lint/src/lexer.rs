@@ -1,0 +1,626 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! Regex-over-source is too fragile for this job: `HashMap` inside a doc
+//! comment, a string literal, or a `#[cfg(test)]` module must not fire, and
+//! `// lint-allow(rule): reason` escape hatches need structured parsing.
+//! This lexer therefore understands:
+//!
+//! * line comments (harvesting `lint-allow` directives), nested block
+//!   comments, and doc comments;
+//! * string literals (plain, raw `r#"…"#`, byte, byte-raw) and char
+//!   literals vs. lifetimes;
+//! * identifiers, a small set of multi-char operators (`-=`, `::`, `==`,
+//!   `=>`, `->`, `..`), and single-char punctuation;
+//! * which tokens live inside test-only code: items annotated
+//!   `#[cfg(test)]` / `#[test]` (any attribute whose token stream contains
+//!   the identifier `test`), tracked through arbitrary nesting.
+//!
+//! It does **not** build an AST; rules pattern-match over the flat token
+//! stream with line numbers, which is exactly the granularity a
+//! `file:line` diagnostic needs.
+
+use std::fmt;
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text (for punctuation, the operator itself, e.g. `-=`).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Is this token inside test-only code (`#[cfg(test)]`/`#[test]` item)?
+    pub in_test: bool,
+    /// Token class.
+    pub kind: TokKind,
+}
+
+/// Coarse token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Operator / punctuation.
+    Punct,
+    /// Numeric, string, char, or byte literal (text not preserved for
+    /// strings — rules never match inside literals).
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+}
+
+/// A parsed `lint-allow` escape hatch.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The rule being suppressed (empty when malformed).
+    pub rule: String,
+    /// The line the comment starts on.
+    pub line: u32,
+    /// Last line of the contiguous line-comment run this allow belongs to
+    /// (multi-line reasoned comments anchor the window at their end). A
+    /// diagnostic on line `L` is covered when
+    /// `line <= L <= anchor + ALLOW_WINDOW`.
+    pub anchor: u32,
+    /// Human reason after the colon. Required: a blanket suppression with
+    /// no reason is itself a lint error.
+    pub reason: String,
+    /// Syntactically well-formed (`lint-allow(rule-id): reason`)?
+    pub well_formed: bool,
+}
+
+/// How many lines below an allow-comment's last line it still covers. Five
+/// lines absorbs a rustfmt-wrapped call chain or a tight mutation group
+/// (crash erasure touches five fields) without letting one comment blanket
+/// a whole function.
+pub const ALLOW_WINDOW: u32 = 5;
+
+/// Lexer output: the token stream plus every allow directive found.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// `lint-allow` directives in source order.
+    pub allows: Vec<Allow>,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.text, self.line)
+    }
+}
+
+/// Lex `src` into tokens and allow-directives.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        comment_lines: Vec::new(),
+        out: Lexed::default(),
+    };
+    lx.run();
+    mark_test_regions(&mut lx.out.toks);
+    // Anchor each allow at the last line of its contiguous comment run, so
+    // a multi-line reasoned comment doesn't eat its own coverage window.
+    let comment_lines: std::collections::BTreeSet<u32> = lx.comment_lines.iter().copied().collect();
+    for allow in &mut lx.out.allows {
+        while comment_lines.contains(&(allow.anchor + 1)) {
+            allow.anchor += 1;
+        }
+    }
+    lx.out
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    /// Lines holding `//` comments, for anchoring allow windows at the end
+    /// of a multi-line reasoned comment.
+    comment_lines: Vec<u32>,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, text: impl Into<String>, kind: TokKind, line: u32) {
+        self.out.toks.push(Tok {
+            text: text.into(),
+            line,
+            in_test: false,
+            kind,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_lit(),
+                'r' | 'b' if self.raw_or_byte_string() => {}
+                '\'' => self.char_or_lifetime(),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                _ => self.punct(),
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comment_lines.push(line);
+        parse_allow(&text, line, &mut self.out.allows);
+    }
+
+    fn block_comment(&mut self) {
+        // Nested per Rust rules.
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    fn string_lit(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push("\"…\"", TokKind::Literal, line);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`. Returns `false`
+    /// when the leading `r`/`b` is just an identifier start.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let c0 = match self.peek(0) {
+            Some(c) => c,
+            None => return false,
+        };
+        // Figure out the candidate prefix.
+        let (skip, next) = match (c0, self.peek(1)) {
+            ('r', Some('"')) | ('r', Some('#')) => (1, self.peek(1)),
+            ('b', Some('"')) | ('b', Some('\'')) => (1, self.peek(1)),
+            ('b', Some('r')) if matches!(self.peek(2), Some('"') | Some('#')) => (2, self.peek(2)),
+            _ => return false,
+        };
+        let line = self.line;
+        match next {
+            Some('\'') => {
+                // byte char b'x'
+                for _ in 0..skip {
+                    self.bump();
+                }
+                self.bump(); // '
+                if self.peek(0) == Some('\\') {
+                    self.bump();
+                }
+                self.bump(); // the byte
+                self.bump(); // closing '
+                self.push("b'…'", TokKind::Literal, line);
+                true
+            }
+            Some('"') if skip == 1 && c0 == 'b' => {
+                self.bump();
+                self.string_lit();
+                true
+            }
+            Some('"') | Some('#') => {
+                // raw string, count hashes
+                for _ in 0..skip {
+                    self.bump();
+                }
+                let mut hashes = 0usize;
+                while self.peek(0) == Some('#') {
+                    hashes += 1;
+                    self.bump();
+                }
+                if self.peek(0) != Some('"') {
+                    // `r#foo` raw identifier — emit ident without prefix.
+                    self.ident();
+                    return true;
+                }
+                self.bump(); // opening quote
+                'outer: while let Some(c) = self.bump() {
+                    if c == '"' {
+                        let mut seen = 0usize;
+                        while seen < hashes {
+                            if self.peek(0) == Some('#') {
+                                self.bump();
+                                seen += 1;
+                            } else {
+                                continue 'outer;
+                            }
+                        }
+                        break;
+                    }
+                }
+                self.push("r\"…\"", TokKind::Literal, line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // 'a' / '\n' are char literals; 'a (no closing quote soon) is a
+        // lifetime. Disambiguate: escape → char; else closing quote right
+        // after one char → char; else lifetime.
+        let is_char = match self.peek(1) {
+            Some('\\') => true,
+            Some(_) => self.peek(2) == Some('\''),
+            None => false,
+        };
+        if is_char {
+            self.bump(); // '
+            if self.peek(0) == Some('\\') {
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+            self.bump(); // closing '
+            self.push("'…'", TokKind::Literal, line);
+        } else {
+            self.bump(); // '
+            let mut name = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(name, TokKind::Lifetime, line);
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(text, TokKind::Ident, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // Good enough for linting: swallow digits, underscores, hex
+            // letters, the type suffix, and float dots/exponents.
+            let float_dot = c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if c.is_alphanumeric() || c == '_' || float_dot {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(text, TokKind::Literal, line);
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let c = match self.bump() {
+            Some(c) => c,
+            None => return,
+        };
+        let two = |lx: &Lexer| lx.peek(0);
+        let op: String = match (c, two(self)) {
+            ('-', Some('='))
+            | ('+', Some('='))
+            | ('*', Some('='))
+            | ('/', Some('='))
+            | ('%', Some('='))
+            | ('^', Some('='))
+            | ('&', Some('='))
+            | ('|', Some('='))
+            | ('=', Some('='))
+            | ('!', Some('='))
+            | ('<', Some('='))
+            | ('>', Some('=')) => {
+                let n = self.bump().unwrap_or('=');
+                format!("{c}{n}")
+            }
+            (':', Some(':')) | ('&', Some('&')) | ('|', Some('|')) | ('.', Some('.')) => {
+                let n = self.bump().unwrap_or(c);
+                format!("{c}{n}")
+            }
+            ('=', Some('>')) | ('-', Some('>')) => {
+                let n = self.bump().unwrap_or('>');
+                format!("{c}{n}")
+            }
+            ('<', Some('<')) | ('>', Some('>')) => {
+                let n = self.bump().unwrap_or(c);
+                // `<<=` / `>>=`
+                if self.peek(0) == Some('=') {
+                    let e = self.bump().unwrap_or('=');
+                    format!("{c}{n}{e}")
+                } else {
+                    format!("{c}{n}")
+                }
+            }
+            _ => c.to_string(),
+        };
+        self.push(op, TokKind::Punct, line);
+    }
+}
+
+/// Parse a `lint-allow(rule): reason` directive out of one line comment.
+fn parse_allow(comment: &str, line: u32, out: &mut Vec<Allow>) {
+    let body = comment.trim_start_matches('/').trim();
+    let Some(rest) = body.strip_prefix("lint-allow") else {
+        return;
+    };
+    // Well-formed: `(rule-id): reason` with non-empty rule and reason.
+    let mut rule = String::new();
+    let mut reason = String::new();
+    let mut well_formed = false;
+    if let Some(after_paren) = rest.trim_start().strip_prefix('(') {
+        if let Some(close) = after_paren.find(')') {
+            rule = after_paren[..close].trim().to_string();
+            let tail = after_paren[close + 1..].trim_start();
+            if let Some(r) = tail.strip_prefix(':') {
+                reason = r.trim().to_string();
+                well_formed = !rule.is_empty() && !reason.is_empty();
+            }
+        }
+    }
+    out.push(Allow {
+        rule,
+        line,
+        anchor: line,
+        reason,
+        well_formed,
+    });
+}
+
+/// Second pass: flag every token that lives inside a test-only item. An
+/// item is test-only when any attribute in front of it contains the
+/// identifier `test` (`#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`).
+fn mark_test_regions(toks: &mut [Tok]) {
+    let mut i = 0usize;
+    let mut brace_depth = 0i32;
+    // Brace depths at which a test region opened; inside any → test code.
+    let mut test_stack: Vec<i32> = Vec::new();
+    // An attr with `test` was seen; waiting for the item's `{` or `;`.
+    let mut pending_test = false;
+    // Bracket/paren nesting since the pending attr (a `;` inside `[u8; 4]`
+    // or `fn(a: T)` must not terminate the pending item).
+    let mut pending_nest = 0i32;
+
+    while i < toks.len() {
+        let is_attr_start = toks[i].text == "#"
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.text == "[" || t.text == "!");
+        if is_attr_start {
+            // Consume `#` `[` … `]` (or `#![…]`), scanning for `test`.
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.text == "!") {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.text == "[") {
+                let mut depth = 0i32;
+                let mut has_test = false;
+                let start = j;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "test" if toks[j].kind == TokKind::Ident => has_test = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                // Attribute tokens inherit the current region's flag.
+                let in_test = !test_stack.is_empty();
+                let end = j.min(toks.len() - 1);
+                for t in toks[i..=end].iter_mut() {
+                    t.in_test = in_test;
+                }
+                if has_test {
+                    pending_test = true;
+                    pending_nest = 0;
+                }
+                let _ = start;
+                i = j + 1;
+                continue;
+            }
+        }
+
+        let t = &mut toks[i];
+        t.in_test = !test_stack.is_empty() || pending_test;
+        match t.text.as_str() {
+            "{" => {
+                brace_depth += 1;
+                if pending_test {
+                    test_stack.push(brace_depth);
+                    pending_test = false;
+                }
+            }
+            "}" => {
+                if test_stack.last() == Some(&brace_depth) {
+                    test_stack.pop();
+                }
+                brace_depth -= 1;
+            }
+            "(" | "[" if pending_test => pending_nest += 1,
+            ")" | "]" if pending_test => pending_nest -= 1,
+            ";" if pending_test && pending_nest == 0 => {
+                // Declaration-only item (e.g. `#[cfg(test)] mod tests;`):
+                // the region is just this declaration.
+                pending_test = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<(String, bool)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text, t.in_test))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in /* nested */ block */
+            let s = "HashMap";
+            let r = r#"HashMap "quoted" inside"#;
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|(t, _)| t == "HashMap").count(),
+            1,
+            "only the real use survives: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = r#"
+            fn prod() { HashMap::new(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { HashMap::new(); }
+            }
+            fn prod2() { HashMap::new(); }
+        "#;
+        let maps: Vec<bool> = lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.text == "HashMap")
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(maps, vec![false, true, false]);
+    }
+
+    #[test]
+    fn test_attr_on_fn_is_marked() {
+        let src = r#"
+            #[test]
+            fn unit() { foo.unwrap(); }
+            fn prod(x: Option<u8>) { x.unwrap(); }
+        "#;
+        let unwraps: Vec<bool> = lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.text == "unwrap")
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }").toks;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "'…'"));
+    }
+
+    #[test]
+    fn allow_directives_parse() {
+        let src = "// lint-allow(determinism): stats map never iterated\nlet x = 1; // lint-allow: blanket\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 2);
+        assert!(lexed.allows[0].well_formed);
+        assert_eq!(lexed.allows[0].rule, "determinism");
+        assert!(!lexed.allows[1].well_formed);
+    }
+
+    #[test]
+    fn compound_assign_lexes_as_one_token() {
+        let toks = lex("a -= 1; b == 2; c = 3;").toks;
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ops.contains(&"-="));
+        assert!(ops.contains(&"=="));
+        assert!(ops.contains(&"="));
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "line1\nline2 HashMap\n\nline4 unwrap";
+        let toks = lex(src).toks;
+        let hm = toks.iter().find(|t| t.text == "HashMap").map(|t| t.line);
+        let uw = toks.iter().find(|t| t.text == "unwrap").map(|t| t.line);
+        assert_eq!(hm, Some(2));
+        assert_eq!(uw, Some(4));
+    }
+}

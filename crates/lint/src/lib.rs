@@ -1,0 +1,212 @@
+//! `threev-lint` — protocol-invariant static analyzer for the 3V
+//! reproduction.
+//!
+//! The paper's termination detection is a stable-property argument (§2.2,
+//! §4.3): it only holds if the `R`/`C` counters are increment-only and the
+//! replay our fault tests depend on is bit-identical. Neither property is
+//! something rustc checks, so this crate does: a hand-rolled lexer (strings,
+//! nested comments, `#[cfg(test)]` regions, `// lint-allow(rule): reason`
+//! escape hatches), a per-crate policy table, and five rule families
+//! producing `file:line` diagnostics.
+//!
+//! Runs as a binary (`cargo run -p threev-lint -- --deny`) and as a `#[test]`
+//! in this crate, so tier-1 `cargo test -q` enforces the invariants.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use lexer::{Allow, ALLOW_WINDOW};
+use policy::CratePolicy;
+
+/// Every rule id the engine can emit, for `--list-rules` and for validating
+/// `lint-allow` annotations against typos.
+pub const RULE_IDS: &[&str] = &[
+    "determinism",
+    "counter-monotonicity",
+    "wal-hook-coverage",
+    "panic-hygiene",
+    "unsafe-forbid",
+    // Meta-rules about the escape hatch itself:
+    "allow-syntax",
+    "unused-allow",
+];
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Lint one source file. Pure: paths are virtual, so fixture tests can pass
+/// any `rel_path` they like. Applies rules, then filters findings through
+/// the file's `lint-allow` annotations, then reports malformed and unused
+/// allows as findings in their own right (an allow that suppresses nothing
+/// is stale documentation; one without a reason is a blanket suppression).
+pub fn lint_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> {
+    let policy = policy_with_name(crate_name);
+    let lexed = lexer::lex(src);
+    let ctx = rules::FileCtx {
+        rel_path,
+        policy: &policy,
+        lexed: &lexed,
+    };
+    let raw = rules::run_all(&ctx);
+
+    let mut used = vec![false; lexed.allows.len()];
+    let mut out: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| match matching_allow(&lexed.allows, f) {
+            Some(idx) => {
+                used[idx] = true;
+                false
+            }
+            None => true,
+        })
+        .collect();
+
+    for (idx, allow) in lexed.allows.iter().enumerate() {
+        if !allow.well_formed {
+            out.push(Finding {
+                rule: "allow-syntax",
+                file: rel_path.to_string(),
+                line: allow.line,
+                msg: "malformed lint-allow; the form is \
+                      `// lint-allow(rule-id): reason` — blanket or reasonless \
+                      suppressions are rejected"
+                    .to_string(),
+            });
+            continue;
+        }
+        if !RULE_IDS.contains(&allow.rule.as_str()) {
+            out.push(Finding {
+                rule: "allow-syntax",
+                file: rel_path.to_string(),
+                line: allow.line,
+                msg: format!(
+                    "lint-allow names unknown rule `{}`; see --list-rules",
+                    allow.rule
+                ),
+            });
+            continue;
+        }
+        if !used[idx] {
+            out.push(Finding {
+                rule: "unused-allow",
+                file: rel_path.to_string(),
+                line: allow.line,
+                msg: format!(
+                    "lint-allow({}) suppresses nothing within {ALLOW_WINDOW} \
+                     lines; remove it",
+                    allow.rule
+                ),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// An allow matches a finding when the rule id agrees and the finding sits
+/// between the allow's first line and [`ALLOW_WINDOW`] lines below the end
+/// of its comment run (annotations precede the code they excuse).
+fn matching_allow(allows: &[Allow], f: &Finding) -> Option<usize> {
+    allows.iter().position(|a| {
+        a.well_formed && a.rule == f.rule && f.line >= a.line && f.line <= a.anchor + ALLOW_WINDOW
+    })
+}
+
+fn policy_with_name(crate_name: &str) -> CratePolicy {
+    policy::policy_for(crate_name)
+}
+
+/// Lint every `crates/*/src/**/*.rs` file under `root`. Files under
+/// `tests/`, `benches/`, `examples/`, and `fixtures/` are out of scope
+/// (test-tier code), as is `shims/` (vendored third-party API stubs).
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("{}: {}", crates_dir.display(), e))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut findings = Vec::new();
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text =
+                std::fs::read_to_string(&file).map_err(|e| format!("{}: {}", file.display(), e))?;
+            findings.extend(lint_source(&crate_name, &rel, &text));
+        }
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in std::fs::read_dir(dir).map_err(|e| format!("{}: {}", dir.display(), e))? {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if matches!(name, "tests" | "benches" | "examples" | "fixtures") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: walk up from `start` until a directory
+/// containing both `Cargo.toml` and `crates/` appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}

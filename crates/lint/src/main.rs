@@ -1,0 +1,79 @@
+//! CLI entry point for `threev-lint`.
+//!
+//! Usage: `cargo run -p threev-lint -- [--deny] [--list-rules] [--root DIR]`
+//!
+//! Exits 1 when any finding is emitted (with or without `--deny`; the flag
+//! exists so CI invocations read as intent). `--root` overrides workspace
+//! discovery for out-of-tree runs.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => {} // default behaviour; accepted for explicitness
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("threev-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("threev-lint: unknown argument `{other}`");
+                eprintln!("usage: threev-lint [--deny] [--list-rules] [--root DIR]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in threev_lint::RULE_IDS {
+            println!("{rule}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match threev_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "threev-lint: no workspace root (Cargo.toml + crates/) found \
+                         above {}; pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match threev_lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("threev-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("threev-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("threev-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

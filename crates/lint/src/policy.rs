@@ -1,0 +1,124 @@
+//! Per-crate policy table: which rule families apply to which crate.
+//!
+//! The split follows DESIGN.md: everything that executes inside the
+//! deterministic simulation (and therefore inside replay) gets the full
+//! rule set; the threaded runtime, benches, and the linter itself only
+//! promise to stay `unsafe`-free.
+
+/// Rule families enabled for one crate.
+#[derive(Debug, Clone, Copy)]
+pub struct CratePolicy {
+    /// Crate directory name under `crates/`.
+    pub name: &'static str,
+    /// `determinism` + `counter-monotonicity` rules apply.
+    pub deterministic: bool,
+    /// `panic-hygiene` applies.
+    pub panic_hygiene: bool,
+    /// `wal-hook-coverage` applies (core node engine only).
+    pub wal_hooks: bool,
+    /// `unsafe-forbid` applies.
+    pub forbid_unsafe: bool,
+}
+
+/// The policy table. A crate directory not listed here is linted with
+/// [`DEFAULT_POLICY`] (unsafe-forbid only), so adding a crate to the
+/// workspace fails safe rather than silently unlinted.
+pub const POLICIES: &[CratePolicy] = &[
+    CratePolicy {
+        name: "model",
+        deterministic: true,
+        panic_hygiene: true,
+        wal_hooks: false,
+        forbid_unsafe: true,
+    },
+    CratePolicy {
+        name: "storage",
+        deterministic: true,
+        panic_hygiene: true,
+        wal_hooks: false,
+        forbid_unsafe: true,
+    },
+    CratePolicy {
+        name: "core",
+        deterministic: true,
+        panic_hygiene: true,
+        wal_hooks: true,
+        forbid_unsafe: true,
+    },
+    CratePolicy {
+        name: "sim",
+        deterministic: true,
+        panic_hygiene: true,
+        wal_hooks: false,
+        forbid_unsafe: true,
+    },
+    CratePolicy {
+        name: "durability",
+        deterministic: true,
+        panic_hygiene: true,
+        wal_hooks: false,
+        forbid_unsafe: true,
+    },
+    CratePolicy {
+        name: "baselines",
+        deterministic: true,
+        panic_hygiene: true,
+        wal_hooks: false,
+        forbid_unsafe: true,
+    },
+    CratePolicy {
+        name: "workload",
+        deterministic: true,
+        panic_hygiene: true,
+        wal_hooks: false,
+        forbid_unsafe: true,
+    },
+    // Non-deterministic tier: threaded runtime, analysis/bench tooling, and
+    // the linter itself. Wall clocks, HashMaps, and unwraps are fine here.
+    CratePolicy {
+        name: "runtime",
+        deterministic: false,
+        panic_hygiene: false,
+        wal_hooks: false,
+        forbid_unsafe: true,
+    },
+    CratePolicy {
+        name: "analysis",
+        deterministic: false,
+        panic_hygiene: false,
+        wal_hooks: false,
+        forbid_unsafe: true,
+    },
+    CratePolicy {
+        name: "bench",
+        deterministic: false,
+        panic_hygiene: false,
+        wal_hooks: false,
+        forbid_unsafe: true,
+    },
+    CratePolicy {
+        name: "lint",
+        deterministic: false,
+        panic_hygiene: false,
+        wal_hooks: false,
+        forbid_unsafe: true,
+    },
+];
+
+/// Fallback for crates missing from [`POLICIES`].
+pub const DEFAULT_POLICY: CratePolicy = CratePolicy {
+    name: "<unlisted>",
+    deterministic: false,
+    panic_hygiene: false,
+    wal_hooks: false,
+    forbid_unsafe: true,
+};
+
+/// Look up the policy for a crate directory name.
+pub fn policy_for(crate_name: &str) -> CratePolicy {
+    POLICIES
+        .iter()
+        .copied()
+        .find(|p| p.name == crate_name)
+        .unwrap_or(DEFAULT_POLICY)
+}

@@ -1,0 +1,412 @@
+//! The five rule families, each pattern-matching over the lexed token
+//! stream of one file. See DESIGN.md §7 for the rationale table mapping
+//! each rule to the paper section whose proof it protects.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::policy::CratePolicy;
+use crate::Finding;
+
+/// Context for linting one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, e.g. `crates/core/src/counters.rs`.
+    pub rel_path: &'a str,
+    /// The crate's policy row.
+    pub policy: &'a CratePolicy,
+    /// Lexed source.
+    pub lexed: &'a Lexed,
+}
+
+impl FileCtx<'_> {
+    fn is(&self, suffix: &str) -> bool {
+        self.rel_path.ends_with(suffix)
+    }
+
+    fn toks(&self) -> &[Tok] {
+        &self.lexed.toks
+    }
+
+    fn finding(&self, rule: &'static str, line: u32, msg: String) -> Finding {
+        Finding {
+            rule,
+            file: self.rel_path.to_string(),
+            line,
+            msg,
+        }
+    }
+}
+
+/// Identifiers whose presence in non-test deterministic code breaks
+/// bit-identical replay. `HashMap`/`HashSet` randomize iteration order
+/// across processes (std's SipHash keys are per-process), the clock types
+/// leak wall time into virtual time, and `RandomState`/`DefaultHasher` are
+/// the raw ingredients of both.
+const NONDETERMINISTIC_IDENTS: &[(&str, &str)] = &[
+    ("HashMap", "iteration order is process-random; use BTreeMap"),
+    ("HashSet", "iteration order is process-random; use BTreeSet"),
+    ("RandomState", "per-process random hasher state"),
+    ("DefaultHasher", "per-process random hasher state"),
+    (
+        "Instant",
+        "wall-clock time in deterministic code; use SimTime",
+    ),
+    (
+        "SystemTime",
+        "wall-clock time in deterministic code; use SimTime",
+    ),
+    ("thread_rng", "unseeded RNG; use SmallRng::seed_from_u64"),
+    ("from_entropy", "unseeded RNG; use SmallRng::seed_from_u64"),
+];
+
+/// Rule `determinism`: no order-random collections, wall clocks, sleeps, or
+/// unseeded RNGs in deterministic crates (paper §2.2/§4.3: the stable-
+/// property argument and our replay tests need bit-identical schedules).
+pub fn determinism(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.policy.deterministic {
+        return;
+    }
+    let toks = ctx.toks();
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        if let Some((_, why)) = NONDETERMINISTIC_IDENTS.iter().find(|(id, _)| *id == t.text) {
+            out.push(ctx.finding(
+                "determinism",
+                t.line,
+                format!("`{}` in deterministic crate: {}", t.text, why),
+            ));
+        }
+        // `thread::sleep` — flag `sleep` only as a path segment of `thread`
+        // so a domain method named `sleep` elsewhere would not false-fire.
+        if t.text == "sleep" && i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "thread" {
+            out.push(
+                ctx.finding(
+                    "determinism",
+                    t.line,
+                    "`thread::sleep` in deterministic crate: wall-clock delays break replay; \
+                 schedule virtual-time timers instead"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// Call sites allowed to move the `R`/`C` counters. Everything else must go
+/// through these files (which pair every increment with its WAL record).
+const COUNTER_CALLSITE_ALLOWLIST: &[&str] = &[
+    "crates/core/src/counters.rs",
+    "crates/core/src/node/exec.rs",
+    "crates/core/src/node/gc.rs",
+];
+
+/// Method-name prefixes that would make the counter API non-monotone.
+const COUNTER_FORBIDDEN_FN_PREFIXES: &[&str] = &["dec", "reset", "sub"];
+const COUNTER_FORBIDDEN_FNS: &[&str] = &["set_request", "set_completion", "clear", "remove"];
+/// Fields of the counter structs that must stay private (field privacy is
+/// what makes the call-site scan sound: no `pub` field, no back door).
+const COUNTER_PRIVATE_FIELDS: &[&str] = &["versions", "requests_to", "completions_from"];
+
+/// Rule `counter-monotonicity` (paper §2.2, §4.3): `R(v)pq`/`C(v)pq` are
+/// increment-only and mutated only through `crates/core/src/counters.rs`.
+/// The termination-detection proof (two identical balanced rounds) is a
+/// stable-property argument and collapses if any site can decrement,
+/// reset, or bypass the table.
+pub fn counter_monotonicity(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.policy.deterministic {
+        return; // counters only exist in protocol code
+    }
+    let toks = ctx.toks();
+    let in_counters = ctx.is("crates/core/src/counters.rs");
+    let allowed_callsite = COUNTER_CALLSITE_ALLOWLIST.iter().any(|f| ctx.is(f));
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        // (a) increments only from sanctioned files.
+        if !allowed_callsite
+            && t.kind == TokKind::Ident
+            && (t.text == "inc_request" || t.text == "inc_completion")
+            && i >= 1
+            && toks[i - 1].text == "."
+        {
+            out.push(ctx.finding(
+                "counter-monotonicity",
+                t.line,
+                format!(
+                    "`{}` called outside the sanctioned counter call sites \
+                     (crates/core/src/node/{{exec,gc}}.rs); new mutation sites must pair \
+                     the increment with its WAL record there",
+                    t.text
+                ),
+            ));
+        }
+        // (b) no struct-literal construction of the table outside counters.rs
+        // (a literal would bypass the increment-only API).
+        if !in_counters
+            && t.kind == TokKind::Ident
+            && t.text == "CounterTable"
+            && toks.get(i + 1).is_some_and(|n| n.text == "{")
+            // Exclude type positions (`-> &CounterTable {`, `impl CounterTable {`):
+            // only a value-position `CounterTable { … }` constructs the struct.
+            && !(i >= 1
+                && matches!(
+                    toks[i - 1].text.as_str(),
+                    "&" | "->" | ":" | "<" | "impl" | "dyn" | "for" | "as"
+                ))
+        {
+            out.push(
+                ctx.finding(
+                    "counter-monotonicity",
+                    t.line,
+                    "`CounterTable { … }` struct literal outside counters.rs bypasses the \
+                 increment-only API"
+                        .to_string(),
+                ),
+            );
+        }
+        if in_counters {
+            // (c) the implementation itself must stay increment-only.
+            if t.text == "-=" {
+                out.push(
+                    ctx.finding(
+                        "counter-monotonicity",
+                        t.line,
+                        "decrement inside counters.rs: R/C counters are increment-only \
+                     (paper §2.2 stable-property argument)"
+                            .to_string(),
+                    ),
+                );
+            }
+            if t.kind == TokKind::Ident && t.text == "fn" {
+                if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    let bad = COUNTER_FORBIDDEN_FNS.contains(&name.text.as_str())
+                        || COUNTER_FORBIDDEN_FN_PREFIXES
+                            .iter()
+                            .any(|p| name.text.starts_with(p));
+                    if bad {
+                        out.push(ctx.finding(
+                            "counter-monotonicity",
+                            name.line,
+                            format!(
+                                "`fn {}` would give the counter API a non-monotone \
+                                 operation; only increments, snapshots, and whole-version \
+                                 GC are admissible",
+                                name.text
+                            ),
+                        ));
+                    }
+                }
+            }
+            // (d) field privacy: a `pub` counter field reopens the back
+            // door. Only map-typed fields are live state — the snapshot
+            // structs expose the same names as immutable `Vec` copies.
+            if t.kind == TokKind::Ident
+                && t.text == "pub"
+                && toks.get(i + 1).is_some_and(|n| {
+                    COUNTER_PRIVATE_FIELDS.contains(&n.text.as_str())
+                        && toks.get(i + 2).is_some_and(|c| c.text == ":")
+                })
+                && toks[i + 3..]
+                    .iter()
+                    .take_while(|ty| ty.text != ",")
+                    .any(|ty| ty.text == "BTreeMap" || ty.text == "HashMap")
+            {
+                out.push(ctx.finding(
+                    "counter-monotonicity",
+                    t.line,
+                    format!(
+                        "counter field `{}` must stay private; the call-site scan is \
+                         only sound with field privacy",
+                        toks[i + 1].text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Durable-state mutations: `(receiver, method)` pairs whose call must sit
+/// within [`WAL_WINDOW`] lines of a WAL hook (`wal(…)` / `wal_enabled()`),
+/// so recovery replay sees every mutation (PR 3's recovery proof).
+const WAL_MUTATING_CALLS: &[(&str, &str)] = &[
+    ("counters", "inc_request"),
+    ("counters", "inc_completion"),
+    ("counters", "gc"),
+    ("store", "update"),
+    ("store", "rollback"),
+    ("store", "gc"),
+    ("locks", "acquire"),
+    ("locks", "release_all"),
+];
+
+/// Durable fields whose direct reassignment must likewise be logged.
+const WAL_MUTATING_ASSIGNS: &[&str] = &["vu", "vr", "store", "counters", "locks"];
+
+/// How far (in lines, either direction) a WAL hook may sit from the
+/// mutation it covers. Proximity, not ordering: the write-ahead *ordering*
+/// is a code-review invariant; this rule catches the new mutation site
+/// with **no** hook at all, which is the failure mode that silently breaks
+/// recovery replay.
+const WAL_WINDOW: u32 = 12;
+
+/// Rule `wal-hook-coverage`: in the core node engine, every mutation of
+/// store chains, counters, lock holders, or `(vr, vu)` must have a
+/// durability hook in its immediate neighbourhood.
+pub fn wal_hook_coverage(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.policy.wal_hooks || !ctx.rel_path.contains("/src/node/") {
+        return;
+    }
+    let toks = ctx.toks();
+    // Pre-collect the lines of every WAL hook mention in non-test code.
+    let hook_lines: Vec<u32> = toks
+        .iter()
+        .filter(|t| {
+            !t.in_test && t.kind == TokKind::Ident && (t.text == "wal" || t.text == "wal_enabled")
+        })
+        .map(|t| t.line)
+        .collect();
+    let covered = |line: u32| hook_lines.iter().any(|h| h.abs_diff(line) <= WAL_WINDOW);
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        // `<recv> . <method> (`
+        let is_call = toks.get(i + 1).is_some_and(|d| d.text == ".")
+            && toks.get(i + 3).is_some_and(|p| p.text == "(");
+        if is_call {
+            if let Some(m) = toks.get(i + 2) {
+                if WAL_MUTATING_CALLS
+                    .iter()
+                    .any(|(r, f)| *r == t.text && *f == m.text)
+                    && !covered(m.line)
+                {
+                    out.push(ctx.finding(
+                        "wal-hook-coverage",
+                        m.line,
+                        format!(
+                            "`{}.{}(…)` mutates durable state with no WAL hook within \
+                             {WAL_WINDOW} lines; recovery replay would miss it",
+                            t.text, m.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // `self . <field> =` (but not `==`)
+        if t.text == "self"
+            && toks.get(i + 1).is_some_and(|d| d.text == ".")
+            && toks.get(i + 2).is_some_and(|f| {
+                f.kind == TokKind::Ident && WAL_MUTATING_ASSIGNS.contains(&f.text.as_str())
+            })
+            && toks.get(i + 3).is_some_and(|e| e.text == "=")
+        {
+            let f = &toks[i + 2];
+            if !covered(f.line) {
+                out.push(ctx.finding(
+                    "wal-hook-coverage",
+                    f.line,
+                    format!(
+                        "`self.{} = …` reassigns durable state with no WAL hook within \
+                         {WAL_WINDOW} lines; recovery replay would miss it",
+                        f.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Rule `panic-hygiene`: protocol code must not contain reachable panics —
+/// a malformed message taking down a node converts a logic bug into an
+/// availability incident, and the recovery tests then exercise the wrong
+/// failure mode. `assert!`/`debug_assert!` are deliberately admitted:
+/// invariant checks are the point of the exercise.
+pub fn panic_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.policy.panic_hygiene {
+        return;
+    }
+    let toks = ctx.toks();
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is = |s: &str| toks.get(i + 1).is_some_and(|n| n.text == s);
+        match t.text.as_str() {
+            "unwrap" | "expect" if i >= 1 && toks[i - 1].text == "." && next_is("(") => {
+                out.push(ctx.finding(
+                    "panic-hygiene",
+                    t.line,
+                    format!(
+                        "`.{}()` in protocol code; return a typed error \
+                         (StoreError/ProtocolError) instead",
+                        t.text
+                    ),
+                ));
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" if next_is("!") => {
+                out.push(ctx.finding(
+                    "panic-hygiene",
+                    t.line,
+                    format!(
+                        "`{}!` in protocol code; a malformed message must not take the \
+                         node down — return a typed error or degrade",
+                        t.text
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Rule `unsafe-forbid`: protocol crates carry `#![forbid(unsafe_code)]`
+/// in their crate root and no `unsafe` token anywhere (the attribute makes
+/// rustc enforce it; the token scan catches the attribute being removed in
+/// the same commit that introduces the unsafe block).
+pub fn unsafe_forbid(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.policy.forbid_unsafe {
+        return;
+    }
+    let toks = ctx.toks();
+    for t in toks {
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            out.push(ctx.finding(
+                "unsafe-forbid",
+                t.line,
+                "`unsafe` in a forbid(unsafe_code) crate".to_string(),
+            ));
+        }
+    }
+    if ctx.is("src/lib.rs") {
+        let has_forbid = toks.windows(7).any(|w| {
+            w[0].text == "#"
+                && w[1].text == "!"
+                && w[2].text == "["
+                && w[3].text == "forbid"
+                && w[4].text == "("
+                && w[5].text == "unsafe_code"
+                && w[6].text == ")"
+        });
+        if !has_forbid {
+            out.push(ctx.finding(
+                "unsafe-forbid",
+                1,
+                "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            ));
+        }
+    }
+}
+
+/// Run every rule family over one lexed file.
+pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    determinism(ctx, &mut out);
+    counter_monotonicity(ctx, &mut out);
+    wal_hook_coverage(ctx, &mut out);
+    panic_hygiene(ctx, &mut out);
+    unsafe_forbid(ctx, &mut out);
+    out
+}

@@ -1,0 +1,26 @@
+//! Fixture: the `lint-allow` escape hatch. One reasoned allow suppresses
+//! its finding; a stale allow, a reasonless allow, and an unknown-rule
+//! allow each produce a meta-finding of their own.
+
+// lint-allow(determinism): fixture exercising the escape hatch; this map
+// is constructed and dropped without iteration.
+use std::collections::HashMap;
+
+// lint-allow(panic-hygiene): nothing below panics, so this is stale
+pub fn quiet() -> u64 {
+    7
+}
+
+// lint-allow: blanket suppression with no rule or reason
+pub fn also_quiet() -> u64 {
+    8
+}
+
+// lint-allow(no-such-rule): the rule id has a typo
+pub fn still_quiet() -> u64 {
+    9
+}
+
+pub fn state() -> HashMap<u64, u64> {
+    HashMap::new()
+}

@@ -1,0 +1,10 @@
+//! Fixture: `counter-monotonicity` must fire on a stray increment call
+//! site (linted under a virtual path outside the sanctioned list).
+
+pub fn sneaky(counters: &mut CounterTable, v: VersionNo, n: NodeId) {
+    counters.inc_request(v, n);
+}
+
+pub fn forge() -> CounterTable {
+    CounterTable { versions: Default::default() }
+}

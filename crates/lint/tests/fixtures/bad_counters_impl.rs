@@ -1,0 +1,14 @@
+//! Fixture: `counter-monotonicity` must fire inside the counter
+//! implementation itself (linted under the virtual path
+//! `crates/core/src/counters.rs`): a `pub` map field, a non-monotone
+//! method name, and a literal decrement.
+
+pub struct VersionCounters {
+    pub requests_to: BTreeMap<NodeId, u64>,
+}
+
+impl VersionCounters {
+    pub fn reset_request(&mut self, to: NodeId) {
+        *self.requests_to.entry(to).or_insert(1) -= 1;
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: the `determinism` rule must fire on the lines noted below.
+
+use std::collections::HashMap;
+
+pub fn state() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+pub fn pause() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only code is out of scope: this must NOT fire.
+    use std::collections::HashMap;
+
+    #[test]
+    fn ok() {
+        let _ = HashMap::<u8, u8>::new();
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: `panic-hygiene` must fire on each escape below.
+
+pub fn handle(msg: Option<Msg>, map: &BTreeMap<u64, u64>) -> u64 {
+    let m = msg.unwrap();
+    let v = map.get(&0).expect("entry");
+    match m {
+        Msg::Known => *v,
+        Msg::Odd => panic!("bad message"),
+        _ => unreachable!(),
+    }
+}
+
+pub fn checked(x: u64) {
+    // Invariant assertions are deliberately admitted: must NOT fire.
+    assert!(x > 0, "x positive");
+    debug_assert_eq!(x % 2, 0);
+}

@@ -1,0 +1,7 @@
+//! Fixture: `unsafe-forbid` must fire twice when linted as a crate root
+//! (`src/lib.rs`): once for the missing `#![forbid(unsafe_code)]` and
+//! once for the `unsafe` block.
+
+pub fn peek(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

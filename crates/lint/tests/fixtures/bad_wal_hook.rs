@@ -1,0 +1,18 @@
+//! Fixture: `wal-hook-coverage` must fire (linted under a virtual path
+//! inside `crates/core/src/node/`): a counter increment and a durable
+//! field reassignment with no WAL hook anywhere in the file.
+
+impl ThreeVNode {
+    pub fn apply_unlogged(&mut self, version: VersionNo, to: NodeId) {
+        self.counters.inc_request(version, to);
+    }
+
+    pub fn advance_unlogged(&mut self, v: VersionNo) {
+        self.vu = v;
+    }
+
+    pub fn compare_only(&self, v: VersionNo) -> bool {
+        // An equality test is not an assignment: must NOT fire.
+        self.vu == v
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixture: a well-behaved protocol file — zero findings expected under
+//! the strictest policy (deterministic + panic hygiene + unsafe forbid).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Window {
+    starts: BTreeMap<u64, u64>,
+    seen: BTreeSet<u64>,
+}
+
+impl Window {
+    pub fn observe(&mut self, at: u64) -> Result<u64, String> {
+        self.seen.insert(at);
+        match self.starts.get(&at) {
+            Some(v) => Ok(*v),
+            None => Err(format!("no window at {at}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_side_freedom() {
+        // Test code may use HashMap and unwrap freely.
+        let mut m = HashMap::new();
+        m.insert(1u8, 2u8);
+        assert_eq!(*m.get(&1).unwrap(), 2);
+    }
+}

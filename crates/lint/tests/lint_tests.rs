@@ -1,0 +1,163 @@
+//! Integration tests: the fixture corpus pins each rule family's
+//! behaviour (`file:line` exactness, negatives, the allow escape hatch),
+//! and `workspace_is_clean` wires the linter into tier-1 `cargo test`.
+
+use std::path::Path;
+
+use threev_lint::{find_root, lint_source, lint_workspace, Finding};
+
+fn fixture(name: &str) -> String {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::read_to_string(dir.join(name)).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+/// `(rule, line)` pairs, sorted — the shape every assertion below uses.
+fn shape(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+/// The linter runs over the real tree as part of `cargo test -q`: the
+/// workspace must stay clean, with every suppression reasoned.
+#[test]
+fn workspace_is_clean() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above CARGO_MANIFEST_DIR");
+    let findings = lint_workspace(&root).expect("workspace lint runs");
+    assert!(
+        findings.is_empty(),
+        "threev-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn determinism_fires_with_exact_lines() {
+    let src = fixture("bad_determinism.rs");
+    let findings = lint_source("model", "crates/model/src/bad.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("determinism", 3),
+            ("determinism", 5),
+            ("determinism", 6),
+            ("determinism", 10),
+        ],
+        "{findings:#?}"
+    );
+    // The same file inside a non-deterministic crate is out of scope.
+    let exempt = lint_source("bench", "crates/bench/src/bad.rs", &src);
+    assert!(exempt.is_empty(), "{exempt:#?}");
+}
+
+#[test]
+fn counter_monotonicity_fires_on_stray_callsites() {
+    let src = fixture("bad_counters.rs");
+    let findings = lint_source("core", "crates/core/src/poll.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![("counter-monotonicity", 5), ("counter-monotonicity", 9)],
+        "{findings:#?}"
+    );
+    // The sanctioned call sites may increment — but the WAL-coverage rule
+    // takes over there (an increment still needs its write-ahead record),
+    // and the struct-literal back door stays closed even for them.
+    let sanctioned = lint_source("core", "crates/core/src/node/gc.rs", &src);
+    assert_eq!(
+        shape(&sanctioned),
+        vec![("wal-hook-coverage", 5), ("counter-monotonicity", 9)],
+        "{sanctioned:#?}"
+    );
+}
+
+#[test]
+fn counter_monotonicity_fires_inside_the_impl() {
+    let src = fixture("bad_counters_impl.rs");
+    let findings = lint_source("core", "crates/core/src/counters.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("counter-monotonicity", 7),  // pub map field
+            ("counter-monotonicity", 11), // fn reset_*
+            ("counter-monotonicity", 12), // literal decrement
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn wal_hook_coverage_fires_on_unlogged_mutations() {
+    let src = fixture("bad_wal_hook.rs");
+    let findings = lint_source("core", "crates/core/src/node/exec.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![("wal-hook-coverage", 7), ("wal-hook-coverage", 11)],
+        "{findings:#?}"
+    );
+    // Outside the node engine the rule does not apply.
+    let exempt = lint_source("core", "crates/core/src/advance.rs", &src);
+    assert!(
+        !exempt.iter().any(|f| f.rule == "wal-hook-coverage"),
+        "{exempt:#?}"
+    );
+}
+
+#[test]
+fn panic_hygiene_fires_but_asserts_pass() {
+    let src = fixture("bad_panic.rs");
+    let findings = lint_source("core", "crates/core/src/msg.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("panic-hygiene", 4),
+            ("panic-hygiene", 5),
+            ("panic-hygiene", 8),
+            ("panic-hygiene", 9),
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn unsafe_forbid_fires_on_crate_roots() {
+    let src = fixture("bad_unsafe.rs");
+    let findings = lint_source("model", "crates/model/src/lib.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("unsafe-forbid", 1), // missing #![forbid(unsafe_code)]
+            ("unsafe-forbid", 6), // the unsafe block itself
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let src = fixture("clean.rs");
+    let findings = lint_source("core", "crates/core/src/window.rs", &src);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn allow_escape_hatch_suppresses_and_reports_misuse() {
+    let src = fixture("allows.rs");
+    let findings = lint_source("model", "crates/model/src/allows.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("unused-allow", 9),  // allow that suppresses nothing
+            ("allow-syntax", 14), // blanket allow with no rule/reason
+            ("allow-syntax", 19), // unknown rule id
+            ("determinism", 24),  // outside the window: still reported
+            ("determinism", 25),
+        ],
+        "{findings:#?}"
+    );
+    // The reasoned allow on line 5 swallowed the line-7 HashMap import.
+    assert!(!findings.iter().any(|f| f.line == 7), "{findings:#?}");
+}

@@ -15,6 +15,7 @@
 //! Nothing in this crate knows about versions-at-rest, messages, or clocks;
 //! those live in `threev-storage`, `threev-core`, and `threev-sim`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -6,7 +6,7 @@
 //! of a run and shared by every engine, the workload generators, and the
 //! auditor.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::ids::{Key, NodeId};
 use crate::value::{Value, ValueKind};
@@ -60,7 +60,7 @@ impl KeyDecl {
 #[derive(Clone, Debug, Default)]
 pub struct Schema {
     decls: Vec<KeyDecl>,
-    by_key: HashMap<Key, usize>,
+    by_key: BTreeMap<Key, usize>,
     n_nodes: u16,
 }
 
@@ -70,7 +70,7 @@ impl Schema {
     /// # Panics
     /// Panics on duplicate keys — a schema bug that should fail fast.
     pub fn new(decls: Vec<KeyDecl>) -> Self {
-        let mut by_key = HashMap::with_capacity(decls.len());
+        let mut by_key = BTreeMap::new();
         let mut n_nodes = 0u16;
         for (i, d) in decls.iter().enumerate() {
             assert!(

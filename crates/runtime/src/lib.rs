@@ -22,6 +22,7 @@
 //! the batching benchmark compares against, and as the reference behaviour
 //! the equivalence tests pin batching to.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

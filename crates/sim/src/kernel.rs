@@ -5,7 +5,7 @@
 //! the kernel does not care, it only routes.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -160,7 +160,7 @@ pub struct SimStats {
     /// inbox lost with each crash).
     pub crash_purged: u64,
     /// Messages by engine-supplied tag (see [`Ctx::send_tagged`]).
-    pub messages_by_tag: HashMap<&'static str, u64>,
+    pub messages_by_tag: BTreeMap<&'static str, u64>,
 }
 
 impl SimStats {
@@ -540,12 +540,19 @@ impl<A: Actor> Simulation<A> {
                         if !same_run {
                             break;
                         }
+                        // The event just peeked is the one popped (single-
+                        // threaded heap); anything else would be a kernel
+                        // defect. Push non-deliveries back rather than panic.
                         match self.core.queue.pop() {
                             Some(Event {
                                 payload: Payload::Deliver { from, msg, .. },
                                 ..
                             }) => self.batch_buf.push((from, msg)),
-                            _ => unreachable!("peeked event changed shape"),
+                            Some(other) => {
+                                self.core.queue.push(other);
+                                break;
+                            }
+                            None => break,
                         }
                     }
                     self.core.stats.events += self.batch_buf.len() as u64;

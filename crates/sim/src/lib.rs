@@ -20,6 +20,7 @@
 //! seeded RNG, and simultaneous events tie-break on a monotone sequence
 //! number.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

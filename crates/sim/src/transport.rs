@@ -38,7 +38,7 @@
 //! Self-sends (`from == to`) are local hand-offs, not network links; the
 //! fault plane never applies to them.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -244,7 +244,7 @@ impl LinkStats {
 /// Per-link transport statistics for one driver instance.
 #[derive(Clone, Debug, Default)]
 pub struct TransportStats {
-    links: HashMap<(NodeId, NodeId), LinkStats>,
+    links: BTreeMap<(NodeId, NodeId), LinkStats>,
 }
 
 impl TransportStats {
@@ -300,11 +300,11 @@ pub struct Transport {
     /// Fault-decision RNG, decorrelated from the kernel RNG so enabling
     /// faults never perturbs the latency draw sequence.
     fault_rng: SmallRng,
-    fifo_floor: HashMap<(NodeId, NodeId), SimTime>,
+    fifo_floor: BTreeMap<(NodeId, NodeId), SimTime>,
     /// Per link: latest scheduled delivery among fault-delayed copies.
     /// A later send delivered earlier than this overtook one — that is
     /// the only reordering the fault plane is charged with.
-    delayed_high: HashMap<(NodeId, NodeId), SimTime>,
+    delayed_high: BTreeMap<(NodeId, NodeId), SimTime>,
     stats: TransportStats,
     /// Wire mode (real-thread runtime): the channel is the link, so no
     /// base latency is sampled and FIFO is the channel's own property.
@@ -330,8 +330,8 @@ impl Transport {
             fifo: cfg.fifo && !wire,
             faults: cfg.faults.clone(),
             fault_rng: SmallRng::seed_from_u64(cfg.seed ^ FAULT_SEED_SALT),
-            fifo_floor: HashMap::new(),
-            delayed_high: HashMap::new(),
+            fifo_floor: BTreeMap::new(),
+            delayed_high: BTreeMap::new(),
             stats: TransportStats::default(),
             wire,
         }

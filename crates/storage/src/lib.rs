@@ -21,6 +21,7 @@
 //! * an **undo log** for local rollback, feeding the compensation machinery
 //!   (§3.2).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -20,7 +20,7 @@
 //! queued waiter, so exclusive requests are not starved by a stream of
 //! commute requests.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use threev_model::{Key, TxnId};
 
@@ -92,7 +92,7 @@ pub type Grants = Vec<(TxnId, Key, LockMode)>;
 /// The per-node lock table.
 #[derive(Clone, Debug, Default)]
 pub struct LockTable {
-    locks: HashMap<Key, LockState>,
+    locks: BTreeMap<Key, LockState>,
     /// Total waits observed (experiment X6 reports lock-wait pressure).
     pub waits: u64,
     /// Total wait-die aborts.
@@ -256,7 +256,7 @@ impl LockTable {
     pub fn from_parts(
         parts: Vec<(Key, Vec<(TxnId, LockMode, u32)>, Vec<(TxnId, LockMode)>)>,
     ) -> Self {
-        let mut locks = HashMap::new();
+        let mut locks = BTreeMap::new();
         for (key, holders, waiters) in parts {
             locks.insert(
                 key,

@@ -86,10 +86,13 @@ impl VersionedRecord {
 
     /// Largest live version number.
     pub fn max_version(&self) -> VersionNo {
+        // Structural invariant: every constructor materialises at least one
+        // version, and GC never drops the last one — an empty record is
+        // unrepresentable. Degrading to version 0 beats a reachable panic.
         self.versions
             .last()
             .map(|(v, _)| *v)
-            .expect("record always has >= 1 version")
+            .unwrap_or(VersionNo(0))
     }
 
     /// Does version `v` exist?
@@ -187,12 +190,20 @@ impl VersionedRecord {
             self.versions.insert(pos, (v, copy));
             created_version = true;
         }
-        let slot = self
+        let Some(slot) = self
             .versions
             .iter_mut()
             .find(|(w, _)| *w == v)
             .map(|(_, val)| val)
-            .expect("just ensured");
+        else {
+            // Ensured three lines up; failing here would be a defect in
+            // `ensure_version`, surfaced as an error instead of a panic.
+            return Err(StoreError::NoVisibleVersion {
+                key,
+                version: v,
+                window: None,
+            });
+        };
         op.apply(slot, txn)
             .map_err(|source| StoreError::Apply { key, source })?;
         Ok(UpdateOutcome {

@@ -1,7 +1,7 @@
 //! The per-node key-value store: a map of [`VersionedRecord`]s plus the
 //! statistics the experiments report on.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use threev_model::{Key, NodeId, Schema, TxnId, UpdateOp, Value, VersionNo};
@@ -104,7 +104,7 @@ pub struct StoreStats {
 #[derive(Clone, Debug)]
 pub struct Store {
     node: NodeId,
-    records: HashMap<Key, VersionedRecord>,
+    records: BTreeMap<Key, VersionedRecord>,
     stats: StoreStats,
 }
 
@@ -112,7 +112,7 @@ impl Store {
     /// Build the store for `node`, materialising every key the schema homes
     /// there at version 0.
     pub fn from_schema(schema: &Schema, node: NodeId) -> Self {
-        let mut records = HashMap::new();
+        let mut records = BTreeMap::new();
         for decl in schema.keys_on(node) {
             records.insert(decl.key, VersionedRecord::initial(decl.init.clone()));
         }
@@ -130,7 +130,7 @@ impl Store {
     pub fn empty(node: NodeId) -> Self {
         Store {
             node,
-            records: HashMap::new(),
+            records: BTreeMap::new(),
             stats: StoreStats::default(),
         }
     }
@@ -159,6 +159,45 @@ impl Store {
     /// Statistics so far.
     pub fn stats(&self) -> &StoreStats {
         &self.stats
+    }
+
+    /// Validate the read rule without serving the read (no stats moved, no
+    /// value cloned). Lets the node layer reject a malformed subtransaction
+    /// *before* applying any of its steps, so rejection needs no undo.
+    pub fn check_read(&self, key: Key, v: VersionNo) -> Result<(), StoreError> {
+        let rec = self
+            .records
+            .get(&key)
+            .ok_or(StoreError::UnknownKey { key })?;
+        rec.read_visible(v)
+            .map(|_| ())
+            .ok_or(StoreError::NoVisibleVersion {
+                key,
+                version: v,
+                window: None,
+            })
+    }
+
+    /// Validate an update without applying it: the key is stored here, a
+    /// base version is visible at `v`, and `op` applies to the stored value
+    /// kind. Companion pre-pass to [`Store::check_read`].
+    pub fn check_update(&self, key: Key, v: VersionNo, op: UpdateOp) -> Result<(), StoreError> {
+        let rec = self
+            .records
+            .get(&key)
+            .ok_or(StoreError::UnknownKey { key })?;
+        let (_, base) = rec.read_visible(v).ok_or(StoreError::NoVisibleVersion {
+            key,
+            version: v,
+            window: None,
+        })?;
+        if op.applies_to() != base.kind() {
+            return Err(StoreError::Apply {
+                key,
+                source: threev_model::ops::ApplyError::TypeMismatch { value: base.kind() },
+            });
+        }
+        Ok(())
     }
 
     /// Read rule (§4.1 step 3 / §4.2): maximum existing version ≤ `v`.
@@ -304,7 +343,7 @@ impl Store {
                 (
                     *k,
                     r.version_numbers()
-                        .map(|v| (v, r.value_at(v).unwrap().clone()))
+                        .filter_map(|v| r.value_at(v).map(|val| (v, val.clone())))
                         .collect(),
                 )
             })
@@ -317,7 +356,7 @@ impl Store {
     /// Statistics restart from the recovered layout: the historical
     /// counters died with the node.
     pub fn from_parts(node: NodeId, parts: Vec<(Key, Vec<(VersionNo, Value)>)>) -> Self {
-        let mut records = HashMap::new();
+        let mut records = BTreeMap::new();
         let mut max_versions = 0u32;
         for (key, versions) in parts {
             max_versions = max_versions.max(versions.len() as u32);
@@ -338,7 +377,7 @@ impl Store {
     pub fn layout(&self, key: Key) -> Option<Vec<(VersionNo, Value)>> {
         self.records.get(&key).map(|r| {
             r.version_numbers()
-                .map(|v| (v, r.value_at(v).unwrap().clone()))
+                .filter_map(|v| r.value_at(v).map(|val| (v, val.clone())))
                 .collect()
         })
     }

@@ -23,6 +23,7 @@
 //! * [`zipf`], [`arrivals`] — skewed entity sampling and Poisson arrival
 //!   processes (implemented here; no external dependencies beyond `rand`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -1,0 +1,26 @@
+//! Tier-1 gate: the protocol-invariant linter must find nothing in the
+//! tree. Equivalent to `cargo run -p threev-lint -- --deny`, wired into
+//! `cargo test -q` so a violation fails the suite, not just CI.
+
+use std::path::Path;
+
+use threev_lint::{find_root, lint_workspace};
+
+#[test]
+fn workspace_passes_threev_lint() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above CARGO_MANIFEST_DIR");
+    let findings = lint_workspace(&root).expect("workspace lint runs");
+    assert!(
+        findings.is_empty(),
+        "threev-lint found {} violation(s); run `cargo run -p threev-lint -- --deny` \
+         for details, or suppress a justified site with \
+         `// lint-allow(rule-id): reason`:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
