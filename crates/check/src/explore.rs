@@ -1,0 +1,479 @@
+//! Schedule execution and exploration strategies.
+//!
+//! Three ways to drive a scenario through the kernel's chosen-event API:
+//!
+//! * [`run_schedule`] — replay one recorded choice list, invariant-checked
+//!   after every step. The basis of regression replay and shrinking;
+//! * [`explore_random`] — bounded random walks: uniformly random choices,
+//!   recorded as they are made, until a step budget runs out or a
+//!   violation appears;
+//! * [`explore_exhaustive`] — depth-first enumeration of all interleavings
+//!   with sleep-set partial-order reduction, for tiny configurations.
+//!
+//! All three replay from scratch (stateless model checking): the kernel is
+//! deterministic given `(scenario, seed, choices)`, so a prefix of choice
+//! indices *is* a state, and storing anything else would be redundant.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+use threev_sim::{EnabledEvent, EnabledKind, Simulation};
+
+use crate::oracle::Violation;
+use crate::scenario::{client_records, node_views, Scenario};
+
+/// Hard ceiling on steps per execution when the caller does not tighten
+/// it: generous for every catalogue scenario (their quiescent runs are
+/// well under 200 steps) while still bounding pathological schedules.
+pub const DEFAULT_MAX_STEPS: u64 = 2_000;
+
+/// A violation tagged with the step after which it was observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViolationAt {
+    /// Steps executed when the oracle flagged the state (the violating
+    /// event is choice `step - 1`... the check runs post-step, so a
+    /// schedule of `step` choices reproduces it).
+    pub step: u64,
+    /// What was violated.
+    pub violation: Violation,
+}
+
+/// Outcome of one replayed schedule.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Steps executed.
+    pub steps: u64,
+    /// Did the event queue drain (vs. violation stop / step budget)?
+    pub quiescent: bool,
+    /// First violation, if any.
+    pub violation: Option<ViolationAt>,
+    /// Human-readable per-step log plus verdict. Byte-identical across
+    /// replays of the same schedule — the regression tests diff it.
+    pub report: String,
+}
+
+fn describe(ev: &EnabledEvent) -> String {
+    let kind = match ev.kind {
+        EnabledKind::Deliver => "deliver",
+        EnabledKind::Timer => "timer",
+        EnabledKind::Crash => "crash",
+        EnabledKind::Restart => "restart",
+    };
+    match ev.from {
+        Some(from) => format!(
+            "{kind} {from}->{} (t={} seq={})",
+            ev.target, ev.at.0, ev.seq
+        ),
+        None => format!("{kind} @{} (t={} seq={})", ev.target, ev.at.0, ev.seq),
+    }
+}
+
+/// Replay `choices` against `scenario` built with `seed`, running the
+/// oracle after every step and the quiescent checks if the queue drains.
+/// Choices past the end of the list are `0`; indices past the enabled set
+/// clamp to its last entry.
+pub fn run_schedule(scenario: &Scenario, seed: u64, choices: &[u32], max_steps: u64) -> RunOutcome {
+    let oracle = scenario.oracle();
+    let mut sim = scenario.build(seed);
+    let mut report = String::new();
+    let _ = writeln!(report, "# scenario = {}", scenario.name);
+    let _ = writeln!(report, "# seed = {seed}");
+    let mut steps = 0u64;
+    let mut quiescent = false;
+    let mut violation = None;
+
+    loop {
+        let enabled = sim.enabled_events();
+        if enabled.is_empty() {
+            quiescent = true;
+            break;
+        }
+        if steps >= max_steps {
+            let _ = writeln!(report, "step budget ({max_steps}) exhausted");
+            break;
+        }
+        let want = choices.get(steps as usize).copied().unwrap_or(0) as usize;
+        let idx = want.min(enabled.len() - 1);
+        let ev = enabled[idx];
+        let _ = writeln!(
+            report,
+            "step {steps}: choice {idx}/{} {}",
+            enabled.len(),
+            describe(&ev)
+        );
+        sim.step_chosen(ev.seq);
+        steps += 1;
+        let viols = oracle.check_step(
+            &node_views(&sim, scenario.n_nodes),
+            client_records(&sim, scenario.n_nodes),
+        );
+        if let Some(v) = viols.into_iter().next() {
+            let _ = writeln!(report, "violation after step {}: {v}", steps - 1);
+            violation = Some(ViolationAt {
+                step: steps,
+                violation: v,
+            });
+            break;
+        }
+    }
+
+    if quiescent && violation.is_none() {
+        let views = node_views(&sim, scenario.n_nodes);
+        let records = client_records(&sim, scenario.n_nodes);
+        for v in &views {
+            let _ = writeln!(
+                report,
+                "quiescent: {} vu={} vr={} chains={:?}",
+                v.node, v.vu, v.vr, v.chain_lengths
+            );
+        }
+        for r in records {
+            let _ = writeln!(
+                report,
+                "txn {:?}: {:?} version={:?} reads={}",
+                r.id,
+                r.status,
+                r.version,
+                r.reads.len()
+            );
+        }
+        let viols = oracle.check_quiescent(&views, records);
+        if let Some(v) = viols.into_iter().next() {
+            let _ = writeln!(report, "violation at quiescence: {v}");
+            violation = Some(ViolationAt {
+                step: steps,
+                violation: v,
+            });
+        }
+    }
+    let _ = writeln!(
+        report,
+        "verdict: {} after {steps} steps",
+        if violation.is_some() {
+            "VIOLATION"
+        } else if quiescent {
+            "clean"
+        } else {
+            "inconclusive"
+        }
+    );
+    RunOutcome {
+        steps,
+        quiescent,
+        violation,
+        report,
+    }
+}
+
+/// A counterexample: the recorded choices and the violation they hit.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Choice list reproducing the violation via [`run_schedule`].
+    pub choices: Vec<u32>,
+    /// The violation.
+    pub at: ViolationAt,
+}
+
+/// Outcome of a random-walk exploration.
+#[derive(Clone, Debug)]
+pub struct WalkOutcome {
+    /// Complete walks executed.
+    pub runs: u64,
+    /// Total steps across all walks.
+    pub steps: u64,
+    /// First counterexample found, if any.
+    pub violation: Option<Counterexample>,
+}
+
+/// Bounded random-walk exploration: repeat uniformly random schedules,
+/// recording each walk's choices, until `step_budget` total steps are
+/// spent or a violation is found. Deterministic in `(scenario, seed,
+/// step_budget)`.
+pub fn explore_random(
+    scenario: &Scenario,
+    seed: u64,
+    step_budget: u64,
+    max_steps_per_run: u64,
+) -> WalkOutcome {
+    let oracle = scenario.oracle();
+    let mut out = WalkOutcome {
+        runs: 0,
+        steps: 0,
+        violation: None,
+    };
+    let mut walk = 0u64;
+    while out.steps < step_budget {
+        // Decorrelate per-walk choice streams from the kernel seed.
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ walk.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC4EC);
+        walk += 1;
+        let mut sim = scenario.build(seed);
+        let mut choices: Vec<u32> = Vec::new();
+        let mut quiescent = false;
+        while (choices.len() as u64) < max_steps_per_run && out.steps < step_budget {
+            let enabled = sim.enabled_events();
+            if enabled.is_empty() {
+                quiescent = true;
+                break;
+            }
+            let idx = rng.gen_range(0..enabled.len());
+            choices.push(idx as u32);
+            sim.step_chosen(enabled[idx].seq);
+            out.steps += 1;
+            let viols = oracle.check_step(
+                &node_views(&sim, scenario.n_nodes),
+                client_records(&sim, scenario.n_nodes),
+            );
+            if let Some(v) = viols.into_iter().next() {
+                out.violation = Some(Counterexample {
+                    at: ViolationAt {
+                        step: choices.len() as u64,
+                        violation: v,
+                    },
+                    choices,
+                });
+                return out;
+            }
+        }
+        if quiescent {
+            let viols = oracle.check_quiescent(
+                &node_views(&sim, scenario.n_nodes),
+                client_records(&sim, scenario.n_nodes),
+            );
+            if let Some(v) = viols.into_iter().next() {
+                out.violation = Some(Counterexample {
+                    at: ViolationAt {
+                        step: choices.len() as u64,
+                        violation: v,
+                    },
+                    choices,
+                });
+                return out;
+            }
+        }
+        out.runs += 1;
+    }
+    out
+}
+
+/// Re-derive the choice list of walk number `walk` of the deterministic
+/// walk sequence [`explore_random`] draws from. Used to *record* a
+/// schedule into the regression corpus: pick a walk, inspect what it
+/// exercised, commit its choices. The oracle is not consulted here —
+/// callers replay through [`run_schedule`] to judge the result.
+pub fn record_walk(scenario: &Scenario, seed: u64, walk: u64, max_steps: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ walk.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC4EC);
+    let mut sim = scenario.build(seed);
+    let mut choices = Vec::new();
+    while (choices.len() as u64) < max_steps {
+        let enabled = sim.enabled_events();
+        if enabled.is_empty() {
+            break;
+        }
+        let idx = rng.gen_range(0..enabled.len());
+        choices.push(idx as u32);
+        sim.step_chosen(enabled[idx].seq);
+    }
+    choices
+}
+
+/// Outcome of an exhaustive DFS exploration.
+#[derive(Clone, Debug)]
+pub struct DfsOutcome {
+    /// Distinct complete schedules explored (leaves reached).
+    pub schedules: u64,
+    /// Total steps executed (including prefix replays).
+    pub steps: u64,
+    /// Was the (reduced) space fully enumerated within the budgets? When
+    /// `false`, the sweep was truncated — callers must not report the
+    /// scenario as exhaustively verified.
+    pub complete: bool,
+    /// First counterexample found, if any.
+    pub violation: Option<Counterexample>,
+}
+
+/// Two enabled events commute if they are addressed to different actors
+/// and neither is a lifecycle (crash/restart) event: delivering or firing
+/// them in either order leaves every actor's state identical. Lifecycle
+/// events purge the target's queue, which races with *any* event, so they
+/// are treated as dependent on everything. (Virtual-time stamps of later
+/// sends differ across the two orders; the scheduler controls ordering
+/// anyway, so that difference is sterile — see DESIGN.md §8.)
+fn independent(a: &EnabledEvent, b: &EnabledEvent) -> bool {
+    a.target != b.target
+        && !matches!(a.kind, EnabledKind::Crash | EnabledKind::Restart)
+        && !matches!(b.kind, EnabledKind::Crash | EnabledKind::Restart)
+}
+
+struct Dfs<'a> {
+    scenario: &'a Scenario,
+    seed: u64,
+    max_schedules: u64,
+    max_depth: u64,
+    out: DfsOutcome,
+}
+
+impl Dfs<'_> {
+    fn replay(&mut self, prefix: &[u32]) -> Simulation<threev_core::cluster::ClusterActor> {
+        let mut sim = self.scenario.build(self.seed);
+        for &c in prefix {
+            let enabled = sim.enabled_events();
+            if enabled.is_empty() {
+                break;
+            }
+            let idx = (c as usize).min(enabled.len() - 1);
+            sim.step_chosen(enabled[idx].seq);
+            self.out.steps += 1;
+        }
+        sim
+    }
+
+    /// Explore all extensions of `prefix`. Each state is oracle-checked
+    /// exactly once — when it is the tip of the descent (ancestor states
+    /// were checked on the way down).
+    fn go(&mut self, prefix: &mut Vec<u32>, sleep: Vec<EnabledEvent>) {
+        if self.out.violation.is_some() || !self.out.complete {
+            return;
+        }
+        let mut sim = self.replay(prefix);
+        let oracle = self.scenario.oracle();
+        if !prefix.is_empty() {
+            let viols = oracle.check_step(
+                &node_views(&sim, self.scenario.n_nodes),
+                client_records(&sim, self.scenario.n_nodes),
+            );
+            if let Some(v) = viols.into_iter().next() {
+                self.out.violation = Some(Counterexample {
+                    choices: prefix.clone(),
+                    at: ViolationAt {
+                        step: prefix.len() as u64,
+                        violation: v,
+                    },
+                });
+                return;
+            }
+        }
+        let enabled = sim.enabled_events();
+        if enabled.is_empty() {
+            self.out.schedules += 1;
+            let viols = oracle.check_quiescent(
+                &node_views(&sim, self.scenario.n_nodes),
+                client_records(&sim, self.scenario.n_nodes),
+            );
+            if let Some(v) = viols.into_iter().next() {
+                self.out.violation = Some(Counterexample {
+                    choices: prefix.clone(),
+                    at: ViolationAt {
+                        step: prefix.len() as u64,
+                        violation: v,
+                    },
+                });
+            }
+            return;
+        }
+        if prefix.len() as u64 >= self.max_depth {
+            // Depth-truncated branch: counted, but the sweep is no longer
+            // a proof over the reduced space.
+            self.out.schedules += 1;
+            self.out.complete = false;
+            return;
+        }
+        drop(sim);
+        // Sleep set: events already explored at an ancestor whose effect
+        // here would replicate an explored subtree. Keep only those still
+        // enabled.
+        let mut slp: Vec<EnabledEvent> = sleep
+            .into_iter()
+            .filter(|s| enabled.iter().any(|e| e.seq == s.seq))
+            .collect();
+        for (i, ev) in enabled.iter().enumerate() {
+            if self.out.violation.is_some() || !self.out.complete {
+                return;
+            }
+            if self.out.schedules >= self.max_schedules {
+                self.out.complete = false;
+                return;
+            }
+            if slp.iter().any(|s| s.seq == ev.seq) {
+                continue;
+            }
+            let child_sleep: Vec<EnabledEvent> =
+                slp.iter().copied().filter(|s| independent(s, ev)).collect();
+            prefix.push(i as u32);
+            self.go(prefix, child_sleep);
+            prefix.pop();
+            slp.push(*ev);
+        }
+    }
+}
+
+/// Exhaustive DFS over all interleavings of `scenario`, pruned by
+/// sleep-set partial-order reduction, bounded by `max_schedules` explored
+/// leaves and `max_depth` steps per schedule.
+pub fn explore_exhaustive(
+    scenario: &Scenario,
+    seed: u64,
+    max_schedules: u64,
+    max_depth: u64,
+) -> DfsOutcome {
+    let mut dfs = Dfs {
+        scenario,
+        seed,
+        max_schedules,
+        max_depth,
+        out: DfsOutcome {
+            schedules: 0,
+            steps: 0,
+            complete: true,
+            violation: None,
+        },
+    };
+    dfs.go(&mut Vec::new(), Vec::new());
+    dfs.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::find;
+
+    #[test]
+    fn default_schedule_is_clean_and_deterministic() {
+        let sc = find("two-node-basic").unwrap();
+        let a = run_schedule(sc, 3, &[], DEFAULT_MAX_STEPS);
+        let b = run_schedule(sc, 3, &[], DEFAULT_MAX_STEPS);
+        assert!(a.quiescent && a.violation.is_none(), "{}", a.report);
+        assert_eq!(a.report, b.report, "replay must be byte-identical");
+    }
+
+    #[test]
+    fn random_walks_on_sound_scenario_stay_clean() {
+        let sc = find("two-node-basic").unwrap();
+        let out = explore_random(sc, 11, 3_000, DEFAULT_MAX_STEPS);
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.runs > 0);
+    }
+
+    #[test]
+    fn exhaustive_explores_distinct_schedules() {
+        let sc = find("two-node-basic").unwrap();
+        let out = explore_exhaustive(sc, 3, 150, 400);
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.schedules >= 150, "explored {}", out.schedules);
+    }
+
+    #[test]
+    fn random_walk_finds_the_planted_p2_bug() {
+        let sc = find("p2-skip").unwrap();
+        let out = explore_random(sc, 5, 60_000, 200);
+        let cex = out.violation.expect("sabotaged build must be caught");
+        assert!(matches!(
+            cex.at.violation,
+            crate::oracle::Violation::AuditFailed { .. }
+        ));
+        // And the recorded schedule reproduces it.
+        let rerun = run_schedule(sc, 5, &cex.choices, DEFAULT_MAX_STEPS);
+        assert_eq!(rerun.violation.map(|v| v.violation), Some(cex.at.violation));
+    }
+}

@@ -1,0 +1,49 @@
+//! Deterministic model checking for the 3V protocol.
+//!
+//! The simulation kernel executes one fixed schedule per seed. This crate
+//! turns it into a model checker: the kernel exposes its enabled-event set
+//! ([`threev_sim::Simulation::enabled_events`]) and executes whichever
+//! event a [`threev_sim::Scheduler`] picks, so *every* interleaving of a
+//! scenario's events is reachable, not just the timestamp-ordered one.
+//! After each step an invariant oracle checks the paper's safety
+//! properties; when a state fails, the offending schedule is shrunk to a
+//! minimal, replayable counterexample.
+//!
+//! Module map:
+//!
+//! * [`scenario`] — the catalogue of tiny fixed cluster configurations
+//!   worth exploring (phase boundaries, version skew, crash in Phase 2,
+//!   the NC3V gate, and a deliberately sabotaged build);
+//! * [`oracle`] — the invariants: P1 (≤ 3 versions), P2 (`vr < vu ≤
+//!   vr + 2`), P5 (counter soundness), Def 3.2 (bounded skew), Thm 4.1
+//!   (serializability via the analysis auditor), and quiescent-residue
+//!   checks;
+//! * [`schedule`] — the replayable text format: `(scenario, seed,
+//!   choices)`;
+//! * [`explore`] — replay, bounded random walks, and exhaustive DFS with
+//!   sleep-set partial-order reduction;
+//! * [`shrink`] — delta-debugging a violating schedule down to a minimal
+//!   counterexample.
+//!
+//! The `threev-check` binary fronts all of this for CI and for local
+//! bug-hunts; `tests/check_replay.rs` at the workspace root replays the
+//! committed corpus in `tests/schedules/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod explore;
+pub mod oracle;
+pub mod scenario;
+pub mod schedule;
+pub mod shrink;
+
+pub use explore::{
+    explore_exhaustive, explore_random, record_walk, run_schedule, Counterexample, DfsOutcome,
+    RunOutcome, ViolationAt, WalkOutcome, DEFAULT_MAX_STEPS,
+};
+pub use oracle::{Oracle, Violation};
+pub use scenario::{find, sound, Scenario, CATALOGUE};
+pub use schedule::Schedule;
+pub use shrink::{shrink, ShrinkOutcome};

@@ -1,0 +1,387 @@
+//! `threev-check` — the model-checker CLI.
+//!
+//! ```text
+//! threev-check list
+//! threev-check exhaustive --scenario NAME [--seed N] [--budget SCHEDULES] [--depth STEPS]
+//! threev-check random     --scenario NAME [--seed N] [--steps BUDGET] [--depth STEPS] [--out DIR]
+//! threev-check sweep      [--seed N] [--steps BUDGET] [--out DIR]
+//! threev-check replay     FILE [--depth STEPS] [--verbose]
+//! threev-check record     --scenario NAME --walk W [--seed N] [--out FILE]
+//! ```
+//!
+//! Exit status: `0` — exploration clean / replay clean; `1` — a violation
+//! was found (the shrunk counterexample is printed and, with `--out`,
+//! written next to the run); `2` — usage or I/O error.
+//!
+//! `sweep` explores every sound catalogue scenario with the random-walk
+//! budget — the nightly CI job. Everything here is deterministic in its
+//! arguments: no wall clock, no entropy.
+
+use std::process::ExitCode;
+
+use threev_check::{
+    explore_exhaustive, explore_random, find, record_walk, run_schedule, shrink, Counterexample,
+    Scenario, Schedule, CATALOGUE, DEFAULT_MAX_STEPS,
+};
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+    verbose: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut out = Args {
+        positional: Vec::new(),
+        flags: Vec::new(),
+        verbose: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if a == "--verbose" {
+            out.verbose = true;
+        } else if let Some(name) = a.strip_prefix("--") {
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            out.flags.push((name.to_string(), value.clone()));
+            i += 1;
+        } else {
+            out.positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+impl Args {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|e| format!("bad --{name} `{v}`: {e}")),
+        }
+    }
+
+    fn scenario(&self) -> Result<&'static Scenario, String> {
+        let name = self
+            .flag("scenario")
+            .ok_or("missing --scenario NAME (try `threev-check list`)")?;
+        find(name).ok_or_else(|| format!("unknown scenario `{name}` (try `threev-check list`)"))
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: threev-check <list|exhaustive|random|sweep|replay> [args]\n\
+     \x20 list\n\
+     \x20 exhaustive --scenario NAME [--seed N] [--budget SCHEDULES] [--depth STEPS]\n\
+     \x20 random     --scenario NAME [--seed N] [--steps BUDGET] [--depth STEPS] [--out DIR]\n\
+     \x20 sweep      [--seed N] [--steps BUDGET] [--out DIR]\n\
+     \x20 replay     FILE [--depth STEPS] [--verbose]\n\
+     \x20 record     --scenario NAME --walk W [--seed N] [--out FILE]"
+}
+
+/// Shrink a counterexample, print it, and (with `--out`) persist it.
+fn handle_counterexample(
+    sc: &Scenario,
+    seed: u64,
+    cex: &Counterexample,
+    depth: u64,
+    out_dir: Option<&str>,
+) -> ExitCode {
+    println!("violation: {}", cex.at.violation);
+    let (choices, detail) = match shrink(sc, seed, &cex.choices, depth) {
+        Some(s) => {
+            println!(
+                "shrunk {} -> {} choices in {} replays; minimal violation: {}",
+                cex.choices.len(),
+                s.choices.len(),
+                s.attempts,
+                s.at.violation
+            );
+            (s.choices.clone(), s.at.violation.to_string())
+        }
+        None => {
+            println!("shrink could not reproduce; keeping the raw schedule");
+            (cex.choices.clone(), cex.at.violation.to_string())
+        }
+    };
+    let schedule = Schedule {
+        scenario: sc.name.to_string(),
+        seed,
+        choices,
+    };
+    let text = schedule.render(&format!(
+        "counterexample for `{}` (seed {seed})\nviolation: {detail}",
+        sc.name
+    ));
+    print!("{text}");
+    if let Some(dir) = out_dir {
+        let path = format!("{dir}/counterexample-{}-{seed}.sched", sc.name);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::from(2);
+        }
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("written to {path}");
+    }
+    ExitCode::from(1)
+}
+
+fn cmd_list() -> ExitCode {
+    for sc in CATALOGUE {
+        println!(
+            "{:16} nodes={} crashes={} sabotaged={}  {}",
+            sc.name, sc.n_nodes, sc.crashes, sc.sabotaged, sc.about
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_exhaustive(args: &Args) -> Result<ExitCode, String> {
+    let sc = args.scenario()?;
+    let seed = args.num("seed", 3)?;
+    let budget = args.num("budget", 2_000)?;
+    let depth = args.num("depth", 400)?;
+    let out = explore_exhaustive(sc, seed, budget, depth);
+    println!(
+        "exhaustive {}: {} distinct schedules, {} steps, complete={}",
+        sc.name, out.schedules, out.steps, out.complete
+    );
+    match out.violation {
+        Some(cex) => Ok(handle_counterexample(
+            sc,
+            seed,
+            &cex,
+            depth,
+            args.flag("out"),
+        )),
+        None => Ok(ExitCode::SUCCESS),
+    }
+}
+
+fn cmd_random(args: &Args) -> Result<ExitCode, String> {
+    let sc = args.scenario()?;
+    let seed = args.num("seed", 3)?;
+    let steps = args.num("steps", 20_000)?;
+    let depth = args.num("depth", DEFAULT_MAX_STEPS)?;
+    let out = explore_random(sc, seed, steps, depth);
+    println!(
+        "random {}: {} walks, {} steps",
+        sc.name, out.runs, out.steps
+    );
+    match out.violation {
+        Some(cex) => Ok(handle_counterexample(
+            sc,
+            seed,
+            &cex,
+            depth,
+            args.flag("out"),
+        )),
+        None => Ok(ExitCode::SUCCESS),
+    }
+}
+
+fn cmd_sweep(args: &Args) -> Result<ExitCode, String> {
+    let seed = args.num("seed", 3)?;
+    let steps = args.num("steps", 50_000)?;
+    let depth = args.num("depth", DEFAULT_MAX_STEPS)?;
+    let mut status = ExitCode::SUCCESS;
+    for sc in CATALOGUE.iter().filter(|s| !s.sabotaged) {
+        let out = explore_random(sc, seed, steps, depth);
+        println!(
+            "sweep {}: {} walks, {} steps, {}",
+            sc.name,
+            out.runs,
+            out.steps,
+            if out.violation.is_some() {
+                "VIOLATION"
+            } else {
+                "clean"
+            }
+        );
+        if let Some(cex) = out.violation {
+            status = handle_counterexample(sc, seed, &cex, depth, args.flag("out"));
+        }
+    }
+    Ok(status)
+}
+
+/// What a replayed schedule exercised: advancement phase instants and, per
+/// transaction, which phase boundaries its lifetime straddles. Drives the
+/// comments baked into recorded corpus files, so review can see *why* a
+/// schedule is in the corpus.
+fn coverage_summary(sc: &Scenario, seed: u64, choices: &[u32], depth: u64) -> String {
+    use threev_core::cluster::ClusterActor;
+    use threev_sim::EnabledKind;
+    let mut sim = sc.build(seed);
+    let mut steps = 0u64;
+    let mut lifecycle: Vec<(EnabledKind, u16, u64)> = Vec::new();
+    loop {
+        let enabled = sim.enabled_events();
+        if enabled.is_empty() || steps >= depth {
+            break;
+        }
+        let want = choices.get(steps as usize).copied().unwrap_or(0) as usize;
+        let ev = enabled[want.min(enabled.len() - 1)];
+        sim.step_chosen(ev.seq);
+        if matches!(ev.kind, EnabledKind::Crash | EnabledKind::Restart) {
+            lifecycle.push((ev.kind, ev.target.0, sim.now().0));
+        }
+        steps += 1;
+    }
+    let mut out = String::new();
+    for (kind, node, at) in &lifecycle {
+        out.push_str(&format!("{kind:?} of node {node} executed at t={at}\n"));
+    }
+    let mut boundaries: Vec<(String, u64)> = Vec::new();
+    if let Some(ClusterActor::Coordinator(c)) = sim.actors().get(sc.n_nodes as usize) {
+        for (i, a) in c.records().iter().enumerate() {
+            out.push_str(&format!(
+                "advancement {i} -> vu={}: start={} p1={} p2={} p3={} p4={} (p2 rounds={})\n",
+                a.vu_new,
+                a.started.0,
+                a.p1_done.0,
+                a.p2_done.0,
+                a.p3_done.0,
+                a.p4_done.0,
+                a.p2_rounds
+            ));
+            boundaries.push((format!("adv{i}.p1"), a.p1_done.0));
+            boundaries.push((format!("adv{i}.p2"), a.p2_done.0));
+            boundaries.push((format!("adv{i}.p3"), a.p3_done.0));
+            boundaries.push((format!("adv{i}.p4"), a.p4_done.0));
+        }
+    }
+    if let Some(ClusterActor::Client(c)) = sim.actors().get(sc.n_nodes as usize + 1) {
+        for r in c.records() {
+            let done = r.completed.map(|t| t.0).unwrap_or(u64::MAX);
+            let crossed: Vec<&str> = boundaries
+                .iter()
+                .filter(|(_, b)| r.submitted.0 < *b && *b < done)
+                .map(|(name, _)| name.as_str())
+                .collect();
+            out.push_str(&format!(
+                "txn {:?} ({:?}, v={:?}) alive {}..{} straddles [{}]\n",
+                r.id,
+                r.status,
+                r.version,
+                r.submitted.0,
+                r.completed.map(|t| t.0).unwrap_or(0),
+                crossed.join(" ")
+            ));
+        }
+    }
+    out
+}
+
+fn cmd_record(args: &Args) -> Result<ExitCode, String> {
+    let sc = args.scenario()?;
+    let seed = args.num("seed", 3)?;
+    let walk = args.num("walk", 0)?;
+    let depth = args.num("depth", DEFAULT_MAX_STEPS)?;
+    let choices = record_walk(sc, seed, walk, depth);
+    let out = run_schedule(sc, seed, &choices, depth);
+    if let Some(v) = &out.violation {
+        return Err(format!(
+            "walk {walk} violates ({}); record is for clean corpus schedules — \
+             use `random --out` to persist counterexamples",
+            v.violation
+        ));
+    }
+    if !out.quiescent {
+        return Err(format!("walk {walk} did not quiesce within {depth} steps"));
+    }
+    let schedule = Schedule {
+        scenario: sc.name.to_string(),
+        seed,
+        choices,
+    };
+    let comment = format!(
+        "recorded walk {walk} of `{}` (seed {seed}); replays clean\n{}",
+        sc.name,
+        coverage_summary(sc, seed, &schedule.choices, depth)
+    );
+    let text = schedule.render(comment.trim_end());
+    match args.flag("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("written to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_replay(args: &Args) -> Result<ExitCode, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("replay needs a schedule file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let schedule = Schedule::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let sc = find(&schedule.scenario)
+        .ok_or_else(|| format!("{path}: unknown scenario `{}`", schedule.scenario))?;
+    let depth = args.num("depth", DEFAULT_MAX_STEPS)?;
+    let out = run_schedule(sc, schedule.seed, &schedule.choices, depth);
+    if args.verbose {
+        print!("{}", out.report);
+    }
+    match out.violation {
+        Some(v) => {
+            println!(
+                "replay {path}: VIOLATION after {} steps: {}",
+                v.step, v.violation
+            );
+            Ok(ExitCode::from(1))
+        }
+        None => {
+            println!("replay {path}: clean after {} steps", out.steps);
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let args = match parse_args(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "list" => Ok(cmd_list()),
+        "exhaustive" => cmd_exhaustive(&args),
+        "random" => cmd_random(&args),
+        "sweep" => cmd_sweep(&args),
+        "replay" => cmd_replay(&args),
+        "record" => cmd_record(&args),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

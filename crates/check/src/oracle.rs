@@ -1,0 +1,483 @@
+//! The invariant oracle: what "correct" means, checked after every step.
+//!
+//! The oracle consumes the cheap read-only [`InvariantView`] snapshots the
+//! nodes export plus the client's transaction records, and decides whether
+//! the state the scheduler just produced is one the paper allows:
+//!
+//! * **P1 (three-version bound)** — no item's version chain exceeds 3
+//!   entries (§2.1, Theorem 2.1);
+//! * **P2 (version window)** — every node satisfies `vr < vu ≤ vr + 2`
+//!   (§2.2; equality `vu = vr + 2` only transiently during advancement);
+//! * **P5 (counter soundness)** — globally, for every `(requester p,
+//!   executor q)` pair and version `v`, completions `C(v)pq` never exceed
+//!   requests `R(v)pq` (§4.3). Checked only for `v ≥ max vr` across nodes:
+//!   per-node counter GC is asynchronous, so older versions may be
+//!   one-sidedly reclaimed without that being a bug;
+//! * **Def 3.2 (bounded skew)** — across nodes, `max vu − min vu ≤ 1` and
+//!   `max vr − min vr ≤ 1`. Skipped in crash scenarios: a node recovering
+//!   from a checkpoint legitimately lags further until it re-syncs;
+//! * **Thm 4.1 (serializability)** — the [`Auditor`] over completed
+//!   transaction records: reads are atomic, version-exact, and never
+//!   observe aborted work. Run incrementally over *completed* records at
+//!   every step (a violation among completed transactions can never be
+//!   retracted by later events) and over everything at quiescence;
+//! * **P3/P7 (quiescent residue)** — once the event queue drains, every
+//!   node reports quiescent and the NC3V lock table holds no exclusive
+//!   locks and no waiters.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use threev_analysis::{Auditor, TxnRecord, TxnStatus};
+use threev_core::InvariantView;
+use threev_model::{Key, NodeId, TxnId, VersionNo};
+
+/// One invariant violation, with enough context to be a useful diagnostic
+/// on its own (counterexample reports embed the `Display` form).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// P1: an item's version chain grew beyond three entries.
+    ChainTooLong {
+        /// Node holding the chain.
+        node: NodeId,
+        /// The item.
+        key: Key,
+        /// Observed chain length.
+        len: usize,
+    },
+    /// P2: a node's `(vr, vu)` window left `vr < vu ≤ vr + 2`.
+    WindowViolated {
+        /// The offending node.
+        node: NodeId,
+        /// Its read version.
+        vr: VersionNo,
+        /// Its update version.
+        vu: VersionNo,
+    },
+    /// P5: more completions than requests for a pair at a live version.
+    CounterImbalance {
+        /// Version of the unbalanced counters.
+        version: VersionNo,
+        /// Requesting node (owns `R(v)pq`).
+        requester: NodeId,
+        /// Executing node (owns `C(v)pq`).
+        executor: NodeId,
+        /// Requests recorded at the requester.
+        requests: u64,
+        /// Completions recorded at the executor.
+        completions: u64,
+    },
+    /// Def 3.2: update-version skew across nodes exceeded one.
+    UpdateSkew {
+        /// Smallest `vu` in the cluster.
+        min: VersionNo,
+        /// Largest `vu` in the cluster.
+        max: VersionNo,
+    },
+    /// Def 3.2: read-version skew across nodes exceeded one.
+    ReadSkew {
+        /// Smallest `vr` in the cluster.
+        min: VersionNo,
+        /// Largest `vr` in the cluster.
+        max: VersionNo,
+    },
+    /// An exclusive NC3V lock survived into quiescence.
+    LockResidue {
+        /// Node with the stuck lock.
+        node: NodeId,
+        /// Locked item.
+        key: Key,
+        /// Holder.
+        txn: TxnId,
+    },
+    /// A node still reports in-flight protocol state at quiescence.
+    NotQuiescent {
+        /// The busy node.
+        node: NodeId,
+    },
+    /// The serializability audit over transaction records failed.
+    AuditFailed {
+        /// Atomicity violations (partial transactions observed).
+        atomicity: u64,
+        /// Version-exactness violations (Theorem 4.1 order broken).
+        version_exactness: u64,
+        /// Reads that observed aborted transactions.
+        aborted_visible: u64,
+        /// Debug rendering of the first sampled violation.
+        first: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ChainTooLong { node, key, len } => {
+                write!(f, "P1: chain of {key:?} on {node} has {len} versions (> 3)")
+            }
+            Violation::WindowViolated { node, vr, vu } => {
+                write!(
+                    f,
+                    "P2: window on {node} is vr={vr} vu={vu} (need vr < vu <= vr+2)"
+                )
+            }
+            Violation::CounterImbalance {
+                version,
+                requester,
+                executor,
+                requests,
+                completions,
+            } => write!(
+                f,
+                "P5: C({version}){requester}->{executor} = {completions} exceeds R = {requests}"
+            ),
+            Violation::UpdateSkew { min, max } => {
+                write!(f, "Def 3.2: update-version skew {min}..{max} exceeds 1")
+            }
+            Violation::ReadSkew { min, max } => {
+                write!(f, "Def 3.2: read-version skew {min}..{max} exceeds 1")
+            }
+            Violation::LockResidue { node, key, txn } => {
+                write!(
+                    f,
+                    "NC3V: exclusive lock on {key:?}@{node} held by {txn:?} at quiescence"
+                )
+            }
+            Violation::NotQuiescent { node } => {
+                write!(f, "residue: {node} not quiescent after the queue drained")
+            }
+            Violation::AuditFailed {
+                atomicity,
+                version_exactness,
+                aborted_visible,
+                first,
+            } => write!(
+                f,
+                "Thm 4.1: audit failed (atomicity={atomicity} version={version_exactness} \
+                 aborted-visible={aborted_visible}): {first}"
+            ),
+        }
+    }
+}
+
+/// The oracle configuration. Build one per scenario via
+/// [`crate::scenario::Scenario::oracle`].
+#[derive(Clone, Copy, Debug)]
+pub struct Oracle {
+    /// Check Def 3.2 bounded skew. Off for crash scenarios, where a
+    /// recovering node legitimately lags the cluster.
+    pub check_skew: bool,
+}
+
+impl Oracle {
+    /// Invariants that must hold after *every* delivered event.
+    pub fn check_step(&self, views: &[InvariantView], records: &[TxnRecord]) -> Vec<Violation> {
+        let mut out = self.structural(views);
+        out.extend(audit(records, true));
+        out
+    }
+
+    /// Invariants that must additionally hold once the event queue drains.
+    pub fn check_quiescent(
+        &self,
+        views: &[InvariantView],
+        records: &[TxnRecord],
+    ) -> Vec<Violation> {
+        let mut out = self.structural(views);
+        for v in views {
+            for &(key, txn) in &v.exclusive_held {
+                out.push(Violation::LockResidue {
+                    node: v.node,
+                    key,
+                    txn,
+                });
+            }
+            if !v.quiescent {
+                out.push(Violation::NotQuiescent { node: v.node });
+            }
+        }
+        out.extend(audit(records, false));
+        out
+    }
+
+    fn structural(&self, views: &[InvariantView]) -> Vec<Violation> {
+        let mut out = Vec::new();
+        // A down node's snapshot is the post-crash wipe, not a protocol
+        // state: per-node invariants are meaningless against it, and the
+        // global checks below would compare live requester/executor
+        // counters against tables recovery has not replayed yet. The
+        // per-node checks resume for it at restart; the global checks
+        // resume once the whole cluster is up.
+        let any_down = views.iter().any(|v| v.down);
+        for v in views.iter().filter(|v| !v.down) {
+            for &(key, len) in &v.chain_lengths {
+                if len > 3 {
+                    out.push(Violation::ChainTooLong {
+                        node: v.node,
+                        key,
+                        len,
+                    });
+                }
+            }
+            if !(v.vu > v.vr && v.vu.0 <= v.vr.0 + 2) {
+                out.push(Violation::WindowViolated {
+                    node: v.node,
+                    vr: v.vr,
+                    vu: v.vu,
+                });
+            }
+        }
+        if !any_down {
+            out.extend(counter_balance(views));
+            if self.check_skew {
+                out.extend(skew(views));
+            }
+        }
+        out
+    }
+}
+
+/// Global counter soundness: aggregate every node's `(requests_to,
+/// completions_from)` export into per-`(version, requester, executor)`
+/// pairs and require `C ≤ R` for every version at or above the GC horizon
+/// (`max vr` across nodes — below it, one side may already be reclaimed).
+fn counter_balance(views: &[InvariantView]) -> Vec<Violation> {
+    let horizon = views.iter().map(|v| v.vr).max().unwrap_or(VersionNo(0));
+    let mut pairs: BTreeMap<(VersionNo, NodeId, NodeId), (u64, u64)> = BTreeMap::new();
+    for v in views {
+        for (ver, requests_to, completions_from) in &v.counters {
+            for &(q, r) in requests_to {
+                pairs.entry((*ver, v.node, q)).or_default().0 += r;
+            }
+            for &(p, c) in completions_from {
+                pairs.entry((*ver, p, v.node)).or_default().1 += c;
+            }
+        }
+    }
+    pairs
+        .into_iter()
+        .filter(|&((ver, _, _), (r, c))| ver >= horizon && c > r)
+        .map(
+            |((version, requester, executor), (requests, completions))| {
+                Violation::CounterImbalance {
+                    version,
+                    requester,
+                    executor,
+                    requests,
+                    completions,
+                }
+            },
+        )
+        .collect()
+}
+
+fn skew(views: &[InvariantView]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let vus: Vec<VersionNo> = views.iter().map(|v| v.vu).collect();
+    let vrs: Vec<VersionNo> = views.iter().map(|v| v.vr).collect();
+    if let (Some(&min), Some(&max)) = (vus.iter().min(), vus.iter().max()) {
+        if max.0 - min.0 > 1 {
+            out.push(Violation::UpdateSkew { min, max });
+        }
+    }
+    if let (Some(&min), Some(&max)) = (vrs.iter().min(), vrs.iter().max()) {
+        if max.0 - min.0 > 1 {
+            out.push(Violation::ReadSkew { min, max });
+        }
+    }
+    out
+}
+
+/// Serializability audit. With `completed_only`, records still in flight
+/// are excluded: their observations are not final yet, but any violation
+/// among the already-completed set is permanent, so flagging early is
+/// sound and lets counterexamples stop (and shrink) well before full
+/// quiescence.
+fn audit(records: &[TxnRecord], completed_only: bool) -> Option<Violation> {
+    let subset: Vec<TxnRecord> = records
+        .iter()
+        .filter(|r| !completed_only || r.status != TxnStatus::InFlight)
+        .cloned()
+        .collect();
+    let report = Auditor::new(&subset).check();
+    if report.clean() {
+        return None;
+    }
+    Some(Violation::AuditFailed {
+        atomicity: report.atomicity_violations,
+        version_exactness: report.version_violations,
+        aborted_visible: report.aborted_visible,
+        first: report
+            .samples
+            .first()
+            .map(|s| format!("{s:?}"))
+            .unwrap_or_default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_view(node: u16) -> InvariantView {
+        // Requests only: outstanding work (R=3, C=0) is balanced-enough
+        // (C ≤ R) and stays consistent whether the oracle sees one view
+        // or the whole cluster.
+        let other = NodeId(1 - node);
+        InvariantView {
+            node: NodeId(node),
+            vu: VersionNo(1),
+            vr: VersionNo(0),
+            chain_lengths: vec![(Key(1), 2)],
+            counters: vec![(VersionNo(1), vec![(other, 3)], vec![])],
+            exclusive_held: vec![],
+            lock_waiters: 0,
+            quiescent: true,
+            down: false,
+        }
+    }
+
+    fn oracle() -> Oracle {
+        Oracle { check_skew: true }
+    }
+
+    #[test]
+    fn clean_snapshot_passes() {
+        let views = [clean_view(0), clean_view(1)];
+        assert_eq!(oracle().check_step(&views, &[]), vec![]);
+        assert_eq!(oracle().check_quiescent(&views, &[]), vec![]);
+    }
+
+    #[test]
+    fn four_version_chain_raises_p1() {
+        let mut v = clean_view(0);
+        v.chain_lengths = vec![(Key(7), 4)];
+        let got = oracle().check_step(&[v], &[]);
+        assert_eq!(
+            got,
+            vec![Violation::ChainTooLong {
+                node: NodeId(0),
+                key: Key(7),
+                len: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn window_too_wide_raises_p2() {
+        let mut v = clean_view(0);
+        v.vr = VersionNo(1);
+        v.vu = VersionNo(4); // vu > vr + 2
+        let got = oracle().check_step(&[v], &[]);
+        assert_eq!(
+            got,
+            vec![Violation::WindowViolated {
+                node: NodeId(0),
+                vr: VersionNo(1),
+                vu: VersionNo(4)
+            }]
+        );
+    }
+
+    #[test]
+    fn update_version_not_ahead_raises_p2() {
+        let mut v = clean_view(0);
+        v.vr = VersionNo(2);
+        v.vu = VersionNo(2); // vu must be strictly ahead of vr
+        let got = oracle().check_step(&[v], &[]);
+        assert!(
+            matches!(got[0], Violation::WindowViolated { .. }),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn negative_counter_balance_raises_p5() {
+        // Node 1 recorded 5 completions for requests node 0 only made 3 of.
+        let mut a = clean_view(0);
+        a.counters = vec![(VersionNo(1), vec![(NodeId(1), 3)], vec![])];
+        let mut b = clean_view(1);
+        b.counters = vec![(VersionNo(1), vec![], vec![(NodeId(0), 5)])];
+        let got = oracle().check_step(&[a, b], &[]);
+        assert_eq!(
+            got,
+            vec![Violation::CounterImbalance {
+                version: VersionNo(1),
+                requester: NodeId(0),
+                executor: NodeId(1),
+                requests: 3,
+                completions: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn gc_horizon_masks_stale_versions() {
+        // Same imbalance, but at a version below every node's vr: one side
+        // has GC'd its counters, which is not a bug.
+        let mut a = clean_view(0);
+        a.vr = VersionNo(2);
+        a.vu = VersionNo(3);
+        a.counters = vec![(VersionNo(1), vec![], vec![(NodeId(1), 5)])];
+        let mut b = clean_view(1);
+        b.vr = VersionNo(2);
+        b.vu = VersionNo(3);
+        b.counters = vec![];
+        assert_eq!(oracle().check_step(&[a, b], &[]), vec![]);
+    }
+
+    #[test]
+    fn skew_beyond_one_raises_def_3_2() {
+        let mut a = clean_view(0);
+        a.vu = VersionNo(3);
+        a.vr = VersionNo(2);
+        let b = clean_view(1); // vu=1, vr=0
+        let got = oracle().check_step(&[a.clone(), b.clone()], &[]);
+        assert!(got.contains(&Violation::UpdateSkew {
+            min: VersionNo(1),
+            max: VersionNo(3)
+        }));
+        assert!(got.contains(&Violation::ReadSkew {
+            min: VersionNo(0),
+            max: VersionNo(2)
+        }));
+        // Crash-scenario oracles skip the skew rule.
+        let lax = Oracle { check_skew: false };
+        assert_eq!(lax.check_step(&[a, b], &[]), vec![]);
+    }
+
+    #[test]
+    fn down_node_is_masked() {
+        // A crashed-but-not-yet-recovered node reports its wiped state:
+        // nothing about it may be flagged, and the cross-node checks
+        // (counter soundness, skew) pause until the cluster is whole —
+        // the down node's requester-side tables are gone until recovery.
+        let mut crashed = clean_view(1);
+        crashed.down = true;
+        crashed.vr = VersionNo(1);
+        crashed.vu = VersionNo(1); // would violate P2 if checked
+        crashed.counters = vec![];
+        let mut live = clean_view(0);
+        live.vu = VersionNo(3);
+        live.vr = VersionNo(2); // would violate Def 3.2 against vu=1
+                                // C(v2) from n1 with n1's R-side wiped: would be a false P5 hit.
+        live.counters = vec![(VersionNo(2), vec![], vec![(NodeId(1), 5)])];
+        assert_eq!(oracle().check_step(&[live, crashed], &[]), vec![]);
+    }
+
+    #[test]
+    fn quiescent_residue_flagged() {
+        let mut v = clean_view(0);
+        v.exclusive_held = vec![(Key(9), TxnId::new(4, NodeId(0)))];
+        v.quiescent = false;
+        let got = oracle().check_quiescent(&[v], &[]);
+        assert!(got.contains(&Violation::LockResidue {
+            node: NodeId(0),
+            key: Key(9),
+            txn: TxnId::new(4, NodeId(0))
+        }));
+        assert!(got.contains(&Violation::NotQuiescent { node: NodeId(0) }));
+        // The same state passes the per-step check: locks and in-flight
+        // work are normal while events remain.
+        assert_eq!(oracle().check_step(&[clean_view(0)], &[]), vec![]);
+    }
+}

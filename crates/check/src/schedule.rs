@@ -1,0 +1,137 @@
+//! The on-disk schedule format.
+//!
+//! A schedule is the full identity of one explored execution: the scenario
+//! name, the kernel seed, and the list of choice indices — at step `i` the
+//! scheduler picked `choices[i]` from the sorted enabled-event list.
+//! Choices past the end of the list default to `0` (the earliest event,
+//! i.e. the normal schedule), and out-of-range indices clamp to the last
+//! enabled event, so a *prefix* is already a complete, replayable
+//! counterexample.
+//!
+//! The format is line-oriented text so counterexamples diff cleanly in
+//! review:
+//!
+//! ```text
+//! # free-form comment
+//! scenario = two-node-basic
+//! seed = 7
+//! choices = 0 0 3 1 0 2
+//! choices = 1 4
+//! ```
+//!
+//! Repeated `choices` lines concatenate, which keeps long schedules
+//! wrapped at a readable width.
+
+use std::fmt::Write as _;
+
+/// A parsed schedule file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Scenario name (see [`crate::scenario::find`]).
+    pub scenario: String,
+    /// Kernel seed the scenario was built with.
+    pub seed: u64,
+    /// Choice indices, one per step.
+    pub choices: Vec<u32>,
+}
+
+impl Schedule {
+    /// Parse the text format. Errors name the offending line; a schedule
+    /// file is test input, so bad content must fail loudly rather than be
+    /// silently repaired.
+    pub fn parse(text: &str) -> Result<Schedule, String> {
+        let mut scenario = None;
+        let mut seed = None;
+        let mut choices = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let lineno = i + 1;
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`, got `{line}`"))?;
+            match key.trim() {
+                "scenario" => scenario = Some(value.trim().to_string()),
+                "seed" => {
+                    seed =
+                        Some(value.trim().parse::<u64>().map_err(|e| {
+                            format!("line {lineno}: bad seed `{}`: {e}", value.trim())
+                        })?)
+                }
+                "choices" => {
+                    for tok in value.split_whitespace() {
+                        choices.push(
+                            tok.parse::<u32>()
+                                .map_err(|e| format!("line {lineno}: bad choice `{tok}`: {e}"))?,
+                        );
+                    }
+                }
+                other => return Err(format!("line {lineno}: unknown key `{other}`")),
+            }
+        }
+        Ok(Schedule {
+            scenario: scenario.ok_or("missing `scenario = ...` line".to_string())?,
+            seed: seed.ok_or("missing `seed = ...` line".to_string())?,
+            choices,
+        })
+    }
+
+    /// Render back to the text format, with `comment` lines on top.
+    pub fn render(&self, comment: &str) -> String {
+        let mut out = String::new();
+        for line in comment.lines() {
+            let _ = writeln!(out, "# {line}");
+        }
+        let _ = writeln!(out, "scenario = {}", self.scenario);
+        let _ = writeln!(out, "seed = {}", self.seed);
+        if self.choices.is_empty() {
+            let _ = writeln!(out, "choices =");
+        }
+        for chunk in self.choices.chunks(16) {
+            let toks: Vec<String> = chunk.iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(out, "choices = {}", toks.join(" "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let s = Schedule {
+            scenario: "two-node-basic".into(),
+            seed: 42,
+            choices: (0..40).map(|i| i % 5).collect(),
+        };
+        let text = s.render("recorded by a test");
+        assert!(text.starts_with("# recorded by a test\n"));
+        assert_eq!(Schedule::parse(&text), Ok(s));
+    }
+
+    #[test]
+    fn empty_choice_list_roundtrips() {
+        let s = Schedule {
+            scenario: "x".into(),
+            seed: 0,
+            choices: vec![],
+        };
+        assert_eq!(Schedule::parse(&s.render("")), Ok(s));
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let err = Schedule::parse("scenario = a\nseed = b\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = Schedule::parse("scenario = a\nseed = 1\nbogus\n").unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        let err = Schedule::parse("seed = 1\n").unwrap_err();
+        assert!(err.contains("scenario"), "{err}");
+        let err = Schedule::parse("scenario = a\nseed = 1\nwhat = 4\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Counterexample shrinking: delta-debugging over choice indices.
+//!
+//! A recorded violating schedule from a random walk is mostly noise —
+//! dozens of arbitrary choices of which only a handful force the bad
+//! interleaving. Shrinking exploits the replay semantics of
+//! [`crate::schedule::Schedule`]: a missing choice defaults to `0` (the
+//! earliest event), so "simplify" means "set choices back to 0", and a
+//! trailing run of zeros can be dropped entirely. The passes:
+//!
+//! 1. **truncate** — choices after the violation step never ran;
+//! 2. **zero out** — ddmin-style: try resetting halves, then quarters,
+//!    ... then single choices to `0`, keeping any candidate that still
+//!    violates (any violation counts: a simpler schedule that trips a
+//!    different invariant is still a minimal repro of broken protocol);
+//! 3. **trim** — drop the trailing zeros and re-verify.
+//!
+//! The result is the schedule written to `tests/schedules/` style
+//! counterexample files: short, mostly zeros, and deterministic to
+//! replay.
+
+use crate::explore::{run_schedule, ViolationAt};
+use crate::scenario::Scenario;
+
+/// A shrunk counterexample.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The minimal choice list (still violating).
+    pub choices: Vec<u32>,
+    /// The violation the minimal schedule reproduces.
+    pub at: ViolationAt,
+    /// Replays spent shrinking.
+    pub attempts: u64,
+}
+
+/// Shrink `choices` against `(scenario, seed)`. Returns `None` if the
+/// original schedule does not reproduce any violation (stale input).
+pub fn shrink(
+    scenario: &Scenario,
+    seed: u64,
+    choices: &[u32],
+    max_steps: u64,
+) -> Option<ShrinkOutcome> {
+    let mut attempts = 0u64;
+    let mut probe = |c: &[u32]| -> Option<ViolationAt> {
+        attempts += 1;
+        run_schedule(scenario, seed, c, max_steps).violation
+    };
+
+    let first = probe(choices)?;
+    let mut cur: Vec<u32> = choices[..choices.len().min(first.step as usize)].to_vec();
+
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut lo = 0;
+        while lo < cur.len() {
+            let hi = (lo + chunk).min(cur.len());
+            if cur[lo..hi].iter().all(|&c| c == 0) {
+                lo = hi;
+                continue;
+            }
+            let mut cand = cur.clone();
+            for c in &mut cand[lo..hi] {
+                *c = 0;
+            }
+            if let Some(v) = probe(&cand) {
+                cand.truncate(cand.len().min(v.step as usize));
+                cur = cand;
+                // Re-scan the same window: it is now all zeros, so the
+                // guard above advances past it next iteration.
+            } else {
+                lo = hi;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    while cur.last() == Some(&0) {
+        cur.pop();
+    }
+    let at = probe(&cur)?;
+    Some(ShrinkOutcome {
+        choices: cur,
+        at,
+        attempts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore_random;
+    use crate::scenario::find;
+
+    #[test]
+    fn non_violating_schedule_shrinks_to_none() {
+        let sc = find("two-node-basic").unwrap();
+        assert!(shrink(sc, 3, &[0, 0, 1], 500).is_none());
+    }
+
+    #[test]
+    fn planted_bug_counterexample_shrinks() {
+        let sc = find("p2-skip").unwrap();
+        let cex = explore_random(sc, 5, 60_000, 200)
+            .violation
+            .expect("sabotage must be found");
+        let shrunk = shrink(sc, 5, &cex.choices, 500).expect("must still reproduce");
+        assert!(
+            shrunk.choices.len() <= cex.choices.len(),
+            "shrinking must not grow the schedule"
+        );
+        // The minimal schedule still reproduces after a round-trip.
+        let rerun = run_schedule(sc, 5, &shrunk.choices, 500);
+        assert!(rerun.violation.is_some());
+    }
+}

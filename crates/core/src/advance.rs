@@ -89,6 +89,13 @@ pub struct CoordinatorConfig {
     /// liveness on a lossy transport. `None` (the default) keeps the
     /// historical fire-and-forget behaviour for fault-free runs.
     pub retransmit: Option<SimDuration>,
+    /// **Test-only protocol sabotage**: skip the Phase-2 drain entirely and
+    /// publish the new read version as soon as every Phase-1 ack is in —
+    /// i.e. revert §4.3's "wait until the old update version is inter-node
+    /// consistent". Exists solely so the model checker's acceptance test
+    /// can plant a known-unsound build and prove the checker finds and
+    /// shrinks a violating schedule. Never set outside tests.
+    pub skip_p2_drain: bool,
 }
 
 impl Default for CoordinatorConfig {
@@ -97,6 +104,7 @@ impl Default for CoordinatorConfig {
             policy: AdvancementPolicy::Manual,
             poll_interval: SimDuration::from_millis(2),
             retransmit: None,
+            skip_p2_drain: false,
         }
     }
 }
@@ -472,9 +480,19 @@ impl Actor for Coordinator {
                         if let Some(c) = &mut self.cur {
                             c.p1_done = ctx.now();
                         }
-                        // Phase 2: drain the old update version.
-                        let vu_old = self.vu;
-                        self.begin_polling(ctx, vu_old, true);
+                        if self.cfg.skip_p2_drain {
+                            // Test-only sabotage (see CoordinatorConfig):
+                            // publish the new read version without waiting
+                            // for the old update version to drain.
+                            if let Some(c) = &mut self.cur {
+                                c.p2_done = ctx.now();
+                            }
+                            self.enter_phase3(ctx);
+                        } else {
+                            // Phase 2: drain the old update version.
+                            let vu_old = self.vu;
+                            self.begin_polling(ctx, vu_old, true);
+                        }
                     }
                 }
             }

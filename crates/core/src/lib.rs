@@ -71,4 +71,4 @@ pub use client::{Arrival, ClientActor};
 pub use cluster::{ClusterConfig, ThreeVCluster, ThreeVConfig};
 pub use counters::{CounterMatrix, CounterSnapshot, CounterTable};
 pub use msg::{ClientEvent, Msg, ProtocolMsg};
-pub use node::{DurabilityMode, ThreeVNode};
+pub use node::{DurabilityMode, InvariantView, ThreeVNode};

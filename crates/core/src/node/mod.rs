@@ -235,10 +235,44 @@ enum TimerAction {
     RetryNcRoot(TxnId),
 }
 
+/// A cheap read-only snapshot of one node's protocol state, taken by the
+/// model checker (`threev-check`) after every executed event and fed to
+/// its invariant oracle. Everything here is a value copy — building a view
+/// never perturbs the engine, so checking is schedule-transparent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantView {
+    /// The node observed.
+    pub node: NodeId,
+    /// Current update version `vu`.
+    pub vu: VersionNo,
+    /// Current read version `vr`.
+    pub vr: VersionNo,
+    /// Live version-chain length per stored key (P1: never more than 3).
+    pub chain_lengths: Vec<(Key, usize)>,
+    /// Counter rows per version: `(v, R(v)·q rows, C(v)o· rows)` — the
+    /// same export shape as a durability checkpoint, so the oracle can
+    /// assemble the global pairwise matrix with [`crate::CounterMatrix`].
+    #[allow(clippy::type_complexity)]
+    pub counters: Vec<(VersionNo, Vec<(NodeId, u64)>, Vec<(NodeId, u64)>)>,
+    /// Exclusive locks currently held: `(key, transaction)`.
+    pub exclusive_held: Vec<(Key, threev_model::TxnId)>,
+    /// Total queued lock waiters across all keys.
+    pub lock_waiters: usize,
+    /// [`ThreeVNode::is_quiescent`] at snapshot time.
+    pub quiescent: bool,
+    /// Is the node down (crashed, recovery not yet run)? A down node's
+    /// volatile state is the post-crash wipe, not a protocol state —
+    /// checkers must not hold per-node invariants against it, and its
+    /// counter tables are absent until recovery replays them.
+    pub down: bool,
+}
+
 /// The 3V engine for one node.
 pub struct ThreeVNode {
     me: NodeId,
     cfg: NodeConfig,
+    /// Crashed and not yet recovered (between `on_crash` and `on_restart`).
+    down: bool,
     vu: VersionNo,
     vr: VersionNo,
     store: Store,
@@ -290,6 +324,7 @@ impl ThreeVNode {
         let mut node = ThreeVNode {
             me,
             cfg,
+            down: false,
             vu: VersionNo(1),
             vr: VersionNo(0),
             store: Store::from_schema(schema, me),
@@ -357,6 +392,41 @@ impl ThreeVNode {
     /// Durability-layer statistics, if durability is enabled.
     pub fn durability_stats(&self) -> Option<&DurabilityStats> {
         self.dur.as_ref().map(|d| d.stats())
+    }
+
+    /// Snapshot this node's state for invariant checking (see
+    /// [`InvariantView`]). Read-only and allocation-cheap at model-checking
+    /// scales; called by `threev-check` after every executed event.
+    pub fn invariant_view(&self) -> InvariantView {
+        let chain_lengths: Vec<(Key, usize)> = self
+            .store
+            .keys()
+            .map(|k| {
+                let len = self.store.layout(k).map(|l| l.len()).unwrap_or(0);
+                (k, len)
+            })
+            .collect();
+        let mut exclusive_held = Vec::new();
+        let mut lock_waiters = 0usize;
+        for (key, holders, waiters) in self.locks.export_parts() {
+            lock_waiters += waiters.len();
+            for (txn, mode, _count) in holders {
+                if mode == LockMode::Exclusive {
+                    exclusive_held.push((key, txn));
+                }
+            }
+        }
+        InvariantView {
+            node: self.me,
+            vu: self.vu,
+            vr: self.vr,
+            chain_lengths,
+            counters: self.counters.to_parts(),
+            exclusive_held,
+            lock_waiters,
+            quiescent: self.is_quiescent(),
+            down: self.down,
+        }
     }
 
     /// Is the node quiescent (no trackers, parked work, or NC state)?
@@ -588,10 +658,12 @@ impl Actor for ThreeVNode {
 
     fn on_crash(&mut self, ctx: &mut Ctx<'_, Msg>) {
         ctx.trace(|| "crashes (volatile state lost)".to_string());
+        self.down = true;
         self.crash_volatile();
     }
 
     fn on_restart(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.down = false;
         if self.recover_install() {
             ctx.trace(|| {
                 format!(

@@ -73,6 +73,17 @@ pub const POLICIES: &[CratePolicy] = &[
         wal_hooks: false,
         forbid_unsafe: true,
     },
+    // The model checker replays schedules, so its exploration must be as
+    // deterministic as the kernel it drives; its library code also keeps
+    // panic hygiene (the CLI front-end is allowed to bail on bad input via
+    // explicit lint-allow escapes where needed).
+    CratePolicy {
+        name: "check",
+        deterministic: true,
+        panic_hygiene: true,
+        wal_hooks: false,
+        forbid_unsafe: true,
+    },
     // Non-deterministic tier: threaded runtime, analysis/bench tooling, and
     // the linter itself. Wall clocks, HashMaps, and unwraps are fine here.
     CratePolicy {

@@ -5,7 +5,7 @@
 //! the kernel does not care, it only routes.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -201,6 +201,61 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// The kind of a pending event, as exposed to external schedulers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EnabledKind {
+    /// A message delivery.
+    Deliver,
+    /// A timer firing.
+    Timer,
+    /// A fault-plane crash.
+    Crash,
+    /// A restart after a crash dead-window.
+    Restart,
+}
+
+/// Metadata of one event an external scheduler may choose next. The
+/// payload itself stays in the kernel; schedulers reorder, they do not
+/// inspect message contents (that would make exploration engine-specific).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnabledEvent {
+    /// Scheduled virtual time (a *hint* under external scheduling: a chosen
+    /// event runs at `max(now, at)`).
+    pub at: SimTime,
+    /// Kernel-global sequence number — the event's identity. Stable across
+    /// replays of the same schedule (determinism), which is what lets a
+    /// recorded schedule refer to events by choice index.
+    pub seq: u64,
+    /// What kind of event this is.
+    pub kind: EnabledKind,
+    /// The actor the event is addressed to.
+    pub target: NodeId,
+    /// The sender, for deliveries.
+    pub from: Option<NodeId>,
+}
+
+/// A pluggable schedule policy for [`Simulation`]-level model checking:
+/// given the enabled-event set (sorted by `(at, seq)`), pick the index of
+/// the event to execute next.
+pub trait Scheduler {
+    /// Choose an index into `enabled` (callers clamp out-of-range values).
+    /// `enabled` is never empty.
+    fn choose(&mut self, enabled: &[EnabledEvent]) -> usize;
+}
+
+/// The default policy: always pick index 0, the `(at, seq)`-minimal event —
+/// exactly the event [`Simulation::step`] would pop, so driving a
+/// simulation through this scheduler is bit-identical to `step()` (the
+/// `earliest_scheduler_is_bit_identical` test pins this down).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EarliestScheduler;
+
+impl Scheduler for EarliestScheduler {
+    fn choose(&mut self, _enabled: &[EnabledEvent]) -> usize {
+        0
+    }
+}
+
 /// Why [`Simulation::run_to_quiescence`] returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QuiesceOutcome {
@@ -222,6 +277,16 @@ struct Core<M> {
     transport: Transport,
     stats: SimStats,
     stop: bool,
+    /// Set once [`Simulation::step_chosen`] has been used: chosen-order
+    /// execution may run events "late", so the heap-order time assertion
+    /// in [`Simulation::step`] no longer applies.
+    chosen_mode: bool,
+    /// Nodes whose Crash event has executed but whose Restart has not.
+    /// While a node is down its pending deliveries and timers are not
+    /// enabled (a down node processes nothing); they surface again after
+    /// the restart, which the network is always allowed to emulate by
+    /// delaying delivery.
+    down: BTreeSet<NodeId>,
     trace: Option<Trace>,
     /// First local actor id (partitioned simulations; see
     /// [`Simulation::new_partition`]). Sends to non-local ids land in
@@ -387,6 +452,8 @@ impl<A: Actor> Simulation<A> {
                 transport,
                 stats: SimStats::default(),
                 stop: false,
+                chosen_mode: false,
+                down: BTreeSet::new(),
                 trace: None,
                 local_base: base,
                 local_len,
@@ -522,56 +589,74 @@ impl<A: Actor> Simulation<A> {
         let Some(ev) = self.core.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.core.now, "time went backwards");
-        self.core.now = ev.at;
-        match ev.payload {
+        debug_assert!(
+            self.core.chosen_mode || ev.at >= self.core.now,
+            "time went backwards"
+        );
+        if ev.at > self.core.now {
+            self.core.now = ev.at;
+        }
+        if self.core.cfg.batch {
+            if let Payload::Deliver { to, from, msg } = ev.payload {
+                let idx = to.index() - self.core.local_base as usize;
+                assert!(idx < self.actors.len(), "message to unknown actor {to}");
+                // Coalesce the head run. Only *consecutive* heap-order
+                // events are merged, so batching can never leapfrog a
+                // same-timestamp delivery to another actor.
+                self.batch_buf.clear();
+                self.batch_buf.push((from, msg));
+                while let Some(next) = self.core.queue.peek() {
+                    let same_run = next.at == ev.at
+                        && matches!(&next.payload, Payload::Deliver { to: t, .. } if *t == to);
+                    if !same_run {
+                        break;
+                    }
+                    // The event just peeked is the one popped (single-
+                    // threaded heap); anything else would be a kernel
+                    // defect. Push non-deliveries back rather than panic.
+                    match self.core.queue.pop() {
+                        Some(Event {
+                            payload: Payload::Deliver { from, msg, .. },
+                            ..
+                        }) => self.batch_buf.push((from, msg)),
+                        Some(other) => {
+                            self.core.queue.push(other);
+                            break;
+                        }
+                        None => break,
+                    }
+                }
+                self.core.stats.events += self.batch_buf.len() as u64;
+                self.core.stats.batches += 1;
+                self.core.stats.batched_msgs += self.batch_buf.len() as u64;
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    me: to,
+                };
+                self.actors[idx].on_batch(&mut ctx, &mut self.batch_buf);
+                self.batch_buf.clear();
+                return true;
+            }
+        }
+        self.dispatch_event(ev.payload);
+        true
+    }
+
+    /// Hand one event's payload to its actor (per-message path; the batch
+    /// coalescing above is the only other dispatch site). Shared by
+    /// [`Simulation::step`] and [`Simulation::step_chosen`] so the two
+    /// execution orders differ only in *which* event runs, never in how.
+    fn dispatch_event(&mut self, payload: Payload<A::Msg>) {
+        match payload {
             Payload::Deliver { to, from, msg } => {
                 let idx = to.index() - self.core.local_base as usize;
                 assert!(idx < self.actors.len(), "message to unknown actor {to}");
-                if self.core.cfg.batch {
-                    // Coalesce the head run. Only *consecutive* heap-order
-                    // events are merged, so batching can never leapfrog a
-                    // same-timestamp delivery to another actor.
-                    self.batch_buf.clear();
-                    self.batch_buf.push((from, msg));
-                    while let Some(next) = self.core.queue.peek() {
-                        let same_run = next.at == ev.at
-                            && matches!(&next.payload, Payload::Deliver { to: t, .. } if *t == to);
-                        if !same_run {
-                            break;
-                        }
-                        // The event just peeked is the one popped (single-
-                        // threaded heap); anything else would be a kernel
-                        // defect. Push non-deliveries back rather than panic.
-                        match self.core.queue.pop() {
-                            Some(Event {
-                                payload: Payload::Deliver { from, msg, .. },
-                                ..
-                            }) => self.batch_buf.push((from, msg)),
-                            Some(other) => {
-                                self.core.queue.push(other);
-                                break;
-                            }
-                            None => break,
-                        }
-                    }
-                    self.core.stats.events += self.batch_buf.len() as u64;
-                    self.core.stats.batches += 1;
-                    self.core.stats.batched_msgs += self.batch_buf.len() as u64;
-                    let mut ctx = Ctx {
-                        core: &mut self.core,
-                        me: to,
-                    };
-                    self.actors[idx].on_batch(&mut ctx, &mut self.batch_buf);
-                    self.batch_buf.clear();
-                } else {
-                    self.core.stats.events += 1;
-                    let mut ctx = Ctx {
-                        core: &mut self.core,
-                        me: to,
-                    };
-                    self.actors[idx].on_message(&mut ctx, from, msg);
-                }
+                self.core.stats.events += 1;
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    me: to,
+                };
+                self.actors[idx].on_message(&mut ctx, from, msg);
             }
             Payload::Timer { node, token } => {
                 self.core.stats.events += 1;
@@ -587,6 +672,7 @@ impl<A: Actor> Simulation<A> {
                 self.core.stats.events += 1;
                 self.core.stats.crashes += 1;
                 self.purge_for_crash(node, until);
+                self.core.down.insert(node);
                 let idx = node.index() - self.core.local_base as usize;
                 let mut ctx = Ctx {
                     core: &mut self.core,
@@ -596,6 +682,7 @@ impl<A: Actor> Simulation<A> {
             }
             Payload::Restart { node } => {
                 self.core.stats.events += 1;
+                self.core.down.remove(&node);
                 let idx = node.index() - self.core.local_base as usize;
                 let mut ctx = Ctx {
                     core: &mut self.core,
@@ -604,6 +691,125 @@ impl<A: Actor> Simulation<A> {
                 self.actors[idx].on_restart(&mut ctx);
             }
         }
+    }
+
+    /// The pending events an external [`Scheduler`] may pick from, sorted
+    /// by `(at, seq)` — index 0 is the event [`Simulation::step`] would
+    /// run. Calls [`Actor::on_start`] first if needed, so the initial set
+    /// already contains the actors' start-up timers and sends.
+    ///
+    /// Two causality guards are applied:
+    ///
+    /// * for each node, only its earliest-sequenced pending crash-lifecycle
+    ///   event (Crash/Restart) is exposed. Crash and restart events are
+    ///   scheduled as a pair at construction; without the guard a scheduler
+    ///   could run a restart before its crash, an ordering no real
+    ///   execution exhibits;
+    /// * deliveries and timers targeting a node that is currently *down*
+    ///   (its Crash executed, its Restart still pending) are withheld — a
+    ///   down node processes nothing. They become enabled again after the
+    ///   restart, which the network is always free to emulate by delaying
+    ///   delivery; without the guard a scheduler could feed messages into
+    ///   the wiped pre-recovery state (and, worse, have the node WAL-log
+    ///   their effects, corrupting the recovery it has not run yet).
+    pub fn enabled_events(&mut self) -> Vec<EnabledEvent> {
+        self.ensure_started();
+        // First pass: the earliest lifecycle event per node.
+        let mut first_lifecycle: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for e in self.core.queue.iter() {
+            let node = match &e.payload {
+                Payload::Crash { node, .. } | Payload::Restart { node } => *node,
+                _ => continue,
+            };
+            let entry = first_lifecycle.entry(node).or_insert(e.seq);
+            if e.seq < *entry {
+                *entry = e.seq;
+            }
+        }
+        let mut enabled: Vec<EnabledEvent> = self
+            .core
+            .queue
+            .iter()
+            .filter_map(|e| {
+                let (kind, target, from) = match &e.payload {
+                    Payload::Deliver { to, from, .. } => {
+                        if self.core.down.contains(to) {
+                            return None;
+                        }
+                        (EnabledKind::Deliver, *to, Some(*from))
+                    }
+                    Payload::Timer { node, .. } => {
+                        if self.core.down.contains(node) {
+                            return None;
+                        }
+                        (EnabledKind::Timer, *node, None)
+                    }
+                    Payload::Crash { node, .. } => {
+                        if first_lifecycle.get(node) != Some(&e.seq) {
+                            return None;
+                        }
+                        (EnabledKind::Crash, *node, None)
+                    }
+                    Payload::Restart { node } => {
+                        if first_lifecycle.get(node) != Some(&e.seq) {
+                            return None;
+                        }
+                        (EnabledKind::Restart, *node, None)
+                    }
+                };
+                Some(EnabledEvent {
+                    at: e.at,
+                    seq: e.seq,
+                    kind,
+                    target,
+                    from,
+                })
+            })
+            .collect();
+        enabled.sort_unstable_by_key(|e| (e.at, e.seq));
+        enabled
+    }
+
+    /// Execute the pending event with sequence number `seq` (from
+    /// [`Simulation::enabled_events`]), regardless of its position in time
+    /// order. The clock is clamped forward (`now = max(now, at)`), so an
+    /// event executed "late" runs at the already-advanced clock — virtual
+    /// time never goes backwards. Returns `false` if no pending event has
+    /// that sequence number.
+    ///
+    /// This is the model checker's execution primitive: delivery *order*
+    /// becomes an explicit external choice while everything else (actor
+    /// code, latency sampling, fault decisions) stays exactly as under
+    /// [`Simulation::step`]. Batch coalescing does not apply — checked
+    /// configurations run per-message (`SimConfig::batch == false`).
+    pub fn step_chosen(&mut self, seq: u64) -> bool {
+        self.ensure_started();
+        if !self.core.chosen_mode {
+            self.core.chosen_mode = true;
+            // Time-window crash filtering is meaningless once the clock is
+            // clamped; crash effects are driven by the executed Crash /
+            // Restart events and the `down` set from here on (see
+            // `Transport::disable_crash_windows`).
+            self.core.transport.disable_crash_windows();
+        }
+        let events = std::mem::take(&mut self.core.queue).into_vec();
+        let mut chosen = None;
+        let mut rest = Vec::with_capacity(events.len());
+        for e in events {
+            if e.seq == seq && chosen.is_none() {
+                chosen = Some(e);
+            } else {
+                rest.push(e);
+            }
+        }
+        self.core.queue = BinaryHeap::from(rest);
+        let Some(ev) = chosen else {
+            return false;
+        };
+        if ev.at > self.core.now {
+            self.core.now = ev.at;
+        }
+        self.dispatch_event(ev.payload);
         true
     }
 
@@ -613,13 +819,21 @@ impl<A: Actor> Simulation<A> {
     /// crash filter) and *all* of its pending timers (timers are volatile
     /// state). Events keep their original sequence numbers, so the relative
     /// order of everything that survives is untouched.
+    ///
+    /// Under chosen-order execution deliveries are *kept*: the dead window
+    /// is defined in scheduled time, which the clamped clock no longer
+    /// tracks, so the in-flight inbox is withheld by the `down` set until
+    /// the restart executes (delayed, not lost) instead of being guessed
+    /// at. Timers are still purged — they are volatile state regardless of
+    /// how the schedule is driven.
     fn purge_for_crash(&mut self, node: NodeId, until: SimTime) {
+        let chosen_mode = self.core.chosen_mode;
         let events = std::mem::take(&mut self.core.queue).into_vec();
         let before = events.len();
         let kept: Vec<Event<A::Msg>> = events
             .into_iter()
             .filter(|e| match &e.payload {
-                Payload::Deliver { to, .. } => *to != node || e.at >= until,
+                Payload::Deliver { to, .. } => chosen_mode || *to != node || e.at >= until,
                 Payload::Timer { node: n, .. } => *n != node,
                 Payload::Crash { .. } | Payload::Restart { .. } => true,
             })
@@ -679,6 +893,29 @@ impl<A: Actor> Simulation<A> {
         };
         self.actors[idx].on_batch(&mut ctx, &mut self.batch_buf);
         self.batch_buf.clear();
+    }
+
+    /// Drive the simulation through an external [`Scheduler`] until the
+    /// queue drains, an actor requests a stop, or `max_steps` events have
+    /// executed. Returns the number of events executed. With
+    /// [`EarliestScheduler`] and `SimConfig::batch == false` this is
+    /// bit-identical to [`Simulation::run_to_quiescence`].
+    pub fn run_with_scheduler(&mut self, sched: &mut dyn Scheduler, max_steps: u64) -> u64 {
+        let mut steps = 0;
+        while steps < max_steps {
+            if self.core.stop {
+                self.core.stop = false;
+                break;
+            }
+            let enabled = self.enabled_events();
+            if enabled.is_empty() {
+                break;
+            }
+            let idx = sched.choose(&enabled).min(enabled.len() - 1);
+            self.step_chosen(enabled[idx].seq);
+            steps += 1;
+        }
+        steps
     }
 
     /// Run until the queue drains, an actor requests a stop, or virtual time
@@ -1212,6 +1449,104 @@ mod tests {
         assert!(c.timers_fired.is_empty(), "timers are volatile");
         assert_eq!(sim.stats().crashes, 1);
         assert_eq!(sim.stats().crash_purged, 3); // delivery@150 + both timers
+    }
+
+    /// Sink recording `(time, from, msg)` for schedule comparisons.
+    #[derive(Default)]
+    struct SchedSink {
+        got: Vec<(SimTime, NodeId, u64)>,
+    }
+    impl Actor for SchedSink {
+        type Msg = u64;
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: NodeId, msg: u64) {
+            self.got.push((ctx.now(), from, msg));
+            if msg > 0 && msg % 2 == 1 {
+                ctx.send(from, msg - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn earliest_scheduler_is_bit_identical() {
+        // Jittery latency + replies so the schedule is nontrivial. The
+        // default scheduler must reproduce run_to_quiescence exactly:
+        // same deliveries at the same instants, same stats.
+        let build = || {
+            let cfg = SimConfig {
+                latency: LatencyModel::Uniform {
+                    min: SimDuration(1),
+                    max: SimDuration(700),
+                },
+                ..SimConfig::seeded(2024)
+            };
+            let mut sim = Simulation::new(vec![SchedSink::default(), SchedSink::default()], cfg);
+            for i in 0..40u64 {
+                sim.inject(NodeId(0), NodeId(1), i);
+            }
+            sim
+        };
+        let mut a = build();
+        a.run_to_quiescence(SimTime::MAX);
+        let mut b = build();
+        let mut sched = EarliestScheduler;
+        b.run_with_scheduler(&mut sched, u64::MAX);
+        assert_eq!(a.actors()[0].got, b.actors()[0].got);
+        assert_eq!(a.actors()[1].got, b.actors()[1].got);
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.stats().messages, b.stats().messages);
+        assert_eq!(a.stats().events, b.stats().events);
+        assert_eq!(a.stats().timers, b.stats().timers);
+    }
+
+    #[test]
+    fn step_chosen_reorders_and_clamps_time() {
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(SimDuration(10)),
+            ..SimConfig::seeded(0)
+        };
+        let mut sim = Simulation::new(vec![SchedSink::default()], cfg);
+        sim.inject_at(SimTime(10), NodeId(5), NodeId(0), 2);
+        sim.inject_at(SimTime(20), NodeId(5), NodeId(0), 4);
+        let enabled = sim.enabled_events();
+        assert_eq!(enabled.len(), 2);
+        assert_eq!(enabled[0].at, SimTime(10));
+        assert_eq!(enabled[0].kind, EnabledKind::Deliver);
+        // Execute the later event first: the clock jumps to 20 and the
+        // earlier event then runs "late" at the clamped clock.
+        assert!(sim.step_chosen(enabled[1].seq));
+        assert!(sim.step_chosen(enabled[0].seq));
+        assert!(sim.enabled_events().is_empty());
+        assert_eq!(
+            sim.actors()[0].got,
+            vec![(SimTime(20), NodeId(5), 4), (SimTime(20), NodeId(5), 2)]
+        );
+        // Unknown seq is refused, not a panic.
+        assert!(!sim.step_chosen(999));
+    }
+
+    #[test]
+    fn enabled_events_guard_crash_lifecycle_order() {
+        use crate::transport::NodeCrash;
+        let cfg = SimConfig {
+            faults: FaultPlane {
+                crashes: vec![NodeCrash {
+                    node: NodeId(0),
+                    at: SimTime(100),
+                    restart_after: SimDuration(50),
+                }],
+                ..FaultPlane::default()
+            },
+            ..SimConfig::seeded(0)
+        };
+        let mut sim = Simulation::new(vec![SchedSink::default()], cfg);
+        let enabled = sim.enabled_events();
+        // The restart is pending but masked until the crash has executed.
+        assert_eq!(enabled.len(), 1);
+        assert_eq!(enabled[0].kind, EnabledKind::Crash);
+        assert!(sim.step_chosen(enabled[0].seq));
+        let enabled = sim.enabled_events();
+        assert_eq!(enabled.len(), 1);
+        assert_eq!(enabled[0].kind, EnabledKind::Restart);
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub mod time;
 pub mod trace;
 pub mod transport;
 
-pub use kernel::{Actor, Ctx, QuiesceOutcome, SimConfig, SimStats, Simulation};
+pub use kernel::{
+    Actor, Ctx, EarliestScheduler, EnabledEvent, EnabledKind, QuiesceOutcome, Scheduler, SimConfig,
+    SimStats, Simulation,
+};
 pub use network::LatencyModel;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceLine};

@@ -347,6 +347,17 @@ impl Transport {
         &self.faults
     }
 
+    /// Forget the configured crash dead-windows. Under chosen-order
+    /// execution the clock is clamped, so "is `at` inside the window?" no
+    /// longer corresponds to "had the crash happened?" — the kernel tracks
+    /// crash state by *executed* Crash/Restart events instead and withholds
+    /// a down node's deliveries until its restart. Messages in flight
+    /// across the dead window are thereby delayed, not lost: a behaviour
+    /// the reordering network is always allowed to exhibit.
+    pub fn disable_crash_windows(&mut self) {
+        self.faults.crashes.clear();
+    }
+
     /// Plan delivery of one message under the kernel driver. `rng` is the
     /// kernel RNG; exactly one latency draw is taken for non-self sends
     /// (none for self-sends), matching the historical kernel behaviour so

@@ -16,13 +16,16 @@
 //! * [`runtime`] — a real-thread driver for wall-clock execution;
 //! * [`workload`] — hospital / telecom / retail data-recording workloads;
 //! * [`analysis`] — metrics, staleness tracking, and the serializability
-//!   auditor.
+//!   auditor;
+//! * [`check`] — the deterministic model checker (schedule exploration,
+//!   invariant oracle, counterexample shrinking).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the system inventory.
 
 pub use threev_analysis as analysis;
 pub use threev_baselines as baselines;
+pub use threev_check as check;
 pub use threev_core as core;
 pub use threev_durability as durability;
 pub use threev_model as model;
@@ -30,3 +33,29 @@ pub use threev_runtime as runtime;
 pub use threev_sim as sim;
 pub use threev_storage as storage;
 pub use threev_workload as workload;
+
+pub mod testutil {
+    //! Shared helpers for the workspace's integration tests.
+
+    /// Read the fault-injection seed from `THREEV_FAULT_SEED`, falling back
+    /// to `default` when the variable is unset.
+    ///
+    /// The CI fault matrices sweep seeds through this variable without
+    /// recompiling (see `.github/workflows/ci.yml`). A value that is set but
+    /// does not parse as `u64` is a matrix misconfiguration, so it panics
+    /// rather than silently running the default seed and reporting green for
+    /// a cell that never executed.
+    pub fn fault_seed_or(default: u64) -> u64 {
+        match std::env::var("THREEV_FAULT_SEED") {
+            Ok(raw) => match raw.trim().parse() {
+                Ok(seed) => seed,
+                Err(e) => panic!(
+                    "THREEV_FAULT_SEED={raw:?} is not a valid u64 seed ({e}); \
+                     unset it or pass a decimal integer"
+                ),
+            },
+            Err(std::env::VarError::NotPresent) => default,
+            Err(e) => panic!("THREEV_FAULT_SEED is not readable: {e}"),
+        }
+    }
+}

@@ -240,10 +240,7 @@ fn advancement_completes_at_5pct_loss() {
 /// can sweep seeds without recompiling.
 #[test]
 fn advancement_completes_at_env_seed() {
-    let seed = std::env::var("THREEV_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xFA17);
+    let seed = threev::testutil::fault_seed_or(0xFA17);
     check(seed, 200_000);
     check(seed, 50_000);
 }

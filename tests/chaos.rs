@@ -199,10 +199,7 @@ fn chaos_full_hostility_at_env_seed() {
     // Everything at once — heavy-tailed latency, lossy duplicated control
     // plane, a crash-restart — at a seed the CI fault matrix pins via
     // `THREEV_FAULT_SEED`.
-    let seed = std::env::var("THREEV_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xFA17);
+    let seed = threev::testutil::fault_seed_or(0xFA17);
     run_cell_with(
         LatencyModel::Spiky {
             base: SimDuration::from_micros(500),

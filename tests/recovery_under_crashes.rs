@@ -277,10 +277,7 @@ fn crash_spanning_advancement_rejoins_via_skew() {
 /// matrix can sweep seeds without recompiling.
 #[test]
 fn crash_recovery_at_env_seed() {
-    let seed = std::env::var("THREEV_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xFA17);
+    let seed = threev::testutil::fault_seed_or(0xFA17);
     let clean = run(seed, Vec::new());
     check_crash_at(seed, &clean, mid_phase(&clean, 2), "env-seed mid-phase-2");
 }
