@@ -1,0 +1,208 @@
+//! Multi-partition scale-out: aggregate throughput and advancement cost
+//! as the cluster grows from 1 to 256 partitions.
+//!
+//! Two workload shapes per cluster size, both holding the *per-partition*
+//! offered load constant so linear scale-out shows up as linearly growing
+//! committed work:
+//!
+//! * **disjoint** — every transaction tree stays inside its root
+//!   partition (the paper's sharding sweet spot). The claim under test:
+//!   aggregate committed/s grows with the partition count while each
+//!   partition's advancement latency *and advancement message count* stay
+//!   flat — advancement is partition-local, so coordination cost is
+//!   independent of cluster size.
+//! * **cross** — trees keep their foreign children, exercising the gauge
+//!   counters and resolution pins on every inter-partition edge (swept at
+//!   the smaller sizes; the shuttle cost dominates past that without
+//!   saying anything new about the protocol).
+//!
+//! Writes `BENCH_sharding.json` at the repository root via the shared
+//! [`threev_bench::report`] writer.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, Criterion};
+use threev_analysis::TxnStatus;
+use threev_bench::report::{write_bench_report, JsonObject, JsonValue};
+use threev_core::advance::AdvancementPolicy;
+use threev_model::PartitionId;
+use threev_shard::{ShardedCluster, ShardedConfig, ShardedHospital};
+use threev_sim::{SimDuration, SimTime};
+use threev_workload::HospitalWorkload;
+
+const NODES_PER_PARTITION: u16 = 2;
+const SEED: u64 = 0x5A;
+/// Per-partition offered load, held constant across cluster sizes.
+const RATE_PER_PARTITION_TPS: f64 = 250.0;
+/// Arrival window; the run horizon leaves a wide drain margin after it.
+const WINDOW: SimDuration = SimDuration::from_millis(50);
+const HORIZON: SimTime = SimTime(250_000);
+
+/// The disjoint-keys sweep (the acceptance gate: 1 -> 64 -> 256).
+const DISJOINT_PARTITIONS: [u16; 5] = [1, 4, 16, 64, 256];
+/// The cross-partition sweep.
+const CROSS_PARTITIONS: [u16; 3] = [1, 4, 16];
+
+fn hospital(partitions: u16, confined: bool) -> ShardedHospital {
+    let base = HospitalWorkload {
+        departments: partitions * NODES_PER_PARTITION,
+        patients: 50 * u64::from(partitions),
+        rate_tps: RATE_PER_PARTITION_TPS * f64::from(partitions),
+        read_pct: 10,
+        max_fanout: 2,
+        duration: WINDOW,
+        zipf_s: 0.9,
+        seed: SEED,
+    };
+    let topo = ShardedConfig::new(partitions, NODES_PER_PARTITION).topology;
+    let sharded = ShardedHospital::new(base, topo);
+    if confined {
+        sharded.confined()
+    } else {
+        sharded
+    }
+}
+
+struct Measurement {
+    partitions: u16,
+    committed: u64,
+    committed_per_vsec: f64,
+    cross_messages: u64,
+    /// Mean advancement latency across every partition's advancements.
+    mean_adv_latency_us: f64,
+    /// Mean per-partition count of advancement-tagged messages: the
+    /// coordination cost one partition pays, which must not grow with the
+    /// cluster.
+    adv_msgs_per_partition: f64,
+    advancements_per_partition: f64,
+}
+
+fn run(partitions: u16, confined: bool) -> Measurement {
+    let w = hospital(partitions, confined);
+    let cfg = ShardedConfig::new(partitions, NODES_PER_PARTITION)
+        .seed(SEED)
+        .advancement(AdvancementPolicy::Periodic {
+            first: SimDuration::from_millis(20),
+            period: SimDuration::from_millis(30),
+        });
+    let mut cluster = ShardedCluster::new(&w.schema(), cfg, w.arrivals());
+    // Periodic advancement re-arms forever: run to the horizon.
+    cluster.run_until(HORIZON);
+
+    let committed = cluster
+        .records()
+        .iter()
+        .filter(|r| r.status == TxnStatus::Committed)
+        .count() as u64;
+    let mut adv_total_us = 0.0;
+    let mut adv_count = 0usize;
+    let mut adv_msgs = 0u64;
+    for p in 0..partitions {
+        let pid = PartitionId(p);
+        for a in cluster.advancements(pid) {
+            adv_total_us += a.total().as_micros() as f64;
+            adv_count += 1;
+        }
+        adv_msgs += cluster.sim_stats(pid).tagged("advance");
+    }
+    Measurement {
+        partitions,
+        committed,
+        committed_per_vsec: committed as f64 / (HORIZON.0 as f64 / 1e6),
+        cross_messages: cluster.cross_messages(),
+        mean_adv_latency_us: if adv_count == 0 {
+            0.0
+        } else {
+            adv_total_us / adv_count as f64
+        },
+        adv_msgs_per_partition: adv_msgs as f64 / f64::from(partitions),
+        advancements_per_partition: adv_count as f64 / f64::from(partitions),
+    }
+}
+
+// ---------------------------------------------------------------- DES cost
+
+/// Host cost of the shuttle itself at a small size, so regressions in the
+/// cross-partition routing path show up in criterion history.
+fn bench_shuttle_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharding_sim");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    for (name, confined) in [("disjoint_4p", true), ("cross_4p", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| run(4, confined).committed);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shuttle_cost);
+
+// ------------------------------------------------------------------ report
+
+fn row(m: &Measurement) -> JsonObject {
+    JsonObject::new()
+        .field("partitions", m.partitions)
+        .field("committed", m.committed)
+        .field(
+            "committed_per_vsec",
+            JsonValue::Float(m.committed_per_vsec, 0),
+        )
+        .field("cross_messages", m.cross_messages)
+        .field(
+            "mean_adv_latency_us",
+            JsonValue::Float(m.mean_adv_latency_us, 1),
+        )
+        .field(
+            "adv_msgs_per_partition",
+            JsonValue::Float(m.adv_msgs_per_partition, 1),
+        )
+        .field(
+            "advancements_per_partition",
+            JsonValue::Float(m.advancements_per_partition, 1),
+        )
+}
+
+fn write_report() {
+    let mut report = JsonObject::new()
+        .field("bench", "sharding")
+        .field("nodes_per_partition", NODES_PER_PARTITION)
+        .field(
+            "rate_per_partition_tps",
+            JsonValue::Float(RATE_PER_PARTITION_TPS, 0),
+        )
+        .field("seed", SEED);
+    let mut disjoint = Vec::new();
+    for p in DISJOINT_PARTITIONS {
+        let m = run(p, true);
+        println!(
+            "disjoint P={:>3}: {:>6} committed ({:>8.0}/s) | adv latency {:>7.0}us, {:>5.1} adv msgs/partition, cross={}",
+            p, m.committed, m.committed_per_vsec, m.mean_adv_latency_us, m.adv_msgs_per_partition, m.cross_messages,
+        );
+        disjoint.push(m);
+    }
+    let mut cross = Vec::new();
+    for p in CROSS_PARTITIONS {
+        let m = run(p, false);
+        println!(
+            "cross    P={:>3}: {:>6} committed ({:>8.0}/s) | adv latency {:>7.0}us, {:>5.1} adv msgs/partition, cross={}",
+            p, m.committed, m.committed_per_vsec, m.mean_adv_latency_us, m.adv_msgs_per_partition, m.cross_messages,
+        );
+        cross.push(m);
+    }
+    let mut dj = JsonObject::new();
+    for m in &disjoint {
+        dj = dj.field(format!("{}p", m.partitions), row(m));
+    }
+    let mut cx = JsonObject::new();
+    for m in &cross {
+        cx = cx.field(format!("{}p", m.partitions), row(m));
+    }
+    report = report.field("disjoint", dj).field("cross", cx);
+    write_bench_report("sharding", &report);
+}
+
+fn main() {
+    benches();
+    write_report();
+}

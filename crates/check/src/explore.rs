@@ -104,10 +104,7 @@ pub fn run_schedule(scenario: &Scenario, seed: u64, choices: &[u32], max_steps: 
         );
         sim.step_chosen(ev.seq);
         steps += 1;
-        let viols = oracle.check_step(
-            &node_views(&sim, scenario.n_nodes),
-            client_records(&sim, scenario.n_nodes),
-        );
+        let viols = oracle.check_step(&node_views(&sim), &client_records(&sim));
         if let Some(v) = viols.into_iter().next() {
             let _ = writeln!(report, "violation after step {}: {v}", steps - 1);
             violation = Some(ViolationAt {
@@ -119,8 +116,8 @@ pub fn run_schedule(scenario: &Scenario, seed: u64, choices: &[u32], max_steps: 
     }
 
     if quiescent && violation.is_none() {
-        let views = node_views(&sim, scenario.n_nodes);
-        let records = client_records(&sim, scenario.n_nodes);
+        let views = node_views(&sim);
+        let records = &client_records(&sim);
         for v in &views {
             let _ = writeln!(
                 report,
@@ -221,10 +218,7 @@ pub fn explore_random(
             choices.push(idx as u32);
             sim.step_chosen(enabled[idx].seq);
             out.steps += 1;
-            let viols = oracle.check_step(
-                &node_views(&sim, scenario.n_nodes),
-                client_records(&sim, scenario.n_nodes),
-            );
+            let viols = oracle.check_step(&node_views(&sim), &client_records(&sim));
             if let Some(v) = viols.into_iter().next() {
                 out.violation = Some(Counterexample {
                     at: ViolationAt {
@@ -237,10 +231,7 @@ pub fn explore_random(
             }
         }
         if quiescent {
-            let viols = oracle.check_quiescent(
-                &node_views(&sim, scenario.n_nodes),
-                client_records(&sim, scenario.n_nodes),
-            );
+            let viols = oracle.check_quiescent(&node_views(&sim), &client_records(&sim));
             if let Some(v) = viols.into_iter().next() {
                 out.violation = Some(Counterexample {
                     at: ViolationAt {
@@ -339,10 +330,7 @@ impl Dfs<'_> {
         let mut sim = self.replay(prefix);
         let oracle = self.scenario.oracle();
         if !prefix.is_empty() {
-            let viols = oracle.check_step(
-                &node_views(&sim, self.scenario.n_nodes),
-                client_records(&sim, self.scenario.n_nodes),
-            );
+            let viols = oracle.check_step(&node_views(&sim), &client_records(&sim));
             if let Some(v) = viols.into_iter().next() {
                 self.out.violation = Some(Counterexample {
                     choices: prefix.clone(),
@@ -357,10 +345,7 @@ impl Dfs<'_> {
         let enabled = sim.enabled_events();
         if enabled.is_empty() {
             self.out.schedules += 1;
-            let viols = oracle.check_quiescent(
-                &node_views(&sim, self.scenario.n_nodes),
-                client_records(&sim, self.scenario.n_nodes),
-            );
+            let viols = oracle.check_quiescent(&node_views(&sim), &client_records(&sim));
             if let Some(v) = viols.into_iter().next() {
                 self.out.violation = Some(Counterexample {
                     choices: prefix.clone(),

@@ -144,8 +144,8 @@ fn handle_counterexample(
 fn cmd_list() -> ExitCode {
     for sc in CATALOGUE {
         println!(
-            "{:16} nodes={} crashes={} sabotaged={}  {}",
-            sc.name, sc.n_nodes, sc.crashes, sc.sabotaged, sc.about
+            "{:20} nodes={} partitions={} crashes={} sabotaged={}  {}",
+            sc.name, sc.n_nodes, sc.partitions, sc.crashes, sc.sabotaged, sc.about
         );
     }
     ExitCode::SUCCESS
@@ -247,42 +247,52 @@ fn coverage_summary(sc: &Scenario, seed: u64, choices: &[u32], depth: u64) -> St
     for (kind, node, at) in &lifecycle {
         out.push_str(&format!("{kind:?} of node {node} executed at t={at}\n"));
     }
+    // Walk every coordinator (one per partition) and every client, in
+    // actor order — layout-agnostic across single-partition and sharded
+    // scenarios.
     let mut boundaries: Vec<(String, u64)> = Vec::new();
-    if let Some(ClusterActor::Coordinator(c)) = sim.actors().get(sc.n_nodes as usize) {
-        for (i, a) in c.records().iter().enumerate() {
-            out.push_str(&format!(
-                "advancement {i} -> vu={}: start={} p1={} p2={} p3={} p4={} (p2 rounds={})\n",
-                a.vu_new,
-                a.started.0,
-                a.p1_done.0,
-                a.p2_done.0,
-                a.p3_done.0,
-                a.p4_done.0,
-                a.p2_rounds
-            ));
-            boundaries.push((format!("adv{i}.p1"), a.p1_done.0));
-            boundaries.push((format!("adv{i}.p2"), a.p2_done.0));
-            boundaries.push((format!("adv{i}.p3"), a.p3_done.0));
-            boundaries.push((format!("adv{i}.p4"), a.p4_done.0));
+    let mut coord = 0usize;
+    for actor in sim.actors() {
+        if let ClusterActor::Coordinator(c) = actor {
+            for (i, a) in c.records().iter().enumerate() {
+                out.push_str(&format!(
+                    "p{coord} advancement {i} -> vu={}: start={} p1={} p2={} p3={} p4={} \
+                     (p2 rounds={})\n",
+                    a.vu_new,
+                    a.started.0,
+                    a.p1_done.0,
+                    a.p2_done.0,
+                    a.p3_done.0,
+                    a.p4_done.0,
+                    a.p2_rounds
+                ));
+                boundaries.push((format!("p{coord}.adv{i}.p1"), a.p1_done.0));
+                boundaries.push((format!("p{coord}.adv{i}.p2"), a.p2_done.0));
+                boundaries.push((format!("p{coord}.adv{i}.p3"), a.p3_done.0));
+                boundaries.push((format!("p{coord}.adv{i}.p4"), a.p4_done.0));
+            }
+            coord += 1;
         }
     }
-    if let Some(ClusterActor::Client(c)) = sim.actors().get(sc.n_nodes as usize + 1) {
-        for r in c.records() {
-            let done = r.completed.map(|t| t.0).unwrap_or(u64::MAX);
-            let crossed: Vec<&str> = boundaries
-                .iter()
-                .filter(|(_, b)| r.submitted.0 < *b && *b < done)
-                .map(|(name, _)| name.as_str())
-                .collect();
-            out.push_str(&format!(
-                "txn {:?} ({:?}, v={:?}) alive {}..{} straddles [{}]\n",
-                r.id,
-                r.status,
-                r.version,
-                r.submitted.0,
-                r.completed.map(|t| t.0).unwrap_or(0),
-                crossed.join(" ")
-            ));
+    for actor in sim.actors() {
+        if let ClusterActor::Client(c) = actor {
+            for r in c.records() {
+                let done = r.completed.map(|t| t.0).unwrap_or(u64::MAX);
+                let crossed: Vec<&str> = boundaries
+                    .iter()
+                    .filter(|(_, b)| r.submitted.0 < *b && *b < done)
+                    .map(|(name, _)| name.as_str())
+                    .collect();
+                out.push_str(&format!(
+                    "txn {:?} ({:?}, v={:?}) alive {}..{} straddles [{}]\n",
+                    r.id,
+                    r.status,
+                    r.version,
+                    r.submitted.0,
+                    r.completed.map(|t| t.0).unwrap_or(0),
+                    crossed.join(" ")
+                ));
+            }
         }
     }
     out

@@ -30,7 +30,7 @@ use std::fmt;
 
 use threev_analysis::{Auditor, TxnRecord, TxnStatus};
 use threev_core::InvariantView;
-use threev_model::{Key, NodeId, TxnId, VersionNo};
+use threev_model::{gauge_peer, Key, NodeId, PartitionId, Topology, TxnId, VersionNo};
 
 /// One invariant violation, with enough context to be a useful diagnostic
 /// on its own (counterexample reports embed the `Display` form).
@@ -166,13 +166,19 @@ pub struct Oracle {
     /// Check Def 3.2 bounded skew. Off for crash scenarios, where a
     /// recovering node legitimately lags the cluster.
     pub check_skew: bool,
+    /// Partition layout of the checked cluster. The global invariants are
+    /// partition-scoped: version numbers live in per-partition spaces, so
+    /// skew and the counter GC horizon only compare nodes of the same
+    /// partition, and the audit drops version exactness once more than one
+    /// version space is in play.
+    pub topology: Topology,
 }
 
 impl Oracle {
     /// Invariants that must hold after *every* delivered event.
     pub fn check_step(&self, views: &[InvariantView], records: &[TxnRecord]) -> Vec<Violation> {
         let mut out = self.structural(views);
-        out.extend(audit(records, true));
+        out.extend(self.audit(records, true));
         out
     }
 
@@ -195,7 +201,7 @@ impl Oracle {
                 out.push(Violation::NotQuiescent { node: v.node });
             }
         }
-        out.extend(audit(records, false));
+        out.extend(self.audit(records, false));
         out
     }
 
@@ -227,91 +233,141 @@ impl Oracle {
             }
         }
         if !any_down {
-            out.extend(counter_balance(views));
+            out.extend(self.counter_balance(views));
             if self.check_skew {
-                out.extend(skew(views));
+                out.extend(self.skew(views));
             }
         }
         out
     }
-}
 
-/// Global counter soundness: aggregate every node's `(requests_to,
-/// completions_from)` export into per-`(version, requester, executor)`
-/// pairs and require `C ≤ R` for every version at or above the GC horizon
-/// (`max vr` across nodes — below it, one side may already be reclaimed).
-fn counter_balance(views: &[InvariantView]) -> Vec<Violation> {
-    let horizon = views.iter().map(|v| v.vr).max().unwrap_or(VersionNo(0));
-    let mut pairs: BTreeMap<(VersionNo, NodeId, NodeId), (u64, u64)> = BTreeMap::new();
-    for v in views {
-        for (ver, requests_to, completions_from) in &v.counters {
-            for &(q, r) in requests_to {
-                pairs.entry((*ver, v.node, q)).or_default().0 += r;
-            }
-            for &(p, c) in completions_from {
-                pairs.entry((*ver, p, v.node)).or_default().1 += c;
-            }
+    /// Global counter soundness: aggregate every node's `(requests_to,
+    /// completions_from)` export into per-`(version, requester, executor)`
+    /// pairs and require `C ≤ R` for every version at or above the pair's
+    /// partition GC horizon (max `vr` within that partition — below it,
+    /// one side may already be reclaimed).
+    ///
+    /// Cross-partition gauge rows pair **sender-local**, mirroring
+    /// [`threev_core::counters::CounterMatrix::assemble`]: the node
+    /// shipping work to a peer partition keeps both the R and the C side
+    /// of the `(node, gauge)` pair, so a gauge completion joins its own
+    /// node's request row rather than a (nonexistent) gauge actor's.
+    fn counter_balance(&self, views: &[InvariantView]) -> Vec<Violation> {
+        let mut horizons: BTreeMap<PartitionId, VersionNo> = BTreeMap::new();
+        for v in views {
+            let p = self.topology.partition_of(v.node);
+            let h = horizons.entry(p).or_insert(v.vr);
+            *h = (*h).max(v.vr);
         }
-    }
-    pairs
-        .into_iter()
-        .filter(|&((ver, _, _), (r, c))| ver >= horizon && c > r)
-        .map(
-            |((version, requester, executor), (requests, completions))| {
-                Violation::CounterImbalance {
-                    version,
-                    requester,
-                    executor,
-                    requests,
-                    completions,
+        let mut pairs: BTreeMap<(VersionNo, NodeId, NodeId), (u64, u64)> = BTreeMap::new();
+        for v in views {
+            for (ver, requests_to, completions_from) in &v.counters {
+                for &(q, r) in requests_to {
+                    pairs.entry((*ver, v.node, q)).or_default().0 += r;
                 }
-            },
-        )
-        .collect()
-}
-
-fn skew(views: &[InvariantView]) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let vus: Vec<VersionNo> = views.iter().map(|v| v.vu).collect();
-    let vrs: Vec<VersionNo> = views.iter().map(|v| v.vr).collect();
-    if let (Some(&min), Some(&max)) = (vus.iter().min(), vus.iter().max()) {
-        if max.0 - min.0 > 1 {
-            out.push(Violation::UpdateSkew { min, max });
+                for &(p, c) in completions_from {
+                    let key = if gauge_peer(p).is_some() {
+                        (*ver, v.node, p)
+                    } else {
+                        (*ver, p, v.node)
+                    };
+                    pairs.entry(key).or_default().1 += c;
+                }
+            }
         }
+        pairs
+            .into_iter()
+            .filter(|&((ver, requester, _), (r, c))| {
+                // The requester of every pair is a real node (gauge pairs
+                // key sender-local), so its partition picks the horizon.
+                let horizon = horizons
+                    .get(&self.topology.partition_of(requester))
+                    .copied()
+                    .unwrap_or(VersionNo(0));
+                ver >= horizon && c > r
+            })
+            .map(
+                |((version, requester, executor), (requests, completions))| {
+                    Violation::CounterImbalance {
+                        version,
+                        requester,
+                        executor,
+                        requests,
+                        completions,
+                    }
+                },
+            )
+            .collect()
     }
-    if let (Some(&min), Some(&max)) = (vrs.iter().min(), vrs.iter().max()) {
-        if max.0 - min.0 > 1 {
-            out.push(Violation::ReadSkew { min, max });
-        }
-    }
-    out
-}
 
-/// Serializability audit. With `completed_only`, records still in flight
-/// are excluded: their observations are not final yet, but any violation
-/// among the already-completed set is permanent, so flagging early is
-/// sound and lets counterexamples stop (and shrink) well before full
-/// quiescence.
-fn audit(records: &[TxnRecord], completed_only: bool) -> Option<Violation> {
-    let subset: Vec<TxnRecord> = records
-        .iter()
-        .filter(|r| !completed_only || r.status != TxnStatus::InFlight)
-        .cloned()
-        .collect();
-    let report = Auditor::new(&subset).check();
-    if report.clean() {
-        return None;
+    /// Def 3.2 bounded skew, scoped per partition: each partition advances
+    /// its own version space independently, so only nodes sharing a
+    /// coordinator are comparable.
+    fn skew(&self, views: &[InvariantView]) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut groups: BTreeMap<PartitionId, (Vec<VersionNo>, Vec<VersionNo>)> = BTreeMap::new();
+        for v in views {
+            let g = groups
+                .entry(self.topology.partition_of(v.node))
+                .or_default();
+            g.0.push(v.vu);
+            g.1.push(v.vr);
+        }
+        for (vus, vrs) in groups.into_values() {
+            if let (Some(&min), Some(&max)) = (vus.iter().min(), vus.iter().max()) {
+                if max.0 - min.0 > 1 {
+                    out.push(Violation::UpdateSkew { min, max });
+                }
+            }
+            if let (Some(&min), Some(&max)) = (vrs.iter().min(), vrs.iter().max()) {
+                if max.0 - min.0 > 1 {
+                    out.push(Violation::ReadSkew { min, max });
+                }
+            }
+        }
+        out
     }
-    Some(Violation::AuditFailed {
-        atomicity: report.atomicity_violations,
-        version_exactness: report.version_violations,
-        aborted_visible: report.aborted_visible,
-        first: report
-            .samples
-            .first()
-            .map(|s| format!("{s:?}"))
-            .unwrap_or_default(),
-    })
+
+    /// Serializability audit. With `completed_only`, records still in
+    /// flight are excluded: their observations are not final yet, but any
+    /// violation among the already-completed set is permanent, so flagging
+    /// early is sound and lets counterexamples stop (and shrink) well
+    /// before full quiescence.
+    ///
+    /// With more than one partition, version numbers are stripped before
+    /// auditing: a cross-partition tree commits at (potentially) different
+    /// version numbers per partition, so Theorem 4.1's version-exact order
+    /// is only defined within a partition. Atomicity and
+    /// aborted-invisibility remain fully checked.
+    fn audit(&self, records: &[TxnRecord], completed_only: bool) -> Option<Violation> {
+        let mut subset: Vec<TxnRecord> = records
+            .iter()
+            .filter(|r| !completed_only || r.status != TxnStatus::InFlight)
+            .cloned()
+            .collect();
+        if !self.topology.is_single() {
+            for r in &mut subset {
+                r.version = None;
+                for read in &mut r.reads {
+                    read.version = None;
+                }
+            }
+        }
+        let report = Auditor::new(&subset).check();
+        if report.clean() {
+            return None;
+        }
+        Some(Violation::AuditFailed {
+            atomicity: report.atomicity_violations,
+            version_exactness: report.version_violations,
+            aborted_visible: report.aborted_visible,
+            first: report
+                .samples
+                .first()
+                .map(|s| format!("{s:?}"))
+                .unwrap_or_default(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -337,7 +393,10 @@ mod tests {
     }
 
     fn oracle() -> Oracle {
-        Oracle { check_skew: true }
+        Oracle {
+            check_skew: true,
+            topology: Topology::new(1, 2),
+        }
     }
 
     #[test]
@@ -441,7 +500,10 @@ mod tests {
             max: VersionNo(2)
         }));
         // Crash-scenario oracles skip the skew rule.
-        let lax = Oracle { check_skew: false };
+        let lax = Oracle {
+            check_skew: false,
+            topology: Topology::new(1, 2),
+        };
         assert_eq!(lax.check_step(&[a, b], &[]), vec![]);
     }
 

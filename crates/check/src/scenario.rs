@@ -10,10 +10,12 @@
 //! pin the exact event set; the choice list then pins the interleaving.
 
 use threev_core::client::Arrival;
-use threev_core::cluster::{build_actors, ClusterActor, ClusterConfig};
+use threev_core::cluster::{build_actors, build_partition_actors, ClusterActor, ClusterConfig};
 use threev_core::msg::Msg;
 use threev_core::node::DurabilityMode;
-use threev_model::{Key, KeyDecl, NodeId, Schema, SubtxnPlan, TxnPlan, UpdateOp};
+use threev_model::{
+    Key, KeyDecl, NodeId, PartitionId, Schema, SubtxnPlan, Topology, TxnPlan, UpdateOp,
+};
 use threev_sim::{LatencyModel, NodeCrash, SimDuration, SimTime, Simulation};
 
 use crate::oracle::Oracle;
@@ -25,8 +27,15 @@ pub struct Scenario {
     pub name: &'static str,
     /// What this scenario is aimed at.
     pub about: &'static str,
-    /// Database nodes (actors `0..n`; coordinator `n`, client `n + 1`).
+    /// Database nodes *per partition*. With one partition (every legacy
+    /// scenario) the actors are nodes `0..n`, coordinator `n`, client
+    /// `n + 1`; sharded scenarios concatenate one such block per partition
+    /// at the [`Topology`] strides.
     pub n_nodes: u16,
+    /// Partitions hosted in the single checker kernel. `1` for every
+    /// legacy scenario; sharded scenarios run all partitions' actors under
+    /// one scheduler so cross-partition interleavings are explorable.
+    pub partitions: u16,
     /// Does the scenario inject node crashes? (Disables the Def 3.2 skew
     /// check: a recovering node legitimately lags.)
     pub crashes: bool,
@@ -43,6 +52,7 @@ pub const CATALOGUE: &[Scenario] = &[
         name: "two-node-basic",
         about: "2 nodes, 2 cross-node updates, 1 read, 1 advancement (the CI exhaustive target)",
         n_nodes: 2,
+        partitions: 1,
         crashes: false,
         sabotaged: false,
     },
@@ -50,6 +60,7 @@ pub const CATALOGUE: &[Scenario] = &[
         name: "phase-boundaries",
         about: "updates and reads arriving across every advancement phase boundary",
         n_nodes: 2,
+        partitions: 1,
         crashes: false,
         sabotaged: false,
     },
@@ -57,6 +68,7 @@ pub const CATALOGUE: &[Scenario] = &[
         name: "skew-pair",
         about: "3 nodes, tree transactions landing on ahead/behind nodes mid-advancement (§2.3)",
         n_nodes: 3,
+        partitions: 1,
         crashes: false,
         sabotaged: false,
     },
@@ -64,6 +76,7 @@ pub const CATALOGUE: &[Scenario] = &[
         name: "crash-p2",
         about: "node 1 crashes inside Phase 2 and recovers from its in-memory WAL",
         n_nodes: 2,
+        partitions: 1,
         crashes: true,
         sabotaged: false,
     },
@@ -71,6 +84,16 @@ pub const CATALOGUE: &[Scenario] = &[
         name: "nc-gate",
         about: "NC3V transactions racing an advancement through the vu == vr + 1 gate (§5)",
         n_nodes: 2,
+        partitions: 1,
+        crashes: false,
+        sabotaged: false,
+    },
+    Scenario {
+        name: "skew-cross-partition",
+        about: "2 partitions x 2 nodes, commuting trees crossing the partition boundary \
+                 while both partitions advance independently",
+        n_nodes: 2,
+        partitions: 2,
         crashes: false,
         sabotaged: false,
     },
@@ -78,6 +101,7 @@ pub const CATALOGUE: &[Scenario] = &[
         name: "p2-skip",
         about: "SABOTAGED: coordinator skips the Phase-2 drain (reverts §4.3's wait)",
         n_nodes: 2,
+        partitions: 1,
         crashes: false,
         sabotaged: true,
     },
@@ -141,21 +165,33 @@ fn inquiry2() -> TxnPlan {
 }
 
 impl Scenario {
-    /// The oracle matching this scenario's fault profile.
+    /// The partition layout of this scenario's cluster.
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.partitions, self.n_nodes)
+    }
+
+    /// Total database nodes across every partition.
+    pub fn total_nodes(&self) -> u16 {
+        self.partitions * self.n_nodes
+    }
+
+    /// The oracle matching this scenario's fault profile and layout.
     pub fn oracle(&self) -> Oracle {
         Oracle {
             check_skew: !self.crashes,
+            topology: self.topology(),
         }
     }
 
-    /// Actor id of the advancement coordinator.
+    /// Actor id of partition 0's advancement coordinator (the only one in
+    /// single-partition scenarios).
     pub fn coordinator(&self) -> NodeId {
-        NodeId(self.n_nodes)
+        self.topology().coordinator(PartitionId(0))
     }
 
-    /// Actor id of the workload client.
+    /// Actor id of partition 0's workload client.
     pub fn client(&self) -> NodeId {
-        NodeId(self.n_nodes + 1)
+        self.topology().client(PartitionId(0))
     }
 
     /// Build the simulation this scenario describes. `seed` feeds the
@@ -163,6 +199,9 @@ impl Scenario {
     /// pure function of `(scenario, seed)`, which is what makes recorded
     /// schedules replayable.
     pub fn build(&self, seed: u64) -> Simulation<ClusterActor> {
+        if self.partitions > 1 {
+            return self.build_sharded(seed);
+        }
         let (schema, mut cfg, arrivals, triggers, faults) = match self.name {
             "phase-boundaries" => self.phase_boundaries(),
             "skew-pair" => self.skew_pair(),
@@ -184,6 +223,42 @@ impl Scenario {
                 self.coordinator(),
                 Msg::TriggerAdvancement,
             );
+        }
+        sim
+    }
+
+    /// Build a multi-partition scenario: every partition's actor block
+    /// (nodes, coordinator, client at the topology strides) hosted under
+    /// **one** kernel, so the checker can interleave cross-partition
+    /// deliveries exactly like local ones. This is the model-checking view
+    /// of the sharded cluster — the production DES shuttle pins
+    /// cross-partition latency instead, but the protocol messages are the
+    /// same either way. Advancement triggers go to every coordinator.
+    fn build_sharded(&self, seed: u64) -> Simulation<ClusterActor> {
+        let topo = self.topology();
+        let (schema, mut cfg, streams, triggers) = self.skew_cross_partition();
+        cfg.sim.seed = seed;
+        cfg.sim.latency = LatencyModel::Fixed(SimDuration::from_micros(200));
+        let mut actors = Vec::new();
+        for (p, stream) in streams.into_iter().enumerate() {
+            actors.extend(build_partition_actors(
+                &schema,
+                &cfg,
+                stream,
+                PartitionId(p as u16),
+            ));
+        }
+        let mut sim = Simulation::new(actors, cfg.sim.clone());
+        for t in triggers {
+            for p in 0..topo.n_partitions() {
+                let pid = PartitionId(p);
+                sim.inject_at(
+                    t,
+                    topo.client(pid),
+                    topo.coordinator(pid),
+                    Msg::TriggerAdvancement,
+                );
+            }
         }
         sim
     }
@@ -409,13 +484,79 @@ impl Scenario {
         let arrivals = vec![Arrival::at(ms(1), visit), Arrival::at(ms(3), inquiry)];
         (schema, cfg, arrivals, vec![ms(2)], vec![])
     }
+
+    /// Two partitions of two nodes each. Commuting trees cross the
+    /// partition boundary in both directions (one subtransaction per
+    /// foreign partition — the gauge-counter unit), local trees skew the
+    /// partitions internally, and both advancements run concurrently so
+    /// reorderings can land a foreign child on either side of the peer's
+    /// version switch. Reads stay partition-local: version numbers live in
+    /// per-partition spaces, so only a within-partition read order is
+    /// meaningful to the audit.
+    #[allow(clippy::type_complexity)]
+    fn skew_cross_partition(&self) -> (Schema, ClusterConfig, Vec<Vec<Arrival>>, Vec<SimTime>) {
+        let topo = self.topology();
+        let p0 = topo.nodes(PartitionId(0));
+        let p1 = topo.nodes(PartitionId(1));
+        let counter = |node: NodeId| k(1 + u64::from(node.0));
+        let journal = |node: NodeId| k(11 + u64::from(node.0));
+        let mut decls = Vec::new();
+        for p in 0..topo.n_partitions() {
+            for node in topo.nodes(PartitionId(p)) {
+                decls.push(KeyDecl::counter(counter(node), node, 0));
+                decls.push(KeyDecl::journal(journal(node), node));
+            }
+        }
+        let schema = Schema::new(decls);
+        let charge = |node: NodeId, amount: i64, tag: u32| {
+            SubtxnPlan::new(node)
+                .update(counter(node), UpdateOp::Add(amount))
+                .update(journal(node), UpdateOp::Append { amount, tag })
+        };
+        let visit = |targets: &[NodeId], amount: i64, tag: u32| {
+            let mut root = charge(targets[0], amount, tag);
+            for &node in &targets[1..] {
+                root = root.child(charge(node, amount, tag));
+            }
+            TxnPlan::commuting(root)
+        };
+        let local_read = |nodes: &[NodeId]| {
+            let mut root = SubtxnPlan::new(nodes[0])
+                .read(counter(nodes[0]))
+                .read(journal(nodes[0]));
+            for &node in &nodes[1..] {
+                root = root.child(
+                    SubtxnPlan::new(node)
+                        .read(counter(node))
+                        .read(journal(node)),
+                );
+            }
+            TxnPlan::read_only(root)
+        };
+        let s0 = vec![
+            // Cross-partition, rooted on P0, one foreign child on P1.
+            Arrival::at(ms(1), visit(&[p0[0], p1[0]], 100, 1)),
+            // Partition-local tree spanning both P0 nodes.
+            Arrival::at(ms(2), visit(&[p0[0], p0[1]], 7, 2)),
+            Arrival::at(ms(6), local_read(&p0)),
+        ];
+        let s1 = vec![
+            // Cross-partition the other way, rooted on P1.
+            Arrival::at(ms(2), visit(&[p1[0], p0[1]], 9, 3)),
+            Arrival::at(ms(6), local_read(&p1)),
+        ];
+        let cfg = ClusterConfig::new(self.n_nodes).topology(topo);
+        (schema, cfg, vec![s0, s1], vec![ms(3)])
+    }
 }
 
-/// Snapshot every database node's invariant view.
-pub fn node_views(sim: &Simulation<ClusterActor>, n_nodes: u16) -> Vec<threev_core::InvariantView> {
+/// Snapshot every database node's invariant view, whatever the partition
+/// layout: the actor vector is filtered for node variants rather than
+/// sliced at a fixed prefix, so single-partition and sharded scenarios
+/// share one accessor.
+pub fn node_views(sim: &Simulation<ClusterActor>) -> Vec<threev_core::InvariantView> {
     sim.actors()
         .iter()
-        .take(n_nodes as usize)
         .filter_map(|a| match a {
             ClusterActor::Node(node) => Some(node.invariant_view()),
             _ => None,
@@ -423,16 +564,17 @@ pub fn node_views(sim: &Simulation<ClusterActor>, n_nodes: u16) -> Vec<threev_co
         .collect()
 }
 
-/// The client's transaction records (empty slice if the client slot is
-/// somehow not a client — defensive, not expected).
-pub fn client_records(
-    sim: &Simulation<ClusterActor>,
-    n_nodes: u16,
-) -> &[threev_analysis::TxnRecord] {
-    match sim.actors().get(n_nodes as usize + 1) {
-        Some(ClusterActor::Client(c)) => c.records(),
-        _ => &[],
+/// Every client's transaction records, concatenated in actor (partition)
+/// order. Sharded scenarios host one client per partition, so the result
+/// is owned rather than a borrow of a single client's slice.
+pub fn client_records(sim: &Simulation<ClusterActor>) -> Vec<threev_analysis::TxnRecord> {
+    let mut out = Vec::new();
+    for a in sim.actors() {
+        if let ClusterActor::Client(c) = a {
+            out.extend(c.records().iter().cloned());
+        }
     }
+    out
 }
 
 #[cfg(test)]
@@ -450,11 +592,11 @@ mod tests {
                 "{} did not quiesce: {out:?}",
                 sc.name
             );
-            let views = node_views(&sim, sc.n_nodes);
-            assert_eq!(views.len(), sc.n_nodes as usize, "{}", sc.name);
-            let records = client_records(&sim, sc.n_nodes);
+            let views = node_views(&sim);
+            assert_eq!(views.len(), sc.total_nodes() as usize, "{}", sc.name);
+            let records = client_records(&sim);
             assert!(!records.is_empty(), "{}", sc.name);
-            let viols = sc.oracle().check_quiescent(&views, records);
+            let viols = sc.oracle().check_quiescent(&views, &records);
             assert!(viols.is_empty(), "{}: {viols:?}", sc.name);
         }
     }
@@ -463,7 +605,44 @@ mod tests {
     fn catalogue_lookup() {
         assert!(find("two-node-basic").is_some());
         assert!(find("p2-skip").is_some_and(|s| s.sabotaged));
+        assert!(find("skew-cross-partition").is_some_and(|s| s.partitions == 2));
         assert!(find("no-such").is_none());
         assert!(sound().all(|s| !s.sabotaged));
+    }
+
+    /// The sharded scenario really is sharded: both partitions host a
+    /// client that commits work, the views span all four nodes, and the
+    /// cross-partition trees land on both sides.
+    #[test]
+    fn cross_partition_scenario_spans_partitions() {
+        let sc = find("skew-cross-partition").unwrap();
+        let mut sim = sc.build(1);
+        let out = sim.run_to_quiescence(SimTime::MAX);
+        assert!(matches!(out, QuiesceOutcome::Quiescent(_)), "{out:?}");
+        let views = node_views(&sim);
+        assert_eq!(views.len(), 4);
+        // Every node executed at least one journal append: the cross trees
+        // reached their foreign children.
+        for v in &views {
+            assert!(
+                v.chain_lengths.iter().any(|&(_, len)| len >= 1),
+                "node {} saw no writes",
+                v.node
+            );
+        }
+        let records = client_records(&sim);
+        let topo = sc.topology();
+        assert!(
+            records
+                .iter()
+                .any(|r| topo.partition_of(r.id.origin) == threev_model::PartitionId(0)),
+            "no transactions rooted on partition 0"
+        );
+        assert!(
+            records
+                .iter()
+                .any(|r| topo.partition_of(r.id.origin) == threev_model::PartitionId(1)),
+            "no transactions rooted on partition 1"
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! coordinator is `n`, and the client (workload driver) is `n + 1`.
 
 use threev_analysis::{TxnRecord, VersionTimeline};
-use threev_model::{NodeId, Schema};
+use threev_model::{NodeId, PartitionId, Schema, Topology};
 use threev_sim::{Actor, Ctx, QuiesceOutcome, SimConfig, SimStats, SimTime, Simulation, Trace};
 use threev_storage::StoreStats;
 
@@ -70,6 +70,15 @@ impl ClusterConfig {
     #[must_use]
     pub fn durability(mut self, mode: DurabilityMode) -> Self {
         self.protocol.node.durability = mode;
+        self
+    }
+
+    /// Set the partition layout every node consults to tell local from
+    /// foreign peers. Only sharded constructions call this; the default
+    /// [`Topology::single`] leaves all single-cluster paths untouched.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.protocol.node.topology = topology;
         self
     }
 }
@@ -162,6 +171,41 @@ pub fn build_actors(
         .collect();
     actors.push(ClusterActor::Coordinator(Coordinator::new(
         cfg.n_nodes,
+        cfg.protocol.coordinator.clone(),
+    )));
+    actors.push(ClusterActor::Client(ClientActor::new(arrivals)));
+    actors
+}
+
+/// Build the actor block of one partition of a sharded cluster, in the
+/// global id layout fixed by the config's [`Topology`]: the partition's
+/// database nodes, then its advancement coordinator (restricted to exactly
+/// those nodes), then its client driving `arrivals`. The caller hosts the
+/// block at the topology's base offset (e.g. via
+/// `Simulation::new_partition`), so actor `i` of the returned vector is
+/// global actor `base(p) + i`.
+///
+/// `schema` is the *global* schema: every node picks out the keys homed on
+/// its own global id, so all partitions share one schema value.
+pub fn build_partition_actors(
+    schema: &Schema,
+    cfg: &ClusterConfig,
+    arrivals: Vec<Arrival>,
+    p: PartitionId,
+) -> Vec<ClusterActor> {
+    let topo = cfg.protocol.node.topology;
+    assert!(
+        p.0 < topo.n_partitions(),
+        "partition {p} outside topology with {} partitions",
+        topo.n_partitions()
+    );
+    let nodes = topo.nodes(p);
+    let mut actors: Vec<ClusterActor> = nodes
+        .iter()
+        .map(|id| ClusterActor::Node(ThreeVNode::new(schema, *id, cfg.protocol.node.clone())))
+        .collect();
+    actors.push(ClusterActor::Coordinator(Coordinator::for_nodes(
+        nodes,
         cfg.protocol.coordinator.clone(),
     )));
     actors.push(ClusterActor::Client(ClientActor::new(arrivals)));

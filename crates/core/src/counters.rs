@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use threev_model::{NodeId, VersionNo};
+use threev_model::{gauge_peer, NodeId, VersionNo};
 
 /// One node's counters for one version: an outgoing request row and an
 /// incoming completion row.
@@ -166,6 +166,14 @@ pub struct CounterMatrix {
 
 impl CounterMatrix {
     /// Assemble from `(node, snapshot)` pairs (one snapshot per node).
+    ///
+    /// Cross-partition *gauge* rows (keys in the reserved range, see
+    /// [`threev_model::gauge_node`]) are sender-local: the node that talks
+    /// to a peer partition keeps **both** the R and the C row of that pair,
+    /// so a gauge completion pairs as `(p, gauge)` — same key as `p`'s
+    /// gauge request row — rather than the usual `(o, p)`. That is what
+    /// lets one partition's matrix balance without ever polling another
+    /// partition's nodes.
     pub fn assemble(snapshots: &[(NodeId, CounterSnapshot)]) -> Self {
         let mut pairs: BTreeMap<(NodeId, NodeId), (u64, u64)> = BTreeMap::new();
         for (p, snap) in snapshots {
@@ -173,7 +181,12 @@ impl CounterMatrix {
                 pairs.entry((*p, *q)).or_default().0 += r;
             }
             for (o, c) in &snap.completions_from {
-                pairs.entry((*o, *p)).or_default().1 += c;
+                let key = if gauge_peer(*o).is_some() {
+                    (*p, *o)
+                } else {
+                    (*o, *p)
+                };
+                pairs.entry(key).or_default().1 += c;
             }
         }
         CounterMatrix { pairs }
@@ -281,6 +294,45 @@ mod tests {
         let m = CounterMatrix::assemble(&[(n(0), p.snapshot(v(1))), (n(1), q.snapshot(v(1)))]);
         assert!(!m.balanced());
         assert_eq!(m.outstanding(), 0, "totals cancel but pairs do not");
+    }
+
+    #[test]
+    fn gauge_rows_pair_sender_local() {
+        use threev_model::{gauge_node, PartitionId};
+        let g = gauge_node(PartitionId(1));
+        // Node 0 ships a child to peer partition 1: R rises at the gauge.
+        let mut p = CounterTable::new();
+        p.inc_request(v(1), g);
+        let m = CounterMatrix::assemble(&[(n(0), p.snapshot(v(1)))]);
+        assert!(
+            !m.balanced(),
+            "in-flight cross-partition child holds v1 open"
+        );
+        assert_eq!(m.outstanding(), 1);
+
+        // The peer's SubtreeDone comes back: C rises at the SAME node, and
+        // the (node, gauge) pair balances without polling the peer.
+        p.inc_completion(v(1), g);
+        let m = CounterMatrix::assemble(&[(n(0), p.snapshot(v(1)))]);
+        assert!(m.balanced());
+        assert_eq!(m.len(), 1, "one (node, gauge) pair, no mirror entry");
+    }
+
+    #[test]
+    fn gauge_imbalance_blocks_even_when_local_rows_balance() {
+        use threev_model::{gauge_node, PartitionId};
+        let g = gauge_node(PartitionId(3));
+        // A re-rooted foreign subtxn pinned v1 open (R at the gauge) and
+        // the XpResolve has not arrived; local activity is fully drained.
+        let mut p = CounterTable::new();
+        p.inc_request(v(1), n(0));
+        p.inc_completion(v(1), n(0));
+        p.inc_request(v(1), g);
+        let m = CounterMatrix::assemble(&[(n(0), p.snapshot(v(1)))]);
+        assert!(!m.balanced());
+        p.inc_completion(v(1), g);
+        let m = CounterMatrix::assemble(&[(n(0), p.snapshot(v(1)))]);
+        assert!(m.balanced());
     }
 
     #[test]

@@ -79,12 +79,26 @@ pub enum Msg {
     },
     /// Compensating subtransaction (§3.2): undo transaction `txn`'s local
     /// effects and propagate to its other neighbours. Counted in `R`/`C`
-    /// exactly like an ordinary subtransaction.
+    /// exactly like an ordinary subtransaction — except across a partition
+    /// boundary, where the hop is uncounted (sender and receiver live in
+    /// different version spaces) and the receiver's gauge pin keeps its
+    /// footprint alive instead.
     Compensate {
         /// Transaction to compensate.
         txn: TxnId,
-        /// The version the transaction executed in.
+        /// The version the transaction executed in *at the sender*. A
+        /// receiver in another partition ignores it and compensates at its
+        /// own footprint's version.
         version: VersionNo,
+    },
+    /// Root node → every participant of a cross-partition tree, on clean
+    /// commit only: the transaction resolved, release any gauge pins held
+    /// for it. Fire-and-forget and uncounted (it rides the reliable data
+    /// plane); on abort no resolve is sent — the compensation flood is the
+    /// release signal, which keeps the two from racing.
+    XpResolve {
+        /// The resolved transaction.
+        txn: TxnId,
     },
 
     // ------------------------------------------------- version advancement

@@ -41,6 +41,10 @@ impl ThreeVNode {
                 from: job.source,
             });
             self.counters.inc_completion(job.version, job.source);
+            // A cross-partition compensate may have overtaken the subtxn
+            // that pinned: the transaction is dead here, so the re-root's
+            // pin (taken just before this call) must not outlive it.
+            self.release_xp_pins(job.txn);
             self.finish_without_effects(ctx, &job, false);
             return;
         }
@@ -103,6 +107,20 @@ impl ThreeVNode {
                 from: job.source,
             });
             self.counters.inc_completion(job.version, job.source);
+            // Sharded clusters cannot leave a rejected commuting tree
+            // uncompensated: gauge pins at partition-entry nodes are only
+            // released by an XpResolve (which an unclean tree never sends)
+            // or the compensation flood — so start the flood, exactly as a
+            // fault-injected abort would. Single-partition behaviour is
+            // unchanged (the root just reports the transaction aborted).
+            if job.kind == TxnKind::Commuting && !self.cfg.topology.is_single() {
+                self.tombstones.insert(job.txn);
+                self.stats.tombstones += 1;
+                self.release_xp_pins(job.txn);
+                if let Some((parent_node, _)) = job.parent {
+                    self.send_compensate(ctx, parent_node, job.txn, job.version);
+                }
+            }
             self.finish_without_effects(ctx, job, false);
         }
     }
@@ -203,22 +221,57 @@ impl ThreeVNode {
             from: job.source,
         });
         self.counters.inc_completion(job.version, job.source);
+        // The aborting node resolves the transaction for itself: any pin
+        // taken when this subtransaction was re-rooted is released here
+        // (the flood it starts below releases the others).
+        self.release_xp_pins(job.txn);
         if let Some((parent_node, _)) = job.parent {
-            self.wal(WalOp::IncRequest {
-                version: job.version,
-                to: parent_node,
-            });
-            self.counters.inc_request(job.version, parent_node);
-            ctx.send_tagged(
-                parent_node,
-                Msg::Compensate {
-                    txn: job.txn,
-                    version: job.version,
-                },
-                "compensate",
-            );
+            self.send_compensate(ctx, parent_node, job.txn, job.version);
         }
         self.finish_without_effects(ctx, job, true);
+    }
+
+    /// Release every gauge pin held for `txn`: one completion increment at
+    /// the gauge per pinned request, which re-balances the `(node, gauge)`
+    /// pair and lets the pinned version drain. Idempotent — the map entry
+    /// is removed, so whichever resolution signal arrives second (e.g. a
+    /// compensation forwarded along two tree edges) is a no-op.
+    pub(super) fn release_xp_pins(&mut self, txn: TxnId) {
+        if let Some(pins) = self.xp_pins.remove(&txn) {
+            for (version, peer) in pins {
+                let g = threev_model::gauge_node(peer);
+                self.wal(WalOp::IncCompletion { version, from: g });
+                self.counters.inc_completion(version, g);
+            }
+        }
+    }
+
+    /// Record one gauge pin for `txn` toward `peer`: an `R` increment at
+    /// the gauge id that stays un-matched until the transaction resolves.
+    fn pin_xp(&mut self, txn: TxnId, version: VersionNo, peer: threev_model::PartitionId) {
+        let g = threev_model::gauge_node(peer);
+        self.wal(WalOp::IncRequest { version, to: g });
+        self.counters.inc_request(version, g);
+        self.xp_pins.entry(txn).or_default().push((version, peer));
+    }
+
+    /// Send a compensating subtransaction to `to`. Partition-local sends
+    /// are counted (`R` here, `C` at the receiver) exactly like ordinary
+    /// subtransactions; a cross-partition send is uncounted — the two
+    /// sides run different version spaces, and the receiver's own gauge
+    /// pin is what keeps its footprint alive until the flood lands.
+    fn send_compensate(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        to: NodeId,
+        txn: TxnId,
+        version: VersionNo,
+    ) {
+        if self.cfg.topology.same_partition(to, self.me) {
+            self.wal(WalOp::IncRequest { version, to });
+            self.counters.inc_request(version, to);
+        }
+        ctx.send_tagged(to, Msg::Compensate { txn, version }, "compensate");
     }
 
     /// Close out a subtransaction that executed no steps and spawned no
@@ -407,15 +460,39 @@ impl ThreeVNode {
         let sub_id = self.new_sub_id();
         let n_children = job.plan.children.len() as u32;
         for child in &job.plan.children {
-            self.wal(WalOp::IncRequest {
-                version: job.version,
-                to: child.node,
-            });
-            self.counters.inc_request(job.version, child.node);
-            if ctx.tracing() {
-                let r = self.counters.request(job.version, child.node);
-                let (me, v, to) = (self.me, job.version, child.node);
-                ctx.trace(|| format!("subtx of {} issued to {to}; R{v} {me}->{to} = {r}", job.txn));
+            if self.cfg.topology.same_partition(child.node, self.me) {
+                self.wal(WalOp::IncRequest {
+                    version: job.version,
+                    to: child.node,
+                });
+                self.counters.inc_request(job.version, child.node);
+                if ctx.tracing() {
+                    let r = self.counters.request(job.version, child.node);
+                    let (me, v, to) = (self.me, job.version, child.node);
+                    ctx.trace(|| {
+                        format!("subtx of {} issued to {to}; R{v} {me}->{to} = {r}", job.txn)
+                    });
+                }
+            } else {
+                match job.kind {
+                    // The child re-roots at the peer's own update version;
+                    // what this node tracks is a gauge pin toward the peer,
+                    // held until the whole tree resolves (so a late
+                    // cross-partition compensate always finds footprints).
+                    TxnKind::Commuting => {
+                        let peer = self.cfg.topology.partition_of(child.node);
+                        self.pin_xp(job.txn, job.version, peer);
+                    }
+                    // A foreign read re-roots at the peer's read version
+                    // and protects itself with the peer's own counters;
+                    // nothing here needs to stay open for it.
+                    TxnKind::ReadOnly => {}
+                    // The shard router never routes a non-commuting tree
+                    // across partitions; reaching here is a routing defect.
+                    TxnKind::NonCommuting => {
+                        self.stats.invariant_breaches += 1;
+                    }
+                }
             }
             ctx.send_tagged(
                 child.node,
@@ -550,6 +627,24 @@ impl ThreeVNode {
                     for p in &participants {
                         ctx.send_tagged(*p, Msg::ReleaseLocks { txn: tracker.txn }, "cleanup");
                     }
+                }
+                // Cross-partition resolution: a tree that touched another
+                // partition left gauge pins at every shipping and entry
+                // node. On a clean commit, broadcast the resolve so they
+                // release; on abort send nothing — the compensation flood
+                // is the release signal there, and sending both would let
+                // a resolve overtake an in-flight compensate.
+                let topo = self.cfg.topology;
+                if !topo.is_single()
+                    && !aborted
+                    && participants
+                        .iter()
+                        .any(|p| !topo.same_partition(*p, self.me))
+                {
+                    for p in participants.iter().filter(|p| **p != self.me) {
+                        ctx.send_tagged(*p, Msg::XpResolve { txn: tracker.txn }, "xp");
+                    }
+                    self.release_xp_pins(tracker.txn);
                 }
             }
             TxnKind::NonCommuting => {
@@ -755,6 +850,13 @@ impl ThreeVNode {
         if ctx.tracing() {
             ctx.trace(|| format!("subtx of {txn} arrives from {from} (version {version})"));
         }
+        if !self.cfg.topology.same_partition(from, self.me) {
+            // A foreign sender's version belongs to another partition's
+            // version space: neither run at it nor infer advancement from
+            // it. Re-root the subtree here instead.
+            self.handle_foreign_subtxn(ctx, from, txn, kind, plan, parent_sub, client, fail_node);
+            return;
+        }
         // §2.3: an update descendant with a newer version acts as the
         // advancement notification.
         if kind != TxnKind::ReadOnly && version > self.vu {
@@ -771,6 +873,64 @@ impl ThreeVNode {
                 client,
                 fail_node,
                 source: from,
+            },
+        );
+    }
+
+    /// Re-root a subtransaction arriving from another partition: this node
+    /// becomes the subtree's root within its own partition. The version is
+    /// assigned locally (update version for commuting work, read version
+    /// for queries — exactly as [`Self::handle_submit`] would), the
+    /// counters mirror a root's (`R`/`C` at this node), and commuting work
+    /// additionally takes a gauge pin toward the sender's partition so the
+    /// assigned version stays open until the whole tree resolves. The
+    /// parent link is kept verbatim: the completion notice still travels
+    /// back across the partition boundary.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_foreign_subtxn(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        txn: TxnId,
+        kind: TxnKind,
+        plan: SubtxnPlan,
+        parent_sub: SubtxnId,
+        client: NodeId,
+        fail_node: Option<NodeId>,
+    ) {
+        let version = match kind {
+            TxnKind::ReadOnly => self.vr,
+            TxnKind::Commuting => self.vu,
+            TxnKind::NonCommuting => {
+                // The shard router forbids cross-partition non-commuting
+                // trees (their 2PC and gate are partition-local notions).
+                self.stats.invariant_breaches += 1;
+                return;
+            }
+        };
+        if ctx.tracing() {
+            ctx.trace(|| format!("subtx of {txn} re-roots at local version {version}"));
+        }
+        self.wal(WalOp::IncRequest {
+            version,
+            to: self.me,
+        });
+        self.counters.inc_request(version, self.me);
+        if kind == TxnKind::Commuting {
+            let peer = self.cfg.topology.partition_of(from);
+            self.pin_xp(txn, version, peer);
+        }
+        self.run_job(
+            ctx,
+            Job {
+                txn,
+                kind,
+                version,
+                plan,
+                parent: Some((from, parent_sub)),
+                client,
+                fail_node,
+                source: self.me,
             },
         );
     }

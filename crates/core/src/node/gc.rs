@@ -23,14 +23,24 @@ impl ThreeVNode {
         version: VersionNo,
     ) {
         // A compensating subtransaction is an ordinary subtransaction for
-        // counter purposes: the sender incremented R, we increment C.
-        self.wal(WalOp::IncCompletion { version, from });
-        self.counters.inc_completion(version, from);
+        // counter purposes: the sender incremented R, we increment C. A
+        // *cross-partition* compensate is the exception — the sender is in
+        // another version space and sent it uncounted, so nothing is owed.
+        if self.cfg.topology.same_partition(from, self.me) {
+            self.wal(WalOp::IncCompletion { version, from });
+            self.counters.inc_completion(version, from);
+        }
         match self.footprints.get_mut(&txn) {
             Some(fp) if !fp.compensated => {
                 fp.compensated = true;
                 self.stats.compensations_applied += 1;
                 ctx.trace(|| format!("compensating subtx for {txn} applies"));
+                // Undo and forward at the version the transaction executed
+                // in *here*. Partition-local, that equals the message's
+                // version (one tree, one version); across a boundary the
+                // sender's version is meaningless and the footprint's is
+                // the only correct one.
+                let version = fp.version;
                 let inverse = std::mem::take(&mut fp.inverse_steps);
                 let neighbors: Vec<NodeId> = fp
                     .neighbors
@@ -55,12 +65,19 @@ impl ThreeVNode {
                     }
                 }
                 // Forward to every other neighbour (§3.2: at most one
-                // compensating subtransaction per node).
+                // compensating subtransaction per node). Partition-local
+                // hops are counted; cross-partition hops are not (the
+                // receiver's pin protects its footprint instead).
                 for n in neighbors {
-                    self.wal(WalOp::IncRequest { version, to: n });
-                    self.counters.inc_request(version, n);
+                    if self.cfg.topology.same_partition(n, self.me) {
+                        self.wal(WalOp::IncRequest { version, to: n });
+                        self.counters.inc_request(version, n);
+                    }
                     ctx.send_tagged(n, Msg::Compensate { txn, version }, "compensate");
                 }
+                // The flood is the abort-side resolution signal: any gauge
+                // pins held here for this transaction release now.
+                self.release_xp_pins(txn);
                 if let Some(client) = notify_client {
                     ctx.send_tagged(
                         client,
@@ -76,10 +93,22 @@ impl ThreeVNode {
             Some(_) => { /* already compensated: dedup */ }
             None => {
                 // The original subtransaction has not arrived yet: tombstone
-                // it so it executes as a no-op.
+                // it so it executes as a no-op (and, if it already pinned on
+                // arrival without leaving a footprint, unpin).
                 self.tombstones.insert(txn);
                 self.stats.tombstones += 1;
+                self.release_xp_pins(txn);
             }
+        }
+    }
+
+    /// A cross-partition transaction this node took part in committed
+    /// cleanly: release its gauge pins. Unknown transactions are a no-op —
+    /// the resolve is broadcast to every participant, pinned or not.
+    pub(super) fn handle_xp_resolve(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId) {
+        if self.xp_pins.contains_key(&txn) {
+            ctx.trace(|| format!("{txn} resolved across partitions; pins release"));
+            self.release_xp_pins(txn);
         }
     }
 

@@ -44,7 +44,8 @@ use std::path::PathBuf;
 
 use threev_durability::{Durability, DurabilityStats, FileBackend, MemBackend, Snapshot, WalOp};
 use threev_model::{
-    Key, NodeId, Schema, SubtxnId, SubtxnPlan, TxnId, TxnKind, UpdateOp, VersionNo,
+    Key, NodeId, PartitionId, Schema, SubtxnId, SubtxnPlan, Topology, TxnId, TxnKind, UpdateOp,
+    VersionNo,
 };
 use threev_sim::{Actor, Ctx, SimDuration};
 use threev_storage::{LockMode, LockTable, Store, StoreStats, UndoLog};
@@ -92,6 +93,12 @@ pub struct NodeConfig {
     pub nc_max_retries: u32,
     /// Write-ahead logging and checkpointing policy.
     pub durability: DurabilityMode,
+    /// Cluster partition layout. The default [`Topology::single`] maps
+    /// every id to one partition and leaves all single-cluster code paths
+    /// untouched; a sharded cluster sets the real layout so nodes can
+    /// recognise foreign senders, re-root their subtransactions, and keep
+    /// gauge-keyed counter rows per peer partition.
+    pub topology: Topology,
 }
 
 impl Default for NodeConfig {
@@ -101,6 +108,7 @@ impl Default for NodeConfig {
             retry_backoff: SimDuration::from_micros(500),
             nc_max_retries: 20,
             durability: DurabilityMode::None,
+            topology: Topology::single(),
         }
     }
 }
@@ -287,6 +295,15 @@ pub struct ThreeVNode {
     nc_root_ctx: BTreeMap<TxnId, NcRootCtx>,
     nc_waiting: Vec<Job>,
     parked: BTreeMap<TxnId, Parked>,
+    /// Gauge pins held for unresolved cross-partition transactions: each
+    /// entry is an un-matched `R(version, gauge(peer))` increment made when
+    /// this node shipped a commuting child to `peer` or re-rooted one
+    /// arriving from `peer`. Released (matching `C` increments) when the
+    /// transaction resolves — [`Msg::XpResolve`] on clean commit, or the
+    /// compensation flood / a local tombstone / a local abort otherwise.
+    /// While any pin is live its version cannot drain, so footprints
+    /// everywhere in this partition stay compensatable.
+    xp_pins: BTreeMap<TxnId, Vec<(VersionNo, PartitionId)>>,
     timers: BTreeMap<u64, TimerAction>,
     next_timer: u64,
     stats: NodeStats,
@@ -339,6 +356,7 @@ impl ThreeVNode {
             nc_root_ctx: BTreeMap::new(),
             nc_waiting: Vec::new(),
             parked: BTreeMap::new(),
+            xp_pins: BTreeMap::new(),
             timers: BTreeMap::new(),
             next_timer: 0,
             stats: NodeStats::default(),
@@ -429,14 +447,22 @@ impl ThreeVNode {
         }
     }
 
-    /// Is the node quiescent (no trackers, parked work, or NC state)?
+    /// Is the node quiescent (no trackers, parked work, NC state, or
+    /// unresolved cross-partition pins)?
     pub fn is_quiescent(&self) -> bool {
         self.trackers.is_empty()
             && self.parked.is_empty()
             && self.nc_local.is_empty()
             && self.nc_coord.is_empty()
             && self.nc_waiting.is_empty()
+            && self.xp_pins.is_empty()
             && self.locks.is_idle()
+    }
+
+    /// Gauge pins currently held for unresolved cross-partition
+    /// transactions (observability/tests).
+    pub fn xp_pins_held(&self) -> usize {
+        self.xp_pins.values().map(Vec::len).sum()
     }
 
     // --------------------------------------------------------- durability
@@ -528,6 +554,11 @@ impl ThreeVNode {
         self.nc_root_ctx.clear();
         self.nc_waiting.clear();
         self.parked.clear();
+        // Pins are volatile: their txn→(version, peer) mapping is not in
+        // the WAL, so a recovered node cannot re-associate a resolve or
+        // compensate with the gauge rows it replayed. Sharded runs
+        // therefore do not support crash injection yet (see DESIGN.md).
+        self.xp_pins.clear();
         self.timers.clear();
         // `spawn_seq` survives as an epoch stand-in: reusing SubtxnIds
         // could credit a stale in-flight completion notice to a new
@@ -603,6 +634,7 @@ impl ThreeVNode {
                 clean,
             } => self.handle_subtree_done(ctx, from, txn, parent_sub, participants, clean),
             Msg::Compensate { txn, version } => self.handle_compensate(ctx, from, txn, version),
+            Msg::XpResolve { txn } => self.handle_xp_resolve(ctx, txn),
             Msg::StartAdvancement { vu_new } => self.handle_start_advancement(ctx, from, vu_new),
             Msg::AdvanceRead { vr_new } => self.handle_advance_read(ctx, from, vr_new),
             Msg::ReadCounters { round, version } => {

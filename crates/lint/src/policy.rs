@@ -84,6 +84,16 @@ pub const POLICIES: &[CratePolicy] = &[
         wal_hooks: false,
         forbid_unsafe: true,
     },
+    // The sharded cluster's DES shuttle and router run inside replay
+    // (cross-partition schedules are part of the determinism contract);
+    // its threaded helper is thin enough to hold to the same bar.
+    CratePolicy {
+        name: "shard",
+        deterministic: true,
+        panic_hygiene: true,
+        wal_hooks: false,
+        forbid_unsafe: true,
+    },
     // Non-deterministic tier: threaded runtime, analysis/bench tooling, and
     // the linter itself. Wall clocks, HashMaps, and unwraps are fine here.
     CratePolicy {

@@ -1,0 +1,11 @@
+//! Fixture: violations the `shard` crate policy must catch — the DES
+//! shuttle is replayed, so it is held to the deterministic tier.
+use std::collections::HashMap;
+
+fn route(order: &mut HashMap<u64, u16>) -> u16 {
+    *order.get(&0).unwrap()
+}
+
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

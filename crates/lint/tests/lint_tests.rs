@@ -136,6 +136,29 @@ fn unsafe_forbid_fires_on_crate_roots() {
     );
 }
 
+/// The `shard` crate sits in the deterministic tier: its shuttle replays
+/// recorded cross-partition schedules, so wall clocks, hash iteration
+/// order, and panics are all policy violations there — while the same
+/// source inside the (non-deterministic) threaded runtime is out of scope.
+#[test]
+fn shard_policy_holds_the_deterministic_tier() {
+    let src = fixture("bad_shard.rs");
+    let findings = lint_source("shard", "crates/shard/src/cluster.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("determinism", 3),   // HashMap import
+            ("determinism", 5),   // HashMap in a signature
+            ("panic-hygiene", 6), // .unwrap()
+            ("determinism", 9),   // Instant in a signature
+            ("determinism", 10),  // Instant::now()
+        ],
+        "{findings:#?}"
+    );
+    let exempt = lint_source("runtime", "crates/runtime/src/bad.rs", &src);
+    assert!(exempt.is_empty(), "{exempt:#?}");
+}
+
 #[test]
 fn clean_fixture_produces_no_findings() {
     let src = fixture("clean.rs");

@@ -10,7 +10,10 @@
 //! * [`plan`] — the *tree model of transactions* (paper §2.1, following the
 //!   R* model [Mohan et al. 1986]): a transaction is a tree of
 //!   subtransactions, each bound to one node;
-//! * [`schema`] — the static placement of data items on nodes.
+//! * [`schema`] — the static placement of data items on nodes;
+//! * [`partition`] — partition identifiers, the sharded actor-id layout
+//!   ([`Topology`]), and the reserved gauge ids that key cross-partition
+//!   counter rows.
 //!
 //! Nothing in this crate knows about versions-at-rest, messages, or clocks;
 //! those live in `threev-storage`, `threev-core`, and `threev-sim`.
@@ -21,12 +24,14 @@
 
 pub mod ids;
 pub mod ops;
+pub mod partition;
 pub mod plan;
 pub mod schema;
 pub mod value;
 
 pub use ids::{Key, NodeId, SubtxnId, TxnId, VersionNo};
 pub use ops::UpdateOp;
+pub use partition::{gauge_node, gauge_peer, PartitionId, Topology};
 pub use plan::{OpStep, PlanError, SubtxnPlan, TxnKind, TxnPlan};
 pub use schema::{KeyDecl, Schema};
 pub use value::{JournalEntry, Value, ValueKind};

@@ -133,6 +133,19 @@ impl SubtxnPlan {
         self.collect_steps(&mut out);
         out
     }
+
+    /// Rewrite every subtransaction's node through `f`, preserving the tree
+    /// shape and steps. This is how sharded drivers re-home a plan written
+    /// against logical node indices onto the global ids of a
+    /// [`crate::partition::Topology`] block layout.
+    #[must_use]
+    pub fn map_nodes(&self, f: &mut impl FnMut(NodeId) -> NodeId) -> SubtxnPlan {
+        SubtxnPlan {
+            node: f(self.node),
+            steps: self.steps.clone(),
+            children: self.children.iter().map(|c| c.map_nodes(f)).collect(),
+        }
+    }
 }
 
 /// Classification of a transaction (paper §3.1 and §5).
@@ -277,6 +290,16 @@ impl TxnPlan {
             }
         }
         set.into_iter().collect()
+    }
+
+    /// Rewrite every subtransaction's node through `f` (see
+    /// [`SubtxnPlan::map_nodes`]).
+    #[must_use]
+    pub fn map_nodes(&self, f: &mut impl FnMut(NodeId) -> NodeId) -> TxnPlan {
+        TxnPlan {
+            kind: self.kind,
+            root: self.root.map_nodes(f),
+        }
     }
 
     /// Build the compensating plan for this transaction (paper §3.2): the

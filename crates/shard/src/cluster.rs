@@ -1,0 +1,637 @@
+//! The sharded discrete-event cluster driver.
+//!
+//! A [`ShardedCluster`] hosts one [`Simulation`] per partition — each with
+//! its own nodes, its own advancement [`Coordinator`], its own client, and
+//! its own decorrelated RNG streams ([`SimConfig::for_partition`]) — and
+//! shuttles cross-partition messages between them through the kernels'
+//! partition outboxes. The shuttle is deterministic:
+//!
+//! 1. find the earliest pending event time `t` across all partitions,
+//! 2. run every partition's kernel up to exactly `t`,
+//! 3. drain the outboxes in partition order and inject every
+//!    cross-partition message into its target kernel at `t + cross_latency`.
+//!
+//! Because `t` is the *global* minimum, no kernel ever runs past a message
+//! another kernel is about to send it: a message emitted at `t` arrives at
+//! `t + cross_latency > t`, and every kernel's clock is exactly `t` when
+//! the injection happens. Intra-partition delivery (including the fault
+//! plane) stays entirely inside each kernel, untouched.
+//!
+//! With one partition the outbox is always empty and the shuttle reduces
+//! to running the single kernel event by event — bit-identical to
+//! [`ThreeVCluster`], which the tests below pin.
+//!
+//! Crash injection is **not supported** in sharded runs: cross-partition
+//! resolution pins live in volatile node state and are not yet recovered
+//! from the WAL, so a crash could strand a foreign partition's gauge row.
+//! Construction rejects configs with scheduled crashes.
+//!
+//! [`ThreeVCluster`]: threev_core::cluster::ThreeVCluster
+
+use threev_analysis::TxnRecord;
+use threev_core::advance::{AdvancementPolicy, AdvancementRecord, Coordinator};
+use threev_core::client::Arrival;
+use threev_core::cluster::{build_partition_actors, ClusterActor, ClusterConfig, ThreeVConfig};
+use threev_core::msg::Msg;
+use threev_core::node::{DurabilityMode, ThreeVNode};
+use threev_model::{NodeId, PartitionId, Schema, Topology};
+use threev_sim::{SimConfig, SimDuration, SimStats, SimTime, Simulation};
+
+/// Configuration of a sharded cluster.
+#[derive(Clone, Debug)]
+pub struct ShardedConfig {
+    /// Partition layout (also carried into every node's config).
+    pub topology: Topology,
+    /// Base simulation settings; partition `p` runs under
+    /// [`SimConfig::for_partition`]`(p)`.
+    pub sim: SimConfig,
+    /// Protocol settings, shared by all partitions.
+    pub protocol: ThreeVConfig,
+    /// Fixed one-way latency of the inter-partition links. Must be
+    /// non-zero: a zero-latency cross link would let a message arrive in
+    /// the same instant it was sent, breaking the shuttle's "no kernel
+    /// runs past an incoming message" argument.
+    pub cross_latency: SimDuration,
+}
+
+impl ShardedConfig {
+    /// Default configuration over `n_partitions` partitions of
+    /// `nodes_per_partition` nodes each.
+    pub fn new(n_partitions: u16, nodes_per_partition: u16) -> Self {
+        ShardedConfig {
+            topology: Topology::new(n_partitions, nodes_per_partition),
+            sim: SimConfig::default(),
+            protocol: ThreeVConfig::default(),
+            cross_latency: SimDuration::from_micros(250),
+        }
+    }
+
+    /// Set the RNG seed (partition 0 uses it verbatim; others derive).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Set the advancement policy of every partition's coordinator.
+    #[must_use]
+    pub fn advancement(mut self, policy: AdvancementPolicy) -> Self {
+        self.protocol.coordinator.policy = policy;
+        self
+    }
+
+    /// Enable NC3V locking on every node.
+    #[must_use]
+    pub fn with_locks(mut self) -> Self {
+        self.protocol.node.locks_enabled = true;
+        self
+    }
+
+    /// Set the per-node durability mode.
+    #[must_use]
+    pub fn durability(mut self, mode: DurabilityMode) -> Self {
+        self.protocol.node.durability = mode;
+        self
+    }
+
+    /// Set the inter-partition link latency.
+    #[must_use]
+    pub fn cross_latency(mut self, latency: SimDuration) -> Self {
+        self.cross_latency = latency;
+        self
+    }
+
+    /// The per-partition [`ClusterConfig`] this expands to.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        ClusterConfig {
+            n_nodes: self.topology.nodes_per_partition(),
+            sim: self.sim.clone(),
+            protocol: self.protocol.clone(),
+        }
+        .topology(self.topology)
+    }
+}
+
+/// How a [`ShardedCluster::run`] ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardOutcome {
+    /// No partition has pending events or undelivered cross traffic.
+    Quiescent(SimTime),
+    /// The virtual-time cap was reached with work still pending.
+    TimeCapped,
+}
+
+/// A sharded 3V cluster: `P` independent partition kernels plus the
+/// cross-partition message shuttle.
+pub struct ShardedCluster {
+    topo: Topology,
+    cross_latency: SimDuration,
+    sims: Vec<Simulation<ClusterActor>>,
+    route_buf: Vec<(NodeId, NodeId, Msg)>,
+    cross_messages: u64,
+}
+
+impl ShardedCluster {
+    /// Build a sharded cluster over the *global* `schema`, with one
+    /// arrival stream per partition (`arrivals[p]` is driven by partition
+    /// `p`'s client; its plans should be rooted on partition-`p` nodes).
+    ///
+    /// # Panics
+    /// Panics when `arrivals` does not have exactly one entry per
+    /// partition, when `cross_latency` is zero, or when the fault plane
+    /// schedules node crashes (unsupported in sharded runs, see module
+    /// docs) — all static configuration bugs.
+    pub fn new(schema: &Schema, cfg: ShardedConfig, arrivals: Vec<Vec<Arrival>>) -> Self {
+        let topo = cfg.topology;
+        assert_eq!(
+            arrivals.len(),
+            usize::from(topo.n_partitions()),
+            "one arrival stream per partition"
+        );
+        assert!(
+            cfg.cross_latency > SimDuration::ZERO,
+            "cross-partition latency must be non-zero"
+        );
+        assert!(
+            cfg.sim.faults.crashes.is_empty(),
+            "crash injection is not supported in sharded runs \
+             (cross-partition resolution pins are not WAL-recovered)"
+        );
+        let ccfg = cfg.cluster_config();
+        let sims = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(p, stream)| {
+                let pid = PartitionId(p as u16);
+                let actors = build_partition_actors(schema, &ccfg, stream, pid);
+                Simulation::new_partition(
+                    actors,
+                    topo.base(pid).0,
+                    u16::MAX,
+                    cfg.sim.for_partition(p),
+                )
+            })
+            .collect();
+        let mut cluster = ShardedCluster {
+            topo,
+            cross_latency: cfg.cross_latency,
+            sims,
+            route_buf: Vec::new(),
+            cross_messages: 0,
+        };
+        // Kernels deliver `on_start` lazily on their first run call; prime
+        // them here so `earliest_event` sees the initial client timers (and
+        // any time-zero cross sends are shuttled) before the first step.
+        cluster.step_to(SimTime::ZERO);
+        cluster
+    }
+
+    /// The partition layout.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Number of partitions.
+    pub fn n_partitions(&self) -> u16 {
+        self.topo.n_partitions()
+    }
+
+    /// Earliest pending event across all partition kernels.
+    fn earliest_event(&self) -> Option<SimTime> {
+        self.sims.iter().filter_map(Simulation::next_event_at).min()
+    }
+
+    /// Run every kernel to exactly `t`, then shuttle the cross-partition
+    /// messages that were emitted.
+    fn step_to(&mut self, t: SimTime) {
+        for sim in &mut self.sims {
+            sim.run_until(t);
+        }
+        let deliver = t + self.cross_latency;
+        // Outboxes are drained and injected in partition order, and each
+        // kernel assigns injected messages consecutive sequence numbers, so
+        // same-instant cross deliveries have a deterministic total order.
+        for p in 0..self.sims.len() {
+            let mut buf = std::mem::take(&mut self.route_buf);
+            self.sims[p].drain_outbox(&mut buf);
+            for (from, to, msg) in buf.drain(..) {
+                let q = self.topo.partition_of(to).index();
+                self.cross_messages += 1;
+                self.sims[q].inject_at(deliver, from, to, msg);
+            }
+            self.route_buf = buf;
+        }
+    }
+
+    /// Run until every partition is quiescent, or until the virtual-time
+    /// cap is reached.
+    pub fn run(&mut self, cap: SimTime) -> ShardOutcome {
+        loop {
+            match self.earliest_event() {
+                None => return ShardOutcome::Quiescent(self.now()),
+                Some(t) if t > cap => {
+                    for sim in &mut self.sims {
+                        sim.run_until(cap);
+                    }
+                    return ShardOutcome::TimeCapped;
+                }
+                Some(t) => self.step_to(t),
+            }
+        }
+    }
+
+    /// Run all events up to `until` and stop there (mid-run inspection).
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.earliest_event() {
+            if t > until {
+                break;
+            }
+            self.step_to(t);
+        }
+        for sim in &mut self.sims {
+            sim.run_until(until);
+        }
+    }
+
+    /// Current virtual time (all kernels agree after any run call).
+    pub fn now(&self) -> SimTime {
+        self.sims
+            .iter()
+            .map(Simulation::now)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Ask partition `p`'s coordinator for one advancement now.
+    pub fn trigger_advancement(&mut self, p: PartitionId) {
+        let client = self.topo.client(p);
+        let coord = self.topo.coordinator(p);
+        self.sims[p.index()].inject(client, coord, Msg::TriggerAdvancement);
+    }
+
+    /// Ask every partition's coordinator for one advancement now.
+    pub fn trigger_advancement_all(&mut self) {
+        for p in 0..self.n_partitions() {
+            self.trigger_advancement(PartitionId(p));
+        }
+    }
+
+    /// Total messages shuttled across partition boundaries so far.
+    pub fn cross_messages(&self) -> u64 {
+        self.cross_messages
+    }
+
+    /// Kernel statistics of partition `p`.
+    pub fn sim_stats(&self, p: PartitionId) -> &SimStats {
+        self.sims[p.index()].stats()
+    }
+
+    /// Transaction records collected by partition `p`'s client, if the
+    /// client slot is populated as constructed.
+    pub fn try_partition_records(&self, p: PartitionId) -> Option<&[TxnRecord]> {
+        match self.sims.get(p.index())?.actors().last()? {
+            ClusterActor::Client(c) => Some(c.records()),
+            _ => None,
+        }
+    }
+
+    /// Transaction records collected by partition `p`'s client.
+    pub fn partition_records(&self, p: PartitionId) -> &[TxnRecord] {
+        // lint-allow(panic-hygiene): the client occupies the last actor
+        // slot of every partition block by construction
+        // (build_partition_actors); a mismatch is a harness defect, not a
+        // reachable protocol state.
+        self.try_partition_records(p)
+            .expect("client occupies the last actor slot of the partition")
+    }
+
+    /// All transaction records, merged across partitions in submission
+    /// order (ties broken by partition index).
+    pub fn records(&self) -> Vec<TxnRecord> {
+        let mut all: Vec<TxnRecord> = Vec::new();
+        for p in 0..self.n_partitions() {
+            all.extend_from_slice(self.partition_records(PartitionId(p)));
+        }
+        all.sort_by_key(|r| r.submitted);
+        all
+    }
+
+    /// The engine of the node with *global* id `id`, if `id` names a
+    /// database node of the topology.
+    pub fn try_node(&self, id: NodeId) -> Option<&ThreeVNode> {
+        let p = self.topo.partition_of(id);
+        let local = usize::from(id.0.checked_sub(self.topo.base(p).0)?);
+        if local >= usize::from(self.topo.nodes_per_partition()) {
+            return None;
+        }
+        match self.sims.get(p.index())?.actors().get(local)? {
+            ClusterActor::Node(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The engine of the node with *global* id `id`.
+    pub fn node(&self, id: NodeId) -> &ThreeVNode {
+        // lint-allow(panic-hygiene): node slots are fixed at construction;
+        // an id outside the topology's node range is a test/bench indexing
+        // bug. Fallible callers use `try_node`.
+        self.try_node(id).expect("global id names a database node")
+    }
+
+    /// Partition `p`'s coordinator, if its slot is populated as
+    /// constructed.
+    pub fn try_coordinator(&self, p: PartitionId) -> Option<&Coordinator> {
+        let slot = usize::from(self.topo.nodes_per_partition());
+        match self.sims.get(p.index())?.actors().get(slot)? {
+            ClusterActor::Coordinator(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Partition `p`'s coordinator.
+    pub fn coordinator(&self, p: PartitionId) -> &Coordinator {
+        // lint-allow(panic-hygiene): the coordinator occupies slot k of
+        // every partition block by construction.
+        self.try_coordinator(p)
+            .expect("coordinator occupies actor slot k of the partition")
+    }
+
+    /// Completed advancement records of partition `p`.
+    pub fn advancements(&self, p: PartitionId) -> &[AdvancementRecord] {
+        self.coordinator(p).records()
+    }
+
+    /// All global node ids, in partition order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.n_partitions())
+            .flat_map(|p| self.topo.nodes(PartitionId(p)))
+            .collect()
+    }
+
+    /// Are all nodes of all partitions quiescent?
+    pub fn all_quiescent(&self) -> bool {
+        self.node_ids()
+            .iter()
+            .all(|&id| self.node(id).is_quiescent())
+    }
+
+    /// Highest number of simultaneously live versions of any item on any
+    /// node of any partition (the paper's bound: ≤ 3 per partition).
+    pub fn max_versions_high_water(&self) -> u32 {
+        self.node_ids()
+            .iter()
+            .map(|&id| self.node(id).store_stats().max_versions_of_any_item)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threev_analysis::TxnStatus;
+    use threev_core::cluster::ThreeVCluster;
+    use threev_model::{Key, KeyDecl, SubtxnPlan, TxnPlan, UpdateOp};
+
+    fn ms(x: u64) -> SimTime {
+        SimTime(x * 1_000)
+    }
+
+    /// One counter + one journal per node, for `n` global nodes.
+    fn schema(nodes: &[NodeId]) -> Schema {
+        let mut decls = Vec::new();
+        for &n in nodes {
+            decls.push(KeyDecl::counter(Key(u64::from(n.0)), n, 0));
+            decls.push(KeyDecl::journal(Key(1_000 + u64::from(n.0)), n));
+        }
+        Schema::new(decls)
+    }
+
+    fn visit(nodes: &[NodeId], amount: i64) -> TxnPlan {
+        let mut root = SubtxnPlan::new(nodes[0])
+            .update(Key(u64::from(nodes[0].0)), UpdateOp::Add(amount))
+            .update(
+                Key(1_000 + u64::from(nodes[0].0)),
+                UpdateOp::Append { amount, tag: 1 },
+            );
+        for &n in &nodes[1..] {
+            root = root.child(
+                SubtxnPlan::new(n)
+                    .update(Key(u64::from(n.0)), UpdateOp::Add(amount))
+                    .update(
+                        Key(1_000 + u64::from(n.0)),
+                        UpdateOp::Append { amount, tag: 1 },
+                    ),
+            );
+        }
+        TxnPlan::commuting(root)
+    }
+
+    /// Everything observable about a finished run, via Debug canonicalisation.
+    fn fingerprint(records: &[TxnRecord], nodes: &[&ThreeVNode], stats: &SimStats) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in records {
+            let _ = writeln!(out, "{r:?}");
+        }
+        for n in nodes {
+            let mut keys: Vec<_> = n.store().keys().collect();
+            keys.sort_unstable();
+            let _ = writeln!(out, "vu={:?} vr={:?}", n.vu(), n.vr());
+            for k in keys {
+                let _ = writeln!(out, "  {k:?} => {:?}", n.store().layout(k));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "messages={} timers={} events={}",
+            stats.messages, stats.timers, stats.events
+        );
+        out
+    }
+
+    /// With one partition, the sharded driver is bit-identical to the
+    /// single-cluster driver: same records, same stores, same kernel
+    /// statistics.
+    #[test]
+    fn single_partition_matches_threev_cluster() {
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let schema = schema(&nodes);
+        let arrivals: Vec<Arrival> = (0..40)
+            .map(|i| Arrival::at(ms(1 + i), visit(&nodes, 1)))
+            .collect();
+        let horizon = SimTime(5_000_000);
+
+        let cfg = ClusterConfig::new(3)
+            .seed(42)
+            .advancement(AdvancementPolicy::Periodic {
+                first: SimDuration::from_millis(10),
+                period: SimDuration::from_millis(20),
+            });
+        let mut single = ThreeVCluster::new(&schema, cfg, arrivals.clone());
+        single.run_until(horizon);
+        let single_nodes: Vec<&ThreeVNode> = (0..3).map(|i| single.node(i)).collect();
+        let single_fp = fingerprint(single.records(), &single_nodes, single.sim_stats());
+
+        let sharded_cfg =
+            ShardedConfig::new(1, 3)
+                .seed(42)
+                .advancement(AdvancementPolicy::Periodic {
+                    first: SimDuration::from_millis(10),
+                    period: SimDuration::from_millis(20),
+                });
+        let mut sharded = ShardedCluster::new(&schema, sharded_cfg, vec![arrivals]);
+        sharded.run_until(horizon);
+        assert!(sharded.topology().is_single());
+        assert_eq!(sharded.cross_messages(), 0);
+        let sharded_nodes: Vec<&ThreeVNode> = nodes.iter().map(|&id| sharded.node(id)).collect();
+        let sharded_fp = fingerprint(
+            sharded.partition_records(PartitionId(0)),
+            &sharded_nodes,
+            sharded.sim_stats(PartitionId(0)),
+        );
+        assert_eq!(single_fp, sharded_fp, "P=1 sharded run diverged");
+    }
+
+    /// A cross-partition commuting tree commits on every partition, the
+    /// gauge pins release, and both partitions advance independently.
+    #[test]
+    fn cross_partition_tree_commits_everywhere() {
+        let topo = Topology::new(2, 2);
+        let p0 = PartitionId(0);
+        let p1 = PartitionId(1);
+        let all: Vec<NodeId> = topo.nodes(p0).into_iter().chain(topo.nodes(p1)).collect();
+        let schema = schema(&all);
+        // Rooted on partition 0, charging one node of each partition.
+        let plan = visit(&[topo.nodes(p0)[0], topo.nodes(p1)[1]], 5);
+        let arrivals0 = vec![Arrival::at(ms(1), plan)];
+        let cfg = ShardedConfig::new(2, 2).seed(7);
+        let mut cluster = ShardedCluster::new(&schema, cfg, vec![arrivals0, vec![]]);
+        let out = cluster.run(SimTime::MAX);
+        assert!(matches!(out, ShardOutcome::Quiescent(_)));
+        assert!(cluster.cross_messages() > 0, "tree must cross partitions");
+        let recs = cluster.partition_records(p0);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].status, TxnStatus::Committed);
+        // Both touched nodes saw the charge.
+        for id in [topo.nodes(p0)[0], topo.nodes(p1)[1]] {
+            let store = cluster.node(id).store();
+            let layout = store.layout(Key(u64::from(id.0)));
+            let latest = layout.as_ref().and_then(|l| l.last());
+            assert_eq!(
+                latest.and_then(|(_, v)| v.as_counter()),
+                Some(5),
+                "node {id} counter"
+            );
+        }
+        // With the pins released, each partition can advance on its own.
+        cluster.trigger_advancement_all();
+        let out = cluster.run(SimTime::MAX);
+        assert!(matches!(out, ShardOutcome::Quiescent(_)));
+        assert_eq!(cluster.advancements(p0).len(), 1);
+        assert_eq!(cluster.advancements(p1).len(), 1);
+        assert!(cluster.all_quiescent());
+    }
+
+    /// An aborted cross-partition tree compensates on every partition: no
+    /// partial effects survive anywhere.
+    #[test]
+    fn cross_partition_abort_leaves_no_trace() {
+        let topo = Topology::new(2, 2);
+        let p0 = PartitionId(0);
+        let p1 = PartitionId(1);
+        let all: Vec<NodeId> = topo.nodes(p0).into_iter().chain(topo.nodes(p1)).collect();
+        let schema = schema(&all);
+        let victim = topo.nodes(p1)[0];
+        let targets = [topo.nodes(p0)[0], victim];
+        let arrivals0 = vec![
+            Arrival::failing_at(ms(1), visit(&targets, 100), victim),
+            Arrival::at(ms(2), visit(&targets, 7)),
+        ];
+        let cfg = ShardedConfig::new(2, 2).seed(11);
+        let mut cluster = ShardedCluster::new(&schema, cfg, vec![arrivals0, vec![]]);
+        let out = cluster.run(SimTime::MAX);
+        assert!(matches!(out, ShardOutcome::Quiescent(_)));
+        let recs = cluster.partition_records(p0);
+        assert_eq!(recs[0].status, TxnStatus::Aborted);
+        assert_eq!(recs[1].status, TxnStatus::Committed);
+        for id in targets {
+            let store = cluster.node(id).store();
+            let layout = store.layout(Key(u64::from(id.0)));
+            let latest = layout.as_ref().and_then(|l| l.last());
+            assert_eq!(
+                latest.and_then(|(_, v)| v.as_counter()),
+                Some(7),
+                "only the healthy visit survives on node {id}"
+            );
+        }
+        // Counters balanced after compensation: advancement still works.
+        cluster.trigger_advancement_all();
+        let out = cluster.run(SimTime::MAX);
+        assert!(matches!(out, ShardOutcome::Quiescent(_)));
+        assert_eq!(cluster.advancements(p0).len(), 1);
+        assert_eq!(cluster.advancements(p1).len(), 1);
+    }
+
+    /// Partitions with no mutual traffic do not wait on each other: a
+    /// partition with local-only traffic advances even while another
+    /// partition is idle, and its advancement exchanges no cross traffic.
+    #[test]
+    fn advancement_is_partition_local_without_cross_traffic() {
+        let topo = Topology::new(3, 2);
+        let all: Vec<NodeId> = (0..3).flat_map(|p| topo.nodes(PartitionId(p))).collect();
+        let schema = schema(&all);
+        // Only partition 1 has traffic, strictly local.
+        let locals = topo.nodes(PartitionId(1));
+        let arrivals1: Vec<Arrival> = (0..10)
+            .map(|i| Arrival::at(ms(1 + i), visit(&locals, 1)))
+            .collect();
+        let cfg = ShardedConfig::new(3, 2).seed(3);
+        let mut cluster = ShardedCluster::new(&schema, cfg, vec![vec![], arrivals1, vec![]]);
+        let out = cluster.run(SimTime::MAX);
+        assert!(matches!(out, ShardOutcome::Quiescent(_)));
+        assert_eq!(cluster.cross_messages(), 0, "no cross traffic expected");
+        cluster.trigger_advancement(PartitionId(1));
+        let out = cluster.run(SimTime::MAX);
+        assert!(matches!(out, ShardOutcome::Quiescent(_)));
+        assert_eq!(cluster.advancements(PartitionId(1)).len(), 1);
+        assert_eq!(
+            cluster.cross_messages(),
+            0,
+            "advancement of a local-only partition must not message peers"
+        );
+    }
+
+    /// Deterministic replay: same seed, same outcome, across the shuttle.
+    #[test]
+    fn sharded_replay_is_deterministic() {
+        let build = || {
+            let topo = Topology::new(2, 2);
+            let all: Vec<NodeId> = (0..2).flat_map(|p| topo.nodes(PartitionId(p))).collect();
+            let schema = schema(&all);
+            let cross = [topo.nodes(PartitionId(0))[0], topo.nodes(PartitionId(1))[0]];
+            let arrivals0: Vec<Arrival> = (0..30)
+                .map(|i| Arrival::at(ms(1 + i), visit(&cross, 1)))
+                .collect();
+            let arrivals1: Vec<Arrival> = (0..30)
+                .map(|i| Arrival::at(ms(2 + i), visit(&[topo.nodes(PartitionId(1))[1]], 2)))
+                .collect();
+            let cfg = ShardedConfig::new(2, 2)
+                .seed(99)
+                .advancement(AdvancementPolicy::Periodic {
+                    first: SimDuration::from_millis(7),
+                    period: SimDuration::from_millis(13),
+                });
+            let mut cluster = ShardedCluster::new(&schema, cfg, vec![arrivals0, arrivals1]);
+            cluster.run(SimTime(2_000_000));
+            (
+                cluster.now(),
+                cluster.cross_messages(),
+                cluster.sim_stats(PartitionId(0)).messages,
+                cluster.sim_stats(PartitionId(1)).messages,
+                cluster.records().len(),
+            )
+        };
+        assert_eq!(build(), build());
+    }
+}

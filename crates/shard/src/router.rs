@@ -1,0 +1,251 @@
+//! Key-range routing: which partition owns which slice of the keyspace.
+//!
+//! The router is the *placement* half of sharding: a total, gap-free,
+//! overlap-free map from a `u64` record-id space onto
+//! [`PartitionId`]s, as contiguous half-open ranges. Contiguity is what
+//! makes the map auditable — the whole placement is `n` boundary values,
+//! and membership is one binary search.
+//!
+//! [`KeyRangeRouter::uniform`] has a refinement property the proptests
+//! pin: growing a cluster by an integer factor only *splits* existing
+//! ranges, it never moves a key across a surviving boundary. That keeps
+//! resharding traffic proportional to the data actually changing owner.
+
+use std::fmt;
+
+use threev_model::PartitionId;
+
+/// A contiguous key-range partitioning of the id space `[0, span)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyRangeRouter {
+    span: u64,
+    /// `boundaries[i]` is the first id of partition `i`'s range;
+    /// `boundaries[0] == 0` and the values are strictly increasing, so
+    /// partition `i` owns `[boundaries[i], boundaries[i + 1])` (the last
+    /// range is capped by `span`).
+    boundaries: Vec<u64>,
+}
+
+/// Why a boundary vector does not describe a valid partitioning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouterError {
+    /// The keyspace is empty.
+    EmptySpan,
+    /// No partitions were given.
+    NoPartitions,
+    /// More partitions than distinct keys (some range would be empty), or
+    /// more than `u16::MAX` partitions.
+    TooManyPartitions { partitions: usize, span: u64 },
+    /// `boundaries[0]` must be 0 so the ranges cover the space from the
+    /// bottom.
+    FirstBoundaryNonZero(u64),
+    /// Boundaries must be strictly increasing (an equal or decreasing pair
+    /// would make a range empty or overlapping).
+    NotStrictlyIncreasing { index: usize },
+    /// A boundary at or past `span` would make the last range(s) empty.
+    BoundaryPastSpan { boundary: u64, span: u64 },
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::EmptySpan => write!(f, "keyspace span must be non-zero"),
+            RouterError::NoPartitions => write!(f, "at least one partition is required"),
+            RouterError::TooManyPartitions { partitions, span } => write!(
+                f,
+                "{partitions} partitions cannot each own a non-empty range of a {span}-key space"
+            ),
+            RouterError::FirstBoundaryNonZero(b) => {
+                write!(f, "first boundary must be 0, got {b}")
+            }
+            RouterError::NotStrictlyIncreasing { index } => {
+                write!(
+                    f,
+                    "boundaries must be strictly increasing (violated at index {index})"
+                )
+            }
+            RouterError::BoundaryPastSpan { boundary, span } => {
+                write!(f, "boundary {boundary} is outside the keyspace [0, {span})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+impl KeyRangeRouter {
+    /// Partition `[0, span)` into `n_partitions` ranges of near-equal size
+    /// (sizes differ by at most one key).
+    ///
+    /// # Panics
+    /// Panics when the arguments cannot form a valid partitioning (zero
+    /// partitions, or fewer keys than partitions); construction parameters
+    /// are static configuration, so failing fast is the right behaviour.
+    /// Use [`KeyRangeRouter::from_boundaries`] for fallible construction.
+    pub fn uniform(n_partitions: u16, span: u64) -> Self {
+        assert!(n_partitions >= 1, "at least one partition is required");
+        assert!(
+            span >= u64::from(n_partitions),
+            "{n_partitions} partitions need a keyspace of at least that many keys, got {span}"
+        );
+        let n = u64::from(n_partitions);
+        let boundaries = (0..n)
+            // u128 so `i * span` cannot overflow for spans near u64::MAX.
+            .map(|i| ((u128::from(i) * u128::from(span)) / u128::from(n)) as u64)
+            .collect();
+        KeyRangeRouter { span, boundaries }
+    }
+
+    /// Build a router from explicit range starts. `boundaries[i]` is the
+    /// first key of partition `i`; validity rules are in [`RouterError`].
+    pub fn from_boundaries(span: u64, boundaries: Vec<u64>) -> Result<Self, RouterError> {
+        if span == 0 {
+            return Err(RouterError::EmptySpan);
+        }
+        if boundaries.is_empty() {
+            return Err(RouterError::NoPartitions);
+        }
+        if boundaries.len() > usize::from(u16::MAX) || boundaries.len() as u64 > span {
+            return Err(RouterError::TooManyPartitions {
+                partitions: boundaries.len(),
+                span,
+            });
+        }
+        if boundaries[0] != 0 {
+            return Err(RouterError::FirstBoundaryNonZero(boundaries[0]));
+        }
+        for (i, pair) in boundaries.windows(2).enumerate() {
+            if pair[1] <= pair[0] {
+                return Err(RouterError::NotStrictlyIncreasing { index: i + 1 });
+            }
+        }
+        if let Some(&last) = boundaries.last() {
+            if last >= span {
+                return Err(RouterError::BoundaryPastSpan {
+                    boundary: last,
+                    span,
+                });
+            }
+        }
+        Ok(KeyRangeRouter { span, boundaries })
+    }
+
+    /// Number of partitions.
+    pub fn n_partitions(&self) -> u16 {
+        self.boundaries.len() as u16
+    }
+
+    /// Size of the routed keyspace.
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// The partition owning key `x`.
+    ///
+    /// # Panics
+    /// Panics when `x` is outside `[0, span)` — routing an undeclared key
+    /// is a schema/workload bug, not a runtime condition.
+    pub fn partition_of(&self, x: u64) -> PartitionId {
+        assert!(
+            x < self.span,
+            "key {x} outside routed keyspace [0, {})",
+            self.span
+        );
+        // partition_point returns the count of boundaries <= x, which is
+        // >= 1 because boundaries[0] == 0.
+        let idx = self.boundaries.partition_point(|&b| b <= x) - 1;
+        PartitionId(idx as u16)
+    }
+
+    /// The half-open key range `[lo, hi)` owned by partition `p`.
+    ///
+    /// # Panics
+    /// Panics when `p` is not one of this router's partitions.
+    pub fn range(&self, p: PartitionId) -> (u64, u64) {
+        assert!(
+            p.index() < self.boundaries.len(),
+            "partition {p} outside router with {} partitions",
+            self.boundaries.len()
+        );
+        let lo = self.boundaries[p.index()];
+        let hi = self
+            .boundaries
+            .get(p.index() + 1)
+            .copied()
+            .unwrap_or(self.span);
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_and_balances() {
+        let r = KeyRangeRouter::uniform(4, 10);
+        assert_eq!(r.n_partitions(), 4);
+        let sizes: Vec<u64> = (0..4)
+            .map(|p| {
+                let (lo, hi) = r.range(PartitionId(p));
+                hi - lo
+            })
+            .collect();
+        assert_eq!(sizes.iter().sum::<u64>(), 10);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+        for x in 0..10 {
+            let p = r.partition_of(x);
+            let (lo, hi) = r.range(p);
+            assert!(lo <= x && x < hi);
+        }
+    }
+
+    #[test]
+    fn single_partition_owns_everything() {
+        let r = KeyRangeRouter::uniform(1, 1 << 40);
+        assert_eq!(r.partition_of(0), PartitionId(0));
+        assert_eq!(r.partition_of((1 << 40) - 1), PartitionId(0));
+        assert_eq!(r.range(PartitionId(0)), (0, 1 << 40));
+    }
+
+    #[test]
+    fn explicit_boundaries_validate() {
+        assert!(KeyRangeRouter::from_boundaries(10, vec![0, 4, 7]).is_ok());
+        assert_eq!(
+            KeyRangeRouter::from_boundaries(0, vec![0]),
+            Err(RouterError::EmptySpan)
+        );
+        assert_eq!(
+            KeyRangeRouter::from_boundaries(10, vec![]),
+            Err(RouterError::NoPartitions)
+        );
+        assert_eq!(
+            KeyRangeRouter::from_boundaries(10, vec![1, 4]),
+            Err(RouterError::FirstBoundaryNonZero(1))
+        );
+        assert_eq!(
+            KeyRangeRouter::from_boundaries(10, vec![0, 4, 4]),
+            Err(RouterError::NotStrictlyIncreasing { index: 2 })
+        );
+        assert_eq!(
+            KeyRangeRouter::from_boundaries(10, vec![0, 10]),
+            Err(RouterError::BoundaryPastSpan {
+                boundary: 10,
+                span: 10
+            })
+        );
+        assert_eq!(
+            KeyRangeRouter::from_boundaries(2, vec![0, 1, 2]),
+            Err(RouterError::TooManyPartitions {
+                partitions: 3,
+                span: 2
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside routed keyspace")]
+    fn out_of_span_key_panics() {
+        KeyRangeRouter::uniform(2, 10).partition_of(10);
+    }
+}

@@ -1,0 +1,245 @@
+//! Sharding adapter for the hospital workload.
+//!
+//! [`HospitalWorkload`] writes its plans against *logical department ids*
+//! `0..departments`, homing each department's keys on `NodeId(dept)`.
+//! [`ShardedHospital`] re-homes that onto a [`Topology`] block layout: a
+//! [`KeyRangeRouter`] over the department space assigns each department to
+//! a partition, departments map to global node ids, and every plan is
+//! rewritten through [`TxnPlan::map_nodes`]. Keys are untouched — the key
+//! already encodes the department, and the schema is remapped with the
+//! same function, so every key stays homed with its department's node.
+//!
+//! Arrivals are split per partition by the *root* department: partition
+//! `p`'s client submits exactly the transactions rooted on its nodes.
+//! Transaction ids stay globally unique because the client derives them
+//! from `(sequence, root node)` and roots are partition-local.
+//!
+//! The `confine_to_root_partition` knob prunes subtransactions that would
+//! land on foreign partitions, yielding a *disjoint-keys* workload: same
+//! arrival process, zero cross-partition traffic. The scaling benchmark
+//! uses it to show per-partition advancement cost independent of cluster
+//! size.
+//!
+//! [`TxnPlan::map_nodes`]: threev_model::TxnPlan::map_nodes
+
+use threev_core::client::Arrival;
+use threev_model::{NodeId, PartitionId, Schema, SubtxnPlan, Topology, TxnPlan};
+use threev_workload::HospitalWorkload;
+
+use crate::router::KeyRangeRouter;
+
+/// A hospital workload spread over the partitions of a [`Topology`].
+#[derive(Clone, Debug)]
+pub struct ShardedHospital {
+    /// The underlying workload, written against logical department ids.
+    pub base: HospitalWorkload,
+    /// The partition layout the departments are spread over.
+    pub topology: Topology,
+    /// Drop subtransactions landing outside the root's partition,
+    /// producing partition-disjoint traffic (see module docs).
+    pub confine_to_root_partition: bool,
+}
+
+impl ShardedHospital {
+    /// Spread `base` over `topology`.
+    ///
+    /// # Panics
+    /// Panics unless the workload has exactly one department per database
+    /// node (`departments == n_partitions * nodes_per_partition`) — the
+    /// layout this adapter implements.
+    pub fn new(base: HospitalWorkload, topology: Topology) -> Self {
+        let nodes = topology.n_partitions() * topology.nodes_per_partition();
+        assert_eq!(
+            base.departments, nodes,
+            "workload must have one department per node ({nodes}), got {}",
+            base.departments
+        );
+        ShardedHospital {
+            base,
+            topology,
+            confine_to_root_partition: false,
+        }
+    }
+
+    /// Confine every transaction to its root's partition (builder style).
+    #[must_use]
+    pub fn confined(mut self) -> Self {
+        self.confine_to_root_partition = true;
+        self
+    }
+
+    /// The department-space router this layout implies: uniform contiguous
+    /// ranges, `nodes_per_partition` departments each.
+    pub fn router(&self) -> KeyRangeRouter {
+        KeyRangeRouter::uniform(
+            self.topology.n_partitions(),
+            u64::from(self.base.departments),
+        )
+    }
+
+    /// Global node id of logical department `dept`.
+    pub fn global_node(&self, dept: NodeId) -> NodeId {
+        let router = self.router();
+        let p = router.partition_of(u64::from(dept.0));
+        let (lo, _) = router.range(p);
+        let local = u64::from(dept.0) - lo;
+        NodeId(self.topology.base(p).0 + local as u16)
+    }
+
+    /// The global schema: the base workload's keys, re-homed onto global
+    /// node ids.
+    pub fn schema(&self) -> Schema {
+        let base = self.base.schema();
+        Schema::new(
+            base.decls()
+                .iter()
+                .map(|d| {
+                    let mut d = d.clone();
+                    d.node = self.global_node(d.node);
+                    d
+                })
+                .collect(),
+        )
+    }
+
+    /// Arrival streams, one per partition, bucketed by root partition.
+    pub fn arrivals(&self) -> Vec<Vec<Arrival>> {
+        let mut per_partition: Vec<Vec<Arrival>> = (0..self.topology.n_partitions())
+            .map(|_| Vec::new())
+            .collect();
+        for mut a in self.base.arrivals() {
+            let mut plan = a.plan.map_nodes(&mut |n| self.global_node(n));
+            let root_p = self.topology.partition_of(plan.root.node);
+            if self.confine_to_root_partition {
+                plan = TxnPlan {
+                    kind: plan.kind,
+                    root: prune_foreign(&plan.root, &self.topology, root_p),
+                };
+            }
+            a.fail_node = a
+                .fail_node
+                .map(|n| self.global_node(n))
+                .filter(|n| plan.root.nodes().contains(n));
+            a.plan = plan;
+            per_partition[root_p.index()].push(a);
+        }
+        per_partition
+    }
+}
+
+/// Clone `plan`'s subtree, dropping every child whose subtree root lies
+/// outside partition `p`.
+fn prune_foreign(plan: &SubtxnPlan, topo: &Topology, p: PartitionId) -> SubtxnPlan {
+    SubtxnPlan {
+        node: plan.node,
+        steps: plan.steps.clone(),
+        children: plan
+            .children
+            .iter()
+            .filter(|c| topo.partition_of(c.node) == p)
+            .map(|c| prune_foreign(c, topo, p))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threev_sim::SimDuration;
+
+    fn base(departments: u16) -> HospitalWorkload {
+        HospitalWorkload {
+            departments,
+            patients: 10,
+            rate_tps: 1_000.0,
+            read_pct: 20,
+            max_fanout: 3,
+            duration: SimDuration::from_millis(100),
+            zipf_s: 0.9,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn schema_is_rehomed_but_keys_are_unchanged() {
+        let topo = Topology::new(2, 3);
+        let sharded = ShardedHospital::new(base(6), topo);
+        let flat = base(6).schema();
+        let global = sharded.schema();
+        assert_eq!(flat.len(), global.len());
+        for d in flat.decls() {
+            let g = global.decl(d.key).expect("key survives re-homing");
+            assert_eq!(g.node, sharded.global_node(d.node));
+            assert_eq!(g.kind, d.kind);
+            assert_eq!(g.init, d.init);
+        }
+        // Departments 0..2 land on partition 0's block, 3..5 on partition 1's.
+        assert_eq!(sharded.global_node(NodeId(0)), NodeId(0));
+        assert_eq!(sharded.global_node(NodeId(2)), NodeId(2));
+        assert_eq!(sharded.global_node(NodeId(3)), topo.base(PartitionId(1)));
+        assert_eq!(
+            sharded.global_node(NodeId(5)),
+            NodeId(topo.base(PartitionId(1)).0 + 2)
+        );
+    }
+
+    #[test]
+    fn arrivals_are_bucketed_by_root_partition() {
+        let topo = Topology::new(2, 3);
+        let sharded = ShardedHospital::new(base(6), topo);
+        let streams = sharded.arrivals();
+        assert_eq!(streams.len(), 2);
+        let total: usize = streams.iter().map(Vec::len).sum();
+        assert_eq!(total, base(6).arrivals().len());
+        assert!(total > 0, "workload produced no arrivals");
+        for (p, stream) in streams.iter().enumerate() {
+            for a in stream {
+                assert_eq!(
+                    topo.partition_of(a.plan.root.node).index(),
+                    p,
+                    "root must live on the submitting partition"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn confined_arrivals_never_leave_their_partition() {
+        let topo = Topology::new(3, 2);
+        let sharded = ShardedHospital::new(base(6), topo).confined();
+        for (p, stream) in sharded.arrivals().iter().enumerate() {
+            for a in stream {
+                for n in a.plan.root.nodes() {
+                    assert_eq!(
+                        topo.partition_of(n).index(),
+                        p,
+                        "confined plan reached a foreign node"
+                    );
+                }
+                if let Some(f) = a.fail_node {
+                    assert!(a.plan.root.nodes().contains(&f));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unconfined_arrivals_do_cross_partitions() {
+        let topo = Topology::new(3, 2);
+        let sharded = ShardedHospital::new(base(6), topo);
+        let crossers = sharded
+            .arrivals()
+            .iter()
+            .flatten()
+            .filter(|a| {
+                let root_p = topo.partition_of(a.plan.root.node);
+                a.plan
+                    .root
+                    .nodes()
+                    .iter()
+                    .any(|&n| topo.partition_of(n) != root_p)
+            })
+            .count();
+        assert!(crossers > 0, "expected some cross-partition trees");
+    }
+}

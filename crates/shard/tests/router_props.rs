@@ -1,0 +1,122 @@
+//! Property tests for the key-range router: the placement map must be a
+//! total, gap-free, overlap-free function of the keyspace, deterministic
+//! across recreation, and refine cleanly when the cluster grows.
+
+use proptest::prelude::*;
+use threev_model::PartitionId;
+use threev_shard::KeyRangeRouter;
+
+/// Reference implementation: linear scan over the ranges.
+fn linear_partition_of(r: &KeyRangeRouter, x: u64) -> PartitionId {
+    for p in 0..r.n_partitions() {
+        let (lo, hi) = r.range(PartitionId(p));
+        if lo <= x && x < hi {
+            return PartitionId(p);
+        }
+    }
+    unreachable!("key {x} not covered by any range — keyspace has a gap");
+}
+
+/// Derive a valid span (>= n) from a raw random value.
+fn span_for(n: u16, raw: u64) -> u64 {
+    u64::from(n) + raw % 2_000_000
+}
+
+proptest! {
+    /// Every key of the span belongs to exactly one partition: the binary
+    /// search agrees with the linear scan (no gaps, no overlaps), and the
+    /// reported range contains the key.
+    #[test]
+    fn uniform_covers_without_gaps_or_overlaps(
+        n in 1u16..300,
+        raw_span in any::<u64>(),
+        probes in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let span = span_for(n, raw_span);
+        let r = KeyRangeRouter::uniform(n, span);
+        prop_assert_eq!(r.n_partitions(), n);
+        for raw in probes {
+            let x = raw % span;
+            let p = r.partition_of(x);
+            prop_assert_eq!(p, linear_partition_of(&r, x));
+            let (lo, hi) = r.range(p);
+            prop_assert!(lo <= x && x < hi);
+        }
+        // Boundary keys of every range route back to that range.
+        for p in 0..n {
+            let (lo, hi) = r.range(PartitionId(p));
+            prop_assert_eq!(r.partition_of(lo), PartitionId(p));
+            prop_assert_eq!(r.partition_of(hi - 1), PartitionId(p));
+        }
+    }
+
+    /// Ranges tile the span exactly (sum of sizes == span) and uniform
+    /// ranges are balanced to within one key.
+    #[test]
+    fn uniform_is_balanced(n in 1u16..300, raw_span in any::<u64>()) {
+        let span = span_for(n, raw_span);
+        let r = KeyRangeRouter::uniform(n, span);
+        let mut sizes = Vec::new();
+        for p in 0..n {
+            let (lo, hi) = r.range(PartitionId(p));
+            prop_assert!(hi > lo, "empty range at partition {}", p);
+            sizes.push(hi - lo);
+        }
+        prop_assert_eq!(sizes.iter().sum::<u64>(), span);
+        let min = sizes.iter().min().copied().unwrap_or(0);
+        let max = sizes.iter().max().copied().unwrap_or(0);
+        prop_assert!(max - min <= 1, "imbalance: min {}, max {}", min, max);
+    }
+
+    /// Routing is a pure function of (n, span): recreating the router
+    /// yields the same placement, and `partition_of` is monotone in the
+    /// key (contiguous ranges in ascending partition order).
+    #[test]
+    fn routing_is_deterministic_and_monotone(
+        n in 1u16..300,
+        raw_span in any::<u64>(),
+        probes in proptest::collection::vec(any::<u64>(), 2..50),
+    ) {
+        let span = span_for(n, raw_span);
+        let a = KeyRangeRouter::uniform(n, span);
+        let b = KeyRangeRouter::uniform(n, span);
+        prop_assert_eq!(&a, &b);
+        let mut keys: Vec<u64> = probes.into_iter().map(|raw| raw % span).collect();
+        keys.sort_unstable();
+        for pair in keys.windows(2) {
+            prop_assert!(a.partition_of(pair[0]) <= a.partition_of(pair[1]));
+        }
+    }
+
+    /// Stability under partition-count changes: scaling the cluster by an
+    /// integer factor only *splits* ranges. Every old boundary survives,
+    /// so no key crosses a surviving boundary — the refined placement is
+    /// consistent with the coarse one (fine partition ⊆ coarse partition).
+    #[test]
+    fn integer_scaling_refines_ranges(
+        n in 1u16..60,
+        factor in 2u16..8,
+        span_mult in 1u64..4_000,
+        probes in proptest::collection::vec(any::<u64>(), 1..30),
+    ) {
+        let m = n * factor;
+        let span = u64::from(m) * span_mult; // span large enough for both
+        let coarse = KeyRangeRouter::uniform(n, span);
+        let fine = KeyRangeRouter::uniform(m, span);
+        // Old boundaries survive refinement.
+        for p in 0..n {
+            let (lo, _) = coarse.range(PartitionId(p));
+            let q = fine.partition_of(lo);
+            prop_assert_eq!(fine.range(q).0, lo, "coarse boundary {} moved", lo);
+        }
+        // Each key's fine range nests inside its coarse range.
+        for raw in probes {
+            let x = raw % span;
+            let (clo, chi) = coarse.range(coarse.partition_of(x));
+            let (flo, fhi) = fine.range(fine.partition_of(x));
+            prop_assert!(clo <= flo && fhi <= chi,
+                "fine range [{},{}) of key {} straddles coarse [{},{})",
+                flo, fhi, x, clo, chi);
+        }
+    }
+}

@@ -94,6 +94,15 @@ pub struct SimConfig {
     /// with faults disabled is bit-identical to one where the field does
     /// not exist at all.
     pub faults: FaultPlane,
+    /// Fault-stream selector, mixed into the fault RNG's seed alongside
+    /// the salt. [`SimConfig::for_partition`] sets it so partition-local
+    /// fault streams are decorrelated *independently* of the delivery
+    /// streams: deriving the fault seed from the partition-mixed delivery
+    /// seed alone would make the two partitions' fault streams exactly as
+    /// related as their delivery seeds (one shared XOR constant apart).
+    /// Zero — the default and the partition-0 value — reproduces the
+    /// historical derivation bit-for-bit.
+    pub fault_stream: u64,
 }
 
 impl Default for SimConfig {
@@ -105,6 +114,7 @@ impl Default for SimConfig {
             seed: 0xC0FFEE,
             batch: false,
             faults: FaultPlane::default(),
+            fault_stream: 0,
         }
     }
 }
@@ -127,6 +137,10 @@ impl SimConfig {
     pub fn for_partition(&self, i: usize) -> SimConfig {
         SimConfig {
             seed: self.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            // A second, distinct mixing constant: the fault stream must be
+            // decorrelated per partition on its own axis, not inherit the
+            // delivery stream's mixing (see the `fault_stream` field doc).
+            fault_stream: (i as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
             ..self.clone()
         }
     }
@@ -1307,6 +1321,24 @@ mod tests {
         assert_eq!(b.fifo, base.fifo);
         // Stable across calls: drivers on different threads must agree.
         assert_eq!(base.for_partition(1).seed, b.seed);
+    }
+
+    #[test]
+    fn for_partition_decorrelates_fault_streams_independently() {
+        let base = SimConfig::seeded(1234);
+        let a = base.for_partition(0);
+        let b = base.for_partition(1);
+        let c = base.for_partition(2);
+        assert_eq!(
+            a.fault_stream, 0,
+            "partition 0 keeps the historical fault derivation"
+        );
+        assert_ne!(b.fault_stream, 0);
+        assert_ne!(b.fault_stream, c.fault_stream);
+        // Independent axes: the fault-stream selector must not be a
+        // function of the (partition-mixed) delivery seed.
+        assert_ne!(b.fault_stream, b.seed ^ base.seed);
+        assert_eq!(base.for_partition(1).fault_stream, b.fault_stream);
     }
 
     #[test]

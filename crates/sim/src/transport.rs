@@ -329,7 +329,12 @@ impl Transport {
             local_latency: cfg.local_latency,
             fifo: cfg.fifo && !wire,
             faults: cfg.faults.clone(),
-            fault_rng: SmallRng::seed_from_u64(cfg.seed ^ FAULT_SEED_SALT),
+            // The fault seed mixes the salt *and* the partition-local
+            // fault-stream selector (zero outside sharded runs), so
+            // partition fault streams decorrelate independently of the
+            // delivery streams. `fault_stream == 0` keeps the historical
+            // derivation bit-for-bit.
+            fault_rng: SmallRng::seed_from_u64(cfg.seed ^ FAULT_SEED_SALT ^ cfg.fault_stream),
             fifo_floor: BTreeMap::new(),
             delayed_high: BTreeMap::new(),
             stats: TransportStats::default(),
@@ -767,6 +772,26 @@ mod tests {
             draws(FaultPlane::default()),
             draws(FaultPlane::lossy(300_000, 300_000))
         );
+    }
+
+    #[test]
+    fn partition_fault_streams_are_independent() {
+        // The same lossy plane on two partitions of one sharded run must
+        // make *different* drop decisions (independent fault streams), and
+        // partition 0 must make exactly the decisions the base config
+        // makes (historical derivation preserved).
+        let decisions = |cfg: &SimConfig| {
+            let mut t = Transport::new(cfg);
+            let mut rng = SmallRng::seed_from_u64(1);
+            (0..512u64)
+                .map(|i| t.plan(n(0), n(1), SimTime(i), &mut rng).dropped)
+                .collect::<Vec<bool>>()
+        };
+        let base = cfg_with(FaultPlane::lossy(300_000, 0));
+        assert_eq!(decisions(&base), decisions(&base.for_partition(0)));
+        let p1 = decisions(&base.for_partition(1));
+        assert_ne!(decisions(&base), p1);
+        assert_ne!(p1, decisions(&base.for_partition(2)));
     }
 
     #[test]

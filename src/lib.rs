@@ -30,6 +30,7 @@ pub use threev_core as core;
 pub use threev_durability as durability;
 pub use threev_model as model;
 pub use threev_runtime as runtime;
+pub use threev_shard as shard;
 pub use threev_sim as sim;
 pub use threev_storage as storage;
 pub use threev_workload as workload;

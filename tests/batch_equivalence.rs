@@ -113,6 +113,7 @@ fn run(s: &Scenario, batch: bool) -> Fingerprint {
             seed: s.seed,
             batch,
             faults: FaultPlane::default(),
+            fault_stream: 0,
         },
         protocol: Default::default(),
     }

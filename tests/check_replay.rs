@@ -7,7 +7,8 @@
 //! chosen for the orderings they pin down: transactions straddling each of
 //! the four advancement phase boundaries, an ahead/behind version-skew pair
 //! under a three-node advancement, a crash executed inside Phase 2, an NC3V
-//! gate race, and a reordered two-node baseline.
+//! gate race, a reordered two-node baseline, and a cross-partition tree
+//! alive across both partitions' concurrent advancements.
 
 use std::path::PathBuf;
 
@@ -48,6 +49,7 @@ fn corpus_is_present_and_parses() {
         "skew-ahead.sched",
         "skew-behind.sched",
         "crash-spanning-p2.sched",
+        "skew-cross-partition.sched",
     ] {
         assert!(
             corpus.iter().any(|(n, _)| n == required),
