@@ -52,6 +52,7 @@ fn base_snapshot() -> Snapshot {
         lsn: 0,
         vu: VersionNo(2),
         vr: VersionNo(1),
+        external_store: false,
         store,
         counters: Vec::new(),
         locks: Vec::new(),
@@ -106,6 +107,7 @@ fn snapshot_of(state: &RecoveredState) -> Snapshot {
         lsn: 0, // stamped by Durability::checkpoint
         vu: state.vu,
         vr: state.vr,
+        external_store: false,
         store: state.store.export_parts(),
         counters: state.counters.clone(),
         locks: state.locks.export_parts(),

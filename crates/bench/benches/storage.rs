@@ -1,0 +1,234 @@
+//! Storage-backend comparison: the in-memory chains vs the on-disk paged
+//! chains, on the steady-state hospital workload at 1 and 8 partitions.
+//!
+//! Two claims under test (DESIGN.md "Storage backends"):
+//!
+//! * **Protocol cost is backend-independent**: committed/s (virtual time)
+//!   is identical mem vs paged for the same seed — the backend is outside
+//!   the protocol's message flow — so the JSON carries both as a
+//!   self-check, and criterion tracks the *host* cost the page files add.
+//! * **Incremental beats full**: a paged checkpoint rewrites only the
+//!   records dirtied since the last flush (plus the meta frame), while a
+//!   mem checkpoint serialises the entire store into the snapshot. On a
+//!   steady-state run whose journals keep growing, the paged bytes must
+//!   come in well under half the mem bytes — the
+//!   `incremental_to_full_ratio` field, gated < 0.5 by the nightly job's
+//!   consumers and eyeballed in EXPERIMENTS.md.
+//!
+//! Writes `BENCH_storage.json` at the repository root via the shared
+//! [`threev_bench::report`] writer.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use criterion::{criterion_group, Criterion};
+use threev_analysis::TxnStatus;
+use threev_bench::report::{write_bench_report, JsonObject, JsonValue};
+use threev_core::advance::AdvancementPolicy;
+use threev_core::node::{BackendConfig, DurabilityMode};
+use threev_shard::{ShardedCluster, ShardedConfig, ShardedHospital};
+use threev_sim::{SimDuration, SimTime};
+use threev_workload::HospitalWorkload;
+
+const NODES_PER_PARTITION: u16 = 2;
+const SEED: u64 = 0x57;
+/// Per-partition offered load, held constant across cluster sizes.
+const RATE_PER_PARTITION_TPS: f64 = 1_000.0;
+/// Arrival window; the run horizon leaves a wide drain margin after it.
+/// Long enough that the unavoidable first flush (schema population marks
+/// every record dirty, so checkpoint #1 writes the whole store) is
+/// amortised across many steady-state incremental checkpoints.
+const WINDOW: SimDuration = SimDuration::from_millis(1_200);
+const HORIZON: SimTime = SimTime(2_000_000);
+/// WAL records between checkpoints. Small enough that several checkpoints
+/// land inside the window (the incremental path gets exercised repeatedly),
+/// large enough that a checkpoint covers a real batch of dirty records.
+const CHECKPOINT_EVERY: usize = 64;
+
+const PARTITIONS: [u16; 2] = [1, 8];
+
+#[derive(Clone, Copy, PartialEq)]
+enum Backend {
+    Mem,
+    Paged,
+}
+
+impl Backend {
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Mem => "mem",
+            Backend::Paged => "paged",
+        }
+    }
+}
+
+fn hospital(partitions: u16) -> ShardedHospital {
+    let base = HospitalWorkload {
+        departments: partitions * NODES_PER_PARTITION,
+        // Large patient roster relative to the arrival window: each
+        // checkpoint interval dirties a bounded handful of (balance,
+        // charges) pairs out of thousands of records per node, which is
+        // the regime incremental checkpoints exist for. A mem checkpoint
+        // still serialises the whole roster every time.
+        patients: 1_000 * u64::from(partitions),
+        rate_tps: RATE_PER_PARTITION_TPS * f64::from(partitions),
+        read_pct: 10,
+        max_fanout: 2,
+        duration: WINDOW,
+        zipf_s: 0.4,
+        seed: SEED,
+    };
+    let topo = ShardedConfig::new(partitions, NODES_PER_PARTITION).topology;
+    // Confined trees: the steady-state sharding sweet spot, so the bench
+    // measures storage cost, not cross-partition coordination.
+    ShardedHospital::new(base, topo).confined()
+}
+
+fn scratch(partitions: u16) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "threev-bench-storage-{partitions}p-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Measurement {
+    partitions: u16,
+    backend: Backend,
+    committed: u64,
+    committed_per_vsec: f64,
+    checkpoints: u64,
+    checkpoint_bytes: u64,
+    wal_records: u64,
+}
+
+fn run(partitions: u16, backend: Backend) -> Measurement {
+    let w = hospital(partitions);
+    let dir = scratch(partitions);
+    let backend_cfg = match backend {
+        Backend::Mem => BackendConfig::Mem,
+        Backend::Paged => BackendConfig::Paged { dir: dir.clone() },
+    };
+    let cfg = ShardedConfig::new(partitions, NODES_PER_PARTITION)
+        .seed(SEED)
+        .advancement(AdvancementPolicy::Periodic {
+            first: SimDuration::from_millis(20),
+            period: SimDuration::from_millis(30),
+        })
+        .durability(DurabilityMode::Memory {
+            checkpoint_every: CHECKPOINT_EVERY,
+        })
+        .backend(backend_cfg);
+    let mut cluster = ShardedCluster::new(&w.schema(), cfg, w.arrivals());
+    cluster.run_until(HORIZON);
+
+    let committed = cluster
+        .records()
+        .iter()
+        .filter(|r| r.status == TxnStatus::Committed)
+        .count() as u64;
+    let mut checkpoints = 0u64;
+    let mut checkpoint_bytes = 0u64;
+    let mut wal_records = 0u64;
+    for id in cluster.node_ids() {
+        let stats = cluster.node(id).stats();
+        checkpoints += stats.checkpoints;
+        checkpoint_bytes += stats.checkpoint_bytes;
+        wal_records += stats.wal_records;
+    }
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+    Measurement {
+        partitions,
+        backend,
+        committed,
+        committed_per_vsec: committed as f64 / (HORIZON.0 as f64 / 1e6),
+        checkpoints,
+        checkpoint_bytes,
+        wal_records,
+    }
+}
+
+// ---------------------------------------------------------------- host cost
+
+/// Wall-clock cost of the same run over each backend: what the page-file
+/// I/O actually costs the host, tracked in criterion history.
+fn bench_backend_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage_backend");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    for backend in [Backend::Mem, Backend::Paged] {
+        g.bench_function(format!("hospital_1p_{}", backend.name()), |b| {
+            b.iter(|| run(1, backend).committed);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_backend_cost);
+
+// ------------------------------------------------------------------ report
+
+fn row(m: &Measurement) -> JsonObject {
+    JsonObject::new()
+        .field("committed", m.committed)
+        .field(
+            "committed_per_vsec",
+            JsonValue::Float(m.committed_per_vsec, 0),
+        )
+        .field("checkpoints", m.checkpoints)
+        .field("checkpoint_bytes", m.checkpoint_bytes)
+        .field("wal_records", m.wal_records)
+}
+
+fn write_report() {
+    let mut report = JsonObject::new()
+        .field("bench", "storage")
+        .field("nodes_per_partition", NODES_PER_PARTITION)
+        .field(
+            "rate_per_partition_tps",
+            JsonValue::Float(RATE_PER_PARTITION_TPS, 0),
+        )
+        .field("checkpoint_every", CHECKPOINT_EVERY)
+        .field("seed", SEED);
+    for p in PARTITIONS {
+        let mem = run(p, Backend::Mem);
+        let paged = run(p, Backend::Paged);
+        assert_eq!(
+            mem.committed, paged.committed,
+            "backend must not change protocol outcomes"
+        );
+        let ratio = paged.checkpoint_bytes as f64 / mem.checkpoint_bytes as f64;
+        for m in [&mem, &paged] {
+            println!(
+                "P={:>2} {:<5}: {:>6} committed ({:>8.0}/s) | {:>4} checkpoints, {:>10} checkpoint bytes",
+                m.partitions,
+                m.backend.name(),
+                m.committed,
+                m.committed_per_vsec,
+                m.checkpoints,
+                m.checkpoint_bytes,
+            );
+        }
+        println!("P={p:>2} incremental/full checkpoint bytes: {ratio:.3}");
+        assert!(
+            ratio < 0.5,
+            "incremental checkpoints must stay under half the full-store \
+             bytes (got {ratio:.3} at {p} partitions)"
+        );
+        report = report.field(
+            format!("{p}p"),
+            JsonObject::new()
+                .field("mem", row(&mem))
+                .field("paged", row(&paged))
+                .field("incremental_to_full_ratio", JsonValue::Float(ratio, 3)),
+        );
+    }
+    write_bench_report("storage", &report);
+}
+
+fn main() {
+    benches();
+    write_report();
+}

@@ -6,7 +6,7 @@
 use threev_analysis::{TxnRecord, VersionTimeline};
 use threev_model::{NodeId, PartitionId, Schema, Topology};
 use threev_sim::{Actor, Ctx, QuiesceOutcome, SimConfig, SimStats, SimTime, Simulation, Trace};
-use threev_storage::StoreStats;
+use threev_storage::{BackendConfig, StoreStats};
 
 use crate::advance::{AdvancementPolicy, AdvancementRecord, Coordinator, CoordinatorConfig};
 use crate::client::{Arrival, ClientActor};
@@ -70,6 +70,15 @@ impl ClusterConfig {
     #[must_use]
     pub fn durability(mut self, mode: DurabilityMode) -> Self {
         self.protocol.node.durability = mode;
+        self
+    }
+
+    /// Set the storage backend every node keeps its version chains in
+    /// (in-memory map by default; on-disk page files with
+    /// [`BackendConfig::Paged`]).
+    #[must_use]
+    pub fn backend(mut self, backend: BackendConfig) -> Self {
+        self.protocol.node.backend = backend;
         self
     }
 

@@ -42,13 +42,18 @@ mod version_state;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 
-use threev_durability::{Durability, DurabilityStats, FileBackend, MemBackend, Snapshot, WalOp};
+use threev_durability::{
+    Durability, DurabilityStats, FileBackend, MemBackend as MemLogBackend, Snapshot, WalOp,
+};
 use threev_model::{
     Key, NodeId, PartitionId, Schema, SubtxnId, SubtxnPlan, Topology, TxnId, TxnKind, UpdateOp,
     VersionNo,
 };
 use threev_sim::{Actor, Ctx, SimDuration};
-use threev_storage::{LockMode, LockTable, Store, StoreStats, UndoLog};
+use threev_storage::{AnyBackend, LockMode, LockTable, Store, StoreStats, UndoLog};
+// Re-exported so downstream crates (shard, runtime, binaries) can select a
+// backend without depending on threev-storage directly.
+pub use threev_storage::BackendConfig;
 
 use crate::counters::CounterTable;
 use crate::msg::Msg;
@@ -93,6 +98,11 @@ pub struct NodeConfig {
     pub nc_max_retries: u32,
     /// Write-ahead logging and checkpointing policy.
     pub durability: DurabilityMode,
+    /// Where the version chains live: in-memory (default, bit-identical to
+    /// the pre-trait store) or the on-disk paged engine with incremental
+    /// checkpoints. Each node opens `store-node-<id>` under the configured
+    /// directory.
+    pub backend: BackendConfig,
     /// Cluster partition layout. The default [`Topology::single`] maps
     /// every id to one partition and leaves all single-cluster code paths
     /// untouched; a sharded cluster sets the real layout so nodes can
@@ -108,6 +118,7 @@ impl Default for NodeConfig {
             retry_backoff: SimDuration::from_micros(500),
             nc_max_retries: 20,
             durability: DurabilityMode::None,
+            backend: BackendConfig::Mem,
             topology: Topology::single(),
         }
     }
@@ -158,6 +169,11 @@ pub struct NodeStats {
     pub wal_records: u64,
     /// Checkpoints taken (durability enabled only).
     pub checkpoints: u64,
+    /// Bytes written to stable storage by checkpoints: the encoded
+    /// snapshot, plus (paged backend) the dirty pages and meta the
+    /// incremental flush wrote. The storage-bench mem-vs-paged comparison
+    /// reads this.
+    pub checkpoint_bytes: u64,
     /// Crash recoveries performed.
     pub recoveries: u64,
     /// WAL records replayed across all recoveries.
@@ -283,7 +299,7 @@ pub struct ThreeVNode {
     down: bool,
     vu: VersionNo,
     vr: VersionNo,
-    store: Store,
+    store: Store<AnyBackend>,
     counters: CounterTable,
     locks: LockTable,
     spawn_seq: u64,
@@ -321,7 +337,7 @@ impl ThreeVNode {
         let dur = match &cfg.durability {
             DurabilityMode::None => None,
             DurabilityMode::Memory { checkpoint_every } => Some(Durability::new(
-                Box::new(MemBackend::new()),
+                Box::new(MemLogBackend::new()),
                 *checkpoint_every,
             )),
             DurabilityMode::File {
@@ -338,13 +354,20 @@ impl ThreeVNode {
                 Some(Durability::new(Box::new(backend), *checkpoint_every))
             }
         };
+        // lint-allow(panic-hygiene): construction-time config error
+        // (unopenable page-store directory), same fail-stop rationale as
+        // the WAL directory above.
+        let backend = cfg
+            .backend
+            .open(me)
+            .unwrap_or_else(|e| panic!("{me}: cannot open storage backend {:?}: {e}", cfg.backend));
         let mut node = ThreeVNode {
             me,
             cfg,
             down: false,
             vu: VersionNo(1),
             vr: VersionNo(0),
-            store: Store::from_schema(schema, me),
+            store: Store::from_schema_on(backend, schema, me),
             counters: CounterTable::new(),
             locks: LockTable::new(),
             spawn_seq: 0,
@@ -383,7 +406,7 @@ impl ThreeVNode {
     }
 
     /// The node's store.
-    pub fn store(&self) -> &Store {
+    pub fn store(&self) -> &Store<AnyBackend> {
         &self.store
     }
 
@@ -418,11 +441,8 @@ impl ThreeVNode {
     pub fn invariant_view(&self) -> InvariantView {
         let chain_lengths: Vec<(Key, usize)> = self
             .store
-            .keys()
-            .map(|k| {
-                let len = self.store.layout(k).map(|l| l.len()).unwrap_or(0);
-                (k, len)
-            })
+            .iter_versions()
+            .map(|(k, rec)| (k, rec.version_count()))
             .collect();
         let mut exclusive_held = Vec::new();
         let mut lock_waiters = 0usize;
@@ -498,25 +518,48 @@ impl ThreeVNode {
         for row in &mut locks {
             row.2.clear();
         }
+        // Paged backends persist the chains natively; the snapshot only
+        // carries control state and a flag telling recovery to look at the
+        // page files instead of an embedded store image.
+        let external = self.store.persists_chains();
         Snapshot {
             node: self.me,
             lsn: 0, // stamped by Durability::checkpoint
             vu: self.vu,
             vr: self.vr,
-            store: self.store.export_parts(),
+            external_store: external,
+            store: if external {
+                Vec::new()
+            } else {
+                self.store.export_parts()
+            },
             counters: self.counters.to_parts(),
             locks,
         }
     }
 
-    /// Take a checkpoint unconditionally (durability enabled only).
+    /// Take a checkpoint unconditionally (durability enabled only). With a
+    /// paged backend this is *incremental*: only dirty records are flushed
+    /// to the page files, and the snapshot itself shrinks to control state.
     fn checkpoint_now(&mut self) {
         let snap = self.snapshot_now();
-        if let Some(d) = self.dur.as_mut() {
-            d.checkpoint(snap);
-            d.sync();
-            self.stats.checkpoints += 1;
+        let Some(d) = self.dur.as_mut() else {
+            return;
+        };
+        let mut bytes = 0u64;
+        if self.store.persists_chains() {
+            // Flush dirty chains at the WAL's current LSN *before*
+            // publishing the snapshot: recovery replays store ops strictly
+            // above the page files' durable LSN, so the files must never
+            // claim an LSN newer than what they contain. Page-file I/O
+            // failure here is fail-stop inside the backend (see DESIGN.md
+            // "Storage backends").
+            bytes += self.store.flush_dirty(d.lsn());
         }
+        bytes += d.checkpoint(snap) as u64;
+        d.sync();
+        self.stats.checkpoints += 1;
+        self.stats.checkpoint_bytes += bytes;
     }
 
     /// Checkpoint if the log has grown past the configured interval.
@@ -540,8 +583,10 @@ impl ThreeVNode {
         }
         // lint-allow(wal-hook-coverage): this *is* the crash — it models
         // losing the volatile state the WAL protects, so logging it would
-        // be circular.
-        self.store = Store::empty(self.me);
+        // be circular. The placeholder is an empty mem store even under a
+        // paged config: the page files survive on disk and recovery
+        // reopens them.
+        self.store = Store::empty(self.me).into_any();
         self.counters = CounterTable::new();
         self.locks = LockTable::new();
         self.vu = VersionNo(1);
@@ -571,6 +616,9 @@ impl ThreeVNode {
     /// (version inference from arriving subtransactions, coordinator
     /// retransmits) catch it up without a dedicated protocol.
     pub fn recover_install(&mut self) -> bool {
+        if matches!(self.cfg.backend, BackendConfig::Paged { .. }) {
+            return self.recover_install_paged();
+        }
         let Some(d) = self.dur.as_mut() else {
             return false;
         };
@@ -581,7 +629,48 @@ impl ThreeVNode {
         // from* the checkpoint+WAL; re-logging the install would duplicate
         // every record on the next recovery (replay is LSN-idempotent but
         // the log would grow unboundedly).
-        self.store = state.store;
+        self.store = state.store.into_any();
+        self.locks = state.locks;
+        self.counters = CounterTable::from_parts(state.counters);
+        self.vu = state.vu;
+        self.vr = state.vr;
+        self.stats.recoveries += 1;
+        self.stats.wal_replayed += state.replayed;
+        true
+    }
+
+    /// Paged-backend recovery: the chains are recovered by *reopening the
+    /// page files*, not from the snapshot (which carried `external_store`
+    /// and an empty image). The WAL tail replays store-directed records
+    /// above the page files' durable LSN and control records above the
+    /// snapshot's LSN — two independent guards, because flush and
+    /// checkpoint-install are separate atomic steps.
+    fn recover_install_paged(&mut self) -> bool {
+        if !self.store.persists_chains() {
+            // The crash dropped the volatile handle to an empty mem
+            // placeholder; the chains survive in the page files.
+            // lint-allow(panic-hygiene): unopenable/corrupt page files at
+            // recovery are fail-stop by design — same rationale as
+            // construction.
+            let backend = self
+                .cfg
+                .backend
+                .open(self.me)
+                .unwrap_or_else(|e| panic!("{}: cannot reopen storage backend: {e}", self.me));
+            // lint-allow(wal-hook-coverage): recovery installs state read
+            // back from disk; logging the install would duplicate records.
+            self.store = Store::on_backend(backend, self.me);
+        }
+        let store_lsn = self.store.durable_lsn().unwrap_or(0);
+        let Some(d) = self.dur.as_mut() else {
+            return false;
+        };
+        let Some(state) = d.recover_paged(&mut self.store, store_lsn) else {
+            return false;
+        };
+        // Control state always recovers from checkpoint + log regardless
+        // of backend; only the chains live in the page files.
+        // lint-allow(wal-hook-coverage): recovery install, as above.
         self.locks = state.locks;
         self.counters = CounterTable::from_parts(state.counters);
         self.vu = state.vu;

@@ -33,7 +33,10 @@ pub mod backend;
 pub mod recover;
 pub mod snapshot;
 pub mod wal;
-pub mod wire;
+// The wire codec lives in `threev-storage` (the bottom of the dependency
+// stack) so the paged storage backend shares the same framing; re-exported
+// here to keep `threev_durability::wire::…` paths working.
+pub use threev_storage::wire;
 
 pub use backend::{FileBackend, LogBackend, MemBackend};
 pub use recover::{Durability, DurabilityStats, RecoveredState};

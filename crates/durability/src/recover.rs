@@ -11,7 +11,7 @@
 //! a prefix twice) lands in the same state as a single clean replay.
 
 use threev_model::VersionNo;
-use threev_storage::{LockDecision, LockTable, Store};
+use threev_storage::{LockDecision, LockTable, StorageBackend, Store};
 
 use crate::backend::LogBackend;
 use crate::snapshot::{CounterRow, Snapshot};
@@ -74,7 +74,19 @@ impl RecoveredState {
         if rec.lsn <= self.applied_lsn {
             return false;
         }
-        match &rec.op {
+        Self::apply_store_op(&mut self.store, &rec.op);
+        self.apply_control_op(&rec.op);
+        self.applied_lsn = rec.lsn;
+        self.replayed += 1;
+        true
+    }
+
+    /// The store-directed half of one record: the chain mutations. Static
+    /// and generic over the backend so [`Durability::recover_paged`] can
+    /// replay against a reopened paged store, which carries its own durable
+    /// LSN and therefore its own idempotence guard.
+    pub fn apply_store_op<B: StorageBackend>(store: &mut Store<B>, op: &WalOp) {
+        match op {
             WalOp::Update {
                 key,
                 version,
@@ -83,15 +95,26 @@ impl RecoveredState {
             } => {
                 // Redo against the same starting layout reproduces the
                 // same copy-on-update / all-≥v effect as the live run.
-                let _ = self.store.update(*key, *version, *op, *txn, None);
+                let _ = store.update(*key, *version, *op, *txn, None);
             }
             WalOp::Restore {
                 key,
                 version,
                 prior,
             } => {
-                self.store.restore_version(*key, *version, prior.clone());
+                store.restore_version(*key, *version, prior.clone());
             }
+            WalOp::Gc { vr_new } => store.gc(*vr_new),
+            _ => {}
+        }
+    }
+
+    /// The control half of one record: counters, version variables, and
+    /// the lock table — everything that always recovers from the
+    /// checkpoint + log regardless of backend.
+    pub fn apply_control_op(&mut self, op: &WalOp) {
+        match op {
+            WalOp::Update { .. } | WalOp::Restore { .. } => {}
             WalOp::IncRequest { version, to } => {
                 bump(&mut self.counters, *version, *to, true);
             }
@@ -101,7 +124,6 @@ impl RecoveredState {
             WalOp::SetVu(v) => self.vu = *v,
             WalOp::SetVr(v) => self.vr = *v,
             WalOp::Gc { vr_new } => {
-                self.store.gc(*vr_new);
                 self.counters.retain(|(v, ..)| *v >= *vr_new);
             }
             WalOp::Phase { .. } => {} // informational marker
@@ -121,9 +143,6 @@ impl RecoveredState {
                 let _ = self.locks.release_all(*txn);
             }
         }
-        self.applied_lsn = rec.lsn;
-        self.replayed += 1;
-        true
     }
 }
 
@@ -205,11 +224,15 @@ impl Durability {
 
     /// Install a checkpoint. The snapshot is stamped with the current LSN
     /// (it must describe the state *after* every logged transition so
-    /// far); installing truncates the log.
-    pub fn checkpoint(&mut self, mut snap: Snapshot) {
+    /// far); installing truncates the log. Returns the encoded snapshot
+    /// size in bytes (the cost of the install, reported by the
+    /// checkpoint-bytes experiment counters).
+    pub fn checkpoint(&mut self, mut snap: Snapshot) -> usize {
         snap.lsn = self.lsn;
-        self.backend.install_snapshot(&snap.encode());
+        let bytes = snap.encode();
+        self.backend.install_snapshot(&bytes);
         self.stats.checkpoints += 1;
+        bytes.len()
     }
 
     /// Rebuild node state from checkpoint + log. Returns `None` when no
@@ -229,6 +252,49 @@ impl Durability {
             }
         }
         self.lsn = self.lsn.max(state.applied_lsn);
+        self.stats.recoveries += 1;
+        self.stats.records_replayed += state.replayed;
+        self.stats.records_skipped += skipped;
+        Some(state)
+    }
+
+    /// Recovery against a storage backend that persists its own chains
+    /// (`external_store` checkpoints): the chains are already in `store`,
+    /// durable up to `store_lsn`; the checkpoint carries only the control
+    /// state. Store-directed records replay when their LSN is above
+    /// `store_lsn`; control records when above the snapshot's LSN. The two
+    /// guards are independent because the backend flush and the checkpoint
+    /// install are *separate* atomic steps — a crash between them leaves
+    /// `store_lsn` ahead of the snapshot, and a naive single guard would
+    /// double-apply the store half of that window.
+    pub fn recover_paged<B: StorageBackend>(
+        &mut self,
+        store: &mut Store<B>,
+        store_lsn: u64,
+    ) -> Option<RecoveredState> {
+        let snap = Snapshot::decode(&self.backend.snapshot()?).ok()?;
+        let mut state = RecoveredState::from_snapshot(snap);
+        let mut skipped = 0u64;
+        for raw in self.backend.log_records() {
+            let Ok(rec) = WalRecord::decode(&raw) else {
+                break;
+            };
+            let store_new = rec.lsn > store_lsn;
+            let control_new = rec.lsn > state.applied_lsn;
+            if store_new {
+                RecoveredState::apply_store_op(store, &rec.op);
+            }
+            if control_new {
+                state.apply_control_op(&rec.op);
+                state.applied_lsn = rec.lsn;
+            }
+            if store_new || control_new {
+                state.replayed += 1;
+            } else {
+                skipped += 1;
+            }
+        }
+        self.lsn = self.lsn.max(state.applied_lsn).max(store_lsn);
         self.stats.recoveries += 1;
         self.stats.records_replayed += state.replayed;
         self.stats.records_skipped += skipped;
@@ -280,6 +346,7 @@ mod tests {
             lsn: 0,
             vu: v(1),
             vr: v(0),
+            external_store: false,
             store: vec![
                 (Key(1), vec![(v(0), Value::Counter(100))]),
                 (Key(2), vec![(v(0), Value::Journal(vec![]))]),

@@ -10,8 +10,10 @@ use threev_storage::LockMode;
 
 use crate::wire::{ByteReader, ByteWriter, WireError};
 
-/// Format byte bumped on any incompatible layout change.
-const FORMAT: u8 = 1;
+/// Format byte bumped on any incompatible layout change. Format 2 added
+/// `external_store` (paged-backend checkpoints no longer inline the
+/// chains).
+const FORMAT: u8 = 2;
 
 /// Counter rows of one version: `(requests_to, completions_from)`, each a
 /// sorted `(node, count)` list — the serialisable form of the core
@@ -33,7 +35,13 @@ pub struct Snapshot {
     pub vu: VersionNo,
     /// Read version variable.
     pub vr: VersionNo,
-    /// Version layout of every key, sorted by key.
+    /// The ≤3-version chains live outside this snapshot, in the node's
+    /// paged storage backend (whose own durable image carries an LSN).
+    /// When set, [`Snapshot::store`] is empty and recovery replays store
+    /// records against the reopened backend instead.
+    pub external_store: bool,
+    /// Version layout of every key, sorted by key (empty when
+    /// [`Snapshot::external_store`] is set).
     pub store: Vec<(Key, Vec<(VersionNo, Value)>)>,
     /// R/C counter rows, sorted by version.
     pub counters: Vec<CounterRow>,
@@ -50,6 +58,7 @@ impl Snapshot {
         w.u64(self.lsn);
         w.version(self.vu);
         w.version(self.vr);
+        w.u8(u8::from(self.external_store));
         w.len(self.store.len());
         for (key, versions) in &self.store {
             w.key(*key);
@@ -101,6 +110,11 @@ impl Snapshot {
         let lsn = r.u64()?;
         let vu = r.version()?;
         let vr = r.version()?;
+        let external_store = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError("bad external_store flag")),
+        };
         let n_keys = r.read_len()?;
         let mut store = Vec::with_capacity(n_keys);
         for _ in 0..n_keys {
@@ -163,6 +177,7 @@ impl Snapshot {
             lsn,
             vu,
             vr,
+            external_store,
             store,
             counters,
             locks,
@@ -181,6 +196,7 @@ mod tests {
             lsn: 41,
             vu: VersionNo(2),
             vr: VersionNo(1),
+            external_store: false,
             store: vec![
                 (
                     Key(1),
@@ -227,9 +243,20 @@ mod tests {
             lsn: 0,
             vu: VersionNo(1),
             vr: VersionNo(0),
+            external_store: false,
             store: vec![],
             counters: vec![],
             locks: vec![],
+        };
+        assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn external_store_round_trips() {
+        let snap = Snapshot {
+            external_store: true,
+            store: vec![],
+            ..sample()
         };
         assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
     }

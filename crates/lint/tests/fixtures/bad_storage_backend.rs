@@ -1,0 +1,23 @@
+//! Fixture: violations a storage backend must not commit. The paged
+//! backend's bytes feed recovery and (via checkpoint sizes) the stats the
+//! DES replays, so `storage` sits in the deterministic tier: no
+//! order-random maps, no wall clocks, and fail-stop I/O must be an
+//! explicit reasoned suppression — bare `.unwrap()` is banned.
+use std::collections::HashMap;
+
+struct LeakyBackend {
+    pages: HashMap<u32, Vec<u8>>,
+}
+
+impl LeakyBackend {
+    fn flush(&mut self) -> u64 {
+        let stamp = std::time::SystemTime::now();
+        let mut bytes = 0;
+        for (page, buf) in &self.pages {
+            std::fs::write(format!("{page}.bin"), buf).unwrap();
+            bytes += buf.len() as u64;
+        }
+        let _ = stamp.elapsed();
+        bytes
+    }
+}

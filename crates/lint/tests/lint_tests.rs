@@ -159,6 +159,33 @@ fn shard_policy_holds_the_deterministic_tier() {
     assert!(exempt.is_empty(), "{exempt:#?}");
 }
 
+/// The `storage` crate is in the deterministic tier, and the paged
+/// backend keeps it there: order-random maps, wall-clock stamps, and bare
+/// `.unwrap()` on page I/O must all fire. Non-deterministic tiers (e.g.
+/// `bench`) stay exempt from the determinism half.
+#[test]
+fn storage_backend_holds_the_deterministic_tier() {
+    let src = fixture("bad_storage_backend.rs");
+    let findings = lint_source("storage", "crates/storage/src/paged.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("determinism", 6),    // HashMap import
+            ("determinism", 9),    // HashMap as the page map
+            ("determinism", 14),   // SystemTime wall clock
+            ("panic-hygiene", 17), // bare .unwrap() on page I/O
+        ],
+        "{findings:#?}"
+    );
+    let exempt = lint_source("bench", "crates/bench/src/bad.rs", &src);
+    assert!(
+        shape(&exempt)
+            .iter()
+            .all(|(rule, _)| *rule == "panic-hygiene"),
+        "bench is exempt from determinism, not panic-hygiene: {exempt:#?}"
+    );
+}
+
 #[test]
 fn clean_fixture_produces_no_findings() {
     let src = fixture("clean.rs");

@@ -33,7 +33,7 @@ use threev_core::advance::{AdvancementPolicy, AdvancementRecord, Coordinator};
 use threev_core::client::Arrival;
 use threev_core::cluster::{build_partition_actors, ClusterActor, ClusterConfig, ThreeVConfig};
 use threev_core::msg::Msg;
-use threev_core::node::{DurabilityMode, ThreeVNode};
+use threev_core::node::{BackendConfig, DurabilityMode, ThreeVNode};
 use threev_model::{NodeId, PartitionId, Schema, Topology};
 use threev_sim::{SimConfig, SimDuration, SimStats, SimTime, Simulation};
 
@@ -91,6 +91,16 @@ impl ShardedConfig {
     #[must_use]
     pub fn durability(mut self, mode: DurabilityMode) -> Self {
         self.protocol.node.durability = mode;
+        self
+    }
+
+    /// Set the storage backend (mem or paged) for every node in every
+    /// partition. Paged nodes write their page files under the configured
+    /// directory, one subdirectory per node; crash injection remains
+    /// rejected on sharded runs regardless of backend (pins are volatile).
+    #[must_use]
+    pub fn backend(mut self, backend: BackendConfig) -> Self {
+        self.protocol.node.backend = backend;
         self
     }
 

@@ -20,17 +20,28 @@
 //!   locks;
 //! * an **undo log** for local rollback, feeding the compensation machinery
 //!   (§3.2).
+//!
+//! Where the chains *live* is pluggable ([`backend`]): the in-memory
+//! [`MemBackend`] (the default, fully deterministic), or the on-disk
+//! [`paged`] engine holding the chains natively in fixed-size pages with
+//! incremental (dirty-record) checkpointing. The shared little-endian
+//! framing both the page files and the durability WAL use is in [`wire`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod backend;
 pub mod locks;
+pub mod paged;
 pub mod record;
 pub mod store;
 pub mod undo;
+pub mod wire;
 
+pub use backend::{AnyBackend, BackendConfig, MemBackend, StorageBackend};
 pub use locks::{LockDecision, LockMode, LockTable};
+pub use paged::{PageAllocator, PagedBackend, PAGE_SIZE};
 pub use record::{GcAction, UpdateOutcome, VersionedRecord};
 pub use store::{Store, StoreError, StoreStats};
 pub use undo::UndoLog;

@@ -1,11 +1,12 @@
-//! The per-node key-value store: a map of [`VersionedRecord`]s plus the
+//! The per-node key-value store: the paper's §4 access rules over a
+//! pluggable [`StorageBackend`] holding the [`VersionedRecord`]s, plus the
 //! statistics the experiments report on.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use threev_model::{Key, NodeId, Schema, TxnId, UpdateOp, Value, VersionNo};
 
+use crate::backend::{AnyBackend, MemBackend, StorageBackend};
 use crate::record::{GcAction, UpdateOutcome, VersionedRecord};
 use crate::undo::UndoLog;
 
@@ -100,44 +101,94 @@ pub struct StoreStats {
     pub gc_renamed: u64,
 }
 
-/// The node-local store.
+/// The node-local store, generic over where the chains live. Bare `Store`
+/// keeps meaning the in-memory store it always was; the node engine runs a
+/// `Store<AnyBackend>` selected by `BackendConfig`.
 #[derive(Clone, Debug)]
-pub struct Store {
+pub struct Store<B: StorageBackend = MemBackend> {
     node: NodeId,
-    records: BTreeMap<Key, VersionedRecord>,
+    backend: B,
     stats: StoreStats,
 }
 
-impl Store {
-    /// Build the store for `node`, materialising every key the schema homes
-    /// there at version 0.
+impl Store<MemBackend> {
+    /// Build the in-memory store for `node`, materialising every key the
+    /// schema homes there at version 0.
     pub fn from_schema(schema: &Schema, node: NodeId) -> Self {
-        let mut records = BTreeMap::new();
-        for decl in schema.keys_on(node) {
-            records.insert(decl.key, VersionedRecord::initial(decl.init.clone()));
-        }
-        Store {
-            node,
-            records,
-            stats: StoreStats {
-                max_versions_of_any_item: 1,
-                ..StoreStats::default()
-            },
-        }
+        Store::from_schema_on(MemBackend::default(), schema, node)
     }
 
-    /// Empty store for `node` (keys inserted with [`Store::insert_initial`]).
+    /// Empty in-memory store for `node` (keys inserted with
+    /// [`Store::insert_initial`]).
     pub fn empty(node: NodeId) -> Self {
-        Store {
-            node,
-            records: BTreeMap::new(),
-            stats: StoreStats::default(),
+        Store::on_backend(MemBackend::default(), node)
+    }
+
+    /// Rebuild a store from exported parts (checkpoint recovery).
+    /// Statistics restart from the recovered layout: the historical
+    /// counters died with the node.
+    pub fn from_parts(node: NodeId, parts: Vec<(Key, Vec<(VersionNo, Value)>)>) -> Self {
+        let mut store = Store::empty(node);
+        for (key, versions) in parts {
+            store.stats.max_versions_of_any_item = store
+                .stats
+                .max_versions_of_any_item
+                .max(versions.len() as u32);
+            store
+                .backend
+                .insert(key, VersionedRecord::from_versions(versions));
         }
+        store
+    }
+
+    /// Erase the backend type (the node engine's store is `Store<AnyBackend>`
+    /// whichever backend configuration selected).
+    pub fn into_any(self) -> Store<AnyBackend> {
+        Store {
+            node: self.node,
+            backend: AnyBackend::Mem(self.backend),
+            stats: self.stats,
+        }
+    }
+}
+
+impl<B: StorageBackend> Store<B> {
+    /// Wrap an opened backend without touching its contents. The
+    /// max-versions high-water mark restarts from the recovered layout.
+    pub fn on_backend(backend: B, node: NodeId) -> Self {
+        let mut store = Store {
+            node,
+            backend,
+            stats: StoreStats::default(),
+        };
+        store.stats.max_versions_of_any_item = store.current_max_versions() as u32;
+        store
+    }
+
+    /// Build the store for `node` on `backend`: a fresh (empty) backend is
+    /// materialised from the schema at version 0; a reopened backend keeps
+    /// its recovered chains and ignores the schema.
+    pub fn from_schema_on(backend: B, schema: &Schema, node: NodeId) -> Self {
+        let mut store = Store::on_backend(backend, node);
+        if store.backend.is_empty() {
+            for decl in schema.keys_on(node) {
+                store
+                    .backend
+                    .insert(decl.key, VersionedRecord::initial(decl.init.clone()));
+            }
+            store.stats.max_versions_of_any_item = 1;
+        }
+        store
+    }
+
+    /// The underlying backend (observability for tests and benches).
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// Insert a key at version 0 (test/bootstrap helper).
     pub fn insert_initial(&mut self, key: Key, value: Value) {
-        self.records.insert(key, VersionedRecord::initial(value));
+        self.backend.insert(key, VersionedRecord::initial(value));
         self.stats.max_versions_of_any_item = self.stats.max_versions_of_any_item.max(1);
     }
 
@@ -148,12 +199,12 @@ impl Store {
 
     /// Number of keys.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.backend.len()
     }
 
     /// Is the store empty?
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.backend.is_empty()
     }
 
     /// Statistics so far.
@@ -166,8 +217,8 @@ impl Store {
     /// *before* applying any of its steps, so rejection needs no undo.
     pub fn check_read(&self, key: Key, v: VersionNo) -> Result<(), StoreError> {
         let rec = self
-            .records
-            .get(&key)
+            .backend
+            .get(key)
             .ok_or(StoreError::UnknownKey { key })?;
         rec.read_visible(v)
             .map(|_| ())
@@ -183,8 +234,8 @@ impl Store {
     /// kind. Companion pre-pass to [`Store::check_read`].
     pub fn check_update(&self, key: Key, v: VersionNo, op: UpdateOp) -> Result<(), StoreError> {
         let rec = self
-            .records
-            .get(&key)
+            .backend
+            .get(key)
             .ok_or(StoreError::UnknownKey { key })?;
         let (_, base) = rec.read_visible(v).ok_or(StoreError::NoVisibleVersion {
             key,
@@ -208,8 +259,8 @@ impl Store {
         v: VersionNo,
     ) -> Result<(VersionNo, Value), StoreError> {
         let rec = self
-            .records
-            .get(&key)
+            .backend
+            .get(key)
             .ok_or(StoreError::UnknownKey { key })?;
         let (w, val) = rec.read_visible(v).ok_or(StoreError::NoVisibleVersion {
             key,
@@ -232,8 +283,8 @@ impl Store {
         undo: Option<&mut UndoLog>,
     ) -> Result<UpdateOutcome, StoreError> {
         let rec = self
-            .records
-            .get_mut(&key)
+            .backend
+            .get_mut(key)
             .ok_or(StoreError::UnknownKey { key })?;
         if let Some(log) = undo {
             // Record priors for all versions >= v, plus (if x(v) is about to
@@ -273,8 +324,8 @@ impl Store {
         txn: TxnId,
     ) -> Result<UpdateOutcome, StoreError> {
         let rec = self
-            .records
-            .get_mut(&key)
+            .backend
+            .get_mut(key)
             .ok_or(StoreError::UnknownKey { key })?;
         let out = rec.update_exact(key, v, op, txn)?;
         self.stats.updates += 1;
@@ -292,8 +343,8 @@ impl Store {
     /// §5 step 4.)
     pub fn exists_above(&self, key: Key, v: VersionNo) -> Result<bool, StoreError> {
         let rec = self
-            .records
-            .get(&key)
+            .backend
+            .get(key)
             .ok_or(StoreError::UnknownKey { key })?;
         Ok(rec.max_version() > v)
     }
@@ -302,25 +353,37 @@ impl Store {
     /// Entries are applied newest-first.
     pub fn rollback(&mut self, log: UndoLog) {
         for (key, version, prior) in log.into_entries_rev() {
-            if let Some(rec) = self.records.get_mut(&key) {
+            if let Some(rec) = self.backend.get_mut(key) {
                 rec.restore(version, prior);
             }
         }
     }
 
     /// Garbage-collect every record for the new read version (§4.3 Phase 4).
+    ///
+    /// The sweep does *not* dirty the records it changes: a GC rename is a
+    /// deterministic function of `(record, vr_new)`, so durable backends
+    /// persist only the highest swept version — the *vr floor*, via
+    /// [`StorageBackend::note_gc`] — and re-derive the renames at open.
+    /// Dirtying here would turn every advancement into a full-store
+    /// rewrite, defeating incremental checkpoints.
     pub fn gc(&mut self, vr_new: VersionNo) {
-        self.stats.gc_runs += 1;
-        for rec in self.records.values_mut() {
-            match rec.gc(vr_new) {
-                GcAction::DroppedOld { dropped } => self.stats.gc_dropped += dropped as u64,
-                GcAction::Renamed { dropped, .. } => {
-                    self.stats.gc_renamed += 1;
-                    self.stats.gc_dropped += dropped as u64;
+        let stats = &mut self.stats;
+        stats.gc_runs += 1;
+        self.backend
+            .visit_mut(&mut |_key, rec| match rec.gc(vr_new) {
+                GcAction::DroppedOld { dropped } => {
+                    stats.gc_dropped += dropped as u64;
+                    false
                 }
-                GcAction::None => {}
-            }
-        }
+                GcAction::Renamed { dropped, .. } => {
+                    stats.gc_renamed += 1;
+                    stats.gc_dropped += dropped as u64;
+                    false
+                }
+                GcAction::None => false,
+            });
+        self.backend.note_gc(vr_new);
     }
 
     /// Restore version `v` of `key` to `prior` (`None` removes the
@@ -328,7 +391,7 @@ impl Store {
     /// exposed so WAL replay can re-apply logged rollbacks during
     /// recovery.
     pub fn restore_version(&mut self, key: Key, v: VersionNo, prior: Option<Value>) {
-        if let Some(rec) = self.records.get_mut(&key) {
+        if let Some(rec) = self.backend.get_mut(key) {
             rec.restore(v, prior);
         }
     }
@@ -336,46 +399,23 @@ impl Store {
     /// Export the full version layout of every key, sorted by key —
     /// the store side of a durability checkpoint.
     pub fn export_parts(&self) -> Vec<(Key, Vec<(VersionNo, Value)>)> {
-        let mut parts: Vec<(Key, Vec<(VersionNo, Value)>)> = self
-            .records
-            .iter()
+        // Backend iteration is key-ordered, so the parts arrive sorted.
+        self.iter_versions()
             .map(|(k, r)| {
                 (
-                    *k,
+                    k,
                     r.version_numbers()
                         .filter_map(|v| r.value_at(v).map(|val| (v, val.clone())))
                         .collect(),
                 )
             })
-            .collect();
-        parts.sort_unstable_by_key(|(k, _)| *k);
-        parts
-    }
-
-    /// Rebuild a store from exported parts (checkpoint recovery).
-    /// Statistics restart from the recovered layout: the historical
-    /// counters died with the node.
-    pub fn from_parts(node: NodeId, parts: Vec<(Key, Vec<(VersionNo, Value)>)>) -> Self {
-        let mut records = BTreeMap::new();
-        let mut max_versions = 0u32;
-        for (key, versions) in parts {
-            max_versions = max_versions.max(versions.len() as u32);
-            records.insert(key, VersionedRecord::from_versions(versions));
-        }
-        Store {
-            node,
-            records,
-            stats: StoreStats {
-                max_versions_of_any_item: max_versions,
-                ..StoreStats::default()
-            },
-        }
+            .collect()
     }
 
     /// Version layout of one key: `(version, value)` pairs ascending. Used
     /// by the Figure 2 replay and by invariant checks.
     pub fn layout(&self, key: Key) -> Option<Vec<(VersionNo, Value)>> {
-        self.records.get(&key).map(|r| {
+        self.backend.get(key).map(|r| {
             r.version_numbers()
                 .filter_map(|v| r.value_at(v).map(|val| (v, val.clone())))
                 .collect()
@@ -384,16 +424,41 @@ impl Store {
 
     /// Current maximum live version count across all items.
     pub fn current_max_versions(&self) -> usize {
-        self.records
-            .values()
-            .map(VersionedRecord::version_count)
+        self.iter_versions()
+            .map(|(_, r)| r.version_count())
             .max()
             .unwrap_or(0)
     }
 
     /// Iterate over all keys.
     pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
-        self.records.keys().copied()
+        self.iter_versions().map(|(k, _)| k)
+    }
+
+    /// Non-cloning snapshot view of every chain, in key order — the
+    /// backend-agnostic read path for checkpointing, invariant checks, and
+    /// the model checker's oracle (no whole-`Store` clone, no value clones).
+    pub fn iter_versions(&self) -> impl Iterator<Item = (Key, &VersionedRecord)> + '_ {
+        self.backend.iter().map(|(k, r)| (*k, r))
+    }
+
+    /// Persist every record changed since the last flush and stamp the
+    /// durable image with `lsn`; returns bytes written (0 when the backend
+    /// is volatile). See [`StorageBackend::flush`].
+    pub fn flush_dirty(&mut self, lsn: u64) -> u64 {
+        self.backend.flush(lsn)
+    }
+
+    /// LSN the durable chain image is current to (see
+    /// [`StorageBackend::durable_lsn`]).
+    pub fn durable_lsn(&self) -> Option<u64> {
+        self.backend.durable_lsn()
+    }
+
+    /// Does the backend hold chains on stable storage? (See
+    /// [`StorageBackend::persists_chains`].)
+    pub fn persists_chains(&self) -> bool {
+        self.backend.persists_chains()
     }
 }
 

@@ -1,13 +1,18 @@
 //! Hand-rolled little-endian wire encoding.
 //!
 //! No serialisation dependency exists in this workspace, and none is
-//! needed: the WAL and checkpoint formats are closed (every type is known
-//! here), so a small writer/reader pair over `Vec<u8>` suffices. All
-//! integers are little-endian; collections are length-prefixed with a
-//! `u32`; options carry a one-byte tag.
+//! needed: the WAL, checkpoint, and page-file formats are closed (every
+//! type is known here), so a small writer/reader pair over `Vec<u8>`
+//! suffices. All integers are little-endian; collections are
+//! length-prefixed with a `u32`; options carry a one-byte tag.
+//!
+//! This module lives in `threev-storage` (the bottom of the dependency
+//! stack) so both the [`paged`](crate::paged) backend and the
+//! `threev-durability` WAL/checkpoint codecs can share one framing
+//! discipline; durability re-exports it as `threev_durability::wire`.
 
+use crate::locks::LockMode;
 use threev_model::{JournalEntry, Key, NodeId, TxnId, UpdateOp, Value, VersionNo};
-use threev_storage::LockMode;
 
 /// Decoding failure: the input is truncated or structurally invalid.
 ///
@@ -95,6 +100,18 @@ impl ByteWriter {
     /// Write a [`VersionNo`].
     pub fn version(&mut self, v: VersionNo) {
         self.u32(v.0);
+    }
+
+    /// Write a `u64` as a LEB128 varint (7 bits per byte, little-endian,
+    /// high bit = continuation). Dense structures that repeat small
+    /// numbers — the paged backend's meta directory — use this so their
+    /// size tracks the magnitudes stored, not the field widths.
+    pub fn varint(&mut self, mut x: u64) {
+        while x >= 0x80 {
+            self.buf.push((x as u8) | 0x80);
+            x >>= 7;
+        }
+        self.buf.push(x as u8);
     }
 
     /// Write a [`TxnId`].
@@ -226,6 +243,20 @@ impl<'a> ByteReader<'a> {
         Ok(i64::from_le_bytes(arr(self.take(8, "i64")?)?))
     }
 
+    /// Read a LEB128 varint written by [`ByteWriter::varint`]. Rejects
+    /// encodings longer than a `u64` can carry.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let mut x = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            x |= u64::from(b & 0x7F) << shift;
+            if b < 0x80 {
+                return Ok(x);
+            }
+        }
+        Err(WireError("varint overruns u64"))
+    }
+
     /// Read a collection length, bounded by the bytes actually remaining
     /// so corrupt lengths fail instead of triggering huge allocations.
     pub fn read_len(&mut self) -> Result<usize, WireError> {
@@ -347,6 +378,28 @@ mod tests {
         assert_eq!(r.u64().unwrap(), u64::MAX);
         assert_eq!(r.i64().unwrap(), -42);
         assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn varints_round_trip_at_every_width() {
+        let cases = [0, 1, 0x7F, 0x80, 0x3FFF, 0x4000, 1 << 56, u64::MAX];
+        let mut w = ByteWriter::new();
+        for &x in &cases {
+            w.varint(x);
+        }
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 1 + 1 + 1 + 2 + 2 + 3 + 9 + 10);
+        let mut r = ByteReader::new(&bytes);
+        for &x in &cases {
+            assert_eq!(r.varint().unwrap(), x);
+        }
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn varint_rejects_overrun() {
+        let bytes = [0xFF; 11];
+        assert!(ByteReader::new(&bytes).varint().is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use threev::core::advance::AdvancementPolicy;
 use threev::core::cluster::{ClusterConfig, ThreeVCluster};
 use threev::model::NodeId;
 use threev::sim::{FaultPlane, LatencyModel, SimConfig, SimDuration, SimTime};
+use threev::storage::BackendConfig;
 use threev::workload::HospitalWorkload;
 
 #[derive(Debug, Clone)]
@@ -76,7 +77,7 @@ struct Fingerprint {
     advancements: usize,
 }
 
-fn run(s: &Scenario, batch: bool) -> Fingerprint {
+fn run(s: &Scenario, batch: bool, backend: BackendConfig) -> Fingerprint {
     let workload = HospitalWorkload {
         departments: s.n_nodes,
         patients: 20,
@@ -117,6 +118,7 @@ fn run(s: &Scenario, batch: bool) -> Fingerprint {
         },
         protocol: Default::default(),
     }
+    .backend(backend)
     .advancement(AdvancementPolicy::Periodic {
         first: SimDuration::from_millis(s.adv_period_ms),
         period: SimDuration::from_millis(s.adv_period_ms),
@@ -166,8 +168,11 @@ fn run(s: &Scenario, batch: bool) -> Fingerprint {
 }
 
 fn check(s: &Scenario) {
-    let per_message = run(s, false);
-    let batched = run(s, true);
+    // `THREEV_BACKEND=paged` reruns the whole suite over the on-disk
+    // backend (fresh scratch dir per run); unset/`mem` keeps the
+    // historical in-memory runs.
+    let per_message = run(s, false, BackendConfig::from_env("batch-eq"));
+    let batched = run(s, true, BackendConfig::from_env("batch-eq"));
     assert_eq!(per_message, batched, "batched run diverged for {s:?}");
 }
 
@@ -211,4 +216,27 @@ fn max_coalescing_fixed_case() {
         fail_ppm: 0,
         fifo: true,
     });
+}
+
+/// The storage seam itself must be invisible: the same seeded scenario run
+/// over the in-memory backend and over the on-disk paged backend must
+/// produce bit-identical fingerprints (records, stores, kernel stats). This
+/// pins the tentpole's equivalence claim without needing `THREEV_BACKEND`.
+#[test]
+fn paged_backend_is_observationally_identical() {
+    let s = Scenario {
+        n_nodes: 4,
+        rate: 2_500.0,
+        seed: 0xBA7C4,
+        adv_period_ms: 5,
+        jitter_max_us: 5_000,
+        fail_ppm: 40_000,
+        fifo: false,
+    };
+    let dir = std::env::temp_dir().join(format!("threev-batch-eq-xb-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mem = run(&s, true, BackendConfig::Mem);
+    let paged = run(&s, true, BackendConfig::Paged { dir: dir.clone() });
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(mem, paged, "paged backend diverged for {s:?}");
 }

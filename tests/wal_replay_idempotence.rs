@@ -33,6 +33,7 @@ fn base_snapshot() -> Snapshot {
         lsn: 0,
         vu: v(1),
         vr: v(0),
+        external_store: false,
         store: (1..=3)
             .map(|i| (k(i), vec![(v(0), Value::Counter(0))]))
             .collect(),
