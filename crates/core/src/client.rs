@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 
 use threev_analysis::{TxnRecord, TxnStatus};
-use threev_model::{NodeId, TxnId, TxnPlan, ValueKind};
+use threev_model::{NodeId, TxnId, TxnPlan};
 use threev_sim::{Actor, Ctx, SimTime};
 
 use crate::msg::{ClientEvent, ProtocolMsg};
@@ -91,22 +91,7 @@ impl<M: ProtocolMsg> ClientActor<M> {
 
             // Ground truth for the auditor: journal keys this plan appends
             // to. (Counters cannot be audited per-writer; journals can.)
-            let mut journal_keys: Vec<_> = arrival
-                .plan
-                .root
-                .all_steps()
-                .iter()
-                .filter_map(|(_, s)| match s {
-                    threev_model::OpStep::Update(k, op)
-                        if op.applies_to() == ValueKind::Journal =>
-                    {
-                        Some(*k)
-                    }
-                    _ => None,
-                })
-                .collect();
-            journal_keys.sort_unstable();
-            journal_keys.dedup();
+            let journal_keys = arrival.plan.journal_keys();
 
             self.index.insert(txn, self.records.len());
             self.records.push(TxnRecord::submitted(
@@ -138,6 +123,25 @@ impl<M: ProtocolMsg> ClientActor<M> {
 
     fn record_mut(&mut self, txn: TxnId) -> Option<&mut TxnRecord> {
         self.index.get(&txn).map(|&i| &mut self.records[i])
+    }
+
+    /// Register a transaction submitted from *outside* the arrival list —
+    /// the network front end injects `Msg::Submit` directly into the
+    /// simulation, then calls this so the completion that bounces back to
+    /// the client actor lands in a known record instead of being dropped
+    /// by [`record_mut`]. The caller owns id assignment; `kind` and
+    /// `journal_keys` mirror what [`submit_due`](Self::submit_due) records
+    /// for scheduled arrivals.
+    pub fn register_external(
+        &mut self,
+        txn: TxnId,
+        kind: threev_model::TxnKind,
+        at: SimTime,
+        journal_keys: Vec<threev_model::Key>,
+    ) {
+        self.index.insert(txn, self.records.len());
+        self.records
+            .push(TxnRecord::submitted(txn, kind, at, journal_keys));
     }
 }
 

@@ -94,6 +94,18 @@ pub const POLICIES: &[CratePolicy] = &[
         wal_hooks: false,
         forbid_unsafe: true,
     },
+    // The network front end hosts the deterministic engine but is itself
+    // wall-clock territory (socket timeouts, thread scheduling, Instant
+    // latency measurement), so the determinism rules do not apply. Panic
+    // hygiene is still mandatory: a malformed frame or a queue race must
+    // surface as a typed error on the wire, never unwind a worker thread.
+    CratePolicy {
+        name: "server",
+        deterministic: false,
+        panic_hygiene: true,
+        wal_hooks: false,
+        forbid_unsafe: true,
+    },
     // Non-deterministic tier: threaded runtime, analysis/bench tooling, and
     // the linter itself. Wall clocks, HashMaps, and unwraps are fine here.
     CratePolicy {

@@ -1,0 +1,25 @@
+//! Fixture: the `server` crate policy — wall clocks are its job, but a
+//! worker thread must never unwind, so panic hygiene still applies.
+use std::collections::HashMap;
+
+fn latency(started: std::time::Instant) -> u64 {
+    std::time::Instant::now().duration_since(started).as_micros() as u64
+}
+
+fn route(conns: &HashMap<u64, u16>) -> u16 {
+    *conns.get(&0).unwrap()
+}
+
+fn reply(frame: Option<&[u8]>) -> &[u8] {
+    match frame {
+        Some(f) => f,
+        None => panic!("no frame"),
+    }
+}
+
+fn negotiate(version: u16) -> u16 {
+    if version == 0 {
+        unreachable!("version zero is rejected at decode");
+    }
+    version
+}

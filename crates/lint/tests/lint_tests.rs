@@ -186,6 +186,29 @@ fn storage_backend_holds_the_deterministic_tier() {
     );
 }
 
+/// The `server` crate fronts sockets, so wall clocks and hash maps are
+/// its business — the determinism family must stay silent. But a panic
+/// in a worker thread kills a connection (or the engine), so the
+/// panic-hygiene family applies in full: `.unwrap()`, `panic!`, and
+/// `unreachable!` all fire. The same source under the `runtime` policy
+/// (no panic hygiene) produces nothing.
+#[test]
+fn server_policy_keeps_panic_hygiene_without_determinism() {
+    let src = fixture("bad_server.rs");
+    let findings = lint_source("server", "crates/server/src/server.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("panic-hygiene", 10), // .unwrap() on the route map
+            ("panic-hygiene", 16), // panic! on a missing frame
+            ("panic-hygiene", 22), // unreachable! in negotiation
+        ],
+        "{findings:#?}"
+    );
+    let exempt = lint_source("runtime", "crates/runtime/src/bad.rs", &src);
+    assert!(exempt.is_empty(), "{exempt:#?}");
+}
+
 #[test]
 fn clean_fixture_produces_no_findings() {
     let src = fixture("clean.rs");

@@ -16,6 +16,7 @@ use std::fmt;
 
 use crate::ids::{Key, NodeId};
 use crate::ops::UpdateOp;
+use crate::value::ValueKind;
 
 /// One step of a subtransaction: a read or an update of a local data item.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -276,6 +277,22 @@ impl TxnPlan {
         for (_, s) in self.root.all_steps() {
             if let OpStep::Update(k, _) = s {
                 set.insert(*k);
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Journal keys this plan appends to or retracts from (deduplicated,
+    /// sorted). This is the auditor's per-writer ground truth: counters
+    /// cannot be audited per-writer, journals can — every committed
+    /// journal write must surface as an entry tagged with its writer.
+    pub fn journal_keys(&self) -> Vec<Key> {
+        let mut set = BTreeSet::new();
+        for (_, s) in self.root.all_steps() {
+            if let OpStep::Update(k, op) = s {
+                if op.applies_to() == ValueKind::Journal {
+                    set.insert(*k);
+                }
             }
         }
         set.into_iter().collect()

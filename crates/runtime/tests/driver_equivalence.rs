@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use threev_core::client::Arrival;
 use threev_core::cluster::{build_actors, ClusterActor, ClusterConfig, ThreeVCluster};
-use threev_core::node::{BackendConfig, ThreeVNode};
+use threev_core::node::ThreeVNode;
 use threev_model::{Key, TxnId, Value};
 use threev_runtime::{DeliveryMode, ThreadedRun};
 use threev_sim::{SimDuration, SimTime};
@@ -70,7 +70,8 @@ fn des_outcome(arrivals: Vec<Arrival>) -> Outcome {
     // `THREEV_BACKEND=paged` runs the DES side over the on-disk backend
     // (fresh scratch dir); the threaded side keeps its own hook below, so
     // the equivalence also spans storage backends.
-    let cfg = ClusterConfig::new(w.departments).backend(BackendConfig::from_env("driver-eq-des"));
+    let cfg = ClusterConfig::new(w.departments)
+        .backend(threev::testutil::backend_from_env("driver-eq-des"));
     let mut cluster = ThreeVCluster::new(&w.schema(), cfg, arrivals);
     cluster.run(SimTime::MAX);
     let mut committed: Vec<TxnId> = cluster
@@ -90,8 +91,8 @@ fn des_outcome(arrivals: Vec<Arrival>) -> Outcome {
 
 fn threaded_outcome(arrivals: Vec<Arrival>, mode: DeliveryMode) -> Outcome {
     let w = workload();
-    let cfg =
-        ClusterConfig::new(w.departments).backend(BackendConfig::from_env("driver-eq-threaded"));
+    let cfg = ClusterConfig::new(w.departments)
+        .backend(threev::testutil::backend_from_env("driver-eq-threaded"));
     let actors = build_actors(&w.schema(), &cfg, arrivals);
     let (actors, report) = ThreadedRun::run_with(
         actors,

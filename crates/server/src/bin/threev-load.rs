@@ -1,0 +1,220 @@
+//! `threev-load` — open-loop load harness for `threev-server`.
+//!
+//! Default mode spawns a fresh in-process server per measured rate,
+//! calibrates the engine's sustained capacity, then measures two
+//! Poisson rates — one comfortably below saturation, one past it — and
+//! writes the latency/throughput report to `BENCH_server.json`. Point it
+//! at an already-running server with `--addr` (the server must have been
+//! started with the same `--partitions`/`--nodes`/`--seed` so the schemas
+//! match); external-server runs print the report to stdout instead of
+//! writing the bench file.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::exit;
+
+use threev_bench::report::{write_bench_report, JsonObject, JsonValue};
+use threev_server::load::{run_open_loop, schedule, LoadConfig, LoadReport};
+use threev_server::{serve, Client, Engine, ServerConfig};
+use threev_shard::ShardedConfig;
+use threev_sim::SimDuration;
+
+const USAGE: &str = "usage: threev-load [--addr HOST:PORT] [--partitions P] [--nodes N] \
+                     [--connections C] [--duration-ms D] [--seed S] [--rates R1,R2,...] \
+                     [--no-report]";
+
+struct Args {
+    addr: Option<String>,
+    partitions: u16,
+    nodes: u16,
+    connections: usize,
+    duration_ms: u64,
+    seed: u64,
+    rates: Option<Vec<f64>>,
+    write_report: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        partitions: 4,
+        nodes: 2,
+        connections: 8,
+        duration_ms: 2_000,
+        seed: 42,
+        rates: None,
+        write_report: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(val("--addr")?),
+            "--partitions" => args.partitions = parse(&val("--partitions")?, "--partitions")?,
+            "--nodes" => args.nodes = parse(&val("--nodes")?, "--nodes")?,
+            "--connections" => args.connections = parse(&val("--connections")?, "--connections")?,
+            "--duration-ms" => args.duration_ms = parse(&val("--duration-ms")?, "--duration-ms")?,
+            "--seed" => args.seed = parse(&val("--seed")?, "--seed")?,
+            "--rates" => {
+                let raw = val("--rates")?;
+                let mut rates = Vec::new();
+                for part in raw.split(',') {
+                    rates.push(parse(part, "--rates")?);
+                }
+                args.rates = Some(rates);
+            }
+            "--no-report" => args.write_report = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if args.partitions == 0 || args.nodes == 0 {
+        return Err("--partitions and --nodes must be positive".to_string());
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(raw: &str, name: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{name}={raw:?} is not a valid value\n{USAGE}"))
+}
+
+fn load_config(args: &Args, rate_tps: f64, duration: SimDuration) -> LoadConfig {
+    LoadConfig {
+        partitions: args.partitions,
+        nodes_per_partition: args.nodes,
+        rate_tps,
+        duration,
+        read_pct: 20,
+        seed: args.seed,
+        connections: args.connections,
+    }
+}
+
+/// Run one rate: against `--addr` if given, else against a fresh
+/// in-process server that is shut down (drain + checkpoint) afterwards.
+fn run_rate(args: &Args, rate_tps: f64, duration: SimDuration) -> Result<LoadReport, String> {
+    let cfg = load_config(args, rate_tps, duration);
+    let hospital = cfg.hospital();
+    let jobs = schedule(&hospital);
+    if let Some(addr) = &args.addr {
+        let addr = resolve(addr)?;
+        return run_open_loop(addr, jobs, cfg.connections).map_err(|e| e.to_string());
+    }
+    let engine = Engine::new(
+        &hospital.schema(),
+        ShardedConfig::new(args.partitions, args.nodes)
+            .seed(args.seed)
+            .backend(threev::testutil::backend_from_env("load")),
+        32,
+    );
+    // Workers each own one connection for its lifetime, so the pool must
+    // be at least as wide as the harness's connection fan-out — otherwise
+    // surplus lanes starve until a served lane closes and their whole
+    // backlog lands at once, poisoning the tail percentiles.
+    let server_cfg = ServerConfig {
+        workers: cfg.connections.max(1),
+        ..ServerConfig::default()
+    };
+    let handle = serve(engine, server_cfg).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = handle.addr();
+    let result = run_open_loop(addr, jobs, cfg.connections).map_err(|e| e.to_string());
+    match Client::connect(addr).and_then(|mut c| c.shutdown()) {
+        Ok(()) => {}
+        Err(e) => eprintln!("threev-load: shutdown request failed: {e}"),
+    }
+    if let Err(e) = handle.join() {
+        eprintln!("threev-load: server join failed: {e}");
+    }
+    result
+}
+
+fn rate_section(rate_tps: f64, report: &LoadReport) -> JsonObject {
+    JsonObject::new()
+        .field("offered_rate_tps", JsonValue::Float(rate_tps, 1))
+        .field("metrics", report.to_json())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let duration = SimDuration::from_millis(args.duration_ms);
+
+    // Pick the two measured rates: either as given, or derived from a
+    // calibration run that estimates the engine's service capacity.
+    let (rates, calibrated) = match &args.rates {
+        Some(r) => (r.clone(), None),
+        None => {
+            // A sustained overload over the *same horizon* as the
+            // measured runs: service cost grows with store size (journals
+            // accumulate, advancement scans more keys), so a short burst
+            // badly overestimates the rate the engine holds over the full
+            // window. 0.4×/1.2× of the horizon capacity lands the two
+            // runs on opposite sides of the knee.
+            eprintln!("threev-load: calibrating capacity with a sustained overload...");
+            let cal = run_rate(&args, 30_000.0, duration)?;
+            let capacity = cal.committed_per_sec.max(50.0);
+            eprintln!("threev-load: sustained capacity ~{capacity:.0} committed/s");
+            (vec![0.4 * capacity, 1.2 * capacity], Some(capacity))
+        }
+    };
+
+    let mut report = JsonObject::new().field(
+        "config",
+        JsonObject::new()
+            .field("partitions", args.partitions)
+            .field("nodes_per_partition", args.nodes)
+            .field("connections", args.connections)
+            .field("duration_ms", args.duration_ms)
+            .field("seed", args.seed)
+            .field("workload", "hospital (20% read-only, zipf 0.9)"),
+    );
+    if let Some(capacity) = calibrated {
+        report = report.field(
+            "calibration",
+            JsonObject::new().field("sustained_committed_per_sec", JsonValue::Float(capacity, 1)),
+        );
+    }
+    for (i, &rate) in rates.iter().enumerate() {
+        eprintln!(
+            "threev-load: measuring {rate:.0} tps for {}ms...",
+            args.duration_ms
+        );
+        let r = run_rate(&args, rate, duration)?;
+        eprintln!(
+            "threev-load:   committed/s={:.1} p50={}us p99={}us p999={}us busy={}",
+            r.committed_per_sec, r.p50_us, r.p99_us, r.p999_us, r.busy
+        );
+        let label = match (calibrated.is_some(), i) {
+            (true, 0) => "below_saturation".to_string(),
+            (true, 1) => "at_saturation".to_string(),
+            _ => format!("rate_{i}"),
+        };
+        report = report.field(label, rate_section(rate, &r));
+    }
+
+    if args.write_report && args.addr.is_none() {
+        write_bench_report("server", &report); // prints the path it wrote
+    } else {
+        println!("{}", report.render());
+    }
+    Ok(())
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("--addr {addr:?}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("--addr {addr:?} resolved to nothing"))
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("threev-load: {msg}");
+        exit(2);
+    }
+}

@@ -1,0 +1,210 @@
+//! The blocking client library.
+//!
+//! One [`Client`] wraps one TCP connection. `connect` performs the
+//! `Hello` negotiation; every method then sends one request frame and
+//! blocks for its response frame. The server processes each connection's
+//! requests in order, so a single `Client` behaves like a synchronous
+//! remote handle on the engine; open more connections for concurrency.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use threev_model::{Key, TxnId, TxnPlan, VersionNo};
+
+use crate::proto::{
+    read_frame, write_frame, FrameError, ReadResult, Request, Response, ServerStats,
+    PROTOCOL_VERSION,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, send, or receive).
+    Io(std::io::Error),
+    /// The server's bytes do not form a valid frame/response.
+    Wire(threev_storage::wire::WireError),
+    /// The server refused the request under backpressure; retry later.
+    Busy,
+    /// The server answered with a typed error (see `proto::codes`).
+    Server {
+        /// One of `proto::codes`.
+        code: u8,
+        /// Server-side detail.
+        message: String,
+    },
+    /// The server answered with a response of the wrong kind.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o failed: {e}"),
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Busy => write!(f, "server is busy"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<threev_storage::wire::WireError> for ClientError {
+    fn from(e: threev_storage::wire::WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Wire(e) => ClientError::Wire(e),
+        }
+    }
+}
+
+/// The result of one submitted transaction, client-side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// Id the server assigned.
+    pub txn: TxnId,
+    /// Did the whole tree commit?
+    pub committed: bool,
+    /// Version the transaction executed in.
+    pub version: Option<VersionNo>,
+}
+
+/// A negotiated connection to a `threev-server`.
+pub struct Client {
+    stream: TcpStream,
+    version: u16,
+}
+
+impl Client {
+    /// Connect and negotiate the protocol version.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client { stream, version: 0 };
+        let resp = client.round_trip(&Request::Hello {
+            min_version: PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION,
+        })?;
+        match resp {
+            Response::HelloOk { version } => {
+                client.version = version;
+                Ok(client)
+            }
+            other => Err(unexpected(other, "HelloOk")),
+        }
+    }
+
+    /// The negotiated protocol version.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Bound how long any single call may block on the socket.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Submit one transaction plan and wait for its outcome.
+    pub fn submit(&mut self, plan: &TxnPlan) -> Result<SubmitOutcome, ClientError> {
+        match self.round_trip(&Request::Submit { plan: plan.clone() })? {
+            Response::TxnDone {
+                txn,
+                committed,
+                version,
+            } => Ok(SubmitOutcome {
+                txn,
+                committed,
+                version,
+            }),
+            other => Err(unexpected(other, "TxnDone")),
+        }
+    }
+
+    /// Read the transaction-visible values of `keys`.
+    pub fn read(&mut self, keys: &[Key]) -> Result<Vec<ReadResult>, ClientError> {
+        match self.round_trip(&Request::Read {
+            keys: keys.to_vec(),
+        })? {
+            Response::ReadOk { reads } => Ok(reads),
+            other => Err(unexpected(other, "ReadOk")),
+        }
+    }
+
+    /// Fetch server counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::StatsOk { stats } => Ok(stats),
+            other => Err(unexpected(other, "StatsOk")),
+        }
+    }
+
+    /// Ask for one advancement round.
+    pub fn trigger_advancement(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::TriggerAdvancement)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other, "Ok")),
+        }
+    }
+
+    /// Fetch the committed-store fingerprint `(hash, nodes, keys)`.
+    pub fn fingerprint(&mut self) -> Result<(u64, u32, u64), ClientError> {
+        match self.round_trip(&Request::Fingerprint)? {
+            Response::FingerprintOk { hash, nodes, keys } => Ok((hash, nodes, keys)),
+            other => Err(unexpected(other, "FingerprintOk")),
+        }
+    }
+
+    /// Hold the engine thread for `millis` (test servers only).
+    pub fn stall(&mut self, millis: u32) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Stall { millis })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other, "Ok")),
+        }
+    }
+
+    /// Ask the server to drain, checkpoint, and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other, "Ok")),
+        }
+    }
+
+    /// Send one request frame and read its response frame.
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let frame = request.encode()?;
+        write_frame(&mut self.stream, &frame)?;
+        match read_frame(&mut self.stream)? {
+            Some((kind, payload)) => Ok(Response::decode(kind, &payload)?),
+            None => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+        }
+    }
+}
+
+fn unexpected(resp: Response, wanted: &'static str) -> ClientError {
+    match resp {
+        Response::Busy => ClientError::Busy,
+        Response::Error { code, message } => ClientError::Server { code, message },
+        _ => ClientError::Protocol(wanted),
+    }
+}

@@ -1,0 +1,613 @@
+//! The client protocol: typed requests/responses over checksummed frames.
+//!
+//! Every message is one frame (see `threev_storage::wire`): a 16-byte
+//! header — magic, protocol version, message kind, payload length, FNV-1a
+//! payload checksum — followed by the payload. Payload field layouts reuse
+//! the storage crate's `ByteWriter`/`ByteReader` codec, so the message
+//! plane and the durability plane share one framing discipline.
+//!
+//! Decoding **degrades, never panics**: any truncation, bit flip, unknown
+//! tag, oversized length, or trailing byte surfaces as a `WireError`,
+//! which the server answers with a typed [`Response::Error`] before
+//! closing the connection.
+//!
+//! A connection starts with version negotiation: the client's first frame
+//! must be [`Request::Hello`] carrying the inclusive version range it
+//! speaks; the server answers [`Response::HelloOk`] with the version it
+//! picked (currently always [`PROTOCOL_VERSION`]) or rejects the
+//! connection.
+
+use std::io::{Read, Write};
+
+use threev_model::{Key, TxnId, TxnPlan, Value, VersionNo};
+use threev_storage::wire::{
+    decode_frame_header, encode_frame, verify_frame_payload, ByteReader, ByteWriter, WireError,
+    FRAME_HEADER_LEN,
+};
+
+/// The one protocol version this build speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Typed error codes carried by [`Response::Error`].
+pub mod codes {
+    /// Frame or payload failed to decode.
+    pub const MALFORMED: u8 = 1;
+    /// Submitted plan failed validation (kind mismatch, unknown node, …).
+    pub const INVALID_PLAN: u8 = 2;
+    /// A read named a key outside the schema.
+    pub const UNKNOWN_KEY: u8 = 3;
+    /// No overlap between client and server version ranges.
+    pub const UNSUPPORTED_VERSION: u8 = 4;
+    /// Out-of-order protocol use (e.g. a request before `Hello`).
+    pub const PROTOCOL_VIOLATION: u8 = 5;
+    /// `Stall` sent to a server that does not allow it.
+    pub const STALL_DISABLED: u8 = 6;
+    /// The server is draining for shutdown.
+    pub const SHUTTING_DOWN: u8 = 7;
+    /// The engine failed internally (should not happen; reported, not
+    /// panicked).
+    pub const INTERNAL: u8 = 8;
+}
+
+// Frame kinds. Requests are < 0x80, responses have the high bit set.
+const K_HELLO: u8 = 0x01;
+const K_SUBMIT: u8 = 0x02;
+const K_READ: u8 = 0x03;
+const K_STATS: u8 = 0x04;
+const K_ADVANCE: u8 = 0x05;
+const K_FINGERPRINT: u8 = 0x06;
+const K_STALL: u8 = 0x07;
+const K_SHUTDOWN: u8 = 0x08;
+const K_HELLO_OK: u8 = 0x81;
+const K_TXN_DONE: u8 = 0x82;
+const K_READ_OK: u8 = 0x83;
+const K_STATS_OK: u8 = 0x84;
+const K_OK: u8 = 0x85;
+const K_FINGERPRINT_OK: u8 = 0x86;
+const K_BUSY: u8 = 0x87;
+const K_ERROR: u8 = 0x88;
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Version negotiation; must be the first frame on a connection.
+    Hello {
+        /// Lowest protocol version the client speaks.
+        min_version: u16,
+        /// Highest protocol version the client speaks.
+        max_version: u16,
+    },
+    /// Submit one transaction plan for execution.
+    Submit {
+        /// The plan, validated server-side against its declared kind.
+        plan: TxnPlan,
+    },
+    /// Read the transaction-visible values of `keys` (a read-only txn).
+    Read {
+        /// Keys to read; duplicates are deduplicated server-side.
+        keys: Vec<Key>,
+    },
+    /// Fetch server counters.
+    Stats,
+    /// Ask every partition's coordinator for one version advancement.
+    TriggerAdvancement,
+    /// Fetch the committed-store fingerprint (see `Engine::fingerprint`).
+    Fingerprint,
+    /// Hold the engine thread for `millis` — a test/harness hook for
+    /// exercising backpressure deterministically. Rejected unless the
+    /// server was configured with `allow_stall`.
+    Stall {
+        /// Milliseconds to sleep on the engine thread.
+        millis: u32,
+    },
+    /// Drain, checkpoint, and exit.
+    Shutdown,
+}
+
+/// One answered read: mirrors `threev_analysis::ReadObservation`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadResult {
+    /// Key read.
+    pub key: Key,
+    /// Version the store served.
+    pub version: Option<VersionNo>,
+    /// Value snapshot.
+    pub value: Value,
+}
+
+/// Server counters reported by [`Response::StatsOk`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Update transactions accepted (committed + aborted + in flight).
+    pub submitted: u64,
+    /// Update transactions committed.
+    pub committed: u64,
+    /// Update transactions aborted.
+    pub aborted: u64,
+    /// Read-only transactions served.
+    pub reads_served: u64,
+    /// Advancement rounds triggered (each asks every partition).
+    pub advancements: u64,
+    /// Requests refused with [`Response::Busy`].
+    pub busy_rejections: u64,
+    /// Messages shuttled across partition boundaries.
+    pub cross_messages: u64,
+    /// Engine virtual time in microseconds.
+    pub virtual_now_us: u64,
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Version negotiation succeeded.
+    HelloOk {
+        /// The version the server picked from the client's range.
+        version: u16,
+    },
+    /// A submitted transaction finished.
+    TxnDone {
+        /// Id the server assigned.
+        txn: TxnId,
+        /// Did the whole tree commit?
+        committed: bool,
+        /// Version the transaction executed in.
+        version: Option<VersionNo>,
+    },
+    /// A read-only transaction finished.
+    ReadOk {
+        /// One result per (deduplicated) requested key, in request order.
+        reads: Vec<ReadResult>,
+    },
+    /// Server counters.
+    StatsOk {
+        /// The counters.
+        stats: ServerStats,
+    },
+    /// Generic success (advancement, stall, shutdown).
+    Ok,
+    /// Committed-store fingerprint.
+    FingerprintOk {
+        /// FNV-1a hash of the canonical store dump.
+        hash: u64,
+        /// Database nodes covered.
+        nodes: u32,
+        /// Total keys across all stores.
+        keys: u64,
+    },
+    /// Backpressure: the engine queue is full; retry later.
+    Busy,
+    /// Typed failure; see [`codes`].
+    Error {
+        /// One of [`codes`].
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Request {
+    fn kind(&self) -> u8 {
+        match self {
+            Request::Hello { .. } => K_HELLO,
+            Request::Submit { .. } => K_SUBMIT,
+            Request::Read { .. } => K_READ,
+            Request::Stats => K_STATS,
+            Request::TriggerAdvancement => K_ADVANCE,
+            Request::Fingerprint => K_FINGERPRINT,
+            Request::Stall { .. } => K_STALL,
+            Request::Shutdown => K_SHUTDOWN,
+        }
+    }
+
+    /// Encode into one full frame (header + payload).
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut w = ByteWriter::new();
+        match self {
+            Request::Hello {
+                min_version,
+                max_version,
+            } => {
+                w.u16(*min_version);
+                w.u16(*max_version);
+            }
+            Request::Submit { plan } => w.txn_plan(plan),
+            Request::Read { keys } => {
+                w.len(keys.len());
+                for k in keys {
+                    w.key(*k);
+                }
+            }
+            Request::Stats
+            | Request::TriggerAdvancement
+            | Request::Fingerprint
+            | Request::Shutdown => {}
+            Request::Stall { millis } => w.u32(*millis),
+        }
+        encode_frame(PROTOCOL_VERSION, self.kind(), &w.into_bytes())
+    }
+
+    /// Decode from a verified frame's kind + payload.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = ByteReader::new(payload);
+        let req = match kind {
+            K_HELLO => Request::Hello {
+                min_version: r.u16()?,
+                max_version: r.u16()?,
+            },
+            K_SUBMIT => Request::Submit {
+                plan: r.txn_plan()?,
+            },
+            K_READ => {
+                let n = r.read_len()?;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(r.key()?);
+                }
+                Request::Read { keys }
+            }
+            K_STATS => Request::Stats,
+            K_ADVANCE => Request::TriggerAdvancement,
+            K_FINGERPRINT => Request::Fingerprint,
+            K_STALL => Request::Stall { millis: r.u32()? },
+            K_SHUTDOWN => Request::Shutdown,
+            _ => return Err(WireError("unknown request kind")),
+        };
+        if !r.is_exhausted() {
+            return Err(WireError("trailing bytes in request payload"));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    fn kind(&self) -> u8 {
+        match self {
+            Response::HelloOk { .. } => K_HELLO_OK,
+            Response::TxnDone { .. } => K_TXN_DONE,
+            Response::ReadOk { .. } => K_READ_OK,
+            Response::StatsOk { .. } => K_STATS_OK,
+            Response::Ok => K_OK,
+            Response::FingerprintOk { .. } => K_FINGERPRINT_OK,
+            Response::Busy => K_BUSY,
+            Response::Error { .. } => K_ERROR,
+        }
+    }
+
+    /// Encode into one full frame (header + payload).
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut w = ByteWriter::new();
+        match self {
+            Response::HelloOk { version } => w.u16(*version),
+            Response::TxnDone {
+                txn,
+                committed,
+                version,
+            } => {
+                w.txn(*txn);
+                w.u8(u8::from(*committed));
+                match version {
+                    None => w.u8(0),
+                    Some(v) => {
+                        w.u8(1);
+                        w.version(*v);
+                    }
+                }
+            }
+            Response::ReadOk { reads } => {
+                w.len(reads.len());
+                for rr in reads {
+                    w.key(rr.key);
+                    match rr.version {
+                        None => w.u8(0),
+                        Some(v) => {
+                            w.u8(1);
+                            w.version(v);
+                        }
+                    }
+                    w.value(&rr.value);
+                }
+            }
+            Response::StatsOk { stats } => {
+                w.u64(stats.submitted);
+                w.u64(stats.committed);
+                w.u64(stats.aborted);
+                w.u64(stats.reads_served);
+                w.u64(stats.advancements);
+                w.u64(stats.busy_rejections);
+                w.u64(stats.cross_messages);
+                w.u64(stats.virtual_now_us);
+            }
+            Response::Ok | Response::Busy => {}
+            Response::FingerprintOk { hash, nodes, keys } => {
+                w.u64(*hash);
+                w.u32(*nodes);
+                w.u64(*keys);
+            }
+            Response::Error { code, message } => {
+                w.u8(*code);
+                w.str(message);
+            }
+        }
+        encode_frame(PROTOCOL_VERSION, self.kind(), &w.into_bytes())
+    }
+
+    /// Decode from a verified frame's kind + payload.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = ByteReader::new(payload);
+        let resp = match kind {
+            K_HELLO_OK => Response::HelloOk { version: r.u16()? },
+            K_TXN_DONE => {
+                let txn = r.txn()?;
+                let committed = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError("bad committed flag")),
+                };
+                let version = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.version()?),
+                    _ => return Err(WireError("bad version option tag")),
+                };
+                Response::TxnDone {
+                    txn,
+                    committed,
+                    version,
+                }
+            }
+            K_READ_OK => {
+                let n = r.read_len()?;
+                let mut reads = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key = r.key()?;
+                    let version = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.version()?),
+                        _ => return Err(WireError("bad version option tag")),
+                    };
+                    let value = r.value()?;
+                    reads.push(ReadResult {
+                        key,
+                        version,
+                        value,
+                    });
+                }
+                Response::ReadOk { reads }
+            }
+            K_STATS_OK => Response::StatsOk {
+                stats: ServerStats {
+                    submitted: r.u64()?,
+                    committed: r.u64()?,
+                    aborted: r.u64()?,
+                    reads_served: r.u64()?,
+                    advancements: r.u64()?,
+                    busy_rejections: r.u64()?,
+                    cross_messages: r.u64()?,
+                    virtual_now_us: r.u64()?,
+                },
+            },
+            K_OK => Response::Ok,
+            K_FINGERPRINT_OK => Response::FingerprintOk {
+                hash: r.u64()?,
+                nodes: r.u32()?,
+                keys: r.u64()?,
+            },
+            K_BUSY => Response::Busy,
+            K_ERROR => Response::Error {
+                code: r.u8()?,
+                message: r.str()?,
+            },
+            _ => return Err(WireError("unknown response kind")),
+        };
+        if !r.is_exhausted() {
+            return Err(WireError("trailing bytes in response payload"));
+        }
+        Ok(resp)
+    }
+}
+
+/// Write one already-encoded frame and flush it.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> std::io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Read one frame with plain blocking semantics: `Ok(None)` on a clean
+/// EOF at a frame boundary; mid-frame EOF, bad headers, and checksum
+/// mismatches are `WireError`s. Used by the client library; the server
+/// side layers timeouts on top (see `server::read_frame_polling`).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+    let mut header_buf = [0u8; FRAME_HEADER_LEN];
+    let mut got = 0;
+    while got < header_buf.len() {
+        match r.read(&mut header_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Wire(WireError("connection closed mid-frame"))),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let header = decode_frame_header(&header_buf)?;
+    let mut payload = vec![0u8; header.payload_len];
+    let mut got = 0;
+    while got < payload.len() {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(FrameError::Wire(WireError("connection closed mid-frame"))),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    verify_frame_payload(&header, &payload)?;
+    if header.version != PROTOCOL_VERSION {
+        return Err(FrameError::Wire(WireError("unsupported frame version")));
+    }
+    Ok(Some((header.kind, payload)))
+}
+
+/// Failure while reading a frame off a stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport-level failure.
+    Io(std::io::Error),
+    /// The bytes arrived but do not form a valid frame.
+    Wire(WireError),
+}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o failed: {e}"),
+            FrameError::Wire(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threev_model::{NodeId, SubtxnPlan, UpdateOp};
+
+    fn plan() -> TxnPlan {
+        TxnPlan::commuting(
+            SubtxnPlan::new(NodeId(0))
+                .update(Key(1), UpdateOp::Add(5))
+                .child(
+                    SubtxnPlan::new(NodeId(3))
+                        .update(Key(9), UpdateOp::Append { amount: 2, tag: 7 }),
+                ),
+        )
+    }
+
+    fn round_trip_request(req: Request) {
+        let frame = req.encode().unwrap();
+        let (header, payload) = threev_storage::wire::decode_frame(&frame).unwrap();
+        assert_eq!(Request::decode(header.kind, payload).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let frame = resp.encode().unwrap();
+        let (header, payload) = threev_storage::wire::decode_frame(&frame).unwrap();
+        assert_eq!(Response::decode(header.kind, payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Hello {
+            min_version: 1,
+            max_version: 3,
+        });
+        round_trip_request(Request::Submit { plan: plan() });
+        round_trip_request(Request::Read {
+            keys: vec![Key(1), Key(2), Key(u64::MAX)],
+        });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::TriggerAdvancement);
+        round_trip_request(Request::Fingerprint);
+        round_trip_request(Request::Stall { millis: 250 });
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::HelloOk { version: 1 });
+        round_trip_response(Response::TxnDone {
+            txn: TxnId::new(42, NodeId(3)),
+            committed: true,
+            version: Some(VersionNo(7)),
+        });
+        round_trip_response(Response::TxnDone {
+            txn: TxnId::new(0, NodeId(0)),
+            committed: false,
+            version: None,
+        });
+        round_trip_response(Response::ReadOk {
+            reads: vec![
+                ReadResult {
+                    key: Key(1),
+                    version: Some(VersionNo(2)),
+                    value: Value::Counter(-5),
+                },
+                ReadResult {
+                    key: Key(2),
+                    version: None,
+                    value: Value::Register(9),
+                },
+            ],
+        });
+        round_trip_response(Response::StatsOk {
+            stats: ServerStats {
+                submitted: 1,
+                committed: 2,
+                aborted: 3,
+                reads_served: 4,
+                advancements: 5,
+                busy_rejections: 6,
+                cross_messages: 7,
+                virtual_now_us: 8,
+            },
+        });
+        round_trip_response(Response::Ok);
+        round_trip_response(Response::FingerprintOk {
+            hash: u64::MAX,
+            nodes: 8,
+            keys: 4096,
+        });
+        round_trip_response(Response::Busy);
+        round_trip_response(Response::Error {
+            code: codes::INVALID_PLAN,
+            message: "plan has no steps".to_string(),
+        });
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        let frame = Request::Stats.encode().unwrap();
+        let (header, _) = threev_storage::wire::decode_frame(&frame).unwrap();
+        assert_eq!(
+            Request::decode(header.kind, &[0]),
+            Err(WireError("trailing bytes in request payload"))
+        );
+        assert_eq!(
+            Response::decode(K_OK, &[0]),
+            Err(WireError("trailing bytes in response payload"))
+        );
+    }
+
+    #[test]
+    fn unknown_kinds_rejected() {
+        assert!(Request::decode(0x7F, &[]).is_err());
+        assert!(Response::decode(0xFF, &[]).is_err());
+    }
+
+    #[test]
+    fn read_frame_round_trips_over_a_cursor() {
+        let frame = Request::Fingerprint.encode().unwrap();
+        let mut cursor = std::io::Cursor::new(frame);
+        let (kind, payload) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(
+            Request::decode(kind, &payload).unwrap(),
+            Request::Fingerprint
+        );
+        // Clean EOF at the boundary.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn read_frame_rejects_mid_frame_eof() {
+        let frame = Request::Stall { millis: 9 }.encode().unwrap();
+        let mut cursor = std::io::Cursor::new(frame[..frame.len() - 1].to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Wire(WireError("connection closed mid-frame")))
+        ));
+    }
+}

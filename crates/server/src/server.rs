@@ -1,0 +1,594 @@
+//! The TCP server: one acceptor, a bounded worker pool, one engine thread.
+//!
+//! Threads and their channels:
+//!
+//! * the **acceptor** owns the listener and hands accepted connections to
+//!   the worker pool over an MPMC channel;
+//! * **workers** (fixed pool) each drive one connection at a time: framed
+//!   reads with an idle deadline (half-open connections are reaped),
+//!   protocol-state checks (`Hello` first), and forwarding to the engine;
+//! * the **engine thread** owns the [`Engine`] and executes commands
+//!   strictly one at a time — the deterministic heart of the server.
+//!
+//! Backpressure contract: at most `queue_capacity` commands may be queued
+//! for the engine at once (admission by compare-and-swap on a shared
+//! counter, decremented when the engine *dequeues* — the counter measures
+//! queue occupancy, not service time). A connection that finds the queue
+//! full gets a typed [`Response::Busy`] immediately and keeps its
+//! connection; the client decides whether to retry. Nothing ever blocks
+//! the acceptor on the engine.
+//!
+//! Graceful shutdown: a `Shutdown` request (or
+//! [`ServerHandle::request_shutdown`]) flips the shared flag. The
+//! acceptor stops accepting, workers finish their current connection,
+//! and the engine drains its queue — answering stragglers with
+//! `SHUTTING_DOWN` — runs one final advancement round (so paged backends
+//! checkpoint their committed state), and exits.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use threev_storage::wire::{decode_frame_header, verify_frame_payload, FRAME_HEADER_LEN};
+
+use crate::engine::{Engine, EngineError};
+use crate::proto::{codes, Request, Response, PROTOCOL_VERSION};
+
+/// How long the blocking primitives sleep between checks of the shutdown
+/// flag. Bounds shutdown latency, not correctness.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Server knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests).
+    pub addr: String,
+    /// Worker pool size — the number of connections served concurrently.
+    pub workers: usize,
+    /// Engine queue bound; requests beyond it are answered [`Response::Busy`].
+    pub queue_capacity: usize,
+    /// Reap a connection that sends no byte for this long.
+    pub idle_timeout: Duration,
+    /// Honour [`Request::Stall`] (tests/harness only); otherwise it is
+    /// refused with [`codes::STALL_DISABLED`].
+    pub allow_stall: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            idle_timeout: Duration::from_secs(30),
+            allow_stall: false,
+        }
+    }
+}
+
+/// One queued unit of engine work.
+struct Command {
+    request: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// A running server: the bound address plus the thread handles.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the server to drain and exit (same effect as a `Shutdown`
+    /// request over the wire).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for every server thread to exit.
+    pub fn join(self) -> std::io::Result<()> {
+        for t in self.threads {
+            if t.join().is_err() {
+                return Err(std::io::Error::other("server thread panicked"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Start serving `engine` per `cfg`. Returns once the listener is bound;
+/// the server runs on background threads until shut down.
+pub fn serve(engine: Engine, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let busy_rejections = Arc::new(AtomicU64::new(0));
+    let (cmd_tx, cmd_rx) = unbounded::<Command>();
+    let (conn_tx, conn_rx) = unbounded::<TcpStream>();
+
+    let mut threads = Vec::with_capacity(cfg.workers + 2);
+
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let inflight = Arc::clone(&inflight);
+        let busy = Arc::clone(&busy_rejections);
+        threads.push(
+            std::thread::Builder::new()
+                .name("threev-engine".to_string())
+                .spawn(move || engine_loop(engine, cmd_rx, &inflight, &busy, &shutdown))?,
+        );
+    }
+
+    for i in 0..cfg.workers.max(1) {
+        let conn_rx = conn_rx.clone();
+        let cmd_tx = cmd_tx.clone();
+        let shutdown = Arc::clone(&shutdown);
+        let inflight = Arc::clone(&inflight);
+        let busy = Arc::clone(&busy_rejections);
+        let cfg = cfg.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("threev-worker-{i}"))
+                .spawn(move || worker_loop(&conn_rx, &cmd_tx, &inflight, &busy, &shutdown, &cfg))?,
+        );
+    }
+
+    {
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name("threev-acceptor".to_string())
+                .spawn(move || acceptor_loop(&listener, &conn_tx, &shutdown))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        threads,
+    })
+}
+
+fn acceptor_loop(listener: &TcpListener, conn_tx: &Sender<TcpStream>, shutdown: &AtomicBool) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return; // dropping conn_tx lets idle workers drain out
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // A dead worker pool means shutdown already started.
+                if conn_tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_TICK);
+            }
+            // Transient accept errors (e.g. the peer reset before we got
+            // to it) are not fatal to the listener.
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+}
+
+fn worker_loop(
+    conn_rx: &Receiver<TcpStream>,
+    cmd_tx: &Sender<Command>,
+    inflight: &AtomicUsize,
+    busy: &AtomicU64,
+    shutdown: &AtomicBool,
+    cfg: &ServerConfig,
+) {
+    loop {
+        match conn_rx.recv_timeout(POLL_TICK) {
+            Ok(stream) => handle_conn(stream, cmd_tx, inflight, busy, shutdown, cfg),
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Outcome of one framed read attempt on a connection.
+enum ConnRead {
+    Frame(u8, Vec<u8>),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// No byte for `idle_timeout` — a half-open or abandoned connection.
+    Idle,
+    /// The server is shutting down.
+    Shutdown,
+    /// The bytes do not form a valid frame.
+    Malformed(&'static str),
+    /// Transport failure (reset, broken pipe, …).
+    Io,
+}
+
+/// Read one frame with 100ms poll ticks so the idle deadline and the
+/// shutdown flag are both honoured even while blocked. Receiving any byte
+/// resets the idle deadline; a connection that goes quiet *mid-frame* is
+/// reaped just like one that never speaks.
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+    idle_timeout: Duration,
+) -> ConnRead {
+    let mut buf: Vec<u8> = Vec::with_capacity(FRAME_HEADER_LEN);
+    let mut need = FRAME_HEADER_LEN;
+    let mut header = None;
+    let mut last_byte = Instant::now();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return ConnRead::Shutdown;
+        }
+        if last_byte.elapsed() >= idle_timeout {
+            return ConnRead::Idle;
+        }
+        let start = buf.len();
+        buf.resize(need, 0);
+        match std::io::Read::read(stream, &mut buf[start..]) {
+            Ok(0) => {
+                return if start == 0 && header.is_none() {
+                    ConnRead::Eof
+                } else {
+                    ConnRead::Malformed("connection closed mid-frame")
+                };
+            }
+            Ok(n) => {
+                buf.truncate(start + n);
+                last_byte = Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                buf.truncate(start);
+                continue;
+            }
+            Err(_) => return ConnRead::Io,
+        }
+        if buf.len() < need {
+            continue;
+        }
+        match header {
+            None => match decode_frame_header(&buf) {
+                Ok(h) => {
+                    if h.version != PROTOCOL_VERSION {
+                        return ConnRead::Malformed("unsupported frame version");
+                    }
+                    if h.payload_len == 0 {
+                        return match verify_frame_payload(&h, &[]) {
+                            Ok(()) => ConnRead::Frame(h.kind, Vec::new()),
+                            Err(e) => ConnRead::Malformed(e.0),
+                        };
+                    }
+                    need = h.payload_len;
+                    header = Some(h);
+                    buf.clear();
+                }
+                Err(e) => return ConnRead::Malformed(e.0),
+            },
+            Some(ref h) => {
+                return match verify_frame_payload(h, &buf) {
+                    Ok(()) => ConnRead::Frame(h.kind, buf),
+                    Err(e) => ConnRead::Malformed(e.0),
+                };
+            }
+        }
+    }
+}
+
+/// Encode and send one response; `false` means the connection is gone.
+fn send_response(stream: &mut TcpStream, resp: &Response) -> bool {
+    let frame = match resp.encode() {
+        Ok(f) => f,
+        Err(e) => {
+            // Response too large to frame — degrade to a typed error.
+            let fallback = Response::Error {
+                code: codes::INTERNAL,
+                message: format!("response unencodable: {e}"),
+            };
+            match fallback.encode() {
+                Ok(f) => f,
+                Err(_) => return false,
+            }
+        }
+    };
+    stream.write_all(&frame).is_ok() && stream.flush().is_ok()
+}
+
+/// Close after a terminal error response without losing it: an abrupt
+/// close with unread bytes in the kernel buffer turns into a TCP RST
+/// that can discard the response in flight. Send FIN first, then drain
+/// briefly until the peer closes.
+fn close_gracefully(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut sink = [0u8; 1024];
+    for _ in 0..20 {
+        match std::io::Read::read(stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn handle_conn(
+    mut stream: TcpStream,
+    cmd_tx: &Sender<Command>,
+    inflight: &AtomicUsize,
+    busy: &AtomicU64,
+    shutdown: &AtomicBool,
+    cfg: &ServerConfig,
+) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut greeted = false;
+    loop {
+        let (kind, payload) = match read_frame_polling(&mut stream, shutdown, cfg.idle_timeout) {
+            ConnRead::Frame(k, p) => (k, p),
+            ConnRead::Eof | ConnRead::Idle | ConnRead::Io => return,
+            ConnRead::Shutdown => {
+                let _ = send_response(
+                    &mut stream,
+                    &Response::Error {
+                        code: codes::SHUTTING_DOWN,
+                        message: "server is draining".to_string(),
+                    },
+                );
+                close_gracefully(&mut stream);
+                return;
+            }
+            ConnRead::Malformed(msg) => {
+                let _ = send_response(
+                    &mut stream,
+                    &Response::Error {
+                        code: codes::MALFORMED,
+                        message: msg.to_string(),
+                    },
+                );
+                close_gracefully(&mut stream);
+                return;
+            }
+        };
+        let request = match Request::decode(kind, &payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = send_response(
+                    &mut stream,
+                    &Response::Error {
+                        code: codes::MALFORMED,
+                        message: e.0.to_string(),
+                    },
+                );
+                close_gracefully(&mut stream);
+                return;
+            }
+        };
+        let response = match (&request, greeted) {
+            (
+                Request::Hello {
+                    min_version,
+                    max_version,
+                },
+                false,
+            ) => {
+                if *min_version <= PROTOCOL_VERSION && PROTOCOL_VERSION <= *max_version {
+                    greeted = true;
+                    Response::HelloOk {
+                        version: PROTOCOL_VERSION,
+                    }
+                } else {
+                    let resp = Response::Error {
+                        code: codes::UNSUPPORTED_VERSION,
+                        message: format!(
+                            "server speaks only version {PROTOCOL_VERSION}, \
+                             client offered [{min_version}, {max_version}]"
+                        ),
+                    };
+                    let _ = send_response(&mut stream, &resp);
+                    close_gracefully(&mut stream);
+                    return;
+                }
+            }
+            (Request::Hello { .. }, true) | (_, false) => {
+                let resp = Response::Error {
+                    code: codes::PROTOCOL_VIOLATION,
+                    message: "a connection starts with exactly one Hello".to_string(),
+                };
+                let _ = send_response(&mut stream, &resp);
+                close_gracefully(&mut stream);
+                return;
+            }
+            (Request::Stall { .. }, true) if !cfg.allow_stall => Response::Error {
+                code: codes::STALL_DISABLED,
+                message: "this server does not allow Stall".to_string(),
+            },
+            (_, true) => dispatch(&request, cmd_tx, inflight, busy, shutdown, cfg),
+        };
+        if !send_response(&mut stream, &response) {
+            return;
+        }
+        if matches!(response, Response::Error { code, .. } if code == codes::SHUTTING_DOWN) {
+            close_gracefully(&mut stream);
+            return;
+        }
+    }
+}
+
+/// Admission control + forwarding to the engine thread.
+fn dispatch(
+    request: &Request,
+    cmd_tx: &Sender<Command>,
+    inflight: &AtomicUsize,
+    busy: &AtomicU64,
+    shutdown: &AtomicBool,
+    cfg: &ServerConfig,
+) -> Response {
+    if shutdown.load(Ordering::SeqCst) {
+        return Response::Error {
+            code: codes::SHUTTING_DOWN,
+            message: "server is draining".to_string(),
+        };
+    }
+    // Reserve a queue slot: CAS keeps occupancy at or below the bound even
+    // under concurrent admissions.
+    loop {
+        let cur = inflight.load(Ordering::SeqCst);
+        if cur >= cfg.queue_capacity {
+            busy.fetch_add(1, Ordering::SeqCst);
+            return Response::Busy;
+        }
+        if inflight
+            .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            break;
+        }
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if cmd_tx
+        .send(Command {
+            request: request.clone(),
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        inflight.fetch_sub(1, Ordering::SeqCst);
+        return Response::Error {
+            code: codes::SHUTTING_DOWN,
+            message: "engine has exited".to_string(),
+        };
+    }
+    match reply_rx.recv() {
+        Ok(resp) => resp,
+        Err(_) => Response::Error {
+            code: codes::SHUTTING_DOWN,
+            message: "engine dropped the request during shutdown".to_string(),
+        },
+    }
+}
+
+fn engine_loop(
+    mut engine: Engine,
+    cmd_rx: Receiver<Command>,
+    inflight: &AtomicUsize,
+    busy: &AtomicU64,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        match cmd_rx.recv_timeout(POLL_TICK) {
+            Ok(cmd) => {
+                // The slot frees at dequeue: the bound is queue occupancy.
+                inflight.fetch_sub(1, Ordering::SeqCst);
+                let stop = matches!(cmd.request, Request::Shutdown);
+                let resp = execute(&mut engine, &cmd.request, busy, shutdown);
+                let _ = cmd.reply.send(resp);
+                if stop {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    shutdown.store(true, Ordering::SeqCst);
+    // Drain stragglers that were admitted before the flag flipped.
+    while let Ok(cmd) = cmd_rx.try_recv() {
+        inflight.fetch_sub(1, Ordering::SeqCst);
+        let _ = cmd.reply.send(Response::Error {
+            code: codes::SHUTTING_DOWN,
+            message: "server is draining".to_string(),
+        });
+    }
+    // Final advancement round: paged backends checkpoint the committed
+    // state they would otherwise only flush on the next advancement.
+    engine.trigger_advancement();
+}
+
+fn execute(
+    engine: &mut Engine,
+    request: &Request,
+    busy: &AtomicU64,
+    shutdown: &AtomicBool,
+) -> Response {
+    match request {
+        // Hello and the Stall gate are handled at the connection layer;
+        // reaching here means a worker bug, reported as a violation.
+        Request::Hello { .. } => Response::Error {
+            code: codes::PROTOCOL_VIOLATION,
+            message: "Hello is a connection-layer request".to_string(),
+        },
+        Request::Submit { plan } => match engine.submit(plan) {
+            Ok(out) => Response::TxnDone {
+                txn: out.txn,
+                committed: out.committed,
+                version: out.version,
+            },
+            Err(e) => engine_error(&e),
+        },
+        Request::Read { keys } => match engine.read(keys) {
+            Ok(reads) => Response::ReadOk { reads },
+            Err(e) => engine_error(&e),
+        },
+        Request::Stats => {
+            let mut stats = engine.stats();
+            stats.busy_rejections = busy.load(Ordering::SeqCst);
+            Response::StatsOk { stats }
+        }
+        Request::TriggerAdvancement => {
+            engine.trigger_advancement();
+            Response::Ok
+        }
+        Request::Fingerprint => {
+            let (hash, nodes, keys) = engine.fingerprint_hash();
+            Response::FingerprintOk { hash, nodes, keys }
+        }
+        Request::Stall { millis } => {
+            std::thread::sleep(Duration::from_millis(u64::from(*millis)));
+            Response::Ok
+        }
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            Response::Ok
+        }
+    }
+}
+
+fn engine_error(e: &EngineError) -> Response {
+    let code = match e {
+        EngineError::Submit(_) => codes::INVALID_PLAN,
+        EngineError::UnknownKey(_) => codes::UNKNOWN_KEY,
+        EngineError::RecordMissing(_) => codes::INTERNAL,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}

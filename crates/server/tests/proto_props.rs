@@ -1,0 +1,284 @@
+//! Property suite for the client protocol.
+//!
+//! Two claims, checked over generated inputs:
+//!
+//! 1. **Round-trip**: every request/response the protocol can express
+//!    survives encode → frame-decode → payload-decode unchanged.
+//! 2. **No panic on garbage**: arbitrary byte soup — including
+//!    truncations and bit-flipped corruptions of *valid* frames — either
+//!    decodes or returns a `WireError`. The decoder must degrade, never
+//!    panic, because these bytes arrive from the network.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+use threev_model::{
+    Key, NodeId, OpStep, SubtxnPlan, TxnId, TxnKind, TxnPlan, UpdateOp, Value, VersionNo,
+};
+use threev_server::proto::{codes, ReadResult, Request, Response, ServerStats};
+use threev_storage::wire::decode_frame;
+
+fn key() -> impl Strategy<Value = Key> {
+    (0u64..=u64::MAX).prop_map(Key)
+}
+
+fn node() -> impl Strategy<Value = NodeId> {
+    (0u16..=u16::MAX).prop_map(NodeId)
+}
+
+fn txn_id() -> impl Strategy<Value = TxnId> {
+    ((0u64..=u64::MAX), node()).prop_map(|(seq, origin)| TxnId::new(seq, origin))
+}
+
+fn version() -> impl Strategy<Value = Option<VersionNo>> {
+    prop_oneof![
+        Just(None),
+        (0u32..=u32::MAX).prop_map(|v| Some(VersionNo(v))),
+    ]
+}
+
+fn update_op() -> impl Strategy<Value = UpdateOp> {
+    prop_oneof![
+        (i64::MIN..=i64::MAX).prop_map(UpdateOp::Add),
+        ((i64::MIN..=i64::MAX), (0u32..=u32::MAX))
+            .prop_map(|(amount, tag)| UpdateOp::Append { amount, tag }),
+        ((i64::MIN..=i64::MAX), (0u32..=u32::MAX))
+            .prop_map(|(amount, tag)| UpdateOp::Retract { amount, tag }),
+        (i64::MIN..=i64::MAX).prop_map(UpdateOp::Assign),
+    ]
+}
+
+fn op_step() -> impl Strategy<Value = OpStep> {
+    prop_oneof![
+        key().prop_map(OpStep::Read),
+        (key(), update_op()).prop_map(|(k, op)| OpStep::Update(k, op)),
+    ]
+}
+
+fn leaf_plan() -> impl Strategy<Value = SubtxnPlan> {
+    (node(), vec(op_step(), 0..5)).prop_map(|(n, steps)| {
+        let mut p = SubtxnPlan::new(n);
+        p.steps = steps;
+        p
+    })
+}
+
+/// A subtransaction tree up to three levels deep.
+fn sub_plan() -> impl Strategy<Value = SubtxnPlan> {
+    (
+        leaf_plan(),
+        vec((leaf_plan(), vec(leaf_plan(), 0..3)), 0..3),
+    )
+        .prop_map(|(mut root, children)| {
+            for (mut mid, leaves) in children {
+                for leaf in leaves {
+                    mid.children.push(leaf);
+                }
+                root.children.push(mid);
+            }
+            root
+        })
+}
+
+fn txn_plan() -> impl Strategy<Value = TxnPlan> {
+    (0u8..3, sub_plan()).prop_map(|(kind, root)| TxnPlan {
+        kind: match kind {
+            0 => TxnKind::ReadOnly,
+            1 => TxnKind::Commuting,
+            _ => TxnKind::NonCommuting,
+        },
+        root,
+    })
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (i64::MIN..=i64::MAX).prop_map(Value::Counter),
+        (i64::MIN..=i64::MAX).prop_map(Value::Register),
+        vec((txn_id(), i64::MIN..=i64::MAX, 0u32..=u32::MAX), 0..4).prop_map(|entries| {
+            Value::Journal(
+                entries
+                    .into_iter()
+                    .map(|(txn, amount, tag)| threev_model::JournalEntry { txn, amount, tag })
+                    .collect(),
+            )
+        }),
+    ]
+}
+
+fn read_result() -> impl Strategy<Value = ReadResult> {
+    (key(), version(), value()).prop_map(|(key, version, value)| ReadResult {
+        key,
+        version,
+        value,
+    })
+}
+
+fn message() -> impl Strategy<Value = String> {
+    vec(32u8..127, 0..40).prop_map(|bytes| {
+        bytes.into_iter().map(char::from).collect::<String>() + "·µ€" // non-ASCII survives too
+    })
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        ((0u16..=u16::MAX), (0u16..=u16::MAX)).prop_map(|(min_version, max_version)| {
+            Request::Hello {
+                min_version,
+                max_version,
+            }
+        }),
+        txn_plan().prop_map(|plan| Request::Submit { plan }),
+        vec(key(), 0..8).prop_map(|keys| Request::Read { keys }),
+        Just(Request::Stats),
+        Just(Request::TriggerAdvancement),
+        Just(Request::Fingerprint),
+        (0u32..=u32::MAX).prop_map(|millis| Request::Stall { millis }),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn stats() -> impl Strategy<Value = ServerStats> {
+    (
+        (0u64..=u64::MAX),
+        (0u64..=u64::MAX),
+        (0u64..=u64::MAX),
+        (0u64..=u64::MAX),
+        (0u64..=u64::MAX),
+        (0u64..=u64::MAX),
+        (0u64..=u64::MAX),
+        (0u64..=u64::MAX),
+    )
+        .prop_map(
+            |(
+                submitted,
+                committed,
+                aborted,
+                reads_served,
+                advancements,
+                busy_rejections,
+                cross_messages,
+                virtual_now_us,
+            )| ServerStats {
+                submitted,
+                committed,
+                aborted,
+                reads_served,
+                advancements,
+                busy_rejections,
+                cross_messages,
+                virtual_now_us,
+            },
+        )
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (0u16..=u16::MAX).prop_map(|version| Response::HelloOk { version }),
+        (txn_id(), 0u8..2, version()).prop_map(|(txn, c, version)| Response::TxnDone {
+            txn,
+            committed: c == 1,
+            version,
+        }),
+        vec(read_result(), 0..5).prop_map(|reads| Response::ReadOk { reads }),
+        stats().prop_map(|stats| Response::StatsOk { stats }),
+        Just(Response::Ok),
+        ((0u64..=u64::MAX), (0u32..=u32::MAX), (0u64..=u64::MAX))
+            .prop_map(|(hash, nodes, keys)| Response::FingerprintOk { hash, nodes, keys }),
+        Just(Response::Busy),
+        ((1u8..=8), message()).prop_map(|(code, message)| Response::Error { code, message }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_request_round_trips(req in request()) {
+        let frame = req.encode().expect("generated requests fit the frame bound");
+        let (header, payload) = decode_frame(&frame).expect("self-encoded frame decodes");
+        prop_assert_eq!(Request::decode(header.kind, payload).expect("payload decodes"), req);
+    }
+
+    #[test]
+    fn every_response_round_trips(resp in response()) {
+        let frame = resp.encode().expect("generated responses fit the frame bound");
+        let (header, payload) = decode_frame(&frame).expect("self-encoded frame decodes");
+        prop_assert_eq!(Response::decode(header.kind, payload).expect("payload decodes"), resp);
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_decoder(bytes in vec(0u8..=255, 0..200)) {
+        // Whatever comes back, it must come back as a value, not a panic.
+        if let Ok((header, payload)) = decode_frame(&bytes) {
+            let _ = Request::decode(header.kind, payload);
+            let _ = Response::decode(header.kind, payload);
+        }
+    }
+
+    #[test]
+    fn corrupted_valid_frames_never_panic(req in request(), flips in vec((0u64..=u64::MAX, 0u8..8), 1..6)) {
+        let mut frame = req.encode().expect("encodes");
+        for (pos, bit) in flips {
+            let i = (pos % frame.len() as u64) as usize;
+            frame[i] ^= 1 << bit;
+        }
+        if let Ok((header, payload)) = decode_frame(&frame) {
+            let _ = Request::decode(header.kind, payload);
+        }
+    }
+
+    #[test]
+    fn truncations_of_valid_frames_never_panic(resp in response(), cut in 0u64..=u64::MAX) {
+        let frame = resp.encode().expect("encodes");
+        let len = (cut % frame.len() as u64) as usize;
+        if let Ok((header, payload)) = decode_frame(&frame[..len]) {
+            let _ = Response::decode(header.kind, payload);
+        }
+    }
+}
+
+/// A deterministic brute loop on top of the properties: every single-byte
+/// corruption of one representative frame of *each* kind is fed to the
+/// decoder. Complements the sampled flips above with full coverage of one
+/// exemplar per message.
+#[test]
+fn exhaustive_single_byte_corruption_of_exemplars() {
+    let mut rng = TestRng::with_seed(0xC0_44_07);
+    let exemplars: Vec<Vec<u8>> = vec![
+        request().generate(&mut rng).encode().unwrap(),
+        Request::Stats.encode().unwrap(),
+        Request::Submit {
+            plan: txn_plan().generate(&mut rng),
+        }
+        .encode()
+        .unwrap(),
+        response().generate(&mut rng).encode().unwrap(),
+        Response::Busy.encode().unwrap(),
+        Response::Error {
+            code: codes::MALFORMED,
+            message: "x".into(),
+        }
+        .encode()
+        .unwrap(),
+    ];
+    for frame in exemplars {
+        for i in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[i] ^= 1 << bit;
+                if let Ok((header, payload)) = decode_frame(&bad) {
+                    let _ = Request::decode(header.kind, payload);
+                    let _ = Response::decode(header.kind, payload);
+                }
+            }
+        }
+        for len in 0..frame.len() {
+            if let Ok((header, payload)) = decode_frame(&frame[..len]) {
+                let _ = Request::decode(header.kind, payload);
+                let _ = Response::decode(header.kind, payload);
+            }
+        }
+    }
+}

@@ -32,9 +32,9 @@ use threev_analysis::TxnRecord;
 use threev_core::advance::{AdvancementPolicy, AdvancementRecord, Coordinator};
 use threev_core::client::Arrival;
 use threev_core::cluster::{build_partition_actors, ClusterActor, ClusterConfig, ThreeVConfig};
-use threev_core::msg::Msg;
+use threev_core::msg::{Msg, ProtocolMsg};
 use threev_core::node::{BackendConfig, DurabilityMode, ThreeVNode};
-use threev_model::{NodeId, PartitionId, Schema, Topology};
+use threev_model::{NodeId, PartitionId, PlanError, Schema, Topology, TxnId, TxnPlan};
 use threev_sim::{SimConfig, SimDuration, SimStats, SimTime, Simulation};
 
 /// Configuration of a sharded cluster.
@@ -121,6 +121,30 @@ impl ShardedConfig {
         .topology(self.topology)
     }
 }
+
+/// Why [`ShardedCluster::submit_external`] refused a plan. External
+/// submissions come from outside the pre-validated arrival lists (the
+/// network front end), so every structural defect is reported instead of
+/// asserted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The plan fails [`TxnPlan::validate`] against its declared kind.
+    Invalid(PlanError),
+    /// A subtransaction names a node id outside the topology's database
+    /// nodes (a coordinator, client, gauge, or out-of-range id).
+    UnknownNode(NodeId),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Invalid(e) => write!(f, "invalid plan: {e}"),
+            SubmitError::UnknownNode(n) => write!(f, "plan visits non-database node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// How a [`ShardedCluster::run`] ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -270,6 +294,57 @@ impl ShardedCluster {
             .map(Simulation::now)
             .max()
             .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Is `n` a database node of this topology (not a coordinator, client,
+    /// gauge, or out-of-range id)?
+    fn is_db_node(&self, n: NodeId) -> bool {
+        if threev_model::gauge_peer(n).is_some() {
+            return false;
+        }
+        let p = PartitionId(n.0 / self.topo.stride());
+        p.0 < self.topo.n_partitions()
+            && n.0 - self.topo.base(p).0 < self.topo.nodes_per_partition()
+    }
+
+    /// Submit a transaction from *outside* the arrival lists — the seam
+    /// the network front end drives. The plan is validated, registered
+    /// with the root partition's client actor (so the completion lands in
+    /// a [`TxnRecord`]), and injected as a `Submit` at the current virtual
+    /// time. The caller owns the global `seq` counter; id assignment is
+    /// `TxnId::new(seq, root_node)`, mirroring what the client actor does
+    /// for scheduled arrivals. Run the cluster afterwards to execute it.
+    pub fn submit_external(
+        &mut self,
+        seq: u64,
+        plan: &TxnPlan,
+        fail_node: Option<NodeId>,
+    ) -> Result<TxnId, SubmitError> {
+        plan.validate().map_err(SubmitError::Invalid)?;
+        for n in plan.root.nodes() {
+            if !self.is_db_node(n) {
+                return Err(SubmitError::UnknownNode(n));
+            }
+        }
+        let root = plan.root.node;
+        let p = self.topo.partition_of(root);
+        let client = self.topo.client(p);
+        let txn = TxnId::new(seq, root);
+        let journal_keys = plan.journal_keys();
+        let now = self.now();
+        match self.sims[p.index()].actors_mut().last_mut() {
+            Some(ClusterActor::Client(c)) => c.register_external(txn, plan.kind, now, journal_keys),
+            // lint-allow(panic-hygiene): the client occupies the last
+            // actor slot of every partition block by construction — same
+            // invariant `partition_records` leans on.
+            _ => unreachable!("client occupies the last actor slot of the partition"),
+        }
+        self.sims[p.index()].inject(
+            client,
+            root,
+            Msg::submit(txn, plan.kind, plan.root.clone(), client, fail_node),
+        );
+        Ok(txn)
     }
 
     /// Ask partition `p`'s coordinator for one advancement now.
@@ -610,6 +685,66 @@ mod tests {
             0,
             "advancement of a local-only partition must not message peers"
         );
+    }
+
+    /// An externally injected plan takes the same path as a scheduled
+    /// arrival: same record, same store contents, same commit.
+    #[test]
+    fn external_submission_matches_arrival_run() {
+        let topo = Topology::new(2, 2);
+        let all: Vec<NodeId> = (0..2).flat_map(|p| topo.nodes(PartitionId(p))).collect();
+        let schema = schema(&all);
+        let cross = [topo.nodes(PartitionId(0))[0], topo.nodes(PartitionId(1))[1]];
+        let plan = visit(&cross, 9);
+
+        let run_fp = |cluster: &ShardedCluster| {
+            use std::fmt::Write as _;
+            let mut out = String::new();
+            for r in cluster.partition_records(PartitionId(0)) {
+                let _ = writeln!(out, "{r:?}");
+            }
+            for &id in &cross {
+                let n = cluster.node(id);
+                let mut keys: Vec<_> = n.store().keys().collect();
+                keys.sort_unstable();
+                for k in keys {
+                    let _ = writeln!(out, "{k:?} => {:?}", n.store().layout(k));
+                }
+            }
+            out
+        };
+
+        // Path A: the plan rides the arrival list at t=0.
+        let cfg = ShardedConfig::new(2, 2).seed(5);
+        let arrivals = vec![vec![Arrival::at(SimTime::ZERO, plan.clone())], vec![]];
+        let mut via_arrival = ShardedCluster::new(&schema, cfg.clone(), arrivals);
+        assert!(matches!(
+            via_arrival.run(SimTime::MAX),
+            ShardOutcome::Quiescent(_)
+        ));
+
+        // Path B: the same plan is injected externally at t=0.
+        let mut via_external = ShardedCluster::new(&schema, cfg, vec![vec![], vec![]]);
+        let txn = via_external.submit_external(0, &plan, None).unwrap();
+        assert_eq!(txn, TxnId::new(0, cross[0]));
+        assert!(matches!(
+            via_external.run(SimTime::MAX),
+            ShardOutcome::Quiescent(_)
+        ));
+
+        assert_eq!(run_fp(&via_arrival), run_fp(&via_external));
+
+        // Structural rejections never reach the kernel.
+        let empty = TxnPlan::commuting(SubtxnPlan::new(cross[0]));
+        assert!(matches!(
+            via_external.submit_external(1, &empty, None),
+            Err(SubmitError::Invalid(_))
+        ));
+        let foreign = visit(&[topo.client(PartitionId(0))], 1);
+        assert!(matches!(
+            via_external.submit_external(1, &foreign, None),
+            Err(SubmitError::UnknownNode(_))
+        ));
     }
 
     /// Deterministic replay: same seed, same outcome, across the shuttle.

@@ -33,6 +33,6 @@ pub mod router;
 pub mod threaded;
 pub mod workload;
 
-pub use cluster::{ShardOutcome, ShardedCluster, ShardedConfig};
+pub use cluster::{ShardOutcome, ShardedCluster, ShardedConfig, SubmitError};
 pub use router::{KeyRangeRouter, RouterError};
 pub use workload::ShardedHospital;

@@ -243,32 +243,22 @@ impl BackendConfig {
         }
     }
 
-    /// Test-harness hook mirroring `THREEV_FAULT_SEED`: read the
-    /// `THREEV_BACKEND` environment variable (`mem`, `paged`, or unset →
-    /// mem) and build a config. `paged` gets a fresh per-call scratch
-    /// directory under the system temp dir, namespaced by `tag`, the
-    /// process id, and a counter, so repeated runs within one test never
-    /// see each other's page files.
-    pub fn from_env(tag: &str) -> BackendConfig {
+    /// A `Paged` config rooted at a fresh scratch directory under the
+    /// system temp dir, namespaced by `tag`, the process id, and a
+    /// counter, so repeated runs within one process never see each
+    /// other's page files. The `THREEV_BACKEND` env dispatch lives in
+    /// `threev::testutil::backend_from_env`, shared by the equivalence
+    /// suites and the server binaries.
+    pub fn paged_scratch(tag: &str) -> BackendConfig {
         use std::sync::atomic::{AtomicU64, Ordering};
         static UNIQUE: AtomicU64 = AtomicU64::new(0);
-        match std::env::var("THREEV_BACKEND") {
-            Err(_) => BackendConfig::Mem,
-            Ok(v) if v == "mem" => BackendConfig::Mem,
-            Ok(v) if v == "paged" => {
-                let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
-                let dir = std::env::temp_dir()
-                    .join(format!("threev-backend-{tag}-{}-{n}", std::process::id()));
-                // Stale page files from a previous crashed run would be
-                // recovered as live chains; start from nothing.
-                let _ = std::fs::remove_dir_all(&dir);
-                BackendConfig::Paged { dir }
-            }
-            // lint-allow(panic-hygiene): test-harness misconfiguration —
-            // a typo'd THREEV_BACKEND must fail the run, not silently
-            // test the wrong backend.
-            Ok(v) => panic!("THREEV_BACKEND must be `mem` or `paged`, got {v:?}"),
-        }
+        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("threev-backend-{tag}-{}-{n}", std::process::id()));
+        // Stale page files from a previous crashed run would be recovered
+        // as live chains; start from nothing.
+        let _ = std::fs::remove_dir_all(&dir);
+        BackendConfig::Paged { dir }
     }
 }
 
@@ -309,12 +299,10 @@ mod tests {
     }
 
     #[test]
-    fn from_env_defaults_to_mem() {
-        // The suite never sets THREEV_BACKEND for this test binary's
-        // default run; explicit backends are exercised by the equivalence
-        // suites under the env hook.
-        if std::env::var("THREEV_BACKEND").is_err() {
-            assert_eq!(BackendConfig::from_env("x"), BackendConfig::Mem);
-        }
+    fn paged_scratch_dirs_are_unique() {
+        let a = BackendConfig::paged_scratch("x");
+        let b = BackendConfig::paged_scratch("x");
+        assert_ne!(a, b, "each scratch config gets its own directory");
+        assert!(matches!(a, BackendConfig::Paged { .. }));
     }
 }

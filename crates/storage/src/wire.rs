@@ -12,7 +12,10 @@
 //! discipline; durability re-exports it as `threev_durability::wire`.
 
 use crate::locks::LockMode;
-use threev_model::{JournalEntry, Key, NodeId, TxnId, UpdateOp, Value, VersionNo};
+use threev_model::{
+    JournalEntry, Key, NodeId, OpStep, SubtxnPlan, TxnId, TxnKind, TxnPlan, UpdateOp, Value,
+    VersionNo,
+};
 
 /// Decoding failure: the input is truncated or structurally invalid.
 ///
@@ -185,6 +188,55 @@ impl ByteWriter {
             LockMode::Exclusive => 1,
         });
     }
+
+    /// Write a UTF-8 string, length-prefixed.
+    pub fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write a [`TxnKind`].
+    pub fn txn_kind(&mut self, k: TxnKind) {
+        self.u8(match k {
+            TxnKind::ReadOnly => 0,
+            TxnKind::Commuting => 1,
+            TxnKind::NonCommuting => 2,
+        });
+    }
+
+    /// Write an [`OpStep`].
+    pub fn op_step(&mut self, s: &OpStep) {
+        match s {
+            OpStep::Read(k) => {
+                self.u8(0);
+                self.key(*k);
+            }
+            OpStep::Update(k, op) => {
+                self.u8(1);
+                self.key(*k);
+                self.op(*op);
+            }
+        }
+    }
+
+    /// Write a [`SubtxnPlan`] subtree (preorder: node, steps, children).
+    pub fn sub_plan(&mut self, p: &SubtxnPlan) {
+        self.node(p.node);
+        self.len(p.steps.len());
+        for s in &p.steps {
+            self.op_step(s);
+        }
+        self.len(p.children.len());
+        for c in &p.children {
+            self.sub_plan(c);
+        }
+    }
+
+    /// Write a whole [`TxnPlan`].
+    pub fn txn_plan(&mut self, p: &TxnPlan) {
+        self.txn_kind(p.kind);
+        self.sub_plan(&p.root);
+    }
 }
 
 /// Sequential byte source over a borrowed slice.
@@ -345,6 +397,73 @@ impl<'a> ByteReader<'a> {
             _ => Err(WireError("unknown LockMode tag")),
         }
     }
+
+    /// Read a UTF-8 string written by [`ByteWriter::str`].
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let n = self.read_len()?;
+        let bytes = self.take(n, "str body")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError("string is not UTF-8"))
+    }
+
+    /// Read a [`TxnKind`].
+    pub fn txn_kind(&mut self) -> Result<TxnKind, WireError> {
+        match self.u8()? {
+            0 => Ok(TxnKind::ReadOnly),
+            1 => Ok(TxnKind::Commuting),
+            2 => Ok(TxnKind::NonCommuting),
+            _ => Err(WireError("unknown TxnKind tag")),
+        }
+    }
+
+    /// Read an [`OpStep`].
+    pub fn op_step(&mut self) -> Result<OpStep, WireError> {
+        match self.u8()? {
+            0 => Ok(OpStep::Read(self.key()?)),
+            1 => {
+                let k = self.key()?;
+                let op = self.op()?;
+                Ok(OpStep::Update(k, op))
+            }
+            _ => Err(WireError("unknown OpStep tag")),
+        }
+    }
+
+    /// Read a [`SubtxnPlan`] subtree. Recursion is bounded by
+    /// [`MAX_PLAN_DEPTH`]: `read_len` caps each child *count* by the
+    /// remaining bytes, but a malicious frame could still nest one child
+    /// per level and overflow the stack without an explicit depth fence.
+    pub fn sub_plan(&mut self) -> Result<SubtxnPlan, WireError> {
+        self.sub_plan_at(0)
+    }
+
+    fn sub_plan_at(&mut self, depth: usize) -> Result<SubtxnPlan, WireError> {
+        if depth > MAX_PLAN_DEPTH {
+            return Err(WireError("plan nesting exceeds MAX_PLAN_DEPTH"));
+        }
+        let node = self.node()?;
+        let n_steps = self.read_len()?;
+        let mut steps = Vec::with_capacity(n_steps);
+        for _ in 0..n_steps {
+            steps.push(self.op_step()?);
+        }
+        let n_children = self.read_len()?;
+        let mut children = Vec::with_capacity(n_children);
+        for _ in 0..n_children {
+            children.push(self.sub_plan_at(depth + 1)?);
+        }
+        Ok(SubtxnPlan {
+            node,
+            steps,
+            children,
+        })
+    }
+
+    /// Read a whole [`TxnPlan`].
+    pub fn txn_plan(&mut self) -> Result<TxnPlan, WireError> {
+        let kind = self.txn_kind()?;
+        let root = self.sub_plan()?;
+        Ok(TxnPlan { kind, root })
+    }
 }
 
 /// FNV-1a checksum of `bytes`, folded to 32 bits. Used by the file
@@ -356,6 +475,121 @@ pub fn checksum(bytes: &[u8]) -> u32 {
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     (h ^ (h >> 32)) as u32
+}
+
+/// First four bytes of every client-protocol frame: `"RFV3"` on the wire
+/// (the u32 is little-endian, so the constant reads back-to-front).
+pub const FRAME_MAGIC: u32 = 0x3356_4652;
+
+/// Byte length of the fixed frame header.
+pub const FRAME_HEADER_LEN: usize = 16;
+
+/// Hard cap on a frame payload. A header announcing more than this is
+/// rejected before any allocation — the bound that keeps a hostile
+/// 4 GiB length prefix from becoming a 4 GiB `Vec`.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 20;
+
+/// Deepest [`SubtxnPlan`] nesting the decoder will follow. `read_len`
+/// bounds child *counts* by remaining bytes, but one-child-per-level
+/// nesting is linear in input size and would otherwise recurse without
+/// limit.
+pub const MAX_PLAN_DEPTH: usize = 64;
+
+/// Decoded fixed header of a client-protocol frame.
+///
+/// Layout (16 bytes, all little-endian):
+///
+/// | offset | field       | type  |
+/// |-------:|-------------|-------|
+/// |      0 | magic       | `u32` |
+/// |      4 | version     | `u16` |
+/// |      6 | kind        | `u8`  |
+/// |      7 | reserved(0) | `u8`  |
+/// |      8 | payload len | `u32` |
+/// |     12 | checksum    | `u32` |
+///
+/// The checksum is [`checksum`] over the payload bytes only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Protocol version the sender speaks.
+    pub version: u16,
+    /// Message kind discriminant (meaning belongs to the layer above).
+    pub kind: u8,
+    /// Payload byte length, already validated `<=` [`MAX_FRAME_PAYLOAD`].
+    pub payload_len: usize,
+    /// FNV-1a checksum of the payload.
+    pub checksum: u32,
+}
+
+/// Encode a frame: fixed header plus payload. Fails (rather than
+/// truncating or panicking) if the payload exceeds [`MAX_FRAME_PAYLOAD`].
+pub fn encode_frame(version: u16, kind: u8, payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    if payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(WireError("payload exceeds MAX_FRAME_PAYLOAD"));
+    }
+    let mut w = ByteWriter::new();
+    w.u32(FRAME_MAGIC);
+    w.u16(version);
+    w.u8(kind);
+    w.u8(0);
+    w.u32(payload.len() as u32);
+    w.u32(checksum(payload));
+    let mut buf = w.into_bytes();
+    buf.extend_from_slice(payload);
+    Ok(buf)
+}
+
+/// Decode and validate the fixed 16-byte header. Rejects short input,
+/// bad magic, a non-zero reserved byte, and oversized payload lengths —
+/// everything a reader can check before touching the payload.
+pub fn decode_frame_header(bytes: &[u8]) -> Result<FrameHeader, WireError> {
+    let mut r = ByteReader::new(bytes);
+    if r.remaining() < FRAME_HEADER_LEN {
+        return Err(WireError("frame header truncated"));
+    }
+    if r.u32()? != FRAME_MAGIC {
+        return Err(WireError("bad frame magic"));
+    }
+    let version = r.u16()?;
+    let kind = r.u8()?;
+    if r.u8()? != 0 {
+        return Err(WireError("reserved frame byte is non-zero"));
+    }
+    let payload_len = r.u32()? as usize;
+    if payload_len > MAX_FRAME_PAYLOAD {
+        return Err(WireError("frame payload length exceeds limit"));
+    }
+    let cksum = r.u32()?;
+    Ok(FrameHeader {
+        version,
+        kind,
+        payload_len,
+        checksum: cksum,
+    })
+}
+
+/// Verify a received payload against its header (length, then checksum).
+pub fn verify_frame_payload(header: &FrameHeader, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() != header.payload_len {
+        return Err(WireError("frame payload length mismatch"));
+    }
+    if checksum(payload) != header.checksum {
+        return Err(WireError("frame checksum mismatch"));
+    }
+    Ok(())
+}
+
+/// Decode one whole frame from a contiguous buffer: header, exact-length
+/// payload, checksum. Trailing bytes after the payload are rejected so a
+/// frame is one frame, not a prefix.
+pub fn decode_frame(bytes: &[u8]) -> Result<(FrameHeader, &[u8]), WireError> {
+    let header = decode_frame_header(bytes)?;
+    let body = &bytes[FRAME_HEADER_LEN..];
+    if body.len() != header.payload_len {
+        return Err(WireError("frame payload length mismatch"));
+    }
+    verify_frame_payload(&header, body)?;
+    Ok((header, body))
 }
 
 #[cfg(test)]
@@ -478,5 +712,160 @@ mod tests {
         let b = checksum(b"hello worle");
         assert_ne!(a, b);
         assert_eq!(a, checksum(b"hello world"));
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        let mut w = ByteWriter::new();
+        w.str("");
+        w.str("hello ↔ wire");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.str().unwrap(), "");
+        assert_eq!(r.str().unwrap(), "hello ↔ wire");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn invalid_utf8_string_rejected() {
+        let mut w = ByteWriter::new();
+        w.len(2);
+        w.u8(0xFF);
+        w.u8(0xFE);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            ByteReader::new(&bytes).str(),
+            Err(WireError("string is not UTF-8"))
+        );
+    }
+
+    fn sample_plan() -> TxnPlan {
+        TxnPlan {
+            kind: TxnKind::Commuting,
+            root: SubtxnPlan {
+                node: NodeId(0),
+                steps: vec![
+                    OpStep::Read(Key(1)),
+                    OpStep::Update(Key(2), UpdateOp::Add(3)),
+                ],
+                children: vec![SubtxnPlan {
+                    node: NodeId(1),
+                    steps: vec![OpStep::Update(
+                        Key(9),
+                        UpdateOp::Append { amount: 1, tag: 7 },
+                    )],
+                    children: vec![],
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn txn_plan_round_trips() {
+        let plan = sample_plan();
+        let mut w = ByteWriter::new();
+        w.txn_plan(&plan);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.txn_plan().unwrap(), plan);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn plan_nesting_depth_is_fenced() {
+        // One child per level: linear in bytes, unbounded in depth.
+        let mut deep = SubtxnPlan {
+            node: NodeId(0),
+            steps: vec![],
+            children: vec![],
+        };
+        for _ in 0..(MAX_PLAN_DEPTH + 2) {
+            deep = SubtxnPlan {
+                node: NodeId(0),
+                steps: vec![],
+                children: vec![deep],
+            };
+        }
+        let mut w = ByteWriter::new();
+        w.sub_plan(&deep);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            ByteReader::new(&bytes).sub_plan(),
+            Err(WireError("plan nesting exceeds MAX_PLAN_DEPTH"))
+        );
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let payload = b"commuting updates".as_slice();
+        let frame = encode_frame(1, 4, payload).unwrap();
+        assert_eq!(frame.len(), FRAME_HEADER_LEN + payload.len());
+        let (header, body) = decode_frame(&frame).unwrap();
+        assert_eq!(header.version, 1);
+        assert_eq!(header.kind, 4);
+        assert_eq!(body, payload);
+
+        // Empty payload is a legal frame.
+        let empty = encode_frame(1, 0, &[]).unwrap();
+        let (h, b) = decode_frame(&empty).unwrap();
+        assert_eq!(h.payload_len, 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn frame_rejects_corruption() {
+        let frame = encode_frame(1, 2, b"payload").unwrap();
+
+        // Truncation at every length short of the full frame.
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+
+        // A flip anywhere — magic, header fields, or payload — must fail
+        // (flips inside `version`/`kind` survive header checks, but then
+        // the checksum was computed for a different (version, kind)
+        // pairing only if the payload changed; version/kind flips are
+        // caught one layer up, so only assert no panic for those).
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x10;
+            let _ = decode_frame(&bad); // must not panic
+        }
+
+        // Payload flips specifically must fail the checksum.
+        let mut bad = frame.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert_eq!(
+            decode_frame(&bad),
+            Err(WireError("frame checksum mismatch"))
+        );
+
+        // Oversized announced length is rejected before allocation.
+        let mut w = ByteWriter::new();
+        w.u32(FRAME_MAGIC);
+        w.u16(1);
+        w.u8(0);
+        w.u8(0);
+        w.u32(u32::MAX);
+        w.u32(0);
+        assert_eq!(
+            decode_frame_header(&w.into_bytes()),
+            Err(WireError("frame payload length exceeds limit"))
+        );
+
+        // Trailing garbage after the payload is not a frame.
+        let mut long = frame.clone();
+        long.push(0);
+        assert!(decode_frame(&long).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_refused_at_encode() {
+        let big = vec![0u8; MAX_FRAME_PAYLOAD + 1];
+        assert_eq!(
+            encode_frame(1, 0, &big),
+            Err(WireError("payload exceeds MAX_FRAME_PAYLOAD"))
+        );
     }
 }

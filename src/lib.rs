@@ -36,27 +36,51 @@ pub use threev_storage as storage;
 pub use threev_workload as workload;
 
 pub mod testutil {
-    //! Shared helpers for the workspace's integration tests.
+    //! Shared helpers for the workspace's integration tests and binaries:
+    //! the `THREEV_FAULT_SEED` / `THREEV_BACKEND` environment hooks the CI
+    //! matrices (and the `threev-server` / `threev-load` binaries) use for
+    //! reproducible runs, parsed in exactly one place.
+
+    use threev_storage::BackendConfig;
+
+    /// Read environment variable `name` and parse it with `parse`, falling
+    /// back to `default` when unset. A value that is set but does not parse
+    /// is a harness misconfiguration, so it panics (with `parse`'s message)
+    /// rather than silently running the default and reporting green for a
+    /// configuration that never executed.
+    pub fn env_or<T>(name: &str, default: T, parse: impl FnOnce(&str) -> Result<T, String>) -> T {
+        match std::env::var(name) {
+            Ok(raw) => match parse(raw.trim()) {
+                Ok(v) => v,
+                Err(msg) => panic!("{name}={raw:?} is invalid: {msg}"),
+            },
+            Err(std::env::VarError::NotPresent) => default,
+            Err(e) => panic!("{name} is not readable: {e}"),
+        }
+    }
 
     /// Read the fault-injection seed from `THREEV_FAULT_SEED`, falling back
     /// to `default` when the variable is unset.
     ///
     /// The CI fault matrices sweep seeds through this variable without
-    /// recompiling (see `.github/workflows/ci.yml`). A value that is set but
-    /// does not parse as `u64` is a matrix misconfiguration, so it panics
-    /// rather than silently running the default seed and reporting green for
-    /// a cell that never executed.
+    /// recompiling (see `.github/workflows/ci.yml`).
     pub fn fault_seed_or(default: u64) -> u64 {
-        match std::env::var("THREEV_FAULT_SEED") {
-            Ok(raw) => match raw.trim().parse() {
-                Ok(seed) => seed,
-                Err(e) => panic!(
-                    "THREEV_FAULT_SEED={raw:?} is not a valid u64 seed ({e}); \
-                     unset it or pass a decimal integer"
-                ),
-            },
-            Err(std::env::VarError::NotPresent) => default,
-            Err(e) => panic!("THREEV_FAULT_SEED is not readable: {e}"),
-        }
+        env_or("THREEV_FAULT_SEED", default, |raw| {
+            raw.parse().map_err(|e| {
+                format!("not a valid u64 seed ({e}); unset it or pass a decimal integer")
+            })
+        })
+    }
+
+    /// Read the storage backend from `THREEV_BACKEND` (`mem`, `paged`, or
+    /// unset → mem). `paged` gets a fresh per-call scratch directory via
+    /// [`BackendConfig::paged_scratch`], namespaced by `tag`, so repeated
+    /// runs within one process never see each other's page files.
+    pub fn backend_from_env(tag: &str) -> BackendConfig {
+        env_or("THREEV_BACKEND", BackendConfig::Mem, |raw| match raw {
+            "mem" => Ok(BackendConfig::Mem),
+            "paged" => Ok(BackendConfig::paged_scratch(tag)),
+            _ => Err("must be `mem` or `paged`".to_string()),
+        })
     }
 }

@@ -171,8 +171,8 @@ fn check(s: &Scenario) {
     // `THREEV_BACKEND=paged` reruns the whole suite over the on-disk
     // backend (fresh scratch dir per run); unset/`mem` keeps the
     // historical in-memory runs.
-    let per_message = run(s, false, BackendConfig::from_env("batch-eq"));
-    let batched = run(s, true, BackendConfig::from_env("batch-eq"));
+    let per_message = run(s, false, threev::testutil::backend_from_env("batch-eq"));
+    let batched = run(s, true, threev::testutil::backend_from_env("batch-eq"));
     assert_eq!(per_message, batched, "batched run diverged for {s:?}");
 }
 
