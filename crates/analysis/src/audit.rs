@@ -20,7 +20,7 @@
 //! Journal entries carry their writer's [`TxnId`], so observation is direct:
 //! no shadow state, no instrumentation of the engines.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use threev_model::{Key, TxnId, TxnKind, VersionNo};
 
@@ -106,7 +106,7 @@ pub struct Auditor<'a> {
 
 struct UpdateInfo<'a> {
     record: &'a TxnRecord,
-    keys: HashSet<Key>,
+    keys: BTreeSet<Key>,
 }
 
 impl<'a> Auditor<'a> {
@@ -120,8 +120,8 @@ impl<'a> Auditor<'a> {
         let mut report = AuditReport::default();
 
         // Index update transactions by the journal keys they write.
-        let mut updates: HashMap<TxnId, UpdateInfo<'_>> = HashMap::new();
-        let mut writers_of: HashMap<Key, Vec<TxnId>> = HashMap::new();
+        let mut updates: BTreeMap<TxnId, UpdateInfo<'_>> = BTreeMap::new();
+        let mut writers_of: BTreeMap<Key, Vec<TxnId>> = BTreeMap::new();
         for r in self.records {
             if r.kind == TxnKind::ReadOnly || r.journal_keys_written.is_empty() {
                 continue;
@@ -145,7 +145,7 @@ impl<'a> Auditor<'a> {
             report.reads_checked += 1;
 
             // What the read observed, per journal key.
-            let mut observed: HashMap<Key, HashSet<TxnId>> = HashMap::new();
+            let mut observed: BTreeMap<Key, BTreeSet<TxnId>> = BTreeMap::new();
             let mut journal_keys_read: Vec<Key> = Vec::new();
             for obs in &read.reads {
                 if let Some(txns) = obs.value.journal_txns() {
@@ -158,7 +158,7 @@ impl<'a> Auditor<'a> {
             }
 
             // Candidate updates: anything writing a key this read read.
-            let mut candidates: HashSet<TxnId> = HashSet::new();
+            let mut candidates: BTreeSet<TxnId> = BTreeSet::new();
             for k in &journal_keys_read {
                 if let Some(ws) = writers_of.get(k) {
                     candidates.extend(ws.iter().copied());

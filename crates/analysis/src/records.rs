@@ -117,9 +117,13 @@ impl RunSummary {
                         TxnKind::Commuting => s.committed.1 += 1,
                         TxnKind::NonCommuting => s.committed.2 += 1,
                     }
-                    let done = r.completed.expect("committed implies completed");
-                    if done >= start && done <= end {
-                        completed_in_window += 1;
+                    // A committed record without a completion stamp is
+                    // malformed input; it falls out of the window count
+                    // instead of crashing the summary.
+                    if let Some(done) = r.completed {
+                        if done >= start && done <= end {
+                            completed_in_window += 1;
+                        }
                     }
                     if let Some(lat) = r.latency() {
                         match r.kind {

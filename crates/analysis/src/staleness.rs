@@ -9,7 +9,7 @@
 //! The coordinator publishes a [`VersionTimeline`]; combined with the read
 //! records it yields the staleness distribution of experiment X3.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use threev_model::VersionNo;
 use threev_sim::{SimDuration, SimTime};
@@ -24,9 +24,9 @@ pub struct VersionTimeline {
     /// Version -> time it stopped accumulating updates (Phase 1 start of the
     /// advancement that opened its successor). Version 0 closes at time 0:
     /// updates never target the initial read version.
-    closed_at: HashMap<VersionNo, SimTime>,
+    closed_at: BTreeMap<VersionNo, SimTime>,
     /// Version -> time it became the read version (Phase 3 broadcast).
-    published_at: HashMap<VersionNo, SimTime>,
+    published_at: BTreeMap<VersionNo, SimTime>,
 }
 
 impl VersionTimeline {

@@ -129,6 +129,10 @@ impl ThreeVNode {
     fn acquire_and_run(&mut self, ctx: &mut Ctx<'_, Msg>, mut parked: Parked) {
         while parked.next < parked.keys.len() {
             let (key, mode) = parked.keys[parked.next];
+            // lint-allow(wal-hook-coverage): logging is decision-dependent —
+            // only a direct Granted outcome touches durable holder state,
+            // and that arm writes WalOp::LockAcquire itself; Waiting/Abort
+            // outcomes mutate volatile wait-queue state only.
             match self.locks.acquire(key, mode, parked.job.txn) {
                 LockDecision::Granted => {
                     // Logged only on a *direct* grant: promotions out of a
@@ -251,6 +255,9 @@ impl ThreeVNode {
     fn pin_xp(&mut self, txn: TxnId, version: VersionNo, peer: threev_model::PartitionId) {
         let g = threev_model::gauge_node(peer);
         self.wal(WalOp::IncRequest { version, to: g });
+        // lint-allow(counter-balance): the pin is *deliberately* left open
+        // here; its matching C moves in release_xp_pins when the tree
+        // resolves (XpResolve) or the compensation flood lands.
         self.counters.inc_request(version, g);
         self.xp_pins.entry(txn).or_default().push((version, peer));
     }
@@ -1033,17 +1040,17 @@ impl ThreeVNode {
         }
         if self.cfg.locks_enabled {
             self.wal(WalOp::LockRelease { txn });
+            let grants = self.locks.release_all(txn);
+            self.process_grants(ctx, grants);
         }
-        let grants = self.locks.release_all(txn);
-        self.process_grants(ctx, grants);
     }
 
     pub(super) fn handle_release_locks(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId) {
         if self.cfg.locks_enabled {
             self.wal(WalOp::LockRelease { txn });
+            let grants = self.locks.release_all(txn);
+            self.process_grants(ctx, grants);
         }
-        let grants = self.locks.release_all(txn);
-        self.process_grants(ctx, grants);
         // Footprints are kept: a compensating subtransaction may still be in
         // flight (the completion chain and compensation race). They are
         // garbage-collected by version in `handle_gc`.

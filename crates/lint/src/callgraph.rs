@@ -1,0 +1,259 @@
+//! Workspace symbol table and conservative call graph.
+//!
+//! Resolution is name-based (no type inference, by design — the linter is
+//! zero-dependency and must stay fast), sharpened by three filters:
+//!
+//! * **Crate visibility**: an edge from crate A to crate B exists only if
+//!   A's `Cargo.toml` declares a `threev-B` dependency (or A == B). This
+//!   kills most same-name collisions outright.
+//! * **Qualifiers**: `Type::name(…)` only matches fns in an
+//!   `impl Type`/`trait Type` block (or module-qualified free fns);
+//!   `self.name(…)` only matches fns under the caller's own self type.
+//! * **Receivers**: `recv.name(…)` through an arbitrary variable is
+//!   resolved only in *liberal* mode (used by WAL caller-coverage, where
+//!   the interesting targets — `core/src/node/` fns — have distinctive
+//!   names). *Strict* mode (used by transitive panic hygiene, where a
+//!   false edge means a false diagnostic) drops such calls.
+//!
+//! Both choices are conservative for their consumer: liberal mode may
+//! only *add* call sites that must be covered; strict mode may only
+//! *miss* panic chains, never invent them.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, TokKind};
+
+/// One syntactic call site.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (the ident directly before the `(`).
+    pub name: String,
+    /// `Qual::name(…)` qualifier, when syntactically present.
+    pub qual: Option<String>,
+    /// Is this a `recv.name(…)` method call?
+    pub method: bool,
+    /// The receiver ident for a method call, when it is a plain ident
+    /// (e.g. `self`, `node`).
+    pub recv: Option<String>,
+    pub line: u32,
+}
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "in", "as", "move", "let", "else",
+    "break", "continue",
+];
+
+/// Recognize a call at `toks[i]`: an identifier directly followed by `(`
+/// (macros have a `!` in between and are therefore excluded, as are
+/// definitions, whose ident follows `fn`).
+pub fn call_at(toks: &[Tok], i: usize) -> Option<CallSite> {
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+        return None;
+    }
+    if toks.get(i + 1).map(|n| n.text.as_str()) != Some("(") {
+        return None;
+    }
+    let prev = if i >= 1 { Some(&toks[i - 1]) } else { None };
+    if prev.is_some_and(|p| p.text == "fn") {
+        return None;
+    }
+    let mut site = CallSite {
+        name: t.text.clone(),
+        qual: None,
+        method: false,
+        recv: None,
+        line: t.line,
+    };
+    match prev.map(|p| p.text.as_str()) {
+        Some(".") => {
+            site.method = true;
+            site.recv = toks
+                .get(i.wrapping_sub(2))
+                .filter(|r| i >= 2 && r.kind == TokKind::Ident)
+                .map(|r| r.text.clone());
+        }
+        Some("::") => {
+            site.qual = toks
+                .get(i.wrapping_sub(2))
+                .filter(|q| i >= 2 && q.kind == TokKind::Ident)
+                .map(|q| q.text.clone());
+        }
+        _ => {}
+    }
+    Some(site)
+}
+
+/// One function in the workspace symbol table.
+#[derive(Debug)]
+pub struct FnSym {
+    pub crate_name: String,
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    pub name: String,
+    pub self_ty: Option<String>,
+    pub line: u32,
+    /// First direct, non-test, non-allowed panic site in the body, if
+    /// any: `(line, what)` — e.g. `(120, "expect")`.
+    pub panic: Option<(u32, String)>,
+    /// Every syntactic call site in the body.
+    pub calls: Vec<CallSite>,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub fns: Vec<FnSym>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Crate dir -> in-workspace crate dirs it may call into. `None` when
+    /// built from loose fixtures (everything visible).
+    deps: Option<BTreeMap<String, BTreeSet<String>>>,
+}
+
+impl CallGraph {
+    pub fn new(deps: Option<BTreeMap<String, BTreeSet<String>>>) -> Self {
+        CallGraph {
+            fns: Vec::new(),
+            by_name: BTreeMap::new(),
+            deps,
+        }
+    }
+
+    pub fn push(&mut self, sym: FnSym) -> usize {
+        let idx = self.fns.len();
+        self.by_name.entry(sym.name.clone()).or_default().push(idx);
+        self.fns.push(sym);
+        idx
+    }
+
+    fn crate_visible(&self, from: &str, to: &str) -> bool {
+        if from == to {
+            return true;
+        }
+        match &self.deps {
+            None => true,
+            Some(d) => d.get(from).is_some_and(|set| set.contains(to)),
+        }
+    }
+
+    /// Resolve `call` made from `self.fns[from]` to candidate definitions.
+    /// `liberal` additionally admits method calls through arbitrary
+    /// receivers (see module docs for why each consumer picks one mode).
+    pub fn resolve(&self, from: usize, call: &CallSite, liberal: bool) -> Vec<usize> {
+        let Some(cands) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        let caller = &self.fns[from];
+        let mut out: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let callee = &self.fns[c];
+                if !self.crate_visible(&caller.crate_name, &callee.crate_name) {
+                    return false;
+                }
+                if let Some(q) = &call.qual {
+                    // `Type::name` — impl/trait type must agree; a
+                    // module-qualified free fn also matches.
+                    return callee.self_ty.as_deref() == Some(q.as_str())
+                        || callee.self_ty.is_none();
+                }
+                if call.method {
+                    if call.recv.as_deref() == Some("self") {
+                        return callee.self_ty.is_some()
+                            && callee.self_ty == caller.self_ty
+                            && callee.crate_name == caller.crate_name;
+                    }
+                    return liberal && callee.self_ty.is_some();
+                }
+                // Bare `name(…)`: free functions only (associated fns
+                // require a qualifier at the call site).
+                callee.self_ty.is_none()
+            })
+            .collect();
+        // A bare call with a same-crate candidate is a local definition
+        // shadowing any same-name import — drop the cross-crate guesses.
+        if !call.method
+            && call.qual.is_none()
+            && out.iter().any(|&c| self.fns[c].crate_name == caller.crate_name)
+        {
+            out.retain(|&c| self.fns[c].crate_name == caller.crate_name);
+        }
+        out
+    }
+
+    /// Shortest call chain (strict edges) from `start` to a function with
+    /// a direct panic site, within `cap` hops. Returns the fn indices
+    /// along the chain, `start` first.
+    pub fn panic_chain(&self, start: usize, cap: usize) -> Option<Vec<usize>> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut frontier = vec![start];
+        let mut seen: BTreeSet<usize> = frontier.iter().copied().collect();
+        for _hop in 0..=cap {
+            let mut next = Vec::new();
+            for &f in &frontier {
+                if self.fns[f].panic.is_some() {
+                    // Reconstruct start -> … -> f.
+                    let mut chain = vec![f];
+                    let mut cur = f;
+                    while let Some(&p) = parent.get(&cur) {
+                        chain.push(p);
+                        cur = p;
+                    }
+                    chain.reverse();
+                    return Some(chain);
+                }
+                for call in &self.fns[f].calls {
+                    for tgt in self.resolve(f, call, false) {
+                        if seen.insert(tgt) {
+                            parent.insert(tgt, f);
+                            next.push(tgt);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                return None;
+            }
+            frontier = next;
+        }
+        None
+    }
+}
+
+/// Parse the in-workspace dependency sets out of `crates/*/Cargo.toml`:
+/// any `threev-NAME` mention maps to crate dir `NAME`. Coarse (it does not
+/// distinguish dev-dependencies) but strictly a superset of real edges,
+/// which is the conservative direction for both consumers.
+pub fn workspace_deps(root: &std::path::Path) -> BTreeMap<String, BTreeSet<String>> {
+    let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        let Some(name) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        let Ok(manifest) = std::fs::read_to_string(dir.join("Cargo.toml")) else {
+            continue;
+        };
+        let mut deps = BTreeSet::new();
+        for line in manifest.lines() {
+            let line = line.trim_start();
+            if let Some(rest) = line.strip_prefix("threev-") {
+                let dep: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+                    .collect();
+                if !dep.is_empty() && dep != name {
+                    deps.insert(dep);
+                }
+            }
+        }
+        out.insert(name, deps);
+    }
+    out
+}

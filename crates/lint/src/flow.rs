@@ -1,0 +1,172 @@
+//! A small branch-sensitive walker over [`crate::parser`] bodies.
+//!
+//! An [`Analysis`] carries a cloneable per-path state through every
+//! statement of a function. The walker:
+//!
+//! * runs straight-line token runs through [`Analysis::token`] in source
+//!   order;
+//! * forks the state at `if`/`match` arms and re-joins with
+//!   [`Analysis::merge`] (each analysis picks its own join — AND for
+//!   must-analyses like WAL coverage, union for may-analyses like open
+//!   counter obligations);
+//! * models loops as zero-or-one executions (the classic loop-free
+//!   over-approximation: the skip path, the fallthrough path, and every
+//!   `break` path are merged — for a bare `loop`, which cannot skip, only
+//!   the `break` paths);
+//! * reports every function exit — tail fallthrough, `return`, and each
+//!   `?` — through [`Analysis::exit`], which is where obligation-style
+//!   rules check their state.
+//!
+//! Dead paths are real: a `match` whose arms all `return` produces no
+//! fallthrough state, so code after it is (correctly) not charged to any
+//! path.
+
+use crate::lexer::Tok;
+use crate::parser::{Block, FnDef, Stmt};
+
+/// One flow analysis: per-path state plus join/transfer/exit hooks.
+pub trait Analysis {
+    type State: Clone;
+
+    /// Join a second predecessor `b` into `a`.
+    fn merge(&mut self, a: &mut Self::State, b: &Self::State);
+
+    /// Transfer one token. `toks[i]` is current; the whole run is given
+    /// for lookaround (call shapes span several tokens).
+    fn token(&mut self, toks: &[Tok], i: usize, st: &mut Self::State);
+
+    /// A path leaves the function at `line` with state `st` (fallthrough,
+    /// `return`, or `?`).
+    fn exit(&mut self, _st: &Self::State, _line: u32) {}
+}
+
+/// Walk one function body under `analysis`, starting from `init`.
+pub fn walk_fn<A: Analysis>(f: &FnDef, analysis: &mut A, init: A::State) {
+    let mut w = Walker {
+        a: analysis,
+        loop_breaks: Vec::new(),
+    };
+    if let Some(st) = w.block(&f.body, init) {
+        w.a.exit(&st, f.end_line);
+    }
+}
+
+enum LeafExit {
+    Return(u32),
+    Break,
+    Continue,
+}
+
+struct Walker<'a, A: Analysis> {
+    a: &'a mut A,
+    /// One accumulator per enclosing loop: the states carried out by each
+    /// `break` inside it.
+    loop_breaks: Vec<Vec<A::State>>,
+}
+
+impl<A: Analysis> Walker<'_, A> {
+    /// `None` means every path through the block left the function (or
+    /// the enclosing loop): there is no fallthrough state.
+    fn block(&mut self, b: &Block, st: A::State) -> Option<A::State> {
+        let mut cur = Some(st);
+        for s in &b.stmts {
+            let c = cur?;
+            cur = self.stmt(s, c);
+        }
+        cur
+    }
+
+    fn merge_into(&mut self, acc: &mut Option<A::State>, other: Option<A::State>) {
+        match (acc.as_mut(), other) {
+            (_, None) => {}
+            (None, Some(o)) => *acc = Some(o),
+            (Some(a), Some(o)) => self.a.merge(a, &o),
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, st: A::State) -> Option<A::State> {
+        match s {
+            Stmt::Leaf(toks) => self.leaf(toks, st),
+            Stmt::Sub(b) => self.block(b, st),
+            Stmt::If { arms, has_else } => {
+                let mut out: Option<A::State> = None;
+                let mut cur = Some(st);
+                for (head, body) in arms {
+                    let Some(c) = cur.take() else { break };
+                    // Heads run on every path that reaches this arm's test.
+                    let Some(h) = self.leaf(head, c) else { break };
+                    let arm_out = self.block(body, h.clone());
+                    self.merge_into(&mut out, arm_out);
+                    cur = Some(h); // the arm-not-taken path
+                }
+                if !*has_else {
+                    let skip = cur.take();
+                    self.merge_into(&mut out, skip);
+                }
+                out
+            }
+            Stmt::Match { head, arms } => {
+                let h = self.leaf(head, st)?;
+                if arms.is_empty() {
+                    return Some(h);
+                }
+                let mut out: Option<A::State> = None;
+                for (pat, body) in arms {
+                    let Some(p) = self.leaf(pat, h.clone()) else {
+                        continue;
+                    };
+                    let arm_out = self.block(body, p);
+                    self.merge_into(&mut out, arm_out);
+                }
+                out
+            }
+            Stmt::Loop { head, body } => {
+                let h = self.leaf(head, st)?;
+                self.loop_breaks.push(Vec::new());
+                let fallthrough = self.block(body, h.clone());
+                let breaks = self.loop_breaks.pop().unwrap_or_default();
+                // `while`/`for` can skip the body entirely; bare `loop`
+                // (empty head) cannot, and its fallthrough re-enters the
+                // loop rather than leaving it.
+                let mut out = if head.is_empty() { None } else { Some(h) };
+                if !head.is_empty() {
+                    self.merge_into(&mut out, fallthrough);
+                }
+                for b in breaks {
+                    self.merge_into(&mut out, Some(b));
+                }
+                out
+            }
+        }
+    }
+
+    fn leaf(&mut self, toks: &[Tok], mut st: A::State) -> Option<A::State> {
+        let mut exit: Option<LeafExit> = None;
+        for i in 0..toks.len() {
+            self.a.token(toks, i, &mut st);
+            match toks[i].text.as_str() {
+                // `?` snapshots an early exit but the happy path continues.
+                "?" => self.a.exit(&st, toks[i].line),
+                "return" if exit.is_none() => exit = Some(LeafExit::Return(toks[i].line)),
+                "break" if exit.is_none() => exit = Some(LeafExit::Break),
+                "continue" if exit.is_none() => exit = Some(LeafExit::Continue),
+                _ => {}
+            }
+        }
+        match exit {
+            None => Some(st),
+            Some(LeafExit::Return(line)) => {
+                // The returned expression's tokens have already run.
+                self.a.exit(&st, line);
+                None
+            }
+            Some(LeafExit::Break) => {
+                if let Some(acc) = self.loop_breaks.last_mut() {
+                    acc.push(st);
+                }
+                None
+            }
+            Some(LeafExit::Continue) => None,
+        }
+    }
+}

@@ -4,23 +4,35 @@
 //! The paper's termination detection is a stable-property argument (§2.2,
 //! §4.3): it only holds if the `R`/`C` counters are increment-only and the
 //! replay our fault tests depend on is bit-identical. Neither property is
-//! something rustc checks, so this crate does: a hand-rolled lexer (strings,
-//! nested comments, `#[cfg(test)]` regions, `// lint-allow(rule): reason`
-//! escape hatches), a per-crate policy table, and five rule families
-//! producing `file:line` diagnostics.
+//! something rustc checks, so this crate does — with zero dependencies:
+//!
+//! * a hand-rolled lexer ([`lexer`]: strings, nested comments,
+//!   `#[cfg(test)]` regions, `// lint-allow(rule): reason` escape hatches);
+//! * a recursive-descent parser over the token stream ([`parser`]:
+//!   per-function bodies with `if`/`match`/loop structure and exits);
+//! * a workspace symbol table and conservative call graph ([`callgraph`]);
+//! * a branch-sensitive walker ([`flow`]) that runs the protocol rules as
+//!   path analyses ([`rules`]): WAL write-ahead coverage, counter
+//!   balancing, lock grant/release discipline, and transitive panic
+//!   hygiene with call-chain diagnostics.
 //!
 //! Runs as a binary (`cargo run -p threev-lint -- --deny`) and as a `#[test]`
 //! in this crate, so tier-1 `cargo test -q` enforces the invariants.
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
+pub mod flow;
 pub mod lexer;
+pub mod parser;
 pub mod policy;
 pub mod rules;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+use callgraph::{call_at, CallGraph, FnSym};
 use lexer::{Allow, ALLOW_WINDOW};
 use policy::CratePolicy;
 
@@ -30,6 +42,8 @@ pub const RULE_IDS: &[&str] = &[
     "determinism",
     "counter-monotonicity",
     "wal-hook-coverage",
+    "counter-balance",
+    "lock-discipline",
     "panic-hygiene",
     "unsafe-forbid",
     // Meta-rules about the escape hatch itself:
@@ -57,93 +71,414 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Lint one source file. Pure: paths are virtual, so fixture tests can pass
-/// any `rel_path` they like. Applies rules, then filters findings through
-/// the file's `lint-allow` annotations, then reports malformed and unused
-/// allows as findings in their own right (an allow that suppresses nothing
-/// is stale documentation; one without a reason is a blanket suppression).
-pub fn lint_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> {
-    let policy = policy_with_name(crate_name);
-    let lexed = lexer::lex(src);
-    let ctx = rules::FileCtx {
-        rel_path,
-        policy: &policy,
-        lexed: &lexed,
-    };
-    let raw = rules::run_all(&ctx);
+/// Engine options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// Raise the transitive panic-hygiene chain cap from 8 to 64 hops
+    /// (the nightly `lint-deep` CI job; the short cap keeps the per-push
+    /// gate fast and its diagnostics readable).
+    pub deep: bool,
+}
 
-    let mut used = vec![false; lexed.allows.len()];
-    let mut out: Vec<Finding> = raw
-        .into_iter()
-        .filter(|f| match matching_allow(&lexed.allows, f) {
-            Some(idx) => {
-                used[idx] = true;
-                false
+/// One input file for [`lint_files`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Crate directory name under `crates/` (policy key).
+    pub crate_name: String,
+    /// Workspace-relative path (virtual paths are fine in tests).
+    pub rel_path: String,
+    pub src: String,
+}
+
+/// Lint one source file in isolation (no cross-file call-graph credit:
+/// a helper covered only via its callers still fires here, which is what
+/// single-file fixture tests want).
+pub fn lint_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> {
+    lint_files(
+        &[SourceFile {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            src: src.to_string(),
+        }],
+        None,
+        &Options::default(),
+    )
+}
+
+struct FileData {
+    policy: CratePolicy,
+    lexed: lexer::Lexed,
+    parsed: parser::ParsedFile,
+    /// Findings before allow-filtering.
+    raw: Vec<Finding>,
+}
+
+/// The engine: lint a set of files together. Phase 1 runs the per-file
+/// token rules; phase 2 builds the symbol table + call graph and runs the
+/// flow/protocol rules across the whole set; then every finding is
+/// filtered through its file's `lint-allow` annotations, and malformed or
+/// unused allows are reported as findings in their own right (an allow
+/// that suppresses nothing is stale documentation; one without a reason
+/// is a blanket suppression).
+///
+/// `deps` maps crate dir -> in-workspace crate dirs it may call into
+/// (from [`callgraph::workspace_deps`]); `None` makes every crate visible
+/// to every other, which is what loose fixture sets want.
+pub fn lint_files(
+    files: &[SourceFile],
+    deps: Option<BTreeMap<String, BTreeSet<String>>>,
+    opts: &Options,
+) -> Vec<Finding> {
+    // ---- Phase 1: per-file lexing, parsing, token rules. ----
+    let mut data: Vec<FileData> = files
+        .iter()
+        .map(|f| {
+            let policy = policy::policy_for(&f.crate_name);
+            let lexed = lexer::lex(&f.src);
+            let parsed = parser::parse(&lexed);
+            let ctx = rules::FileCtx {
+                rel_path: &f.rel_path,
+                policy: &policy,
+                lexed: &lexed,
+            };
+            let raw = rules::run_all(&ctx);
+            FileData {
+                policy,
+                lexed,
+                parsed,
+                raw,
             }
-            None => true,
         })
         .collect();
 
-    for (idx, allow) in lexed.allows.iter().enumerate() {
-        if !allow.well_formed {
-            out.push(Finding {
-                rule: "allow-syntax",
-                file: rel_path.to_string(),
-                line: allow.line,
-                msg: "malformed lint-allow; the form is \
-                      `// lint-allow(rule-id): reason` — blanket or reasonless \
-                      suppressions are rejected"
-                    .to_string(),
+    // ---- Phase 2: symbol table + call graph + flow rules. ----
+    let mut graph = CallGraph::new(deps);
+    let mut fn_file: Vec<(usize, usize)> = Vec::new(); // graph idx -> (file idx, fn idx)
+    let mut hook_flows: Vec<rules::HookFlow> = Vec::new();
+
+    for (fi, fd) in data.iter().enumerate() {
+        let file = &files[fi];
+        let node_scope = rules::node_engine_scope(&fd.policy, &file.rel_path);
+        for (di, def) in fd.parsed.fns.iter().enumerate() {
+            if def.in_test {
+                continue;
+            }
+            // Whole-body scan: call sites and the first panic site (for
+            // the transitive rule, an already-allowed panic is not a
+            // panic — the suppression reason travels with the helper).
+            let mut runs: Vec<Vec<lexer::Tok>> = Vec::new();
+            parser::for_each_token_run(&def.body, &mut |toks| runs.push(toks.to_vec()));
+            let mut calls = Vec::new();
+            let mut panic: Option<(u32, String)> = None;
+            for toks in &runs {
+                for i in 0..toks.len() {
+                    if let Some(site) = call_at(toks, i) {
+                        calls.push(site);
+                    }
+                    if panic.is_none() {
+                        if let Some((line, what)) = rules::direct_panic_at(toks, i) {
+                            if matching_allow_for(&fd.lexed.allows, "panic-hygiene", line)
+                                .is_none()
+                            {
+                                panic = Some((line, what.to_string()));
+                            }
+                        }
+                    }
+                }
+            }
+            graph.push(FnSym {
+                crate_name: file.crate_name.clone(),
+                file: file.rel_path.clone(),
+                name: def.name.clone(),
+                self_ty: def.self_ty.clone(),
+                line: def.line,
+                panic,
+                calls,
             });
-            continue;
-        }
-        if !RULE_IDS.contains(&allow.rule.as_str()) {
-            out.push(Finding {
-                rule: "allow-syntax",
-                file: rel_path.to_string(),
-                line: allow.line,
-                msg: format!(
-                    "lint-allow names unknown rule `{}`; see --list-rules",
-                    allow.rule
-                ),
-            });
-            continue;
-        }
-        if !used[idx] {
-            out.push(Finding {
-                rule: "unused-allow",
-                file: rel_path.to_string(),
-                line: allow.line,
-                msg: format!(
-                    "lint-allow({}) suppresses nothing within {ALLOW_WINDOW} \
-                     lines; remove it",
-                    allow.rule
-                ),
-            });
+            fn_file.push((fi, di));
+
+            // WAL hook flow runs on every fn (call-site hook states feed
+            // cross-file coverage); mutations are recorded in node scope.
+            let mut hf = rules::HookFlow::new(node_scope);
+            flow::walk_fn(def, &mut hf, false);
+            hook_flows.push(hf);
         }
     }
 
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    // Deferred findings: (file idx, finding), merged into `raw` below.
+    let mut extra: Vec<(usize, Finding)> = Vec::new();
+
+    // counter-balance + lock-discipline: per-fn path analyses over the
+    // node engine.
+    for &(fi, di) in fn_file.iter() {
+        let fd = &data[fi];
+        let file = &files[fi];
+        if !rules::node_engine_scope(&fd.policy, &file.rel_path) {
+            continue;
+        }
+        let def = &fd.parsed.fns[di];
+
+        let mut cf = rules::CounterFlow::new();
+        flow::walk_fn(def, &mut cf, BTreeSet::new());
+        for line in cf.unbalanced {
+            extra.push((
+                fi,
+                Finding {
+                    rule: "counter-balance",
+                    file: file.rel_path.clone(),
+                    line,
+                    msg: format!(
+                        "`inc_request` in `{}` reaches a function exit with no completion, \
+                         doom, or handoff on some path; the counted request would never \
+                         complete and §4.3 termination detection would wait on it forever",
+                        def.name
+                    ),
+                },
+            ));
+        }
+
+        let mut lf = rules::LockFlow::new();
+        flow::walk_fn(def, &mut lf, None);
+        for line in lf.unprocessed {
+            extra.push((
+                fi,
+                Finding {
+                    rule: "lock-discipline",
+                    file: file.rel_path.clone(),
+                    line,
+                    msg: format!(
+                        "grants from `locks.release_all(…)` in `{}` are not passed to \
+                         `process_grants(…)` on every path; granted-but-unscheduled \
+                         transactions would starve (NC3V §5)",
+                        def.name
+                    ),
+                },
+            ));
+        }
+
+        let mut runs: Vec<Vec<lexer::Tok>> = Vec::new();
+        parser::for_each_token_run(&def.body, &mut |toks| runs.push(toks.to_vec()));
+        let mut pairing = Vec::new();
+        rules::lock_journal_pairing(&runs, &mut pairing);
+        for (line, msg) in pairing {
+            extra.push((
+                fi,
+                Finding {
+                    rule: "lock-discipline",
+                    file: file.rel_path.clone(),
+                    line,
+                    msg,
+                },
+            ));
+        }
+    }
+
+    // wal-hook-coverage: in-function coverage, then credit helpers whose
+    // *every* call-graph path is covered at the call site.
+    let mut rev: BTreeMap<usize, Vec<(usize, bool)>> = BTreeMap::new();
+    for g in 0..graph.fns.len() {
+        for (site, covered) in &hook_flows[g].calls {
+            for tgt in graph.resolve(g, site, true) {
+                if graph.fns[tgt].file.contains("/src/node/") {
+                    rev.entry(tgt).or_default().push((g, *covered));
+                }
+            }
+        }
+    }
+    for g in 0..graph.fns.len() {
+        if hook_flows[g].uncovered.is_empty() {
+            continue;
+        }
+        let mut visiting = BTreeSet::new();
+        if covered_via_callers(g, &rev, &mut visiting) {
+            continue;
+        }
+        let (fi, _) = fn_file[g];
+        for (line, msg) in &hook_flows[g].uncovered {
+            extra.push((
+                fi,
+                Finding {
+                    rule: "wal-hook-coverage",
+                    file: files[fi].rel_path.clone(),
+                    line: *line,
+                    msg: format!(
+                        "{msg} (nor is every call-graph path into `{}` hook-covered)",
+                        graph.fns[g].name
+                    ),
+                },
+            ));
+        }
+    }
+
+    // panic-hygiene, transitive half: a protocol-crate fn calling into a
+    // non-hygiene crate whose callee can reach a panic.
+    let chain_cap = if opts.deep { 64 } else { 8 };
+    let mut dedup: BTreeSet<(usize, u32, usize)> = BTreeSet::new();
+    for g in 0..graph.fns.len() {
+        let caller = &graph.fns[g];
+        if !policy::policy_for(&caller.crate_name).panic_hygiene {
+            continue;
+        }
+        for site in &caller.calls {
+            for tgt in graph.resolve(g, site, false) {
+                let callee = &graph.fns[tgt];
+                if callee.crate_name == caller.crate_name
+                    || policy::policy_for(&callee.crate_name).panic_hygiene
+                {
+                    continue; // hygiene crates are held to the direct rule
+                }
+                let Some(chain) = graph.panic_chain(tgt, chain_cap) else {
+                    continue;
+                };
+                let (fi, _) = fn_file[g];
+                if !dedup.insert((fi, site.line, tgt)) {
+                    continue;
+                }
+                let last = *chain.last().unwrap_or(&tgt);
+                let (pline, pwhat) = graph.fns[last]
+                    .panic
+                    .clone()
+                    .unwrap_or((graph.fns[last].line, "panic".to_string()));
+                let chain_text: Vec<String> = std::iter::once(format!(
+                    "{}::{}",
+                    caller.crate_name, caller.name
+                ))
+                .chain(chain.iter().map(|&c| {
+                    format!("{}::{}", graph.fns[c].crate_name, graph.fns[c].name)
+                }))
+                .collect();
+                extra.push((
+                    fi,
+                    Finding {
+                        rule: "panic-hygiene",
+                        file: files[fi].rel_path.clone(),
+                        line: site.line,
+                        msg: format!(
+                            "call chain {} can panic (`{}` at {}:{}); a protocol path \
+                             must not unwind through a helper crate — handle the error \
+                             or lint-allow with a reason",
+                            chain_text.join(" -> "),
+                            pwhat,
+                            graph.fns[last].file,
+                            pline,
+                        ),
+                    },
+                ));
+            }
+        }
+    }
+
+    for (fi, f) in extra {
+        data[fi].raw.push(f);
+    }
+
+    // ---- Allow filtering + meta findings, per file, in input order. ----
+    let mut out = Vec::new();
+    for (fi, fd) in data.iter_mut().enumerate() {
+        let rel_path = &files[fi].rel_path;
+        let raw = std::mem::take(&mut fd.raw);
+        let mut used = vec![false; fd.lexed.allows.len()];
+        let mut kept: Vec<Finding> = raw
+            .into_iter()
+            .filter(|f| match matching_allow(&fd.lexed.allows, f) {
+                Some(idx) => {
+                    used[idx] = true;
+                    false
+                }
+                None => true,
+            })
+            .collect();
+
+        for (idx, allow) in fd.lexed.allows.iter().enumerate() {
+            if !allow.well_formed {
+                kept.push(Finding {
+                    rule: "allow-syntax",
+                    file: rel_path.clone(),
+                    line: allow.line,
+                    msg: "malformed lint-allow; the form is \
+                          `// lint-allow(rule-id): reason` — blanket or reasonless \
+                          suppressions are rejected"
+                        .to_string(),
+                });
+                continue;
+            }
+            if !RULE_IDS.contains(&allow.rule.as_str()) {
+                kept.push(Finding {
+                    rule: "allow-syntax",
+                    file: rel_path.clone(),
+                    line: allow.line,
+                    msg: format!(
+                        "lint-allow names unknown rule `{}`; see --list-rules",
+                        allow.rule
+                    ),
+                });
+                continue;
+            }
+            if !used[idx] {
+                kept.push(Finding {
+                    rule: "unused-allow",
+                    file: rel_path.clone(),
+                    line: allow.line,
+                    msg: format!(
+                        "lint-allow({}) suppresses nothing within {ALLOW_WINDOW} \
+                         lines; remove it",
+                        allow.rule
+                    ),
+                });
+            }
+        }
+
+        kept.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+        out.extend(kept);
+    }
     out
+}
+
+/// All-paths caller coverage: `f` is credited when it has at least one
+/// caller and *every* call site into it is either hook-covered at-site or
+/// belongs to a function that is itself covered via its callers. Cycles
+/// count as uncovered (a recursive helper must carry its own hook).
+fn covered_via_callers(
+    f: usize,
+    rev: &BTreeMap<usize, Vec<(usize, bool)>>,
+    visiting: &mut BTreeSet<usize>,
+) -> bool {
+    let Some(callers) = rev.get(&f) else {
+        return false;
+    };
+    if callers.is_empty() || !visiting.insert(f) {
+        return false;
+    }
+    let ok = callers
+        .iter()
+        .all(|&(g, covered)| covered || covered_via_callers(g, rev, visiting));
+    visiting.remove(&f);
+    ok
 }
 
 /// An allow matches a finding when the rule id agrees and the finding sits
 /// between the allow's first line and [`ALLOW_WINDOW`] lines below the end
 /// of its comment run (annotations precede the code they excuse).
 fn matching_allow(allows: &[Allow], f: &Finding) -> Option<usize> {
+    matching_allow_for(allows, f.rule, f.line)
+}
+
+fn matching_allow_for(allows: &[Allow], rule: &str, line: u32) -> Option<usize> {
     allows.iter().position(|a| {
-        a.well_formed && a.rule == f.rule && f.line >= a.line && f.line <= a.anchor + ALLOW_WINDOW
+        a.well_formed && a.rule == rule && line >= a.line && line <= a.anchor + ALLOW_WINDOW
     })
 }
 
-fn policy_with_name(crate_name: &str) -> CratePolicy {
-    policy::policy_for(crate_name)
+/// Lint every `crates/*/src/**/*.rs` file under `root` with default
+/// options. Files under `tests/`, `benches/`, `examples/`, and
+/// `fixtures/` are out of scope (test-tier code), as is `shims/`
+/// (vendored third-party API stubs).
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    lint_workspace_with(root, &Options::default())
 }
 
-/// Lint every `crates/*/src/**/*.rs` file under `root`. Files under
-/// `tests/`, `benches/`, `examples/`, and `fixtures/` are out of scope
-/// (test-tier code), as is `shims/` (vendored third-party API stubs).
-pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+/// [`lint_workspace`] with explicit [`Options`].
+pub fn lint_workspace_with(root: &Path, opts: &Options) -> Result<Vec<Finding>, String> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
         .map_err(|e| format!("{}: {}", crates_dir.display(), e))?
@@ -153,7 +488,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
         .collect();
     crate_dirs.sort();
 
-    let mut findings = Vec::new();
+    let mut files = Vec::new();
     for dir in crate_dirs {
         let crate_name = dir
             .file_name()
@@ -164,10 +499,10 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
         if !src.is_dir() {
             continue;
         }
-        let mut files = Vec::new();
-        collect_rs(&src, &mut files)?;
-        files.sort();
-        for file in files {
+        let mut paths = Vec::new();
+        collect_rs(&src, &mut paths)?;
+        paths.sort();
+        for file in paths {
             let rel = file
                 .strip_prefix(root)
                 .unwrap_or(&file)
@@ -175,10 +510,15 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
                 .replace('\\', "/");
             let text =
                 std::fs::read_to_string(&file).map_err(|e| format!("{}: {}", file.display(), e))?;
-            findings.extend(lint_source(&crate_name, &rel, &text));
+            files.push(SourceFile {
+                crate_name: crate_name.clone(),
+                rel_path: rel,
+                src: text,
+            });
         }
     }
-    Ok(findings)
+    let deps = callgraph::workspace_deps(root);
+    Ok(lint_files(&files, Some(deps), opts))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
@@ -209,4 +549,42 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
         cur = dir.parent().map(Path::to_path_buf);
     }
     None
+}
+
+/// Render findings as a JSON array (hand-rolled: the linter is
+/// zero-dependency by design). Stable field order, one object per line.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str, out: &mut String) {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+    }
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str("  {\"rule\":\"");
+        esc(f.rule, &mut out);
+        out.push_str("\",\"file\":\"");
+        esc(&f.file, &mut out);
+        out.push_str("\",\"line\":");
+        out.push_str(&f.line.to_string());
+        out.push_str(",\"msg\":\"");
+        esc(&f.msg, &mut out);
+        out.push_str("\"}");
+        if i + 1 < findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
 }

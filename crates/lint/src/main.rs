@@ -1,23 +1,32 @@
 //! CLI entry point for `threev-lint`.
 //!
-//! Usage: `cargo run -p threev-lint -- [--deny] [--list-rules] [--root DIR]`
+//! Usage: `cargo run -p threev-lint -- [--deny] [--deep] [--list-rules]
+//! [--root DIR] [--json FILE]`
 //!
 //! Exits 1 when any finding is emitted (with or without `--deny`; the flag
 //! exists so CI invocations read as intent). `--root` overrides workspace
-//! discovery for out-of-tree runs.
+//! discovery for out-of-tree runs. `--deep` raises the transitive
+//! panic-hygiene chain cap (the nightly `lint-deep` job). `--json FILE`
+//! additionally writes the findings as a JSON array (always written, even
+//! when clean, so CI can upload it as an artifact unconditionally).
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use threev_lint::Options;
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
     let mut list_rules = false;
+    let mut opts = Options::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny" => {} // default behaviour; accepted for explicitness
+            "--deep" => opts.deep = true,
             "--list-rules" => list_rules = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
@@ -26,9 +35,19 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => match args.next() {
+                Some(file) => json = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("threev-lint: --json requires a file path");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("threev-lint: unknown argument `{other}`");
-                eprintln!("usage: threev-lint [--deny] [--list-rules] [--root DIR]");
+                eprintln!(
+                    "usage: threev-lint [--deny] [--deep] [--list-rules] [--root DIR] \
+                     [--json FILE]"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -59,17 +78,25 @@ fn main() -> ExitCode {
         }
     };
 
-    match threev_lint::lint_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("threev-lint: clean");
-            ExitCode::SUCCESS
-        }
+    match threev_lint::lint_workspace_with(&root, &opts) {
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            if let Some(path) = json {
+                let doc = threev_lint::findings_to_json(&findings);
+                if let Err(e) = std::fs::write(&path, doc) {
+                    eprintln!("threev-lint: writing {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
             }
-            println!("threev-lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if findings.is_empty() {
+                println!("threev-lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!("threev-lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("threev-lint: {e}");

@@ -1,0 +1,549 @@
+//! A hand-rolled recursive-descent parser over the lexer's token stream,
+//! just deep enough for flow-sensitive linting.
+//!
+//! It recovers the *shape* of every function body — blocks, `if`/`match`
+//! arms, loops, and straight-line token runs — without building a full
+//! expression AST. Rules then walk the shape with [`crate::flow`] and
+//! pattern-match over the flat token runs exactly as the v1 rules did,
+//! but per control-flow path instead of per 12-line window.
+//!
+//! Deliberate approximations (all conservative for the rules that consume
+//! this tree):
+//!
+//! * Parenthesised and bracketed groups — argument lists, closures, array
+//!   literals — are consumed flat into the enclosing [`Stmt::Leaf`]. Their
+//!   tokens are still visited in source order; only branch structure
+//!   *inside* them is lost.
+//! * A `{` whose previous token is an identifier is taken as a struct
+//!   literal / struct pattern and consumed flat (rustc bans ambiguous
+//!   struct literals in `if`/`while`/`for`/`match` heads, which is what
+//!   makes this heuristic sound where it matters).
+//! * `let PAT = EXPR else { … };` is modelled as a one-armed, non-
+//!   exhaustive [`Stmt::If`]: the divergent block is walked, and the
+//!   binding-succeeded fallthrough path survives the merge.
+//! * Parsing is total: any token stream — including fuzzer garbage —
+//!   produces *some* tree, never a panic and never a hang (every loop
+//!   advances the cursor; recursion is depth-capped and falls back to
+//!   flat consumption).
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Everything the parser recovered from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every `fn` item with a body, in source order (including fns nested
+    /// inside other fns, `mod`s, and `impl`/`trait` blocks).
+    pub fns: Vec<FnDef>,
+}
+
+/// One function definition.
+#[derive(Debug)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// The `impl`/`trait` self type this fn sits under, if any.
+    pub self_ty: Option<String>,
+    /// Line of the `fn` name token.
+    pub line: u32,
+    /// Line of the last token of the body (where fallthrough exits).
+    pub end_line: u32,
+    /// Defined inside `#[cfg(test)]` / `#[test]` code?
+    pub in_test: bool,
+    /// The body.
+    pub body: Block,
+}
+
+/// A `{ … }` body: statements in source order.
+#[derive(Debug, Default, Clone)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement-level unit of a block.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// A straight-line token run (no branching at statement level).
+    Leaf(Vec<Tok>),
+    /// An `if`/`else if`/`else` chain. Each arm is `(head, body)`; heads
+    /// are evaluated in order (so arm *n*'s body runs after heads
+    /// `0..=n`). `has_else` distinguishes exhaustive chains from ones
+    /// with a fallthrough path.
+    If {
+        arms: Vec<(Vec<Tok>, Block)>,
+        has_else: bool,
+    },
+    /// A `match`: the scrutinee head plus one `(pattern, body)` per arm.
+    /// Exhaustive by construction (rustc would reject it otherwise).
+    Match {
+        head: Vec<Tok>,
+        arms: Vec<(Vec<Tok>, Block)>,
+    },
+    /// `loop`/`while`/`for`. `head` is empty exactly for bare `loop`
+    /// (which never skips and exits only via `break`).
+    Loop { head: Vec<Tok>, body: Block },
+    /// A bare nested `{ … }` scope (always executes).
+    Sub(Block),
+}
+
+/// Recursion cap: beyond this brace depth the parser consumes groups flat
+/// instead of recursing, so pathological input cannot overflow the stack.
+const MAX_DEPTH: usize = 64;
+
+/// Head flavours, per the token that separates pattern from expression.
+#[derive(Clone, Copy, PartialEq)]
+enum Head {
+    /// `if COND` / `while COND` / `match SCRUTINEE`: expression from the
+    /// start, so the first depth-0 `{` is the body.
+    Cond,
+    /// `if let PAT = EXPR` / `while let …`: pattern until a depth-0 `=`.
+    Let,
+    /// `for PAT in EXPR`: pattern until a depth-0 `in`.
+    For,
+}
+
+/// Parse a lexed file into function bodies.
+pub fn parse(lexed: &Lexed) -> ParsedFile {
+    let mut p = Parser {
+        toks: &lexed.toks,
+        i: 0,
+    };
+    let mut fns = Vec::new();
+    p.items(None, &mut fns, 0);
+    ParsedFile { fns }
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn cur(&self) -> Option<&Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn at(&self, s: &str) -> bool {
+        self.cur().is_some_and(|t| t.text == s)
+    }
+
+    fn peek_is(&self, k: usize, s: &str) -> bool {
+        self.toks.get(self.i + k).is_some_and(|t| t.text == s)
+    }
+
+    fn peek_ident(&self, k: usize) -> bool {
+        self.toks
+            .get(self.i + k)
+            .is_some_and(|t| t.kind == TokKind::Ident)
+    }
+
+    /// Item scanner: collects `fn` bodies, tracking the `impl`/`trait`
+    /// self type, until EOF or the `}` closing the current scope
+    /// (consumed).
+    fn items(&mut self, self_ty: Option<&str>, out: &mut Vec<FnDef>, depth: usize) {
+        while let Some(t) = self.cur() {
+            match t.text.as_str() {
+                "}" => {
+                    self.i += 1;
+                    return;
+                }
+                "fn" if self.peek_ident(1) => self.fn_item(self_ty, out, depth),
+                "impl" => {
+                    let ty = self.impl_header();
+                    if self.at("{") {
+                        self.enter_items(ty.as_deref(), out, depth);
+                    } else if self.at(";") {
+                        self.i += 1;
+                    }
+                }
+                "mod" if self.peek_ident(1) => {
+                    self.i += 2;
+                    self.skip_to_brace_or_semi();
+                    if self.at("{") {
+                        self.enter_items(None, out, depth);
+                    } else if self.at(";") {
+                        self.i += 1;
+                    }
+                }
+                "trait" if self.peek_ident(1) => {
+                    let name = self.toks[self.i + 1].text.clone();
+                    self.i += 2;
+                    self.skip_to_brace_or_semi();
+                    if self.at("{") {
+                        self.enter_items(Some(&name), out, depth);
+                    } else if self.at(";") {
+                        self.i += 1;
+                    }
+                }
+                "{" => self.enter_items(self_ty, out, depth),
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Recurse into a `{`-delimited item scope, flat-skipping past the
+    /// recursion cap.
+    fn enter_items(&mut self, self_ty: Option<&str>, out: &mut Vec<FnDef>, depth: usize) {
+        if depth >= MAX_DEPTH {
+            let mut sink = Vec::new();
+            self.consume_group_into(&mut sink);
+            return;
+        }
+        self.i += 1; // `{`
+        self.items(self_ty, out, depth + 1);
+    }
+
+    /// After `mod name` / `trait name`: skip generics and bounds up to the
+    /// body `{` or a terminating `;` (not consumed).
+    fn skip_to_brace_or_semi(&mut self) {
+        while let Some(t) = self.cur() {
+            if t.text == "{" || t.text == ";" {
+                return;
+            }
+            self.i += 1;
+        }
+    }
+
+    /// `impl … {`: returns the self type — the last angle-depth-0 path
+    /// ident before the body, with `for` restarting the search (so
+    /// `impl Display for Finding` yields `Finding` and
+    /// `impl Store<MemBackend>` yields `Store`).
+    fn impl_header(&mut self) -> Option<String> {
+        self.i += 1; // `impl`
+        let mut ty: Option<String> = None;
+        let mut angle: i32 = 0;
+        let mut in_where = false;
+        while let Some(t) = self.cur() {
+            match t.text.as_str() {
+                "{" | ";" if angle <= 0 => break,
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "for" if angle <= 0 => ty = None,
+                "where" if angle <= 0 => in_where = true,
+                "dyn" => {}
+                _ if angle <= 0 && !in_where && t.kind == TokKind::Ident => {
+                    ty = Some(t.text.clone());
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        ty
+    }
+
+    /// `fn name …`: skip the signature to the body `{` (or a bodiless
+    /// `;`), then parse the body.
+    fn fn_item(&mut self, self_ty: Option<&str>, out: &mut Vec<FnDef>, depth: usize) {
+        let name_tok = self.toks[self.i + 1].clone();
+        self.i += 2;
+        let mut pd: i32 = 0;
+        loop {
+            let Some(t) = self.cur() else { return };
+            match t.text.as_str() {
+                "(" | "[" => pd += 1,
+                ")" | "]" => pd -= 1,
+                ";" if pd <= 0 => {
+                    self.i += 1; // declaration without body (trait method)
+                    return;
+                }
+                "{" if pd <= 0 => break,
+                _ => {}
+            }
+            self.i += 1;
+        }
+        let body = self.block(self_ty, out, depth + 1);
+        let end_line = self
+            .toks
+            .get(self.i.saturating_sub(1))
+            .map_or(name_tok.line, |t| t.line);
+        out.push(FnDef {
+            name: name_tok.text,
+            self_ty: self_ty.map(str::to_string),
+            line: name_tok.line,
+            end_line,
+            in_test: name_tok.in_test,
+            body,
+        });
+    }
+
+    /// Parse a `{ … }` body. Cursor must sit on the `{`; consumes through
+    /// the matching `}`.
+    fn block(&mut self, self_ty: Option<&str>, out: &mut Vec<FnDef>, depth: usize) -> Block {
+        if depth >= MAX_DEPTH {
+            let mut toks = Vec::new();
+            self.consume_group_into(&mut toks);
+            return Block {
+                stmts: vec![Stmt::Leaf(toks)],
+            };
+        }
+        self.i += 1; // `{`
+        let mut stmts: Vec<Stmt> = Vec::new();
+        let mut leaf: Vec<Tok> = Vec::new();
+        loop {
+            let Some(t) = self.cur().cloned() else { break };
+            match t.text.as_str() {
+                "}" => {
+                    self.i += 1;
+                    break;
+                }
+                ";" => {
+                    leaf.push(t);
+                    self.i += 1;
+                    flush(&mut leaf, &mut stmts);
+                }
+                "(" | "[" => self.consume_group_into(&mut leaf),
+                "{" => {
+                    if leaf.last().is_some_and(|p| p.kind == TokKind::Ident) {
+                        // Struct literal (or `unsafe {` etc.): flat.
+                        self.consume_group_into(&mut leaf);
+                    } else {
+                        flush(&mut leaf, &mut stmts);
+                        stmts.push(Stmt::Sub(self.block(self_ty, out, depth + 1)));
+                    }
+                }
+                "else" if self.peek_is(1, "{") => {
+                    // `let PAT = EXPR else { … };` — one non-exhaustive arm
+                    // so the binding-succeeded fallthrough survives.
+                    flush(&mut leaf, &mut stmts);
+                    self.i += 1;
+                    let b = self.block(self_ty, out, depth + 1);
+                    stmts.push(Stmt::If {
+                        arms: vec![(Vec::new(), b)],
+                        has_else: false,
+                    });
+                }
+                "fn" if self.peek_ident(1) => {
+                    // A nested fn is an item: its body belongs to the
+                    // symbol table, not to this block's flow.
+                    flush(&mut leaf, &mut stmts);
+                    self.fn_item(self_ty, out, depth);
+                }
+                _ => {
+                    if let Some(s) = self.control_stmt(self_ty, out, depth) {
+                        flush(&mut leaf, &mut stmts);
+                        stmts.push(s);
+                    } else {
+                        leaf.push(t);
+                        self.i += 1;
+                    }
+                }
+            }
+        }
+        flush(&mut leaf, &mut stmts);
+        Block { stmts }
+    }
+
+    /// If the cursor sits on a control keyword, parse the whole construct
+    /// and return it; otherwise `None` (cursor untouched).
+    fn control_stmt(&mut self, self_ty: Option<&str>, out: &mut Vec<FnDef>, depth: usize) -> Option<Stmt> {
+        match self.cur()?.text.as_str() {
+            "if" => Some(self.if_stmt(self_ty, out, depth)),
+            "match" => Some(self.match_stmt(self_ty, out, depth)),
+            "while" | "for" => Some(self.loop_stmt(self_ty, out, depth)),
+            "loop" if self.peek_is(1, "{") => {
+                self.i += 1;
+                Some(Stmt::Loop {
+                    head: Vec::new(),
+                    body: self.block(self_ty, out, depth + 1),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn if_stmt(&mut self, self_ty: Option<&str>, out: &mut Vec<FnDef>, depth: usize) -> Stmt {
+        let mut arms = Vec::new();
+        let mut has_else = false;
+        loop {
+            self.i += 1; // `if`
+            let mode = if self.at("let") { Head::Let } else { Head::Cond };
+            let head = self.head(mode);
+            if !self.at("{") {
+                break; // malformed; salvage what we have
+            }
+            let body = self.block(self_ty, out, depth + 1);
+            arms.push((head, body));
+            if self.at("else") {
+                self.i += 1;
+                if self.at("if") {
+                    continue;
+                }
+                if self.at("{") {
+                    arms.push((Vec::new(), self.block(self_ty, out, depth + 1)));
+                    has_else = true;
+                }
+            }
+            break;
+        }
+        Stmt::If { arms, has_else }
+    }
+
+    fn loop_stmt(&mut self, self_ty: Option<&str>, out: &mut Vec<FnDef>, depth: usize) -> Stmt {
+        let is_for = self.at("for");
+        self.i += 1; // `while` / `for`
+        let mode = if is_for {
+            Head::For
+        } else if self.at("let") {
+            Head::Let
+        } else {
+            Head::Cond
+        };
+        let head = self.head(mode);
+        if !self.at("{") {
+            return Stmt::Leaf(head);
+        }
+        let body = self.block(self_ty, out, depth + 1);
+        Stmt::Loop { head, body }
+    }
+
+    fn match_stmt(&mut self, self_ty: Option<&str>, out: &mut Vec<FnDef>, depth: usize) -> Stmt {
+        self.i += 1; // `match`
+        let head = self.head(Head::Cond);
+        if !self.at("{") {
+            return Stmt::Leaf(head);
+        }
+        self.i += 1; // `{`
+        let mut arms = Vec::new();
+        loop {
+            match self.cur().map(|t| t.text.as_str()) {
+                None => break,
+                Some("}") => {
+                    self.i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            // Pattern (incl. guards) up to the depth-0 `=>`.
+            let mut pat = Vec::new();
+            while let Some(t) = self.cur().cloned() {
+                match t.text.as_str() {
+                    "=>" | "}" => break,
+                    "(" | "[" | "{" => self.consume_group_into(&mut pat),
+                    _ => {
+                        pat.push(t);
+                        self.i += 1;
+                    }
+                }
+            }
+            if !self.at("=>") {
+                continue; // hit `}` or EOF; outer loop terminates
+            }
+            self.i += 1; // `=>`
+            let body = if self.at("{") {
+                self.block(self_ty, out, depth + 1)
+            } else if let Some(s) = self.control_stmt(self_ty, out, depth) {
+                Block { stmts: vec![s] }
+            } else {
+                // Expression arm: flat until the depth-0 `,` or the
+                // closing `}` of the match.
+                let mut leaf = Vec::new();
+                while let Some(t) = self.cur().cloned() {
+                    match t.text.as_str() {
+                        "," | "}" => break,
+                        "(" | "[" | "{" => self.consume_group_into(&mut leaf),
+                        _ => {
+                            leaf.push(t);
+                            self.i += 1;
+                        }
+                    }
+                }
+                Block {
+                    stmts: vec![Stmt::Leaf(leaf)],
+                }
+            };
+            if self.at(",") {
+                self.i += 1;
+            }
+            arms.push((pat, body));
+        }
+        Stmt::Match { head, arms }
+    }
+
+    /// Collect a construct head up to (not including) its body `{`.
+    ///
+    /// rustc bans ambiguous struct literals in head expressions, so on the
+    /// expression side the first depth-0 `{` *is* the body. On the pattern
+    /// side (`let` before the `=`, `for` before the `in`) a depth-0 `{` is
+    /// a struct pattern and is consumed flat.
+    fn head(&mut self, mode: Head) -> Vec<Tok> {
+        let mut head = Vec::new();
+        let mut in_expr = mode == Head::Cond;
+        while let Some(t) = self.cur().cloned() {
+            match t.text.as_str() {
+                "(" | "[" => {
+                    self.consume_group_into(&mut head);
+                    continue;
+                }
+                "=" if mode == Head::Let => in_expr = true,
+                "in" if mode == Head::For => in_expr = true,
+                "{" => {
+                    if in_expr {
+                        break; // body start
+                    }
+                    self.consume_group_into(&mut head); // struct pattern
+                    continue;
+                }
+                ";" | "}" => break, // malformed guard
+                _ => {}
+            }
+            head.push(t);
+            self.i += 1;
+        }
+        head
+    }
+
+    /// Consume a balanced `(`/`[`/`{` group (single shared depth counter,
+    /// so even mismatched garbage terminates) flat into `out`.
+    fn consume_group_into(&mut self, out: &mut Vec<Tok>) {
+        let mut depth: i32 = 0;
+        while let Some(t) = self.cur().cloned() {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+            out.push(t);
+            self.i += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+fn flush(leaf: &mut Vec<Tok>, stmts: &mut Vec<Stmt>) {
+    if !leaf.is_empty() {
+        stmts.push(Stmt::Leaf(std::mem::take(leaf)));
+    }
+}
+
+/// Visit every straight-line token run of a body — leaves, heads, and
+/// match patterns — in source order. The workhorse for whole-body scans
+/// (call extraction, panic-site harvesting) that don't need path
+/// sensitivity.
+pub fn for_each_token_run(block: &Block, f: &mut impl FnMut(&[Tok])) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Leaf(toks) => f(toks),
+            Stmt::Sub(b) => for_each_token_run(b, f),
+            Stmt::If { arms, .. } => {
+                for (head, body) in arms {
+                    f(head);
+                    for_each_token_run(body, f);
+                }
+            }
+            Stmt::Match { head, arms } => {
+                f(head);
+                for (pat, body) in arms {
+                    f(pat);
+                    for_each_token_run(body, f);
+                }
+            }
+            Stmt::Loop { head, body } => {
+                f(head);
+                for_each_token_run(body, f);
+            }
+        }
+    }
+}

@@ -66,6 +66,10 @@ pub const POLICIES: &[CratePolicy] = &[
         wal_hooks: false,
         forbid_unsafe: true,
     },
+    // Workload generators feed the deterministic simulator: the same seed
+    // must produce the same arrival stream on every run, so zipf/Poisson
+    // sampling lives on seeded RNGs and ordered maps, and a generator
+    // panic would kill a whole experiment sweep.
     CratePolicy {
         name: "workload",
         deterministic: true,
@@ -106,8 +110,8 @@ pub const POLICIES: &[CratePolicy] = &[
         wal_hooks: false,
         forbid_unsafe: true,
     },
-    // Non-deterministic tier: threaded runtime, analysis/bench tooling, and
-    // the linter itself. Wall clocks, HashMaps, and unwraps are fine here.
+    // Non-deterministic tier: threaded runtime, bench tooling, and the
+    // linter itself. Wall clocks, HashMaps, and unwraps are fine here.
     CratePolicy {
         name: "runtime",
         deterministic: false,
@@ -115,10 +119,16 @@ pub const POLICIES: &[CratePolicy] = &[
         wal_hooks: false,
         forbid_unsafe: true,
     },
+    // The auditor is an *oracle*: the serializability check (Thm 4.1) and
+    // the staleness tracker run inside replay-sensitive test gates, so
+    // their iteration order and failure mode are part of the determinism
+    // contract — a HashMap in the auditor can reorder violation reports
+    // across runs, and an unwrap converts "audit found a bug" into "the
+    // audit crashed". Full deterministic tier since PR 9.
     CratePolicy {
         name: "analysis",
-        deterministic: false,
-        panic_hygiene: false,
+        deterministic: true,
+        panic_hygiene: true,
         wal_hooks: false,
         forbid_unsafe: true,
     },

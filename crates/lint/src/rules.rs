@@ -1,7 +1,15 @@
-//! The five rule families, each pattern-matching over the lexed token
-//! stream of one file. See DESIGN.md §7 for the rationale table mapping
-//! each rule to the paper section whose proof it protects.
+//! The rule families. Per-file rules pattern-match over the lexed token
+//! stream; the protocol rules (`wal-hook-coverage`, `counter-balance`,
+//! `lock-discipline`, transitive `panic-hygiene`) are path analyses over
+//! the parsed bodies ([`crate::parser`]) driven by the branch-sensitive
+//! walker ([`crate::flow`]) and the workspace call graph
+//! ([`crate::callgraph`]). See DESIGN.md §7 for the rationale table
+//! mapping each rule to the paper section whose proof it protects.
 
+use std::collections::BTreeSet;
+
+use crate::callgraph::{call_at, CallSite};
+use crate::flow::Analysis;
 use crate::lexer::{Lexed, Tok, TokKind};
 use crate::policy::CratePolicy;
 use crate::Finding;
@@ -33,6 +41,12 @@ impl FileCtx<'_> {
             msg,
         }
     }
+}
+
+/// Is this file inside the core node engine (the scope of the protocol
+/// flow rules)?
+pub fn node_engine_scope(policy: &CratePolicy, rel_path: &str) -> bool {
+    policy.wal_hooks && rel_path.contains("/src/node/")
 }
 
 /// Identifiers whose presence in non-test deterministic code breaks
@@ -227,9 +241,9 @@ pub fn counter_monotonicity(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
-/// Durable-state mutations: `(receiver, method)` pairs whose call must sit
-/// within [`WAL_WINDOW`] lines of a WAL hook (`wal(…)` / `wal_enabled()`),
-/// so recovery replay sees every mutation (PR 3's recovery proof).
+/// Durable-state mutations: `(receiver, method)` pairs that recovery
+/// replay must see in the WAL, so a hook must *precede* them on every
+/// control path ([`HookFlow`]).
 const WAL_MUTATING_CALLS: &[(&str, &str)] = &[
     ("counters", "inc_request"),
     ("counters", "inc_completion"),
@@ -244,74 +258,102 @@ const WAL_MUTATING_CALLS: &[(&str, &str)] = &[
 /// Durable fields whose direct reassignment must likewise be logged.
 const WAL_MUTATING_ASSIGNS: &[&str] = &["vu", "vr", "store", "counters", "locks"];
 
-/// How far (in lines, either direction) a WAL hook may sit from the
-/// mutation it covers. Proximity, not ordering: the write-ahead *ordering*
-/// is a code-review invariant; this rule catches the new mutation site
-/// with **no** hook at all, which is the failure mode that silently breaks
-/// recovery replay.
-const WAL_WINDOW: u32 = 12;
-
-/// Rule `wal-hook-coverage`: in the core node engine, every mutation of
-/// store chains, counters, lock holders, or `(vr, vu)` must have a
-/// durability hook in its immediate neighbourhood.
-pub fn wal_hook_coverage(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    if !ctx.policy.wal_hooks || !ctx.rel_path.contains("/src/node/") {
-        return;
+/// Recognize a durable-state mutation at `toks[i]`; returns `(line, what)`.
+fn mutation_at(toks: &[Tok], i: usize) -> Option<(u32, String)> {
+    let t = &toks[i];
+    if t.in_test || t.kind != TokKind::Ident {
+        return None;
     }
-    let toks = ctx.toks();
-    // Pre-collect the lines of every WAL hook mention in non-test code.
-    let hook_lines: Vec<u32> = toks
-        .iter()
-        .filter(|t| {
-            !t.in_test && t.kind == TokKind::Ident && (t.text == "wal" || t.text == "wal_enabled")
-        })
-        .map(|t| t.line)
-        .collect();
-    let covered = |line: u32| hook_lines.iter().any(|h| h.abs_diff(line) <= WAL_WINDOW);
-
-    for (i, t) in toks.iter().enumerate() {
-        if t.in_test || t.kind != TokKind::Ident {
-            continue;
-        }
-        // `<recv> . <method> (`
-        let is_call = toks.get(i + 1).is_some_and(|d| d.text == ".")
-            && toks.get(i + 3).is_some_and(|p| p.text == "(");
-        if is_call {
-            if let Some(m) = toks.get(i + 2) {
-                if WAL_MUTATING_CALLS
-                    .iter()
-                    .any(|(r, f)| *r == t.text && *f == m.text)
-                    && !covered(m.line)
-                {
-                    out.push(ctx.finding(
-                        "wal-hook-coverage",
-                        m.line,
-                        format!(
-                            "`{}.{}(…)` mutates durable state with no WAL hook within \
-                             {WAL_WINDOW} lines; recovery replay would miss it",
-                            t.text, m.text
-                        ),
-                    ));
-                }
-            }
-        }
-        // `self . <field> =` (but not `==`)
-        if t.text == "self"
-            && toks.get(i + 1).is_some_and(|d| d.text == ".")
-            && toks.get(i + 2).is_some_and(|f| {
-                f.kind == TokKind::Ident && WAL_MUTATING_ASSIGNS.contains(&f.text.as_str())
-            })
-            && toks.get(i + 3).is_some_and(|e| e.text == "=")
+    // `<recv> . <method> (`
+    if toks.get(i + 1).is_some_and(|d| d.text == ".") && toks.get(i + 3).is_some_and(|p| p.text == "(")
+    {
+        let m = toks.get(i + 2)?;
+        if WAL_MUTATING_CALLS
+            .iter()
+            .any(|(r, f)| *r == t.text && *f == m.text)
         {
-            let f = &toks[i + 2];
-            if !covered(f.line) {
-                out.push(ctx.finding(
-                    "wal-hook-coverage",
-                    f.line,
+            return Some((m.line, format!("`{}.{}(…)`", t.text, m.text)));
+        }
+    }
+    // `self . <field> =` (but not `==`: the lexer folds `==` into one token)
+    if t.text == "self"
+        && toks.get(i + 1).is_some_and(|d| d.text == ".")
+        && toks.get(i + 2).is_some_and(|f| {
+            f.kind == TokKind::Ident && WAL_MUTATING_ASSIGNS.contains(&f.text.as_str())
+        })
+        && toks.get(i + 3).is_some_and(|e| e.text == "=")
+    {
+        let f = &toks[i + 2];
+        return Some((f.line, format!("`self.{} = …`", f.text)));
+    }
+    None
+}
+
+/// Flow analysis behind rule `wal-hook-coverage` v2.
+///
+/// State is one bool per path: "has a WAL hook (`wal(…)` call or
+/// `wal_enabled()` gate) already executed?". The join is AND — a mutation
+/// is only covered when *every* path reaching it saw a hook first, which
+/// is the write-ahead ordering recovery replay depends on (a hook in a
+/// sibling branch that never executes no longer counts, and distance in
+/// lines no longer matters). `wal_enabled()` counts as a hook because a
+/// `false` gate means durability is off and there is no log to replay —
+/// the mutation is consciously unjournaled on that configuration.
+///
+/// Besides in-function coverage the analysis records every call site with
+/// its at-site hook state; [`crate::lint_files`] uses those to credit
+/// helpers that are only ever invoked from already-covered contexts
+/// (coverage via *every* call-graph path).
+pub struct HookFlow {
+    /// Record mutations? (node-engine files only; call sites are recorded
+    /// everywhere so cross-file coverage can be resolved.)
+    active: bool,
+    seen: BTreeSet<u32>,
+    /// Uncovered mutations: `(line, description)`.
+    pub uncovered: Vec<(u32, String)>,
+    /// Every call site with its all-paths hook state.
+    pub calls: Vec<(CallSite, bool)>,
+}
+
+impl HookFlow {
+    pub fn new(active: bool) -> Self {
+        HookFlow {
+            active,
+            seen: BTreeSet::new(),
+            uncovered: Vec::new(),
+            calls: Vec::new(),
+        }
+    }
+}
+
+impl Analysis for HookFlow {
+    type State = bool;
+
+    fn merge(&mut self, a: &mut bool, b: &bool) {
+        *a = *a && *b;
+    }
+
+    fn token(&mut self, toks: &[Tok], i: usize, st: &mut bool) {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && (t.text == "wal" || t.text == "wal_enabled")
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            *st = true;
+        }
+        if let Some(site) = call_at(toks, i) {
+            self.calls.push((site, *st));
+        }
+        if !self.active || *st {
+            return;
+        }
+        if let Some((line, what)) = mutation_at(toks, i) {
+            if self.seen.insert(line) {
+                self.uncovered.push((
+                    line,
                     format!(
-                        "`self.{} = …` reassigns durable state with no WAL hook within \
-                         {WAL_WINDOW} lines; recovery replay would miss it",
-                        f.text
+                        "{what} mutates durable state with no WAL hook preceding it on \
+                         every path; recovery replay would miss it"
                     ),
                 ));
             }
@@ -319,45 +361,244 @@ pub fn wal_hook_coverage(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
-/// Rule `panic-hygiene`: protocol code must not contain reachable panics —
-/// a malformed message taking down a node converts a logic bug into an
-/// availability incident, and the recovery tests then exercise the wrong
-/// failure mode. `assert!`/`debug_assert!` are deliberately admitted:
-/// invariant checks are the point of the exercise.
+/// Calls that discharge an open `inc_request` obligation: the request
+/// either completes on the same path (`inc_completion` — e.g. immediate
+/// rejection), is doomed/compensated, or is handed off into tracked
+/// protocol state whose later message will complete it. `send_tagged` is
+/// the canonical handoff — §4.1's discipline is "increment `R(v)pq`,
+/// *then* send to `q`", and the matching `C` moves when `q`'s completion
+/// message lands; an `inc_request` with no subsequent send on some path
+/// is precisely the dropped-request bug this rule exists for.
+const COUNTER_DISCHARGES: &[&str] = &[
+    "inc_completion",
+    "run_job",
+    "execute_job",
+    "doom_nc",
+    "send_compensate",
+    "process_grants",
+    "send_tagged",
+];
+
+/// Receiver/method discharge forms: parking a counted job in tracked
+/// queue state (the NC gate) also keeps the obligation alive.
+const COUNTER_DISCHARGE_CALLS: &[(&str, &str)] = &[("nc_waiting", "push")];
+
+/// Flow analysis behind rule `counter-balance` (paper P5: `C(v)pq ≤
+/// R(v)pq`, and Thm 4.1 needs every counted request to eventually
+/// complete). State is the set of `inc_request` lines still undischarged
+/// on *some* path (union join); any line still open at a function exit is
+/// a request that was counted and then dropped on the floor — version
+/// termination detection (§4.3) would wait on it forever.
+pub struct CounterFlow {
+    /// `inc_request` lines open at some exit.
+    pub unbalanced: BTreeSet<u32>,
+}
+
+impl CounterFlow {
+    pub fn new() -> Self {
+        CounterFlow {
+            unbalanced: BTreeSet::new(),
+        }
+    }
+}
+
+impl Default for CounterFlow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Analysis for CounterFlow {
+    type State = BTreeSet<u32>;
+
+    fn merge(&mut self, a: &mut Self::State, b: &Self::State) {
+        a.extend(b.iter().copied());
+    }
+
+    fn token(&mut self, toks: &[Tok], i: usize, st: &mut Self::State) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !toks.get(i + 1).is_some_and(|n| n.text == "(") {
+            return;
+        }
+        if t.text == "inc_request" && i >= 1 && toks[i - 1].text == "." {
+            st.insert(t.line);
+        } else if COUNTER_DISCHARGES.contains(&t.text.as_str()) {
+            st.clear();
+        } else if i >= 2
+            && toks[i - 1].text == "."
+            && COUNTER_DISCHARGE_CALLS
+                .iter()
+                .any(|(r, m)| toks[i - 2].text == *r && t.text == *m)
+        {
+            st.clear();
+        }
+    }
+
+    fn exit(&mut self, st: &Self::State, _line: u32) {
+        self.unbalanced.extend(st.iter().copied());
+    }
+}
+
+/// Flow analysis behind rule `lock-discipline` (paper §5, NC3V): a
+/// `locks.release_all(…)` hands back a batch of newly-grantable waiters;
+/// every path from it must reach `process_grants(…)` before the function
+/// exits, or granted-but-unscheduled transactions starve. State is the
+/// line of the pending release (None when processed); the join keeps any
+/// pending release alive (a single unprocessed path is a bug).
+pub struct LockFlow {
+    /// `release_all` lines whose grants are unprocessed at some exit.
+    pub unprocessed: BTreeSet<u32>,
+}
+
+impl LockFlow {
+    pub fn new() -> Self {
+        LockFlow {
+            unprocessed: BTreeSet::new(),
+        }
+    }
+}
+
+impl Default for LockFlow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Analysis for LockFlow {
+    type State = Option<u32>;
+
+    fn merge(&mut self, a: &mut Self::State, b: &Self::State) {
+        if a.is_none() {
+            *a = *b;
+        }
+    }
+
+    fn token(&mut self, toks: &[Tok], i: usize, st: &mut Self::State) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            return;
+        }
+        if t.text == "locks"
+            && toks.get(i + 1).is_some_and(|d| d.text == ".")
+            && toks.get(i + 2).is_some_and(|m| m.text == "release_all")
+            && toks.get(i + 3).is_some_and(|p| p.text == "(")
+        {
+            *st = Some(toks[i + 2].line);
+        } else if t.text == "process_grants" && toks.get(i + 1).is_some_and(|n| n.text == "(") {
+            *st = None;
+        }
+    }
+
+    fn exit(&mut self, st: &Self::State, _line: u32) {
+        if let Some(line) = st {
+            self.unprocessed.insert(*line);
+        }
+    }
+}
+
+/// The non-flow half of `lock-discipline`: grant/release journal pairing.
+/// A function that calls `locks.acquire(…)` must mention `LockAcquire`
+/// (the WAL op) somewhere in its body, and one that calls
+/// `locks.release_all(…)` must mention `LockRelease` — otherwise recovery
+/// rebuilds a lock table that disagrees with the one the crash saw.
+pub fn lock_journal_pairing(
+    body_runs: &[Vec<Tok>],
+    out: &mut Vec<(u32, String)>,
+) {
+    let mut acquire_at: Option<u32> = None;
+    let mut release_at: Option<u32> = None;
+    let mut has_acquire_op = false;
+    let mut has_release_op = false;
+    for toks in body_runs {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            match t.text.as_str() {
+                "locks"
+                    if toks.get(i + 1).is_some_and(|d| d.text == ".")
+                        && toks.get(i + 3).is_some_and(|p| p.text == "(") =>
+                {
+                    match toks[i + 2].text.as_str() {
+                        "acquire" if acquire_at.is_none() => acquire_at = Some(toks[i + 2].line),
+                        "release_all" if release_at.is_none() => {
+                            release_at = Some(toks[i + 2].line)
+                        }
+                        _ => {}
+                    }
+                }
+                "LockAcquire" => has_acquire_op = true,
+                "LockRelease" => has_release_op = true,
+                _ => {}
+            }
+        }
+    }
+    if let Some(line) = acquire_at {
+        if !has_acquire_op {
+            out.push((
+                line,
+                "`locks.acquire(…)` without a `WalOp::LockAcquire` anywhere in this \
+                 function; a granted lock the WAL never saw disappears on recovery"
+                    .to_string(),
+            ));
+        }
+    }
+    if let Some(line) = release_at {
+        if !has_release_op {
+            out.push((
+                line,
+                "`locks.release_all(…)` without a `WalOp::LockRelease` anywhere in this \
+                 function; recovery would resurrect released locks"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Recognize a direct panic site at `toks[i]`: `(line, what)`.
+/// `assert!`/`debug_assert!` are deliberately admitted: invariant checks
+/// are the point of the exercise.
+pub fn direct_panic_at(toks: &[Tok], i: usize) -> Option<(u32, &'static str)> {
+    let t = &toks[i];
+    if t.in_test || t.kind != TokKind::Ident {
+        return None;
+    }
+    let next_is = |s: &str| toks.get(i + 1).is_some_and(|n| n.text == s);
+    match t.text.as_str() {
+        "unwrap" if i >= 1 && toks[i - 1].text == "." && next_is("(") => Some((t.line, "unwrap")),
+        "expect" if i >= 1 && toks[i - 1].text == "." && next_is("(") => Some((t.line, "expect")),
+        "panic" if next_is("!") => Some((t.line, "panic")),
+        "unreachable" if next_is("!") => Some((t.line, "unreachable")),
+        "todo" if next_is("!") => Some((t.line, "todo")),
+        "unimplemented" if next_is("!") => Some((t.line, "unimplemented")),
+        _ => None,
+    }
+}
+
+/// Rule `panic-hygiene` (direct half): protocol code must not contain
+/// reachable panics — a malformed message taking down a node converts a
+/// logic bug into an availability incident, and the recovery tests then
+/// exercise the wrong failure mode. The transitive half (a protocol
+/// function calling a helper crate that can panic) lives in
+/// [`crate::lint_files`], which has the call graph.
 pub fn panic_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     if !ctx.policy.panic_hygiene {
         return;
     }
     let toks = ctx.toks();
-    for (i, t) in toks.iter().enumerate() {
-        if t.in_test || t.kind != TokKind::Ident {
-            continue;
-        }
-        let next_is = |s: &str| toks.get(i + 1).is_some_and(|n| n.text == s);
-        match t.text.as_str() {
-            "unwrap" | "expect" if i >= 1 && toks[i - 1].text == "." && next_is("(") => {
-                out.push(ctx.finding(
-                    "panic-hygiene",
-                    t.line,
-                    format!(
-                        "`.{}()` in protocol code; return a typed error \
-                         (StoreError/ProtocolError) instead",
-                        t.text
-                    ),
-                ));
-            }
-            "panic" | "unreachable" | "todo" | "unimplemented" if next_is("!") => {
-                out.push(ctx.finding(
-                    "panic-hygiene",
-                    t.line,
-                    format!(
-                        "`{}!` in protocol code; a malformed message must not take the \
-                         node down — return a typed error or degrade",
-                        t.text
-                    ),
-                ));
-            }
-            _ => {}
+    for i in 0..toks.len() {
+        if let Some((line, what)) = direct_panic_at(toks, i) {
+            let msg = match what {
+                "unwrap" | "expect" => format!(
+                    "`.{what}()` in protocol code; return a typed error \
+                     (StoreError/ProtocolError) instead"
+                ),
+                _ => format!(
+                    "`{what}!` in protocol code; a malformed message must not take the \
+                     node down — return a typed error or degrade"
+                ),
+            };
+            out.push(ctx.finding("panic-hygiene", line, msg));
         }
     }
 }
@@ -380,32 +621,60 @@ pub fn unsafe_forbid(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             ));
         }
     }
-    if ctx.is("src/lib.rs") {
-        let has_forbid = toks.windows(7).any(|w| {
-            w[0].text == "#"
-                && w[1].text == "!"
-                && w[2].text == "["
-                && w[3].text == "forbid"
-                && w[4].text == "("
-                && w[5].text == "unsafe_code"
-                && w[6].text == ")"
-        });
-        if !has_forbid {
-            out.push(ctx.finding(
-                "unsafe-forbid",
-                1,
-                "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
-            ));
-        }
+    if ctx.is("src/lib.rs") && !has_forbid_unsafe_attr(toks) {
+        out.push(ctx.finding(
+            "unsafe-forbid",
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        ));
     }
 }
 
-/// Run every rule family over one lexed file.
+/// Parse inner attributes (`#![…]`) structurally: any whose token stream
+/// mentions both `forbid` and `unsafe_code` counts, so formatting
+/// variants, argument lists (`#![forbid(unsafe_code, …)]`), and
+/// `cfg_attr` wrappers are all recognized.
+fn has_forbid_unsafe_attr(toks: &[Tok]) -> bool {
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].text == "#" && toks[i + 1].text == "!" && toks[i + 2].text == "[" {
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            let mut saw_forbid = false;
+            let mut saw_unsafe_code = false;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" | "(" => depth += 1,
+                    "]" | ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "forbid" => saw_forbid = true,
+                    "unsafe_code" => saw_unsafe_code = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_forbid && saw_unsafe_code {
+                return true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+/// Run every per-file rule family over one lexed file. The protocol flow
+/// rules run separately in [`crate::lint_files`], which owns the parsed
+/// bodies and the call graph.
 pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Finding> {
     let mut out = Vec::new();
     determinism(ctx, &mut out);
     counter_monotonicity(ctx, &mut out);
-    wal_hook_coverage(ctx, &mut out);
     panic_hygiene(ctx, &mut out);
     unsafe_forbid(ctx, &mut out);
     out

@@ -1,0 +1,14 @@
+//! Fixture: the auditor is an oracle — hash iteration order reorders its
+//! violation reports across runs, and an unwrap turns "the audit found a
+//! bug" into "the audit crashed".
+
+use std::collections::HashMap;
+
+fn summarize(records: &[Record]) -> HashMap<u64, u64> {
+    let mut out = HashMap::new();
+    for r in records {
+        let done = r.completed.unwrap();
+        out.insert(r.id, done);
+    }
+    out
+}

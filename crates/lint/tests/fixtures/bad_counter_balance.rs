@@ -1,0 +1,28 @@
+//! Fixture: counter-balance. An `inc_request` must reach a completion,
+//! doom, or handoff on every path before the function exits (§4.3).
+
+impl Node {
+    fn submit_leaky(&mut self, ok: bool) {
+        self.wal(WalOp::IncRequest { version });
+        self.counters.inc_request(version, to);
+        if ok {
+            self.run_job(ctx, job);
+        }
+    }
+
+    fn submit_balanced(&mut self, ok: bool) {
+        self.wal(WalOp::IncRequest { version });
+        self.counters.inc_request(version, to);
+        if ok {
+            self.run_job(ctx, job);
+        } else {
+            self.counters.inc_completion(version, to);
+        }
+    }
+
+    fn submit_parked(&mut self, job: Job) {
+        self.wal(WalOp::IncRequest { version });
+        self.counters.inc_request(version, to);
+        self.nc_waiting.push(job);
+    }
+}

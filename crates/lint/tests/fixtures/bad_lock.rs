@@ -1,0 +1,24 @@
+//! Fixture: lock-discipline. Grants handed back by `release_all` must be
+//! processed on every path, and lock-table mutations must be journalled.
+
+impl Node {
+    fn release_dropping_grants(&mut self, txn: TxnId) {
+        self.wal(WalOp::LockRelease { txn });
+        let grants = self.locks.release_all(txn);
+        if grants.is_empty() {
+            return;
+        }
+        self.stash = grants;
+    }
+
+    fn release_processed(&mut self, txn: TxnId) {
+        self.wal(WalOp::LockRelease { txn });
+        let grants = self.locks.release_all(txn);
+        self.process_grants(ctx, grants);
+    }
+
+    fn acquire_unjournaled(&mut self, key: Key) {
+        self.wal(WalOp::Touch { key });
+        self.locks.acquire(key, mode, txn);
+    }
+}

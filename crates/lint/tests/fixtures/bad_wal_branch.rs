@@ -1,0 +1,20 @@
+//! Fixture: flow-sensitive WAL coverage. A hook on one branch does not
+//! cover the join below it; a hook on every branch (or above the split) does.
+
+impl Node {
+    fn apply_half_logged(&mut self, fast: bool) {
+        if fast {
+            self.wal(WalOp::Update { key });
+        }
+        self.store.update(key, version, op);
+    }
+
+    fn apply_logged_everywhere(&mut self, fast: bool) {
+        if fast {
+            self.wal(WalOp::Update { key });
+        } else {
+            self.wal(WalOp::Touch { key });
+        }
+        self.store.update(key, version, op);
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: workload generators feed the deterministic simulator — the
+//! same seed must reproduce the same arrival stream on every run, and a
+//! generator panic kills a whole experiment sweep.
+
+use std::time::Instant;
+
+fn arrivals(n: usize) -> Vec<u64> {
+    let t0 = Instant::now();
+    let mut rng = rand::thread_rng();
+    let first = sample(&mut rng).unwrap();
+    vec![first + t0.elapsed().as_micros() as u64; n]
+}

@@ -63,13 +63,18 @@ fn counter_monotonicity_fires_on_stray_callsites() {
         vec![("counter-monotonicity", 5), ("counter-monotonicity", 9)],
         "{findings:#?}"
     );
-    // The sanctioned call sites may increment — but the WAL-coverage rule
-    // takes over there (an increment still needs its write-ahead record),
-    // and the struct-literal back door stays closed even for them.
+    // The sanctioned call sites may increment — but the flow rules take
+    // over there (an increment still needs its write-ahead record and a
+    // discharge before exit), and the struct-literal back door stays
+    // closed even for them.
     let sanctioned = lint_source("core", "crates/core/src/node/gc.rs", &src);
     assert_eq!(
         shape(&sanctioned),
-        vec![("wal-hook-coverage", 5), ("counter-monotonicity", 9)],
+        vec![
+            ("counter-balance", 5),
+            ("wal-hook-coverage", 5),
+            ("counter-monotonicity", 9),
+        ],
         "{sanctioned:#?}"
     );
 }
@@ -95,7 +100,11 @@ fn wal_hook_coverage_fires_on_unlogged_mutations() {
     let findings = lint_source("core", "crates/core/src/node/exec.rs", &src);
     assert_eq!(
         shape(&findings),
-        vec![("wal-hook-coverage", 7), ("wal-hook-coverage", 11)],
+        vec![
+            ("counter-balance", 7), // the unlogged inc_request is also undischarged
+            ("wal-hook-coverage", 7),
+            ("wal-hook-coverage", 11),
+        ],
         "{findings:#?}"
     );
     // Outside the node engine the rule does not apply.
@@ -206,6 +215,140 @@ fn server_policy_keeps_panic_hygiene_without_determinism() {
         "{findings:#?}"
     );
     let exempt = lint_source("runtime", "crates/runtime/src/bad.rs", &src);
+    assert!(exempt.is_empty(), "{exempt:#?}");
+}
+
+/// The v2 WAL rule is branch-sensitive: a hook on one arm of an `if`
+/// does not cover the join below it; hooks on every arm do.
+#[test]
+fn wal_coverage_is_branch_sensitive() {
+    let src = fixture("bad_wal_branch.rs");
+    let findings = lint_source("core", "crates/core/src/node/exec.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![("wal-hook-coverage", 9)],
+        "{findings:#?}"
+    );
+}
+
+/// `counter-balance`: an `inc_request` left open on *some* path to a
+/// function exit fires; discharge via completion, job execution, or the
+/// NC-gate handoff on every path does not.
+#[test]
+fn counter_balance_fires_on_the_leaky_path_only() {
+    let src = fixture("bad_counter_balance.rs");
+    let findings = lint_source("core", "crates/core/src/node/exec.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![("counter-balance", 7)],
+        "{findings:#?}"
+    );
+    // Outside the node engine the flow rules do not apply.
+    let exempt = lint_source("core", "crates/core/src/advance.rs", &src);
+    assert!(
+        !exempt.iter().any(|f| f.rule == "counter-balance"),
+        "{exempt:#?}"
+    );
+}
+
+/// `lock-discipline`: grants dropped on an early-return path, and an
+/// acquire whose function never journals a `LockAcquire`.
+#[test]
+fn lock_discipline_flags_dropped_grants_and_unjournaled_acquires() {
+    let src = fixture("bad_lock.rs");
+    let findings = lint_source("core", "crates/core/src/node/exec.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![("lock-discipline", 7), ("lock-discipline", 22)],
+        "{findings:#?}"
+    );
+}
+
+/// The transitive half of panic-hygiene: a protocol-crate fn calling a
+/// helper crate whose callee can unwrap is flagged at the call site, with
+/// the full chain and the panic's file:line in the message.
+#[test]
+fn transitive_panic_chain_crosses_crates() {
+    use threev_lint::{lint_files, Options, SourceFile};
+    let core_src = "\
+fn drive(x: u64) -> u64 {
+    render_row(x)
+}
+";
+    let bench_src = "\
+pub fn render_row(x: u64) -> u64 {
+    inner(x)
+}
+
+fn inner(x: u64) -> u64 {
+    x.checked_mul(2).unwrap()
+}
+";
+    let files = [
+        SourceFile {
+            crate_name: "core".into(),
+            rel_path: "crates/core/src/drive.rs".into(),
+            src: core_src.into(),
+        },
+        SourceFile {
+            crate_name: "bench".into(),
+            rel_path: "crates/bench/src/report.rs".into(),
+            src: bench_src.into(),
+        },
+    ];
+    let findings = lint_files(&files, None, &Options::default());
+    assert_eq!(
+        shape(&findings),
+        vec![("panic-hygiene", 2)],
+        "{findings:#?}"
+    );
+    let f = &findings[0];
+    assert_eq!(f.file, "crates/core/src/drive.rs");
+    assert!(
+        f.msg
+            .contains("core::drive -> bench::render_row -> bench::inner"),
+        "{}",
+        f.msg
+    );
+    assert!(f.msg.contains("crates/bench/src/report.rs:6"), "{}", f.msg);
+}
+
+/// PR 9 enrolled `analysis` in the full deterministic tier: the auditor
+/// is an oracle, so hash iteration order and unwraps are violations.
+#[test]
+fn analysis_policy_holds_the_deterministic_tier() {
+    let src = fixture("bad_analysis.rs");
+    let findings = lint_source("analysis", "crates/analysis/src/audit.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("determinism", 5),   // HashMap import
+            ("determinism", 7),   // HashMap in the signature
+            ("determinism", 8),   // HashMap::new()
+            ("panic-hygiene", 10), // .unwrap() mid-audit
+        ],
+        "{findings:#?}"
+    );
+}
+
+/// Workload generators feed the deterministic simulator: unseeded RNGs
+/// and wall clocks break seed-reproducibility, so the tier applies.
+#[test]
+fn workload_policy_holds_the_deterministic_tier() {
+    let src = fixture("bad_workload.rs");
+    let findings = lint_source("workload", "crates/workload/src/arrivals.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("determinism", 5),   // Instant import
+            ("determinism", 8),   // Instant::now()
+            ("determinism", 9),   // thread_rng()
+            ("panic-hygiene", 10), // .unwrap() in the generator
+        ],
+        "{findings:#?}"
+    );
+    // The same source under the bench policy produces nothing at all.
+    let exempt = lint_source("bench", "crates/bench/src/bad.rs", &src);
     assert!(exempt.is_empty(), "{exempt:#?}");
 }
 

@@ -1,0 +1,69 @@
+//! Property tests: the recursive-descent parser is *total*. Arbitrary
+//! token soup — unbalanced brackets, keyword salads, truncated constructs
+//! — must never panic, never hang, and never consume a token into more
+//! than one run (the walker's each-token-visited-once invariant rests on
+//! that partition).
+
+use proptest::prelude::*;
+use threev_lint::{lexer, parser};
+
+/// Fragment pool skewed toward the constructs the parser dispatches on:
+/// brackets (balanced and not), control keywords, heads, struct literals,
+/// attributes, comments, and the tokens the rules care about.
+const FRAGMENTS: &[&str] = &[
+    "fn f", "fn", "impl T", "impl", "trait Q", "mod m", "struct S", "enum E",
+    "{", "}", "(", ")", "[", "]", "if", "else", "match", "=>", "loop",
+    "while", "for", "in", "let", "=", "==", "return", "break", "continue",
+    "?", ";", ",", ".", "::", "->", "#", "!", "x", "y", "self", "wal",
+    "Some", "None", "0", "1.5", "0x1f", "\"s\"", "'a", "&&", "||", "<",
+    ">", "|", "&", "move", "unsafe", "_", "#[cfg(test)]", "#[test]",
+    "// line\n", "/* block */",
+];
+
+fn assemble(picks: &[usize]) -> String {
+    let mut s = String::new();
+    for &p in picks {
+        s.push_str(FRAGMENTS[p % FRAGMENTS.len()]);
+        s.push(' ');
+    }
+    s
+}
+
+/// Tokens across all parsed runs must not exceed the file's token count:
+/// every token is consumed into at most one run.
+fn assert_no_double_consumption(src: &str) {
+    let lexed = lexer::lex(src);
+    let parsed = parser::parse(&lexed);
+    let mut in_runs = 0usize;
+    for f in &parsed.fns {
+        parser::for_each_token_run(&f.body, &mut |toks| in_runs += toks.len());
+    }
+    assert!(
+        in_runs <= lexed.toks.len(),
+        "runs hold {in_runs} tokens but the file only lexes to {} — some \
+         token was consumed twice\nsource: {src:?}",
+        lexed.toks.len(),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..Default::default() })]
+
+    /// Structured soup: sequences of plausible Rust fragments.
+    #[test]
+    fn parser_is_total_on_fragment_soup(
+        picks in proptest::collection::vec(any::<usize>(), 0..160),
+    ) {
+        assert_no_double_consumption(&assemble(&picks));
+    }
+
+    /// Raw printable-byte soup (exercises the lexer's corners too:
+    /// unterminated strings, lone quotes, stray backslashes).
+    #[test]
+    fn parser_is_total_on_byte_soup(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let src: String = bytes.iter().map(|&b| (b % 96 + 32) as char).collect();
+        assert_no_double_consumption(&src);
+    }
+}

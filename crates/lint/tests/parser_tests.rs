@@ -1,0 +1,162 @@
+//! Structural unit tests for the item parser: fn discovery, impl/trait
+//! self types, branch shapes, struct-literal disambiguation, let-else,
+//! and nested items.
+
+use threev_lint::lexer;
+use threev_lint::parser::{self, Stmt};
+
+fn parse(src: &str) -> parser::ParsedFile {
+    parser::parse(&lexer::lex(src))
+}
+
+#[test]
+fn finds_fns_with_self_types_and_lines() {
+    let src = "\
+impl Node {
+    fn alpha(&mut self) { self.x = 1; }
+}
+trait Gauge {
+    fn beta(&self) -> u64 { 0 }
+}
+fn gamma() {}
+";
+    let p = parse(src);
+    let got: Vec<(&str, Option<&str>, u32)> = p
+        .fns
+        .iter()
+        .map(|f| (f.name.as_str(), f.self_ty.as_deref(), f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("alpha", Some("Node"), 2),
+            ("beta", Some("Gauge"), 5),
+            ("gamma", None, 7),
+        ],
+    );
+}
+
+#[test]
+fn generic_impl_headers_resolve_to_the_type_name() {
+    let src = "impl<T: Clone> Window<T> { fn push(&mut self, t: T) { self.go(t); } }";
+    let p = parse(src);
+    assert_eq!(p.fns[0].self_ty.as_deref(), Some("Window"));
+    // `impl Trait for Type` binds to the type, not the trait.
+    let p = parse("impl Replay for Shuttle { fn step(&mut self) { tick(); } }");
+    assert_eq!(p.fns[0].self_ty.as_deref(), Some("Shuttle"));
+}
+
+#[test]
+fn if_chain_shape_and_else_tracking() {
+    let src = "fn f(a: bool, b: bool) {
+        if a { one(); } else if b { two(); } else { three(); }
+        if a { four(); }
+    }";
+    let p = parse(src);
+    let ifs: Vec<(usize, bool)> = p.fns[0]
+        .body
+        .stmts
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::If { arms, has_else } => Some((arms.len(), *has_else)),
+            _ => None,
+        })
+        .collect();
+    // 3 arms (the trailing else is an empty-head arm) then a bare if.
+    assert_eq!(ifs, vec![(3, true), (1, false)]);
+}
+
+#[test]
+fn match_collects_every_arm_with_patterns() {
+    let src = "fn f(d: Decision) -> u32 {
+        match d {
+            Decision::Granted => 1,
+            Decision::Waiting { queue } => { park(); 2 }
+            _ => loop { spin(); },
+        }
+    }";
+    let p = parse(src);
+    let Some(Stmt::Match { head, arms }) = p.fns[0].body.stmts.first() else {
+        panic!("expected a match, got {:#?}", p.fns[0].body);
+    };
+    assert_eq!(head[0].text, "d");
+    assert_eq!(arms.len(), 3);
+    assert_eq!(arms[0].0[0].text, "Decision");
+    // The third arm's body is a control construct, not a flat leaf.
+    assert!(matches!(arms[2].1.stmts[0], Stmt::Loop { .. }));
+}
+
+#[test]
+fn struct_literals_do_not_open_blocks() {
+    // `Parked { keys, next: 0, job }` must stay inside the leaf: a parser
+    // that treats it as a block would see a phantom branch point.
+    let src = "fn f(&mut self) { self.park(Parked { keys, next: 0, job }); done(); }";
+    let p = parse(src);
+    assert!(
+        p.fns[0]
+            .body
+            .stmts
+            .iter()
+            .all(|s| matches!(s, Stmt::Leaf(_))),
+        "{:#?}",
+        p.fns[0].body
+    );
+}
+
+#[test]
+fn let_else_is_a_one_armed_non_exhaustive_branch() {
+    let src = "fn f(&mut self, txn: TxnId) {
+        let Some(job) = self.take(txn) else { return; };
+        self.run(job);
+    }";
+    let p = parse(src);
+    let shapes: Vec<bool> = p.fns[0]
+        .body
+        .stmts
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::If { arms, has_else } => Some(arms.len() == 1 && !has_else),
+            _ => None,
+        })
+        .collect();
+    // Exactly one diverging-arm branch whose fallthrough (binding
+    // succeeded) survives.
+    assert_eq!(shapes, vec![true]);
+}
+
+#[test]
+fn nested_fns_are_items_not_flow() {
+    let src = "fn outer() {
+        fn inner() { helper(); }
+        inner();
+    }";
+    let p = parse(src);
+    let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, vec!["inner", "outer"]);
+    // `helper()` belongs to inner's body only — outer's runs must not
+    // contain it (it does not execute when outer is entered).
+    let mut outer_texts = Vec::new();
+    let outer = p.fns.iter().find(|f| f.name == "outer").unwrap();
+    parser::for_each_token_run(&outer.body, &mut |toks| {
+        outer_texts.extend(toks.iter().map(|t| t.text.clone()));
+    });
+    assert!(!outer_texts.contains(&"helper".to_string()), "{outer_texts:?}");
+    assert!(outer_texts.contains(&"inner".to_string()));
+}
+
+#[test]
+fn test_fns_are_marked() {
+    let src = "fn live() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn probe() { assert!(true); }
+}";
+    let p = parse(src);
+    let flags: Vec<(&str, bool)> = p
+        .fns
+        .iter()
+        .map(|f| (f.name.as_str(), f.in_test))
+        .collect();
+    assert_eq!(flags, vec![("live", false), ("probe", true)]);
+}
