@@ -1,0 +1,56 @@
+//! Harness-side profiling support: the injected wall clock and the
+//! `BENCH_hotpath.json` rendering of a [`StageBreakdown`].
+//!
+//! The engine crate deliberately cannot name a clock
+//! (`threev_core::node::ClockFn` is a plain `fn() -> u64` injected at
+//! configuration time); this module supplies the monotonic nanosecond
+//! clock the benches use, keeping every `Instant` outside the
+//! deterministic core.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use threev_core::node::{StageBreakdown, N_STAGES, STAGES};
+
+use crate::report::{JsonObject, JsonValue};
+
+/// Monotonic nanoseconds since the first call. A plain `fn` so it can be
+/// passed as a `threev_core::node::ClockFn`.
+pub fn mono_ns() -> u64 {
+    static T0: OnceLock<Instant> = OnceLock::new();
+    T0.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Render one aggregated breakdown: per-stage nanoseconds, call counts,
+/// and share of the dispatch envelope, plus the unattributed remainder.
+pub fn breakdown_json(b: &StageBreakdown) -> JsonObject {
+    let total = b.total_ns().max(1);
+    let mut obj = JsonObject::new();
+    for s in STAGES.iter().take(N_STAGES - 1) {
+        let ns = b.ns[*s as usize];
+        obj = obj.field(
+            s.name(),
+            JsonObject::new()
+                .field("ns", ns)
+                .field("calls", b.calls[*s as usize])
+                .field(
+                    "share_pct",
+                    JsonValue::Float(100.0 * ns as f64 / total as f64, 1),
+                ),
+        );
+    }
+    obj.field(
+        "other",
+        JsonObject::new().field("ns", b.other_ns()).field(
+            "share_pct",
+            JsonValue::Float(100.0 * b.other_ns() as f64 / total as f64, 1),
+        ),
+    )
+    .field(
+        "dispatch_total",
+        JsonObject::new().field("ns", b.total_ns()).field(
+            "calls",
+            b.calls[threev_core::node::Stage::Dispatch as usize],
+        ),
+    )
+}

@@ -16,7 +16,7 @@ use threev_storage::{LockDecision, LockMode, StoreError};
 
 use crate::msg::Msg;
 
-use super::{Job, NcCoord, NcRootCtx, Parked, SubTracker, ThreeVNode, TimerAction};
+use super::{Job, NcCoord, NcRootCtx, Parked, Stage, SubTracker, ThreeVNode, TimerAction};
 
 impl ThreeVNode {
     // ------------------------------------------------------ job execution
@@ -52,7 +52,10 @@ impl ThreeVNode {
         // anything: a malformed subtransaction (unknown key, no visible
         // base version, type-mismatched op) terminates its subtree cleanly
         // instead of panicking the node.
-        if let Err(e) = self.validate_plan(&job) {
+        let t0 = self.prof_start();
+        let validated = self.validate_plan(&job);
+        self.prof_end(Stage::Validate, t0);
+        if let Err(e) = validated {
             self.reject_malformed(ctx, &job, e);
             return;
         }
@@ -129,11 +132,14 @@ impl ThreeVNode {
     fn acquire_and_run(&mut self, ctx: &mut Ctx<'_, Msg>, mut parked: Parked) {
         while parked.next < parked.keys.len() {
             let (key, mode) = parked.keys[parked.next];
+            let t0 = self.prof_start();
             // lint-allow(wal-hook-coverage): logging is decision-dependent —
             // only a direct Granted outcome touches durable holder state,
             // and that arm writes WalOp::LockAcquire itself; Waiting/Abort
             // outcomes mutate volatile wait-queue state only.
-            match self.locks.acquire(key, mode, parked.job.txn) {
+            let decision = self.locks.acquire(key, mode, parked.job.txn);
+            self.prof_end(Stage::Lock, t0);
+            match decision {
                 LockDecision::Granted => {
                     // Logged only on a *direct* grant: promotions out of a
                     // release are reproduced by replaying the release.
@@ -307,10 +313,41 @@ impl ThreeVNode {
         self.finish_subtree(ctx, sub_id);
     }
 
+    /// Classify a job for the striped-execution stats: does every local
+    /// step land in one store stripe? Pure observation — stripe routing is
+    /// per-key inside the store, so correctness never depends on this —
+    /// but the share of stripe-local jobs is the parallelism headroom a
+    /// multi-core delivery layer could exploit, and `BENCH_hotpath.json`
+    /// reports it.
+    fn classify_stripes(&mut self, job: &Job) {
+        if self.store.n_stripes() <= 1 {
+            return;
+        }
+        let mut first: Option<usize> = None;
+        let mut spanning = false;
+        for step in &job.plan.steps {
+            let s = self.store.stripe_of_key(step.key());
+            match first {
+                None => first = Some(s),
+                Some(f) if f != s => {
+                    spanning = true;
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        if spanning {
+            self.stats.stripe_spanning_jobs += 1;
+        } else {
+            self.stats.stripe_local_jobs += 1;
+        }
+    }
+
     /// Execute the local steps, spawn children, and complete — §4.1 steps
     /// 3–6 (well-behaved), §4.2 (queries), §5 steps 3–5 (non-commuting).
-    fn execute_job(&mut self, ctx: &mut Ctx<'_, Msg>, job: Job) {
+    fn execute_job(&mut self, ctx: &mut Ctx<'_, Msg>, mut job: Job) {
         self.stats.subtxns_executed += 1;
+        self.classify_stripes(&job);
         let mut reads: Vec<ReadObservation> = Vec::new();
         let mut clean = true;
 
@@ -321,8 +358,10 @@ impl ThreeVNode {
                         OpStep::Read(key) => {
                             // Validated by the pre-pass; a failure here is a
                             // store defect. Skip the step and report unclean.
-                            let Ok((ver, value)) = self.store.read_visible(*key, job.version)
-                            else {
+                            let t0 = self.prof_start();
+                            let read = self.store.read_visible(*key, job.version);
+                            self.prof_end(Stage::Store, t0);
+                            let Ok((ver, value)) = read else {
                                 self.stats.invariant_breaches += 1;
                                 clean = false;
                                 continue;
@@ -343,8 +382,10 @@ impl ThreeVNode {
                                 op: *op,
                                 txn: job.txn,
                             });
-                            let Ok(out) = self.store.update(*key, job.version, *op, job.txn, None)
-                            else {
+                            let t0 = self.prof_start();
+                            let upd = self.store.update(*key, job.version, *op, job.txn, None);
+                            self.prof_end(Stage::Store, t0);
+                            let Ok(out) = upd else {
                                 self.stats.invariant_breaches += 1;
                                 clean = false;
                                 continue;
@@ -378,6 +419,7 @@ impl ThreeVNode {
                 // §5 step 4: abort if any accessed item already exists in a
                 // version above V(K); otherwise update x(V(K)) only.
                 let mut doomed = false;
+                let t0 = self.prof_start();
                 for step in &job.plan.steps {
                     // Validated keys exist; an error here is a store defect —
                     // doom conservatively rather than panic.
@@ -393,6 +435,7 @@ impl ThreeVNode {
                         break;
                     }
                 }
+                self.prof_end(Stage::Store, t0);
                 if doomed {
                     self.stats.nc_stale_aborts += 1;
                     self.doom_nc(ctx, &job);
@@ -403,8 +446,10 @@ impl ThreeVNode {
                 for step in &job.plan.steps {
                     match step {
                         OpStep::Read(key) => {
-                            let Ok((ver, value)) = self.store.read_visible(*key, job.version)
-                            else {
+                            let t0 = self.prof_start();
+                            let read = self.store.read_visible(*key, job.version);
+                            self.prof_end(Stage::Store, t0);
+                            let Ok((ver, value)) = read else {
                                 // Post-validation failure: doom the NC
                                 // transaction so 2PC aborts it globally.
                                 self.stats.invariant_breaches += 1;
@@ -424,11 +469,16 @@ impl ThreeVNode {
                                 op: *op,
                                 txn: job.txn,
                             });
-                            if self
-                                .store
-                                .update(*key, job.version, *op, job.txn, Some(&mut local.undo))
-                                .is_err()
-                            {
+                            let t0 = self.prof_start();
+                            let upd = self.store.update(
+                                *key,
+                                job.version,
+                                *op,
+                                job.txn,
+                                Some(&mut local.undo),
+                            );
+                            self.prof_end(Stage::Store, t0);
+                            if upd.is_err() {
                                 // Undo already holds the priors of anything
                                 // applied so far; dooming lets the 2PC abort
                                 // roll the partial effects back.
@@ -463,16 +513,24 @@ impl ThreeVNode {
             }
         }
 
-        // §4.1 step 5: increment R, then send, then commit locally.
+        // §4.1 step 5: increment R, then send, then commit locally. The
+        // child plans are *moved* out of the job into their `Subtxn`
+        // messages — the parent never reads them again, and cloning a
+        // child here would deep-copy its entire subtree (every step and
+        // descendant plan) per fan-out, the single biggest allocation on
+        // the hot path before this was measured.
         let sub_id = self.new_sub_id();
-        let n_children = job.plan.children.len() as u32;
-        for child in &job.plan.children {
+        let children = std::mem::take(&mut job.plan.children);
+        let n_children = children.len() as u32;
+        for child in children {
             if self.cfg.topology.same_partition(child.node, self.me) {
                 self.wal(WalOp::IncRequest {
                     version: job.version,
                     to: child.node,
                 });
+                let t0 = self.prof_start();
                 self.counters.inc_request(job.version, child.node);
+                self.prof_end(Stage::Counter, t0);
                 if ctx.tracing() {
                     let r = self.counters.request(job.version, child.node);
                     let (me, v, to) = (self.me, job.version, child.node);
@@ -507,7 +565,7 @@ impl ThreeVNode {
                     txn: job.txn,
                     kind: job.kind,
                     version: job.version,
-                    plan: child.clone(),
+                    plan: child,
                     parent_sub: sub_id,
                     client: job.client,
                     fail_node: job.fail_node,
@@ -524,7 +582,9 @@ impl ThreeVNode {
                 version: job.version,
                 from: job.source,
             });
+            let t0 = self.prof_start();
             self.counters.inc_completion(job.version, job.source);
+            self.prof_end(Stage::Counter, t0);
             if ctx.tracing() {
                 let c = self.counters.completion(job.version, job.source);
                 let (me, v, src) = (self.me, job.version, job.source);
@@ -784,7 +844,9 @@ impl ThreeVNode {
                     version,
                     to: self.me,
                 });
+                let t0 = self.prof_start();
                 self.counters.inc_request(version, self.me);
+                self.prof_end(Stage::Counter, t0);
                 if ctx.tracing() {
                     ctx.trace(|| format!("read tx {txn} arrives (version {version})"));
                 }
@@ -808,7 +870,9 @@ impl ThreeVNode {
                     version,
                     to: self.me,
                 });
+                let t0 = self.prof_start();
                 self.counters.inc_request(version, self.me);
+                self.prof_end(Stage::Counter, t0);
                 if ctx.tracing() {
                     ctx.trace(|| format!("update tx {txn} arrives (version {version})"));
                 }
@@ -1028,7 +1092,9 @@ impl ThreeVNode {
                     });
                 }
             }
+            let t0 = self.prof_start();
             self.store.rollback(undo);
+            self.prof_end(Stage::Store, t0);
         }
         // §5 step 6: completion counters move atomically with the decision.
         for (version, source) in local.pending_completions.drain(..) {
@@ -1040,7 +1106,9 @@ impl ThreeVNode {
         }
         if self.cfg.locks_enabled {
             self.wal(WalOp::LockRelease { txn });
+            let t0 = self.prof_start();
             let grants = self.locks.release_all(txn);
+            self.prof_end(Stage::Lock, t0);
             self.process_grants(ctx, grants);
         }
     }
@@ -1048,7 +1116,9 @@ impl ThreeVNode {
     pub(super) fn handle_release_locks(&mut self, ctx: &mut Ctx<'_, Msg>, txn: TxnId) {
         if self.cfg.locks_enabled {
             self.wal(WalOp::LockRelease { txn });
+            let t0 = self.prof_start();
             let grants = self.locks.release_all(txn);
+            self.prof_end(Stage::Lock, t0);
             self.process_grants(ctx, grants);
         }
         // Footprints are kept: a compensating subtransaction may still be in

@@ -176,7 +176,9 @@ impl CallGraph {
         // shadowing any same-name import — drop the cross-crate guesses.
         if !call.method
             && call.qual.is_none()
-            && out.iter().any(|&c| self.fns[c].crate_name == caller.crate_name)
+            && out
+                .iter()
+                .any(|&c| self.fns[c].crate_name == caller.crate_name)
         {
             out.retain(|&c| self.fns[c].crate_name == caller.crate_name);
         }

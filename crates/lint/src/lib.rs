@@ -177,8 +177,7 @@ pub fn lint_files(
                     }
                     if panic.is_none() {
                         if let Some((line, what)) = rules::direct_panic_at(toks, i) {
-                            if matching_allow_for(&fd.lexed.allows, "panic-hygiene", line)
-                                .is_none()
+                            if matching_allow_for(&fd.lexed.allows, "panic-hygiene", line).is_none()
                             {
                                 panic = Some((line, what.to_string()));
                             }
@@ -276,8 +275,8 @@ pub fn lint_files(
     // wal-hook-coverage: in-function coverage, then credit helpers whose
     // *every* call-graph path is covered at the call site.
     let mut rev: BTreeMap<usize, Vec<(usize, bool)>> = BTreeMap::new();
-    for g in 0..graph.fns.len() {
-        for (site, covered) in &hook_flows[g].calls {
+    for (g, flow) in hook_flows.iter().enumerate() {
+        for (site, covered) in &flow.calls {
             for tgt in graph.resolve(g, site, true) {
                 if graph.fns[tgt].file.contains("/src/node/") {
                     rev.entry(tgt).or_default().push((g, *covered));
@@ -314,8 +313,7 @@ pub fn lint_files(
     // non-hygiene crate whose callee can reach a panic.
     let chain_cap = if opts.deep { 64 } else { 8 };
     let mut dedup: BTreeSet<(usize, u32, usize)> = BTreeSet::new();
-    for g in 0..graph.fns.len() {
-        let caller = &graph.fns[g];
+    for (g, caller) in graph.fns.iter().enumerate() {
         if !policy::policy_for(&caller.crate_name).panic_hygiene {
             continue;
         }
@@ -339,14 +337,12 @@ pub fn lint_files(
                     .panic
                     .clone()
                     .unwrap_or((graph.fns[last].line, "panic".to_string()));
-                let chain_text: Vec<String> = std::iter::once(format!(
-                    "{}::{}",
-                    caller.crate_name, caller.name
-                ))
-                .chain(chain.iter().map(|&c| {
-                    format!("{}::{}", graph.fns[c].crate_name, graph.fns[c].name)
-                }))
-                .collect();
+                let chain_text: Vec<String> =
+                    std::iter::once(format!("{}::{}", caller.crate_name, caller.name))
+                        .chain(chain.iter().map(|&c| {
+                            format!("{}::{}", graph.fns[c].crate_name, graph.fns[c].name)
+                        }))
+                        .collect();
                 extra.push((
                     fi,
                     Finding {

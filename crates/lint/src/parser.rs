@@ -280,8 +280,7 @@ impl Parser<'_> {
         self.i += 1; // `{`
         let mut stmts: Vec<Stmt> = Vec::new();
         let mut leaf: Vec<Tok> = Vec::new();
-        loop {
-            let Some(t) = self.cur().cloned() else { break };
+        while let Some(t) = self.cur().cloned() {
             match t.text.as_str() {
                 "}" => {
                     self.i += 1;
@@ -336,7 +335,12 @@ impl Parser<'_> {
 
     /// If the cursor sits on a control keyword, parse the whole construct
     /// and return it; otherwise `None` (cursor untouched).
-    fn control_stmt(&mut self, self_ty: Option<&str>, out: &mut Vec<FnDef>, depth: usize) -> Option<Stmt> {
+    fn control_stmt(
+        &mut self,
+        self_ty: Option<&str>,
+        out: &mut Vec<FnDef>,
+        depth: usize,
+    ) -> Option<Stmt> {
         match self.cur()?.text.as_str() {
             "if" => Some(self.if_stmt(self_ty, out, depth)),
             "match" => Some(self.match_stmt(self_ty, out, depth)),
@@ -357,7 +361,11 @@ impl Parser<'_> {
         let mut has_else = false;
         loop {
             self.i += 1; // `if`
-            let mode = if self.at("let") { Head::Let } else { Head::Cond };
+            let mode = if self.at("let") {
+                Head::Let
+            } else {
+                Head::Cond
+            };
             let head = self.head(mode);
             if !self.at("{") {
                 break; // malformed; salvage what we have

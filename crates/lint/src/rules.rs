@@ -265,7 +265,8 @@ fn mutation_at(toks: &[Tok], i: usize) -> Option<(u32, String)> {
         return None;
     }
     // `<recv> . <method> (`
-    if toks.get(i + 1).is_some_and(|d| d.text == ".") && toks.get(i + 3).is_some_and(|p| p.text == "(")
+    if toks.get(i + 1).is_some_and(|d| d.text == ".")
+        && toks.get(i + 3).is_some_and(|p| p.text == "(")
     {
         let m = toks.get(i + 2)?;
         if WAL_MUTATING_CALLS
@@ -417,18 +418,17 @@ impl Analysis for CounterFlow {
 
     fn token(&mut self, toks: &[Tok], i: usize, st: &mut Self::State) {
         let t = &toks[i];
-        if t.kind != TokKind::Ident || !toks.get(i + 1).is_some_and(|n| n.text == "(") {
+        if t.kind != TokKind::Ident || toks.get(i + 1).is_none_or(|n| n.text != "(") {
             return;
         }
         if t.text == "inc_request" && i >= 1 && toks[i - 1].text == "." {
             st.insert(t.line);
-        } else if COUNTER_DISCHARGES.contains(&t.text.as_str()) {
-            st.clear();
-        } else if i >= 2
-            && toks[i - 1].text == "."
-            && COUNTER_DISCHARGE_CALLS
-                .iter()
-                .any(|(r, m)| toks[i - 2].text == *r && t.text == *m)
+        } else if COUNTER_DISCHARGES.contains(&t.text.as_str())
+            || (i >= 2
+                && toks[i - 1].text == "."
+                && COUNTER_DISCHARGE_CALLS
+                    .iter()
+                    .any(|(r, m)| toks[i - 2].text == *r && t.text == *m))
         {
             st.clear();
         }
@@ -501,10 +501,7 @@ impl Analysis for LockFlow {
 /// (the WAL op) somewhere in its body, and one that calls
 /// `locks.release_all(…)` must mention `LockRelease` — otherwise recovery
 /// rebuilds a lock table that disagrees with the one the crash saw.
-pub fn lock_journal_pairing(
-    body_runs: &[Vec<Tok>],
-    out: &mut Vec<(u32, String)>,
-) {
+pub fn lock_journal_pairing(body_runs: &[Vec<Tok>], out: &mut Vec<(u32, String)>) {
     let mut acquire_at: Option<u32> = None;
     let mut release_at: Option<u32> = None;
     let mut has_acquire_op = false;

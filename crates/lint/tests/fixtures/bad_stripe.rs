@@ -1,0 +1,25 @@
+//! Fixture: stripe-flavoured violations inside the node engine. The
+//! striped execution path stays in the deterministic tier, so an
+//! order-random routing map, a wall-clock stripe timer, a bare unwrap on
+//! stripe lookup, and an unlogged version-switch install must all fire.
+
+use std::collections::HashMap;
+
+impl ThreeVNode {
+    fn route_over_map(&self, routes: &HashMap<Key, usize>, key: Key) -> usize {
+        *routes.get(&key).unwrap()
+    }
+
+    fn time_stripe(&self) -> std::time::Instant {
+        std::time::Instant::now()
+    }
+
+    fn install_stripes_unlogged(&mut self, v: VersionNo) {
+        self.vu = v;
+    }
+
+    fn stripe_of_is_fine(&self, key: Key, n: usize) -> usize {
+        // Pure hash routing: deterministic, panic-free — must NOT fire.
+        (key.0.wrapping_mul(SPREAD) >> 32) as usize % n
+    }
+}

@@ -218,6 +218,33 @@ fn server_policy_keeps_panic_hygiene_without_determinism() {
     assert!(exempt.is_empty(), "{exempt:#?}");
 }
 
+/// The striped execution path (PR 10) is node-engine code, so every
+/// family applies at once: determinism (order-random routing maps, wall
+/// clocks), panic hygiene (unwrap on stripe lookup), and WAL-hook
+/// coverage (an unlogged version switch) — while the pure hash routing
+/// the real `stripe_of` uses stays silent.
+#[test]
+fn stripe_fixture_holds_the_engine_policies() {
+    let src = fixture("bad_stripe.rs");
+    let findings = lint_source("core", "crates/core/src/node/stripes.rs", &src);
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("determinism", 6),        // HashMap import
+            ("determinism", 9),        // HashMap routing table in a signature
+            ("panic-hygiene", 10),     // .unwrap() on stripe lookup
+            ("determinism", 13),       // Instant in a signature
+            ("determinism", 14),       // Instant::now()
+            ("wal-hook-coverage", 18), // version switch with no WAL hook
+        ],
+        "{findings:#?}"
+    );
+    // The same source in the threaded runtime is out of every family's
+    // scope.
+    let exempt = lint_source("runtime", "crates/runtime/src/bad.rs", &src);
+    assert!(exempt.is_empty(), "{exempt:#?}");
+}
+
 /// The v2 WAL rule is branch-sensitive: a hook on one arm of an `if`
 /// does not cover the join below it; hooks on every arm do.
 #[test]
@@ -322,9 +349,9 @@ fn analysis_policy_holds_the_deterministic_tier() {
     assert_eq!(
         shape(&findings),
         vec![
-            ("determinism", 5),   // HashMap import
-            ("determinism", 7),   // HashMap in the signature
-            ("determinism", 8),   // HashMap::new()
+            ("determinism", 5),    // HashMap import
+            ("determinism", 7),    // HashMap in the signature
+            ("determinism", 8),    // HashMap::new()
             ("panic-hygiene", 10), // .unwrap() mid-audit
         ],
         "{findings:#?}"
@@ -340,9 +367,9 @@ fn workload_policy_holds_the_deterministic_tier() {
     assert_eq!(
         shape(&findings),
         vec![
-            ("determinism", 5),   // Instant import
-            ("determinism", 8),   // Instant::now()
-            ("determinism", 9),   // thread_rng()
+            ("determinism", 5),    // Instant import
+            ("determinism", 8),    // Instant::now()
+            ("determinism", 9),    // thread_rng()
             ("panic-hygiene", 10), // .unwrap() in the generator
         ],
         "{findings:#?}"

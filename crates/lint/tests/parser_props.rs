@@ -11,13 +11,66 @@ use threev_lint::{lexer, parser};
 /// brackets (balanced and not), control keywords, heads, struct literals,
 /// attributes, comments, and the tokens the rules care about.
 const FRAGMENTS: &[&str] = &[
-    "fn f", "fn", "impl T", "impl", "trait Q", "mod m", "struct S", "enum E",
-    "{", "}", "(", ")", "[", "]", "if", "else", "match", "=>", "loop",
-    "while", "for", "in", "let", "=", "==", "return", "break", "continue",
-    "?", ";", ",", ".", "::", "->", "#", "!", "x", "y", "self", "wal",
-    "Some", "None", "0", "1.5", "0x1f", "\"s\"", "'a", "&&", "||", "<",
-    ">", "|", "&", "move", "unsafe", "_", "#[cfg(test)]", "#[test]",
-    "// line\n", "/* block */",
+    "fn f",
+    "fn",
+    "impl T",
+    "impl",
+    "trait Q",
+    "mod m",
+    "struct S",
+    "enum E",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "if",
+    "else",
+    "match",
+    "=>",
+    "loop",
+    "while",
+    "for",
+    "in",
+    "let",
+    "=",
+    "==",
+    "return",
+    "break",
+    "continue",
+    "?",
+    ";",
+    ",",
+    ".",
+    "::",
+    "->",
+    "#",
+    "!",
+    "x",
+    "y",
+    "self",
+    "wal",
+    "Some",
+    "None",
+    "0",
+    "1.5",
+    "0x1f",
+    "\"s\"",
+    "'a",
+    "&&",
+    "||",
+    "<",
+    ">",
+    "|",
+    "&",
+    "move",
+    "unsafe",
+    "_",
+    "#[cfg(test)]",
+    "#[test]",
+    "// line\n",
+    "/* block */",
 ];
 
 fn assemble(picks: &[usize]) -> String {

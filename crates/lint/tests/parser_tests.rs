@@ -140,7 +140,10 @@ fn nested_fns_are_items_not_flow() {
     parser::for_each_token_run(&outer.body, &mut |toks| {
         outer_texts.extend(toks.iter().map(|t| t.text.clone()));
     });
-    assert!(!outer_texts.contains(&"helper".to_string()), "{outer_texts:?}");
+    assert!(
+        !outer_texts.contains(&"helper".to_string()),
+        "{outer_texts:?}"
+    );
     assert!(outer_texts.contains(&"inner".to_string()));
 }
 
@@ -153,10 +156,6 @@ mod tests {
     fn probe() { assert!(true); }
 }";
     let p = parse(src);
-    let flags: Vec<(&str, bool)> = p
-        .fns
-        .iter()
-        .map(|f| (f.name.as_str(), f.in_test))
-        .collect();
+    let flags: Vec<(&str, bool)> = p.fns.iter().map(|f| (f.name.as_str(), f.in_test)).collect();
     assert_eq!(flags, vec![("live", false), ("probe", true)]);
 }

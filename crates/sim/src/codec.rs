@@ -1,0 +1,23 @@
+//! Wire-codec contract for message types that can travel as bytes.
+//!
+//! The threaded runtime's framed delivery mode encodes each outbound
+//! message **once**, shares the bytes (an `Arc<[u8]>`) across fault-plane
+//! duplicates, and decodes at the receiver. Any `Actor::Msg` implementing
+//! this trait can ride that path; the discrete-event kernel keeps passing
+//! structured values and never requires it.
+//!
+//! Both directions are fallible by design: encoding can exceed a frame
+//! bound, and decoding faces arbitrary bytes. Implementations must never
+//! panic on malformed input — return `Err` and let the transport count
+//! the frame as malformed.
+
+/// Encode/decode a message to and from a self-contained byte frame.
+pub trait WireCodec: Sized {
+    /// Encode into one complete frame. The error is a static description
+    /// of what could not be encoded (e.g. an oversized payload).
+    fn encode_wire(&self) -> Result<Vec<u8>, &'static str>;
+
+    /// Decode one complete frame. Must reject (never panic on)
+    /// truncated, corrupt, or otherwise malformed input.
+    fn decode_wire(bytes: &[u8]) -> Result<Self, &'static str>;
+}

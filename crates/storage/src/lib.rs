@@ -36,6 +36,7 @@ pub mod locks;
 pub mod paged;
 pub mod record;
 pub mod store;
+pub mod stripe;
 pub mod undo;
 pub mod wire;
 
@@ -44,4 +45,5 @@ pub use locks::{LockDecision, LockMode, LockTable};
 pub use paged::{PageAllocator, PagedBackend, PAGE_SIZE};
 pub use record::{GcAction, UpdateOutcome, VersionedRecord};
 pub use store::{Store, StoreError, StoreStats};
+pub use stripe::{stripe_of, StripedLocks, StripedStore};
 pub use undo::UndoLog;

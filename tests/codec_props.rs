@@ -1,0 +1,281 @@
+//! Property tier for the message-plane codec.
+//!
+//! Three contracts, each over randomly generated [`Msg`] values:
+//!
+//! 1. **Round trip** — `decode(encode(m)) == m` for every variant, with
+//!    arbitrarily shaped plans, observation lists, and counter snapshots.
+//! 2. **Truncation totality** — every strict prefix of a valid frame is
+//!    rejected with `Err`, never a panic (frames are exact-length).
+//! 3. **Corruption totality** — bit flips anywhere in a frame, and pure
+//!    garbage bytes, never panic the decoder. (A flip in the `kind` byte
+//!    can legally re-parse as a different variant — the checksum covers
+//!    the payload, and cross-variant protection is the layer above's
+//!    concern — so only payload flips are asserted to fail.)
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use proptest::prelude::*;
+use threev::analysis::ReadObservation;
+use threev::core::{CounterSnapshot, Msg};
+use threev::model::{
+    Key, NodeId, SubtxnId, SubtxnPlan, TxnId, TxnKind, UpdateOp, Value, VersionNo,
+};
+
+fn arb_txn(rng: &mut SmallRng) -> TxnId {
+    TxnId::new(
+        rng.gen_range(0u64..1 << 48),
+        NodeId(rng.gen_range(0u16..64)),
+    )
+}
+
+fn arb_kind(rng: &mut SmallRng) -> TxnKind {
+    match rng.gen_range(0u8..3) {
+        0 => TxnKind::ReadOnly,
+        1 => TxnKind::Commuting,
+        _ => TxnKind::NonCommuting,
+    }
+}
+
+fn arb_op(rng: &mut SmallRng) -> UpdateOp {
+    match rng.gen_range(0u8..4) {
+        0 => UpdateOp::Add(rng.gen_range(-1_000i64..1_000)),
+        1 => UpdateOp::Append {
+            amount: rng.gen_range(-1_000i64..1_000),
+            tag: rng.gen_range(0u32..1 << 20),
+        },
+        2 => UpdateOp::Retract {
+            amount: rng.gen_range(-1_000i64..1_000),
+            tag: rng.gen_range(0u32..1 << 20),
+        },
+        _ => UpdateOp::Assign(rng.gen_range(-1_000i64..1_000)),
+    }
+}
+
+fn arb_value(rng: &mut SmallRng) -> Value {
+    match rng.gen_range(0u8..3) {
+        0 => Value::Counter(rng.gen_range(-10_000i64..10_000)),
+        1 => Value::Register(rng.gen_range(-10_000i64..10_000)),
+        _ => {
+            let n = rng.gen_range(0usize..4);
+            Value::Journal(
+                (0..n)
+                    .map(|_| threev::model::JournalEntry {
+                        txn: arb_txn(rng),
+                        amount: rng.gen_range(-100i64..100),
+                        tag: rng.gen_range(0u32..100),
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Random plan subtree: bounded depth and fanout, arbitrary step mix.
+fn arb_plan(rng: &mut SmallRng, depth: u8) -> SubtxnPlan {
+    let mut plan = SubtxnPlan::new(NodeId(rng.gen_range(0u16..16)));
+    for _ in 0..rng.gen_range(0usize..4) {
+        let key = Key(rng.gen_range(0u64..1 << 32));
+        plan = if rng.gen_range(0u8..2) == 0 {
+            plan.read(key)
+        } else {
+            plan.update(key, arb_op(rng))
+        };
+    }
+    if depth > 0 {
+        for _ in 0..rng.gen_range(0usize..3) {
+            plan = plan.child(arb_plan(rng, depth - 1));
+        }
+    }
+    plan
+}
+
+fn arb_snapshot(rng: &mut SmallRng) -> CounterSnapshot {
+    let rows = |rng: &mut SmallRng| {
+        let n = rng.gen_range(0usize..5);
+        (0..n)
+            .map(|_| {
+                (
+                    NodeId(rng.gen_range(0u16..32)),
+                    rng.gen_range(0u64..1 << 40),
+                )
+            })
+            .collect()
+    };
+    CounterSnapshot {
+        version: VersionNo(rng.gen_range(0u32..1 << 20)),
+        requests_to: rows(rng),
+        completions_from: rows(rng),
+    }
+}
+
+fn arb_sub(rng: &mut SmallRng) -> SubtxnId {
+    SubtxnId {
+        spawner: NodeId(rng.gen_range(0u16..64)),
+        seq: rng.gen_range(0u64..1 << 40),
+    }
+}
+
+fn arb_opt_node(rng: &mut SmallRng) -> Option<NodeId> {
+    if rng.gen_range(0u8..2) == 0 {
+        None
+    } else {
+        Some(NodeId(rng.gen_range(0u16..64)))
+    }
+}
+
+/// One random message; the discriminant range is kept in sync with
+/// `Msg` by `build_msg`'s exhaustive match (a new variant extends 20).
+fn build_msg(seed: u64) -> Msg {
+    let rng = &mut SmallRng::seed_from_u64(seed);
+    let v = VersionNo(rng.gen_range(0u32..1 << 20));
+    match rng.gen_range(0u8..20) {
+        0 => Msg::Submit {
+            txn: arb_txn(rng),
+            kind: arb_kind(rng),
+            plan: arb_plan(rng, 3),
+            client: NodeId(rng.gen_range(0u16..64)),
+            fail_node: arb_opt_node(rng),
+        },
+        1 => Msg::TxnDone {
+            txn: arb_txn(rng),
+            version: v,
+            committed: rng.gen_range(0u8..2) == 1,
+        },
+        2 => {
+            let n = rng.gen_range(0usize..6);
+            Msg::ReadResults {
+                txn: arb_txn(rng),
+                reads: (0..n)
+                    .map(|_| ReadObservation {
+                        key: Key(rng.gen_range(0u64..1 << 32)),
+                        version: if rng.gen_range(0u8..2) == 0 {
+                            None
+                        } else {
+                            Some(VersionNo(rng.gen_range(0u32..1 << 20)))
+                        },
+                        value: arb_value(rng),
+                    })
+                    .collect(),
+            }
+        }
+        3 => Msg::Subtxn {
+            txn: arb_txn(rng),
+            kind: arb_kind(rng),
+            version: v,
+            plan: arb_plan(rng, 3),
+            parent_sub: arb_sub(rng),
+            client: NodeId(rng.gen_range(0u16..64)),
+            fail_node: arb_opt_node(rng),
+        },
+        4 => {
+            let n = rng.gen_range(0usize..6);
+            Msg::SubtreeDone {
+                txn: arb_txn(rng),
+                parent_sub: arb_sub(rng),
+                participants: (0..n).map(|_| NodeId(rng.gen_range(0u16..64))).collect(),
+                clean: rng.gen_range(0u8..2) == 1,
+            }
+        }
+        5 => Msg::Compensate {
+            txn: arb_txn(rng),
+            version: v,
+        },
+        6 => Msg::XpResolve { txn: arb_txn(rng) },
+        7 => Msg::StartAdvancement { vu_new: v },
+        8 => Msg::AdvanceAck { vu_new: v },
+        9 => Msg::ReadCounters {
+            round: rng.gen_range(0u64..1 << 30),
+            version: v,
+        },
+        10 => Msg::CountersReport {
+            round: rng.gen_range(0u64..1 << 30),
+            version: v,
+            snapshot: arb_snapshot(rng),
+        },
+        11 => Msg::AdvanceRead { vr_new: v },
+        12 => Msg::AdvanceReadAck { vr_new: v },
+        13 => Msg::Gc { vr_new: v },
+        14 => Msg::GcAck { vr_new: v },
+        15 => Msg::TriggerAdvancement,
+        16 => Msg::NcPrepare { txn: arb_txn(rng) },
+        17 => Msg::NcVote {
+            txn: arb_txn(rng),
+            node: NodeId(rng.gen_range(0u16..64)),
+            yes: rng.gen_range(0u8..2) == 1,
+        },
+        18 => Msg::NcDecision {
+            txn: arb_txn(rng),
+            commit: rng.gen_range(0u8..2) == 1,
+        },
+        _ => Msg::ReleaseLocks { txn: arb_txn(rng) },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 400, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_message_round_trips(seed in any::<u64>()) {
+        let msg = build_msg(seed);
+        let bytes = msg.encode().expect("hot-path messages encode");
+        let back = Msg::decode(&bytes).expect("own frames decode");
+        prop_assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(seed in any::<u64>()) {
+        let bytes = build_msg(seed).encode().expect("encode");
+        // Frames are exact-length: every strict prefix must fail cleanly.
+        for cut in 0..bytes.len() {
+            prop_assert!(Msg::decode(&bytes[..cut]).is_err(), "cut at {}", cut);
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(seed in any::<u64>()) {
+        let bytes = build_msg(seed).encode().expect("encode");
+        let rng = &mut SmallRng::seed_from_u64(seed ^ 0xF11D);
+        for _ in 0..64 {
+            let mut bad = bytes.clone();
+            let pos = rng.gen_range(0..bad.len());
+            bad[pos] ^= 1 << rng.gen_range(0u32..8);
+            let _ = Msg::decode(&bad); // must return, never panic
+        }
+    }
+
+    #[test]
+    fn payload_flips_fail_the_checksum(seed in any::<u64>()) {
+        let bytes = build_msg(seed).encode().expect("encode");
+        if bytes.len() <= 16 {
+            return; // no payload (e.g. TriggerAdvancement): nothing to flip
+        }
+        let rng = &mut SmallRng::seed_from_u64(seed ^ 0xC45C);
+        for _ in 0..32 {
+            let mut bad = bytes.clone();
+            let pos = rng.gen_range(16..bad.len());
+            bad[pos] ^= 1 << rng.gen_range(0u32..8);
+            prop_assert!(Msg::decode(&bad).is_err(), "payload flip at {} decoded", pos);
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic(seed in any::<u64>()) {
+        let rng = &mut SmallRng::seed_from_u64(seed);
+        let len = rng.gen_range(0usize..512);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
+        let _ = Msg::decode(&garbage); // must return, never panic
+
+        // Garbage wearing a valid header shape is the adversarial case:
+        // correct magic, in-range length, arbitrary body.
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&0x3356_4652u32.to_le_bytes());
+        framed.extend_from_slice(&1u16.to_le_bytes());
+        framed.push(rng.gen_range(0u8..=255)); // kind
+        framed.push(0); // reserved
+        framed.extend_from_slice(&(len as u32).to_le_bytes());
+        framed.extend_from_slice(&threev::storage::wire::checksum(&garbage).to_le_bytes());
+        framed.extend_from_slice(&garbage);
+        let _ = Msg::decode(&framed); // must return, never panic
+    }
+}

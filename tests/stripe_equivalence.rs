@@ -1,0 +1,374 @@
+//! Property: intra-node key striping is an *execution layout*, never a
+//! semantic change.
+//!
+//! A striped node partitions its store and lock table into N independent
+//! stripes routed by a key hash. Every store rule (copy-on-update,
+//! read-max-≤v, update-all-≥V(T)) and every lock decision is single-key
+//! local, so routing by key must be exact: for any workload — lossy
+//! networks, fault injection, racing advancement — a run with N stripes
+//! must be *bit-identical* to the unsharded run with the same seed: same
+//! transaction records, same per-node version state and store layouts,
+//! same kernel statistics.
+//!
+//! The same harness pins the profiler's freedom: `ProfileMode::On` only
+//! reads an injected clock and bumps counters nothing consults, so a
+//! profiled run must fingerprint identically to `ProfileMode::Off`.
+
+use proptest::prelude::*;
+use threev::core::advance::AdvancementPolicy;
+use threev::core::cluster::{ClusterConfig, ThreeVCluster};
+use threev::core::node::ProfileMode;
+use threev::sim::{FaultPlane, LatencyModel, SimConfig, SimDuration, SimTime};
+use threev::storage::BackendConfig;
+use threev::workload::HospitalWorkload;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n_nodes: u16,
+    rate: f64,
+    seed: u64,
+    adv_period_ms: u64,
+    jitter_max_us: u64,
+    /// Wire loss, parts per million (5% = 50_000, 20% = 200_000).
+    loss_ppm: u32,
+    fifo: bool,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        2u16..6,
+        500.0f64..3_000.0,
+        any::<u64>(),
+        5u64..60,
+        0u64..6_000,
+        prop_oneof![Just(0u32), Just(50_000u32), Just(200_000u32)],
+        any::<bool>(),
+    )
+        .prop_map(
+            |(n_nodes, rate, seed, adv_period_ms, jitter_max_us, loss_ppm, fifo)| Scenario {
+                n_nodes,
+                rate,
+                seed,
+                adv_period_ms,
+                jitter_max_us,
+                loss_ppm,
+                fifo,
+            },
+        )
+}
+
+/// Everything observable about a finished run, in comparable form
+/// (canonicalised through `Debug`, as in `batch_equivalence`).
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    records: Vec<String>,
+    /// Per node: (vu, vr, full store layout over all keys).
+    nodes: Vec<(String, String, Vec<String>)>,
+    messages: u64,
+    timers: u64,
+    events: u64,
+    dropped: u64,
+    duplicated: u64,
+    messages_by_tag: Vec<(String, u64)>,
+    advancements: usize,
+}
+
+fn run(s: &Scenario, stripes: u16, profile: ProfileMode, backend: BackendConfig) -> Fingerprint {
+    let workload = HospitalWorkload {
+        departments: s.n_nodes,
+        patients: 20,
+        rate_tps: s.rate,
+        read_pct: 30,
+        max_fanout: s.n_nodes.min(3),
+        duration: SimDuration::from_millis(200),
+        zipf_s: 0.9,
+        seed: s.seed,
+    };
+    let schema = workload.schema();
+    let arrivals = workload.arrivals();
+
+    let cfg = ClusterConfig {
+        n_nodes: s.n_nodes,
+        sim: SimConfig {
+            latency: LatencyModel::Uniform {
+                min: SimDuration::from_micros(100),
+                max: SimDuration::from_micros(100 + s.jitter_max_us),
+            },
+            local_latency: SimDuration::from_micros(1),
+            fifo: s.fifo,
+            seed: s.seed,
+            batch: true,
+            faults: if s.loss_ppm == 0 {
+                FaultPlane::default()
+            } else {
+                FaultPlane::lossy(s.loss_ppm, 0)
+            },
+            fault_stream: 0,
+        },
+        protocol: Default::default(),
+    }
+    .backend(backend)
+    .stripes(stripes)
+    .profile(profile)
+    .advancement(AdvancementPolicy::Periodic {
+        first: SimDuration::from_millis(s.adv_period_ms),
+        period: SimDuration::from_millis(s.adv_period_ms),
+    });
+    let mut cluster = ThreeVCluster::new(&schema, cfg, arrivals);
+    cluster.run_until(SimTime(2_000_000));
+
+    let mut nodes = Vec::new();
+    for i in 0..s.n_nodes {
+        let node = cluster.node(i);
+        let mut keys: Vec<_> = node.store().keys().collect();
+        keys.sort_unstable();
+        let layout: Vec<String> = keys
+            .into_iter()
+            .map(|k| format!("{k:?} => {:?}", node.store().layout(k)))
+            .collect();
+        nodes.push((
+            format!("{:?}", node.vu()),
+            format!("{:?}", node.vr()),
+            layout,
+        ));
+    }
+    let stats = cluster.sim_stats();
+    let mut messages_by_tag: Vec<(String, u64)> = stats
+        .messages_by_tag
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect();
+    messages_by_tag.sort();
+    Fingerprint {
+        records: cluster.records().iter().map(|r| format!("{r:?}")).collect(),
+        nodes,
+        messages: stats.messages,
+        timers: stats.timers,
+        events: stats.events,
+        dropped: stats.dropped,
+        duplicated: stats.duplicated,
+        messages_by_tag,
+        advancements: cluster.advancements().len(),
+    }
+}
+
+fn check(s: &Scenario) {
+    let unsharded = run(
+        s,
+        1,
+        ProfileMode::Off,
+        threev::testutil::backend_from_env("stripe-eq"),
+    );
+    for stripes in [2u16, 8] {
+        let striped = run(
+            s,
+            stripes,
+            ProfileMode::Off,
+            threev::testutil::backend_from_env("stripe-eq"),
+        );
+        assert_eq!(
+            unsharded, striped,
+            "striped run (N={stripes}) diverged for {s:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case simulates three full cluster runs
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn striping_is_observationally_identical(s in scenario()) {
+        check(&s);
+    }
+}
+
+/// The issue's named fault points, as fast deterministic regressions:
+/// 5% wire loss.
+#[test]
+fn lossy_5pct_fixed_case() {
+    check(&Scenario {
+        n_nodes: 4,
+        rate: 2_500.0,
+        seed: 0x57_21BE,
+        adv_period_ms: 10,
+        jitter_max_us: 3_000,
+        loss_ppm: 50_000,
+        fifo: false,
+    });
+}
+
+/// 20% wire loss: retransmit/compensation paths dominate.
+#[test]
+fn lossy_20pct_fixed_case() {
+    check(&Scenario {
+        n_nodes: 4,
+        rate: 2_500.0,
+        seed: 0x57_21BE,
+        adv_period_ms: 10,
+        jitter_max_us: 3_000,
+        loss_ppm: 200_000,
+        fifo: false,
+    });
+}
+
+/// Maximal-coalescing regime (zero jitter, FIFO) — the largest batches,
+/// therefore the most consecutive same-stripe dispatches.
+#[test]
+fn max_coalescing_fixed_case() {
+    check(&Scenario {
+        n_nodes: 3,
+        rate: 2_000.0,
+        seed: 7,
+        adv_period_ms: 10,
+        jitter_max_us: 0,
+        loss_ppm: 0,
+        fifo: true,
+    });
+}
+
+/// Striping over the on-disk paged backend (no durability: stripes are
+/// legal there, each stripe gets its own page-file directory) must match
+/// both the unsharded paged run and the striped in-memory run.
+#[test]
+fn paged_backend_striping_is_identical() {
+    let s = Scenario {
+        n_nodes: 4,
+        rate: 2_000.0,
+        seed: 0xD15C,
+        adv_period_ms: 10,
+        jitter_max_us: 2_000,
+        loss_ppm: 50_000,
+        fifo: false,
+    };
+    let dir = std::env::temp_dir().join(format!("threev-stripe-eq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mem = run(&s, 8, ProfileMode::Off, BackendConfig::Mem);
+    let paged1 = run(
+        &s,
+        1,
+        ProfileMode::Off,
+        BackendConfig::Paged { dir: dir.clone() },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let paged8 = run(
+        &s,
+        8,
+        ProfileMode::Off,
+        BackendConfig::Paged { dir: dir.clone() },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(paged1, paged8, "paged striping diverged for {s:?}");
+    assert_eq!(mem, paged8, "paged vs mem striping diverged for {s:?}");
+}
+
+/// Guard against the equivalence suite passing vacuously: a striped
+/// cluster must really run N independent stripes and classify jobs
+/// against them.
+#[test]
+fn striped_node_actually_stripes() {
+    let workload = HospitalWorkload {
+        departments: 4,
+        patients: 20,
+        rate_tps: 2_000.0,
+        read_pct: 30,
+        max_fanout: 3,
+        duration: SimDuration::from_millis(200),
+        zipf_s: 0.9,
+        seed: 11,
+    };
+    let schema = workload.schema();
+    let cfg = ClusterConfig::new(4).seed(11).stripes(8);
+    let mut cluster = ThreeVCluster::new(&schema, cfg, workload.arrivals());
+    cluster.run_until(SimTime(1_000_000));
+    let node = cluster.node(0);
+    assert_eq!(node.store().n_stripes(), 8, "stripes must be installed");
+    let stats = node.stats();
+    assert!(
+        stats.stripe_local_jobs + stats.stripe_spanning_jobs > 0,
+        "jobs must be classified against stripes: {stats:?}"
+    );
+}
+
+/// Deterministic injected clock for the profiler guard: strictly monotone,
+/// no wall-clock dependence.
+fn counting_clock() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static T: AtomicU64 = AtomicU64::new(0);
+    T.fetch_add(1, Ordering::Relaxed)
+}
+
+/// `ProfileMode::Off` must be bit-identical to a profiled run: the hooks
+/// read a clock and bump counters nothing in the engine consults.
+#[test]
+fn profiler_is_free() {
+    let s = Scenario {
+        n_nodes: 4,
+        rate: 2_500.0,
+        seed: 0xF0F,
+        adv_period_ms: 10,
+        jitter_max_us: 3_000,
+        loss_ppm: 50_000,
+        fifo: false,
+    };
+    for stripes in [1u16, 8] {
+        let off = run(&s, stripes, ProfileMode::Off, BackendConfig::Mem);
+        let on = run(
+            &s,
+            stripes,
+            ProfileMode::On(counting_clock),
+            BackendConfig::Mem,
+        );
+        assert_eq!(off, on, "profiling changed behaviour at stripes={stripes}");
+    }
+}
+
+/// A profiled node actually accumulates a breakdown; an unprofiled node
+/// holds none.
+#[test]
+fn profiler_accumulates_when_on() {
+    let s = Scenario {
+        n_nodes: 2,
+        rate: 1_000.0,
+        seed: 3,
+        adv_period_ms: 20,
+        jitter_max_us: 0,
+        loss_ppm: 0,
+        fifo: true,
+    };
+    let workload = HospitalWorkload {
+        departments: s.n_nodes,
+        patients: 20,
+        rate_tps: s.rate,
+        read_pct: 30,
+        max_fanout: 2,
+        duration: SimDuration::from_millis(100),
+        zipf_s: 0.9,
+        seed: s.seed,
+    };
+    let schema = workload.schema();
+    let cfg = ClusterConfig::new(s.n_nodes)
+        .seed(s.seed)
+        .profile(ProfileMode::On(counting_clock));
+    let mut cluster = ThreeVCluster::new(&schema, cfg, workload.arrivals());
+    cluster.run_until(SimTime(1_000_000));
+    let b = cluster
+        .node(0)
+        .stage_breakdown()
+        .expect("profiled node has a breakdown");
+    use threev::core::node::Stage;
+    assert!(
+        b.calls[Stage::Dispatch as usize] > 0,
+        "dispatch envelope must tick: {b:?}"
+    );
+    assert!(
+        b.ns[Stage::Dispatch as usize] > 0,
+        "injected clock must advance the envelope: {b:?}"
+    );
+    assert!(
+        b.other_ns() <= b.total_ns(),
+        "nested stages cannot exceed the envelope"
+    );
+}
